@@ -1,0 +1,83 @@
+//! Criterion microbenchmarks for the generators (Table 3 / Section 6.2
+//! companions) and the DESIGN.md ablations.
+//!
+//! Groups:
+//! * `graph_gen`    — per-scenario graph generation throughput (Table 3's
+//!   unit of work at laptop sizes);
+//! * `query_gen`    — workload generation (Section 6.2's query-generation
+//!   scalability);
+//! * `ablation`     — the Gaussian fast path on/off, and parallel
+//!   generation with 1 vs 4 threads (design choices called out in
+//!   DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gmark_core::gen::{generate_into, GeneratorOptions};
+use gmark_core::schema::GraphConfig;
+use gmark_core::usecases;
+use gmark_core::workload::{generate_workload, WorkloadConfig};
+use gmark_store::CountingSink;
+use std::hint::black_box;
+
+fn graph_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_gen");
+    for (name, schema) in usecases::all() {
+        let n = 50_000u64;
+        let config = GraphConfig::new(n, schema.clone());
+        // Report throughput in edges/second based on a probe run.
+        let mut probe = CountingSink::new(schema.predicate_count());
+        generate_into(&config, &GeneratorOptions::with_seed(1), &mut probe);
+        group.throughput(Throughput::Elements(probe.total()));
+        group.bench_function(BenchmarkId::new("50K_nodes", name), |b| {
+            b.iter(|| {
+                let mut sink = CountingSink::new(schema.predicate_count());
+                generate_into(&config, &GeneratorOptions::with_seed(1), &mut sink);
+                black_box(sink.total())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn query_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_gen");
+    for (name, schema) in usecases::all() {
+        let mut cfg = WorkloadConfig::new(100).with_seed(2);
+        cfg.recursion_probability = 0.2;
+        group.bench_function(BenchmarkId::new("100_queries", name), |b| {
+            b.iter(|| black_box(generate_workload(&schema, &cfg).0.queries.len()))
+        });
+    }
+    group.finish();
+}
+
+fn ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    // Gaussian fast path: LSN is Gaussian-heavy.
+    let schema = usecases::lsn();
+    let config = GraphConfig::new(50_000, schema.clone());
+    for (label, fast) in [("gaussian_fast_path_on", true), ("gaussian_fast_path_off", false)] {
+        let opts =
+            GeneratorOptions { gaussian_fast_path: fast, ..GeneratorOptions::with_seed(3) };
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut sink = CountingSink::new(schema.predicate_count());
+                generate_into(&config, &opts, &mut sink);
+                black_box(sink.total())
+            })
+        });
+    }
+    // Thread scaling (uses the graph-building path, which shards).
+    for threads in [1usize, 4] {
+        let opts = GeneratorOptions { threads, ..GeneratorOptions::with_seed(4) };
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| {
+                let (graph, _) = gmark_core::gen::generate_graph(&config, &opts);
+                black_box(graph.edge_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, graph_gen, query_gen, ablation);
+criterion_main!(benches);

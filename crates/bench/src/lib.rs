@@ -1,0 +1,308 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Sections 6–7). Each artifact has a dedicated binary:
+//!
+//! | artifact | binary | what it prints |
+//! |---|---|---|
+//! | Table 2  | `table2` | measured `α` mean±sd per selectivity class, workloads Len/Dis/Con/Rec × use cases |
+//! | Table 3  | `table3` | graph generation wall time per size × schema |
+//! | Table 4  | `table4` | recursive-query times per engine × size, `-` on failure |
+//! | Fig. 10  | `fig10`  | per-class runtimes: fixed "org"-style vs generated gMark queries on SP |
+//! | Fig. 11  | `fig11`  | measured result counts vs fitted `β·n^α` per class, Bib workloads |
+//! | Fig. 12  | `fig12`  | engine timing grid on non-recursive workloads Len/Dis/Con |
+//! | §6.2     | `querygen_scale` | 1 000-query workload generation + translation time per scenario |
+//!
+//! Every binary accepts `--full` for the paper-scale parameterization
+//! (larger graphs, more sizes); the default is scaled to finish on a
+//! laptop. EXPERIMENTS.md records paper-vs-measured for every artifact.
+//!
+//! This library holds what the binaries share: the Section 6.2 workload
+//! definitions (Len / Dis / Con / Rec), the Section 7.1 measurement
+//! protocol (cold run discarded, warm runs averaged after dropping the
+//! fastest and slowest), and small table-printing helpers.
+
+use gmark_core::gen::{generate_graph, GeneratorOptions};
+use gmark_core::schema::{GraphConfig, Schema};
+use gmark_core::selectivity::SelectivityClass;
+use gmark_core::workload::{generate_workload, QuerySize, Workload, WorkloadConfig};
+use gmark_engines::{Budget, Engine, EvalError};
+use gmark_store::Graph;
+use std::time::{Duration, Instant};
+
+/// The four stress-test workload families of Section 6.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Varying path lengths; no disjuncts, single conjunct, no recursion.
+    Len,
+    /// Disjuncts; single conjunct, no recursion.
+    Dis,
+    /// Conjuncts and disjuncts; no recursion.
+    Con,
+    /// Recursion (Kleene stars).
+    Rec,
+}
+
+impl WorkloadKind {
+    /// All four, in the paper's order.
+    pub const ALL: [WorkloadKind; 4] =
+        [WorkloadKind::Len, WorkloadKind::Dis, WorkloadKind::Con, WorkloadKind::Rec];
+
+    /// The non-recursive families used by Fig. 12.
+    pub const NON_RECURSIVE: [WorkloadKind; 3] =
+        [WorkloadKind::Len, WorkloadKind::Dis, WorkloadKind::Con];
+
+    /// Paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Len => "Len",
+            WorkloadKind::Dis => "Dis",
+            WorkloadKind::Con => "Con",
+            WorkloadKind::Rec => "Rec",
+        }
+    }
+
+    /// The workload configuration of this family: 30 queries — 10
+    /// constant, 10 linear, 10 quadratic (Section 6.2).
+    pub fn config(self, seed: u64) -> WorkloadConfig {
+        let mut cfg = WorkloadConfig::new(30).with_seed(seed);
+        cfg.selectivities = SelectivityClass::ALL.to_vec();
+        match self {
+            WorkloadKind::Len => {
+                cfg.query_size =
+                    QuerySize { conjuncts: (1, 1), disjuncts: (1, 1), length: (1, 4) };
+            }
+            WorkloadKind::Dis => {
+                cfg.query_size =
+                    QuerySize { conjuncts: (1, 1), disjuncts: (2, 4), length: (1, 3) };
+            }
+            WorkloadKind::Con => {
+                cfg.query_size =
+                    QuerySize { conjuncts: (2, 3), disjuncts: (1, 3), length: (1, 3) };
+            }
+            WorkloadKind::Rec => {
+                cfg.query_size =
+                    QuerySize { conjuncts: (1, 2), disjuncts: (1, 2), length: (1, 3) };
+                cfg.recursion_probability = 0.5;
+            }
+        }
+        cfg
+    }
+
+    /// Generates the family's workload for a schema.
+    pub fn workload(self, schema: &Schema, seed: u64) -> Workload {
+        generate_workload(schema, &self.config(seed)).0
+    }
+}
+
+/// Common harness options parsed from argv.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Paper-scale parameters instead of the laptop-scale defaults.
+    pub full: bool,
+    /// Seed shared by all generation in an experiment.
+    pub seed: u64,
+}
+
+impl HarnessOptions {
+    /// Parses `--full` and `--seed N` from the process arguments.
+    pub fn from_args() -> HarnessOptions {
+        let mut opts = HarnessOptions { full: false, seed: 0x9A9E_2017 };
+        let args: Vec<String> = std::env::args().collect();
+        for (i, a) in args.iter().enumerate() {
+            match a.as_str() {
+                "--full" => opts.full = true,
+                "--seed" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seed = v;
+                    }
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// The graph sizes of the selectivity experiments (Sections 6.2/7:
+    /// 2K–32K in the paper; a smaller sweep by default).
+    pub fn selectivity_sizes(&self) -> Vec<u64> {
+        if self.full {
+            vec![2_000, 4_000, 8_000, 16_000, 32_000]
+        } else {
+            vec![1_000, 2_000, 4_000]
+        }
+    }
+
+    /// The engine-comparison sizes (2K–16K in the paper).
+    pub fn engine_sizes(&self) -> Vec<u64> {
+        if self.full {
+            vec![2_000, 4_000, 8_000, 16_000]
+        } else {
+            vec![1_000, 2_000, 4_000]
+        }
+    }
+
+    /// Graph-generation scalability sizes (Table 3: 100K–100M).
+    pub fn scalability_sizes(&self) -> Vec<u64> {
+        if self.full {
+            vec![100_000, 1_000_000, 10_000_000, 100_000_000]
+        } else {
+            vec![100_000, 1_000_000, 10_000_000]
+        }
+    }
+
+    /// The per-query evaluation budget.
+    pub fn budget(&self) -> Budget {
+        if self.full {
+            Budget::new(Duration::from_secs(120), 50_000_000)
+        } else {
+            Budget::new(Duration::from_secs(10), 20_000_000)
+        }
+    }
+
+    /// Warm runs for the timing protocol (5 in the paper).
+    pub fn warm_runs(&self) -> usize {
+        if self.full {
+            5
+        } else {
+            3
+        }
+    }
+}
+
+/// Generates a graph for an experiment (shared seed discipline).
+pub fn build_graph(schema: &Schema, n: u64, seed: u64) -> Graph {
+    let config = GraphConfig::new(n, schema.clone());
+    generate_graph(&config, &GeneratorOptions::with_seed(seed)).0
+}
+
+/// The Section 7.1 measurement protocol: one cold run (discarded), `warm`
+/// warm runs; drop the fastest and slowest warm run and average the rest.
+/// Returns the mean duration and the result count, or the failure.
+pub fn measure(
+    engine: &dyn Engine,
+    graph: &Graph,
+    query: &gmark_core::query::Query,
+    budget: &Budget,
+    warm: usize,
+) -> Result<(Duration, u64), EvalError> {
+    let cold = engine.evaluate(graph, query, budget)?;
+    let count = cold.count();
+    let mut times = Vec::with_capacity(warm);
+    for _ in 0..warm {
+        let start = Instant::now();
+        engine.evaluate(graph, query, budget)?;
+        times.push(start.elapsed().as_secs_f64());
+    }
+    let mean = gmark_stats::summary::warm_run_average(&times);
+    Ok((Duration::from_secs_f64(mean), count))
+}
+
+/// Formats a duration like the paper's Table 3 (`1m28.725s` / `0m0.057s`).
+pub fn fmt_minutes(d: Duration) -> String {
+    let total = d.as_secs_f64();
+    let minutes = (total / 60.0).floor() as u64;
+    let seconds = total - minutes as f64 * 60.0;
+    format!("{minutes}m{seconds:.3}s")
+}
+
+/// Formats seconds with millisecond resolution for grid cells.
+pub fn fmt_cell(result: &Result<(Duration, u64), EvalError>) -> String {
+    match result {
+        Ok((d, _)) => format!("{:.3}s", d.as_secs_f64()),
+        Err(_) => "-".to_owned(),
+    }
+}
+
+/// Prints a row of fixed-width cells.
+pub fn print_row(label: &str, cells: &[String], width: usize) {
+    let mut line = format!("{label:<16}");
+    for c in cells {
+        line.push_str(&format!(" {c:>w$}", w = width));
+    }
+    println!("{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_kinds_have_expected_shapes() {
+        let bib = gmark_core::usecases::bib();
+        for kind in WorkloadKind::ALL {
+            let w = kind.workload(&bib, 1);
+            assert_eq!(w.queries.len(), 30, "{}", kind.name());
+            for gq in &w.queries {
+                let (_, conjuncts, disjuncts, _) = gq.query.size();
+                match kind {
+                    WorkloadKind::Len | WorkloadKind::Dis => assert_eq!(conjuncts, 1),
+                    WorkloadKind::Con => assert!(conjuncts >= 2),
+                    WorkloadKind::Rec => {}
+                }
+                if kind == WorkloadKind::Dis {
+                    // Disjunct sampling may merge duplicate paths, but the
+                    // request was for ≥ 2.
+                    assert!(disjuncts >= 1);
+                }
+            }
+            if kind == WorkloadKind::Rec {
+                assert!(
+                    w.queries.iter().any(|gq| gq.query.is_recursive()),
+                    "Rec workload should contain stars"
+                );
+            } else {
+                assert!(w.queries.iter().all(|gq| !gq.query.is_recursive()));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_kinds_balance_classes() {
+        let bib = gmark_core::usecases::bib();
+        let w = WorkloadKind::Len.workload(&bib, 2);
+        for class in SelectivityClass::ALL {
+            let n = w.of_class(class).count();
+            assert!(n >= 9, "{class}: {n}");
+        }
+    }
+
+    #[test]
+    fn measure_protocol_runs() {
+        let bib = gmark_core::usecases::bib();
+        let graph = build_graph(&bib, 500, 3);
+        let w = WorkloadKind::Len.workload(&bib, 4);
+        let engine = gmark_engines::TripleStoreEngine;
+        let (d, count) = measure(
+            &engine,
+            &graph,
+            &w.queries[0].query,
+            &Budget::default(),
+            3,
+        )
+        .expect("small query fits budget");
+        assert!(d.as_secs_f64() >= 0.0);
+        let direct = engine
+            .evaluate(&graph, &w.queries[0].query, &Budget::default())
+            .unwrap();
+        assert_eq!(count, direct.count());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_minutes(Duration::from_millis(57)), "0m0.057s");
+        assert_eq!(fmt_minutes(Duration::from_secs_f64(88.725)), "1m28.725s");
+        assert_eq!(
+            fmt_cell(&Err(gmark_engines::EvalError::Timeout)),
+            "-"
+        );
+    }
+
+    #[test]
+    fn harness_options_defaults() {
+        let o = HarnessOptions { full: false, seed: 1 };
+        assert_eq!(o.selectivity_sizes().len(), 3);
+        assert_eq!(o.scalability_sizes().len(), 3);
+        let f = HarnessOptions { full: true, seed: 1 };
+        assert!(f.selectivity_sizes().contains(&32_000));
+        assert!(f.scalability_sizes().contains(&100_000_000));
+    }
+}

@@ -1,0 +1,22 @@
+//! XML configuration files for gMark.
+//!
+//! The paper's Section 3.1 notes that "specifying all aforementioned
+//! constraints as an input gMark graph configuration can be easily done via
+//! a few lines of XML". This crate provides that input path:
+//!
+//! * [`xml`] — a hand-rolled parser and writer for the XML subset gMark
+//!   configurations need (elements, attributes, text, comments, the five
+//!   standard entities; no namespaces or DTDs) — no XML crate is available
+//!   offline, and the format is small enough that owning the parser keeps
+//!   the dependency surface minimal;
+//! * [`config`] — the mapping between XML documents and
+//!   [`gmark_core::GraphConfig`] / [`gmark_core::workload::WorkloadConfig`]
+//!   values, both directions.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod xml;
+
+pub use config::{parse_config, write_config, ConfigError, ParsedConfig};
+pub use xml::{Element, Node, XmlError};

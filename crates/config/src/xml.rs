@@ -1,0 +1,504 @@
+//! A minimal XML parser and writer.
+//!
+//! Supports exactly the subset gMark configuration files use: nested
+//! elements with attributes, text content, comments, an optional XML
+//! declaration, self-closing tags, and the five predefined entities
+//! (`&amp; &lt; &gt; &quot; &apos;`). Out of scope (rejected or ignored):
+//! namespaces, DTDs, processing instructions beyond the declaration,
+//! and CDATA sections.
+
+use std::fmt;
+
+/// An XML element: name, attributes, children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+/// A node: element or text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// Text content (entity-decoded, whitespace preserved).
+    Text(String),
+}
+
+impl Element {
+    /// Creates an element with a name.
+    pub fn new(name: &str) -> Element {
+        Element { name: name.to_owned(), ..Default::default() }
+    }
+
+    /// Adds an attribute (builder style).
+    pub fn attr(mut self, key: &str, value: impl fmt::Display) -> Element {
+        self.attrs.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    pub fn child(mut self, child: Element) -> Element {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds text content (builder style).
+    pub fn text(mut self, text: impl fmt::Display) -> Element {
+        self.children.push(Node::Text(text.to_string()));
+        self
+    }
+
+    /// Looks up an attribute value.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Iterates child elements.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Child elements with a given name.
+    pub fn elements_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// First child element with a given name.
+    pub fn first(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// Concatenated text content of this element (direct children only),
+    /// trimmed.
+    pub fn text_content(&self) -> String {
+        let mut s = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                s.push_str(t);
+            }
+        }
+        s.trim().to_owned()
+    }
+
+    /// Serializes with two-space indentation.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>\n");
+            return;
+        }
+        // Pure-text elements render inline.
+        let only_text = self.children.iter().all(|n| matches!(n, Node::Text(_)));
+        if only_text {
+            out.push('>');
+            out.push_str(&escape(&self.text_content()));
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push_str(">\n");
+            return;
+        }
+        out.push_str(">\n");
+        for n in &self.children {
+            match n {
+                Node::Element(e) => e.write_pretty(out, depth + 1),
+                Node::Text(t) => {
+                    let t = t.trim();
+                    if !t.is_empty() {
+                        out.push_str(&"  ".repeat(depth + 1));
+                        out.push_str(&escape(t));
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push_str(">\n");
+    }
+}
+
+/// Escapes text for inclusion in XML.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parse errors with byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document, returning its root element.
+pub fn parse(input: &str) -> Result<Element, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> XmlError {
+        XmlError { offset: self.pos, message: message.to_owned() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<bool, XmlError> {
+        if !self.starts_with("<!--") {
+            return Ok(false);
+        }
+        let start = self.pos;
+        self.pos += 4;
+        while self.pos < self.input.len() && !self.starts_with("-->") {
+            self.pos += 1;
+        }
+        if !self.starts_with("-->") {
+            self.pos = start;
+            return Err(self.err("unterminated comment"));
+        }
+        self.pos += 3;
+        Ok(true)
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            while self.pos < self.input.len() && !self.starts_with("?>") {
+                self.pos += 1;
+            }
+            if !self.starts_with("?>") {
+                return Err(self.err("unterminated XML declaration"));
+            }
+            self.pos += 2;
+        }
+        self.skip_misc();
+        Ok(())
+    }
+
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            match self.skip_comment() {
+                Ok(true) => continue,
+                _ => break,
+            }
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("names are ASCII")
+            .to_owned())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("attribute value is not UTF-8"))?;
+                self.pos += 1;
+                return unescape(raw).map_err(|m| XmlError { offset: start, message: m });
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<Element, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut element = Element::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    element.attrs.push((key, value));
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Children until the matching end tag.
+        loop {
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if end_name != element.name {
+                    return Err(self.err(&format!(
+                        "mismatched end tag: expected </{}>, found </{end_name}>",
+                        element.name
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                self.pos += 1;
+                return Ok(element);
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.parse_element()?;
+                    element.children.push(Node::Element(child));
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.input[start..self.pos])
+                        .map_err(|_| self.err("text is not UTF-8"))?;
+                    let text =
+                        unescape(raw).map_err(|m| XmlError { offset: start, message: m })?;
+                    if !text.trim().is_empty() {
+                        element.children.push(Node::Text(text));
+                    }
+                }
+                None => return Err(self.err("unterminated element")),
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(idx) = rest.find('&') {
+        out.push_str(&rest[..idx]);
+        rest = &rest[idx..];
+        let end = rest.find(';').ok_or_else(|| "unterminated entity".to_owned())?;
+        let entity = &rest[1..end];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            other => return Err(format!("unsupported entity &{other};")),
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_minimal() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.attrs.is_empty());
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn parse_attributes_and_text() {
+        let e = parse(r#"<type name="city" fixed="100">hello</type>"#).unwrap();
+        assert_eq!(e.get_attr("name"), Some("city"));
+        assert_eq!(e.get_attr("fixed"), Some("100"));
+        assert_eq!(e.get_attr("nope"), None);
+        assert_eq!(e.text_content(), "hello");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let doc = r#"
+            <generator>
+              <graph><nodes>500</nodes></graph>
+              <workload size="30"/>
+            </generator>"#;
+        let e = parse(doc).unwrap();
+        assert_eq!(e.name, "generator");
+        let graph = e.first("graph").unwrap();
+        assert_eq!(graph.first("nodes").unwrap().text_content(), "500");
+        assert_eq!(e.first("workload").unwrap().get_attr("size"), Some("30"));
+    }
+
+    #[test]
+    fn parse_with_prolog_and_comments() {
+        let doc = "<?xml version=\"1.0\"?>\n<!-- top --><root><!-- inner --><a/></root>\n<!-- after -->";
+        let e = parse(doc).unwrap();
+        assert_eq!(e.name, "root");
+        assert_eq!(e.elements().count(), 1);
+    }
+
+    #[test]
+    fn entities_decode_and_encode() {
+        let e = parse(r#"<a t="&lt;&amp;&gt;">x &quot;y&quot; &apos;z&apos;</a>"#).unwrap();
+        assert_eq!(e.get_attr("t"), Some("<&>"));
+        assert_eq!(e.text_content(), "x \"y\" 'z'");
+        assert_eq!(escape("<&>\"'"), "&lt;&amp;&gt;&quot;&apos;");
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a></b>").is_err());
+        assert!(parse("<a x=1/>").is_err());
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a>&bogus;</a>").is_err());
+        assert!(parse("<!-- unterminated <a/>").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_into_input() {
+        let err = parse("<a></b>").unwrap_err();
+        assert!(err.offset <= 7);
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn pretty_print_round_trip() {
+        let doc = Element::new("generator")
+            .child(
+                Element::new("graph")
+                    .child(Element::new("nodes").text(500))
+                    .child(Element::new("type").attr("name", "city").attr("fixed", 100)),
+            )
+            .child(Element::new("note").text("a < b & c"));
+        let s = doc.to_pretty_string();
+        let parsed = parse(&s).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let doc = Element::new("a").child(Element::new("b").child(Element::new("c")));
+        let s = doc.to_pretty_string();
+        assert!(s.contains("\n  <b>"));
+        assert!(s.contains("\n    <c/>"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let e = parse("<a>\n   <b/>\n</a>").unwrap();
+        assert_eq!(e.children.len(), 1);
+    }
+
+    #[test]
+    fn mixed_quotes() {
+        let e = parse(r#"<a x="1" y='2'/>"#).unwrap();
+        assert_eq!(e.get_attr("x"), Some("1"));
+        assert_eq!(e.get_attr("y"), Some("2"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the XML layer and configuration round trips.
+
+use gmark_config::xml::{escape, parse, Element};
+use gmark_config::{parse_config, write_config};
+use gmark_core::schema::{
+    Distribution, GraphConfig, Occurrence, PredicateId, SchemaBuilder, TypeId,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn escape_round_trips_through_text_content(s in "[ -~]{0,60}") {
+        // Any printable-ASCII text survives element embedding.
+        let doc = format!("<a>{}</a>", escape(&s));
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(parsed.text_content(), s.trim());
+    }
+
+    #[test]
+    fn escape_round_trips_through_attributes(s in "[ -~]{0,60}") {
+        let doc = format!("<a k=\"{}\"/>", escape(&s));
+        let parsed = parse(&doc).unwrap();
+        prop_assert_eq!(parsed.get_attr("k").unwrap(), s);
+    }
+
+    #[test]
+    fn pretty_print_parse_round_trip(
+        names in prop::collection::vec("[a-z][a-z0-9]{0,8}", 1..6),
+        texts in prop::collection::vec("[ -~&&[^<&]]{1,12}", 1..6),
+    ) {
+        // A nested element chain with text leaves survives printing.
+        let mut root = Element::new("root");
+        let n = names.len().min(texts.len());
+        for (name, text) in names.iter().zip(&texts) {
+            root = root.child(Element::new(name).text(text.trim().to_owned()));
+        }
+        let printed = root.to_pretty_string();
+        let parsed = parse(&printed).unwrap();
+        prop_assert_eq!(parsed.name.as_str(), "root");
+        prop_assert_eq!(parsed.elements().count(), n);
+    }
+}
+
+fn arb_distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        (0u64..5, 0u64..5).prop_map(|(a, b)| Distribution::uniform(a.min(b), a.max(b))),
+        (0.5f64..9.0, 0.0f64..3.0).prop_map(|(mu, s)| Distribution::gaussian(mu, s)),
+        (1.1f64..4.0).prop_map(Distribution::zipfian),
+        Just(Distribution::NonSpecified),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_configs_round_trip(
+        n in 1u64..1_000_000,
+        n_types in 1usize..5,
+        n_preds in 1usize..4,
+        constraints in prop::collection::vec(
+            (0usize..5, 0usize..4, 0usize..5, arb_distribution(), arb_distribution()),
+            0..6,
+        ),
+    ) {
+        let mut b = SchemaBuilder::new();
+        for i in 0..n_types {
+            let occ = if i % 2 == 0 {
+                Occurrence::Proportion((i + 1) as f64 / 10.0)
+            } else {
+                Occurrence::Fixed(i as u64 * 7 + 1)
+            };
+            b.node_type(&format!("type{i}"), occ);
+        }
+        for i in 0..n_preds {
+            let occ = (i % 2 == 0).then_some(Occurrence::Proportion(0.25));
+            b.predicate(&format!("pred{i}"), occ);
+        }
+        for (s, p, t, din, dout) in constraints {
+            b.edge(
+                TypeId(s % n_types),
+                PredicateId(p % n_preds),
+                TypeId(t % n_types),
+                din,
+                dout,
+            );
+        }
+        let graph = GraphConfig::new(n, b.build().unwrap());
+        let xml = write_config(&graph, None);
+        let parsed = parse_config(&xml).unwrap();
+        // Compare everything except float printing jitter: the writer uses
+        // Display for f64, which round-trips exactly in Rust.
+        prop_assert_eq!(parsed.graph, graph);
+    }
+}

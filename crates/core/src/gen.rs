@@ -1,0 +1,604 @@
+//! The linear-time graph generation algorithm (Fig. 5 of the paper).
+//!
+//! For each constraint `η(T1, T2, a) = (D_in, D_out)` the algorithm
+//!
+//! 1. builds a vector `v_src` containing each node of type `T1` repeated
+//!    `draw(D_out)` times, and a vector `v_trg` containing each node of type
+//!    `T2` repeated `draw(D_in)` times (lines 2–6),
+//! 2. shuffles both vectors (line 7),
+//! 3. zips them, emitting `min(|v_src|, |v_trg|)` `a`-labeled edges
+//!    (lines 8–9).
+//!
+//! The generator never backtracks and always returns a graph: when the two
+//! vectors disagree in length the longer side is truncated, which is exactly
+//! the heuristic relaxation the paper argues for (Section 4). Non-specified
+//! distributions are handled by letting the specified side dictate the edge
+//! count and connecting the unspecified side uniformly at random.
+//!
+//! The paper notes an optimization "exploiting the average information of
+//! the Gaussian distributions to avoid entirely constructing the vectors":
+//! because the zip of two shuffled vectors is an exchangeable random
+//! matching, a Gaussian side with mean `μ` can be replaced by uniform node
+//! sampling with an edge budget of `n_T · μ` — Gaussian degrees concentrate
+//! around `μ`, so the matching distribution is nearly identical while the
+//! memory for that side's vector (and its shuffle) disappears. The fast path
+//! is on by default and measured as an ablation in `gmark-bench`.
+
+use crate::schema::{Distribution, GraphConfig};
+use gmark_stats::{DegreeSampler, Prng, Zipf};
+use gmark_store::{EdgeSink, Graph, GraphBuilder, NodeId, TypePartition};
+
+/// Options controlling graph generation.
+#[derive(Debug, Clone)]
+pub struct GeneratorOptions {
+    /// Master seed; everything generated is a deterministic function of the
+    /// configuration and this value.
+    pub seed: u64,
+    /// Enables the Gaussian fast path described in the module docs.
+    pub gaussian_fast_path: bool,
+    /// Number of worker threads for [`generate_graph`]; constraints are
+    /// sharded across threads with per-constraint RNG splitting, so the
+    /// result is identical for any thread count.
+    pub threads: usize,
+}
+
+impl Default for GeneratorOptions {
+    fn default() -> Self {
+        GeneratorOptions { seed: 0x674D_61726B, gaussian_fast_path: true, threads: 1 }
+    }
+}
+
+impl GeneratorOptions {
+    /// Options with a specific seed.
+    pub fn with_seed(seed: u64) -> Self {
+        GeneratorOptions { seed, ..Default::default() }
+    }
+}
+
+/// Per-constraint generation outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintReport {
+    /// Length of the (possibly virtual) source vector.
+    pub src_slots: u64,
+    /// Length of the (possibly virtual) target vector.
+    pub trg_slots: u64,
+    /// Edges actually emitted: `min(src_slots, trg_slots)`.
+    pub edges: u64,
+}
+
+/// Summary of one generation run.
+#[derive(Debug, Clone, Default)]
+pub struct GenReport {
+    /// Outcome per schema constraint, in declaration order.
+    pub constraints: Vec<ConstraintReport>,
+    /// Total edges emitted.
+    pub total_edges: u64,
+}
+
+/// Generates all edges for `config`, streaming them into `sink`.
+///
+/// Node ids are assigned contiguously per type (see
+/// [`TypePartition`]); the sink receives global node ids.
+pub fn generate_into<S: EdgeSink>(
+    config: &GraphConfig,
+    opts: &GeneratorOptions,
+    sink: &mut S,
+) -> GenReport {
+    let counts = config.node_counts();
+    let partition = TypePartition::from_counts(&counts);
+    let master = Prng::seed_from_u64(opts.seed);
+    let mut report = GenReport::default();
+    for (idx, _) in config.schema.constraints().iter().enumerate() {
+        let mut rng = master.split(idx as u64);
+        let cr = generate_constraint(config, opts, idx, &partition, &mut rng, sink);
+        report.total_edges += cr.edges;
+        report.constraints.push(cr);
+    }
+    report
+}
+
+/// Generates a full in-memory [`Graph`] (optionally in parallel).
+pub fn generate_graph(config: &GraphConfig, opts: &GeneratorOptions) -> (Graph, GenReport) {
+    let counts = config.node_counts();
+    let partition = TypePartition::from_counts(&counts);
+    let pred_count = config.schema.predicate_count();
+    let n_constraints = config.schema.constraints().len();
+    let threads = opts.threads.max(1).min(n_constraints.max(1));
+
+    if threads <= 1 {
+        let mut builder = GraphBuilder::new(partition, pred_count);
+        let report = generate_into(config, opts, &mut builder);
+        return (builder.build(), report);
+    }
+
+    // Shard constraints round-robin across threads. Each constraint uses an
+    // RNG split keyed by its index, so sharding does not affect the output.
+    let master = Prng::seed_from_u64(opts.seed);
+    let mut shards: Vec<(GraphBuilder, Vec<(usize, ConstraintReport)>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let partition = partition.clone();
+                    let master = master.clone();
+                    scope.spawn(move || {
+                        let mut builder = GraphBuilder::new(partition.clone(), pred_count);
+                        let mut reports = Vec::new();
+                        let mut idx = t;
+                        while idx < n_constraints {
+                            let mut rng = master.split(idx as u64);
+                            let cr = generate_constraint(
+                                config,
+                                opts,
+                                idx,
+                                &partition,
+                                &mut rng,
+                                &mut builder,
+                            );
+                            reports.push((idx, cr));
+                            idx += threads;
+                        }
+                        (builder, reports)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("generator thread panicked")).collect()
+        });
+
+    let (mut root, mut all_reports) = shards.remove(0);
+    for (builder, reports) in shards {
+        root.absorb(builder);
+        all_reports.extend(reports);
+    }
+    all_reports.sort_by_key(|(idx, _)| *idx);
+    let mut report = GenReport::default();
+    for (_, cr) in all_reports {
+        report.total_edges += cr.edges;
+        report.constraints.push(cr);
+    }
+    (root.build(), report)
+}
+
+/// How one side of a constraint contributes edge endpoints.
+enum SidePlan {
+    /// Materialized, shuffled slot vector (Fig. 5's `v_src` / `v_trg`).
+    Slots(Vec<NodeId>),
+    /// `budget` endpoints drawn uniformly at random (non-specified sides
+    /// and the Gaussian fast path).
+    UniformDraws(u64),
+}
+
+impl SidePlan {
+    fn total(&self) -> u64 {
+        match self {
+            SidePlan::Slots(v) => v.len() as u64,
+            SidePlan::UniformDraws(b) => *b,
+        }
+    }
+}
+
+fn generate_constraint<S: EdgeSink>(
+    config: &GraphConfig,
+    opts: &GeneratorOptions,
+    idx: usize,
+    partition: &TypePartition,
+    rng: &mut Prng,
+    sink: &mut S,
+) -> ConstraintReport {
+    let c = &config.schema.constraints()[idx];
+    let n_src = partition.count(c.source.0) as u64;
+    let n_trg = partition.count(c.target.0) as u64;
+    if n_src == 0 || n_trg == 0 {
+        return ConstraintReport { src_slots: 0, trg_slots: 0, edges: 0 };
+    }
+    let pred = c.predicate.0;
+    let src_base = partition.range(c.source.0).start;
+    let trg_base = partition.range(c.target.0).start;
+
+    // Phase 1 — the non-Zipf sides fix their slot totals independently:
+    // uniform/Gaussian sides draw per-node degrees (Fig. 5 lines 3–6); a
+    // Gaussian side under the fast path contributes its expected total with
+    // uniform endpoint draws; non-specified sides adapt to the other side.
+    let fast_out = opts.gaussian_fast_path && c.dout.is_gaussian();
+    let fast_in = opts.gaussian_fast_path && c.din.is_gaussian();
+    let expected = |d: &Distribution, n_own: u64, n_other: u64| -> u64 {
+        d.mean(n_other).map(|m| (m * n_own as f64).round() as u64).unwrap_or(0)
+    };
+    // `None` = side total still open (Zipf awaiting scaling, or
+    // non-specified awaiting the opposite side).
+    let mut src_total: Option<u64> = None;
+    let mut trg_total: Option<u64> = None;
+    let mut src_slots: Option<Vec<NodeId>> = None;
+    let mut trg_slots: Option<Vec<NodeId>> = None;
+    match &c.dout {
+        Distribution::Zipfian { .. } | Distribution::NonSpecified => {}
+        d if fast_out => src_total = Some(expected(d, n_src, n_trg)),
+        d => {
+            let v = fill_slots(n_src, &d.sampler(n_trg).expect("specified"), rng);
+            src_total = Some(v.len() as u64);
+            src_slots = Some(v);
+        }
+    }
+    match &c.din {
+        Distribution::Zipfian { .. } | Distribution::NonSpecified => {}
+        d if fast_in => trg_total = Some(expected(d, n_trg, n_src)),
+        d => {
+            let v = fill_slots(n_trg, &d.sampler(n_src).expect("specified"), rng);
+            trg_total = Some(v.len() as u64);
+            trg_slots = Some(v);
+        }
+    }
+
+    // Phase 2 — Zipfian sides. gMark's Zipfian constrains the *shape* of
+    // the degree distribution, not its absolute mean (Section 4: "our
+    // method relies on the types of distributions and not on the actual
+    // parameters"). A Zipf side therefore scales its edge supply to match
+    // the opposite side's total (or the predicate's occurrence budget),
+    // apportioning that many slots across its nodes proportionally to iid
+    // Zipf weights — keeping hubs heavy while never starving the opposite
+    // side. Without this scaling, a fixed-size type (e.g. the 100 cities of
+    // Fig. 2) could absorb only O(1) of a growing type's edges.
+    let zipf_budget = |other: Option<u64>, own_natural: u64| -> u64 {
+        other
+            .or_else(|| config.schema.predicate_constraint(c.predicate).map(|o| o.resolve(config.n)))
+            .unwrap_or(own_natural)
+    };
+    if let Distribution::Zipfian { s } = c.dout {
+        let sampler = Zipf::new(n_trg.max(1), s);
+        let weights: Vec<u64> = (0..n_src).map(|_| sampler.sample(rng)).collect();
+        let natural: u64 = weights.iter().sum();
+        let m = zipf_budget(trg_total, natural);
+        let v = apportion_slots(&weights, m);
+        src_total = Some(v.len() as u64);
+        src_slots = Some(v);
+    }
+    if let Distribution::Zipfian { s } = c.din {
+        let sampler = Zipf::new(n_src.max(1), s);
+        let weights: Vec<u64> = (0..n_trg).map(|_| sampler.sample(rng)).collect();
+        let natural: u64 = weights.iter().sum();
+        let m = zipf_budget(src_total, natural);
+        let v = apportion_slots(&weights, m);
+        trg_total = Some(v.len() as u64);
+        trg_slots = Some(v);
+    }
+
+    // Phase 3 — non-specified sides adopt the opposite side's total; with
+    // both sides non-specified, the predicate's occurrence constraint
+    // provides the budget (shared among that predicate's fully-unspecified
+    // constraints), falling back to min(n_src, n_trg).
+    if src_total.is_none() && trg_total.is_none() {
+        let peers = config
+            .schema
+            .constraints()
+            .iter()
+            .filter(|o| {
+                o.predicate == c.predicate && !o.din.is_specified() && !o.dout.is_specified()
+            })
+            .count()
+            .max(1) as u64;
+        let budget = config
+            .schema
+            .predicate_constraint(c.predicate)
+            .map(|occ| occ.resolve(config.n) / peers)
+            .unwrap_or_else(|| n_src.min(n_trg));
+        src_total = Some(budget);
+        trg_total = Some(budget);
+    } else {
+        if src_total.is_none() {
+            src_total = trg_total;
+        }
+        if trg_total.is_none() {
+            trg_total = src_total;
+        }
+    }
+    let src_total = src_total.expect("resolved above");
+    let trg_total = trg_total.expect("resolved above");
+
+    // Phase 4 — Fig. 5 lines 7–9: shuffle, zip, truncate to the minimum.
+    let mut src_plan = match src_slots {
+        Some(mut v) => {
+            rng.shuffle(&mut v);
+            SidePlan::Slots(v)
+        }
+        None => SidePlan::UniformDraws(src_total),
+    };
+    let mut trg_plan = match trg_slots {
+        Some(mut v) => {
+            rng.shuffle(&mut v);
+            SidePlan::Slots(v)
+        }
+        None => SidePlan::UniformDraws(trg_total),
+    };
+    let edges = src_plan.total().min(trg_plan.total());
+    for i in 0..edges as usize {
+        let s = match &mut src_plan {
+            SidePlan::Slots(v) => v[i],
+            SidePlan::UniformDraws(_) => rng.below(n_src) as NodeId,
+        };
+        let t = match &mut trg_plan {
+            SidePlan::Slots(v) => v[i],
+            SidePlan::UniformDraws(_) => rng.below(n_trg) as NodeId,
+        };
+        sink.edge(src_base + s, pred, trg_base + t);
+    }
+    ConstraintReport { src_slots: src_total, trg_slots: trg_total, edges }
+}
+
+/// Lines 3–6 of Fig. 5: node `j` (within its type) appears `draw(D)` times.
+fn fill_slots<D: DegreeSampler>(n: u64, dist: &D, rng: &mut Prng) -> Vec<NodeId> {
+    let mut v = Vec::with_capacity((n as f64 * dist.mean()).ceil() as usize);
+    for j in 0..n {
+        let d = dist.sample(rng);
+        for _ in 0..d {
+            v.push(j as NodeId);
+        }
+    }
+    v
+}
+
+/// Distributes exactly `total` slots across nodes proportionally to
+/// `weights` (largest-remainder apportionment), returning the slot vector
+/// in node order (callers shuffle).
+fn apportion_slots(weights: &[u64], total: u64) -> Vec<NodeId> {
+    let w_sum: u64 = weights.iter().sum();
+    if w_sum == 0 || total == 0 {
+        return Vec::new();
+    }
+    let mut degrees: Vec<u64> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(f64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = w as f64 * total as f64 / w_sum as f64;
+        let d = exact.floor() as u64;
+        degrees.push(d);
+        remainders.push((exact - d as f64, i));
+        assigned += d;
+    }
+    let mut deficit = total.saturating_sub(assigned) as usize;
+    if deficit > 0 {
+        // Give the remaining slots to the largest fractional remainders.
+        deficit = deficit.min(remainders.len());
+        let nth = remainders.len() - deficit;
+        remainders.select_nth_unstable_by(nth, |a, b| {
+            a.0.partial_cmp(&b.0).expect("remainders are finite")
+        });
+        for &(_, i) in &remainders[nth..] {
+            degrees[i] += 1;
+        }
+    }
+    let mut slots = Vec::with_capacity(total as usize);
+    for (i, &d) in degrees.iter().enumerate() {
+        for _ in 0..d {
+            slots.push(i as NodeId);
+        }
+    }
+    slots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Distribution, EdgeConstraint, Occurrence, Schema, SchemaBuilder};
+    use gmark_store::{CountingSink, VecSink};
+
+    fn two_type_schema(din: Distribution, dout: Distribution) -> Schema {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("src", Occurrence::Proportion(0.5));
+        let t = b.node_type("trg", Occurrence::Proportion(0.5));
+        let p = b.predicate("p", None);
+        b.edge(s, p, t, din, dout);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = GraphConfig::new(
+            500,
+            two_type_schema(Distribution::uniform(1, 3), Distribution::uniform(1, 3)),
+        );
+        let opts = GeneratorOptions::with_seed(7);
+        let mut a = VecSink::default();
+        let mut b = VecSink::default();
+        generate_into(&cfg, &opts, &mut a);
+        generate_into(&cfg, &opts, &mut b);
+        assert_eq!(a.triples, b.triples);
+        let mut c = VecSink::default();
+        generate_into(&cfg, &GeneratorOptions::with_seed(8), &mut c);
+        assert_ne!(a.triples, c.triples, "different seeds should differ");
+    }
+
+    #[test]
+    fn exactly_one_macro_gives_out_degree_one() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Fixed(50));
+        let t = b.node_type("t", Occurrence::Fixed(10));
+        let p = b.predicate("p", None);
+        b.constraint(EdgeConstraint::exactly_one(s, p, t));
+        let cfg = GraphConfig::new(60, b.build().unwrap());
+        let mut sink = VecSink::default();
+        generate_into(&cfg, &GeneratorOptions::with_seed(1), &mut sink);
+        assert_eq!(sink.triples.len(), 50);
+        let mut out_deg = vec![0u32; 60];
+        for (src, _, trg) in &sink.triples {
+            out_deg[*src as usize] += 1;
+            assert!((50..60).contains(trg), "targets must be of type t");
+        }
+        assert!(out_deg[..50].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn at_most_one_macro_bounds_out_degree() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Fixed(200));
+        let t = b.node_type("t", Occurrence::Fixed(10));
+        let p = b.predicate("p", None);
+        b.constraint(EdgeConstraint::at_most_one(s, p, t));
+        let cfg = GraphConfig::new(210, b.build().unwrap());
+        let mut sink = VecSink::default();
+        generate_into(&cfg, &GeneratorOptions::with_seed(2), &mut sink);
+        let mut out_deg = vec![0u32; 210];
+        for (src, _, _) in &sink.triples {
+            out_deg[*src as usize] += 1;
+        }
+        assert!(out_deg.iter().all(|&d| d <= 1));
+        // Expect roughly half the sources to emit an edge.
+        assert!((60..140).contains(&sink.triples.len()), "{}", sink.triples.len());
+    }
+
+    #[test]
+    fn none_macro_emits_nothing() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Fixed(20));
+        let t = b.node_type("t", Occurrence::Fixed(20));
+        let p = b.predicate("p", None);
+        b.constraint(EdgeConstraint::none(s, p, t));
+        let cfg = GraphConfig::new(40, b.build().unwrap());
+        let mut sink = CountingSink::new(1);
+        generate_into(&cfg, &GeneratorOptions::with_seed(3), &mut sink);
+        assert_eq!(sink.total(), 0);
+    }
+
+    #[test]
+    fn both_specified_truncates_to_min_side() {
+        // Sources supply 2 slots each (100 total), targets demand 1 each
+        // (50 total): exactly 50 edges must be emitted (Fig. 5 line 8).
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Fixed(50));
+        let t = b.node_type("t", Occurrence::Fixed(50));
+        let p = b.predicate("p", None);
+        b.edge(s, p, t, Distribution::uniform(1, 1), Distribution::uniform(2, 2));
+        let cfg = GraphConfig::new(100, b.build().unwrap());
+        let mut sink = VecSink::default();
+        let report = generate_into(&cfg, &GeneratorOptions::with_seed(4), &mut sink);
+        assert_eq!(report.constraints[0].src_slots, 100);
+        assert_eq!(report.constraints[0].trg_slots, 50);
+        assert_eq!(report.constraints[0].edges, 50);
+        // Every target node has in-degree exactly 1.
+        let mut in_deg = vec![0u32; 100];
+        for (_, _, trg) in &sink.triples {
+            in_deg[*trg as usize] += 1;
+        }
+        assert!(in_deg[50..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn zipfian_out_degrees_are_skewed() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Proportion(0.5));
+        let t = b.node_type("t", Occurrence::Proportion(0.5));
+        let p = b.predicate("p", None);
+        b.edge(s, p, t, Distribution::NonSpecified, Distribution::zipfian(2.5));
+        let cfg = GraphConfig::new(10_000, b.build().unwrap());
+        let (g, _) = generate_graph(&cfg, &GeneratorOptions::with_seed(5));
+        let degs = g.out_degrees(0, 0);
+        let max = *degs.iter().max().unwrap();
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!(
+            max as f64 > 10.0 * mean,
+            "power law should create hubs: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn gaussian_degrees_concentrate() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Proportion(0.5));
+        let t = b.node_type("t", Occurrence::Proportion(0.5));
+        let p = b.predicate("p", None);
+        b.edge(s, p, t, Distribution::NonSpecified, Distribution::gaussian(5.0, 1.0));
+        let cfg = GraphConfig::new(4_000, b.build().unwrap());
+        let opts = GeneratorOptions { gaussian_fast_path: false, ..GeneratorOptions::with_seed(6) };
+        let (g, _) = generate_graph(&cfg, &opts);
+        // NonSpecified in-dist: out-degrees are exact Gaussian draws.
+        let degs = g.out_degrees(0, 0);
+        let mean = degs.iter().sum::<usize>() as f64 / degs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.3, "mean out-degree {mean}");
+    }
+
+    #[test]
+    fn fast_path_preserves_edge_budget() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Proportion(0.5));
+        let t = b.node_type("t", Occurrence::Proportion(0.5));
+        let p = b.predicate("p", None);
+        b.edge(s, p, t, Distribution::gaussian(3.0, 0.5), Distribution::gaussian(3.0, 0.5));
+        let cfg = GraphConfig::new(2_000, b.build().unwrap());
+
+        let mut fast = CountingSink::new(1);
+        let fast_opts =
+            GeneratorOptions { gaussian_fast_path: true, ..GeneratorOptions::with_seed(7) };
+        generate_into(&cfg, &fast_opts, &mut fast);
+
+        let mut slow = CountingSink::new(1);
+        let slow_opts =
+            GeneratorOptions { gaussian_fast_path: false, ..GeneratorOptions::with_seed(7) };
+        generate_into(&cfg, &slow_opts, &mut slow);
+
+        let (f, s) = (fast.total() as f64, slow.total() as f64);
+        assert!((f - s).abs() / s < 0.05, "fast {f} vs slow {s}");
+    }
+
+    #[test]
+    fn fixed_predicate_budget_for_unspecified_pair() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Fixed(100));
+        let t = b.node_type("t", Occurrence::Fixed(100));
+        let p = b.predicate("p", Some(Occurrence::Fixed(777)));
+        b.edge(s, p, t, Distribution::NonSpecified, Distribution::NonSpecified);
+        let cfg = GraphConfig::new(200, b.build().unwrap());
+        let mut sink = CountingSink::new(1);
+        generate_into(&cfg, &GeneratorOptions::with_seed(8), &mut sink);
+        assert_eq!(sink.total(), 777);
+    }
+
+    #[test]
+    fn parallel_generation_matches_sequential() {
+        let schema = crate::schema::tests::example_3_3();
+        let cfg = GraphConfig::new(2_000, schema);
+        let seq_opts = GeneratorOptions { threads: 1, ..GeneratorOptions::with_seed(9) };
+        let par_opts = GeneratorOptions { threads: 4, ..GeneratorOptions::with_seed(9) };
+        let (g_seq, r_seq) = generate_graph(&cfg, &seq_opts);
+        let (g_par, r_par) = generate_graph(&cfg, &par_opts);
+        assert_eq!(r_seq.total_edges, r_par.total_edges);
+        assert_eq!(r_seq.constraints, r_par.constraints);
+        for pred in 0..g_seq.predicate_count() {
+            let a: Vec<_> = g_seq.edges(pred).collect();
+            let b: Vec<_> = g_par.edges(pred).collect();
+            assert_eq!(a, b, "predicate {pred} edge sets must match");
+        }
+    }
+
+    #[test]
+    fn empty_types_produce_no_edges() {
+        let mut b = SchemaBuilder::new();
+        let s = b.node_type("s", Occurrence::Fixed(0));
+        let t = b.node_type("t", Occurrence::Fixed(10));
+        let p = b.predicate("p", None);
+        b.edge(s, p, t, Distribution::uniform(1, 1), Distribution::uniform(1, 1));
+        let cfg = GraphConfig::new(10, b.build().unwrap());
+        let mut sink = CountingSink::new(1);
+        let report = generate_into(&cfg, &GeneratorOptions::with_seed(10), &mut sink);
+        assert_eq!(sink.total(), 0);
+        assert_eq!(report.total_edges, 0);
+    }
+
+    #[test]
+    fn targets_and_sources_respect_type_ranges() {
+        let schema = crate::schema::tests::example_3_3();
+        let cfg = GraphConfig::new(100, schema.clone());
+        let mut sink = VecSink::default();
+        generate_into(&cfg, &GeneratorOptions::with_seed(11), &mut sink);
+        let counts = cfg.node_counts();
+        let partition = TypePartition::from_counts(&counts);
+        for (src, pred, trg) in &sink.triples {
+            let st = partition.type_of(*src);
+            let tt = partition.type_of(*trg);
+            // Every emitted edge must correspond to some schema constraint.
+            assert!(
+                schema.constraints().iter().any(|c| c.source.0 == st
+                    && c.target.0 == tt
+                    && c.predicate.0 == *pred),
+                "edge ({src},{pred},{trg}) with types ({st},{tt}) matches no constraint"
+            );
+        }
+    }
+}

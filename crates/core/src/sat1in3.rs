@@ -1,0 +1,370 @@
+//! The constructive NP-hardness reduction of Theorem 3.6.
+//!
+//! The paper proves that deciding whether a graph satisfying a given graph
+//! configuration exists is NP-complete, by reduction from SAT-1-in-3: given
+//! a 3CNF formula `ϕ = C1 ∧ … ∧ Ck` over variables `x1 … xn`, it builds a
+//! configuration `Gϕ` with `2n + k + 1` nodes such that `ϕ` has a valuation
+//! satisfying *exactly one* literal per clause iff some graph satisfies
+//! `Gϕ`. Since the proof is constructive, this module makes it executable:
+//! [`reduce`] produces the configuration, [`graph_for_valuation`] builds the
+//! candidate graph a valuation induces (cf. Fig. 4), and
+//! [`Reduction::admits`] checks the configuration's constraints — so the
+//! iff of the theorem can be tested by enumeration on small formulas.
+//!
+//! The reduction uses occurrence constraints of a kind the heuristic
+//! generator deliberately relaxes (that is the point of Theorem 3.6:
+//! exact satisfaction is intractable), so it is modeled directly on node
+//! multisets rather than through the [`crate::gen`] pipeline.
+
+use std::collections::BTreeMap;
+
+/// A literal `x_i` or `¬x_i` (variables are 0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    /// Variable index.
+    pub var: usize,
+    /// `true` for a positive literal.
+    pub positive: bool,
+}
+
+/// A 3CNF formula.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cnf3 {
+    /// Number of variables `n`.
+    pub vars: usize,
+    /// The clauses, three literals each.
+    pub clauses: Vec<[Literal; 3]>,
+}
+
+impl Cnf3 {
+    /// Whether `valuation` satisfies exactly one literal of every clause
+    /// (the SAT-1-in-3 acceptance condition).
+    pub fn one_in_three(&self, valuation: &[bool]) -> bool {
+        assert_eq!(valuation.len(), self.vars);
+        self.clauses.iter().all(|clause| {
+            clause.iter().filter(|l| valuation[l.var] == l.positive).count() == 1
+        })
+    }
+
+    /// Enumerates all valuations, returning one satisfying SAT-1-in-3 if any.
+    pub fn solve_one_in_three(&self) -> Option<Vec<bool>> {
+        assert!(self.vars < 24, "enumeration only for small formulas");
+        (0u32..(1 << self.vars))
+            .map(|bits| (0..self.vars).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>())
+            .find(|v| self.one_in_three(v))
+    }
+}
+
+/// Node types of the reduction (Θϕ of the proof).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeType {
+    /// The unique root node `A`.
+    A,
+    /// Clause node `C_l`.
+    C(usize),
+    /// Variable-consumption node `B_i`.
+    B(usize),
+    /// Positive-valuation node `T_i`.
+    T(usize),
+    /// Negative-valuation node `F_i`.
+    F(usize),
+}
+
+/// Edge predicates of the reduction (Σϕ of the proof).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pred {
+    /// `t_i`: A chooses `x_i = true`.
+    T(usize),
+    /// `f_i`: A chooses `x_i = false`.
+    F(usize),
+    /// `b_i`: the chosen valuation node consumes `B_i`.
+    B(usize),
+    /// `c_l`: the chosen valuation node satisfies clause `C_l`.
+    C(usize),
+}
+
+/// The `η` macros used by the proof (Section 3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Macro {
+    /// `1`: exactly one outgoing edge per source node.
+    ExactlyOne,
+    /// `?`: at most one outgoing edge per source node.
+    AtMostOne,
+}
+
+/// The graph configuration `Gϕ` produced by the reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    formula: Cnf3,
+    /// Required total node count: `2n + k + 1`.
+    pub node_budget: usize,
+    /// Types with a fixed occurrence constraint of exactly one node:
+    /// `A`, all `B_i`, all `C_l`.
+    pub fixed_one: Vec<NodeType>,
+    /// The `ηϕ` entries: `(source type, predicate, target type, macro)`.
+    pub eta: Vec<(NodeType, Pred, NodeType, Macro)>,
+}
+
+/// Builds `Gϕ` from `ϕ` exactly as in the proof of Theorem 3.6.
+pub fn reduce(phi: &Cnf3) -> Reduction {
+    let n = phi.vars;
+    let k = phi.clauses.len();
+    let mut fixed_one = vec![NodeType::A];
+    fixed_one.extend((0..n).map(NodeType::B));
+    fixed_one.extend((0..k).map(NodeType::C));
+
+    let mut eta = Vec::new();
+    // η(A, T_i, t_i) = η(A, F_i, f_i) = "?"
+    for i in 0..n {
+        eta.push((NodeType::A, Pred::T(i), NodeType::T(i), Macro::AtMostOne));
+        eta.push((NodeType::A, Pred::F(i), NodeType::F(i), Macro::AtMostOne));
+    }
+    // η(T_i, C_l, c_l) = 1 for clauses where x_i occurs positively;
+    // η(F_i, C_l, c_l) = 1 for clauses where x_i occurs negatively;
+    // η(T_i, B_i, b_i) = η(F_i, B_i, b_i) = 1.
+    for i in 0..n {
+        for (l, clause) in phi.clauses.iter().enumerate() {
+            for lit in clause {
+                if lit.var == i {
+                    let src = if lit.positive { NodeType::T(i) } else { NodeType::F(i) };
+                    eta.push((src, Pred::C(l), NodeType::C(l), Macro::ExactlyOne));
+                }
+            }
+        }
+        eta.push((NodeType::T(i), Pred::B(i), NodeType::B(i), Macro::ExactlyOne));
+        eta.push((NodeType::F(i), Pred::B(i), NodeType::B(i), Macro::ExactlyOne));
+    }
+    Reduction { formula: phi.clone(), node_budget: 2 * n + k + 1, fixed_one, eta }
+}
+
+/// A candidate graph for the reduction: node multiset + typed edges.
+#[derive(Debug, Clone, Default)]
+pub struct CandidateGraph {
+    /// How many nodes of each type are present.
+    pub nodes: BTreeMap<NodeType, usize>,
+    /// Edges `(source type, predicate, target type)` — one node per present
+    /// type suffices for this construction, so type-level edges are enough.
+    pub edges: Vec<(NodeType, Pred, NodeType)>,
+}
+
+/// Builds the graph a valuation induces (the "only if" direction of the
+/// proof; Fig. 4 shows it for ϕ0 with `x1, x2 ↦ true`, `x3, x4 ↦ false`).
+pub fn graph_for_valuation(phi: &Cnf3, valuation: &[bool]) -> CandidateGraph {
+    assert_eq!(valuation.len(), phi.vars);
+    let mut g = CandidateGraph::default();
+    g.nodes.insert(NodeType::A, 1);
+    for (l, _) in phi.clauses.iter().enumerate() {
+        g.nodes.insert(NodeType::C(l), 1);
+    }
+    for (i, &value) in valuation.iter().enumerate() {
+        g.nodes.insert(NodeType::B(i), 1);
+        let chosen = if value { NodeType::T(i) } else { NodeType::F(i) };
+        g.nodes.insert(chosen, 1);
+        // A --t_i/f_i--> chosen valuation node.
+        let pred = if value { Pred::T(i) } else { Pred::F(i) };
+        g.edges.push((NodeType::A, pred, chosen));
+        // chosen --b_i--> B_i.
+        g.edges.push((chosen, Pred::B(i), NodeType::B(i)));
+        // chosen --c_l--> C_l for every clause the chosen literal satisfies.
+        for (l, clause) in phi.clauses.iter().enumerate() {
+            for lit in clause {
+                if lit.var == i && lit.positive == value {
+                    g.edges.push((chosen, Pred::C(l), NodeType::C(l)));
+                }
+            }
+        }
+    }
+    g
+}
+
+impl Reduction {
+    /// Checks whether a candidate graph satisfies the configuration `Gϕ`:
+    /// node budget, fixed occurrence constraints, and all `ηϕ` entries
+    /// (each `1`-macro source must have exactly one such outgoing edge,
+    /// each `?`-macro source at most one, and no edges outside `ηϕ`).
+    pub fn admits(&self, g: &CandidateGraph) -> bool {
+        // Node budget.
+        if g.nodes.values().sum::<usize>() != self.node_budget {
+            return false;
+        }
+        // Fixed-one types.
+        for t in &self.fixed_one {
+            if g.nodes.get(t).copied().unwrap_or(0) != 1 {
+                return false;
+            }
+        }
+        // Every edge must be licensed by some η entry.
+        for &(s, p, t) in &g.edges {
+            if !self.eta.iter().any(|&(es, ep, et, _)| es == s && ep == p && et == t) {
+                return false;
+            }
+        }
+        // Per-entry out-degree constraints over present source nodes.
+        for &(s, p, t, m) in &self.eta {
+            let present = g.nodes.get(&s).copied().unwrap_or(0);
+            if present == 0 {
+                continue;
+            }
+            let count =
+                g.edges.iter().filter(|&&(es, ep, et)| es == s && ep == p && et == t).count();
+            match m {
+                Macro::ExactlyOne => {
+                    if count != present {
+                        return false;
+                    }
+                }
+                Macro::AtMostOne => {
+                    if count > present {
+                        return false;
+                    }
+                }
+            }
+        }
+        // In the intended reading, each present C_l / B_i node must actually
+        // be "used": the total node budget forces exactly one T_i/F_i per
+        // variable, and the C_l count constraint (one node) is what encodes
+        // "exactly one literal per clause". Check the incoming-edge side:
+        // each clause node receives exactly one c_l edge, each B_i exactly
+        // one b_i edge.
+        for (l, _) in self.formula.clauses.iter().enumerate() {
+            let incoming = g
+                .edges
+                .iter()
+                .filter(|&&(_, p, t)| p == Pred::C(l) && t == NodeType::C(l))
+                .count();
+            if incoming != 1 {
+                return false;
+            }
+        }
+        for i in 0..self.formula.vars {
+            let incoming = g
+                .edges
+                .iter()
+                .filter(|&&(_, p, t)| p == Pred::B(i) && t == NodeType::B(i))
+                .count();
+            if incoming != 1 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether some valuation-induced graph satisfies the configuration
+    /// (exhaustive over valuations; small formulas only).
+    pub fn satisfiable(&self) -> Option<Vec<bool>> {
+        assert!(self.formula.vars < 24);
+        (0u32..(1 << self.formula.vars))
+            .map(|bits| {
+                (0..self.formula.vars).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>()
+            })
+            .find(|v| self.admits(&graph_for_valuation(&self.formula, v)))
+    }
+}
+
+/// The paper's example formula
+/// `ϕ0 = (x1 ∨ ¬x2 ∨ x3) ∧ (¬x1 ∨ x3 ∨ ¬x4)` — recovered from the proof's
+/// η-listing, which contains `η(F2, C1, c1)` (so `x2` occurs negatively in
+/// clause 1) alongside `η(T1, C1, c1)` and `η(T3, C1, c1)`.
+pub fn phi_zero() -> Cnf3 {
+    let lit = |var: usize, positive: bool| Literal { var, positive };
+    Cnf3 {
+        vars: 4,
+        clauses: vec![
+            [lit(0, true), lit(1, false), lit(2, true)],
+            [lit(0, false), lit(2, true), lit(3, false)],
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi_zero_fig_4_valuation_admits() {
+        // x1, x2 true; x3, x4 false — the Fig. 4 witness.
+        let phi = phi_zero();
+        let val = vec![true, true, false, false];
+        assert!(phi.one_in_three(&val));
+        let red = reduce(&phi);
+        let g = graph_for_valuation(&phi, &val);
+        assert!(red.admits(&g));
+        // Node budget 2n + k + 1 = 8 + 2 + 1 = 11.
+        assert_eq!(red.node_budget, 11);
+        assert_eq!(g.nodes.values().sum::<usize>(), 11);
+    }
+
+    #[test]
+    fn phi_zero_bad_valuation_rejected() {
+        let phi = phi_zero();
+        // x1, x2, x3 all true satisfies two literals of clause 1.
+        let val = vec![true, true, true, false];
+        assert!(!phi.one_in_three(&val));
+        let red = reduce(&phi);
+        assert!(!red.admits(&graph_for_valuation(&phi, &val)));
+    }
+
+    #[test]
+    fn reduction_iff_on_small_formulas() {
+        // Theorem 3.6 (both directions) checked by enumeration on a family
+        // of small formulas, including unsatisfiable ones.
+        let lit = |var: usize, positive: bool| Literal { var, positive };
+        let cases = vec![
+            phi_zero(),
+            // x1 ∨ x1 ∨ x1 — satisfiable 1-in-3 only with x1 = ... never:
+            // exactly one of three identical true literals is impossible
+            // unless x1 true makes all three true. So unsatisfiable.
+            Cnf3 { vars: 1, clauses: vec![[lit(0, true), lit(0, true), lit(0, true)]] },
+            // (x1 ∨ x2 ∨ x3) alone: satisfiable.
+            Cnf3 { vars: 3, clauses: vec![[lit(0, true), lit(1, true), lit(2, true)]] },
+            // (x1 ∨ x1 ∨ ¬x1): exactly one literal true whatever x1 is?
+            // x1=true: two true; x1=false: one true (¬x1). Satisfiable.
+            Cnf3 { vars: 1, clauses: vec![[lit(0, true), lit(0, true), lit(0, false)]] },
+            // (x1∨x2∨x3) ∧ (¬x1∨¬x2∨¬x3): needs exactly one true and
+            // exactly one false among the negations = exactly two true.
+            // Contradiction — unsatisfiable.
+            Cnf3 {
+                vars: 3,
+                clauses: vec![
+                    [lit(0, true), lit(1, true), lit(2, true)],
+                    [lit(0, false), lit(1, false), lit(2, false)],
+                ],
+            },
+        ];
+        for phi in cases {
+            let red = reduce(&phi);
+            let direct = phi.solve_one_in_three();
+            let via_config = red.satisfiable();
+            assert_eq!(
+                direct.is_some(),
+                via_config.is_some(),
+                "iff fails for {phi:?}"
+            );
+            if let Some(v) = via_config {
+                assert!(phi.one_in_three(&v), "config witness must be 1-in-3");
+            }
+        }
+    }
+
+    #[test]
+    fn eta_structure_matches_proof() {
+        let phi = phi_zero();
+        let red = reduce(&phi);
+        // 2n "?" entries from A.
+        let from_a =
+            red.eta.iter().filter(|&&(s, _, _, m)| s == NodeType::A && m == Macro::AtMostOne);
+        assert_eq!(from_a.count(), 8);
+        // For ϕ0 the proof lists 14 "1"-entries:
+        // t/f-per-variable picks + clause memberships (see the illustration
+        // after the proof).
+        let ones = red.eta.iter().filter(|&&(_, _, _, m)| m == Macro::ExactlyOne).count();
+        assert_eq!(ones, 14);
+        // Example entries: η(T1, C1, c1) = 1 and η(F1, C2, c2) = 1.
+        assert!(red
+            .eta
+            .contains(&(NodeType::T(0), Pred::C(0), NodeType::C(0), Macro::ExactlyOne)));
+        assert!(red
+            .eta
+            .contains(&(NodeType::F(0), Pred::C(1), NodeType::C(1), Macro::ExactlyOne)));
+    }
+}

@@ -1,0 +1,98 @@
+//! Schema-driven selectivity estimation (Section 5.2).
+//!
+//! The innovation at the core of gMark: estimating, *from the schema alone*,
+//! whether a binary query's result size grows like `|G|^0` (constant),
+//! `|G|^1` (linear), or `|G|^2` (quadratic) — and conversely, generating
+//! queries that land in a requested class. The machinery:
+//!
+//! * [`algebra`] — selectivity classes `(t1, o, t2)` with
+//!   `t ∈ {1, N}`, `o ∈ {=, <, >, ◇, ×}`, their disjunction/concatenation
+//!   algebra (Fig. 7), base classes of schema predicates, and whole-query
+//!   estimation;
+//! * [`graph`] — the three data structures of Section 5.2.3: the schema
+//!   graph `G_S`, the distance matrix `D`, and the selectivity graph
+//!   `G_sel`, plus the `nb_path` saturation algorithm for drawing
+//!   selectivity-respecting paths uniformly at random.
+
+pub mod algebra;
+pub mod graph;
+
+pub use algebra::{Card, Estimator, SelOp, SelTriple};
+pub use graph::{GsNodeId, SchemaGraph, SelectivityGraph};
+
+/// The three practical query classes of Section 5.2.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SelectivityClass {
+    /// `α ≈ 0`: the result barely grows with the graph.
+    Constant,
+    /// `α ≈ 1`: the result grows like the number of nodes.
+    Linear,
+    /// `α ≈ 2`: the result grows like the square of the number of nodes.
+    Quadratic,
+}
+
+impl SelectivityClass {
+    /// All classes, in the paper's order.
+    pub const ALL: [SelectivityClass; 3] =
+        [SelectivityClass::Constant, SelectivityClass::Linear, SelectivityClass::Quadratic];
+
+    /// The target exponent `α` of this class.
+    pub fn alpha(self) -> u8 {
+        match self {
+            SelectivityClass::Constant => 0,
+            SelectivityClass::Linear => 1,
+            SelectivityClass::Quadratic => 2,
+        }
+    }
+
+    /// The class of an estimated selectivity triple (Section 5.2.2, last
+    /// paragraph): `(1,=,1) → 0`, `(N,×,N) → 2`, all else `→ 1`.
+    pub fn of_triple(triple: SelTriple) -> SelectivityClass {
+        match triple.alpha() {
+            0 => SelectivityClass::Constant,
+            2 => SelectivityClass::Quadratic,
+            _ => SelectivityClass::Linear,
+        }
+    }
+
+    /// Parses the names used in configuration files.
+    pub fn parse(s: &str) -> Option<SelectivityClass> {
+        match s {
+            "constant" => Some(SelectivityClass::Constant),
+            "linear" => Some(SelectivityClass::Linear),
+            "quadratic" => Some(SelectivityClass::Quadratic),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SelectivityClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SelectivityClass::Constant => "constant",
+            SelectivityClass::Linear => "linear",
+            SelectivityClass::Quadratic => "quadratic",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_alpha_values() {
+        assert_eq!(SelectivityClass::Constant.alpha(), 0);
+        assert_eq!(SelectivityClass::Linear.alpha(), 1);
+        assert_eq!(SelectivityClass::Quadratic.alpha(), 2);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for c in SelectivityClass::ALL {
+            assert_eq!(SelectivityClass::parse(&c.to_string()), Some(c));
+        }
+        assert_eq!(SelectivityClass::parse("cubic"), None);
+    }
+}

@@ -1,0 +1,1117 @@
+//! Query workload generation (Section 5, Fig. 6).
+//!
+//! The algorithm, per query:
+//!
+//! 1. `get_query_skeleton(f, t)` — build a shape skeleton (chain, star,
+//!    cycle, or star-chain) of placeholder conjuncts `(?x, P, ?y)` (line 2);
+//! 2. `add_projection_variables(skeleton, ar)` — pick head variables
+//!    matching the arity constraint (line 3);
+//! 3. `instantiate_placeholders(skeleton, S, p_r, t)` — fill each
+//!    placeholder with a regular expression satisfying the recursion
+//!    probability and size constraints (line 4).
+//!
+//! For binary queries with a selectivity target, step 3 is driven by the
+//! machinery of Section 5.2.4: a uniformly random path through the
+//! selectivity graph `G_sel` types the chain's *spine* (one `G_sel` edge per
+//! non-starred conjunct, starting from an identity-class node and ending in
+//! the target class); each conjunct is then instantiated by sampling label
+//! paths in the schema graph `G_S` between its two endpoint nodes. Starred
+//! conjuncts inherit the neighboring types with the `=` operator, exactly as
+//! the paper prescribes. When a required length is infeasible the generator
+//! *relaxes the path length* rather than backtracking (Section 5.2.4, final
+//! paragraph).
+
+use crate::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Var};
+use crate::schema::{Schema, TypeId};
+use crate::selectivity::graph::{ChainSampler, GsNodeId, SchemaGraph, SelectivityGraph, TypeGraph};
+use crate::selectivity::{Estimator, SelectivityClass};
+use gmark_stats::Prng;
+
+/// Query shapes supported by gMark (Section 3.3): chain, star, cycle, and
+/// star-chain. The non-chain shapes are built from chains, exactly as
+/// Section 5.1 describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Shape {
+    /// A simple path of conjuncts.
+    Chain,
+    /// Conjuncts sharing one central source variable.
+    Star,
+    /// Two chains sharing both endpoint variables.
+    Cycle,
+    /// A chain with star branches attached.
+    StarChain,
+}
+
+impl Shape {
+    /// All shapes.
+    pub const ALL: [Shape; 4] = [Shape::Chain, Shape::Star, Shape::Cycle, Shape::StarChain];
+
+    /// Parses configuration-file names.
+    pub fn parse(s: &str) -> Option<Shape> {
+        match s {
+            "chain" => Some(Shape::Chain),
+            "star" => Some(Shape::Star),
+            "cycle" => Some(Shape::Cycle),
+            "starchain" | "star-chain" => Some(Shape::StarChain),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Shape::Chain => "chain",
+            Shape::Star => "star",
+            Shape::Cycle => "cycle",
+            Shape::StarChain => "starchain",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The query-size tuple `t` of Section 3.3 (without the rule count, held in
+/// [`WorkloadConfig::rules`]): inclusive `[min, max]` intervals for the
+/// number of conjuncts, number of disjuncts, and path length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuerySize {
+    /// `[c_min, c_max]` conjuncts per rule.
+    pub conjuncts: (usize, usize),
+    /// `[d_min, d_max]` disjuncts per conjunct.
+    pub disjuncts: (usize, usize),
+    /// `[l_min, l_max]` symbols per disjunct path.
+    pub length: (usize, usize),
+}
+
+impl Default for QuerySize {
+    fn default() -> Self {
+        QuerySize { conjuncts: (1, 3), disjuncts: (1, 1), length: (1, 3) }
+    }
+}
+
+/// A query workload configuration `Q = (G, #q, ar, f, e, p_r, t)`
+/// (Definition 3.5). The graph configuration `G` is supplied separately as
+/// the schema when calling [`generate_workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Workload size `#q`.
+    pub size: usize,
+    /// Allowed arities `ar` (0 = Boolean).
+    pub arity: Vec<usize>,
+    /// Shape constraint `f`.
+    pub shapes: Vec<Shape>,
+    /// Selectivity constraint `e`; empty disables selectivity control.
+    pub selectivities: Vec<SelectivityClass>,
+    /// Probability of recursion `p_r`: the chance each conjunct carries a
+    /// Kleene star.
+    pub recursion_probability: f64,
+    /// `[r_min, r_max]` rules per query.
+    pub rules: (usize, usize),
+    /// The size tuple `t`.
+    pub query_size: QuerySize,
+    /// Master seed (workloads are deterministic).
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A configuration with the paper's common defaults: binary chain
+    /// queries over all three selectivity classes, no recursion.
+    pub fn new(size: usize) -> Self {
+        WorkloadConfig {
+            size,
+            arity: vec![2],
+            shapes: vec![Shape::Chain],
+            selectivities: SelectivityClass::ALL.to_vec(),
+            recursion_probability: 0.0,
+            rules: (1, 1),
+            query_size: QuerySize::default(),
+            seed: 0x514D_61726B,
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One generated query with its generation metadata.
+#[derive(Debug, Clone)]
+pub struct GeneratedQuery {
+    /// The UCRPQ.
+    pub query: Query,
+    /// The skeleton shape used.
+    pub shape: Shape,
+    /// The selectivity class this query was generated to satisfy, if any.
+    pub target: Option<SelectivityClass>,
+    /// The estimator's α̂ for the generated query (binary chains only).
+    pub estimated_alpha: Option<u8>,
+    /// Number of relaxation steps applied during instantiation.
+    pub relaxations: u32,
+}
+
+/// A generated workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The queries, in generation order.
+    pub queries: Vec<GeneratedQuery>,
+}
+
+impl Workload {
+    /// Queries targeted at a particular selectivity class.
+    pub fn of_class(&self, class: SelectivityClass) -> impl Iterator<Item = &GeneratedQuery> {
+        self.queries.iter().filter(move |q| q.target == Some(class))
+    }
+
+    /// Diversity summary of the workload — the paper's Section 1 design
+    /// goal ("controlled instance and workload diversity"), made
+    /// inspectable: how the generated queries distribute over shapes,
+    /// selectivity classes, arities, and recursion, plus size extremes.
+    pub fn diversity(&self) -> DiversitySummary {
+        let mut s = DiversitySummary::default();
+        for gq in &self.queries {
+            s.total += 1;
+            *s.by_shape.entry(gq.shape).or_insert(0) += 1;
+            if let Some(t) = gq.target {
+                *s.by_class.entry(t).or_insert(0) += 1;
+            }
+            *s.by_arity.entry(gq.query.arity()).or_insert(0) += 1;
+            if gq.query.is_recursive() {
+                s.recursive += 1;
+            }
+            let (rules, conjuncts, disjuncts, length) = gq.query.size();
+            s.max_rules = s.max_rules.max(rules);
+            s.max_conjuncts = s.max_conjuncts.max(conjuncts);
+            s.max_disjuncts = s.max_disjuncts.max(disjuncts);
+            s.max_path_length = s.max_path_length.max(length);
+        }
+        s
+    }
+}
+
+/// See [`Workload::diversity`].
+#[derive(Debug, Clone, Default)]
+pub struct DiversitySummary {
+    /// Total queries.
+    pub total: usize,
+    /// Count per skeleton shape.
+    pub by_shape: std::collections::BTreeMap<Shape, usize>,
+    /// Count per honored selectivity class.
+    pub by_class: std::collections::BTreeMap<SelectivityClass, usize>,
+    /// Count per arity.
+    pub by_arity: std::collections::BTreeMap<usize, usize>,
+    /// Queries containing a Kleene star.
+    pub recursive: usize,
+    /// Largest rule count.
+    pub max_rules: usize,
+    /// Largest conjunct count.
+    pub max_conjuncts: usize,
+    /// Largest disjunct count.
+    pub max_disjuncts: usize,
+    /// Longest disjunct path.
+    pub max_path_length: usize,
+}
+
+impl std::fmt::Display for DiversitySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} queries ({} recursive)", self.total, self.recursive)?;
+        write!(f, "shapes:")?;
+        for (shape, n) in &self.by_shape {
+            write!(f, " {shape}={n}")?;
+        }
+        writeln!(f)?;
+        write!(f, "classes:")?;
+        for (class, n) in &self.by_class {
+            write!(f, " {class}={n}")?;
+        }
+        writeln!(f)?;
+        write!(f, "arities:")?;
+        for (arity, n) in &self.by_arity {
+            write!(f, " {arity}={n}")?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "size maxima: rules={} conjuncts={} disjuncts={} path-length={}",
+            self.max_rules, self.max_conjuncts, self.max_disjuncts, self.max_path_length
+        )
+    }
+}
+
+/// Summary of a workload generation run.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadReport {
+    /// Queries produced.
+    pub produced: usize,
+    /// Queries whose selectivity target had to be abandoned (the class was
+    /// unreachable in this schema even after relaxation).
+    pub unsatisfied_selectivity: usize,
+    /// Total relaxation steps applied across the workload.
+    pub relaxations: u32,
+}
+
+/// Maximum extra widening of `[l_min, l_max]` when relaxing (Section 5.2.4:
+/// "we choose to relax the path length").
+const MAX_RELAX: usize = 4;
+
+/// Generates a query workload from a schema (Fig. 6).
+pub fn generate_workload(schema: &Schema, config: &WorkloadConfig) -> (Workload, WorkloadReport) {
+    let mut gen = WorkloadGenerator::new(schema, config);
+    gen.run()
+}
+
+struct WorkloadGenerator<'a> {
+    schema: &'a Schema,
+    config: &'a WorkloadConfig,
+    gs: SchemaGraph,
+    type_graph: TypeGraph,
+    /// `G_sel` + `ChainSampler` per (relaxation level, selectivity class).
+    samplers: Vec<Vec<(SelectivityGraph, ChainSampler)>>,
+    report: WorkloadReport,
+}
+
+impl<'a> WorkloadGenerator<'a> {
+    fn new(schema: &'a Schema, config: &'a WorkloadConfig) -> Self {
+        let gs = SchemaGraph::build(schema);
+        let type_graph = TypeGraph::build(schema);
+        let (lmin, lmax) = config.query_size.length;
+        let lmin = lmin.max(1);
+        let lmax = lmax.max(lmin);
+        let max_conj = config.query_size.conjuncts.1.max(1);
+        let mut samplers = Vec::new();
+        if !config.selectivities.is_empty() {
+            for relax in 0..=MAX_RELAX {
+                let level_lmin = if relax == 0 { lmin } else { 1 };
+                let level_lmax = lmax + relax;
+                let gsel = SelectivityGraph::build(&gs, level_lmin, level_lmax);
+                let per_class: Vec<(SelectivityGraph, ChainSampler)> = SelectivityClass::ALL
+                    .iter()
+                    .map(|&class| {
+                        let sampler = ChainSampler::new(&gs, &gsel, class, max_conj);
+                        (gsel.clone(), sampler)
+                    })
+                    .collect();
+                samplers.push(per_class);
+            }
+        }
+        WorkloadGenerator {
+            schema,
+            config,
+            gs,
+            type_graph,
+            samplers,
+            report: WorkloadReport::default(),
+        }
+    }
+
+    fn run(&mut self) -> (Workload, WorkloadReport) {
+        let master = Prng::seed_from_u64(self.config.seed);
+        let mut queries = Vec::with_capacity(self.config.size);
+        for i in 0..self.config.size {
+            let mut rng = master.split(i as u64);
+            // Round-robin over classes/shapes/arities yields the balanced
+            // workloads the experiments need (e.g. 10/10/10 in Section 6.2).
+            let target = if self.config.selectivities.is_empty() {
+                None
+            } else {
+                Some(self.config.selectivities[i % self.config.selectivities.len()])
+            };
+            let shape = self.config.shapes[i % self.config.shapes.len()];
+            let arity = self.config.arity[i % self.config.arity.len()];
+            let q = self.generate_query(&mut rng, shape, arity, target);
+            self.report.produced += 1;
+            queries.push(q);
+        }
+        (Workload { queries }, self.report.clone())
+    }
+
+    fn generate_query(
+        &mut self,
+        rng: &mut Prng,
+        shape: Shape,
+        arity: usize,
+        target: Option<SelectivityClass>,
+    ) -> GeneratedQuery {
+        let n_rules = rng.range_inclusive(
+            self.config.rules.0.max(1) as u64,
+            self.config.rules.1.max(1) as u64,
+        ) as usize;
+        let mut relaxations = 0;
+        let mut rules = Vec::with_capacity(n_rules);
+        let mut satisfied_target = target;
+        for _ in 0..n_rules {
+            let (rule, relax, ok) = self.generate_rule(rng, shape, arity, target);
+            relaxations += relax;
+            if !ok {
+                satisfied_target = None;
+            }
+            rules.push(rule);
+        }
+        if satisfied_target.is_none() && target.is_some() {
+            self.report.unsatisfied_selectivity += 1;
+        }
+        self.report.relaxations += relaxations;
+        let query = Query::new(rules).expect("generated rules are well-formed");
+        let estimated_alpha = Estimator::new(self.schema).alpha(&query);
+        GeneratedQuery { query, shape, target: satisfied_target, estimated_alpha, relaxations }
+    }
+
+    /// Generates one rule; returns `(rule, relaxation steps, selectivity
+    /// target honored?)`.
+    fn generate_rule(
+        &mut self,
+        rng: &mut Prng,
+        shape: Shape,
+        arity: usize,
+        target: Option<SelectivityClass>,
+    ) -> (Rule, u32, bool) {
+        let (cmin, cmax) = self.config.query_size.conjuncts;
+        let c = rng.range_inclusive(cmin.max(1) as u64, cmax.max(1) as u64) as usize;
+        let skeleton = build_skeleton(shape, c);
+
+        // Decide which conjuncts carry a Kleene star (probability p_r).
+        let starred: Vec<bool> =
+            (0..c).map(|_| rng.chance(self.config.recursion_probability)).collect();
+
+        // Selectivity-guided typing applies to binary queries (the paper's
+        // guarantee) whose spine exists.
+        if let (2, Some(target)) = (arity, target) {
+            if let Some((rule, relax)) =
+                self.instantiate_with_selectivity(rng, &skeleton, &starred, target)
+            {
+                return (rule, relax, true);
+            }
+            // Target unreachable: fall through to unconstrained
+            // instantiation (reported by the caller).
+            let rule = self.instantiate_unconstrained(rng, &skeleton, &starred, arity);
+            return (rule, MAX_RELAX as u32, false);
+        }
+        let rule = self.instantiate_unconstrained(rng, &skeleton, &starred, arity);
+        (rule, 0, true)
+    }
+
+    /// Section 5.2.4: type the spine with a `G_sel` walk, instantiate each
+    /// spine conjunct with `G_S` paths, branches with type-graph walks.
+    fn instantiate_with_selectivity(
+        &mut self,
+        rng: &mut Prng,
+        skeleton: &Skeleton,
+        starred: &[bool],
+        target: SelectivityClass,
+    ) -> Option<(Rule, u32)> {
+        // Starred spine conjuncts become identity transitions; the G_sel
+        // walk only needs one edge per non-starred spine conjunct. A fully
+        // starred spine is pure identity, which can never realize the
+        // Quadratic class (and Constant only when the schema has a fixed
+        // type) — in that case un-star conjuncts until a walk exists,
+        // another instance of the paper's relax-don't-backtrack policy.
+        let mut starred = starred.to_vec();
+        while skeleton.spine.iter().all(|&(ci, _)| starred[ci])
+            && self.identity_node_of_class(target).is_none()
+        {
+            let &(ci, _) = skeleton
+                .spine
+                .iter()
+                .find(|&&(ci, _)| starred[ci])
+                .expect("loop condition guarantees a starred conjunct");
+            starred[ci] = false;
+        }
+        let starred = &starred[..];
+        let spine_starred: Vec<bool> =
+            skeleton.spine.iter().map(|&(ci, _)| starred[ci]).collect();
+        let walk_len = spine_starred.iter().filter(|&&s| !s).count();
+
+        for relax in 0..self.samplers.len() {
+            let class_idx = SelectivityClass::ALL.iter().position(|&cl| cl == target).unwrap();
+            let (gsel, sampler) = &self.samplers[relax][class_idx];
+            if walk_len == 0 {
+                // All spine conjuncts starred: the chain class is the
+                // identity — only achievable for the Linear/Constant
+                // classes via a single identity node of matching card.
+                // Type everything at one identity node of the right class.
+                let node = self.identity_node_of_class(target)?;
+                let nodes = vec![node; skeleton.spine.len() + 1];
+                if let Some(rule) =
+                    self.build_rule_from_typing(rng, skeleton, starred, &nodes, gsel, relax)
+                {
+                    return Some((rule, relax as u32));
+                }
+                continue;
+            }
+            if sampler.feasible(walk_len) <= 0.0 {
+                continue;
+            }
+            // The G_sel typing guarantees the class along the *sampled*
+            // typing; the same label paths may also be realizable through
+            // other type combinations, whose class contributes to the true
+            // α̂ = max over all endpoint types (Section 5.2.2). Verify the
+            // finished rule with the static estimator and resample on
+            // leakage — only checkable for non-recursive chains (the
+            // estimator squares starred loops where generation used the
+            // paper's `=`-inheritance, so recursive rules keep the
+            // typing-level guarantee, exactly like the paper).
+            for _attempt in 0..4 {
+                let walk = sampler.sample(gsel, rng, walk_len)?;
+                // Splice starred conjuncts back in as repeated nodes.
+                let mut nodes = Vec::with_capacity(skeleton.spine.len() + 1);
+                let mut w = 0;
+                nodes.push(walk[0]);
+                for &s in &spine_starred {
+                    if s {
+                        nodes.push(*nodes.last().unwrap());
+                    } else {
+                        w += 1;
+                        nodes.push(walk[w]);
+                    }
+                }
+                let Some(rule) =
+                    self.build_rule_from_typing(rng, skeleton, starred, &nodes, gsel, relax)
+                else {
+                    continue;
+                };
+                let verifiable = !rule.body.iter().any(|c| c.expr.is_recursive());
+                if verifiable {
+                    let est = Estimator::new(self.schema);
+                    // `None` = non-chain shape: keep the typing guarantee.
+                    if let Some(classes) = est.rule_classes(&rule) {
+                        let alpha = classes.values().map(|t| t.alpha()).max().unwrap_or(0);
+                        if alpha != target.alpha() {
+                            continue; // leakage: resample the typing
+                        }
+                    }
+                }
+                return Some((rule, relax as u32));
+            }
+        }
+        None
+    }
+
+    /// An identity-class `G_S` node whose triple matches `target` (only
+    /// Constant → (1,=,1) and Linear → (N,=,N) are identities).
+    fn identity_node_of_class(&self, target: SelectivityClass) -> Option<GsNodeId> {
+        self.gs.valid_nodes().find(|&n| {
+            let t = self.gs.triple_of(n);
+            t.op == crate::selectivity::SelOp::Eq
+                && t.left == t.right
+                && SelectivityClass::of_triple(t) == target
+                && !self.type_graph.successors(self.gs.type_of(n)).is_empty()
+        })
+    }
+
+    /// Builds the full rule once the spine typing (a `G_S` node per spine
+    /// position) is fixed.
+    fn build_rule_from_typing(
+        &self,
+        rng: &mut Prng,
+        skeleton: &Skeleton,
+        starred: &[bool],
+        nodes: &[GsNodeId],
+        gsel: &SelectivityGraph,
+        relax: usize,
+    ) -> Option<Rule> {
+        let (lmin, lmax) = effective_lengths(self.config.query_size.length, relax);
+        let (dmin, dmax) = self.config.query_size.disjuncts;
+        let mut exprs: Vec<Option<RegularExpr>> = vec![None; skeleton.conjuncts.len()];
+        let mut var_types: Vec<Option<TypeId>> = vec![None; skeleton.var_count];
+
+        // Spine conjuncts.
+        for (pos, &(ci, reversed)) in skeleton.spine.iter().enumerate() {
+            let (u, v) = (nodes[pos], nodes[pos + 1]);
+            let (src_var, trg_var) = skeleton.conjuncts[ci];
+            let (from_var, to_var) =
+                if reversed { (trg_var, src_var) } else { (src_var, trg_var) };
+            var_types[from_var as usize] = Some(self.gs.type_of(u));
+            var_types[to_var as usize] = Some(self.gs.type_of(v));
+            let d = rng.range_inclusive(dmin.max(1) as u64, dmax.max(1) as u64) as usize;
+            let expr = if starred[ci] {
+                // Identity transition: loops on the node's type.
+                self.star_loop_expr(rng, self.gs.type_of(u), d, lmin, lmax)?
+            } else {
+                self.gs_path_expr(rng, u, v, d, lmin, lmax)?
+            };
+            // Orient the expression with the conjunct's declared direction.
+            exprs[ci] = Some(if reversed { reverse_expr(&expr) } else { expr });
+        }
+        let _ = gsel; // typing already validated against G_sel
+
+        // Branch conjuncts (star/star-chain arms): type-graph walks anchored
+        // at a variable whose type is already known.
+        for &(ci, reversed) in &skeleton.branches {
+            let (src_var, trg_var) = skeleton.conjuncts[ci];
+            let (anchor, other) = if reversed { (trg_var, src_var) } else { (src_var, trg_var) };
+            let anchor_type = var_types[anchor as usize]?;
+            let d = rng.range_inclusive(dmin.max(1) as u64, dmax.max(1) as u64) as usize;
+            let expr = if starred[ci] {
+                self.star_loop_expr(rng, anchor_type, d, lmin, lmax).or_else(|| {
+                    // No loop at this type: degrade to a non-recursive walk.
+                    self.walk_expr(rng, anchor_type, d, lmin, lmax).map(|(e, _)| e)
+                })?
+            } else {
+                let (e, end) = self.walk_expr(rng, anchor_type, d, lmin, lmax)?;
+                var_types[other as usize] = Some(end);
+                e
+            };
+            exprs[ci] = Some(if reversed { reverse_expr(&expr) } else { expr });
+        }
+
+        let body: Vec<Conjunct> = skeleton
+            .conjuncts
+            .iter()
+            .zip(exprs)
+            .map(|(&(s, t), e)| Some(Conjunct { src: Var(s), expr: e?, trg: Var(t) }))
+            .collect::<Option<Vec<_>>>()?;
+        Some(Rule { head: vec![Var(skeleton.endpoints.0), Var(skeleton.endpoints.1)], body })
+    }
+
+    /// A (possibly multi-disjunct) expression of `G_S` paths `u → v` with
+    /// lengths in `[lmin, lmax]`.
+    fn gs_path_expr(
+        &self,
+        rng: &mut Prng,
+        u: GsNodeId,
+        v: GsNodeId,
+        disjuncts: usize,
+        lmin: usize,
+        lmax: usize,
+    ) -> Option<RegularExpr> {
+        let counts = self.gs.path_counts_to(v, lmax);
+        let weights: Vec<f64> =
+            (0..=lmax).map(|l| if l >= lmin { counts[l][u.0] } else { 0.0 }).collect();
+        let mut paths: Vec<PathExpr> = Vec::with_capacity(disjuncts);
+        // Prefer distinct disjuncts; the schema may only admit fewer
+        // distinct paths than requested, so retries are bounded.
+        let mut attempts = 0;
+        while paths.len() < disjuncts && attempts < disjuncts * 6 {
+            attempts += 1;
+            let l = rng.choose_weighted(&weights)?;
+            let path = PathExpr(self.gs.sample_path(rng, u, l, &counts)?);
+            if !paths.contains(&path) {
+                paths.push(path);
+            }
+        }
+        if paths.is_empty() {
+            return None;
+        }
+        Some(RegularExpr::union(paths))
+    }
+
+    /// A starred expression of type-level loops `T → T`.
+    fn star_loop_expr(
+        &self,
+        rng: &mut Prng,
+        t: TypeId,
+        disjuncts: usize,
+        lmin: usize,
+        lmax: usize,
+    ) -> Option<RegularExpr> {
+        let counts = self.type_graph.path_counts_to(t, lmax);
+        let weights: Vec<f64> =
+            (0..=lmax).map(|l| if l >= lmin { counts[l][t.0] } else { 0.0 }).collect();
+        let mut paths: Vec<PathExpr> = Vec::with_capacity(disjuncts);
+        let mut attempts = 0;
+        while paths.len() < disjuncts && attempts < disjuncts * 6 {
+            attempts += 1;
+            let l = rng.choose_weighted(&weights)?;
+            let path = PathExpr(self.type_graph.sample_path(rng, t, l, &counts)?);
+            if !paths.contains(&path) {
+                paths.push(path);
+            }
+        }
+        if paths.is_empty() {
+            return None;
+        }
+        Some(RegularExpr::star(paths))
+    }
+
+    /// A walk-based expression from `from`; all disjuncts share the end
+    /// type. Returns the expression and the end type.
+    fn walk_expr(
+        &self,
+        rng: &mut Prng,
+        from: TypeId,
+        disjuncts: usize,
+        lmin: usize,
+        lmax: usize,
+    ) -> Option<(RegularExpr, TypeId)> {
+        let l0 = rng.range_inclusive(lmin.max(1) as u64, lmax.max(1) as u64) as usize;
+        let (first, end) = self.type_graph.random_walk(rng, from, l0)?;
+        let mut paths = vec![PathExpr(first)];
+        if disjuncts > 1 {
+            let counts = self.type_graph.path_counts_to(end, lmax);
+            let weights: Vec<f64> =
+                (0..=lmax).map(|l| if l >= lmin { counts[l][from.0] } else { 0.0 }).collect();
+            let mut attempts = 0;
+            while paths.len() < disjuncts && attempts < disjuncts * 6 {
+                attempts += 1;
+                if let Some(l) = rng.choose_weighted(&weights) {
+                    if let Some(p) = self.type_graph.sample_path(rng, from, l, &counts) {
+                        let p = PathExpr(p);
+                        if !paths.contains(&p) {
+                            paths.push(p);
+                        }
+                    }
+                } else {
+                    break;
+                }
+            }
+        }
+        Some((RegularExpr::union(paths), end))
+    }
+
+    /// Instantiation without selectivity control: type-graph walks along the
+    /// skeleton (still schema-coupled), random projection variables.
+    fn instantiate_unconstrained(
+        &self,
+        rng: &mut Prng,
+        skeleton: &Skeleton,
+        starred: &[bool],
+        arity: usize,
+    ) -> Rule {
+        let (lmin, lmax) = self.config.query_size.length;
+        let (lmin, lmax) = (lmin.max(1), lmax.max(lmin.max(1)));
+        let (dmin, dmax) = self.config.query_size.disjuncts;
+        let mut var_types: Vec<Option<TypeId>> = vec![None; skeleton.var_count];
+        // Start type: one that has outgoing moves.
+        let start_types: Vec<TypeId> = (0..self.schema.type_count())
+            .map(TypeId)
+            .filter(|&t| !self.type_graph.successors(t).is_empty())
+            .collect();
+
+        let mut exprs: Vec<RegularExpr> = Vec::with_capacity(skeleton.conjuncts.len());
+        for (order_idx, &(ci, reversed)) in
+            skeleton.spine.iter().chain(skeleton.branches.iter()).enumerate()
+        {
+            let (src_var, trg_var) = skeleton.conjuncts[ci];
+            let (anchor, other) = if reversed { (trg_var, src_var) } else { (src_var, trg_var) };
+            let anchor_type = var_types[anchor as usize].unwrap_or_else(|| {
+                if start_types.is_empty() {
+                    TypeId(0)
+                } else {
+                    *rng.choose(&start_types)
+                }
+            });
+            var_types[anchor as usize] = Some(anchor_type);
+            let d = rng.range_inclusive(dmin.max(1) as u64, dmax.max(1) as u64) as usize;
+            let expr = if starred[ci] {
+                self.star_loop_expr(rng, anchor_type, d, lmin, lmax).unwrap_or_else(|| {
+                    // No loops at this type: fall back to a single symbol
+                    // star if any move exists, else an ε-star.
+                    let succs = self.type_graph.successors(anchor_type);
+                    if succs.is_empty() {
+                        RegularExpr::star(vec![PathExpr::epsilon()])
+                    } else {
+                        let &(sym, _) = rng.choose(succs);
+                        RegularExpr::star(vec![PathExpr::single(sym)])
+                    }
+                })
+            } else {
+                match self.walk_expr(rng, anchor_type, d, lmin, lmax) {
+                    Some((e, end)) => {
+                        var_types[other as usize] = Some(end);
+                        e
+                    }
+                    None => {
+                        // Dead-end type: emit an ε conjunct to stay
+                        // well-formed (degenerate schemas only).
+                        RegularExpr::path(PathExpr::epsilon())
+                    }
+                }
+            };
+            let expr = if reversed { reverse_expr(&expr) } else { expr };
+            // Maintain positional alignment via index ordering.
+            let _ = order_idx;
+            exprs.push(expr);
+        }
+        // Reorder expressions back to conjunct order.
+        let mut by_conjunct: Vec<Option<RegularExpr>> = vec![None; skeleton.conjuncts.len()];
+        for (slot, &(ci, _)) in
+            skeleton.spine.iter().chain(skeleton.branches.iter()).enumerate()
+        {
+            by_conjunct[ci] = Some(exprs[slot].clone());
+        }
+        let body: Vec<Conjunct> = skeleton
+            .conjuncts
+            .iter()
+            .zip(by_conjunct)
+            .map(|(&(s, t), e)| Conjunct {
+                src: Var(s),
+                expr: e.expect("all conjuncts visited"),
+                trg: Var(t),
+            })
+            .collect();
+
+        // Projection: endpoints first (binary default), then random extras.
+        let mut head = Vec::with_capacity(arity);
+        let mut candidates: Vec<u32> = (0..skeleton.var_count as u32).collect();
+        if arity >= 1 {
+            head.push(Var(skeleton.endpoints.0));
+            candidates.retain(|&v| v != skeleton.endpoints.0);
+        }
+        if arity >= 2 && skeleton.endpoints.1 != skeleton.endpoints.0 {
+            head.push(Var(skeleton.endpoints.1));
+            candidates.retain(|&v| v != skeleton.endpoints.1);
+        }
+        while head.len() < arity && !candidates.is_empty() {
+            let i = rng.below(candidates.len() as u64) as usize;
+            head.push(Var(candidates.swap_remove(i)));
+        }
+        Rule { head, body }
+    }
+}
+
+fn effective_lengths(base: (usize, usize), relax: usize) -> (usize, usize) {
+    let lmin = if relax == 0 { base.0.max(1) } else { 1 };
+    let lmax = base.1.max(base.0.max(1)) + relax;
+    (lmin, lmax)
+}
+
+/// Reverses an expression's direction (used when a conjunct is traversed
+/// against its declared orientation).
+fn reverse_expr(e: &RegularExpr) -> RegularExpr {
+    RegularExpr {
+        disjuncts: e.disjuncts.iter().map(PathExpr::reversed).collect(),
+        starred: e.starred,
+    }
+}
+
+/// A query skeleton (Fig. 6, line 2): conjuncts over numbered variables,
+/// partitioned into the *spine* (the path between the two endpoint
+/// variables, traversal direction included) and *branches* (the remaining
+/// conjuncts, anchored at spine variables).
+#[derive(Debug, Clone)]
+struct Skeleton {
+    conjuncts: Vec<(u32, u32)>,
+    var_count: usize,
+    /// `(conjunct index, reversed?)` along the endpoint-to-endpoint path.
+    spine: Vec<(usize, bool)>,
+    /// `(conjunct index, reversed?)`, anchored at an already-typed variable.
+    branches: Vec<(usize, bool)>,
+    endpoints: (u32, u32),
+}
+
+/// Builds the shape skeletons of Section 5.1: cycles are two chains sharing
+/// their endpoints, stars are chains sharing the starting variable, and
+/// star-chains combine chains and stars.
+fn build_skeleton(shape: Shape, c: usize) -> Skeleton {
+    let c = c.max(1);
+    match shape {
+        Shape::Chain => Skeleton {
+            conjuncts: (0..c).map(|i| (i as u32, i as u32 + 1)).collect(),
+            var_count: c + 1,
+            spine: (0..c).map(|i| (i, false)).collect(),
+            branches: Vec::new(),
+            endpoints: (0, c as u32),
+        },
+        Shape::Star => {
+            // Conjuncts (x0, Pi, xi). Spine: leaf 1 ← center → leaf 2
+            // (first conjunct reversed) when c ≥ 2.
+            let conjuncts: Vec<(u32, u32)> = (0..c).map(|i| (0, i as u32 + 1)).collect();
+            if c == 1 {
+                Skeleton {
+                    conjuncts,
+                    var_count: 2,
+                    spine: vec![(0, false)],
+                    branches: Vec::new(),
+                    endpoints: (0, 1),
+                }
+            } else {
+                Skeleton {
+                    conjuncts,
+                    var_count: c + 1,
+                    spine: vec![(0, true), (1, false)],
+                    branches: (2..c).map(|i| (i, false)).collect(),
+                    endpoints: (1, 2),
+                }
+            }
+        }
+        Shape::Cycle => {
+            // Two chains from x0 to x_mid sharing both endpoints.
+            let c1 = c.div_ceil(2);
+            let c2 = c - c1;
+            let mut conjuncts = Vec::with_capacity(c);
+            // Chain A: 0 -> 1 -> … -> c1.
+            for i in 0..c1 {
+                conjuncts.push((i as u32, i as u32 + 1));
+            }
+            // Chain B: 0 -> c1+1 -> … -> c1.
+            let mut prev = 0u32;
+            for j in 0..c2 {
+                let next =
+                    if j + 1 == c2 { c1 as u32 } else { (c1 + 1 + j) as u32 };
+                conjuncts.push((prev, next));
+                prev = next;
+            }
+            let var_count = if c2 > 1 { c1 + c2 } else { c1 + 1 };
+            Skeleton {
+                conjuncts,
+                var_count,
+                spine: (0..c1).map(|i| (i, false)).collect(),
+                branches: (c1..c).map(|i| (i, false)).collect(),
+                endpoints: (0, c1 as u32),
+            }
+        }
+        Shape::StarChain => {
+            // A chain spine of ⌈c/2⌉ conjuncts with the remaining conjuncts
+            // attached as branches to spine variables (round-robin).
+            let spine_len = c.div_ceil(2);
+            let mut conjuncts: Vec<(u32, u32)> =
+                (0..spine_len).map(|i| (i as u32, i as u32 + 1)).collect();
+            let mut var_count = spine_len + 1;
+            let mut branches = Vec::new();
+            for (b, _) in (spine_len..c).enumerate() {
+                let anchor = (b % (spine_len + 1)) as u32;
+                conjuncts.push((anchor, var_count as u32));
+                branches.push((spine_len + b, false));
+                var_count += 1;
+            }
+            Skeleton {
+                conjuncts,
+                var_count,
+                spine: (0..spine_len).map(|i| (i, false)).collect(),
+                branches,
+                endpoints: (0, spine_len as u32),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Distribution, Occurrence, SchemaBuilder};
+
+    /// Bib-flavoured schema rich enough to reach all three classes.
+    fn test_schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        let researcher = b.node_type("researcher", Occurrence::Proportion(0.5));
+        let paper = b.node_type("paper", Occurrence::Proportion(0.3));
+        let conference = b.node_type("conference", Occurrence::Proportion(0.1));
+        let city = b.node_type("city", Occurrence::Fixed(100));
+        let authors = b.predicate("authors", Some(Occurrence::Proportion(0.5)));
+        let published = b.predicate("publishedIn", Some(Occurrence::Proportion(0.3)));
+        let held = b.predicate("heldIn", Some(Occurrence::Proportion(0.1)));
+        b.edge(
+            researcher,
+            authors,
+            paper,
+            Distribution::gaussian(3.0, 1.0),
+            Distribution::zipfian(2.5),
+        );
+        b.edge(
+            paper,
+            published,
+            conference,
+            Distribution::gaussian(30.0, 10.0),
+            Distribution::uniform(1, 1),
+        );
+        b.edge(conference, held, city, Distribution::zipfian(2.5), Distribution::uniform(1, 1));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn skeleton_chain() {
+        let s = build_skeleton(Shape::Chain, 3);
+        assert_eq!(s.conjuncts, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(s.var_count, 4);
+        assert_eq!(s.endpoints, (0, 3));
+        assert_eq!(s.spine.len(), 3);
+        assert!(s.branches.is_empty());
+    }
+
+    #[test]
+    fn skeleton_star() {
+        let s = build_skeleton(Shape::Star, 3);
+        assert_eq!(s.conjuncts, vec![(0, 1), (0, 2), (0, 3)]);
+        // Spine goes leaf1 ← center → leaf2; third conjunct is a branch.
+        assert_eq!(s.spine, vec![(0, true), (1, false)]);
+        assert_eq!(s.branches, vec![(2, false)]);
+        assert_eq!(s.endpoints, (1, 2));
+    }
+
+    #[test]
+    fn skeleton_cycle() {
+        let s = build_skeleton(Shape::Cycle, 4);
+        // Two chains 0→1→2 and 0→3→2.
+        assert_eq!(s.conjuncts, vec![(0, 1), (1, 2), (0, 3), (3, 2)]);
+        assert_eq!(s.var_count, 4);
+        assert_eq!(s.endpoints, (0, 2));
+    }
+
+    #[test]
+    fn skeleton_cycle_small() {
+        // c = 2: both chains are single conjuncts 0→1.
+        let s = build_skeleton(Shape::Cycle, 2);
+        assert_eq!(s.conjuncts, vec![(0, 1), (0, 1)]);
+        assert_eq!(s.var_count, 2);
+    }
+
+    #[test]
+    fn skeleton_star_chain() {
+        let s = build_skeleton(Shape::StarChain, 4);
+        assert_eq!(s.spine.len(), 2);
+        assert_eq!(s.branches.len(), 2);
+        // All variables distinct, branch anchors lie on the spine (0..=2).
+        for &(ci, _) in &s.branches {
+            let (src, _) = s.conjuncts[ci];
+            assert!(src <= 2);
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let schema = test_schema();
+        let cfg = WorkloadConfig::new(12).with_seed(99);
+        let (w1, _) = generate_workload(&schema, &cfg);
+        let (w2, _) = generate_workload(&schema, &cfg);
+        assert_eq!(w1.queries.len(), 12);
+        for (a, b) in w1.queries.iter().zip(&w2.queries) {
+            assert_eq!(a.query, b.query);
+        }
+    }
+
+    #[test]
+    fn workload_balances_selectivity_classes() {
+        let schema = test_schema();
+        let cfg = WorkloadConfig::new(30).with_seed(1);
+        let (w, report) = generate_workload(&schema, &cfg);
+        assert_eq!(report.produced, 30);
+        let constant = w.of_class(SelectivityClass::Constant).count();
+        let linear = w.of_class(SelectivityClass::Linear).count();
+        let quadratic = w.of_class(SelectivityClass::Quadratic).count();
+        // Round-robin: 10 of each, minus any unsatisfied.
+        assert_eq!(constant + linear + quadratic + report.unsatisfied_selectivity, 30);
+        assert!(linear == 10, "linear {linear}");
+        assert!(quadratic == 10, "quadratic {quadratic}");
+    }
+
+    #[test]
+    fn generated_alpha_matches_target() {
+        let schema = test_schema();
+        let cfg = WorkloadConfig::new(30).with_seed(3);
+        let (w, _) = generate_workload(&schema, &cfg);
+        for gq in &w.queries {
+            if let (Some(target), Some(alpha)) = (gq.target, gq.estimated_alpha) {
+                assert_eq!(
+                    alpha,
+                    target.alpha(),
+                    "query {} should be {target}",
+                    gq.query.display(&schema)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn size_constraints_respected() {
+        let schema = test_schema();
+        let mut cfg = WorkloadConfig::new(20).with_seed(4);
+        cfg.query_size = QuerySize { conjuncts: (2, 3), disjuncts: (1, 2), length: (1, 2) };
+        let (w, _) = generate_workload(&schema, &cfg);
+        for gq in &w.queries {
+            let (_, conjuncts, disjuncts, length) = gq.query.size();
+            assert!((2..=3).contains(&conjuncts), "conjuncts {conjuncts}");
+            assert!(disjuncts <= 2, "disjuncts {disjuncts}");
+            // Relaxation may extend lengths, but never below 1.
+            assert!(length >= 1 && length <= 2 + MAX_RELAX, "length {length}");
+        }
+    }
+
+    #[test]
+    fn recursion_probability_one_stars_every_conjunct() {
+        let schema = test_schema();
+        let mut cfg = WorkloadConfig::new(10).with_seed(5);
+        cfg.recursion_probability = 1.0;
+        cfg.selectivities = vec![SelectivityClass::Linear];
+        let (w, _) = generate_workload(&schema, &cfg);
+        for gq in &w.queries {
+            assert!(gq.query.is_recursive(), "{}", gq.query.display(&schema));
+        }
+    }
+
+    #[test]
+    fn recursion_probability_zero_stars_nothing() {
+        let schema = test_schema();
+        let cfg = WorkloadConfig::new(10).with_seed(6);
+        let (w, _) = generate_workload(&schema, &cfg);
+        assert!(w.queries.iter().all(|gq| !gq.query.is_recursive()));
+    }
+
+    #[test]
+    fn boolean_and_nary_arities() {
+        let schema = test_schema();
+        let mut cfg = WorkloadConfig::new(9).with_seed(7);
+        cfg.arity = vec![0, 1, 3];
+        cfg.selectivities = Vec::new(); // arity != 2: no selectivity control
+        cfg.query_size.conjuncts = (3, 3);
+        let (w, _) = generate_workload(&schema, &cfg);
+        let arities: Vec<usize> = w.queries.iter().map(|g| g.query.arity()).collect();
+        assert!(arities.contains(&0));
+        assert!(arities.contains(&1));
+        assert!(arities.contains(&3));
+    }
+
+    #[test]
+    fn all_shapes_generate_well_formed_queries() {
+        let schema = test_schema();
+        let mut cfg = WorkloadConfig::new(16).with_seed(8);
+        cfg.shapes = Shape::ALL.to_vec();
+        cfg.query_size.conjuncts = (3, 4);
+        let (w, _) = generate_workload(&schema, &cfg);
+        assert_eq!(w.queries.len(), 16);
+        let mut seen = std::collections::HashSet::new();
+        for gq in &w.queries {
+            seen.insert(gq.shape);
+            // Query::new already validated well-formedness at build time.
+            assert!(gq.query.rules[0].well_formed().is_ok());
+        }
+        assert_eq!(seen.len(), 4, "all four shapes exercised");
+    }
+
+    #[test]
+    fn diversity_summary_counts() {
+        let schema = test_schema();
+        let mut cfg = WorkloadConfig::new(12).with_seed(20);
+        cfg.shapes = vec![Shape::Chain, Shape::Star];
+        cfg.recursion_probability = 0.4;
+        let (w, _) = generate_workload(&schema, &cfg);
+        let d = w.diversity();
+        assert_eq!(d.total, 12);
+        assert_eq!(d.by_shape.values().sum::<usize>(), 12);
+        assert_eq!(d.by_shape.get(&Shape::Chain), Some(&6));
+        assert_eq!(d.by_shape.get(&Shape::Star), Some(&6));
+        assert_eq!(d.by_arity.get(&2), Some(&12));
+        assert!(d.max_conjuncts >= 1 && d.max_conjuncts <= 3);
+        let text = d.to_string();
+        assert!(text.contains("12 queries"), "{text}");
+        assert!(text.contains("chain=6"), "{text}");
+    }
+
+    #[test]
+    fn multi_rule_queries() {
+        let schema = test_schema();
+        let mut cfg = WorkloadConfig::new(6).with_seed(9);
+        cfg.rules = (2, 3);
+        let (w, _) = generate_workload(&schema, &cfg);
+        for gq in &w.queries {
+            assert!(gq.query.rules.len() >= 2);
+            assert!(gq.query.rules.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn symbols_reference_real_predicates() {
+        let schema = test_schema();
+        let cfg = WorkloadConfig::new(20).with_seed(10);
+        let (w, _) = generate_workload(&schema, &cfg);
+        for gq in &w.queries {
+            for rule in &gq.query.rules {
+                for c in &rule.body {
+                    for s in c.expr.symbols() {
+                        assert!(s.predicate.0 < schema.predicate_count());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Regular-expression compilation and product-graph RPQ evaluation.
+//!
+//! gMark's regular expressions are in outermost-star normal form
+//! (`(P1 + … + Pk)` or `(P1 + … + Pk)*`, Section 3.3), so Thompson
+//! construction degenerates to a simple ε-free shape:
+//!
+//! * non-starred: a start state, an accept state, and one chain of fresh
+//!   states per disjunct path (an ε disjunct marks the start accepting);
+//! * starred: a single state that is both start and accept, with every
+//!   disjunct chain looping back into it — which is exactly
+//!   `(P1 + … + Pk)*` including the empty word.
+//!
+//! [`eval_rpq`] evaluates a compiled NFA over the graph by BFS on the
+//! product `G × NFA` from every source node — the textbook RPQ algorithm
+//! (`O(|V| · |E| · |Q|)`) that SPARQL property-path engines implement.
+
+use crate::{pack, unpack, Budget, EvalError};
+use gmark_core::query::{RegularExpr, Symbol};
+use gmark_store::{Graph, NodeId};
+use rustc_hash::FxHashSet;
+
+/// An ε-free NFA over `Σ±`.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// `transitions[q]` = outgoing `(symbol, target state)` moves.
+    pub transitions: Vec<Vec<(Symbol, u32)>>,
+    /// The unique start state.
+    pub start: u32,
+    /// Accepting-state flags.
+    pub accepting: Vec<bool>,
+}
+
+impl Nfa {
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the automaton has no states (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// Whether the empty word is accepted (start state accepting).
+    pub fn accepts_epsilon(&self) -> bool {
+        self.accepting[self.start as usize]
+    }
+}
+
+/// Compiles an outermost-star regular expression into an ε-free NFA.
+pub fn compile_nfa(expr: &RegularExpr) -> Nfa {
+    if expr.starred {
+        // One looping state.
+        let mut transitions: Vec<Vec<(Symbol, u32)>> = vec![Vec::new()];
+        let mut accepting = vec![true];
+        for path in &expr.disjuncts {
+            if path.is_empty() {
+                continue; // ε already accepted
+            }
+            let mut at = 0u32;
+            for (i, &sym) in path.0.iter().enumerate() {
+                let next = if i + 1 == path.len() {
+                    0
+                } else {
+                    transitions.push(Vec::new());
+                    accepting.push(false);
+                    (transitions.len() - 1) as u32
+                };
+                transitions[at as usize].push((sym, next));
+                at = next;
+            }
+        }
+        Nfa { transitions, start: 0, accepting }
+    } else {
+        // States 0 = start, 1 = accept.
+        let mut transitions: Vec<Vec<(Symbol, u32)>> = vec![Vec::new(), Vec::new()];
+        let mut accepting = vec![false, true];
+        for path in &expr.disjuncts {
+            if path.is_empty() {
+                accepting[0] = true;
+                continue;
+            }
+            let mut at = 0u32;
+            for (i, &sym) in path.0.iter().enumerate() {
+                let next = if i + 1 == path.len() {
+                    1
+                } else {
+                    transitions.push(Vec::new());
+                    accepting.push(false);
+                    (transitions.len() - 1) as u32
+                };
+                transitions[at as usize].push((sym, next));
+                at = next;
+            }
+        }
+        Nfa { transitions, start: 0, accepting }
+    }
+}
+
+/// Evaluates the binary RPQ `{(u, v) | u ⟶_L v}` for the NFA's language
+/// `L`, returning sorted distinct pairs packed as `(u << 32) | v`.
+pub fn eval_rpq(graph: &Graph, nfa: &Nfa, budget: &Budget) -> Result<Vec<u64>, EvalError> {
+    let n = graph.node_count() as usize;
+    let states = nfa.len();
+    let mut out: Vec<u64> = Vec::new();
+
+    // Zero-length acceptance contributes the full diagonal.
+    if nfa.accepts_epsilon() {
+        budget.check_size(n)?;
+        out.reserve(n);
+        for v in 0..n as NodeId {
+            out.push(pack(v, v));
+        }
+    }
+
+    // Per-source BFS over the product graph. `seen` is reused across
+    // sources with a generation stamp to avoid reallocation.
+    let mut seen = vec![u32::MAX; n * states];
+    let mut queue: Vec<(NodeId, u32)> = Vec::new();
+    for src in 0..n as NodeId {
+        if src % 1024 == 0 {
+            budget.check_time()?;
+        }
+        // Skip sources that cannot make a first move.
+        let can_move = nfa.transitions[nfa.start as usize]
+            .iter()
+            .any(|&(sym, _)| !graph.neighbors(sym.predicate.0, src, sym.inverse).is_empty());
+        if !can_move {
+            continue;
+        }
+        queue.clear();
+        queue.push((src, nfa.start));
+        seen[src as usize * states + nfa.start as usize] = src;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (v, q) = queue[qi];
+            qi += 1;
+            for &(sym, q2) in &nfa.transitions[q as usize] {
+                for &w in graph.neighbors(sym.predicate.0, v, sym.inverse) {
+                    let slot = w as usize * states + q2 as usize;
+                    if seen[slot] != src {
+                        seen[slot] = src;
+                        if nfa.accepting[q2 as usize] && !(nfa.accepts_epsilon() && w == src) {
+                            out.push(pack(src, w));
+                        }
+                        queue.push((w, q2));
+                    }
+                }
+            }
+            if queue.len() > n * states {
+                // Defensive: cannot happen (each product state enqueued
+                // once), but keep the budget honest on huge graphs.
+                budget.check_size(queue.len())?;
+            }
+        }
+        budget.check_size(out.len())?;
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Convenience: evaluates and unpacks.
+pub fn eval_rpq_pairs(
+    graph: &Graph,
+    expr: &RegularExpr,
+    budget: &Budget,
+) -> Result<Vec<(NodeId, NodeId)>, EvalError> {
+    let nfa = compile_nfa(expr);
+    Ok(eval_rpq(graph, &nfa, budget)?.into_iter().map(unpack).collect())
+}
+
+/// Seed-driven variant: computes `{(u, v) | u ∈ seeds, u ⟶_L v}` only for
+/// the given sources (the navigational engines' primitive).
+pub fn eval_rpq_from(
+    graph: &Graph,
+    nfa: &Nfa,
+    seeds: &[NodeId],
+    budget: &Budget,
+) -> Result<Vec<u64>, EvalError> {
+    let mut out: Vec<u64> = Vec::new();
+    let mut seen: FxHashSet<u64> = FxHashSet::default();
+    let mut queue: Vec<(NodeId, u32)> = Vec::new();
+    for (si, &src) in seeds.iter().enumerate() {
+        if si % 256 == 0 {
+            budget.check_time()?;
+        }
+        if nfa.accepts_epsilon() {
+            out.push(pack(src, src));
+        }
+        seen.clear();
+        queue.clear();
+        queue.push((src, nfa.start));
+        seen.insert(pack(src, nfa.start));
+        let mut qi = 0;
+        while qi < queue.len() {
+            let (v, q) = queue[qi];
+            qi += 1;
+            for &(sym, q2) in &nfa.transitions[q as usize] {
+                for &w in graph.neighbors(sym.predicate.0, v, sym.inverse) {
+                    if seen.insert(pack(w, q2)) {
+                        if nfa.accepting[q2 as usize] && !(nfa.accepts_epsilon() && w == src) {
+                            out.push(pack(src, w));
+                        }
+                        queue.push((w, q2));
+                    }
+                }
+            }
+        }
+        budget.check_size(out.len())?;
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::query::PathExpr;
+    use gmark_core::schema::PredicateId;
+    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::forward(PredicateId(i))
+    }
+
+    /// A small two-label graph:
+    /// a-edges: 0→1, 1→2, 2→0 (a 3-cycle), 3→1; b-edges: 1→3, 2→3.
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new(TypePartition::from_counts(&[4]), 2);
+        for (s, t) in [(0, 1), (1, 2), (2, 0), (3, 1)] {
+            b.edge(s, 0, t);
+        }
+        for (s, t) in [(1, 3), (2, 3)] {
+            b.edge(s, 1, t);
+        }
+        b.build()
+    }
+
+    fn pairs(expr: &RegularExpr) -> Vec<(NodeId, NodeId)> {
+        eval_rpq_pairs(&graph(), expr, &Budget::default()).unwrap()
+    }
+
+    #[test]
+    fn single_symbol() {
+        let got = pairs(&RegularExpr::symbol(sym(0)));
+        assert_eq!(got, vec![(0, 1), (1, 2), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn inverse_symbol() {
+        let got = pairs(&RegularExpr::symbol(sym(0).flipped()));
+        assert_eq!(got, vec![(0, 2), (1, 0), (1, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn concatenation() {
+        // a·b: 0→1→3, 1→2→3, 3→1... 1-b->3; so (0,3), (1,3), (3,3)? 3-a->1-b->3.
+        let got = pairs(&RegularExpr::path(PathExpr(vec![sym(0), sym(1)])));
+        assert_eq!(got, vec![(0, 3), (1, 3), (3, 3)]);
+    }
+
+    #[test]
+    fn disjunction() {
+        let got = pairs(&RegularExpr::union(vec![
+            PathExpr(vec![sym(0)]),
+            PathExpr(vec![sym(1)]),
+        ]));
+        assert_eq!(got, vec![(0, 1), (1, 2), (1, 3), (2, 0), (2, 3), (3, 1)]);
+    }
+
+    #[test]
+    fn epsilon_disjunct_adds_diagonal() {
+        let got = pairs(&RegularExpr::union(vec![PathExpr::epsilon(), PathExpr(vec![sym(1)])]));
+        let mut expected = vec![(0, 0), (1, 1), (2, 2), (3, 3), (1, 3), (2, 3)];
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn star_of_cycle_reaches_everything_in_component() {
+        // (a)*: within the cycle {0,1,2} everything reaches everything;
+        // 3 reaches {3,1,2,0}; plus the ε diagonal.
+        let got = pairs(&RegularExpr::star(vec![PathExpr(vec![sym(0)])]));
+        let mut expected = Vec::new();
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                expected.push((u, v));
+            }
+        }
+        expected.extend([(3, 3), (3, 1), (3, 2), (3, 0)]);
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn star_of_multi_symbol_path() {
+        // (a·b)*: ε ∪ {0→3, 1→3, 3→3} ∪ longer iterations: from 3, a·b
+        // loops 3→1→3, so (3,3) again; from 0: 0→3 then 3→3.
+        let got = pairs(&RegularExpr::star(vec![PathExpr(vec![sym(0), sym(1)])]));
+        let mut expected = vec![(0, 0), (1, 1), (2, 2), (3, 3), (0, 3), (1, 3), (3, 3)];
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn mixed_direction_star() {
+        // (b·b⁻)*: 1 and 2 both reach node 3 and back, so {1,2} are mutually
+        // reachable (plus the diagonal).
+        let got = pairs(&RegularExpr::star(vec![PathExpr(vec![sym(1), sym(1).flipped()])]));
+        let mut expected = vec![(0, 0), (1, 1), (2, 2), (3, 3), (1, 2), (2, 1)];
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn seed_driven_matches_full_eval() {
+        let expr = RegularExpr::star(vec![PathExpr(vec![sym(0)])]);
+        let nfa = compile_nfa(&expr);
+        let g = graph();
+        let full = eval_rpq(&g, &nfa, &Budget::default()).unwrap();
+        let seeded = eval_rpq_from(&g, &nfa, &[0, 1, 2, 3], &Budget::default()).unwrap();
+        assert_eq!(full, seeded);
+        let only3 = eval_rpq_from(&g, &nfa, &[3], &Budget::default()).unwrap();
+        assert!(only3.iter().all(|&p| unpack(p).0 == 3));
+        assert_eq!(only3.len(), 4);
+    }
+
+    #[test]
+    fn budget_too_large_aborts() {
+        let expr = RegularExpr::star(vec![PathExpr(vec![sym(0)])]);
+        let budget = Budget { max_tuples: 3, ..Budget::default() };
+        let err = eval_rpq_pairs(&graph(), &expr, &budget).unwrap_err();
+        assert!(matches!(err, EvalError::TooLarge(_)));
+    }
+
+    #[test]
+    fn nfa_shapes() {
+        let starless = compile_nfa(&RegularExpr::union(vec![PathExpr(vec![sym(0), sym(1)])]));
+        assert_eq!(starless.len(), 3); // start, accept, one intermediate
+        assert!(!starless.accepts_epsilon());
+        let starred = compile_nfa(&RegularExpr::star(vec![PathExpr(vec![sym(0), sym(1)])]));
+        assert_eq!(starred.len(), 2); // loop state + one intermediate
+        assert!(starred.accepts_epsilon());
+        let eps = compile_nfa(&RegularExpr::union(vec![PathExpr::epsilon()]));
+        assert!(eps.accepts_epsilon());
+    }
+}

@@ -1,0 +1,286 @@
+//! Multiway join of conjunct results over shared variables.
+//!
+//! Every engine that materializes per-conjunct binary relations (the
+//! relational and triple-store engines, and the navigational engine's
+//! binding propagation) funnels through this module: a [`BindingTable`] of
+//! rows over the variables bound so far, extended one conjunct at a time by
+//! hash join / semi-join / cartesian product depending on which of the
+//! conjunct's two variables are already bound.
+
+use crate::{Budget, EvalError};
+use gmark_core::query::{Rule, Var};
+use gmark_store::NodeId;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Rows over an ordered set of variables.
+#[derive(Debug, Clone)]
+pub(crate) struct BindingTable {
+    pub vars: Vec<Var>,
+    pub rows: Vec<Vec<NodeId>>,
+}
+
+impl BindingTable {
+    fn col(&self, v: Var) -> Option<usize> {
+        self.vars.iter().position(|&x| x == v)
+    }
+}
+
+/// One conjunct's materialized pairs, tagged with its variables.
+#[derive(Debug)]
+pub(crate) struct ConjunctPairs {
+    pub src: Var,
+    pub trg: Var,
+    pub pairs: Vec<(NodeId, NodeId)>,
+}
+
+/// Joins conjuncts in the given order into a table over all body variables.
+pub(crate) fn join_all(
+    conjuncts: Vec<ConjunctPairs>,
+    budget: &Budget,
+) -> Result<BindingTable, EvalError> {
+    let mut table: Option<BindingTable> = None;
+    for c in conjuncts {
+        budget.check_time()?;
+        table = Some(match table {
+            None => seed_table(c),
+            Some(t) => extend_table(t, c, budget)?,
+        });
+    }
+    Ok(table.unwrap_or(BindingTable { vars: Vec::new(), rows: vec![Vec::new()] }))
+}
+
+fn seed_table(c: ConjunctPairs) -> BindingTable {
+    if c.src == c.trg {
+        // Self-loop conjunct: keep only (v, v) pairs, one column.
+        let rows = c
+            .pairs
+            .into_iter()
+            .filter(|&(s, t)| s == t)
+            .map(|(s, _)| vec![s])
+            .collect();
+        BindingTable { vars: vec![c.src], rows }
+    } else {
+        BindingTable {
+            vars: vec![c.src, c.trg],
+            rows: c.pairs.into_iter().map(|(s, t)| vec![s, t]).collect(),
+        }
+    }
+}
+
+fn extend_table(
+    table: BindingTable,
+    c: ConjunctPairs,
+    budget: &Budget,
+) -> Result<BindingTable, EvalError> {
+    let src_col = table.col(c.src);
+    let trg_col = table.col(c.trg);
+    match (src_col, trg_col) {
+        (Some(sc), Some(tc)) => {
+            // Semi-join: keep rows whose (src, trg) pair is in the conjunct.
+            let set: FxHashSet<(NodeId, NodeId)> = c.pairs.into_iter().collect();
+            let rows = table
+                .rows
+                .into_iter()
+                .filter(|row| set.contains(&(row[sc], row[tc])))
+                .collect();
+            Ok(BindingTable { vars: table.vars, rows })
+        }
+        (Some(sc), None) => {
+            // Hash join on src; extend with trg.
+            let mut index: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+            for (s, t) in c.pairs {
+                index.entry(s).or_default().push(t);
+            }
+            let mut vars = table.vars;
+            vars.push(c.trg);
+            let mut rows = Vec::new();
+            for row in table.rows {
+                if let Some(ts) = index.get(&row[sc]) {
+                    for &t in ts {
+                        let mut r = row.clone();
+                        r.push(t);
+                        rows.push(r);
+                    }
+                    budget.check_size(rows.len())?;
+                }
+            }
+            Ok(BindingTable { vars, rows })
+        }
+        (None, Some(tc)) => {
+            let mut index: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+            for (s, t) in c.pairs {
+                index.entry(t).or_default().push(s);
+            }
+            let mut vars = table.vars;
+            vars.push(c.src);
+            let mut rows = Vec::new();
+            for row in table.rows {
+                if let Some(ss) = index.get(&row[tc]) {
+                    for &s in ss {
+                        let mut r = row.clone();
+                        r.push(s);
+                        rows.push(r);
+                    }
+                    budget.check_size(rows.len())?;
+                }
+            }
+            Ok(BindingTable { vars, rows })
+        }
+        (None, None) => {
+            // Disconnected: cartesian product (budgeted).
+            let mut vars = table.vars;
+            let self_loop = c.src == c.trg;
+            vars.push(c.src);
+            if !self_loop {
+                vars.push(c.trg);
+            }
+            let mut rows = Vec::new();
+            for row in &table.rows {
+                for &(s, t) in &c.pairs {
+                    if self_loop && s != t {
+                        continue;
+                    }
+                    let mut r = row.clone();
+                    r.push(s);
+                    if !self_loop {
+                        r.push(t);
+                    }
+                    rows.push(r);
+                }
+                budget.check_size(rows.len())?;
+            }
+            Ok(BindingTable { vars, rows })
+        }
+    }
+}
+
+/// Projects a joined table onto a rule's head (deduplicated by the caller
+/// through [`crate::Answers::new`]). A Boolean head yields one empty tuple
+/// iff any row exists.
+pub(crate) fn project(table: &BindingTable, rule: &Rule) -> Vec<Vec<NodeId>> {
+    if rule.head.is_empty() {
+        return if table.rows.is_empty() { Vec::new() } else { vec![Vec::new()] };
+    }
+    let cols: Vec<usize> = rule
+        .head
+        .iter()
+        .map(|v| table.col(*v).expect("head vars are bound (rule safety)"))
+        .collect();
+    table.rows.iter().map(|row| cols.iter().map(|&c| row[c]).collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::query::{Conjunct, RegularExpr, Symbol};
+    use gmark_core::schema::PredicateId;
+
+    fn cp(src: u32, trg: u32, pairs: Vec<(NodeId, NodeId)>) -> ConjunctPairs {
+        ConjunctPairs { src: Var(src), trg: Var(trg), pairs }
+    }
+
+    fn rule_with_head(head: Vec<u32>) -> Rule {
+        // Body content is irrelevant for projection tests beyond var names.
+        Rule {
+            head: head.into_iter().map(Var).collect(),
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(Symbol::forward(PredicateId(0))),
+                trg: Var(1),
+            }],
+        }
+    }
+
+    #[test]
+    fn chain_join() {
+        let t = join_all(
+            vec![
+                cp(0, 1, vec![(1, 2), (3, 4)]),
+                cp(1, 2, vec![(2, 5), (4, 6), (9, 9)]),
+            ],
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(t.vars, vec![Var(0), Var(1), Var(2)]);
+        let mut rows = t.rows.clone();
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 2, 5], vec![3, 4, 6]]);
+    }
+
+    #[test]
+    fn reverse_direction_join() {
+        // Second conjunct binds its *target* to an existing var.
+        let t = join_all(
+            vec![cp(0, 1, vec![(1, 2)]), cp(2, 1, vec![(7, 2), (8, 2), (9, 3)])],
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(t.vars, vec![Var(0), Var(1), Var(2)]);
+        let mut rows = t.rows.clone();
+        rows.sort();
+        assert_eq!(rows, vec![vec![1, 2, 7], vec![1, 2, 8]]);
+    }
+
+    #[test]
+    fn semi_join_filters() {
+        // Cycle: third conjunct closes 0 → 2.
+        let t = join_all(
+            vec![
+                cp(0, 1, vec![(1, 2), (3, 4)]),
+                cp(1, 2, vec![(2, 5), (4, 6)]),
+                cp(0, 2, vec![(1, 5)]),
+            ],
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(t.rows, vec![vec![1, 2, 5]]);
+    }
+
+    #[test]
+    fn self_loop_seed() {
+        let t = join_all(
+            vec![cp(0, 0, vec![(1, 1), (2, 3), (4, 4)])],
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(t.vars, vec![Var(0)]);
+        let mut rows = t.rows.clone();
+        rows.sort();
+        assert_eq!(rows, vec![vec![1], vec![4]]);
+    }
+
+    #[test]
+    fn cartesian_when_disconnected() {
+        let t = join_all(
+            vec![cp(0, 1, vec![(1, 2)]), cp(5, 6, vec![(7, 8), (9, 10)])],
+            &Budget::default(),
+        )
+        .unwrap();
+        assert_eq!(t.vars, vec![Var(0), Var(1), Var(5), Var(6)]);
+        assert_eq!(t.rows.len(), 2);
+    }
+
+    #[test]
+    fn projection_and_boolean() {
+        let t = join_all(vec![cp(0, 1, vec![(1, 2), (1, 3)])], &Budget::default()).unwrap();
+        let p = project(&t, &rule_with_head(vec![1, 0]));
+        let mut p = p;
+        p.sort();
+        assert_eq!(p, vec![vec![2, 1], vec![3, 1]]);
+        let b = project(&t, &rule_with_head(vec![]));
+        assert_eq!(b, vec![Vec::<NodeId>::new()]);
+        let empty = BindingTable { vars: vec![Var(0)], rows: vec![] };
+        assert!(project(&empty, &rule_with_head(vec![])).is_empty());
+    }
+
+    #[test]
+    fn budget_stops_blowup() {
+        let pairs: Vec<(NodeId, NodeId)> = (0..1000).map(|i| (0, i)).collect();
+        let tight = Budget { max_tuples: 100, ..Budget::default() };
+        let r = join_all(
+            vec![cp(0, 1, vec![(5, 0); 1]), cp(1, 2, pairs.clone()), cp(2, 3, pairs)],
+            &tight,
+        );
+        assert!(matches!(r, Err(EvalError::TooLarge(_))));
+    }
+}

@@ -1,0 +1,379 @@
+//! The navigational engine (`G`-style: a native graph database speaking
+//! openCypher).
+//!
+//! Two properties of the paper's system `G` are reproduced:
+//!
+//! 1. **Query degradation.** openCypher variable-length patterns support
+//!    neither inverses nor concatenations under a Kleene star, so such
+//!    queries run in a weakened form — "the corresponding openCypher query
+//!    has only the non-inverse symbol and/or the first symbol in a
+//!    concatenation of symbols" (Section 7.1). This engine evaluates that
+//!    degraded query, so its answers on recursive queries legitimately
+//!    differ from the other engines — the reason the paper reports `G`
+//!    returning empty/deviating results in Table 4.
+//! 2. **Seed-driven navigation.** Evaluation expands bindings conjunct by
+//!    conjunct from already-bound variables (pattern matching by
+//!    traversal), rather than materializing whole relations. Starting
+//!    seeds are the candidate nodes of the first conjunct's source.
+//!
+//! Variable-length patterns in openCypher also bind at least one hop by
+//! default (`*` means `*1..`); gMark's star includes ε. The translator
+//! emits `*0..` so this engine keeps ε — the degradation above is the only
+//! semantic difference retained, keeping the comparison interpretable.
+
+use crate::automaton::{compile_nfa, eval_rpq_from};
+use crate::joiner::{join_all, project, ConjunctPairs};
+use crate::{unpack, Answers, Budget, Engine, EvalError};
+use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Var};
+use gmark_store::{Graph, NodeId};
+
+/// See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NavigationalEngine;
+
+/// Section 7.1's degradation: under a star, keep each disjunct's first
+/// non-inverse symbol (paths reduce to length one; inverse-only paths keep
+/// their first symbol with the inversion dropped).
+pub fn degrade_for_cypher(query: &Query) -> (Query, bool) {
+    let mut lossy = false;
+    let rules = query
+        .rules
+        .iter()
+        .map(|r| Rule {
+            head: r.head.clone(),
+            body: r
+                .body
+                .iter()
+                .map(|c| Conjunct {
+                    src: c.src,
+                    trg: c.trg,
+                    expr: degrade_expr(&c.expr, &mut lossy),
+                })
+                .collect(),
+        })
+        .collect();
+    (Query::new(rules).expect("degradation preserves well-formedness"), lossy)
+}
+
+fn degrade_expr(expr: &RegularExpr, lossy: &mut bool) -> RegularExpr {
+    if !expr.starred {
+        return expr.clone();
+    }
+    let mut disjuncts = Vec::new();
+    for p in &expr.disjuncts {
+        if p.is_empty() {
+            continue;
+        }
+        let degraded = if let Some(sym) = p.0.iter().find(|s| !s.inverse) {
+            if p.len() > 1 || p.0.iter().any(|s| s.inverse) {
+                *lossy = true;
+            }
+            PathExpr(vec![*sym])
+        } else {
+            *lossy = true;
+            PathExpr(vec![p.0[0].flipped()]) // drop the inversion
+        };
+        if !disjuncts.contains(&degraded) {
+            disjuncts.push(degraded);
+        }
+    }
+    if disjuncts.is_empty() {
+        // Only ε disjuncts: the star is the identity.
+        disjuncts.push(PathExpr::epsilon());
+    }
+    RegularExpr { disjuncts, starred: true }
+}
+
+impl Engine for NavigationalEngine {
+    fn name(&self) -> &'static str {
+        "G/navigational"
+    }
+
+    fn evaluate(
+        &self,
+        graph: &Graph,
+        query: &Query,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
+        let (query, _lossy) = degrade_for_cypher(query);
+        let mut tuples = Vec::new();
+        for rule in &query.rules {
+            let table = eval_rule(graph, rule, budget)?;
+            tuples.extend(project(&table, rule));
+            budget.check_size(tuples.len())?;
+        }
+        Ok(Answers::new(query.arity(), tuples))
+    }
+}
+
+/// Seed-driven evaluation: conjuncts are processed in an order that keeps
+/// each new conjunct anchored at a bound variable; its pairs are computed
+/// by automaton BFS *from the currently bound seeds only*.
+fn eval_rule(
+    graph: &Graph,
+    rule: &Rule,
+    budget: &Budget,
+) -> Result<crate::joiner::BindingTable, EvalError> {
+    let order = anchor_order(rule);
+    let mut bound: Vec<Var> = Vec::new();
+    let mut materialized = Vec::with_capacity(rule.body.len());
+    let mut table: Option<crate::joiner::BindingTable> = None;
+
+    for (ci, flip) in order {
+        budget.check_time()?;
+        let c = &rule.body[ci];
+        let (from, _to, expr) = if flip {
+            (
+                c.trg,
+                c.src,
+                RegularExpr {
+                    disjuncts: c.expr.disjuncts.iter().map(PathExpr::reversed).collect(),
+                    starred: c.expr.starred,
+                },
+            )
+        } else {
+            (c.src, c.trg, c.expr.clone())
+        };
+        let nfa = compile_nfa(&expr);
+        // Seeds: the bound values of `from` if available, else all nodes.
+        let current_seeds: Vec<NodeId> = match &table {
+            Some(t) if bound.contains(&from) => {
+                let col = t.vars.iter().position(|&v| v == from).expect("bound var in table");
+                let mut s: Vec<NodeId> = t.rows.iter().map(|r| r[col]).collect();
+                s.sort_unstable();
+                s.dedup();
+                s
+            }
+            _ => (0..graph.node_count()).collect(),
+        };
+        let packed = eval_rpq_from(graph, &nfa, &current_seeds, budget)?;
+        let pairs: Vec<(NodeId, NodeId)> = if flip {
+            packed.into_iter().map(|p| {
+                let (a, b) = unpack(p);
+                (b, a)
+            }).collect()
+        } else {
+            packed.into_iter().map(unpack).collect()
+        };
+        materialized.push(ConjunctPairs { src: c.src, trg: c.trg, pairs });
+        // Incrementally join so the next conjunct sees tight seeds.
+        let t = join_all(std::mem::take(&mut materialized), budget)?;
+        // join_all consumed one conjunct; re-seed the running table.
+        table = Some(match table {
+            None => t,
+            Some(prev) => merge_tables(prev, t, budget)?,
+        });
+        for v in [c.src, c.trg] {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+    }
+    Ok(table.unwrap_or(crate::joiner::BindingTable { vars: Vec::new(), rows: vec![Vec::new()] }))
+}
+
+/// Joins two binding tables on their shared variables (hash join).
+fn merge_tables(
+    a: crate::joiner::BindingTable,
+    b: crate::joiner::BindingTable,
+    budget: &Budget,
+) -> Result<crate::joiner::BindingTable, EvalError> {
+    use rustc_hash::FxHashMap;
+    let shared: Vec<(usize, usize)> = a
+        .vars
+        .iter()
+        .enumerate()
+        .filter_map(|(ia, va)| b.vars.iter().position(|vb| vb == va).map(|ib| (ia, ib)))
+        .collect();
+    let b_extra: Vec<usize> =
+        (0..b.vars.len()).filter(|ib| !shared.iter().any(|&(_, sb)| sb == *ib)).collect();
+    let mut index: FxHashMap<Vec<NodeId>, Vec<usize>> = FxHashMap::default();
+    for (ri, row) in b.rows.iter().enumerate() {
+        let key: Vec<NodeId> = shared.iter().map(|&(_, ib)| row[ib]).collect();
+        index.entry(key).or_default().push(ri);
+    }
+    let mut vars = a.vars.clone();
+    for &ib in &b_extra {
+        vars.push(b.vars[ib]);
+    }
+    let mut rows = Vec::new();
+    for row in &a.rows {
+        let key: Vec<NodeId> = shared.iter().map(|&(ia, _)| row[ia]).collect();
+        if let Some(matches) = index.get(&key) {
+            for &ri in matches {
+                let mut r = row.clone();
+                for &ib in &b_extra {
+                    r.push(b.rows[ri][ib]);
+                }
+                rows.push(r);
+            }
+            budget.check_size(rows.len())?;
+        }
+    }
+    Ok(crate::joiner::BindingTable { vars, rows })
+}
+
+/// Orders conjuncts so each (after the first) touches an already-bound
+/// variable, flipping traversal direction when only the target is bound.
+fn anchor_order(rule: &Rule) -> Vec<(usize, bool)> {
+    let n = rule.body.len();
+    let mut used = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut bound: Vec<Var> = Vec::new();
+    for _ in 0..n {
+        let pick = (0..n)
+            .filter(|&i| !used[i])
+            .find(|&i| bound.contains(&rule.body[i].src))
+            .map(|i| (i, false))
+            .or_else(|| {
+                (0..n)
+                    .filter(|&i| !used[i])
+                    .find(|&i| bound.contains(&rule.body[i].trg))
+                    .map(|i| (i, true))
+            })
+            .unwrap_or_else(|| {
+                ((0..n).find(|&i| !used[i]).expect("some conjunct unused"), false)
+            });
+        used[pick.0] = true;
+        for v in [rule.body[pick.0].src, rule.body[pick.0].trg] {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        order.push(pick);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relational::RelationalEngine;
+    use crate::Engine;
+    use gmark_core::query::Symbol;
+    use gmark_core::schema::PredicateId;
+    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::forward(PredicateId(i))
+    }
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new(TypePartition::from_counts(&[5]), 2);
+        for (s, t) in [(0, 1), (1, 2), (2, 0), (3, 1), (4, 2)] {
+            b.edge(s, 0, t);
+        }
+        for (s, t) in [(1, 3), (2, 3), (0, 4)] {
+            b.edge(s, 1, t);
+        }
+        b.build()
+    }
+
+    fn chain(exprs: Vec<RegularExpr>) -> Query {
+        let n = exprs.len() as u32;
+        Query::single(Rule {
+            head: vec![Var(0), Var(n)],
+            body: exprs
+                .into_iter()
+                .enumerate()
+                .map(|(i, expr)| Conjunct { src: Var(i as u32), expr, trg: Var(i as u32 + 1) })
+                .collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn agrees_on_non_degraded_queries() {
+        // No inverse/concatenation under stars: answers must match the
+        // relational reference exactly.
+        let cases = vec![
+            chain(vec![RegularExpr::symbol(sym(0))]),
+            chain(vec![RegularExpr::symbol(sym(0).flipped())]),
+            chain(vec![
+                RegularExpr::path(PathExpr(vec![sym(0), sym(1)])),
+                RegularExpr::symbol(sym(1).flipped()),
+            ]),
+            chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(0)])])]),
+        ];
+        for q in cases {
+            let a = NavigationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+            let b = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+            assert_eq!(a, b, "mismatch on {q:?}");
+        }
+    }
+
+    #[test]
+    fn degradation_changes_recursive_answers() {
+        // (a⁻·a)* degrades to a*, so answers may differ from the faithful
+        // evaluation — the Table 4 phenomenon.
+        let q = chain(vec![RegularExpr::star(vec![PathExpr(vec![
+            sym(0).flipped(),
+            sym(0),
+        ])])]);
+        let nav = NavigationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let reference = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        assert_ne!(nav, reference, "degradation should be observable here");
+    }
+
+    #[test]
+    fn degrade_marks_lossiness() {
+        let clean = chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(0)])])]);
+        let (dq, lossy) = degrade_for_cypher(&clean);
+        assert!(!lossy);
+        assert_eq!(dq, clean);
+
+        let dirty = chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(0), sym(1)])])]);
+        let (dq, lossy) = degrade_for_cypher(&dirty);
+        assert!(lossy);
+        assert_eq!(
+            dq.rules[0].body[0].expr,
+            RegularExpr::star(vec![PathExpr(vec![sym(0)])])
+        );
+
+        let inverse_only =
+            chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(1).flipped()])])]);
+        let (dq, lossy) = degrade_for_cypher(&inverse_only);
+        assert!(lossy);
+        assert_eq!(
+            dq.rules[0].body[0].expr,
+            RegularExpr::star(vec![PathExpr(vec![sym(1)])])
+        );
+    }
+
+    #[test]
+    fn non_starred_expressions_untouched() {
+        let q = chain(vec![RegularExpr::union(vec![
+            PathExpr(vec![sym(0), sym(1).flipped()]),
+            PathExpr(vec![sym(1)]),
+        ])]);
+        let (dq, lossy) = degrade_for_cypher(&q);
+        assert!(!lossy);
+        assert_eq!(dq, q);
+    }
+
+    #[test]
+    fn anchor_order_flips_when_needed() {
+        // Body: (?x1, a, ?x0), (?x1, b, ?x2) — after the first conjunct
+        // binds x1/x0, the second anchors at x1 forward.
+        let rule = Rule {
+            head: vec![Var(0), Var(2)],
+            body: vec![
+                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(0)), trg: Var(0) },
+                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(1)), trg: Var(2) },
+            ],
+        };
+        let order = anchor_order(&rule);
+        assert_eq!(order, vec![(0, false), (1, false)]);
+    }
+
+    #[test]
+    fn boolean_query_works() {
+        let q = Query::single(Rule {
+            head: vec![],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let a = NavigationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        assert!(a.non_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! Least-squares regression used to recover selectivity exponents.
+//!
+//! Section 6.2 of the paper: "To compute the α-value in the formula
+//! `|Q(G)| = β·|G|^α` we computed a simple linear regression between
+//! `log |G|` and `log |Q(G)|`." [`log_log_alpha`] implements exactly that;
+//! [`linear_regression`] is the underlying ordinary-least-squares fit.
+
+/// Result of an ordinary least-squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Regression {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for a perfect fit).
+    pub r_squared: f64,
+}
+
+/// Ordinary least squares over paired observations.
+///
+/// Returns `None` when fewer than two points are given or when all `x`
+/// values coincide (the slope is then undefined).
+pub fn linear_regression(points: &[(f64, f64)]) -> Option<Regression> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(Regression { slope, intercept, r_squared })
+}
+
+/// Estimates `α` of `|Q(G)| = β·|G|^α` from `(graph size, result count)`
+/// observations, exactly as Section 6.2 prescribes.
+///
+/// A result count of zero cannot be log-transformed; following the convention
+/// used when benchmarking count queries, zero counts are mapped to 1 result
+/// (`log = 0`) so constant-selectivity queries that return empty answers
+/// still regress to `α ≈ 0`. Returns `(alpha, beta)` or `None` when the
+/// regression is undefined.
+pub fn log_log_alpha(observations: &[(u64, u64)]) -> Option<(f64, f64)> {
+    let points: Vec<(f64, f64)> = observations
+        .iter()
+        .map(|&(n, c)| ((n.max(1) as f64).ln(), (c.max(1) as f64).ln()))
+        .collect();
+    let reg = linear_regression(&points)?;
+    Some((reg.slope, reg.intercept.exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let pts = [(1.0, 3.0), (2.0, 5.0), (3.0, 7.0)];
+        let r = linear_regression(&pts).unwrap();
+        assert!((r.slope - 2.0).abs() < 1e-12);
+        assert!((r.intercept - 1.0).abs() < 1e-12);
+        assert!((r.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(linear_regression(&[]).is_none());
+        assert!(linear_regression(&[(1.0, 2.0)]).is_none());
+        assert!(linear_regression(&[(1.0, 2.0), (1.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn horizontal_line_has_zero_slope() {
+        let pts = [(1.0, 4.0), (2.0, 4.0), (3.0, 4.0)];
+        let r = linear_regression(&pts).unwrap();
+        assert_eq!(r.slope, 0.0);
+        assert_eq!(r.r_squared, 1.0);
+    }
+
+    #[test]
+    fn noisy_fit_r_squared_below_one() {
+        let pts = [(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (4.0, 5.0)];
+        let r = linear_regression(&pts).unwrap();
+        assert!(r.r_squared < 1.0);
+        assert!(r.r_squared > 0.0);
+    }
+
+    #[test]
+    fn alpha_of_linear_query() {
+        // |Q(G)| = 0.5 * |G| => alpha = 1, beta = 0.5
+        let obs: Vec<(u64, u64)> = [2000u64, 4000, 8000, 16000, 32000]
+            .iter()
+            .map(|&n| (n, n / 2))
+            .collect();
+        let (alpha, beta) = log_log_alpha(&obs).unwrap();
+        assert!((alpha - 1.0).abs() < 1e-9, "alpha {alpha}");
+        assert!((beta - 0.5).abs() < 1e-9, "beta {beta}");
+    }
+
+    #[test]
+    fn alpha_of_quadratic_query() {
+        let obs: Vec<(u64, u64)> = [2000u64, 4000, 8000]
+            .iter()
+            .map(|&n| (n, (n * n) / 1000))
+            .collect();
+        let (alpha, _beta) = log_log_alpha(&obs).unwrap();
+        assert!((alpha - 2.0).abs() < 1e-9, "alpha {alpha}");
+    }
+
+    #[test]
+    fn alpha_of_constant_query_with_zeros() {
+        let obs = [(2000u64, 7u64), (4000, 7), (8000, 7), (16000, 7)];
+        let (alpha, _) = log_log_alpha(&obs).unwrap();
+        assert!(alpha.abs() < 1e-9);
+        let zero_obs = [(2000u64, 0u64), (4000, 0), (8000, 0)];
+        let (alpha0, _) = log_log_alpha(&zero_obs).unwrap();
+        assert!(alpha0.abs() < 1e-9, "empty answers regress to alpha 0");
+    }
+}

@@ -1,0 +1,433 @@
+//! Samplers for gMark's degree distributions (Definition 3.1).
+//!
+//! A schema constraint `η(T1, T2, a) = (D_in, D_out)` draws per-node in- and
+//! out-degrees from one of three distributions:
+//!
+//! * **uniform** over an integer interval `[min, max]`,
+//! * **Gaussian** with parameters `μ, σ` (degrees are rounded and clamped at
+//!   zero, since a node cannot have a negative number of edges),
+//! * **Zipfian** with exponent `s` over a bounded support `{1, …, n}` — the
+//!   power-law that drives the paper's quadratic selectivity class
+//!   (hub nodes, Section 5.2.1).
+//!
+//! Each sampler also reports its [`DegreeSampler::mean`], used both by the
+//! schema consistency check (Section 4: in/out totals must be compatible) and
+//! by the Gaussian fast path of the generator, which "exploits the average
+//! information of the Gaussian distributions to avoid entirely constructing
+//! the vectors".
+
+use crate::rng::Prng;
+
+/// A sampler of non-negative integer node degrees.
+pub trait DegreeSampler {
+    /// Draws one degree.
+    fn sample(&self, rng: &mut Prng) -> u64;
+
+    /// Expected value of the sampled degree.
+    fn mean(&self) -> f64;
+}
+
+/// Uniform integer distribution over `[min, max]` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    /// Smallest degree (inclusive).
+    pub min: u64,
+    /// Largest degree (inclusive).
+    pub max: u64,
+}
+
+impl Uniform {
+    /// Creates a uniform sampler; panics if `min > max`.
+    pub fn new(min: u64, max: u64) -> Self {
+        assert!(min <= max, "Uniform requires min <= max, got [{min}, {max}]");
+        Uniform { min, max }
+    }
+}
+
+impl DegreeSampler for Uniform {
+    #[inline]
+    fn sample(&self, rng: &mut Prng) -> u64 {
+        rng.range_inclusive(self.min, self.max)
+    }
+
+    fn mean(&self) -> f64 {
+        (self.min as f64 + self.max as f64) / 2.0
+    }
+}
+
+/// Gaussian (normal) distribution with mean `mu` and standard deviation
+/// `sigma`; samples are rounded to the nearest integer and clamped at zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Mean of the underlying normal distribution.
+    pub mu: f64,
+    /// Standard deviation of the underlying normal distribution.
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian sampler; panics on non-finite or negative `sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "Gaussian mu must be finite");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "Gaussian sigma must be finite and non-negative"
+        );
+        Gaussian { mu, sigma }
+    }
+
+    /// Draws from the *continuous* normal distribution via Box–Muller.
+    #[inline]
+    pub fn sample_f64(&self, rng: &mut Prng) -> f64 {
+        // Box–Muller transform; one variate per call keeps the generator
+        // stateless (no cached second variate), which preserves splittability.
+        let u1 = loop {
+            let u = rng.f64_unit();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = rng.f64_unit();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.mu + self.sigma * r * theta.cos()
+    }
+}
+
+impl DegreeSampler for Gaussian {
+    #[inline]
+    fn sample(&self, rng: &mut Prng) -> u64 {
+        let x = self.sample_f64(rng);
+        if x <= 0.0 {
+            0
+        } else {
+            x.round() as u64
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        // Clamping at zero biases the mean upward for small mu/sigma ratios,
+        // but gMark schemas use mu >> 0, where the bias is negligible. The
+        // consistency check treats this as the nominal mean, as the paper
+        // does.
+        self.mu.max(0.0)
+    }
+}
+
+/// Bounded Zipf distribution: `P(k) ∝ k^(-s)` for `k ∈ {1, …, n}`.
+///
+/// Sampling uses rejection-inversion (Hörmann & Derflinger 1996), the same
+/// algorithm as `rand_distr::Zipf`, which is O(1) per sample for any support
+/// size — required because gMark draws one degree per node on multi-million
+/// node graphs. Works for any exponent `s > 0`, including `s = 1`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    /// Support upper bound `n` (samples lie in `1..=n`).
+    pub n: u64,
+    /// Exponent `s > 0`.
+    pub s: f64,
+    h_x1: f64,
+    h_n: f64,
+    threshold: f64,
+}
+
+/// `(exp(t) - 1) / t`, continuous at `t = 0`.
+#[inline]
+fn helper_expm1_over(t: f64) -> f64 {
+    if t.abs() > 1e-8 {
+        t.exp_m1() / t
+    } else {
+        1.0 + t / 2.0 * (1.0 + t / 3.0)
+    }
+}
+
+/// `ln(1 + t) / t`, continuous at `t = 0`.
+#[inline]
+fn helper_log1p_over(t: f64) -> f64 {
+    if t.abs() > 1e-8 {
+        t.ln_1p() / t
+    } else {
+        1.0 - t / 2.0 + t * t / 3.0
+    }
+}
+
+impl Zipf {
+    /// Creates a bounded Zipf sampler over `1..=n` with exponent `s`.
+    ///
+    /// Panics if `n == 0` or `s` is not a positive finite number.
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive");
+        let h = |x: f64| -> f64 {
+            let ln_x = x.ln();
+            helper_expm1_over((1.0 - s) * ln_x) * ln_x
+        };
+        let h_inv = |y: f64| -> f64 {
+            let t = (y * (1.0 - s)).max(-1.0);
+            (helper_log1p_over(t) * y).exp()
+        };
+        let h_x1 = h(1.5) - 1.0; // h(1) = 1^-s = 1
+        let h_n = h(n as f64 + 0.5);
+        let threshold = 2.0 - h_inv(h(2.5) - (-s * 2.0f64.ln()).exp());
+        Zipf { n, s, h_x1, h_n, threshold }
+    }
+
+    #[inline]
+    fn h_integral(&self, x: f64) -> f64 {
+        let ln_x = x.ln();
+        helper_expm1_over((1.0 - self.s) * ln_x) * ln_x
+    }
+
+    #[inline]
+    fn h(&self, x: f64) -> f64 {
+        (-self.s * x.ln()).exp()
+    }
+
+    #[inline]
+    fn h_integral_inverse(&self, y: f64) -> f64 {
+        let t = (y * (1.0 - self.s)).max(-1.0);
+        (helper_log1p_over(t) * y).exp()
+    }
+
+    /// Exact probability mass `P(k)` (for testing / reporting); `O(n)`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        if k == 0 || k > self.n {
+            return 0.0;
+        }
+        let norm: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (k as f64).powf(-self.s) / norm
+    }
+}
+
+impl DegreeSampler for Zipf {
+    fn sample(&self, rng: &mut Prng) -> u64 {
+        if self.n == 1 {
+            return 1;
+        }
+        loop {
+            // u is uniform in (h(n + 1/2), h(3/2) - h(1)]; x = H^-1(u).
+            let u = self.h_n + rng.f64_unit() * (self.h_x1 - self.h_n);
+            let x = self.h_integral_inverse(u);
+            let k = (x.round() as u64).clamp(1, self.n);
+            if (k as f64 - x) <= self.threshold
+                || u >= self.h_integral(k as f64 + 0.5) - self.h(k as f64)
+            {
+                return k;
+            }
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        // mean = H_{n,s-1} / H_{n,s}. Sum the first `m` terms exactly and
+        // approximate the tail by the midpoint integral
+        // ∑_{k=m+1..n} k^-p ≈ ∫_{m+1/2}^{n+1/2} x^-p dx, accurate to O(m^-2).
+        let hs = |p: f64| -> f64 {
+            let m = self.n.min(4096);
+            let head: f64 = (1..=m).map(|i| (i as f64).powf(-p)).sum();
+            if m == self.n {
+                return head;
+            }
+            let a = m as f64 + 0.5;
+            let b = self.n as f64 + 0.5;
+            let tail = if (p - 1.0).abs() < 1e-12 {
+                (b / a).ln()
+            } else {
+                (b.powf(1.0 - p) - a.powf(1.0 - p)) / (1.0 - p)
+            };
+            head + tail
+        };
+        hs(self.s - 1.0) / hs(self.s)
+    }
+}
+
+/// A dynamically-dispatched degree sampler (uniform / Gaussian / Zipf).
+///
+/// Convenience enum used by the generator so a constraint can hold either
+/// distribution without boxing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AnySampler {
+    /// Uniform over an interval.
+    Uniform(Uniform),
+    /// Gaussian with rounding and clamping.
+    Gaussian(Gaussian),
+    /// Bounded Zipf.
+    Zipf(Zipf),
+}
+
+impl DegreeSampler for AnySampler {
+    #[inline]
+    fn sample(&self, rng: &mut Prng) -> u64 {
+        match self {
+            AnySampler::Uniform(s) => s.sample(rng),
+            AnySampler::Gaussian(s) => s.sample(rng),
+            AnySampler::Zipf(s) => s.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match self {
+            AnySampler::Uniform(s) => s.mean(),
+            AnySampler::Gaussian(s) => s.mean(),
+            AnySampler::Zipf(s) => s.mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Prng {
+        Prng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let s = Uniform::new(2, 5);
+        let mut rng = rng();
+        for _ in 0..1000 {
+            let v = s.sample(&mut rng);
+            assert!((2..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_point_mass() {
+        let s = Uniform::new(3, 3);
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), 3);
+        }
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn uniform_mean_matches_empirical() {
+        let s = Uniform::new(0, 10);
+        let mut rng = rng();
+        let total: u64 = (0..100_000).map(|_| s.sample(&mut rng)).sum();
+        let emp = total as f64 / 100_000.0;
+        assert!((emp - s.mean()).abs() < 0.05, "empirical {emp} vs {}", s.mean());
+    }
+
+    #[test]
+    fn gaussian_empirical_mean_and_sd() {
+        let g = Gaussian::new(20.0, 3.0);
+        let mut rng = rng();
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 20.0).abs() < 0.1, "mean {mean}");
+        // Rounding to integers adds 1/12 variance.
+        assert!((var.sqrt() - 3.0).abs() < 0.15, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn gaussian_never_negative() {
+        let g = Gaussian::new(0.5, 5.0);
+        let mut rng = rng();
+        for _ in 0..10_000 {
+            let _v: u64 = g.sample(&mut rng); // type-checked non-negative
+        }
+    }
+
+    #[test]
+    fn gaussian_zero_sigma_is_constant() {
+        let g = Gaussian::new(4.0, 0.0);
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut rng), 4);
+        }
+    }
+
+    #[test]
+    fn zipf_support_bounds() {
+        for s in [0.5, 1.0, 2.5] {
+            let z = Zipf::new(100, s);
+            let mut rng = rng();
+            for _ in 0..10_000 {
+                let v = z.sample(&mut rng);
+                assert!((1..=100).contains(&v), "sample {v} out of support (s={s})");
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_singleton_support() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = rng();
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_matches_exact_pmf() {
+        // Chi-square-style check of the rejection-inversion sampler against
+        // the exact pmf on a small support.
+        for s in [0.8, 1.0, 1.5, 2.5] {
+            let z = Zipf::new(10, s);
+            let mut rng = Prng::seed_from_u64(0x5EED + s.to_bits());
+            let n = 200_000;
+            let mut counts = [0u64; 11];
+            for _ in 0..n {
+                counts[z.sample(&mut rng) as usize] += 1;
+            }
+            for k in 1..=10u64 {
+                let expected = z.pmf(k) * n as f64;
+                let got = counts[k as usize] as f64;
+                // 5-sigma Poisson tolerance.
+                let tol = 5.0 * expected.sqrt() + 5.0;
+                assert!(
+                    (got - expected).abs() < tol,
+                    "s={s} k={k}: got {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_mean_small_support_is_exact() {
+        let z = Zipf::new(10, 2.0);
+        let norm: f64 = (1..=10).map(|i: u64| (i as f64).powf(-2.0)).sum();
+        let exact: f64 = (1..=10).map(|i: u64| (i as f64).powf(-1.0)).sum::<f64>() / norm;
+        assert!((z.mean() - exact).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zipf_mean_large_support_close_to_empirical() {
+        let z = Zipf::new(100_000, 2.5);
+        let mut rng = rng();
+        let n = 200_000;
+        let total: u64 = (0..n).map(|_| z.sample(&mut rng)).sum();
+        let emp = total as f64 / n as f64;
+        assert!(
+            (emp - z.mean()).abs() / z.mean() < 0.05,
+            "empirical {emp} vs analytic {}",
+            z.mean()
+        );
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing_in_frequency() {
+        let z = Zipf::new(50, 1.5);
+        let mut rng = rng();
+        let mut counts = vec![0u64; 51];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[1] > counts[5]);
+        assert!(counts[5] > counts[25]);
+    }
+
+    #[test]
+    fn any_sampler_dispatches() {
+        let mut rng = rng();
+        let u = AnySampler::Uniform(Uniform::new(1, 1));
+        assert_eq!(u.sample(&mut rng), 1);
+        assert_eq!(u.mean(), 1.0);
+        let z = AnySampler::Zipf(Zipf::new(1, 2.0));
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Mean / standard-deviation summaries for experiment reporting.
+//!
+//! Table 2 of the paper reports `α` values "averaged across constant, linear,
+//! and quadratic queries (with standard deviation)". [`Summary`] is a small
+//! streaming accumulator (Welford's algorithm) producing exactly those
+//! `mean ± sd` entries; it also tracks min/max for the outlier-discarding
+//! measurement protocol of Section 7.1.
+
+/// Streaming mean / variance / extrema accumulator (Welford).
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Builds a summary from a slice of observations.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut s = Summary::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (`n - 1` denominator, as Table 2 reports a
+    /// sample statistic); 0 for fewer than two observations.
+    pub fn std_dev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Formats as the paper's `mean±sd` table entry, e.g. `0.200±0.417`.
+    pub fn paper_entry(&self) -> String {
+        format!("{:.3}\u{00B1}{:.3}", self.mean(), self.std_dev())
+    }
+}
+
+/// Averages the "warm runs" the way Section 7.1 measures query time:
+/// given the runs, drop the fastest and the slowest, return the mean of the
+/// rest. With fewer than three runs, returns the plain mean.
+pub fn warm_run_average(runs: &[f64]) -> f64 {
+    if runs.is_empty() {
+        return 0.0;
+    }
+    if runs.len() < 3 {
+        return runs.iter().sum::<f64>() / runs.len() as f64;
+    }
+    let mut sorted = runs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("run times must not be NaN"));
+    let inner = &sorted[1..sorted.len() - 1];
+    inner.iter().sum::<f64>() / inner.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn known_mean_and_sd() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample sd of this classic data set is sqrt(32/7).
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = Summary::from_slice(&[3.5]);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn paper_entry_format() {
+        let s = Summary::from_slice(&[0.2, 0.2, 0.2]);
+        assert_eq!(s.paper_entry(), "0.200\u{00B1}0.000");
+    }
+
+    #[test]
+    fn warm_run_average_drops_extremes() {
+        // Five warm runs: drop fastest (1.0) and slowest (100.0).
+        let avg = warm_run_average(&[1.0, 10.0, 11.0, 12.0, 100.0]);
+        assert!((avg - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_run_average_small_inputs() {
+        assert_eq!(warm_run_average(&[]), 0.0);
+        assert_eq!(warm_run_average(&[4.0]), 4.0);
+        assert_eq!(warm_run_average(&[4.0, 6.0]), 5.0);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let s = Summary::from_slice(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var =
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.std_dev() - var.sqrt()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the statistical substrate.
+
+use gmark_stats::{linear_regression, DegreeSampler, Gaussian, Prng, Uniform, Zipf};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn below_always_within_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_within(seed in any::<u64>(), lo in 0u64..1000, span in 0u64..1000) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let hi = lo + span;
+        for _ in 0..50 {
+            let v = rng.range_inclusive(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut xs in prop::collection::vec(0u32..100, 0..50)) {
+        let mut rng = Prng::seed_from_u64(seed);
+        let mut expected = xs.clone();
+        rng.shuffle(&mut xs);
+        expected.sort_unstable();
+        xs.sort_unstable();
+        prop_assert_eq!(xs, expected);
+    }
+
+    #[test]
+    fn split_streams_are_deterministic(seed in any::<u64>(), idx in any::<u64>()) {
+        let root = Prng::seed_from_u64(seed);
+        let mut a = root.split(idx);
+        let mut b = root.split(idx);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_sampler_in_bounds(seed in any::<u64>(), lo in 0u64..50, span in 0u64..50) {
+        let s = Uniform::new(lo, lo + span);
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            prop_assert!(v >= lo && v <= lo + span);
+        }
+    }
+
+    #[test]
+    fn zipf_sampler_in_support(seed in any::<u64>(), n in 1u64..100_000, s_times_10 in 3u32..40) {
+        let s = s_times_10 as f64 / 10.0;
+        let z = Zipf::new(n, s);
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&v), "sample {v} outside 1..={n} (s={s})");
+        }
+    }
+
+    #[test]
+    fn zipf_mean_within_support(n in 1u64..100_000, s_times_10 in 5u32..40) {
+        let s = s_times_10 as f64 / 10.0;
+        let z = Zipf::new(n, s);
+        let m = z.mean();
+        prop_assert!(m >= 1.0 - 1e-9 && m <= n as f64 + 1e-9, "mean {m} for n={n}, s={s}");
+    }
+
+    #[test]
+    fn gaussian_sampler_is_finite(seed in any::<u64>(), mu in -100.0f64..100.0, sigma in 0.0f64..50.0) {
+        let g = Gaussian::new(mu, sigma);
+        let mut rng = Prng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = g.sample_f64(&mut rng);
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn regression_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in prop::collection::btree_set(-1000i32..1000, 2..20),
+    ) {
+        let points: Vec<(f64, f64)> = xs
+            .iter()
+            .map(|&x| (x as f64, slope * x as f64 + intercept))
+            .collect();
+        let r = linear_regression(&points).expect("distinct xs");
+        prop_assert!((r.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()), "slope {} vs {slope}", r.slope);
+        prop_assert!((r.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()) + 1e-6);
+        prop_assert!(r.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn summary_mean_within_extrema(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = gmark_stats::Summary::from_slice(&xs);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.std_dev() >= 0.0);
+    }
+}

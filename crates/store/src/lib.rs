@@ -1,0 +1,32 @@
+//! Graph storage substrate for gMark.
+//!
+//! The paper generates *directed edge-labeled graphs* whose nodes carry
+//! exactly one type (Definition 3.1). This crate provides:
+//!
+//! * [`Graph`] — an immutable, per-predicate CSR (compressed sparse row)
+//!   representation with both forward and backward adjacency, plus the
+//!   contiguous node-type partition the generator lays out,
+//! * [`GraphBuilder`] — the mutable accumulator the generator streams edges
+//!   into (Fig. 5 outputs a set of `(source, label, target)` triples),
+//! * [`EdgeSink`] — the streaming abstraction that lets the generator write
+//!   edges to a builder, a counter, or an N-Triples file without
+//!   materializing the graph (needed for the Table 3 scalability runs),
+//! * [`ntriples`] — the N-Triples writer/reader mentioned in Section 1.1
+//!   ("including N-triples for data").
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod ntriples;
+pub mod sink;
+
+pub use graph::{Csr, Graph, GraphBuilder, TypePartition};
+pub use ntriples::{read_ntriples, NTriplesWriter};
+pub use sink::{CountingSink, EdgeSink, ForwardingSink, VecSink};
+
+/// Node identifier. `u32` bounds graphs at ~4.29 B nodes, comfortably above
+/// the paper's largest instance (100 M nodes, Table 3).
+pub type NodeId = u32;
+
+/// Predicate (edge label) index into the schema's alphabet Σ.
+pub type PredIdx = usize;

@@ -1,0 +1,193 @@
+//! N-Triples output (and a reader for round-trip tests).
+//!
+//! Section 1.1: gMark "supports various practical output formats for the
+//! graphs …, including N-triples for data". Nodes and predicates are mapped
+//! to IRIs under a configurable base, matching the RDF serialization the
+//! SPARQL engines of Section 7 consume.
+
+use crate::sink::EdgeSink;
+use crate::{NodeId, PredIdx};
+use std::io::{self, BufRead, Write};
+
+/// Streams edges as N-Triples lines:
+/// `<base/node/S> <base/pred/NAME> <base/node/T> .`
+#[derive(Debug)]
+pub struct NTriplesWriter<W: Write> {
+    out: W,
+    base: String,
+    predicate_names: Vec<String>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> NTriplesWriter<W> {
+    /// Creates a writer with the default base IRI `http://gmark.example.org`.
+    pub fn new(out: W, predicate_names: Vec<String>) -> Self {
+        Self::with_base(out, predicate_names, "http://gmark.example.org")
+    }
+
+    /// Creates a writer with a custom base IRI (no trailing slash).
+    pub fn with_base(out: W, predicate_names: Vec<String>, base: &str) -> Self {
+        NTriplesWriter {
+            out,
+            base: base.trim_end_matches('/').to_owned(),
+            predicate_names,
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Number of triples written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Finishes writing, flushing the stream and surfacing any deferred
+    /// I/O error (the [`EdgeSink`] interface is infallible, so errors are
+    /// captured and reported here).
+    pub fn finish(mut self) -> io::Result<u64> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok(self.written)
+    }
+}
+
+impl<W: Write> EdgeSink for NTriplesWriter<W> {
+    fn edge(&mut self, src: NodeId, pred: PredIdx, trg: NodeId) {
+        if self.error.is_some() {
+            return;
+        }
+        let name = &self.predicate_names[pred];
+        let result = writeln!(
+            self.out,
+            "<{base}/node/{src}> <{base}/pred/{name}> <{base}/node/{trg}> .",
+            base = self.base,
+        );
+        match result {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+/// Parses N-Triples produced by [`NTriplesWriter`] back into raw triples,
+/// resolving predicate IRIs against `predicate_names`.
+///
+/// This is a round-trip reader for gMark's own output (full N-Triples
+/// generality — literals, blank nodes — is out of scope).
+pub fn read_ntriples<R: BufRead>(
+    input: R,
+    predicate_names: &[String],
+) -> io::Result<Vec<(NodeId, PredIdx, NodeId)>> {
+    let mut triples = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parse = || -> Option<(NodeId, PredIdx, NodeId)> {
+            let mut parts = line.split_whitespace();
+            let subj = parts.next()?;
+            let pred = parts.next()?;
+            let obj = parts.next()?;
+            if parts.next()? != "." {
+                return None;
+            }
+            let node_of = |iri: &str| -> Option<NodeId> {
+                let inner = iri.strip_prefix('<')?.strip_suffix('>')?;
+                inner.rsplit_once("/node/")?.1.parse().ok()
+            };
+            let pred_inner = pred.strip_prefix('<')?.strip_suffix('>')?;
+            let pred_name = pred_inner.rsplit_once("/pred/")?.1;
+            let pred_idx = predicate_names.iter().position(|n| n == pred_name)?;
+            Some((node_of(subj)?, pred_idx, node_of(obj)?))
+        };
+        match parse() {
+            Some(t) => triples.push(t),
+            None => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed N-Triples line {}: {line}", lineno + 1),
+                ))
+            }
+        }
+    }
+    Ok(triples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["authors".to_owned(), "heldIn".to_owned()]
+    }
+
+    #[test]
+    fn writes_expected_lines() {
+        let mut buf = Vec::new();
+        {
+            let mut w = NTriplesWriter::new(&mut buf, names());
+            w.edge(0, 0, 42);
+            w.edge(7, 1, 3);
+            assert_eq!(w.finish().unwrap(), 2);
+        }
+        let text = String::from_utf8(buf).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "<http://gmark.example.org/node/0> <http://gmark.example.org/pred/authors> \
+             <http://gmark.example.org/node/42> ."
+        );
+        assert_eq!(
+            lines.next().unwrap(),
+            "<http://gmark.example.org/node/7> <http://gmark.example.org/pred/heldIn> \
+             <http://gmark.example.org/node/3> ."
+        );
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn custom_base_is_used() {
+        let mut buf = Vec::new();
+        {
+            let mut w = NTriplesWriter::with_base(&mut buf, names(), "http://ex.org/");
+            w.edge(1, 0, 2);
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("<http://ex.org/node/1>"), "{text}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut buf = Vec::new();
+        {
+            let mut w = NTriplesWriter::new(&mut buf, names());
+            w.edge(0, 0, 1);
+            w.edge(2, 1, 0);
+            w.edge(3, 0, 3);
+            w.finish().unwrap();
+        }
+        let triples = read_ntriples(buf.as_slice(), &names()).unwrap();
+        assert_eq!(triples, vec![(0, 0, 1), (2, 1, 0), (3, 0, 3)]);
+    }
+
+    #[test]
+    fn reader_skips_comments_and_blanks() {
+        let input = "# a comment\n\n<http://g/node/1> <http://g/pred/authors> <http://g/node/2> .\n";
+        let triples = read_ntriples(input.as_bytes(), &names()).unwrap();
+        assert_eq!(triples, vec![(1, 0, 2)]);
+    }
+
+    #[test]
+    fn reader_rejects_malformed() {
+        let input = "<oops> .\n";
+        assert!(read_ntriples(input.as_bytes(), &names()).is_err());
+        let unknown_pred = "<http://g/node/1> <http://g/pred/nope> <http://g/node/2> .\n";
+        assert!(read_ntriples(unknown_pred.as_bytes(), &names()).is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the graph store: CSR construction agrees with
+//! a naive adjacency model, and the type partition is self-consistent.
+
+use gmark_store::{Csr, EdgeSink, GraphBuilder, NodeId, TypePartition};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+proptest! {
+    #[test]
+    fn csr_matches_naive_adjacency(
+        n in 1u32..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..200),
+    ) {
+        let edges: Vec<(NodeId, NodeId)> =
+            edges.into_iter().map(|(s, t)| (s % n, t % n)).collect();
+        let csr = Csr::from_edges(n, &edges, true);
+        let mut naive: BTreeMap<NodeId, BTreeSet<NodeId>> = BTreeMap::new();
+        for &(s, t) in &edges {
+            naive.entry(s).or_default().insert(t);
+        }
+        for v in 0..n {
+            let expected: Vec<NodeId> =
+                naive.get(&v).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            prop_assert_eq!(csr.neighbors(v), expected.as_slice());
+            prop_assert_eq!(csr.degree(v), expected.len());
+            for w in 0..n {
+                prop_assert_eq!(csr.contains(v, w), expected.contains(&w));
+            }
+        }
+        let total: usize = (0..n).map(|v| csr.degree(v)).sum();
+        prop_assert_eq!(csr.edge_count(), total);
+    }
+
+    #[test]
+    fn csr_without_dedup_preserves_multiplicity(
+        n in 1u32..20,
+        edges in prop::collection::vec((0u32..20, 0u32..20), 0..100),
+    ) {
+        let edges: Vec<(NodeId, NodeId)> =
+            edges.into_iter().map(|(s, t)| (s % n, t % n)).collect();
+        let csr = Csr::from_edges(n, &edges, false);
+        prop_assert_eq!(csr.edge_count(), edges.len());
+    }
+
+    #[test]
+    fn partition_type_of_is_inverse_of_ranges(counts in prop::collection::vec(0u64..50, 1..10)) {
+        let p = TypePartition::from_counts(&counts);
+        prop_assert_eq!(p.node_count() as u64, counts.iter().sum::<u64>());
+        for t in 0..p.type_count() {
+            for v in p.range(t) {
+                prop_assert_eq!(p.type_of(v), t);
+            }
+            prop_assert_eq!(p.count(t) as u64, counts[t]);
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_are_transposes(
+        n in 1u32..30,
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..150),
+    ) {
+        let edges: Vec<(NodeId, NodeId)> =
+            edges.into_iter().map(|(s, t)| (s % n, t % n)).collect();
+        let mut b = GraphBuilder::new(TypePartition::from_counts(&[n as u64]), 1);
+        for &(s, t) in &edges {
+            b.edge(s, 0, t);
+        }
+        let g = b.build();
+        for v in 0..n {
+            for &w in g.out_neighbors(0, v) {
+                prop_assert!(g.in_neighbors(0, w).contains(&v));
+            }
+            for &u in g.in_neighbors(0, v) {
+                prop_assert!(g.out_neighbors(0, u).contains(&v));
+            }
+        }
+        prop_assert_eq!(g.forward(0).edge_count(), g.backward(0).edge_count());
+    }
+
+    #[test]
+    fn ntriples_round_trip_arbitrary_edges(
+        n in 1u32..30,
+        edges in prop::collection::vec((0u32..30, 0usize..2, 0u32..30), 0..80),
+    ) {
+        let names = vec!["alpha".to_owned(), "beta".to_owned()];
+        let mut buf = Vec::new();
+        let written: Vec<(NodeId, usize, NodeId)> = {
+            let mut w = gmark_store::NTriplesWriter::new(&mut buf, names.clone());
+            let mut out = Vec::new();
+            for &(s, p, t) in &edges {
+                let (s, t) = (s % n, t % n);
+                w.edge(s, p, t);
+                out.push((s, p, t));
+            }
+            w.finish().unwrap();
+            out
+        };
+        let back = gmark_store::read_ntriples(buf.as_slice(), &names).unwrap();
+        prop_assert_eq!(back, written);
+    }
+}

@@ -1,0 +1,224 @@
+//! Datalog translation.
+//!
+//! UCRPQs are "expressible in modern Datalog-like query languages"
+//! (Section 2); the translation is the classical one. The EDB consists of
+//! `edge_<label>(X, Y)` facts plus `node(X)`; each conjunct's regular
+//! expression compiles to IDB predicates:
+//!
+//! * a path (concatenation) becomes one rule chaining fresh variables,
+//! * a disjunction becomes several rules with the same head,
+//! * a Kleene star becomes the linear recursion
+//!   `p(X, X) :- node(X). p(X, Y) :- p(X, Z), step(Z, Y).`
+//!
+//! The same program shape is consumed by the in-repo semi-naive Datalog
+//! engine (`gmark-engines`), keeping the textual output and the executable
+//! semantics aligned.
+
+use gmark_core::query::{PathExpr, Query, Symbol};
+use gmark_core::schema::Schema;
+use std::fmt::Write;
+
+fn edge_atom(s: Symbol, from: &str, to: &str, schema: &Schema) -> String {
+    let name = schema.predicate_name(s.predicate);
+    if s.inverse {
+        format!("edge_{name}({to}, {from})")
+    } else {
+        format!("edge_{name}({from}, {to})")
+    }
+}
+
+/// Emits rules defining `head_name(X, Y)` as one path; returns the rule text.
+fn path_rules(head_name: &str, p: &PathExpr, schema: &Schema) -> String {
+    if p.is_empty() {
+        return format!("{head_name}(X, X) :- node(X).\n");
+    }
+    let mut body = Vec::with_capacity(p.len());
+    for (i, sym) in p.0.iter().enumerate() {
+        let from = if i == 0 { "X".to_owned() } else { format!("Z{i}") };
+        let to = if i + 1 == p.len() { "Y".to_owned() } else { format!("Z{}", i + 1) };
+        body.push(edge_atom(*sym, &from, &to, schema));
+    }
+    format!("{head_name}(X, Y) :- {}.\n", body.join(", "))
+}
+
+/// Translates a UCRPQ into a Datalog program with answer predicate `ans`.
+pub fn translate(query: &Query, schema: &Schema) -> String {
+    let mut out = String::new();
+    let mut fresh = 0usize;
+    for rule in &query.rules {
+        let mut body_atoms = Vec::with_capacity(rule.body.len());
+        let mut definitions = String::new();
+        for c in &rule.body {
+            // A single non-starred, single-symbol disjunct inlines directly.
+            if !c.expr.starred && c.expr.disjuncts.len() == 1 && c.expr.disjuncts[0].len() == 1 {
+                let sym = c.expr.disjuncts[0].0[0];
+                body_atoms.push(edge_atom(
+                    sym,
+                    &format!("X{}", c.src.0),
+                    &format!("X{}", c.trg.0),
+                    schema,
+                ));
+                continue;
+            }
+            let p_name = format!("p{fresh}");
+            fresh += 1;
+            if c.expr.starred {
+                let step = format!("{p_name}_step");
+                for d in &c.expr.disjuncts {
+                    definitions.push_str(&path_rules(&step, d, schema));
+                }
+                let _ = writeln!(definitions, "{p_name}(X, X) :- node(X).");
+                let _ = writeln!(definitions, "{p_name}(X, Y) :- {p_name}(X, Z), {step}(Z, Y).");
+            } else {
+                for d in &c.expr.disjuncts {
+                    definitions.push_str(&path_rules(&p_name, d, schema));
+                }
+            }
+            body_atoms.push(format!("{p_name}(X{}, X{})", c.src.0, c.trg.0));
+        }
+        out.push_str(&definitions);
+        let head = if rule.head.is_empty() {
+            "ans()".to_owned()
+        } else {
+            let vars: Vec<String> = rule.head.iter().map(|v| format!("X{}", v.0)).collect();
+            format!("ans({})", vars.join(", "))
+        };
+        let _ = writeln!(out, "{head} :- {}.", body_atoms.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::query::{Conjunct, RegularExpr, Rule, Var};
+    use gmark_core::schema::{Occurrence, PredicateId, SchemaBuilder};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.node_type("t", Occurrence::Proportion(1.0));
+        b.predicate("a", None);
+        b.predicate("b", None);
+        b.build().unwrap()
+    }
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::forward(PredicateId(i))
+    }
+
+    #[test]
+    fn single_edge_inlines() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert_eq!(s, "ans(X0, X1) :- edge_a(X0, X1).\n");
+    }
+
+    #[test]
+    fn inverse_swaps_arguments() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(1).flipped()),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert_eq!(s, "ans(X0, X1) :- edge_b(X1, X0).\n");
+    }
+
+    #[test]
+    fn concatenation_chains_variables() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::path(PathExpr(vec![sym(0), sym(1)])),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("p0(X, Y) :- edge_a(X, Z1), edge_b(Z1, Y)."), "{s}");
+        assert!(s.contains("ans(X0, X1) :- p0(X0, X1)."), "{s}");
+    }
+
+    #[test]
+    fn disjunction_multiplies_rules() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::union(vec![
+                    PathExpr(vec![sym(0)]),
+                    PathExpr(vec![sym(1)]),
+                ]),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("p0(X, Y) :- edge_a(X, Y)."), "{s}");
+        assert!(s.contains("p0(X, Y) :- edge_b(X, Y)."), "{s}");
+    }
+
+    #[test]
+    fn star_emits_linear_recursion() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::star(vec![PathExpr(vec![sym(0), sym(1)])]),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("p0_step(X, Y) :- edge_a(X, Z1), edge_b(Z1, Y)."), "{s}");
+        assert!(s.contains("p0(X, X) :- node(X)."), "{s}");
+        assert!(s.contains("p0(X, Y) :- p0(X, Z), p0_step(Z, Y)."), "{s}");
+    }
+
+    #[test]
+    fn epsilon_path() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::path(PathExpr::epsilon()),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("p0(X, X) :- node(X)."), "{s}");
+    }
+
+    #[test]
+    fn boolean_head() {
+        let q = Query::single(Rule {
+            head: vec![],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("ans() :- edge_a(X0, X1)."), "{s}");
+    }
+
+    #[test]
+    fn multi_rule_union_shares_ans() {
+        let mk = |p: usize| Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(p)), trg: Var(1) }],
+        };
+        let q = Query::new(vec![mk(0), mk(1)]).unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("ans(X0, X1) :- edge_a(X0, X1)."), "{s}");
+        assert!(s.contains("ans(X0, X1) :- edge_b(X0, X1)."), "{s}");
+    }
+}

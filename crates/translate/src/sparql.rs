@@ -1,0 +1,212 @@
+//! SPARQL 1.1 translation.
+//!
+//! UCRPQs map directly onto SPARQL 1.1 property paths (the paper notes that
+//! "all regular path queries … appear as property paths in SPARQL 1.1"):
+//! concatenation becomes `/`, disjunction `|`, Kleene star `*`, and the
+//! inverse `a⁻` becomes `^p:a`. Rules of a union become `UNION` groups;
+//! Boolean (arity-0) queries become `ASK`.
+
+use gmark_core::query::{PathExpr, Query, RegularExpr, Rule, Symbol};
+use gmark_core::schema::Schema;
+use std::fmt::Write;
+
+const PREFIX: &str = "http://gmark.example.org/pred/";
+
+fn symbol(s: Symbol, schema: &Schema) -> String {
+    let name = schema.predicate_name(s.predicate);
+    if s.inverse {
+        format!("^p:{name}")
+    } else {
+        format!("p:{name}")
+    }
+}
+
+fn path(p: &PathExpr, schema: &Schema) -> String {
+    if p.is_empty() {
+        // ε: a zero-length path; SPARQL spells it as a zero-or-one of an
+        // arbitrary predicate intersected with self — the conventional
+        // encoding is `(p:x)?` limited to self, but the portable choice is
+        // the empty-path idiom `^p:eps|p:eps`? None is standard; emit `()`
+        // with a comment-free fallback: a zero-length path is `(p)?` only
+        // for matching endpoints. gMark never emits bare ε disjuncts in
+        // SPARQL output; guard anyway with an impossible self-loop test.
+        return "(p:__epsilon__)?".to_owned();
+    }
+    p.0.iter().map(|&s| symbol(s, schema)).collect::<Vec<_>>().join("/")
+}
+
+fn expr(e: &RegularExpr, schema: &Schema) -> String {
+    let alts: Vec<String> = e.disjuncts.iter().map(|p| path(p, schema)).collect();
+    let body = alts.join("|");
+    if e.starred {
+        format!("(({body}))*")
+    } else if e.disjuncts.len() > 1 {
+        format!("({body})")
+    } else {
+        body
+    }
+}
+
+fn rule_group(rule: &Rule, schema: &Schema) -> String {
+    let mut out = String::new();
+    for c in &rule.body {
+        let _ = writeln!(out, "    ?x{} {} ?x{} .", c.src.0, expr(&c.expr, schema), c.trg.0);
+    }
+    out
+}
+
+/// Translates a UCRPQ into SPARQL 1.1.
+pub fn translate(query: &Query, schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "PREFIX p: <{PREFIX}>");
+    let head = &query.rules[0].head;
+    if head.is_empty() {
+        let _ = writeln!(out, "ASK WHERE {{");
+    } else {
+        let vars: Vec<String> = head.iter().map(|v| format!("?x{}", v.0)).collect();
+        let _ = writeln!(out, "SELECT DISTINCT {} WHERE {{", vars.join(" "));
+    }
+    if query.rules.len() == 1 {
+        out.push_str(&rule_group(&query.rules[0], schema));
+    } else {
+        for (i, rule) in query.rules.iter().enumerate() {
+            if i > 0 {
+                let _ = writeln!(out, "  UNION");
+            }
+            let _ = writeln!(out, "  {{");
+            out.push_str(&rule_group(rule, schema));
+            let _ = writeln!(out, "  }}");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The count-distinct wrapper the paper uses for measurements
+/// (Section 7.1 (ii): `count(distinct(?v))` over the output variables).
+pub fn translate_count(query: &Query, schema: &Schema) -> String {
+    let head = &query.rules[0].head;
+    if head.is_empty() {
+        return translate(query, schema);
+    }
+    let inner = translate(query, schema);
+    // Re-head the SELECT line with an aggregate over the projected vars.
+    let vars: Vec<String> = head.iter().map(|v| format!("?x{}", v.0)).collect();
+    let select_line = format!("SELECT DISTINCT {} WHERE {{", vars.join(" "));
+    let agg_line = format!(
+        "SELECT (COUNT(*) AS ?cnt) WHERE {{ SELECT DISTINCT {} WHERE {{",
+        vars.join(" ")
+    );
+    let replaced = inner.replacen(&select_line, &agg_line, 1);
+    // Close the extra brace of the nested select.
+    let mut out = replaced.trim_end().to_owned();
+    out.push_str(" }\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::query::{Conjunct, Var};
+    use gmark_core::schema::{Occurrence, PredicateId, SchemaBuilder};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.node_type("t", Occurrence::Proportion(1.0));
+        b.predicate("a", None);
+        b.predicate("b", None);
+        b.predicate("c", None);
+        b.build().unwrap()
+    }
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::forward(PredicateId(i))
+    }
+
+    #[test]
+    fn example_3_4_first_rule() {
+        // (?x,?y,?z) <- (?x,(a·b+c)*,?y), (?y,a,?w), (?w,b⁻,?z)
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1), Var(3)],
+            body: vec![
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::star(vec![
+                        PathExpr(vec![sym(0), sym(1)]),
+                        PathExpr(vec![sym(2)]),
+                    ]),
+                    trg: Var(1),
+                },
+                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(0)), trg: Var(2) },
+                Conjunct {
+                    src: Var(2),
+                    expr: RegularExpr::symbol(sym(1).flipped()),
+                    trg: Var(3),
+                },
+            ],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("SELECT DISTINCT ?x0 ?x1 ?x3 WHERE {"), "{s}");
+        assert!(s.contains("?x0 ((p:a/p:b|p:c))* ?x1 ."), "{s}");
+        assert!(s.contains("?x1 p:a ?x2 ."), "{s}");
+        assert!(s.contains("?x2 ^p:b ?x3 ."), "{s}");
+        assert!(s.starts_with("PREFIX p: <http://gmark.example.org/pred/>"));
+    }
+
+    #[test]
+    fn boolean_query_is_ask() {
+        let q = Query::single(Rule {
+            head: vec![],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("ASK WHERE {"), "{s}");
+        assert!(!s.contains("SELECT"), "{s}");
+    }
+
+    #[test]
+    fn union_of_rules() {
+        let mk = |p: usize| Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(p)), trg: Var(1) }],
+        };
+        let q = Query::new(vec![mk(0), mk(1)]).unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("UNION"), "{s}");
+        assert!(s.matches('{').count() >= 3, "{s}");
+    }
+
+    #[test]
+    fn plain_disjunction_parenthesized() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::union(vec![
+                    PathExpr(vec![sym(0)]),
+                    PathExpr(vec![sym(1), sym(2)]),
+                ]),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("?x0 (p:a|p:b/p:c) ?x1 ."), "{s}");
+    }
+
+    #[test]
+    fn count_wrapper_nests_distinct() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let s = translate_count(&q, &schema());
+        assert!(s.contains("SELECT (COUNT(*) AS ?cnt)"), "{s}");
+        assert!(s.contains("SELECT DISTINCT ?x0 ?x1"), "{s}");
+        // Braces balance.
+        assert_eq!(s.matches('{').count(), s.matches('}').count(), "{s}");
+    }
+}

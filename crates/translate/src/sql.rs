@@ -1,0 +1,267 @@
+//! PostgreSQL SQL:1999 translation.
+//!
+//! The paper (footnote 4) uses "the standard translation of UCRPQ's into
+//! recursive views, implemented using linear recursion". Queries run over
+//! two base tables:
+//!
+//! ```sql
+//! CREATE TABLE edge (src BIGINT, label TEXT, trg BIGINT);
+//! CREATE TABLE node (id BIGINT);
+//! ```
+//!
+//! Each conjunct becomes a named CTE producing `(s, t)` pairs: symbols are
+//! filtered scans of `edge` (inverses swap the columns), concatenations are
+//! joins, disjunctions are `UNION`s, and a Kleene star becomes a
+//! `WITH RECURSIVE` CTE seeded with the zero-length path (`node`) and
+//! extended by joining the starred body on the right — linear recursion.
+//! The final `SELECT DISTINCT` joins the conjunct CTEs on shared variables.
+
+use gmark_core::query::{PathExpr, Query, RegularExpr, Rule, Symbol};
+use gmark_core::schema::Schema;
+use std::fmt::Write;
+
+fn symbol_select(s: Symbol, schema: &Schema) -> String {
+    let name = schema.predicate_name(s.predicate);
+    if s.inverse {
+        format!("SELECT trg AS s, src AS t FROM edge WHERE label = '{name}'")
+    } else {
+        format!("SELECT src AS s, trg AS t FROM edge WHERE label = '{name}'")
+    }
+}
+
+/// A `(s, t)` subquery for one path (concatenation) expression.
+fn path_select(p: &PathExpr, schema: &Schema) -> String {
+    if p.is_empty() {
+        return "SELECT id AS s, id AS t FROM node".to_owned();
+    }
+    if p.len() == 1 {
+        return symbol_select(p.0[0], schema);
+    }
+    // Join chain e0 ⋈ e1 ⋈ … on t = s.
+    let mut from = String::new();
+    let mut wheres = Vec::new();
+    for (i, sym) in p.0.iter().enumerate() {
+        if i > 0 {
+            from.push_str(", ");
+            wheres.push(format!("e{}.t = e{}.s", i - 1, i));
+        }
+        let _ = write!(from, "({}) AS e{i}", symbol_select(*sym, schema));
+    }
+    let where_clause =
+        if wheres.is_empty() { String::new() } else { format!(" WHERE {}", wheres.join(" AND ")) };
+    format!("SELECT e0.s AS s, e{}.t AS t FROM {from}{where_clause}", p.len() - 1)
+}
+
+/// A `(s, t)` subquery for a non-starred disjunction.
+fn union_select(e: &RegularExpr, schema: &Schema) -> String {
+    e.disjuncts.iter().map(|p| path_select(p, schema)).collect::<Vec<_>>().join(" UNION ")
+}
+
+/// Translates a UCRPQ into a single SQL statement.
+pub fn translate(query: &Query, schema: &Schema) -> String {
+    let mut ctes: Vec<String> = Vec::new();
+    let mut recursive = false;
+    let mut rule_selects = Vec::new();
+    let mut cte_id = 0usize;
+
+    for rule in &query.rules {
+        let mut conjunct_ctes = Vec::with_capacity(rule.body.len());
+        for c in &rule.body {
+            let name = format!("c{cte_id}");
+            cte_id += 1;
+            if c.expr.starred {
+                recursive = true;
+                let base = format!("b{}", name);
+                ctes.push(format!("{base}(s, t) AS ({})", union_select(&c.expr, schema)));
+                ctes.push(format!(
+                    "{name}(s, t) AS (SELECT id AS s, id AS t FROM node UNION \
+                     SELECT r.s, b.t FROM {name} AS r, {base} AS b WHERE r.t = b.s)"
+                ));
+            } else {
+                ctes.push(format!("{name}(s, t) AS ({})", union_select(&c.expr, schema)));
+            }
+            conjunct_ctes.push(name);
+        }
+        rule_selects.push(rule_select(rule, &conjunct_ctes));
+    }
+
+    let with = if ctes.is_empty() {
+        String::new()
+    } else if recursive {
+        format!("WITH RECURSIVE\n  {}\n", ctes.join(",\n  "))
+    } else {
+        format!("WITH\n  {}\n", ctes.join(",\n  "))
+    };
+    let body = rule_selects.join("\nUNION\n");
+    format!("{with}{body};\n")
+}
+
+/// The per-rule `SELECT DISTINCT … FROM c0, c1, … WHERE joins`.
+fn rule_select(rule: &Rule, conjunct_ctes: &[String]) -> String {
+    // Variable -> list of (conjunct index, column) bindings.
+    use std::collections::BTreeMap;
+    let mut bindings: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+    for (i, c) in rule.body.iter().enumerate() {
+        bindings.entry(c.src.0).or_default().push(format!("{}.s", conjunct_ctes[i]));
+        bindings.entry(c.trg.0).or_default().push(format!("{}.t", conjunct_ctes[i]));
+    }
+    let mut wheres = Vec::new();
+    for cols in bindings.values() {
+        for pair in cols.windows(2) {
+            wheres.push(format!("{} = {}", pair[0], pair[1]));
+        }
+    }
+    let projection = if rule.head.is_empty() {
+        "1 AS nonempty".to_owned()
+    } else {
+        rule.head
+            .iter()
+            .map(|v| {
+                let col = &bindings
+                    .get(&v.0)
+                    .expect("head vars are safe (checked by Query::new)")[0];
+                format!("{col} AS x{}", v.0)
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let from = conjunct_ctes.join(", ");
+    let where_clause =
+        if wheres.is_empty() { String::new() } else { format!(" WHERE {}", wheres.join(" AND ")) };
+    format!("SELECT DISTINCT {projection} FROM {from}{where_clause}")
+}
+
+/// The count-distinct measurement wrapper of Section 7.1.
+pub fn translate_count(query: &Query, schema: &Schema) -> String {
+    let inner = translate(query, schema);
+    let inner = inner.trim_end().trim_end_matches(';');
+    format!("SELECT COUNT(*) FROM ({inner}) AS answers;\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::query::{Conjunct, Var};
+    use gmark_core::schema::{Occurrence, PredicateId, SchemaBuilder};
+
+    fn schema() -> Schema {
+        let mut b = SchemaBuilder::new();
+        b.node_type("t", Occurrence::Proportion(1.0));
+        b.predicate("a", None);
+        b.predicate("b", None);
+        b.build().unwrap()
+    }
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::forward(PredicateId(i))
+    }
+
+    #[test]
+    fn single_edge_query() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("c0(s, t) AS (SELECT src AS s, trg AS t FROM edge WHERE label = 'a')"), "{s}");
+        assert!(s.contains("SELECT DISTINCT c0.s AS x0, c0.t AS x1 FROM c0"), "{s}");
+        assert!(!s.contains("RECURSIVE"), "{s}");
+    }
+
+    #[test]
+    fn inverse_swaps_columns() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(1).flipped()),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("SELECT trg AS s, src AS t FROM edge WHERE label = 'b'"), "{s}");
+    }
+
+    #[test]
+    fn concatenation_joins() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::path(PathExpr(vec![sym(0), sym(1)])),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("e0.t = e1.s"), "{s}");
+        assert!(s.contains("SELECT e0.s AS s, e1.t AS t"), "{s}");
+    }
+
+    #[test]
+    fn star_emits_linear_recursion() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::star(vec![PathExpr(vec![sym(0)])]),
+                trg: Var(1),
+            }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("WITH RECURSIVE"), "{s}");
+        assert!(s.contains("SELECT id AS s, id AS t FROM node"), "{s}");
+        assert!(s.contains("WHERE r.t = b.s"), "{s}");
+    }
+
+    #[test]
+    fn shared_variables_become_join_conditions() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(2)],
+            body: vec![
+                Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) },
+                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(1)), trg: Var(2) },
+            ],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("c0.t = c1.s"), "{s}");
+    }
+
+    #[test]
+    fn boolean_query_selects_constant() {
+        let q = Query::single(Rule {
+            head: vec![],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("SELECT DISTINCT 1 AS nonempty"), "{s}");
+    }
+
+    #[test]
+    fn multi_rule_union() {
+        let mk = |p: usize| Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(p)), trg: Var(1) }],
+        };
+        let q = Query::new(vec![mk(0), mk(1)]).unwrap();
+        let s = translate(&q, &schema());
+        assert!(s.contains("\nUNION\n"), "{s}");
+    }
+
+    #[test]
+    fn count_wrapper() {
+        let q = Query::single(Rule {
+            head: vec![Var(0), Var(1)],
+            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+        })
+        .unwrap();
+        let s = translate_count(&q, &schema());
+        assert!(s.starts_with("SELECT COUNT(*) FROM ("), "{s}");
+        assert!(s.trim_end().ends_with(") AS answers;"), "{s}");
+    }
+}

@@ -1,0 +1,54 @@
+//! A miniature of the paper's Section 7 experiment: run a diverse workload
+//! against all four evaluation engines and print the timing grid
+//! (Fig. 12 in small).
+//!
+//! ```sh
+//! cargo run --release --example engine_shootout
+//! ```
+
+use gmark::prelude::*;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let schema = gmark::core::usecases::bib();
+    let sizes = [1_000u64, 2_000, 4_000];
+
+    let mut wcfg = WorkloadConfig::new(9).with_seed(3);
+    wcfg.query_size.conjuncts = (1, 3);
+    wcfg.query_size.disjuncts = (1, 2);
+    let (workload, _) = generate_workload(&schema, &wcfg);
+
+    println!(
+        "{:<12} {:>6}  {:>14} {:>14} {:>14} {:>14}",
+        "class", "nodes", "P/relational", "G/navigational", "S/triplestore", "D/datalog"
+    );
+    for class in SelectivityClass::ALL {
+        for &n in &sizes {
+            let config = GraphConfig::new(n, schema.clone());
+            let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(17));
+            let mut row = format!("{:<12} {:>6}", class.to_string(), n);
+            for engine in all_engines() {
+                let mut total = Duration::ZERO;
+                let mut failed = false;
+                for gq in workload.of_class(class) {
+                    let budget = Budget::with_timeout(Duration::from_secs(10));
+                    let start = Instant::now();
+                    match engine.evaluate(&graph, &gq.query, &budget) {
+                        Ok(_) => total += start.elapsed(),
+                        Err(_) => failed = true,
+                    }
+                }
+                if failed {
+                    row.push_str(&format!(" {:>14}", "-"));
+                } else {
+                    row.push_str(&format!(" {:>13.1?}", total));
+                }
+            }
+            println!("{row}");
+        }
+    }
+    println!(
+        "\n(per row: total time over the class's 3 queries; '-' marks a \
+         budget failure, the paper's Table 4 phenomenon)"
+    );
+}

@@ -1,0 +1,68 @@
+//! # gMark — schema-driven generation of graphs and queries
+//!
+//! A Rust implementation of *gMark: Schema-Driven Generation of Graphs and
+//! Queries* (Bagan, Bonifati, Ciucanu, Fletcher, Lemay, Advokaat — ICDE
+//! 2017 / IEEE TKDE): a domain- and query-language-independent generator of
+//! synthetic graph instances and UCRPQ query workloads with
+//! **schema-driven selectivity control**.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — schemas, the linear-time graph generator, UCRPQ queries,
+//!   selectivity estimation, workload generation, the four paper use cases;
+//! * [`store`] — CSR graph storage and N-Triples I/O;
+//! * [`stats`] — deterministic RNG, degree-distribution samplers,
+//!   regression;
+//! * [`config`] — XML configuration files;
+//! * [`translate`] — SPARQL / openCypher / SQL / Datalog output;
+//! * [`engines`] — four UCRPQ evaluation engines (relational, triple-store,
+//!   navigational, Datalog) used by the paper-reproduction experiments.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gmark::prelude::*;
+//!
+//! // The paper's bibliographical scenario (Fig. 2), 1 000 nodes.
+//! let schema = gmark::core::usecases::bib();
+//! let config = GraphConfig::new(1_000, schema.clone());
+//! let (graph, report) = generate_graph(&config, &GeneratorOptions::with_seed(42));
+//! assert!(report.total_edges > 0);
+//!
+//! // A 9-query workload: 3 constant, 3 linear, 3 quadratic chains.
+//! let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(9));
+//! assert_eq!(workload.queries.len(), 9);
+//!
+//! // Evaluate one query and translate it to SPARQL.
+//! let query = &workload.queries[0].query;
+//! let answers = RelationalEngine
+//!     .evaluate(&graph, query, &Budget::default())
+//!     .unwrap();
+//! let _count = answers.count();
+//! let _sparql = gmark::translate::sparql::translate(query, &schema);
+//! ```
+
+pub use gmark_config as config;
+pub use gmark_core as core;
+pub use gmark_engines as engines;
+pub use gmark_stats as stats;
+pub use gmark_store as store;
+pub use gmark_translate as translate;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gmark_core::gen::{generate_graph, generate_into, GeneratorOptions};
+    pub use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Symbol, Var};
+    pub use gmark_core::schema::{
+        Distribution, GraphConfig, Occurrence, PredicateId, Schema, SchemaBuilder, TypeId,
+    };
+    pub use gmark_core::selectivity::SelectivityClass;
+    pub use gmark_core::workload::{
+        generate_workload, QuerySize, Shape, Workload, WorkloadConfig,
+    };
+    pub use gmark_engines::{
+        all_engines, Answers, Budget, DatalogEngine, Engine, EvalError, NavigationalEngine,
+        RelationalEngine, TripleStoreEngine,
+    };
+    pub use gmark_store::{EdgeSink, Graph, GraphBuilder, NodeId, TypePartition};
+}

@@ -1,0 +1,159 @@
+//! Differential testing of the four evaluation engines.
+//!
+//! The relational, triple-store, and Datalog engines implement the same
+//! UCRPQ semantics through three different architectures; on any graph and
+//! any query they must agree exactly. The navigational engine evaluates
+//! the openCypher-degraded query (Section 7.1), so it is only required to
+//! agree on queries the degradation leaves untouched.
+
+use gmark::prelude::*;
+use proptest::prelude::*;
+
+/// A deterministic random graph over `n` nodes and `preds` labels.
+fn random_graph(n: u32, preds: usize, edges_per_pred: usize, seed: u64) -> Graph {
+    let mut rng = gmark::stats::Prng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(TypePartition::from_counts(&[n as u64]), preds);
+    for p in 0..preds {
+        for _ in 0..edges_per_pred {
+            let s = rng.below(n as u64) as NodeId;
+            let t = rng.below(n as u64) as NodeId;
+            b.edge(s, p, t);
+        }
+    }
+    b.build()
+}
+
+/// Strategy: a random path of up to 3 symbols over `preds` labels.
+fn arb_path(preds: usize) -> impl Strategy<Value = PathExpr> {
+    prop::collection::vec((0..preds, any::<bool>()), 1..=3).prop_map(|syms| {
+        PathExpr(
+            syms.into_iter()
+                .map(|(p, inv)| {
+                    let s = Symbol::forward(PredicateId(p));
+                    if inv {
+                        s.flipped()
+                    } else {
+                        s
+                    }
+                })
+                .collect(),
+        )
+    })
+}
+
+/// Strategy: a regular expression with 1–2 disjuncts, possibly starred.
+fn arb_expr(preds: usize) -> impl Strategy<Value = RegularExpr> {
+    (prop::collection::vec(arb_path(preds), 1..=2), any::<bool>())
+        .prop_map(|(disjuncts, starred)| RegularExpr { disjuncts, starred })
+}
+
+/// Strategy: a chain query of 1–3 conjuncts.
+fn arb_chain(preds: usize) -> impl Strategy<Value = Query> {
+    prop::collection::vec(arb_expr(preds), 1..=3).prop_map(|exprs| {
+        let n = exprs.len() as u32;
+        Query::single(Rule {
+            head: vec![Var(0), Var(n)],
+            body: exprs
+                .into_iter()
+                .enumerate()
+                .map(|(i, expr)| Conjunct {
+                    src: Var(i as u32),
+                    expr,
+                    trg: Var(i as u32 + 1),
+                })
+                .collect(),
+        })
+        .expect("chains are well-formed")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn relational_triplestore_datalog_agree(
+        seed in 0u64..1000,
+        query in arb_chain(2),
+    ) {
+        let graph = random_graph(30, 2, 45, seed);
+        let budget = Budget::default();
+        let a = RelationalEngine.evaluate(&graph, &query, &budget).unwrap();
+        let b = TripleStoreEngine.evaluate(&graph, &query, &budget).unwrap();
+        let c = DatalogEngine.evaluate(&graph, &query, &budget).unwrap();
+        prop_assert_eq!(&a, &b, "relational vs triplestore");
+        prop_assert_eq!(&a, &c, "relational vs datalog");
+    }
+
+    #[test]
+    fn navigational_agrees_when_not_degraded(
+        seed in 0u64..1000,
+        query in arb_chain(2),
+    ) {
+        let (degraded, lossy) =
+            gmark::engines::navigational::degrade_for_cypher(&query);
+        prop_assume!(!lossy && degraded == query);
+        let graph = random_graph(30, 2, 45, seed);
+        let budget = Budget::default();
+        let a = RelationalEngine.evaluate(&graph, &query, &budget).unwrap();
+        let n = NavigationalEngine.evaluate(&graph, &query, &budget).unwrap();
+        prop_assert_eq!(a, n);
+    }
+
+    #[test]
+    fn boolean_queries_agree(
+        seed in 0u64..1000,
+        expr in arb_expr(2),
+    ) {
+        let query = Query::single(Rule {
+            head: vec![],
+            body: vec![Conjunct { src: Var(0), expr, trg: Var(1) }],
+        }).unwrap();
+        let graph = random_graph(20, 2, 25, seed);
+        let budget = Budget::default();
+        let a = RelationalEngine.evaluate(&graph, &query, &budget).unwrap();
+        let c = DatalogEngine.evaluate(&graph, &query, &budget).unwrap();
+        prop_assert_eq!(a.non_empty(), c.non_empty());
+    }
+
+    #[test]
+    fn star_shaped_queries_agree(
+        seed in 0u64..1000,
+        e1 in arb_expr(2),
+        e2 in arb_expr(2),
+    ) {
+        // (?c, e1, ?x), (?c, e2, ?y) projected on (x, y).
+        let query = Query::single(Rule {
+            head: vec![Var(1), Var(2)],
+            body: vec![
+                Conjunct { src: Var(0), expr: e1, trg: Var(1) },
+                Conjunct { src: Var(0), expr: e2, trg: Var(2) },
+            ],
+        }).unwrap();
+        let graph = random_graph(20, 2, 25, seed);
+        let budget = Budget::default();
+        let a = RelationalEngine.evaluate(&graph, &query, &budget).unwrap();
+        let b = TripleStoreEngine.evaluate(&graph, &query, &budget).unwrap();
+        let c = DatalogEngine.evaluate(&graph, &query, &budget).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+}
+
+#[test]
+fn engines_agree_on_generated_workloads() {
+    // Not random shapes: the actual gMark workload generator's output.
+    let schema = gmark::core::usecases::bib();
+    let config = GraphConfig::new(600, schema.clone());
+    let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(13));
+    let mut wcfg = WorkloadConfig::new(15).with_seed(17);
+    wcfg.recursion_probability = 0.3;
+    let (workload, _) = generate_workload(&schema, &wcfg);
+    let budget = Budget::default();
+    for gq in &workload.queries {
+        let a = RelationalEngine.evaluate(&graph, &gq.query, &budget).unwrap();
+        let b = TripleStoreEngine.evaluate(&graph, &gq.query, &budget).unwrap();
+        let c = DatalogEngine.evaluate(&graph, &gq.query, &budget).unwrap();
+        assert_eq!(a, b, "relational vs triplestore on {:?}", gq.query);
+        assert_eq!(a, c, "relational vs datalog on {:?}", gq.query);
+    }
+}
