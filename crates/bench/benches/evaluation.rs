@@ -22,14 +22,20 @@ fn engines(c: &mut Criterion) {
     let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(5));
     let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(6));
     for class in SelectivityClass::ALL {
-        let Some(gq) = workload.of_class(class).next() else { continue };
+        let Some(gq) = workload.of_class(class).next() else {
+            continue;
+        };
         for engine in all_engines() {
             group.bench_function(
                 BenchmarkId::new(engine.name().replace('/', "_"), class.to_string()),
                 |b| {
                     b.iter(|| {
                         let budget = Budget::default();
-                        black_box(engine.evaluate(&graph, &gq.query, &budget).map(|a| a.count()))
+                        black_box(
+                            engine
+                                .evaluate(&graph, &gq.query, &budget)
+                                .map(|a| a.count()),
+                        )
                     })
                 },
             );

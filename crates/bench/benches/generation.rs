@@ -55,9 +55,14 @@ fn ablation(c: &mut Criterion) {
     // Gaussian fast path: LSN is Gaussian-heavy.
     let schema = usecases::lsn();
     let config = GraphConfig::new(50_000, schema.clone());
-    for (label, fast) in [("gaussian_fast_path_on", true), ("gaussian_fast_path_off", false)] {
-        let opts =
-            GeneratorOptions { gaussian_fast_path: fast, ..GeneratorOptions::with_seed(3) };
+    for (label, fast) in [
+        ("gaussian_fast_path_on", true),
+        ("gaussian_fast_path_off", false),
+    ] {
+        let opts = GeneratorOptions {
+            gaussian_fast_path: fast,
+            ..GeneratorOptions::with_seed(3)
+        };
         group.bench_function(label, |b| {
             b.iter(|| {
                 let mut sink = CountingSink::new(schema.predicate_count());
@@ -68,7 +73,10 @@ fn ablation(c: &mut Criterion) {
     }
     // Thread scaling (uses the graph-building path, which shards).
     for threads in [1usize, 4] {
-        let opts = GeneratorOptions { threads, ..GeneratorOptions::with_seed(4) };
+        let opts = GeneratorOptions {
+            threads,
+            ..GeneratorOptions::with_seed(4)
+        };
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
             b.iter(|| {
                 let (graph, _) = gmark_core::gen::generate_graph(&config, &opts);

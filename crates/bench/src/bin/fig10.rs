@@ -35,7 +35,11 @@ fn org_queries(schema: &gmark_core::schema::Schema) -> Vec<(SelectivityClass, Qu
             body: exprs
                 .into_iter()
                 .enumerate()
-                .map(|(i, expr)| Conjunct { src: Var(i as u32), expr, trg: Var(i as u32 + 1) })
+                .map(|(i, expr)| Conjunct {
+                    src: Var(i as u32),
+                    expr,
+                    trg: Var(i as u32 + 1),
+                })
                 .collect(),
         })
         .unwrap()
@@ -45,7 +49,10 @@ fn org_queries(schema: &gmark_core::schema::Schema) -> Vec<(SelectivityClass, Qu
         // both endpoints are the fixed journal type.
         (
             SelectivityClass::Constant,
-            chain(vec![RegularExpr::path(PathExpr(vec![part_of.flipped(), part_of]))]),
+            chain(vec![RegularExpr::path(PathExpr(vec![
+                part_of.flipped(),
+                part_of,
+            ]))]),
         ),
         // SP²Bench Q2-like: (article, author) pairs.
         (
@@ -56,7 +63,10 @@ fn org_queries(schema: &gmark_core::schema::Schema) -> Vec<(SelectivityClass, Qu
         // through prolific citers (a Cartesian-product chokepoint).
         (
             SelectivityClass::Quadratic,
-            chain(vec![RegularExpr::path(PathExpr(vec![cites.flipped(), cites]))]),
+            chain(vec![RegularExpr::path(PathExpr(vec![
+                cites.flipped(),
+                cites,
+            ]))]),
         ),
     ]
 }
@@ -85,14 +95,22 @@ fn main() {
     let header: Vec<String> = sizes.iter().map(|n| format!("{}K", n / 1000)).collect();
     gmark_bench::print_row("series", &header, 12);
 
-    let graphs: Vec<gmark_store::Graph> =
-        sizes.iter().map(|&n| build_graph(&schema, n, opts.seed)).collect();
+    let graphs: Vec<gmark_store::Graph> = sizes
+        .iter()
+        .map(|&n| build_graph(&schema, n, opts.seed, opts.threads))
+        .collect();
 
     for (label, queries) in [("org", org_queries(&schema)), ("gMark", gmark_queries)] {
         for (class, q) in &queries {
             let mut cells = Vec::new();
             for graph in &graphs {
-                let r = measure(&TripleStoreEngine, graph, q, &opts.budget(), opts.warm_runs());
+                let r = measure(
+                    &TripleStoreEngine,
+                    graph,
+                    q,
+                    &opts.budget(),
+                    opts.warm_runs(),
+                );
                 cells.push(match &r {
                     Ok((d, count)) => format!("{:.3}s/{count}", d.as_secs_f64()),
                     Err(_) => "-".into(),

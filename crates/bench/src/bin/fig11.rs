@@ -22,11 +22,18 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let sizes = opts.selectivity_sizes();
     let schema = usecases::bib();
-    let graphs: Vec<(u64, gmark_store::Graph)> =
-        sizes.iter().map(|&n| (n, build_graph(&schema, n, opts.seed))).collect();
+    let graphs: Vec<(u64, gmark_store::Graph)> = sizes
+        .iter()
+        .map(|&n| (n, build_graph(&schema, n, opts.seed, opts.threads)))
+        .collect();
 
     println!("Fig. 11: measured |E| vs fitted theoretical |Q| = beta*n^alpha (Bib)");
-    for kind in [WorkloadKind::Len, WorkloadKind::Con, WorkloadKind::Dis, WorkloadKind::Rec] {
+    for kind in [
+        WorkloadKind::Len,
+        WorkloadKind::Con,
+        WorkloadKind::Dis,
+        WorkloadKind::Rec,
+    ] {
         println!("\n--- panel Bib-{} ---", kind.name());
         let workload = kind.workload(&schema, opts.seed ^ 0xF16);
         for (qi, class) in SelectivityClass::ALL.iter().enumerate() {
@@ -66,7 +73,10 @@ fn main() {
                 max_rel_err = max_rel_err.max(rel);
                 print!("  {n}:|E|={measured}/|Q|={theoretical:.0}");
             }
-            println!("  (max rel. deviation from fit: {:.0}%)", max_rel_err * 100.0);
+            println!(
+                "  (max rel. deviation from fit: {:.0}%)",
+                max_rel_err * 100.0
+            );
         }
     }
     println!(

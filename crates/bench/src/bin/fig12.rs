@@ -22,8 +22,10 @@ fn main() {
     let opts = HarnessOptions::from_args();
     let sizes = opts.engine_sizes();
     let schema = usecases::bib();
-    let graphs: Vec<(u64, gmark_store::Graph)> =
-        sizes.iter().map(|&n| (n, build_graph(&schema, n, opts.seed))).collect();
+    let graphs: Vec<(u64, gmark_store::Graph)> = sizes
+        .iter()
+        .map(|&n| (n, build_graph(&schema, n, opts.seed, opts.threads)))
+        .collect();
 
     println!("Fig. 12: average query time per (workload, engine) cell, Bib scenario");
     for class in SelectivityClass::ALL {
@@ -57,11 +59,7 @@ fn main() {
                         cells.push(format!("{:.3}s", summary.mean()));
                     }
                 }
-                gmark_bench::print_row(
-                    &format!("{}/{}", kind.name(), engine.name()),
-                    &cells,
-                    12,
-                );
+                gmark_bench::print_row(&format!("{}/{}", kind.name(), engine.name()), &cells, 12);
             }
         }
     }

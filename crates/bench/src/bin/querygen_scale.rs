@@ -23,7 +23,11 @@ fn main() {
     );
     for (name, schema) in usecases::all() {
         let mut cfg = WorkloadConfig::new(1_000).with_seed(opts.seed);
-        cfg.query_size = QuerySize { conjuncts: (1, 3), disjuncts: (1, 2), length: (1, 3) };
+        cfg.query_size = QuerySize {
+            conjuncts: (1, 3),
+            disjuncts: (1, 2),
+            length: (1, 3),
+        };
         cfg.recursion_probability = 0.2;
 
         let start = Instant::now();

@@ -26,7 +26,10 @@ fn main() {
         sizes,
         if opts.full { ", --full" } else { "" }
     );
-    println!("{:<10} {:>16} {:>16} {:>16}", "", "Constant", "Linear", "Quadratic");
+    println!(
+        "{:<10} {:>16} {:>16} {:>16}",
+        "", "Constant", "Linear", "Quadratic"
+    );
 
     // The paper's row order: LSN, Bib, WD with all four families, then a
     // single SP row (its original-query encoding).
@@ -39,8 +42,10 @@ fn main() {
 
     for (name, schema, kinds) in scenarios {
         // Pre-generate the graphs once per scenario.
-        let graphs: Vec<(u64, gmark_store::Graph)> =
-            sizes.iter().map(|&n| (n, build_graph(&schema, n, opts.seed))).collect();
+        let graphs: Vec<(u64, gmark_store::Graph)> = sizes
+            .iter()
+            .map(|&n| (n, build_graph(&schema, n, opts.seed, opts.threads)))
+            .collect();
         for kind in kinds {
             let workload = kind.workload(&schema, opts.seed ^ 0x7ab1e2);
             let mut per_class: std::collections::BTreeMap<SelectivityClass, Summary> =

@@ -7,14 +7,18 @@
 //! expected to dominate through sheer edge volume.
 //!
 //! Default sweep stops at 10M nodes (DESIGN.md §4: hardware substitution);
-//! pass `--full` for the paper's 100M column.
+//! pass `--full` for the paper's 100M column. With `--threads N` the run
+//! exercises the parallel pipeline instead: constraints are generated and
+//! the per-predicate CSRs finalized on `N` worker threads (the graph is
+//! materialized in memory rather than streamed, so edge throughput also
+//! covers storage construction).
 //!
 //! ```sh
-//! cargo run -p gmark-bench --release --bin table3 [--full]
+//! cargo run -p gmark-bench --release --bin table3 [--full] [--threads N]
 //! ```
 
 use gmark_bench::{fmt_minutes, HarnessOptions};
-use gmark_core::gen::{generate_into, GeneratorOptions};
+use gmark_core::gen::{generate_graph, generate_into, GeneratorOptions};
 use gmark_core::schema::GraphConfig;
 use gmark_core::usecases;
 use gmark_store::CountingSink;
@@ -33,22 +37,36 @@ fn main() {
             }
         })
         .collect();
-    println!("Table 3: graph generation time (streamed; node counts are requested sizes)");
+    if opts.threads > 1 {
+        println!(
+            "Table 3: graph generation time (materialized, {} threads; node counts are requested sizes)",
+            opts.threads
+        );
+    } else {
+        println!("Table 3: graph generation time (streamed; node counts are requested sizes)");
+    }
     gmark_bench::print_row("", &header, 14);
 
     for (name, schema) in usecases::all() {
         let mut cells = Vec::with_capacity(sizes.len());
         for &n in &sizes {
             let config = GraphConfig::new(n, schema.clone());
-            let mut sink = CountingSink::new(schema.predicate_count());
-            let gen_opts = GeneratorOptions::with_seed(opts.seed);
+            let gen_opts = GeneratorOptions {
+                threads: opts.threads,
+                ..GeneratorOptions::with_seed(opts.seed)
+            };
             let start = Instant::now();
-            let report = generate_into(&config, &gen_opts, &mut sink);
+            let total_edges = if opts.threads > 1 {
+                generate_graph(&config, &gen_opts).1.total_edges
+            } else {
+                let mut sink = CountingSink::new(schema.predicate_count());
+                generate_into(&config, &gen_opts, &mut sink).total_edges
+            };
             let elapsed = start.elapsed();
             cells.push(format!(
                 "{} ({:.1}M e)",
                 fmt_minutes(elapsed),
-                report.total_edges as f64 / 1e6
+                total_edges as f64 / 1e6
             ));
         }
         gmark_bench::print_row(name, &cells, 22);

@@ -59,12 +59,13 @@ fn main() {
     println!("Query 2 (quadratic): {}", q2.display(&schema));
     println!();
 
-    let graphs: Vec<(u64, gmark_store::Graph)> =
-        sizes.iter().map(|&n| (n, build_graph(&schema, n, opts.seed))).collect();
+    let graphs: Vec<(u64, gmark_store::Graph)> = sizes
+        .iter()
+        .map(|&n| (n, build_graph(&schema, n, opts.seed, opts.threads)))
+        .collect();
 
     let header: Vec<String> = {
-        let mut h: Vec<String> =
-            sizes.iter().map(|n| format!("Q1 {}K", n / 1000)).collect();
+        let mut h: Vec<String> = sizes.iter().map(|n| format!("Q1 {}K", n / 1000)).collect();
         h.extend(sizes.iter().map(|n| format!("Q2 {}K", n / 1000)));
         h
     };
@@ -74,8 +75,7 @@ fn main() {
         let mut cells = Vec::new();
         for q in [&q1, &q2] {
             for (_, graph) in &graphs {
-                let result =
-                    measure(engine.as_ref(), graph, q, &opts.budget(), opts.warm_runs());
+                let result = measure(engine.as_ref(), graph, q, &opts.budget(), opts.warm_runs());
                 cells.push(fmt_cell(&result));
             }
         }

@@ -43,8 +43,12 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// All four, in the paper's order.
-    pub const ALL: [WorkloadKind; 4] =
-        [WorkloadKind::Len, WorkloadKind::Dis, WorkloadKind::Con, WorkloadKind::Rec];
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Len,
+        WorkloadKind::Dis,
+        WorkloadKind::Con,
+        WorkloadKind::Rec,
+    ];
 
     /// The non-recursive families used by Fig. 12.
     pub const NON_RECURSIVE: [WorkloadKind; 3] =
@@ -67,20 +71,32 @@ impl WorkloadKind {
         cfg.selectivities = SelectivityClass::ALL.to_vec();
         match self {
             WorkloadKind::Len => {
-                cfg.query_size =
-                    QuerySize { conjuncts: (1, 1), disjuncts: (1, 1), length: (1, 4) };
+                cfg.query_size = QuerySize {
+                    conjuncts: (1, 1),
+                    disjuncts: (1, 1),
+                    length: (1, 4),
+                };
             }
             WorkloadKind::Dis => {
-                cfg.query_size =
-                    QuerySize { conjuncts: (1, 1), disjuncts: (2, 4), length: (1, 3) };
+                cfg.query_size = QuerySize {
+                    conjuncts: (1, 1),
+                    disjuncts: (2, 4),
+                    length: (1, 3),
+                };
             }
             WorkloadKind::Con => {
-                cfg.query_size =
-                    QuerySize { conjuncts: (2, 3), disjuncts: (1, 3), length: (1, 3) };
+                cfg.query_size = QuerySize {
+                    conjuncts: (2, 3),
+                    disjuncts: (1, 3),
+                    length: (1, 3),
+                };
             }
             WorkloadKind::Rec => {
-                cfg.query_size =
-                    QuerySize { conjuncts: (1, 2), disjuncts: (1, 2), length: (1, 3) };
+                cfg.query_size = QuerySize {
+                    conjuncts: (1, 2),
+                    disjuncts: (1, 2),
+                    length: (1, 3),
+                };
                 cfg.recursion_probability = 0.5;
             }
         }
@@ -100,12 +116,20 @@ pub struct HarnessOptions {
     pub full: bool,
     /// Seed shared by all generation in an experiment.
     pub seed: u64,
+    /// Worker threads for graph generation (`--threads N`; generation is
+    /// bit-identical at every thread count).
+    pub threads: usize,
 }
 
 impl HarnessOptions {
-    /// Parses `--full` and `--seed N` from the process arguments.
+    /// Parses `--full`, `--seed N`, and `--threads N` from the process
+    /// arguments.
     pub fn from_args() -> HarnessOptions {
-        let mut opts = HarnessOptions { full: false, seed: 0x9A9E_2017 };
+        let mut opts = HarnessOptions {
+            full: false,
+            seed: 0x9A9E_2017,
+            threads: 1,
+        };
         let args: Vec<String> = std::env::args().collect();
         for (i, a) in args.iter().enumerate() {
             match a.as_str() {
@@ -113,6 +137,11 @@ impl HarnessOptions {
                 "--seed" => {
                     if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                         opts.seed = v;
+                    }
+                }
+                "--threads" => {
+                    if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.threads = v;
                     }
                 }
                 _ => {}
@@ -169,9 +198,13 @@ impl HarnessOptions {
 }
 
 /// Generates a graph for an experiment (shared seed discipline).
-pub fn build_graph(schema: &Schema, n: u64, seed: u64) -> Graph {
+pub fn build_graph(schema: &Schema, n: u64, seed: u64, threads: usize) -> Graph {
     let config = GraphConfig::new(n, schema.clone());
-    generate_graph(&config, &GeneratorOptions::with_seed(seed)).0
+    let opts = GeneratorOptions {
+        threads,
+        ..GeneratorOptions::with_seed(seed)
+    };
+    generate_graph(&config, &opts).0
 }
 
 /// The Section 7.1 measurement protocol: one cold run (discarded), `warm`
@@ -268,17 +301,11 @@ mod tests {
     #[test]
     fn measure_protocol_runs() {
         let bib = gmark_core::usecases::bib();
-        let graph = build_graph(&bib, 500, 3);
+        let graph = build_graph(&bib, 500, 3, 2);
         let w = WorkloadKind::Len.workload(&bib, 4);
         let engine = gmark_engines::TripleStoreEngine;
-        let (d, count) = measure(
-            &engine,
-            &graph,
-            &w.queries[0].query,
-            &Budget::default(),
-            3,
-        )
-        .expect("small query fits budget");
+        let (d, count) = measure(&engine, &graph, &w.queries[0].query, &Budget::default(), 3)
+            .expect("small query fits budget");
         assert!(d.as_secs_f64() >= 0.0);
         let direct = engine
             .evaluate(&graph, &w.queries[0].query, &Budget::default())
@@ -290,18 +317,23 @@ mod tests {
     fn duration_formatting() {
         assert_eq!(fmt_minutes(Duration::from_millis(57)), "0m0.057s");
         assert_eq!(fmt_minutes(Duration::from_secs_f64(88.725)), "1m28.725s");
-        assert_eq!(
-            fmt_cell(&Err(gmark_engines::EvalError::Timeout)),
-            "-"
-        );
+        assert_eq!(fmt_cell(&Err(gmark_engines::EvalError::Timeout)), "-");
     }
 
     #[test]
     fn harness_options_defaults() {
-        let o = HarnessOptions { full: false, seed: 1 };
+        let o = HarnessOptions {
+            full: false,
+            seed: 1,
+            threads: 1,
+        };
         assert_eq!(o.selectivity_sizes().len(), 3);
         assert_eq!(o.scalability_sizes().len(), 3);
-        let f = HarnessOptions { full: true, seed: 1 };
+        let f = HarnessOptions {
+            full: true,
+            seed: 1,
+            threads: 1,
+        };
         assert!(f.selectivity_sizes().contains(&32_000));
         assert!(f.scalability_sizes().contains(&100_000_000));
     }

@@ -92,11 +92,15 @@ fn invalid(what: &str) -> ConfigError {
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, ConfigError> {
-    s.trim().parse().map_err(|_| invalid(&format!("{what}: {s:?}")))
+    s.trim()
+        .parse()
+        .map_err(|_| invalid(&format!("{what}: {s:?}")))
 }
 
 fn attr_num<T: std::str::FromStr>(e: &Element, key: &str) -> Result<T, ConfigError> {
-    let raw = e.get_attr(key).ok_or_else(|| missing(&format!("attribute {key} on <{}>", e.name)))?;
+    let raw = e
+        .get_attr(key)
+        .ok_or_else(|| missing(&format!("attribute {key} on <{}>", e.name)))?;
     parse_num(raw, &format!("attribute {key}"))
 }
 
@@ -105,17 +109,26 @@ fn occurrence_of(e: &Element) -> Result<Option<Occurrence>, ConfigError> {
         (Some(p), None) => Ok(Some(Occurrence::Proportion(parse_num(p, "proportion")?))),
         (None, Some(c)) => Ok(Some(Occurrence::Fixed(parse_num(c, "fixed")?))),
         (None, None) => Ok(None),
-        (Some(_), Some(_)) => {
-            Err(invalid(&format!("<{}> has both proportion and fixed", e.name)))
-        }
+        (Some(_), Some(_)) => Err(invalid(&format!(
+            "<{}> has both proportion and fixed",
+            e.name
+        ))),
     }
 }
 
 fn distribution_of(e: &Element) -> Result<Distribution, ConfigError> {
-    let kind = e.get_attr("type").ok_or_else(|| missing("distribution type attribute"))?;
+    let kind = e
+        .get_attr("type")
+        .ok_or_else(|| missing("distribution type attribute"))?;
     match kind {
-        "uniform" => Ok(Distribution::uniform(attr_num(e, "min")?, attr_num(e, "max")?)),
-        "gaussian" => Ok(Distribution::gaussian(attr_num(e, "mu")?, attr_num(e, "sigma")?)),
+        "uniform" => Ok(Distribution::uniform(
+            attr_num(e, "min")?,
+            attr_num(e, "max")?,
+        )),
+        "gaussian" => Ok(Distribution::gaussian(
+            attr_num(e, "mu")?,
+            attr_num(e, "sigma")?,
+        )),
         "zipfian" => Ok(Distribution::zipfian(attr_num(e, "s")?)),
         "nonspecified" => Ok(Distribution::NonSpecified),
         other => Err(invalid(&format!("distribution type {other:?}"))),
@@ -126,7 +139,10 @@ fn distribution_of(e: &Element) -> Result<Distribution, ConfigError> {
 pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigError> {
     let root = parse(input)?;
     if root.name != "generator" {
-        return Err(invalid(&format!("root element <{}>, expected <generator>", root.name)));
+        return Err(invalid(&format!(
+            "root element <{}>, expected <generator>",
+            root.name
+        )));
     }
     let graph_el = root.first("graph").ok_or_else(|| missing("<graph>"))?;
     let n: u64 = graph_el
@@ -139,13 +155,15 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigError> {
     let types_el = graph_el.first("types").ok_or_else(|| missing("<types>"))?;
     for t in types_el.elements_named("type") {
         let name = t.get_attr("name").ok_or_else(|| missing("type name"))?;
-        let occ = occurrence_of(t)?
-            .ok_or_else(|| missing(&format!("occurrence on type {name:?}")))?;
+        let occ =
+            occurrence_of(t)?.ok_or_else(|| missing(&format!("occurrence on type {name:?}")))?;
         b.node_type(name, occ);
     }
     if let Some(preds_el) = graph_el.first("predicates") {
         for p in preds_el.elements_named("predicate") {
-            let name = p.get_attr("name").ok_or_else(|| missing("predicate name"))?;
+            let name = p
+                .get_attr("name")
+                .ok_or_else(|| missing("predicate name"))?;
             b.predicate(name, occurrence_of(p)?);
         }
     }
@@ -154,10 +172,15 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigError> {
     let mut pending = Vec::new();
     if let Some(cons_el) = graph_el.first("constraints") {
         for c in cons_el.elements_named("constraint") {
-            let source = c.get_attr("source").ok_or_else(|| missing("constraint source"))?;
-            let predicate =
-                c.get_attr("predicate").ok_or_else(|| missing("constraint predicate"))?;
-            let target = c.get_attr("target").ok_or_else(|| missing("constraint target"))?;
+            let source = c
+                .get_attr("source")
+                .ok_or_else(|| missing("constraint source"))?;
+            let predicate = c
+                .get_attr("predicate")
+                .ok_or_else(|| missing("constraint predicate"))?;
+            let target = c
+                .get_attr("target")
+                .ok_or_else(|| missing("constraint target"))?;
             let din = c
                 .first("indistribution")
                 .map(distribution_of)
@@ -168,18 +191,26 @@ pub fn parse_config(input: &str) -> Result<ParsedConfig, ConfigError> {
                 .map(distribution_of)
                 .transpose()?
                 .unwrap_or(Distribution::NonSpecified);
-            pending.push((source.to_owned(), predicate.to_owned(), target.to_owned(), din, dout));
+            pending.push((
+                source.to_owned(),
+                predicate.to_owned(),
+                target.to_owned(),
+                din,
+                dout,
+            ));
         }
     }
-    let schema_probe =
-        b.build().map_err(|e| invalid(&format!("schema: {e}")))?;
+    let schema_probe = b.build().map_err(|e| invalid(&format!("schema: {e}")))?;
     // Rebuild with constraints resolved against the probe's name tables.
     let mut b = SchemaBuilder::new();
     for t in schema_probe.types() {
         b.node_type(schema_probe.type_name(t), schema_probe.type_constraint(t));
     }
     for p in schema_probe.predicates() {
-        b.predicate(schema_probe.predicate_name(p), schema_probe.predicate_constraint(p));
+        b.predicate(
+            schema_probe.predicate_name(p),
+            schema_probe.predicate_constraint(p),
+        );
     }
     for (source, predicate, target, din, dout) in pending {
         let s = schema_probe
@@ -297,7 +328,9 @@ pub fn write_config(graph: &GraphConfig, workload: Option<&WorkloadConfig>) -> S
 
     let mut root = Element::new("generator").child(graph_el);
     if let Some(w) = workload {
-        let mut w_el = Element::new("workload").attr("size", w.size).attr("seed", w.seed);
+        let mut w_el = Element::new("workload")
+            .attr("size", w.size)
+            .attr("seed", w.seed);
         for a in &w.arity {
             w_el = w_el.child(Element::new("arity").text(a));
         }
@@ -307,9 +340,7 @@ pub fn write_config(graph: &GraphConfig, workload: Option<&WorkloadConfig>) -> S
         for s in &w.selectivities {
             w_el = w_el.child(Element::new("selectivity").text(s));
         }
-        w_el = w_el.child(
-            Element::new("recursion").attr("probability", w.recursion_probability),
-        );
+        w_el = w_el.child(Element::new("recursion").attr("probability", w.recursion_probability));
         let range_el = |name: &str, (min, max): (usize, usize)| {
             Element::new(name).attr("min", min).attr("max", max)
         };
@@ -329,9 +360,10 @@ fn distribution_el(name: &str, d: &Distribution) -> Element {
         Distribution::Uniform { min, max } => {
             e.attr("type", "uniform").attr("min", min).attr("max", max)
         }
-        Distribution::Gaussian { mu, sigma } => {
-            e.attr("type", "gaussian").attr("mu", mu).attr("sigma", sigma)
-        }
+        Distribution::Gaussian { mu, sigma } => e
+            .attr("type", "gaussian")
+            .attr("mu", mu)
+            .attr("sigma", sigma),
         Distribution::Zipfian { s } => e.attr("type", "zipfian").attr("s", s),
         Distribution::NonSpecified => e.attr("type", "nonspecified"),
     }
@@ -413,15 +445,12 @@ mod tests {
     #[test]
     fn parsed_config_generates() {
         let cfg = parse_config(BIB_LIKE).unwrap();
-        let (graph, report) = gmark_core::generate_graph(
-            &cfg.graph,
-            &gmark_core::GeneratorOptions::with_seed(3),
-        );
+        let (graph, report) =
+            gmark_core::generate_graph(&cfg.graph, &gmark_core::GeneratorOptions::with_seed(3));
         // Proportions sum to 0.9 plus 100 fixed city nodes: 4600 realized.
         assert_eq!(graph.node_count(), 4_600);
         assert!(report.total_edges > 0);
-        let (w, _) =
-            gmark_core::generate_workload(&cfg.graph.schema, &cfg.workload.unwrap());
+        let (w, _) = gmark_core::generate_workload(&cfg.graph.schema, &cfg.workload.unwrap());
         assert_eq!(w.queries.len(), 30);
     }
 
@@ -444,11 +473,20 @@ mod tests {
 
     #[test]
     fn missing_pieces_are_reported() {
-        assert!(matches!(parse_config("<generator/>"), Err(ConfigError::Missing(_))));
+        assert!(matches!(
+            parse_config("<generator/>"),
+            Err(ConfigError::Missing(_))
+        ));
         let no_nodes = "<generator><graph><types/></graph></generator>";
-        assert!(matches!(parse_config(no_nodes), Err(ConfigError::Missing(_))));
+        assert!(matches!(
+            parse_config(no_nodes),
+            Err(ConfigError::Missing(_))
+        ));
         let bad_root = "<gen/>";
-        assert!(matches!(parse_config(bad_root), Err(ConfigError::Invalid(_))));
+        assert!(matches!(
+            parse_config(bad_root),
+            Err(ConfigError::Invalid(_))
+        ));
     }
 
     #[test]
@@ -483,6 +521,9 @@ mod tests {
           </graph>
           <workload size="5"><selectivity>cubic</selectivity></workload>
           </generator>"#;
-        assert!(matches!(parse_config(bad_sel), Err(ConfigError::Invalid(_))));
+        assert!(matches!(
+            parse_config(bad_sel),
+            Err(ConfigError::Invalid(_))
+        ));
     }
 }

@@ -32,7 +32,10 @@ pub enum Node {
 impl Element {
     /// Creates an element with a name.
     pub fn new(name: &str) -> Element {
-        Element { name: name.to_owned(), ..Default::default() }
+        Element {
+            name: name.to_owned(),
+            ..Default::default()
+        }
     }
 
     /// Adds an attribute (builder style).
@@ -55,7 +58,10 @@ impl Element {
 
     /// Looks up an attribute value.
     pub fn get_attr(&self, key: &str) -> Option<&str> {
-        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     /// Iterates child elements.
@@ -177,7 +183,10 @@ impl std::error::Error for XmlError {}
 
 /// Parses a document, returning its root element.
 pub fn parse(input: &str) -> Result<Element, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_prolog()?;
     let root = p.parse_element()?;
     p.skip_misc();
@@ -194,7 +203,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> XmlError {
-        XmlError { offset: self.pos, message: message.to_owned() }
+        XmlError {
+            offset: self.pos,
+            message: message.to_owned(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -282,7 +294,10 @@ impl<'a> Parser<'a> {
                 let raw = std::str::from_utf8(&self.input[start..self.pos])
                     .map_err(|_| self.err("attribute value is not UTF-8"))?;
                 self.pos += 1;
-                return unescape(raw).map_err(|m| XmlError { offset: start, message: m });
+                return unescape(raw).map_err(|m| XmlError {
+                    offset: start,
+                    message: m,
+                });
             }
             self.pos += 1;
         }
@@ -362,8 +377,10 @@ impl<'a> Parser<'a> {
                     }
                     let raw = std::str::from_utf8(&self.input[start..self.pos])
                         .map_err(|_| self.err("text is not UTF-8"))?;
-                    let text =
-                        unescape(raw).map_err(|m| XmlError { offset: start, message: m })?;
+                    let text = unescape(raw).map_err(|m| XmlError {
+                        offset: start,
+                        message: m,
+                    })?;
                     if !text.trim().is_empty() {
                         element.children.push(Node::Text(text));
                     }
@@ -383,7 +400,9 @@ fn unescape(s: &str) -> Result<String, String> {
     while let Some(idx) = rest.find('&') {
         out.push_str(&rest[..idx]);
         rest = &rest[idx..];
-        let end = rest.find(';').ok_or_else(|| "unterminated entity".to_owned())?;
+        let end = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity".to_owned())?;
         let entity = &rest[1..end];
         match entity {
             "amp" => out.push('&'),
@@ -436,7 +455,8 @@ mod tests {
 
     #[test]
     fn parse_with_prolog_and_comments() {
-        let doc = "<?xml version=\"1.0\"?>\n<!-- top --><root><!-- inner --><a/></root>\n<!-- after -->";
+        let doc =
+            "<?xml version=\"1.0\"?>\n<!-- top --><root><!-- inner --><a/></root>\n<!-- after -->";
         let e = parse(doc).unwrap();
         assert_eq!(e.name, "root");
         assert_eq!(e.elements().count(), 1);

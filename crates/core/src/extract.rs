@@ -31,7 +31,10 @@ pub struct ExtractOptions {
 
 impl Default for ExtractOptions {
     fn default() -> Self {
-        ExtractOptions { fixed_threshold: 128, fixed_fraction: 0.01 }
+        ExtractOptions {
+            fixed_threshold: 128,
+            fixed_fraction: 0.01,
+        }
     }
 }
 
@@ -46,7 +49,11 @@ pub fn extract_config(
     opts: &ExtractOptions,
 ) -> GraphConfig {
     let partition = graph.partition();
-    assert_eq!(type_names.len(), partition.type_count(), "type name count mismatch");
+    assert_eq!(
+        type_names.len(),
+        partition.type_count(),
+        "type name count mismatch"
+    );
     assert_eq!(
         predicate_names.len(),
         graph.predicate_count(),
@@ -113,7 +120,11 @@ pub fn classify_degrees(degrees: &[usize]) -> Distribution {
     }
     let n = degrees.len() as f64;
     let mean = degrees.iter().sum::<usize>() as f64 / n;
-    let var = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = degrees
+        .iter()
+        .map(|&d| (d as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     let sd = var.sqrt();
     let cv = if mean > 0.0 { sd / mean } else { f64::INFINITY };
 
@@ -137,16 +148,18 @@ pub fn classify_degrees(degrees: &[usize]) -> Distribution {
 /// Hill-style estimate of the Zipf exponent from the upper tail of the
 /// degree sequence, clamped to a practical range.
 fn estimate_zipf_exponent(degrees: &[usize]) -> f64 {
-    let mut tail: Vec<f64> =
-        degrees.iter().filter(|&&d| d >= 1).map(|&d| d as f64).collect();
+    let mut tail: Vec<f64> = degrees
+        .iter()
+        .filter(|&&d| d >= 1)
+        .map(|&d| d as f64)
+        .collect();
     if tail.len() < 4 {
         return 2.5;
     }
     tail.sort_by(|a, b| b.partial_cmp(a).expect("degrees are finite"));
     let k = (tail.len() / 10).clamp(2, 200);
     let x_k = tail[k - 1];
-    let hill: f64 =
-        tail[..k].iter().map(|&x| (x / x_k).ln()).sum::<f64>() / k as f64;
+    let hill: f64 = tail[..k].iter().map(|&x| (x / x_k).ln()).sum::<f64>() / k as f64;
     if hill <= 0.0 {
         return 2.5;
     }
@@ -171,8 +184,9 @@ mod tests {
     #[test]
     fn classify_flat_uniform() {
         let mut rng = Prng::seed_from_u64(1);
-        let degrees: Vec<usize> =
-            (0..5000).map(|_| rng.range_inclusive(2, 9) as usize).collect();
+        let degrees: Vec<usize> = (0..5000)
+            .map(|_| rng.range_inclusive(2, 9) as usize)
+            .collect();
         match classify_degrees(&degrees) {
             Distribution::Uniform { min, max } => {
                 assert_eq!((min, max), (2, 9));
@@ -220,8 +234,20 @@ mod tests {
         let small = b.node_type("small", Occurrence::Fixed(40));
         let p = b.predicate("p", None);
         let q = b.predicate("q", None);
-        b.edge(big, p, other, Distribution::NonSpecified, Distribution::zipfian(2.0));
-        b.edge(other, q, small, Distribution::NonSpecified, Distribution::uniform(1, 1));
+        b.edge(
+            big,
+            p,
+            other,
+            Distribution::NonSpecified,
+            Distribution::zipfian(2.0),
+        );
+        b.edge(
+            other,
+            q,
+            small,
+            Distribution::NonSpecified,
+            Distribution::uniform(1, 1),
+        );
         b.build().unwrap()
     }
 

@@ -44,14 +44,21 @@ pub struct GeneratorOptions {
 
 impl Default for GeneratorOptions {
     fn default() -> Self {
-        GeneratorOptions { seed: 0x674D_61726B, gaussian_fast_path: true, threads: 1 }
+        GeneratorOptions {
+            seed: 0x674D_61726B,
+            gaussian_fast_path: true,
+            threads: 1,
+        }
     }
 }
 
 impl GeneratorOptions {
     /// Options with a specific seed.
     pub fn with_seed(seed: u64) -> Self {
-        GeneratorOptions { seed, ..Default::default() }
+        GeneratorOptions {
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -98,12 +105,22 @@ pub fn generate_into<S: EdgeSink>(
 }
 
 /// Generates a full in-memory [`Graph`] (optionally in parallel).
+///
+/// With `opts.threads > 1` the pipeline is parallel end to end: edge
+/// generation fans constraints out over worker threads (each constraint
+/// draws from an RNG split keyed by its index, so assignment order is
+/// irrelevant), the per-constraint shards are then merged in ascending
+/// constraint order — reproducing the exact builder state of a sequential
+/// run — and CSR finalization fans `(predicate, direction)` items out over
+/// the same number of workers. The resulting graph and report are
+/// bit-identical for every thread count.
 pub fn generate_graph(config: &GraphConfig, opts: &GeneratorOptions) -> (Graph, GenReport) {
     let counts = config.node_counts();
     let partition = TypePartition::from_counts(&counts);
     let pred_count = config.schema.predicate_count();
     let n_constraints = config.schema.constraints().len();
-    let threads = opts.threads.max(1).min(n_constraints.max(1));
+    let threads = opts.threads.max(1);
+    let gen_threads = threads.min(n_constraints.max(1));
 
     if threads <= 1 {
         let mut builder = GraphBuilder::new(partition, pred_count);
@@ -111,51 +128,59 @@ pub fn generate_graph(config: &GraphConfig, opts: &GeneratorOptions) -> (Graph, 
         return (builder.build(), report);
     }
 
-    // Shard constraints round-robin across threads. Each constraint uses an
-    // RNG split keyed by its index, so sharding does not affect the output.
+    // Phase 1 — parallel edge generation. Workers claim constraints from a
+    // shared counter (dynamic load balance: constraint costs are skewed by
+    // type sizes) and keep one builder per constraint so the merge below
+    // can replay them in declaration order.
     let master = Prng::seed_from_u64(opts.seed);
-    let mut shards: Vec<(GraphBuilder, Vec<(usize, ConstraintReport)>)> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let partition = partition.clone();
-                    let master = master.clone();
-                    scope.spawn(move || {
-                        let mut builder = GraphBuilder::new(partition.clone(), pred_count);
-                        let mut reports = Vec::new();
-                        let mut idx = t;
-                        while idx < n_constraints {
-                            let mut rng = master.split(idx as u64);
-                            let cr = generate_constraint(
-                                config,
-                                opts,
-                                idx,
-                                &partition,
-                                &mut rng,
-                                &mut builder,
-                            );
-                            reports.push((idx, cr));
-                            idx += threads;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut batches: Vec<(usize, GraphBuilder, ConstraintReport)> = std::thread::scope(|scope| {
+        let (next, partition, master) = (&next, &partition, &master);
+        let handles: Vec<_> = (0..gen_threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= n_constraints {
+                            break;
                         }
-                        (builder, reports)
-                    })
+                        let mut rng = master.split(idx as u64);
+                        let mut builder = GraphBuilder::new(partition.clone(), pred_count);
+                        let cr = generate_constraint(
+                            config,
+                            opts,
+                            idx,
+                            partition,
+                            &mut rng,
+                            &mut builder,
+                        );
+                        out.push((idx, builder, cr));
+                    }
+                    out
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("generator thread panicked")).collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("generator thread panicked"))
+            .collect()
+    });
 
-    let (mut root, mut all_reports) = shards.remove(0);
-    for (builder, reports) in shards {
-        root.absorb(builder);
-        all_reports.extend(reports);
-    }
-    all_reports.sort_by_key(|(idx, _)| *idx);
+    // Phase 2 — deterministic merge: absorb shards in constraint order so
+    // the root builder's per-predicate edge lists are byte-identical to a
+    // sequential run's.
+    batches.sort_by_key(|(idx, _, _)| *idx);
+    let mut root = GraphBuilder::new(partition, pred_count);
     let mut report = GenReport::default();
-    for (_, cr) in all_reports {
+    for (_, shard, cr) in batches {
+        root.absorb(shard);
         report.total_edges += cr.edges;
         report.constraints.push(cr);
     }
-    (root.build(), report)
+
+    // Phase 3 — CSR finalization on worker threads.
+    (root.build_with_threads(threads), report)
 }
 
 /// How one side of a constraint contributes edge endpoints.
@@ -188,7 +213,11 @@ fn generate_constraint<S: EdgeSink>(
     let n_src = partition.count(c.source.0) as u64;
     let n_trg = partition.count(c.target.0) as u64;
     if n_src == 0 || n_trg == 0 {
-        return ConstraintReport { src_slots: 0, trg_slots: 0, edges: 0 };
+        return ConstraintReport {
+            src_slots: 0,
+            trg_slots: 0,
+            edges: 0,
+        };
     }
     let pred = c.predicate.0;
     let src_base = partition.range(c.source.0).start;
@@ -201,7 +230,9 @@ fn generate_constraint<S: EdgeSink>(
     let fast_out = opts.gaussian_fast_path && c.dout.is_gaussian();
     let fast_in = opts.gaussian_fast_path && c.din.is_gaussian();
     let expected = |d: &Distribution, n_own: u64, n_other: u64| -> u64 {
-        d.mean(n_other).map(|m| (m * n_own as f64).round() as u64).unwrap_or(0)
+        d.mean(n_other)
+            .map(|m| (m * n_own as f64).round() as u64)
+            .unwrap_or(0)
     };
     // `None` = side total still open (Zipf awaiting scaling, or
     // non-specified awaiting the opposite side).
@@ -239,7 +270,12 @@ fn generate_constraint<S: EdgeSink>(
     // Fig. 2) could absorb only O(1) of a growing type's edges.
     let zipf_budget = |other: Option<u64>, own_natural: u64| -> u64 {
         other
-            .or_else(|| config.schema.predicate_constraint(c.predicate).map(|o| o.resolve(config.n)))
+            .or_else(|| {
+                config
+                    .schema
+                    .predicate_constraint(c.predicate)
+                    .map(|o| o.resolve(config.n))
+            })
             .unwrap_or(own_natural)
     };
     if let Distribution::Zipfian { s } = c.dout {
@@ -320,7 +356,11 @@ fn generate_constraint<S: EdgeSink>(
         };
         sink.edge(src_base + s, pred, trg_base + t);
     }
-    ConstraintReport { src_slots: src_total, trg_slots: trg_total, edges }
+    ConstraintReport {
+        src_slots: src_total,
+        trg_slots: trg_total,
+        edges,
+    }
 }
 
 /// Lines 3–6 of Fig. 5: node `j` (within its type) appears `draw(D)` times.
@@ -441,7 +481,11 @@ mod tests {
         }
         assert!(out_deg.iter().all(|&d| d <= 1));
         // Expect roughly half the sources to emit an edge.
-        assert!((60..140).contains(&sink.triples.len()), "{}", sink.triples.len());
+        assert!(
+            (60..140).contains(&sink.triples.len()),
+            "{}",
+            sink.triples.len()
+        );
     }
 
     #[test]
@@ -465,7 +509,13 @@ mod tests {
         let s = b.node_type("s", Occurrence::Fixed(50));
         let t = b.node_type("t", Occurrence::Fixed(50));
         let p = b.predicate("p", None);
-        b.edge(s, p, t, Distribution::uniform(1, 1), Distribution::uniform(2, 2));
+        b.edge(
+            s,
+            p,
+            t,
+            Distribution::uniform(1, 1),
+            Distribution::uniform(2, 2),
+        );
         let cfg = GraphConfig::new(100, b.build().unwrap());
         let mut sink = VecSink::default();
         let report = generate_into(&cfg, &GeneratorOptions::with_seed(4), &mut sink);
@@ -486,7 +536,13 @@ mod tests {
         let s = b.node_type("s", Occurrence::Proportion(0.5));
         let t = b.node_type("t", Occurrence::Proportion(0.5));
         let p = b.predicate("p", None);
-        b.edge(s, p, t, Distribution::NonSpecified, Distribution::zipfian(2.5));
+        b.edge(
+            s,
+            p,
+            t,
+            Distribution::NonSpecified,
+            Distribution::zipfian(2.5),
+        );
         let cfg = GraphConfig::new(10_000, b.build().unwrap());
         let (g, _) = generate_graph(&cfg, &GeneratorOptions::with_seed(5));
         let degs = g.out_degrees(0, 0);
@@ -504,9 +560,18 @@ mod tests {
         let s = b.node_type("s", Occurrence::Proportion(0.5));
         let t = b.node_type("t", Occurrence::Proportion(0.5));
         let p = b.predicate("p", None);
-        b.edge(s, p, t, Distribution::NonSpecified, Distribution::gaussian(5.0, 1.0));
+        b.edge(
+            s,
+            p,
+            t,
+            Distribution::NonSpecified,
+            Distribution::gaussian(5.0, 1.0),
+        );
         let cfg = GraphConfig::new(4_000, b.build().unwrap());
-        let opts = GeneratorOptions { gaussian_fast_path: false, ..GeneratorOptions::with_seed(6) };
+        let opts = GeneratorOptions {
+            gaussian_fast_path: false,
+            ..GeneratorOptions::with_seed(6)
+        };
         let (g, _) = generate_graph(&cfg, &opts);
         // NonSpecified in-dist: out-degrees are exact Gaussian draws.
         let degs = g.out_degrees(0, 0);
@@ -520,17 +585,27 @@ mod tests {
         let s = b.node_type("s", Occurrence::Proportion(0.5));
         let t = b.node_type("t", Occurrence::Proportion(0.5));
         let p = b.predicate("p", None);
-        b.edge(s, p, t, Distribution::gaussian(3.0, 0.5), Distribution::gaussian(3.0, 0.5));
+        b.edge(
+            s,
+            p,
+            t,
+            Distribution::gaussian(3.0, 0.5),
+            Distribution::gaussian(3.0, 0.5),
+        );
         let cfg = GraphConfig::new(2_000, b.build().unwrap());
 
         let mut fast = CountingSink::new(1);
-        let fast_opts =
-            GeneratorOptions { gaussian_fast_path: true, ..GeneratorOptions::with_seed(7) };
+        let fast_opts = GeneratorOptions {
+            gaussian_fast_path: true,
+            ..GeneratorOptions::with_seed(7)
+        };
         generate_into(&cfg, &fast_opts, &mut fast);
 
         let mut slow = CountingSink::new(1);
-        let slow_opts =
-            GeneratorOptions { gaussian_fast_path: false, ..GeneratorOptions::with_seed(7) };
+        let slow_opts = GeneratorOptions {
+            gaussian_fast_path: false,
+            ..GeneratorOptions::with_seed(7)
+        };
         generate_into(&cfg, &slow_opts, &mut slow);
 
         let (f, s) = (fast.total() as f64, slow.total() as f64);
@@ -543,7 +618,13 @@ mod tests {
         let s = b.node_type("s", Occurrence::Fixed(100));
         let t = b.node_type("t", Occurrence::Fixed(100));
         let p = b.predicate("p", Some(Occurrence::Fixed(777)));
-        b.edge(s, p, t, Distribution::NonSpecified, Distribution::NonSpecified);
+        b.edge(
+            s,
+            p,
+            t,
+            Distribution::NonSpecified,
+            Distribution::NonSpecified,
+        );
         let cfg = GraphConfig::new(200, b.build().unwrap());
         let mut sink = CountingSink::new(1);
         generate_into(&cfg, &GeneratorOptions::with_seed(8), &mut sink);
@@ -554,8 +635,14 @@ mod tests {
     fn parallel_generation_matches_sequential() {
         let schema = crate::schema::tests::example_3_3();
         let cfg = GraphConfig::new(2_000, schema);
-        let seq_opts = GeneratorOptions { threads: 1, ..GeneratorOptions::with_seed(9) };
-        let par_opts = GeneratorOptions { threads: 4, ..GeneratorOptions::with_seed(9) };
+        let seq_opts = GeneratorOptions {
+            threads: 1,
+            ..GeneratorOptions::with_seed(9)
+        };
+        let par_opts = GeneratorOptions {
+            threads: 4,
+            ..GeneratorOptions::with_seed(9)
+        };
         let (g_seq, r_seq) = generate_graph(&cfg, &seq_opts);
         let (g_par, r_par) = generate_graph(&cfg, &par_opts);
         assert_eq!(r_seq.total_edges, r_par.total_edges);
@@ -573,7 +660,13 @@ mod tests {
         let s = b.node_type("s", Occurrence::Fixed(0));
         let t = b.node_type("t", Occurrence::Fixed(10));
         let p = b.predicate("p", None);
-        b.edge(s, p, t, Distribution::uniform(1, 1), Distribution::uniform(1, 1));
+        b.edge(
+            s,
+            p,
+            t,
+            Distribution::uniform(1, 1),
+            Distribution::uniform(1, 1),
+        );
         let cfg = GraphConfig::new(10, b.build().unwrap());
         let mut sink = CountingSink::new(1);
         let report = generate_into(&cfg, &GeneratorOptions::with_seed(10), &mut sink);
@@ -594,9 +687,10 @@ mod tests {
             let tt = partition.type_of(*trg);
             // Every emitted edge must correspond to some schema constraint.
             assert!(
-                schema.constraints().iter().any(|c| c.source.0 == st
-                    && c.target.0 == tt
-                    && c.predicate.0 == *pred),
+                schema
+                    .constraints()
+                    .iter()
+                    .any(|c| c.source.0 == st && c.target.0 == tt && c.predicate.0 == *pred),
                 "edge ({src},{pred},{trg}) with types ({st},{tt}) matches no constraint"
             );
         }

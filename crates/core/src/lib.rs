@@ -40,6 +40,4 @@ pub use schema::{
     TypeId,
 };
 pub use selectivity::{Card, SelOp, SelTriple, SelectivityClass};
-pub use workload::{
-    generate_workload, QuerySize, Shape, Workload, WorkloadConfig, WorkloadReport,
-};
+pub use workload::{generate_workload, QuerySize, Shape, Workload, WorkloadConfig, WorkloadReport};

@@ -42,17 +42,26 @@ pub struct Symbol {
 impl Symbol {
     /// A forward symbol `a`.
     pub fn forward(predicate: PredicateId) -> Self {
-        Symbol { predicate, inverse: false }
+        Symbol {
+            predicate,
+            inverse: false,
+        }
     }
 
     /// An inverse symbol `a⁻`.
     pub fn inverse(predicate: PredicateId) -> Self {
-        Symbol { predicate, inverse: true }
+        Symbol {
+            predicate,
+            inverse: true,
+        }
     }
 
     /// The symbol with traversal direction flipped.
     pub fn flipped(self) -> Self {
-        Symbol { predicate: self.predicate, inverse: !self.inverse }
+        Symbol {
+            predicate: self.predicate,
+            inverse: !self.inverse,
+        }
     }
 }
 
@@ -102,17 +111,26 @@ pub struct RegularExpr {
 impl RegularExpr {
     /// A plain (non-starred) disjunction of paths.
     pub fn union(disjuncts: Vec<PathExpr>) -> Self {
-        RegularExpr { disjuncts, starred: false }
+        RegularExpr {
+            disjuncts,
+            starred: false,
+        }
     }
 
     /// A starred disjunction `(P1 + … + Pk)*`.
     pub fn star(disjuncts: Vec<PathExpr>) -> Self {
-        RegularExpr { disjuncts, starred: true }
+        RegularExpr {
+            disjuncts,
+            starred: true,
+        }
     }
 
     /// A single-path expression.
     pub fn path(p: PathExpr) -> Self {
-        RegularExpr { disjuncts: vec![p], starred: false }
+        RegularExpr {
+            disjuncts: vec![p],
+            starred: false,
+        }
     }
 
     /// A single-symbol expression.
@@ -237,7 +255,9 @@ impl Query {
 
     /// Whether any conjunct of any rule is recursive.
     pub fn is_recursive(&self) -> bool {
-        self.rules.iter().any(|r| r.body.iter().any(|c| c.expr.is_recursive()))
+        self.rules
+            .iter()
+            .any(|r| r.body.iter().any(|c| c.expr.is_recursive()))
     }
 
     /// The query-size tuple `(#rules, max #conjuncts, max #disjuncts,
@@ -262,7 +282,10 @@ impl Query {
 
     /// Renders the query in the paper's rule notation using schema names.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
-        QueryDisplay { query: self, schema }
+        QueryDisplay {
+            query: self,
+            schema,
+        }
     }
 }
 
@@ -407,8 +430,16 @@ mod tests {
                     ]),
                     trg: y,
                 },
-                Conjunct { src: y, expr: RegularExpr::symbol(Symbol::forward(a)), trg: w },
-                Conjunct { src: w, expr: RegularExpr::symbol(Symbol::inverse(b)), trg: z },
+                Conjunct {
+                    src: y,
+                    expr: RegularExpr::symbol(Symbol::forward(a)),
+                    trg: w,
+                },
+                Conjunct {
+                    src: w,
+                    expr: RegularExpr::symbol(Symbol::inverse(b)),
+                    trg: z,
+                },
             ],
         }
     }
@@ -429,7 +460,11 @@ mod tests {
                     ]),
                     trg: y,
                 },
-                Conjunct { src: y, expr: RegularExpr::symbol(Symbol::forward(a)), trg: z },
+                Conjunct {
+                    src: y,
+                    expr: RegularExpr::symbol(Symbol::forward(a)),
+                    trg: z,
+                },
             ],
         }
     }
@@ -478,8 +513,14 @@ mod tests {
                 trg: Var(1),
             }],
         };
-        let r2 = Rule { head: vec![], body: r1.body.clone() };
-        assert_eq!(Query::new(vec![r1, r2]).unwrap_err(), QueryError::MixedArity);
+        let r2 = Rule {
+            head: vec![],
+            body: r1.body.clone(),
+        };
+        assert_eq!(
+            Query::new(vec![r1, r2]).unwrap_err(),
+            QueryError::MixedArity
+        );
     }
 
     #[test]
@@ -492,13 +533,19 @@ mod tests {
                 trg: Var(1),
             }],
         };
-        assert_eq!(Query::single(r).unwrap_err(), QueryError::UnsafeHeadVar(Var(9)));
+        assert_eq!(
+            Query::single(r).unwrap_err(),
+            QueryError::UnsafeHeadVar(Var(9))
+        );
     }
 
     #[test]
     fn empty_body_and_rules_rejected() {
         assert_eq!(Query::new(vec![]).unwrap_err(), QueryError::NoRules);
-        let r = Rule { head: vec![], body: vec![] };
+        let r = Rule {
+            head: vec![],
+            body: vec![],
+        };
         assert_eq!(Query::single(r).unwrap_err(), QueryError::EmptyBody);
     }
 
@@ -523,7 +570,13 @@ mod tests {
         let b_inv = Symbol::inverse(PredicateId(1));
         let p = PathExpr(vec![a, b_inv]);
         let r = p.reversed();
-        assert_eq!(r.0, vec![Symbol::forward(PredicateId(1)), Symbol::inverse(PredicateId(0))]);
+        assert_eq!(
+            r.0,
+            vec![
+                Symbol::forward(PredicateId(1)),
+                Symbol::inverse(PredicateId(0))
+            ]
+        );
         assert_eq!(r.reversed(), p);
     }
 

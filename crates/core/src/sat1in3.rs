@@ -42,7 +42,11 @@ impl Cnf3 {
     pub fn one_in_three(&self, valuation: &[bool]) -> bool {
         assert_eq!(valuation.len(), self.vars);
         self.clauses.iter().all(|clause| {
-            clause.iter().filter(|l| valuation[l.var] == l.positive).count() == 1
+            clause
+                .iter()
+                .filter(|l| valuation[l.var] == l.positive)
+                .count()
+                == 1
         })
     }
 
@@ -50,7 +54,11 @@ impl Cnf3 {
     pub fn solve_one_in_three(&self) -> Option<Vec<bool>> {
         assert!(self.vars < 24, "enumeration only for small formulas");
         (0u32..(1 << self.vars))
-            .map(|bits| (0..self.vars).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>())
+            .map(|bits| {
+                (0..self.vars)
+                    .map(|i| bits & (1 << i) != 0)
+                    .collect::<Vec<bool>>()
+            })
             .find(|v| self.one_in_three(v))
     }
 }
@@ -126,15 +134,34 @@ pub fn reduce(phi: &Cnf3) -> Reduction {
         for (l, clause) in phi.clauses.iter().enumerate() {
             for lit in clause {
                 if lit.var == i {
-                    let src = if lit.positive { NodeType::T(i) } else { NodeType::F(i) };
+                    let src = if lit.positive {
+                        NodeType::T(i)
+                    } else {
+                        NodeType::F(i)
+                    };
                     eta.push((src, Pred::C(l), NodeType::C(l), Macro::ExactlyOne));
                 }
             }
         }
-        eta.push((NodeType::T(i), Pred::B(i), NodeType::B(i), Macro::ExactlyOne));
-        eta.push((NodeType::F(i), Pred::B(i), NodeType::B(i), Macro::ExactlyOne));
+        eta.push((
+            NodeType::T(i),
+            Pred::B(i),
+            NodeType::B(i),
+            Macro::ExactlyOne,
+        ));
+        eta.push((
+            NodeType::F(i),
+            Pred::B(i),
+            NodeType::B(i),
+            Macro::ExactlyOne,
+        ));
     }
-    Reduction { formula: phi.clone(), node_budget: 2 * n + k + 1, fixed_one, eta }
+    Reduction {
+        formula: phi.clone(),
+        node_budget: 2 * n + k + 1,
+        fixed_one,
+        eta,
+    }
 }
 
 /// A candidate graph for the reduction: node multiset + typed edges.
@@ -158,7 +185,11 @@ pub fn graph_for_valuation(phi: &Cnf3, valuation: &[bool]) -> CandidateGraph {
     }
     for (i, &value) in valuation.iter().enumerate() {
         g.nodes.insert(NodeType::B(i), 1);
-        let chosen = if value { NodeType::T(i) } else { NodeType::F(i) };
+        let chosen = if value {
+            NodeType::T(i)
+        } else {
+            NodeType::F(i)
+        };
         g.nodes.insert(chosen, 1);
         // A --t_i/f_i--> chosen valuation node.
         let pred = if value { Pred::T(i) } else { Pred::F(i) };
@@ -195,7 +226,11 @@ impl Reduction {
         }
         // Every edge must be licensed by some η entry.
         for &(s, p, t) in &g.edges {
-            if !self.eta.iter().any(|&(es, ep, et, _)| es == s && ep == p && et == t) {
+            if !self
+                .eta
+                .iter()
+                .any(|&(es, ep, et, _)| es == s && ep == p && et == t)
+            {
                 return false;
             }
         }
@@ -205,8 +240,11 @@ impl Reduction {
             if present == 0 {
                 continue;
             }
-            let count =
-                g.edges.iter().filter(|&&(es, ep, et)| es == s && ep == p && et == t).count();
+            let count = g
+                .edges
+                .iter()
+                .filter(|&&(es, ep, et)| es == s && ep == p && et == t)
+                .count();
             match m {
                 Macro::ExactlyOne => {
                     if count != present {
@@ -255,7 +293,9 @@ impl Reduction {
         assert!(self.formula.vars < 24);
         (0u32..(1 << self.formula.vars))
             .map(|bits| {
-                (0..self.formula.vars).map(|i| bits & (1 << i) != 0).collect::<Vec<bool>>()
+                (0..self.formula.vars)
+                    .map(|i| bits & (1 << i) != 0)
+                    .collect::<Vec<bool>>()
             })
             .find(|v| self.admits(&graph_for_valuation(&self.formula, v)))
     }
@@ -314,12 +354,21 @@ mod tests {
             // x1 ∨ x1 ∨ x1 — satisfiable 1-in-3 only with x1 = ... never:
             // exactly one of three identical true literals is impossible
             // unless x1 true makes all three true. So unsatisfiable.
-            Cnf3 { vars: 1, clauses: vec![[lit(0, true), lit(0, true), lit(0, true)]] },
+            Cnf3 {
+                vars: 1,
+                clauses: vec![[lit(0, true), lit(0, true), lit(0, true)]],
+            },
             // (x1 ∨ x2 ∨ x3) alone: satisfiable.
-            Cnf3 { vars: 3, clauses: vec![[lit(0, true), lit(1, true), lit(2, true)]] },
+            Cnf3 {
+                vars: 3,
+                clauses: vec![[lit(0, true), lit(1, true), lit(2, true)]],
+            },
             // (x1 ∨ x1 ∨ ¬x1): exactly one literal true whatever x1 is?
             // x1=true: two true; x1=false: one true (¬x1). Satisfiable.
-            Cnf3 { vars: 1, clauses: vec![[lit(0, true), lit(0, true), lit(0, false)]] },
+            Cnf3 {
+                vars: 1,
+                clauses: vec![[lit(0, true), lit(0, true), lit(0, false)]],
+            },
             // (x1∨x2∨x3) ∧ (¬x1∨¬x2∨¬x3): needs exactly one true and
             // exactly one false among the negations = exactly two true.
             // Contradiction — unsatisfiable.
@@ -351,20 +400,32 @@ mod tests {
         let phi = phi_zero();
         let red = reduce(&phi);
         // 2n "?" entries from A.
-        let from_a =
-            red.eta.iter().filter(|&&(s, _, _, m)| s == NodeType::A && m == Macro::AtMostOne);
+        let from_a = red
+            .eta
+            .iter()
+            .filter(|&&(s, _, _, m)| s == NodeType::A && m == Macro::AtMostOne);
         assert_eq!(from_a.count(), 8);
         // For ϕ0 the proof lists 14 "1"-entries:
         // t/f-per-variable picks + clause memberships (see the illustration
         // after the proof).
-        let ones = red.eta.iter().filter(|&&(_, _, _, m)| m == Macro::ExactlyOne).count();
+        let ones = red
+            .eta
+            .iter()
+            .filter(|&&(_, _, _, m)| m == Macro::ExactlyOne)
+            .count();
         assert_eq!(ones, 14);
         // Example entries: η(T1, C1, c1) = 1 and η(F1, C2, c2) = 1.
-        assert!(red
-            .eta
-            .contains(&(NodeType::T(0), Pred::C(0), NodeType::C(0), Macro::ExactlyOne)));
-        assert!(red
-            .eta
-            .contains(&(NodeType::F(0), Pred::C(1), NodeType::C(1), Macro::ExactlyOne)));
+        assert!(red.eta.contains(&(
+            NodeType::T(0),
+            Pred::C(0),
+            NodeType::C(0),
+            Macro::ExactlyOne
+        )));
+        assert!(red.eta.contains(&(
+            NodeType::F(0),
+            Pred::C(1),
+            NodeType::C(1),
+            Macro::ExactlyOne
+        )));
     }
 }

@@ -151,7 +151,9 @@ impl fmt::Display for Distribution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Distribution::Uniform { min, max } => write!(f, "uniform[{min},{max}]"),
-            Distribution::Gaussian { mu, sigma } => write!(f, "gaussian(\u{03BC}={mu},\u{03C3}={sigma})"),
+            Distribution::Gaussian { mu, sigma } => {
+                write!(f, "gaussian(\u{03BC}={mu},\u{03C3}={sigma})")
+            }
             Distribution::Zipfian { s } => write!(f, "zipfian(s={s})"),
             Distribution::NonSpecified => write!(f, "nonspecified"),
         }
@@ -257,7 +259,10 @@ impl Schema {
 
     /// Looks up a predicate by name.
     pub fn predicate_by_name(&self, name: &str) -> Option<PredicateId> {
-        self.predicate_names.iter().position(|n| n == name).map(PredicateId)
+        self.predicate_names
+            .iter()
+            .position(|n| n == name)
+            .map(PredicateId)
     }
 
     /// The occurrence constraint `T(T)` of a node type.
@@ -482,7 +487,13 @@ impl SchemaBuilder {
         din: Distribution,
         dout: Distribution,
     ) -> &mut Self {
-        self.constraints.push(EdgeConstraint { source, predicate, target, din, dout });
+        self.constraints.push(EdgeConstraint {
+            source,
+            predicate,
+            target,
+            din,
+            dout,
+        });
         self
     }
 
@@ -578,10 +589,34 @@ pub(crate) mod tests {
         let t3 = b.node_type("T3", Occurrence::Fixed(1));
         let a = b.predicate("a", None);
         let bb = b.predicate("b", None);
-        b.edge(t1, a, t1, Distribution::gaussian(2.0, 1.0), Distribution::zipfian(2.5));
-        b.edge(t1, bb, t2, Distribution::uniform(1, 3), Distribution::gaussian(1.0, 0.5));
-        b.edge(t2, bb, t2, Distribution::gaussian(1.0, 0.5), Distribution::NonSpecified);
-        b.edge(t2, bb, t3, Distribution::NonSpecified, Distribution::uniform(1, 1));
+        b.edge(
+            t1,
+            a,
+            t1,
+            Distribution::gaussian(2.0, 1.0),
+            Distribution::zipfian(2.5),
+        );
+        b.edge(
+            t1,
+            bb,
+            t2,
+            Distribution::uniform(1, 3),
+            Distribution::gaussian(1.0, 0.5),
+        );
+        b.edge(
+            t2,
+            bb,
+            t2,
+            Distribution::gaussian(1.0, 0.5),
+            Distribution::NonSpecified,
+        );
+        b.edge(
+            t2,
+            bb,
+            t3,
+            Distribution::NonSpecified,
+            Distribution::uniform(1, 1),
+        );
         b.build().unwrap()
     }
 
@@ -634,21 +669,45 @@ pub(crate) mod tests {
         let mut b = SchemaBuilder::new();
         let t = b.node_type("t", Occurrence::Fixed(1));
         let p = b.predicate("p", None);
-        b.edge(t, p, t, Distribution::uniform(5, 2), Distribution::NonSpecified);
-        assert!(matches!(b.build(), Err(SchemaError::InvalidDistribution(_))));
+        b.edge(
+            t,
+            p,
+            t,
+            Distribution::uniform(5, 2),
+            Distribution::NonSpecified,
+        );
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::InvalidDistribution(_))
+        ));
 
         let mut b = SchemaBuilder::new();
         let t = b.node_type("t", Occurrence::Fixed(1));
         let p = b.predicate("p", None);
-        b.edge(t, p, t, Distribution::zipfian(-1.0), Distribution::NonSpecified);
-        assert!(matches!(b.build(), Err(SchemaError::InvalidDistribution(_))));
+        b.edge(
+            t,
+            p,
+            t,
+            Distribution::zipfian(-1.0),
+            Distribution::NonSpecified,
+        );
+        assert!(matches!(
+            b.build(),
+            Err(SchemaError::InvalidDistribution(_))
+        ));
     }
 
     #[test]
     fn unknown_reference_rejected() {
         let mut b = SchemaBuilder::new();
         let t = b.node_type("t", Occurrence::Fixed(1));
-        b.edge(t, PredicateId(9), t, Distribution::NonSpecified, Distribution::uniform(1, 1));
+        b.edge(
+            t,
+            PredicateId(9),
+            t,
+            Distribution::NonSpecified,
+            Distribution::uniform(1, 1),
+        );
         assert!(matches!(b.build(), Err(SchemaError::UnknownReference(_))));
     }
 
@@ -670,7 +729,13 @@ pub(crate) mod tests {
         let t2 = b.node_type("t2", Occurrence::Proportion(0.5));
         let p = b.predicate("p", None);
         // Sources supply ~10 edges/node, targets demand ~1 edge/node.
-        b.edge(t1, p, t2, Distribution::uniform(1, 1), Distribution::uniform(10, 10));
+        b.edge(
+            t1,
+            p,
+            t2,
+            Distribution::uniform(1, 1),
+            Distribution::uniform(10, 10),
+        );
         let cfg = GraphConfig::new(1000, b.build().unwrap());
         let issues = cfg.validate();
         assert!(issues
@@ -683,7 +748,13 @@ pub(crate) mod tests {
         let mut b = SchemaBuilder::new();
         let t = b.node_type("t", Occurrence::Proportion(1.0));
         let p = b.predicate("p", None);
-        b.edge(t, p, t, Distribution::NonSpecified, Distribution::NonSpecified);
+        b.edge(
+            t,
+            p,
+            t,
+            Distribution::NonSpecified,
+            Distribution::NonSpecified,
+        );
         let cfg = GraphConfig::new(100, b.build().unwrap());
         assert!(cfg
             .validate()

@@ -70,8 +70,13 @@ pub enum SelOp {
 
 impl SelOp {
     /// All operations in table order.
-    pub const ALL: [SelOp; 5] =
-        [SelOp::Eq, SelOp::Less, SelOp::Greater, SelOp::Diamond, SelOp::Cross];
+    pub const ALL: [SelOp; 5] = [
+        SelOp::Eq,
+        SelOp::Less,
+        SelOp::Greater,
+        SelOp::Diamond,
+        SelOp::Cross,
+    ];
 
     fn idx(self) -> usize {
         match self {
@@ -160,20 +165,32 @@ impl SelTriple {
     /// a 1; any other such triple produced by the algebra is coerced.
     pub fn normalized(self) -> SelTriple {
         match (self.left, self.right) {
-            (Card::One, Card::One) => SelTriple { left: Card::One, op: SelOp::Eq, right: Card::One },
-            (Card::One, Card::Many) => {
-                SelTriple { left: Card::One, op: SelOp::Less, right: Card::Many }
-            }
-            (Card::Many, Card::One) => {
-                SelTriple { left: Card::Many, op: SelOp::Greater, right: Card::One }
-            }
+            (Card::One, Card::One) => SelTriple {
+                left: Card::One,
+                op: SelOp::Eq,
+                right: Card::One,
+            },
+            (Card::One, Card::Many) => SelTriple {
+                left: Card::One,
+                op: SelOp::Less,
+                right: Card::Many,
+            },
+            (Card::Many, Card::One) => SelTriple {
+                left: Card::Many,
+                op: SelOp::Greater,
+                right: Card::One,
+            },
             (Card::Many, Card::Many) => self,
         }
     }
 
     /// The identity (ε) triple of a type: `sel_{A,A}(ε) = (Type(A), =, Type(A))`.
     pub fn identity(card: Card) -> SelTriple {
-        SelTriple { left: card, op: SelOp::Eq, right: card }
+        SelTriple {
+            left: card,
+            op: SelOp::Eq,
+            right: card,
+        }
     }
 
     /// Whether this triple is already in normal form.
@@ -184,19 +201,38 @@ impl SelTriple {
     /// All eight permitted triples.
     pub fn permitted() -> Vec<SelTriple> {
         let mut v = vec![
-            SelTriple { left: Card::One, op: SelOp::Eq, right: Card::One },
-            SelTriple { left: Card::One, op: SelOp::Less, right: Card::Many },
-            SelTriple { left: Card::Many, op: SelOp::Greater, right: Card::One },
+            SelTriple {
+                left: Card::One,
+                op: SelOp::Eq,
+                right: Card::One,
+            },
+            SelTriple {
+                left: Card::One,
+                op: SelOp::Less,
+                right: Card::Many,
+            },
+            SelTriple {
+                left: Card::Many,
+                op: SelOp::Greater,
+                right: Card::One,
+            },
         ];
         for op in SelOp::ALL {
-            v.push(SelTriple { left: Card::Many, op, right: Card::Many });
+            v.push(SelTriple {
+                left: Card::Many,
+                op,
+                right: Card::Many,
+            });
         }
         v
     }
 
     /// Concatenation of triples (middle cardinalities must agree).
     pub fn concat(self, other: SelTriple) -> SelTriple {
-        debug_assert_eq!(self.right, other.left, "concat requires matching middle type card");
+        debug_assert_eq!(
+            self.right, other.left,
+            "concat requires matching middle type card"
+        );
         SelTriple::new(self.left, self.op.concat(other.op), other.right)
     }
 
@@ -269,8 +305,7 @@ impl<'a> Estimator<'a> {
                     (true, true) => SelOp::Diamond,
                     (false, false) => SelOp::Eq,
                 };
-                let t =
-                    SelTriple::new(Card::of(self.schema, a), op, Card::of(self.schema, b));
+                let t = SelTriple::new(Card::of(self.schema, a), op, Card::of(self.schema, b));
                 acc = Some(match acc {
                     None => t,
                     Some(prev) => prev.disjoin(t),
@@ -316,7 +351,9 @@ impl<'a> Estimator<'a> {
         let mut acc: ClassMap = FxHashMap::default();
         for d in &expr.disjuncts {
             for ((a, b), t) in self.path_classes(d) {
-                acc.entry((a, b)).and_modify(|prev| *prev = prev.disjoin(t)).or_insert(t);
+                acc.entry((a, b))
+                    .and_modify(|prev| *prev = prev.disjoin(t))
+                    .or_insert(t);
             }
         }
         if expr.starred {
@@ -450,10 +487,12 @@ impl<'a> Estimator<'a> {
             // a non-× binary chain, they jointly contribute ≤ max(1, …).
             if i + 1 < rule.head.len() {
                 let w = rule.head[i + 1];
-                let pair_rule = Rule { head: vec![v, w], body: rule.body.clone() };
+                let pair_rule = Rule {
+                    head: vec![v, w],
+                    body: rule.body.clone(),
+                };
                 if let Some(classes) = self.rule_classes(&pair_rule) {
-                    let pair_alpha =
-                        classes.values().map(|t| t.alpha()).max().unwrap_or(2);
+                    let pair_alpha = classes.values().map(|t| t.alpha()).max().unwrap_or(2);
                     if pair_alpha < grows(v) + grows(w) {
                         total = total.saturating_add(pair_alpha);
                         i += 2;
@@ -576,24 +615,64 @@ mod tests {
     fn normalization_rules() {
         // (1,×,1) and (1,◇,1) must normalize to (1,=,1).
         assert_eq!(
-            SelTriple { left: One, op: Cross, right: One }.normalized(),
-            SelTriple { left: One, op: Eq, right: One }
+            SelTriple {
+                left: One,
+                op: Cross,
+                right: One
+            }
+            .normalized(),
+            SelTriple {
+                left: One,
+                op: Eq,
+                right: One
+            }
         );
         assert_eq!(
-            SelTriple { left: One, op: Diamond, right: One }.normalized(),
-            SelTriple { left: One, op: Eq, right: One }
+            SelTriple {
+                left: One,
+                op: Diamond,
+                right: One
+            }
+            .normalized(),
+            SelTriple {
+                left: One,
+                op: Eq,
+                right: One
+            }
         );
         // Any (1,·,N) coerces to (1,<,N); any (N,·,1) to (N,>,1).
         assert_eq!(
-            SelTriple { left: One, op: Cross, right: Many }.normalized(),
-            SelTriple { left: One, op: Less, right: Many }
+            SelTriple {
+                left: One,
+                op: Cross,
+                right: Many
+            }
+            .normalized(),
+            SelTriple {
+                left: One,
+                op: Less,
+                right: Many
+            }
         );
         assert_eq!(
-            SelTriple { left: Many, op: Diamond, right: One }.normalized(),
-            SelTriple { left: Many, op: Greater, right: One }
+            SelTriple {
+                left: Many,
+                op: Diamond,
+                right: One
+            }
+            .normalized(),
+            SelTriple {
+                left: Many,
+                op: Greater,
+                right: One
+            }
         );
         // (N,·,N) is untouched.
-        let t = SelTriple { left: Many, op: Diamond, right: Many };
+        let t = SelTriple {
+            left: Many,
+            op: Diamond,
+            right: Many,
+        };
         assert_eq!(t.normalized(), t);
     }
 
@@ -619,7 +698,10 @@ mod tests {
             SelTriple::new(Many, Less, Many).inverse(),
             SelTriple::new(Many, Greater, Many)
         );
-        assert_eq!(SelTriple::new(One, Less, Many).inverse(), SelTriple::new(Many, Greater, One));
+        assert_eq!(
+            SelTriple::new(One, Less, Many).inverse(),
+            SelTriple::new(Many, Greater, One)
+        );
         let d = SelTriple::new(Many, Diamond, Many);
         assert_eq!(d.inverse(), d);
     }
@@ -634,10 +716,34 @@ mod tests {
         let t3 = b.node_type("T3", Occurrence::Fixed(1));
         let a = b.predicate("a", None);
         let bb = b.predicate("b", None);
-        b.edge(t1, a, t1, Distribution::gaussian(2.0, 1.0), Distribution::zipfian(2.5));
-        b.edge(t1, bb, t2, Distribution::uniform(1, 2), Distribution::gaussian(1.0, 0.5));
-        b.edge(t2, bb, t2, Distribution::gaussian(1.0, 0.5), Distribution::NonSpecified);
-        b.edge(t2, bb, t3, Distribution::NonSpecified, Distribution::uniform(1, 1));
+        b.edge(
+            t1,
+            a,
+            t1,
+            Distribution::gaussian(2.0, 1.0),
+            Distribution::zipfian(2.5),
+        );
+        b.edge(
+            t1,
+            bb,
+            t2,
+            Distribution::uniform(1, 2),
+            Distribution::gaussian(1.0, 0.5),
+        );
+        b.edge(
+            t2,
+            bb,
+            t2,
+            Distribution::gaussian(1.0, 0.5),
+            Distribution::NonSpecified,
+        );
+        b.edge(
+            t2,
+            bb,
+            t3,
+            Distribution::NonSpecified,
+            Distribution::uniform(1, 1),
+        );
         b.build().unwrap()
     }
 
@@ -651,19 +757,37 @@ mod tests {
         let a = Symbol::forward(PredicateId(0));
         let b = Symbol::forward(PredicateId(1));
         // sel_{T1,T1}(a) = (N,<,N), sel_{T1,T1}(a⁻) = (N,>,N)
-        assert_eq!(est.symbol_class(t1, t1, a), Some(SelTriple::new(Many, Less, Many)));
+        assert_eq!(
+            est.symbol_class(t1, t1, a),
+            Some(SelTriple::new(Many, Less, Many))
+        );
         assert_eq!(
             est.symbol_class(t1, t1, a.flipped()),
             Some(SelTriple::new(Many, Greater, Many))
         );
         // sel_{T1,T2}(b) = (N,=,N) and its inverse
-        assert_eq!(est.symbol_class(t1, t2, b), Some(SelTriple::new(Many, Eq, Many)));
-        assert_eq!(est.symbol_class(t2, t1, b.flipped()), Some(SelTriple::new(Many, Eq, Many)));
+        assert_eq!(
+            est.symbol_class(t1, t2, b),
+            Some(SelTriple::new(Many, Eq, Many))
+        );
+        assert_eq!(
+            est.symbol_class(t2, t1, b.flipped()),
+            Some(SelTriple::new(Many, Eq, Many))
+        );
         // sel_{T2,T2}(b) = (N,=,N)
-        assert_eq!(est.symbol_class(t2, t2, b), Some(SelTriple::new(Many, Eq, Many)));
+        assert_eq!(
+            est.symbol_class(t2, t2, b),
+            Some(SelTriple::new(Many, Eq, Many))
+        );
         // sel_{T2,T3}(b) = (N,>,1); sel_{T3,T2}(b⁻) = (1,<,N)
-        assert_eq!(est.symbol_class(t2, t3, b), Some(SelTriple::new(Many, Greater, One)));
-        assert_eq!(est.symbol_class(t3, t2, b.flipped()), Some(SelTriple::new(One, Less, Many)));
+        assert_eq!(
+            est.symbol_class(t2, t3, b),
+            Some(SelTriple::new(Many, Greater, One))
+        );
+        assert_eq!(
+            est.symbol_class(t3, t2, b.flipped()),
+            Some(SelTriple::new(One, Less, Many))
+        );
         // No a-edges from T2.
         assert_eq!(est.symbol_class(t2, t2, a), None);
     }
@@ -743,7 +867,11 @@ mod tests {
             body: exprs
                 .into_iter()
                 .enumerate()
-                .map(|(i, expr)| Conjunct { src: Var(i as u32), expr, trg: Var(i as u32 + 1) })
+                .map(|(i, expr)| Conjunct {
+                    src: Var(i as u32),
+                    expr,
+                    trg: Var(i as u32 + 1),
+                })
                 .collect(),
         }
     }
@@ -770,7 +898,13 @@ mod tests {
         let country = b.node_type("country", Occurrence::Fixed(50));
         let language = b.node_type("language", Occurrence::Fixed(20));
         let spoken = b.predicate("spokenIn", None);
-        b.edge(language, spoken, country, Distribution::uniform(0, 3), Distribution::uniform(1, 2));
+        b.edge(
+            language,
+            spoken,
+            country,
+            Distribution::uniform(0, 3),
+            Distribution::uniform(1, 2),
+        );
         let schema = b.build().unwrap();
         let est = Estimator::new(&schema);
         let rule = chain_rule(vec![RegularExpr::symbol(Symbol::forward(PredicateId(0)))]);
@@ -786,7 +920,11 @@ mod tests {
         // Body lists (?x1, a, ?x0): traversed reversed from ?x0.
         let rule = Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(1), expr: RegularExpr::symbol(a), trg: Var(0) }],
+            body: vec![Conjunct {
+                src: Var(1),
+                expr: RegularExpr::symbol(a),
+                trg: Var(0),
+            }],
         };
         let q = Query::single(rule).unwrap();
         // Reversed a is a⁻: (N,>,N) ⇒ α = 1.
@@ -803,8 +941,16 @@ mod tests {
         let rule = Rule {
             head: vec![Var(1), Var(2)],
             body: vec![
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(a), trg: Var(1) },
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(a), trg: Var(2) },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(a),
+                    trg: Var(1),
+                },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(a),
+                    trg: Var(2),
+                },
             ],
         };
         // a⁻ then a: (N,>,N)·(N,<,N) = (N,×,N) — quadratic.
@@ -825,9 +971,21 @@ mod tests {
         let rule = Rule {
             head: vec![Var(1), Var(2)],
             body: vec![
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(a), trg: Var(1) },
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(a), trg: Var(2) },
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(a), trg: Var(3) },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(a),
+                    trg: Var(1),
+                },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(a),
+                    trg: Var(2),
+                },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(a),
+                    trg: Var(3),
+                },
             ],
         };
         assert!(est.rule_classes(&rule).is_none());
@@ -862,8 +1020,16 @@ mod tests {
         let rule = Rule {
             head: vec![Var(0), Var(1), Var(2)],
             body: vec![
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(a), trg: Var(1) },
-                Conjunct { src: Var(1), expr: RegularExpr::symbol(a), trg: Var(2) },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(a),
+                    trg: Var(1),
+                },
+                Conjunct {
+                    src: Var(1),
+                    expr: RegularExpr::symbol(a),
+                    trg: Var(2),
+                },
             ],
         };
         let bound = est.alpha_nary_bound(&rule);
@@ -880,7 +1046,13 @@ mod tests {
         let c1 = b.node_type("c1", Occurrence::Fixed(5));
         let c2 = b.node_type("c2", Occurrence::Fixed(5));
         let p = b.predicate("p", None);
-        b.edge(c1, p, c2, Distribution::uniform(0, 2), Distribution::uniform(0, 2));
+        b.edge(
+            c1,
+            p,
+            c2,
+            Distribution::uniform(0, 2),
+            Distribution::uniform(0, 2),
+        );
         let schema = b.build().unwrap();
         let est = Estimator::new(&schema);
         let rule = Rule {

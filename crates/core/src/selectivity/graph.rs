@@ -34,14 +34,46 @@ fn canonical_triples() -> [SelTriple; TRIPLES_PER_TYPE] {
     use Card::*;
     use SelOp::*;
     [
-        SelTriple { left: One, op: Eq, right: One },
-        SelTriple { left: One, op: Less, right: Many },
-        SelTriple { left: Many, op: Greater, right: One },
-        SelTriple { left: Many, op: Eq, right: Many },
-        SelTriple { left: Many, op: Less, right: Many },
-        SelTriple { left: Many, op: Greater, right: Many },
-        SelTriple { left: Many, op: Diamond, right: Many },
-        SelTriple { left: Many, op: Cross, right: Many },
+        SelTriple {
+            left: One,
+            op: Eq,
+            right: One,
+        },
+        SelTriple {
+            left: One,
+            op: Less,
+            right: Many,
+        },
+        SelTriple {
+            left: Many,
+            op: Greater,
+            right: One,
+        },
+        SelTriple {
+            left: Many,
+            op: Eq,
+            right: Many,
+        },
+        SelTriple {
+            left: Many,
+            op: Less,
+            right: Many,
+        },
+        SelTriple {
+            left: Many,
+            op: Greater,
+            right: Many,
+        },
+        SelTriple {
+            left: Many,
+            op: Diamond,
+            right: Many,
+        },
+        SelTriple {
+            left: Many,
+            op: Cross,
+            right: Many,
+        },
     ]
 }
 
@@ -81,7 +113,10 @@ impl SchemaGraph {
         // All symbols of Σ±.
         let symbols: Vec<Symbol> = (0..schema.predicate_count())
             .flat_map(|p| {
-                [Symbol::forward(PredicateId(p)), Symbol::inverse(PredicateId(p))]
+                [
+                    Symbol::forward(PredicateId(p)),
+                    Symbol::inverse(PredicateId(p)),
+                ]
             })
             .collect();
         for t in schema.types() {
@@ -103,7 +138,12 @@ impl SchemaGraph {
                 }
             }
         }
-        SchemaGraph { type_count: schema.type_count(), valid, adj, radj }
+        SchemaGraph {
+            type_count: schema.type_count(),
+            valid,
+            adj,
+            radj,
+        }
     }
 
     /// Number of node slots (`|Θ| × 8`; not all are valid).
@@ -229,8 +269,10 @@ impl SchemaGraph {
         let mut at = u.0;
         for remaining in (1..=len).rev() {
             let succs = &self.adj[at];
-            let weights: Vec<f64> =
-                succs.iter().map(|&(_, v)| counts_to_v[remaining - 1][v]).collect();
+            let weights: Vec<f64> = succs
+                .iter()
+                .map(|&(_, v)| counts_to_v[remaining - 1][v])
+                .collect();
             let pick = rng.choose_weighted(&weights)?;
             let (sym, v) = succs[pick];
             path.push(sym);
@@ -386,7 +428,10 @@ impl ChainSampler {
         let mut at = start;
         for remaining in (1..=len).rev() {
             let succs = gsel.successors(GsNodeId(at));
-            let w: Vec<f64> = succs.iter().map(|&v| self.nb_path[remaining - 1][v]).collect();
+            let w: Vec<f64> = succs
+                .iter()
+                .map(|&v| self.nb_path[remaining - 1][v])
+                .collect();
             let pick = rng.choose_weighted(&w)?;
             at = succs[pick];
             nodes.push(GsNodeId(at));
@@ -487,8 +532,10 @@ impl TypeGraph {
         let mut at = from;
         for remaining in (1..=len).rev() {
             let succs = &self.adj[at.0];
-            let weights: Vec<f64> =
-                succs.iter().map(|&(_, next)| counts_to[remaining - 1][next.0]).collect();
+            let weights: Vec<f64> = succs
+                .iter()
+                .map(|&(_, next)| counts_to[remaining - 1][next.0])
+                .collect();
             let pick = rng.choose_weighted(&weights)?;
             let (sym, next) = succs[pick];
             path.push(sym);
@@ -516,10 +563,34 @@ mod tests {
         let t3 = b.node_type("T3", Occurrence::Fixed(1));
         let a = b.predicate("a", None);
         let bb = b.predicate("b", None);
-        b.edge(t1, a, t1, Distribution::gaussian(2.0, 1.0), Distribution::zipfian(2.5));
-        b.edge(t1, bb, t2, Distribution::uniform(1, 2), Distribution::gaussian(1.0, 0.5));
-        b.edge(t2, bb, t2, Distribution::gaussian(1.0, 0.5), Distribution::NonSpecified);
-        b.edge(t2, bb, t3, Distribution::NonSpecified, Distribution::uniform(1, 1));
+        b.edge(
+            t1,
+            a,
+            t1,
+            Distribution::gaussian(2.0, 1.0),
+            Distribution::zipfian(2.5),
+        );
+        b.edge(
+            t1,
+            bb,
+            t2,
+            Distribution::uniform(1, 2),
+            Distribution::gaussian(1.0, 0.5),
+        );
+        b.edge(
+            t2,
+            bb,
+            t2,
+            Distribution::gaussian(1.0, 0.5),
+            Distribution::NonSpecified,
+        );
+        b.edge(
+            t2,
+            bb,
+            t3,
+            Distribution::NonSpecified,
+            Distribution::uniform(1, 1),
+        );
         b.build().unwrap()
     }
 
@@ -639,7 +710,10 @@ mod tests {
         let gs = SchemaGraph::build(&schema);
         let gsel = SelectivityGraph::build(&gs, 1, 4);
         let sampler = ChainSampler::new(&gs, &gsel, SelectivityClass::Quadratic, 3);
-        assert!(sampler.feasible(1) > 0.0, "one conjunct suffices with l_max=4");
+        assert!(
+            sampler.feasible(1) > 0.0,
+            "one conjunct suffices with l_max=4"
+        );
         let mut rng = Prng::seed_from_u64(5);
         for _ in 0..50 {
             let nodes = sampler.sample(&gsel, &mut rng, 2).expect("feasible");
@@ -707,7 +781,10 @@ mod tests {
                 assert!(!next.is_empty(), "sampled symbol must be a valid move");
                 frontier = next;
             }
-            assert!(frontier.contains(&to.0), "target reachable via sampled labels");
+            assert!(
+                frontier.contains(&to.0),
+                "target reachable via sampled labels"
+            );
         }
     }
 

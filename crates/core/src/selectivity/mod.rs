@@ -33,8 +33,11 @@ pub enum SelectivityClass {
 
 impl SelectivityClass {
     /// All classes, in the paper's order.
-    pub const ALL: [SelectivityClass; 3] =
-        [SelectivityClass::Constant, SelectivityClass::Linear, SelectivityClass::Quadratic];
+    pub const ALL: [SelectivityClass; 3] = [
+        SelectivityClass::Constant,
+        SelectivityClass::Linear,
+        SelectivityClass::Quadratic,
+    ];
 
     /// The target exponent `α` of this class.
     pub fn alpha(self) -> u8 {

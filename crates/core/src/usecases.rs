@@ -65,7 +65,13 @@ pub fn bib() -> Schema {
         Distribution::uniform(0, 1),
     );
     // conference --heldIn--> city: in Zipfian, out uniform [1,1].
-    b.edge(conference, held_in, city, Distribution::zipfian(2.5), Distribution::uniform(1, 1));
+    b.edge(
+        conference,
+        held_in,
+        city,
+        Distribution::zipfian(2.5),
+        Distribution::uniform(1, 1),
+    );
 
     b.build().expect("bib schema is well-formed")
 }
@@ -101,19 +107,91 @@ pub fn lsn() -> Schema {
     let has_tag = b.predicate("hasTag", None);
 
     // The social graph: power law both ways.
-    b.edge(person, knows, person, Distribution::zipfian(2.5), Distribution::zipfian(2.5));
-    b.edge(person, has_interest, tag, Distribution::zipfian(2.0), Distribution::gaussian(5.0, 2.0));
-    b.edge(forum, has_moderator, person, Distribution::NonSpecified, Distribution::uniform(1, 1));
+    b.edge(
+        person,
+        knows,
+        person,
+        Distribution::zipfian(2.5),
+        Distribution::zipfian(2.5),
+    );
+    b.edge(
+        person,
+        has_interest,
+        tag,
+        Distribution::zipfian(2.0),
+        Distribution::gaussian(5.0, 2.0),
+    );
+    b.edge(
+        forum,
+        has_moderator,
+        person,
+        Distribution::NonSpecified,
+        Distribution::uniform(1, 1),
+    );
     // Each post lives in exactly one forum; forum sizes are power-law.
-    b.edge(forum, container_of, post, Distribution::uniform(1, 1), Distribution::zipfian(2.0));
-    b.edge(post, has_creator, person, Distribution::zipfian(2.0), Distribution::uniform(1, 1));
-    b.edge(comment, has_creator, person, Distribution::zipfian(2.0), Distribution::uniform(1, 1));
-    b.edge(person, likes, post, Distribution::zipfian(2.0), Distribution::gaussian(10.0, 5.0));
-    b.edge(comment, reply_of, post, Distribution::zipfian(2.0), Distribution::uniform(1, 1));
-    b.edge(person, is_located_in, city, Distribution::NonSpecified, Distribution::uniform(1, 1));
-    b.edge(person, study_at, university, Distribution::NonSpecified, Distribution::uniform(0, 1));
-    b.edge(person, work_at, company, Distribution::NonSpecified, Distribution::uniform(0, 1));
-    b.edge(post, has_tag, tag, Distribution::zipfian(2.0), Distribution::gaussian(2.0, 1.0));
+    b.edge(
+        forum,
+        container_of,
+        post,
+        Distribution::uniform(1, 1),
+        Distribution::zipfian(2.0),
+    );
+    b.edge(
+        post,
+        has_creator,
+        person,
+        Distribution::zipfian(2.0),
+        Distribution::uniform(1, 1),
+    );
+    b.edge(
+        comment,
+        has_creator,
+        person,
+        Distribution::zipfian(2.0),
+        Distribution::uniform(1, 1),
+    );
+    b.edge(
+        person,
+        likes,
+        post,
+        Distribution::zipfian(2.0),
+        Distribution::gaussian(10.0, 5.0),
+    );
+    b.edge(
+        comment,
+        reply_of,
+        post,
+        Distribution::zipfian(2.0),
+        Distribution::uniform(1, 1),
+    );
+    b.edge(
+        person,
+        is_located_in,
+        city,
+        Distribution::NonSpecified,
+        Distribution::uniform(1, 1),
+    );
+    b.edge(
+        person,
+        study_at,
+        university,
+        Distribution::NonSpecified,
+        Distribution::uniform(0, 1),
+    );
+    b.edge(
+        person,
+        work_at,
+        company,
+        Distribution::NonSpecified,
+        Distribution::uniform(0, 1),
+    );
+    b.edge(
+        post,
+        has_tag,
+        tag,
+        Distribution::zipfian(2.0),
+        Distribution::gaussian(2.0, 1.0),
+    );
 
     b.build().expect("lsn schema is well-formed")
 }
@@ -141,7 +219,13 @@ pub fn sp() -> Schema {
 
     // article --creator--> person: ~3 authors per paper, Zipfian output
     // per person (prolific authors).
-    b.edge(article, creator, person, Distribution::zipfian(2.0), Distribution::gaussian(3.0, 1.0));
+    b.edge(
+        article,
+        creator,
+        person,
+        Distribution::zipfian(2.0),
+        Distribution::gaussian(3.0, 1.0),
+    );
     b.edge(
         inproceedings,
         creator,
@@ -150,9 +234,21 @@ pub fn sp() -> Schema {
         Distribution::gaussian(3.0, 1.0),
     );
     // Citation graph: power law in both directions.
-    b.edge(article, cites, article, Distribution::zipfian(2.0), Distribution::zipfian(2.5));
+    b.edge(
+        article,
+        cites,
+        article,
+        Distribution::zipfian(2.0),
+        Distribution::zipfian(2.5),
+    );
     // Venue membership: exactly one venue per paper.
-    b.edge(article, part_of, journal, Distribution::gaussian(25.0, 10.0), Distribution::uniform(1, 1));
+    b.edge(
+        article,
+        part_of,
+        journal,
+        Distribution::gaussian(25.0, 10.0),
+        Distribution::uniform(1, 1),
+    );
     b.edge(
         inproceedings,
         booktitle,
@@ -161,7 +257,13 @@ pub fn sp() -> Schema {
         Distribution::uniform(1, 1),
     );
     // proceedings --editor--> person.
-    b.edge(proceedings, editor, person, Distribution::zipfian(2.5), Distribution::gaussian(2.0, 1.0));
+    b.edge(
+        proceedings,
+        editor,
+        person,
+        Distribution::zipfian(2.5),
+        Distribution::gaussian(2.0, 1.0),
+    );
 
     b.build().expect("sp schema is well-formed")
 }
@@ -193,20 +295,74 @@ pub fn wd() -> Schema {
     let located_in = b.predicate("locatedIn", None);
 
     // Dense social layer.
-    b.edge(user, follows, user, Distribution::zipfian(1.8), Distribution::zipfian(1.8));
-    b.edge(user, friend_of, user, Distribution::gaussian(40.0, 10.0), Distribution::gaussian(40.0, 10.0));
+    b.edge(
+        user,
+        follows,
+        user,
+        Distribution::zipfian(1.8),
+        Distribution::zipfian(1.8),
+    );
+    b.edge(
+        user,
+        friend_of,
+        user,
+        Distribution::gaussian(40.0, 10.0),
+        Distribution::gaussian(40.0, 10.0),
+    );
     // Dense engagement layer. The in-side is left non-specified so the
     // high-mean out-degrees are fully realized (the source of WD's
     // order-of-magnitude edge-density gap vs. Bib).
-    b.edge(user, likes, product, Distribution::NonSpecified, Distribution::gaussian(60.0, 20.0));
-    b.edge(user, purchases, product, Distribution::NonSpecified, Distribution::gaussian(30.0, 10.0));
+    b.edge(
+        user,
+        likes,
+        product,
+        Distribution::NonSpecified,
+        Distribution::gaussian(60.0, 20.0),
+    );
+    b.edge(
+        user,
+        purchases,
+        product,
+        Distribution::NonSpecified,
+        Distribution::gaussian(30.0, 10.0),
+    );
     // Reviews: one author per review, one product per review.
-    b.edge(user, makes_review, review, Distribution::uniform(1, 1), Distribution::zipfian(2.0));
-    b.edge(review, reviews_product, product, Distribution::zipfian(2.0), Distribution::uniform(1, 1));
+    b.edge(
+        user,
+        makes_review,
+        review,
+        Distribution::uniform(1, 1),
+        Distribution::zipfian(2.0),
+    );
+    b.edge(
+        review,
+        reviews_product,
+        product,
+        Distribution::zipfian(2.0),
+        Distribution::uniform(1, 1),
+    );
     // Dimensions.
-    b.edge(product, has_genre, genre, Distribution::NonSpecified, Distribution::gaussian(2.0, 1.0));
-    b.edge(retailer, sells, product, Distribution::gaussian(2.0, 1.0), Distribution::NonSpecified);
-    b.edge(user, located_in, city, Distribution::NonSpecified, Distribution::uniform(1, 1));
+    b.edge(
+        product,
+        has_genre,
+        genre,
+        Distribution::NonSpecified,
+        Distribution::gaussian(2.0, 1.0),
+    );
+    b.edge(
+        retailer,
+        sells,
+        product,
+        Distribution::gaussian(2.0, 1.0),
+        Distribution::NonSpecified,
+    );
+    b.edge(
+        user,
+        located_in,
+        city,
+        Distribution::NonSpecified,
+        Distribution::uniform(1, 1),
+    );
 
     b.build().expect("wd schema is well-formed")
 }
@@ -271,7 +427,11 @@ mod tests {
         for (name, schema) in all() {
             let cfg = GraphConfig::new(2_000, schema);
             let (g, report) = generate_graph(&cfg, &GeneratorOptions::with_seed(42));
-            assert!(g.node_count() >= 1_900, "{name}: node count {}", g.node_count());
+            assert!(
+                g.node_count() >= 1_900,
+                "{name}: node count {}",
+                g.node_count()
+            );
             assert!(report.total_edges > 0, "{name}: no edges");
         }
     }
@@ -281,8 +441,7 @@ mod tests {
         let n = 2_000;
         let (g_bib, _) =
             generate_graph(&GraphConfig::new(n, bib()), &GeneratorOptions::with_seed(1));
-        let (g_wd, _) =
-            generate_graph(&GraphConfig::new(n, wd()), &GeneratorOptions::with_seed(1));
+        let (g_wd, _) = generate_graph(&GraphConfig::new(n, wd()), &GeneratorOptions::with_seed(1));
         let bib_density = g_bib.edge_count() as f64 / n as f64;
         let wd_density = g_wd.edge_count() as f64 / n as f64;
         assert!(

@@ -85,7 +85,11 @@ pub struct QuerySize {
 
 impl Default for QuerySize {
     fn default() -> Self {
-        QuerySize { conjuncts: (1, 3), disjuncts: (1, 1), length: (1, 3) }
+        QuerySize {
+            conjuncts: (1, 3),
+            disjuncts: (1, 1),
+            length: (1, 3),
+        }
     }
 }
 
@@ -354,7 +358,13 @@ impl<'a> WorkloadGenerator<'a> {
         self.report.relaxations += relaxations;
         let query = Query::new(rules).expect("generated rules are well-formed");
         let estimated_alpha = Estimator::new(self.schema).alpha(&query);
-        GeneratedQuery { query, shape, target: satisfied_target, estimated_alpha, relaxations }
+        GeneratedQuery {
+            query,
+            shape,
+            target: satisfied_target,
+            estimated_alpha,
+            relaxations,
+        }
     }
 
     /// Generates one rule; returns `(rule, relaxation steps, selectivity
@@ -371,8 +381,9 @@ impl<'a> WorkloadGenerator<'a> {
         let skeleton = build_skeleton(shape, c);
 
         // Decide which conjuncts carry a Kleene star (probability p_r).
-        let starred: Vec<bool> =
-            (0..c).map(|_| rng.chance(self.config.recursion_probability)).collect();
+        let starred: Vec<bool> = (0..c)
+            .map(|_| rng.chance(self.config.recursion_probability))
+            .collect();
 
         // Selectivity-guided typing applies to binary queries (the paper's
         // guarantee) whose spine exists.
@@ -418,12 +429,14 @@ impl<'a> WorkloadGenerator<'a> {
             starred[ci] = false;
         }
         let starred = &starred[..];
-        let spine_starred: Vec<bool> =
-            skeleton.spine.iter().map(|&(ci, _)| starred[ci]).collect();
+        let spine_starred: Vec<bool> = skeleton.spine.iter().map(|&(ci, _)| starred[ci]).collect();
         let walk_len = spine_starred.iter().filter(|&&s| !s).count();
 
         for relax in 0..self.samplers.len() {
-            let class_idx = SelectivityClass::ALL.iter().position(|&cl| cl == target).unwrap();
+            let class_idx = SelectivityClass::ALL
+                .iter()
+                .position(|&cl| cl == target)
+                .unwrap();
             let (gsel, sampler) = &self.samplers[relax][class_idx];
             if walk_len == 0 {
                 // All spine conjuncts starred: the chain class is the
@@ -519,8 +532,11 @@ impl<'a> WorkloadGenerator<'a> {
         for (pos, &(ci, reversed)) in skeleton.spine.iter().enumerate() {
             let (u, v) = (nodes[pos], nodes[pos + 1]);
             let (src_var, trg_var) = skeleton.conjuncts[ci];
-            let (from_var, to_var) =
-                if reversed { (trg_var, src_var) } else { (src_var, trg_var) };
+            let (from_var, to_var) = if reversed {
+                (trg_var, src_var)
+            } else {
+                (src_var, trg_var)
+            };
             var_types[from_var as usize] = Some(self.gs.type_of(u));
             var_types[to_var as usize] = Some(self.gs.type_of(v));
             let d = rng.range_inclusive(dmin.max(1) as u64, dmax.max(1) as u64) as usize;
@@ -539,14 +555,20 @@ impl<'a> WorkloadGenerator<'a> {
         // at a variable whose type is already known.
         for &(ci, reversed) in &skeleton.branches {
             let (src_var, trg_var) = skeleton.conjuncts[ci];
-            let (anchor, other) = if reversed { (trg_var, src_var) } else { (src_var, trg_var) };
+            let (anchor, other) = if reversed {
+                (trg_var, src_var)
+            } else {
+                (src_var, trg_var)
+            };
             let anchor_type = var_types[anchor as usize]?;
             let d = rng.range_inclusive(dmin.max(1) as u64, dmax.max(1) as u64) as usize;
             let expr = if starred[ci] {
-                self.star_loop_expr(rng, anchor_type, d, lmin, lmax).or_else(|| {
-                    // No loop at this type: degrade to a non-recursive walk.
-                    self.walk_expr(rng, anchor_type, d, lmin, lmax).map(|(e, _)| e)
-                })?
+                self.star_loop_expr(rng, anchor_type, d, lmin, lmax)
+                    .or_else(|| {
+                        // No loop at this type: degrade to a non-recursive walk.
+                        self.walk_expr(rng, anchor_type, d, lmin, lmax)
+                            .map(|(e, _)| e)
+                    })?
             } else {
                 let (e, end) = self.walk_expr(rng, anchor_type, d, lmin, lmax)?;
                 var_types[other as usize] = Some(end);
@@ -559,9 +581,18 @@ impl<'a> WorkloadGenerator<'a> {
             .conjuncts
             .iter()
             .zip(exprs)
-            .map(|(&(s, t), e)| Some(Conjunct { src: Var(s), expr: e?, trg: Var(t) }))
+            .map(|(&(s, t), e)| {
+                Some(Conjunct {
+                    src: Var(s),
+                    expr: e?,
+                    trg: Var(t),
+                })
+            })
             .collect::<Option<Vec<_>>>()?;
-        Some(Rule { head: vec![Var(skeleton.endpoints.0), Var(skeleton.endpoints.1)], body })
+        Some(Rule {
+            head: vec![Var(skeleton.endpoints.0), Var(skeleton.endpoints.1)],
+            body,
+        })
     }
 
     /// A (possibly multi-disjunct) expression of `G_S` paths `u → v` with
@@ -576,8 +607,9 @@ impl<'a> WorkloadGenerator<'a> {
         lmax: usize,
     ) -> Option<RegularExpr> {
         let counts = self.gs.path_counts_to(v, lmax);
-        let weights: Vec<f64> =
-            (0..=lmax).map(|l| if l >= lmin { counts[l][u.0] } else { 0.0 }).collect();
+        let weights: Vec<f64> = (0..=lmax)
+            .map(|l| if l >= lmin { counts[l][u.0] } else { 0.0 })
+            .collect();
         let mut paths: Vec<PathExpr> = Vec::with_capacity(disjuncts);
         // Prefer distinct disjuncts; the schema may only admit fewer
         // distinct paths than requested, so retries are bounded.
@@ -606,8 +638,9 @@ impl<'a> WorkloadGenerator<'a> {
         lmax: usize,
     ) -> Option<RegularExpr> {
         let counts = self.type_graph.path_counts_to(t, lmax);
-        let weights: Vec<f64> =
-            (0..=lmax).map(|l| if l >= lmin { counts[l][t.0] } else { 0.0 }).collect();
+        let weights: Vec<f64> = (0..=lmax)
+            .map(|l| if l >= lmin { counts[l][t.0] } else { 0.0 })
+            .collect();
         let mut paths: Vec<PathExpr> = Vec::with_capacity(disjuncts);
         let mut attempts = 0;
         while paths.len() < disjuncts && attempts < disjuncts * 6 {
@@ -639,8 +672,9 @@ impl<'a> WorkloadGenerator<'a> {
         let mut paths = vec![PathExpr(first)];
         if disjuncts > 1 {
             let counts = self.type_graph.path_counts_to(end, lmax);
-            let weights: Vec<f64> =
-                (0..=lmax).map(|l| if l >= lmin { counts[l][from.0] } else { 0.0 }).collect();
+            let weights: Vec<f64> = (0..=lmax)
+                .map(|l| if l >= lmin { counts[l][from.0] } else { 0.0 })
+                .collect();
             let mut attempts = 0;
             while paths.len() < disjuncts && attempts < disjuncts * 6 {
                 attempts += 1;
@@ -679,11 +713,18 @@ impl<'a> WorkloadGenerator<'a> {
             .collect();
 
         let mut exprs: Vec<RegularExpr> = Vec::with_capacity(skeleton.conjuncts.len());
-        for (order_idx, &(ci, reversed)) in
-            skeleton.spine.iter().chain(skeleton.branches.iter()).enumerate()
+        for (order_idx, &(ci, reversed)) in skeleton
+            .spine
+            .iter()
+            .chain(skeleton.branches.iter())
+            .enumerate()
         {
             let (src_var, trg_var) = skeleton.conjuncts[ci];
-            let (anchor, other) = if reversed { (trg_var, src_var) } else { (src_var, trg_var) };
+            let (anchor, other) = if reversed {
+                (trg_var, src_var)
+            } else {
+                (src_var, trg_var)
+            };
             let anchor_type = var_types[anchor as usize].unwrap_or_else(|| {
                 if start_types.is_empty() {
                     TypeId(0)
@@ -694,17 +735,18 @@ impl<'a> WorkloadGenerator<'a> {
             var_types[anchor as usize] = Some(anchor_type);
             let d = rng.range_inclusive(dmin.max(1) as u64, dmax.max(1) as u64) as usize;
             let expr = if starred[ci] {
-                self.star_loop_expr(rng, anchor_type, d, lmin, lmax).unwrap_or_else(|| {
-                    // No loops at this type: fall back to a single symbol
-                    // star if any move exists, else an ε-star.
-                    let succs = self.type_graph.successors(anchor_type);
-                    if succs.is_empty() {
-                        RegularExpr::star(vec![PathExpr::epsilon()])
-                    } else {
-                        let &(sym, _) = rng.choose(succs);
-                        RegularExpr::star(vec![PathExpr::single(sym)])
-                    }
-                })
+                self.star_loop_expr(rng, anchor_type, d, lmin, lmax)
+                    .unwrap_or_else(|| {
+                        // No loops at this type: fall back to a single symbol
+                        // star if any move exists, else an ε-star.
+                        let succs = self.type_graph.successors(anchor_type);
+                        if succs.is_empty() {
+                            RegularExpr::star(vec![PathExpr::epsilon()])
+                        } else {
+                            let &(sym, _) = rng.choose(succs);
+                            RegularExpr::star(vec![PathExpr::single(sym)])
+                        }
+                    })
             } else {
                 match self.walk_expr(rng, anchor_type, d, lmin, lmax) {
                     Some((e, end)) => {
@@ -725,8 +767,11 @@ impl<'a> WorkloadGenerator<'a> {
         }
         // Reorder expressions back to conjunct order.
         let mut by_conjunct: Vec<Option<RegularExpr>> = vec![None; skeleton.conjuncts.len()];
-        for (slot, &(ci, _)) in
-            skeleton.spine.iter().chain(skeleton.branches.iter()).enumerate()
+        for (slot, &(ci, _)) in skeleton
+            .spine
+            .iter()
+            .chain(skeleton.branches.iter())
+            .enumerate()
         {
             by_conjunct[ci] = Some(exprs[slot].clone());
         }
@@ -837,8 +882,11 @@ fn build_skeleton(shape: Shape, c: usize) -> Skeleton {
             // Chain B: 0 -> c1+1 -> … -> c1.
             let mut prev = 0u32;
             for j in 0..c2 {
-                let next =
-                    if j + 1 == c2 { c1 as u32 } else { (c1 + 1 + j) as u32 };
+                let next = if j + 1 == c2 {
+                    c1 as u32
+                } else {
+                    (c1 + 1 + j) as u32
+                };
                 conjuncts.push((prev, next));
                 prev = next;
             }
@@ -905,7 +953,13 @@ mod tests {
             Distribution::gaussian(30.0, 10.0),
             Distribution::uniform(1, 1),
         );
-        b.edge(conference, held, city, Distribution::zipfian(2.5), Distribution::uniform(1, 1));
+        b.edge(
+            conference,
+            held,
+            city,
+            Distribution::zipfian(2.5),
+            Distribution::uniform(1, 1),
+        );
         b.build().unwrap()
     }
 
@@ -980,7 +1034,10 @@ mod tests {
         let linear = w.of_class(SelectivityClass::Linear).count();
         let quadratic = w.of_class(SelectivityClass::Quadratic).count();
         // Round-robin: 10 of each, minus any unsatisfied.
-        assert_eq!(constant + linear + quadratic + report.unsatisfied_selectivity, 30);
+        assert_eq!(
+            constant + linear + quadratic + report.unsatisfied_selectivity,
+            30
+        );
         assert!(linear == 10, "linear {linear}");
         assert!(quadratic == 10, "quadratic {quadratic}");
     }
@@ -1006,14 +1063,18 @@ mod tests {
     fn size_constraints_respected() {
         let schema = test_schema();
         let mut cfg = WorkloadConfig::new(20).with_seed(4);
-        cfg.query_size = QuerySize { conjuncts: (2, 3), disjuncts: (1, 2), length: (1, 2) };
+        cfg.query_size = QuerySize {
+            conjuncts: (2, 3),
+            disjuncts: (1, 2),
+            length: (1, 2),
+        };
         let (w, _) = generate_workload(&schema, &cfg);
         for gq in &w.queries {
             let (_, conjuncts, disjuncts, length) = gq.query.size();
             assert!((2..=3).contains(&conjuncts), "conjuncts {conjuncts}");
             assert!(disjuncts <= 2, "disjuncts {disjuncts}");
             // Relaxation may extend lengths, but never below 1.
-            assert!(length >= 1 && length <= 2 + MAX_RELAX, "length {length}");
+            assert!((1..=2 + MAX_RELAX).contains(&length), "length {length}");
         }
     }
 

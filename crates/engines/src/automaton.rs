@@ -70,7 +70,11 @@ pub fn compile_nfa(expr: &RegularExpr) -> Nfa {
                 at = next;
             }
         }
-        Nfa { transitions, start: 0, accepting }
+        Nfa {
+            transitions,
+            start: 0,
+            accepting,
+        }
     } else {
         // States 0 = start, 1 = accept.
         let mut transitions: Vec<Vec<(Symbol, u32)>> = vec![Vec::new(), Vec::new()];
@@ -93,7 +97,11 @@ pub fn compile_nfa(expr: &RegularExpr) -> Nfa {
                 at = next;
             }
         }
-        Nfa { transitions, start: 0, accepting }
+        Nfa {
+            transitions,
+            start: 0,
+            accepting,
+        }
     }
 }
 
@@ -122,9 +130,11 @@ pub fn eval_rpq(graph: &Graph, nfa: &Nfa, budget: &Budget) -> Result<Vec<u64>, E
             budget.check_time()?;
         }
         // Skip sources that cannot make a first move.
-        let can_move = nfa.transitions[nfa.start as usize]
-            .iter()
-            .any(|&(sym, _)| !graph.neighbors(sym.predicate.0, src, sym.inverse).is_empty());
+        let can_move = nfa.transitions[nfa.start as usize].iter().any(|&(sym, _)| {
+            !graph
+                .neighbors(sym.predicate.0, src, sym.inverse)
+                .is_empty()
+        });
         if !can_move {
             continue;
         }
@@ -167,7 +177,10 @@ pub fn eval_rpq_pairs(
     budget: &Budget,
 ) -> Result<Vec<(NodeId, NodeId)>, EvalError> {
     let nfa = compile_nfa(expr);
-    Ok(eval_rpq(graph, &nfa, budget)?.into_iter().map(unpack).collect())
+    Ok(eval_rpq(graph, &nfa, budget)?
+        .into_iter()
+        .map(unpack)
+        .collect())
 }
 
 /// Seed-driven variant: computes `{(u, v) | u ∈ seeds, u ⟶_L v}` only for
@@ -272,7 +285,10 @@ mod tests {
 
     #[test]
     fn epsilon_disjunct_adds_diagonal() {
-        let got = pairs(&RegularExpr::union(vec![PathExpr::epsilon(), PathExpr(vec![sym(1)])]));
+        let got = pairs(&RegularExpr::union(vec![
+            PathExpr::epsilon(),
+            PathExpr(vec![sym(1)]),
+        ]));
         let mut expected = vec![(0, 0), (1, 1), (2, 2), (3, 3), (1, 3), (2, 3)];
         expected.sort_unstable();
         assert_eq!(got, expected);
@@ -310,7 +326,10 @@ mod tests {
     fn mixed_direction_star() {
         // (b·b⁻)*: 1 and 2 both reach node 3 and back, so {1,2} are mutually
         // reachable (plus the diagonal).
-        let got = pairs(&RegularExpr::star(vec![PathExpr(vec![sym(1), sym(1).flipped()])]));
+        let got = pairs(&RegularExpr::star(vec![PathExpr(vec![
+            sym(1),
+            sym(1).flipped(),
+        ])]));
         let mut expected = vec![(0, 0), (1, 1), (2, 2), (3, 3), (1, 2), (2, 1)];
         expected.sort_unstable();
         assert_eq!(got, expected);
@@ -332,7 +351,10 @@ mod tests {
     #[test]
     fn budget_too_large_aborts() {
         let expr = RegularExpr::star(vec![PathExpr(vec![sym(0)])]);
-        let budget = Budget { max_tuples: 3, ..Budget::default() };
+        let budget = Budget {
+            max_tuples: 3,
+            ..Budget::default()
+        };
         let err = eval_rpq_pairs(&graph(), &expr, &budget).unwrap_err();
         assert!(matches!(err, EvalError::TooLarge(_)));
     }

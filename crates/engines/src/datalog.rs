@@ -161,7 +161,9 @@ pub fn semi_naive(
                 if !idb.contains(&atom.pred) {
                     continue;
                 }
-                let Some(d) = current.get(&atom.pred) else { continue };
+                let Some(d) = current.get(&atom.pred) else {
+                    continue;
+                };
                 if d.is_empty() {
                     continue;
                 }
@@ -306,16 +308,17 @@ fn eval_rule(
         }
 
         // Join the current rows against the index.
-        let slot_probes: Vec<usize> = probes
-            .iter()
-            .filter_map(|&(_, slot, _)| slot)
-            .collect();
+        let slot_probes: Vec<usize> = probes.iter().filter_map(|&(_, slot, _)| slot).collect();
         let mut next: Vec<NodeId> = Vec::new();
         let mut next_count: usize = 0;
         for r in 0..count {
             let row = &rows[r * width..(r + 1) * width];
             let key = probe_key(
-                slot_probes.iter().map(|&s| row[s]).collect::<Vec<_>>().into_iter(),
+                slot_probes
+                    .iter()
+                    .map(|&s| row[s])
+                    .collect::<Vec<_>>()
+                    .into_iter(),
             );
             if let Some(matches) = index.get(&key) {
                 for &entry_idx in matches {
@@ -364,7 +367,6 @@ fn eval_rule(
     Ok(out)
 }
 
-
 /// Builds the EDB for a graph: `edge_<p>(s, t)` per predicate plus `node(v)`.
 pub fn graph_edb(graph: &Graph, program: &mut Program) -> Database {
     let mut db = Database::new();
@@ -394,29 +396,48 @@ pub fn program_from_query(query: &Query) -> Program {
     fn path_rules(prog: &mut Program, node: usize, head_pred: usize, p: &PathExpr) {
         if p.is_empty() {
             prog.rule(
-                Atom { pred: head_pred, args: vec![Term::Var(0), Term::Var(0)] },
-                vec![Atom { pred: node, args: vec![Term::Var(0)] }],
+                Atom {
+                    pred: head_pred,
+                    args: vec![Term::Var(0), Term::Var(0)],
+                },
+                vec![Atom {
+                    pred: node,
+                    args: vec![Term::Var(0)],
+                }],
             );
             return;
         }
         // X = var 0, Y = var 1, intermediates from 2 up.
         let mut body = Vec::with_capacity(p.len());
         for (i, sym) in p.0.iter().enumerate() {
-            let from = if i == 0 { Term::Var(0) } else { Term::Var(i as u32 + 1) };
-            let to = if i + 1 == p.len() { Term::Var(1) } else { Term::Var(i as u32 + 2) };
+            let from = if i == 0 {
+                Term::Var(0)
+            } else {
+                Term::Var(i as u32 + 1)
+            };
+            let to = if i + 1 == p.len() {
+                Term::Var(1)
+            } else {
+                Term::Var(i as u32 + 2)
+            };
             let edge = prog.predicate(&format!("edge_{}", sym.predicate.0));
-            let args = if sym.inverse { vec![to, from] } else { vec![from, to] };
+            let args = if sym.inverse {
+                vec![to, from]
+            } else {
+                vec![from, to]
+            };
             body.push(Atom { pred: edge, args });
         }
-        prog.rule(Atom { pred: head_pred, args: vec![Term::Var(0), Term::Var(1)] }, body);
+        prog.rule(
+            Atom {
+                pred: head_pred,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+            body,
+        );
     }
 
-    fn expr_pred(
-        prog: &mut Program,
-        node: usize,
-        fresh: &mut usize,
-        expr: &RegularExpr,
-    ) -> usize {
+    fn expr_pred(prog: &mut Program, node: usize, fresh: &mut usize, expr: &RegularExpr) -> usize {
         let name = format!("p{}", *fresh);
         *fresh += 1;
         let pred = prog.predicate(&name);
@@ -427,15 +448,30 @@ pub fn program_from_query(query: &Query) -> Program {
             }
             // p(X, X) :- node(X).
             prog.rule(
-                Atom { pred, args: vec![Term::Var(0), Term::Var(0)] },
-                vec![Atom { pred: node, args: vec![Term::Var(0)] }],
+                Atom {
+                    pred,
+                    args: vec![Term::Var(0), Term::Var(0)],
+                },
+                vec![Atom {
+                    pred: node,
+                    args: vec![Term::Var(0)],
+                }],
             );
             // p(X, Y) :- p(X, Z), step(Z, Y).
             prog.rule(
-                Atom { pred, args: vec![Term::Var(0), Term::Var(1)] },
+                Atom {
+                    pred,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
                 vec![
-                    Atom { pred, args: vec![Term::Var(0), Term::Var(2)] },
-                    Atom { pred: step, args: vec![Term::Var(2), Term::Var(1)] },
+                    Atom {
+                        pred,
+                        args: vec![Term::Var(0), Term::Var(2)],
+                    },
+                    Atom {
+                        pred: step,
+                        args: vec![Term::Var(2), Term::Var(1)],
+                    },
                 ],
             );
         } else {
@@ -450,10 +486,19 @@ pub fn program_from_query(query: &Query) -> Program {
         let mut body = Vec::with_capacity(rule.body.len());
         for c in &rule.body {
             let pred = expr_pred(&mut prog, node, &mut fresh, &c.expr);
-            body.push(Atom { pred, args: vec![Term::Var(c.src.0), Term::Var(c.trg.0)] });
+            body.push(Atom {
+                pred,
+                args: vec![Term::Var(c.src.0), Term::Var(c.trg.0)],
+            });
         }
         let head_args: Vec<Term> = rule.head.iter().map(|v| Term::Var(v.0)).collect();
-        prog.rule(Atom { pred: ans, args: head_args }, body);
+        prog.rule(
+            Atom {
+                pred: ans,
+                args: head_args,
+            },
+            body,
+        );
     }
     prog
 }
@@ -502,14 +547,29 @@ mod tests {
         let path = prog.predicate("path");
         // path(X,Y) :- edge(X,Y).  path(X,Y) :- path(X,Z), edge(Z,Y).
         prog.rule(
-            Atom { pred: path, args: vec![Term::Var(0), Term::Var(1)] },
-            vec![Atom { pred: edge, args: vec![Term::Var(0), Term::Var(1)] }],
+            Atom {
+                pred: path,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
+            vec![Atom {
+                pred: edge,
+                args: vec![Term::Var(0), Term::Var(1)],
+            }],
         );
         prog.rule(
-            Atom { pred: path, args: vec![Term::Var(0), Term::Var(1)] },
+            Atom {
+                pred: path,
+                args: vec![Term::Var(0), Term::Var(1)],
+            },
             vec![
-                Atom { pred: path, args: vec![Term::Var(0), Term::Var(2)] },
-                Atom { pred: edge, args: vec![Term::Var(2), Term::Var(1)] },
+                Atom {
+                    pred: path,
+                    args: vec![Term::Var(0), Term::Var(2)],
+                },
+                Atom {
+                    pred: edge,
+                    args: vec![Term::Var(2), Term::Var(1)],
+                },
             ],
         );
         let mut db = Database::new();
@@ -523,8 +583,11 @@ mod tests {
         assert_eq!(
             facts,
             vec![
-                vec![0, 1], vec![0, 2], vec![0, 3],
-                vec![1, 2], vec![1, 3],
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
                 vec![2, 3],
             ]
         );
@@ -538,13 +601,25 @@ mod tests {
         let from_zero = prog.predicate("from_zero");
         // self_loop(X) :- edge(X, X).
         prog.rule(
-            Atom { pred: loops, args: vec![Term::Var(0)] },
-            vec![Atom { pred: edge, args: vec![Term::Var(0), Term::Var(0)] }],
+            Atom {
+                pred: loops,
+                args: vec![Term::Var(0)],
+            },
+            vec![Atom {
+                pred: edge,
+                args: vec![Term::Var(0), Term::Var(0)],
+            }],
         );
         // from_zero(Y) :- edge(0, Y).
         prog.rule(
-            Atom { pred: from_zero, args: vec![Term::Var(0)] },
-            vec![Atom { pred: edge, args: vec![Term::Const(0), Term::Var(0)] }],
+            Atom {
+                pred: from_zero,
+                args: vec![Term::Var(0)],
+            },
+            vec![Atom {
+                pred: edge,
+                args: vec![Term::Const(0), Term::Var(0)],
+            }],
         );
         let mut db = Database::new();
         for (s, t) in [(0u32, 1u32), (1, 1), (2, 2), (0, 3)] {
@@ -569,21 +644,45 @@ mod tests {
         let even = prog.predicate("even");
         let odd = prog.predicate("odd");
         prog.rule(
-            Atom { pred: even, args: vec![Term::Var(0)] },
-            vec![Atom { pred: zero, args: vec![Term::Var(0)] }],
+            Atom {
+                pred: even,
+                args: vec![Term::Var(0)],
+            },
+            vec![Atom {
+                pred: zero,
+                args: vec![Term::Var(0)],
+            }],
         );
         prog.rule(
-            Atom { pred: even, args: vec![Term::Var(1)] },
+            Atom {
+                pred: even,
+                args: vec![Term::Var(1)],
+            },
             vec![
-                Atom { pred: odd, args: vec![Term::Var(0)] },
-                Atom { pred: succ, args: vec![Term::Var(0), Term::Var(1)] },
+                Atom {
+                    pred: odd,
+                    args: vec![Term::Var(0)],
+                },
+                Atom {
+                    pred: succ,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
             ],
         );
         prog.rule(
-            Atom { pred: odd, args: vec![Term::Var(1)] },
+            Atom {
+                pred: odd,
+                args: vec![Term::Var(1)],
+            },
             vec![
-                Atom { pred: even, args: vec![Term::Var(0)] },
-                Atom { pred: succ, args: vec![Term::Var(0), Term::Var(1)] },
+                Atom {
+                    pred: even,
+                    args: vec![Term::Var(0)],
+                },
+                Atom {
+                    pred: succ,
+                    args: vec![Term::Var(0), Term::Var(1)],
+                },
             ],
         );
         let mut db = Database::new();
@@ -616,7 +715,11 @@ mod tests {
             body: exprs
                 .into_iter()
                 .enumerate()
-                .map(|(i, expr)| Conjunct { src: Var(i as u32), expr, trg: Var(i as u32 + 1) })
+                .map(|(i, expr)| Conjunct {
+                    src: Var(i as u32),
+                    expr,
+                    trg: Var(i as u32 + 1),
+                })
                 .collect(),
         })
         .unwrap()
@@ -639,8 +742,12 @@ mod tests {
             ])]),
         ];
         for q in cases {
-            let a = DatalogEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
-            let b = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+            let a = DatalogEngine
+                .evaluate(&graph(), &q, &Budget::default())
+                .unwrap();
+            let b = RelationalEngine
+                .evaluate(&graph(), &q, &Budget::default())
+                .unwrap();
             assert_eq!(a, b, "mismatch on {q:?}");
         }
     }
@@ -649,10 +756,16 @@ mod tests {
     fn boolean_query() {
         let q = Query::single(Rule {
             head: vec![],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
-        let a = DatalogEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = DatalogEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert!(a.non_empty());
     }
 
@@ -660,7 +773,10 @@ mod tests {
     fn budget_enforced() {
         use gmark_core::query::PathExpr;
         let q = chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(0)])])]);
-        let tight = Budget { max_tuples: 5, ..Budget::default() };
+        let tight = Budget {
+            max_tuples: 5,
+            ..Budget::default()
+        };
         assert!(DatalogEngine.evaluate(&graph(), &q, &tight).is_err());
     }
 }

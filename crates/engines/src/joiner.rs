@@ -46,7 +46,10 @@ pub(crate) fn join_all(
             Some(t) => extend_table(t, c, budget)?,
         });
     }
-    Ok(table.unwrap_or(BindingTable { vars: Vec::new(), rows: vec![Vec::new()] }))
+    Ok(table.unwrap_or(BindingTable {
+        vars: Vec::new(),
+        rows: vec![Vec::new()],
+    }))
 }
 
 fn seed_table(c: ConjunctPairs) -> BindingTable {
@@ -58,7 +61,10 @@ fn seed_table(c: ConjunctPairs) -> BindingTable {
             .filter(|&(s, t)| s == t)
             .map(|(s, _)| vec![s])
             .collect();
-        BindingTable { vars: vec![c.src], rows }
+        BindingTable {
+            vars: vec![c.src],
+            rows,
+        }
     } else {
         BindingTable {
             vars: vec![c.src, c.trg],
@@ -83,7 +89,10 @@ fn extend_table(
                 .into_iter()
                 .filter(|row| set.contains(&(row[sc], row[tc])))
                 .collect();
-            Ok(BindingTable { vars: table.vars, rows })
+            Ok(BindingTable {
+                vars: table.vars,
+                rows,
+            })
         }
         (Some(sc), None) => {
             // Hash join on src; extend with trg.
@@ -159,14 +168,22 @@ fn extend_table(
 /// iff any row exists.
 pub(crate) fn project(table: &BindingTable, rule: &Rule) -> Vec<Vec<NodeId>> {
     if rule.head.is_empty() {
-        return if table.rows.is_empty() { Vec::new() } else { vec![Vec::new()] };
+        return if table.rows.is_empty() {
+            Vec::new()
+        } else {
+            vec![Vec::new()]
+        };
     }
     let cols: Vec<usize> = rule
         .head
         .iter()
         .map(|v| table.col(*v).expect("head vars are bound (rule safety)"))
         .collect();
-    table.rows.iter().map(|row| cols.iter().map(|&c| row[c]).collect()).collect()
+    table
+        .rows
+        .iter()
+        .map(|row| cols.iter().map(|&c| row[c]).collect())
+        .collect()
 }
 
 #[cfg(test)]
@@ -176,7 +193,11 @@ mod tests {
     use gmark_core::schema::PredicateId;
 
     fn cp(src: u32, trg: u32, pairs: Vec<(NodeId, NodeId)>) -> ConjunctPairs {
-        ConjunctPairs { src: Var(src), trg: Var(trg), pairs }
+        ConjunctPairs {
+            src: Var(src),
+            trg: Var(trg),
+            pairs,
+        }
     }
 
     fn rule_with_head(head: Vec<u32>) -> Rule {
@@ -211,7 +232,10 @@ mod tests {
     fn reverse_direction_join() {
         // Second conjunct binds its *target* to an existing var.
         let t = join_all(
-            vec![cp(0, 1, vec![(1, 2)]), cp(2, 1, vec![(7, 2), (8, 2), (9, 3)])],
+            vec![
+                cp(0, 1, vec![(1, 2)]),
+                cp(2, 1, vec![(7, 2), (8, 2), (9, 3)]),
+            ],
             &Budget::default(),
         )
         .unwrap();
@@ -269,16 +293,26 @@ mod tests {
         assert_eq!(p, vec![vec![2, 1], vec![3, 1]]);
         let b = project(&t, &rule_with_head(vec![]));
         assert_eq!(b, vec![Vec::<NodeId>::new()]);
-        let empty = BindingTable { vars: vec![Var(0)], rows: vec![] };
+        let empty = BindingTable {
+            vars: vec![Var(0)],
+            rows: vec![],
+        };
         assert!(project(&empty, &rule_with_head(vec![])).is_empty());
     }
 
     #[test]
     fn budget_stops_blowup() {
         let pairs: Vec<(NodeId, NodeId)> = (0..1000).map(|i| (0, i)).collect();
-        let tight = Budget { max_tuples: 100, ..Budget::default() };
+        let tight = Budget {
+            max_tuples: 100,
+            ..Budget::default()
+        };
         let r = join_all(
-            vec![cp(0, 1, vec![(5, 0); 1]), cp(1, 2, pairs.clone()), cp(2, 3, pairs)],
+            vec![
+                cp(0, 1, vec![(5, 0); 1]),
+                cp(1, 2, pairs.clone()),
+                cp(2, 3, pairs),
+            ],
             &tight,
         );
         assert!(matches!(r, Err(EvalError::TooLarge(_))));

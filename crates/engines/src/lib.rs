@@ -56,26 +56,44 @@ pub struct Budget {
 
 impl Default for Budget {
     fn default() -> Self {
-        Budget { deadline: None, max_tuples: 50_000_000 }
+        Budget {
+            deadline: None,
+            max_tuples: 50_000_000,
+        }
     }
 }
 
 impl Budget {
     /// A budget with a wall-clock timeout from now.
     pub fn with_timeout(timeout: Duration) -> Self {
-        Budget { deadline: Some(Instant::now() + timeout), ..Default::default() }
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            ..Default::default()
+        }
     }
 
     /// A budget with a timeout and a tuple cap.
     pub fn new(timeout: Duration, max_tuples: usize) -> Self {
-        Budget { deadline: Some(Instant::now() + timeout), max_tuples }
+        Budget {
+            deadline: Some(Instant::now() + timeout),
+            max_tuples,
+        }
     }
 
     /// Checks the wall clock; call this in loops.
     #[inline]
     pub fn check_time(&self) -> Result<(), EvalError> {
+        self.check_time_at(Instant::now())
+    }
+
+    /// Clock-injected variant of [`Budget::check_time`]: checks the
+    /// deadline against a caller-supplied instant, so deadline logic is
+    /// testable without sleeping (sleep-based timing is flaky on loaded CI
+    /// machines).
+    #[inline]
+    pub fn check_time_at(&self, now: Instant) -> Result<(), EvalError> {
         if let Some(d) = self.deadline {
-            if Instant::now() > d {
+            if now > d {
                 return Err(EvalError::Timeout);
             }
         }
@@ -199,14 +217,22 @@ mod tests {
 
     #[test]
     fn budget_timeout_fires() {
-        let b = Budget::with_timeout(Duration::from_millis(0));
-        std::thread::sleep(Duration::from_millis(2));
-        assert_eq!(b.check_time(), Err(EvalError::Timeout));
+        // Injected clock: no sleeping, no dependence on scheduler timing.
+        let b = Budget::with_timeout(Duration::from_secs(3600));
+        let now = Instant::now();
+        assert!(b.check_time_at(now).is_ok());
+        assert_eq!(
+            b.check_time_at(now + Duration::from_secs(7200)),
+            Err(EvalError::Timeout)
+        );
     }
 
     #[test]
     fn budget_size_cap() {
-        let b = Budget { deadline: None, max_tuples: 10 };
+        let b = Budget {
+            deadline: None,
+            max_tuples: 10,
+        };
         assert!(b.check_size(10).is_ok());
         assert_eq!(b.check_size(11), Err(EvalError::TooLarge(11)));
     }

@@ -52,7 +52,10 @@ pub fn degrade_for_cypher(query: &Query) -> (Query, bool) {
                 .collect(),
         })
         .collect();
-    (Query::new(rules).expect("degradation preserves well-formedness"), lossy)
+    (
+        Query::new(rules).expect("degradation preserves well-formedness"),
+        lossy,
+    )
 }
 
 fn degrade_expr(expr: &RegularExpr, lossy: &mut bool) -> RegularExpr {
@@ -81,7 +84,10 @@ fn degrade_expr(expr: &RegularExpr, lossy: &mut bool) -> RegularExpr {
         // Only ε disjuncts: the star is the identity.
         disjuncts.push(PathExpr::epsilon());
     }
-    RegularExpr { disjuncts, starred: true }
+    RegularExpr {
+        disjuncts,
+        starred: true,
+    }
 }
 
 impl Engine for NavigationalEngine {
@@ -138,7 +144,11 @@ fn eval_rule(
         // Seeds: the bound values of `from` if available, else all nodes.
         let current_seeds: Vec<NodeId> = match &table {
             Some(t) if bound.contains(&from) => {
-                let col = t.vars.iter().position(|&v| v == from).expect("bound var in table");
+                let col = t
+                    .vars
+                    .iter()
+                    .position(|&v| v == from)
+                    .expect("bound var in table");
                 let mut s: Vec<NodeId> = t.rows.iter().map(|r| r[col]).collect();
                 s.sort_unstable();
                 s.dedup();
@@ -148,14 +158,21 @@ fn eval_rule(
         };
         let packed = eval_rpq_from(graph, &nfa, &current_seeds, budget)?;
         let pairs: Vec<(NodeId, NodeId)> = if flip {
-            packed.into_iter().map(|p| {
-                let (a, b) = unpack(p);
-                (b, a)
-            }).collect()
+            packed
+                .into_iter()
+                .map(|p| {
+                    let (a, b) = unpack(p);
+                    (b, a)
+                })
+                .collect()
         } else {
             packed.into_iter().map(unpack).collect()
         };
-        materialized.push(ConjunctPairs { src: c.src, trg: c.trg, pairs });
+        materialized.push(ConjunctPairs {
+            src: c.src,
+            trg: c.trg,
+            pairs,
+        });
         // Incrementally join so the next conjunct sees tight seeds.
         let t = join_all(std::mem::take(&mut materialized), budget)?;
         // join_all consumed one conjunct; re-seed the running table.
@@ -169,7 +186,10 @@ fn eval_rule(
             }
         }
     }
-    Ok(table.unwrap_or(crate::joiner::BindingTable { vars: Vec::new(), rows: vec![Vec::new()] }))
+    Ok(table.unwrap_or(crate::joiner::BindingTable {
+        vars: Vec::new(),
+        rows: vec![Vec::new()],
+    }))
 }
 
 /// Joins two binding tables on their shared variables (hash join).
@@ -185,8 +205,9 @@ fn merge_tables(
         .enumerate()
         .filter_map(|(ia, va)| b.vars.iter().position(|vb| vb == va).map(|ib| (ia, ib)))
         .collect();
-    let b_extra: Vec<usize> =
-        (0..b.vars.len()).filter(|ib| !shared.iter().any(|&(_, sb)| sb == *ib)).collect();
+    let b_extra: Vec<usize> = (0..b.vars.len())
+        .filter(|ib| !shared.iter().any(|&(_, sb)| sb == *ib))
+        .collect();
     let mut index: FxHashMap<Vec<NodeId>, Vec<usize>> = FxHashMap::default();
     for (ri, row) in b.rows.iter().enumerate() {
         let key: Vec<NodeId> = shared.iter().map(|&(_, ib)| row[ib]).collect();
@@ -232,7 +253,10 @@ fn anchor_order(rule: &Rule) -> Vec<(usize, bool)> {
                     .map(|i| (i, true))
             })
             .unwrap_or_else(|| {
-                ((0..n).find(|&i| !used[i]).expect("some conjunct unused"), false)
+                (
+                    (0..n).find(|&i| !used[i]).expect("some conjunct unused"),
+                    false,
+                )
             });
         used[pick.0] = true;
         for v in [rule.body[pick.0].src, rule.body[pick.0].trg] {
@@ -276,7 +300,11 @@ mod tests {
             body: exprs
                 .into_iter()
                 .enumerate()
-                .map(|(i, expr)| Conjunct { src: Var(i as u32), expr, trg: Var(i as u32 + 1) })
+                .map(|(i, expr)| Conjunct {
+                    src: Var(i as u32),
+                    expr,
+                    trg: Var(i as u32 + 1),
+                })
                 .collect(),
         })
         .unwrap()
@@ -296,8 +324,12 @@ mod tests {
             chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(0)])])]),
         ];
         for q in cases {
-            let a = NavigationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
-            let b = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+            let a = NavigationalEngine
+                .evaluate(&graph(), &q, &Budget::default())
+                .unwrap();
+            let b = RelationalEngine
+                .evaluate(&graph(), &q, &Budget::default())
+                .unwrap();
             assert_eq!(a, b, "mismatch on {q:?}");
         }
     }
@@ -310,8 +342,12 @@ mod tests {
             sym(0).flipped(),
             sym(0),
         ])])]);
-        let nav = NavigationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
-        let reference = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let nav = NavigationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
+        let reference = RelationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert_ne!(nav, reference, "degradation should be observable here");
     }
 
@@ -322,7 +358,10 @@ mod tests {
         assert!(!lossy);
         assert_eq!(dq, clean);
 
-        let dirty = chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(0), sym(1)])])]);
+        let dirty = chain(vec![RegularExpr::star(vec![PathExpr(vec![
+            sym(0),
+            sym(1),
+        ])])]);
         let (dq, lossy) = degrade_for_cypher(&dirty);
         assert!(lossy);
         assert_eq!(
@@ -330,8 +369,9 @@ mod tests {
             RegularExpr::star(vec![PathExpr(vec![sym(0)])])
         );
 
-        let inverse_only =
-            chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(1).flipped()])])]);
+        let inverse_only = chain(vec![RegularExpr::star(vec![PathExpr(vec![
+            sym(1).flipped()
+        ])])]);
         let (dq, lossy) = degrade_for_cypher(&inverse_only);
         assert!(lossy);
         assert_eq!(
@@ -358,8 +398,16 @@ mod tests {
         let rule = Rule {
             head: vec![Var(0), Var(2)],
             body: vec![
-                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(0)), trg: Var(0) },
-                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(1)), trg: Var(2) },
+                Conjunct {
+                    src: Var(1),
+                    expr: RegularExpr::symbol(sym(0)),
+                    trg: Var(0),
+                },
+                Conjunct {
+                    src: Var(1),
+                    expr: RegularExpr::symbol(sym(1)),
+                    trg: Var(2),
+                },
             ],
         };
         let order = anchor_order(&rule);
@@ -370,10 +418,16 @@ mod tests {
     fn boolean_query_works() {
         let q = Query::single(Rule {
             head: vec![],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
-        let a = NavigationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = NavigationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert!(a.non_empty());
     }
 }

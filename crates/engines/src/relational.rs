@@ -81,10 +81,16 @@ mod tests {
     fn single_conjunct() {
         let q = Query::single(Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(1)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(1)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
-        let a = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = RelationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert_eq!(a.tuples, vec![vec![1, 3], vec![2, 3]]);
     }
 
@@ -94,12 +100,22 @@ mod tests {
         let q = Query::single(Rule {
             head: vec![Var(0), Var(2)],
             body: vec![
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) },
-                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(1)), trg: Var(2) },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(sym(0)),
+                    trg: Var(1),
+                },
+                Conjunct {
+                    src: Var(1),
+                    expr: RegularExpr::symbol(sym(1)),
+                    trg: Var(2),
+                },
             ],
         })
         .unwrap();
-        let a = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = RelationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         // a·b pairs: (0,3) via 1, (1,3) via 2, (3,3) via 1.
         assert_eq!(a.tuples, vec![vec![0, 3], vec![1, 3], vec![3, 3]]);
     }
@@ -115,10 +131,15 @@ mod tests {
             }],
         })
         .unwrap();
-        let a = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
-        let nfa_pairs =
-            crate::automaton::eval_rpq_pairs(&graph(), &q.rules[0].body[0].expr, &Budget::default())
-                .unwrap();
+        let a = RelationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
+        let nfa_pairs = crate::automaton::eval_rpq_pairs(
+            &graph(),
+            &q.rules[0].body[0].expr,
+            &Budget::default(),
+        )
+        .unwrap();
         let expected: Vec<Vec<_>> = nfa_pairs.into_iter().map(|(s, t)| vec![s, t]).collect();
         assert_eq!(a.tuples, expected);
     }
@@ -127,10 +148,16 @@ mod tests {
     fn boolean_query() {
         let q = Query::single(Rule {
             head: vec![],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
-        let a = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = RelationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert!(a.non_empty());
         assert_eq!(a.count(), 1);
     }
@@ -139,10 +166,16 @@ mod tests {
     fn union_of_rules() {
         let mk = |p: usize| Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(p)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(p)),
+                trg: Var(1),
+            }],
         };
         let q = Query::new(vec![mk(0), mk(1)]).unwrap();
-        let a = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = RelationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert_eq!(a.count(), 6); // 4 a-edges + 2 b-edges, all distinct
     }
 
@@ -157,7 +190,10 @@ mod tests {
             }],
         })
         .unwrap();
-        let tight = Budget { max_tuples: 2, ..Budget::default() };
+        let tight = Budget {
+            max_tuples: 2,
+            ..Budget::default()
+        };
         assert!(RelationalEngine.evaluate(&graph(), &q, &tight).is_err());
     }
 }

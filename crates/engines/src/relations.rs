@@ -41,7 +41,9 @@ impl Relation {
 
     /// The identity relation over all `n` nodes (the ε relation).
     pub fn identity(n: NodeId) -> Relation {
-        Relation { pairs: (0..n).map(|v| (v, v)).collect() }
+        Relation {
+            pairs: (0..n).map(|v| (v, v)).collect(),
+        }
     }
 
     /// Number of pairs.
@@ -127,7 +129,11 @@ impl Relation {
 
     /// Evaluates a whole regular expression by relational algebra:
     /// concatenation ⇒ compose, disjunction ⇒ union, star ⇒ closure.
-    pub fn of_expr(graph: &Graph, expr: &RegularExpr, budget: &Budget) -> Result<Relation, EvalError> {
+    pub fn of_expr(
+        graph: &Graph,
+        expr: &RegularExpr,
+        budget: &Budget,
+    ) -> Result<Relation, EvalError> {
         let mut union_acc: Option<Relation> = None;
         for path in &expr.disjuncts {
             let r = Relation::of_path(graph, path, budget)?;
@@ -210,9 +216,15 @@ mod tests {
         let star = r.star(4, &Budget::default()).unwrap();
         // id ∪ all forward reachabilities on the path.
         let expected = Relation::from_pairs(vec![
-            (0, 0), (1, 1), (2, 2), (3, 3),
-            (0, 1), (1, 2), (2, 3),
-            (0, 2), (1, 3),
+            (0, 0),
+            (1, 1),
+            (2, 2),
+            (3, 3),
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (0, 2),
+            (1, 3),
             (0, 3),
         ]);
         assert_eq!(star, expected);
@@ -223,8 +235,7 @@ mod tests {
         let g = chain_graph();
         let expr = RegularExpr::star(vec![PathExpr(vec![sym(0)])]);
         let via_rel = Relation::of_expr(&g, &expr, &Budget::default()).unwrap();
-        let via_nfa =
-            crate::automaton::eval_rpq_pairs(&g, &expr, &Budget::default()).unwrap();
+        let via_nfa = crate::automaton::eval_rpq_pairs(&g, &expr, &Budget::default()).unwrap();
         assert_eq!(via_rel.pairs(), via_nfa.as_slice());
     }
 
@@ -238,10 +249,7 @@ mod tests {
     #[test]
     fn expr_disjunction() {
         let g = chain_graph();
-        let expr = RegularExpr::union(vec![
-            PathExpr(vec![sym(0)]),
-            PathExpr(vec![sym(0), sym(0)]),
-        ]);
+        let expr = RegularExpr::union(vec![PathExpr(vec![sym(0)]), PathExpr(vec![sym(0), sym(0)])]);
         let r = Relation::of_expr(&g, &expr, &Budget::default()).unwrap();
         assert_eq!(r.pairs(), &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
     }
@@ -259,7 +267,10 @@ mod tests {
         }
         let g = b.build();
         let r = Relation::of_symbol(&g, sym(0));
-        let tight = Budget { max_tuples: 100, ..Budget::default() };
+        let tight = Budget {
+            max_tuples: 100,
+            ..Budget::default()
+        };
         assert!(matches!(r.star(50, &tight), Err(EvalError::TooLarge(_))));
     }
 

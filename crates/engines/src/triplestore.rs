@@ -133,7 +133,10 @@ mod tests {
     fn agrees_with_relational_on_chains() {
         let cases = vec![
             chain_query(vec![RegularExpr::symbol(sym(0))]),
-            chain_query(vec![RegularExpr::symbol(sym(0)), RegularExpr::symbol(sym(1))]),
+            chain_query(vec![
+                RegularExpr::symbol(sym(0)),
+                RegularExpr::symbol(sym(1)),
+            ]),
             chain_query(vec![
                 RegularExpr::union(vec![PathExpr(vec![sym(0)]), PathExpr(vec![sym(1)])]),
                 RegularExpr::symbol(sym(0).flipped()),
@@ -145,8 +148,12 @@ mod tests {
             ]),
         ];
         for q in cases {
-            let a = TripleStoreEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
-            let b = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+            let a = TripleStoreEngine
+                .evaluate(&graph(), &q, &Budget::default())
+                .unwrap();
+            let b = RelationalEngine
+                .evaluate(&graph(), &q, &Budget::default())
+                .unwrap();
             assert_eq!(a, b, "mismatch on {q:?}");
         }
     }
@@ -158,7 +165,11 @@ mod tests {
             trg: Var(1),
             pairs: (0..100).map(|i| (i, i)).collect(),
         };
-        let c_small = ConjunctPairs { src: Var(1), trg: Var(2), pairs: vec![(0, 0)] };
+        let c_small = ConjunctPairs {
+            src: Var(1),
+            trg: Var(2),
+            pairs: vec![(0, 0)],
+        };
         let c_mid = ConjunctPairs {
             src: Var(2),
             trg: Var(3),
@@ -192,7 +203,9 @@ mod tests {
             },
         ])
         .unwrap();
-        let a = TripleStoreEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = TripleStoreEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert!(a.non_empty());
     }
 
@@ -202,13 +215,25 @@ mod tests {
         let q = Query::single(Rule {
             head: vec![Var(1), Var(2)],
             body: vec![
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) },
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(1)), trg: Var(2) },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(sym(0)),
+                    trg: Var(1),
+                },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(sym(1)),
+                    trg: Var(2),
+                },
             ],
         })
         .unwrap();
-        let a = TripleStoreEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
-        let b = RelationalEngine.evaluate(&graph(), &q, &Budget::default()).unwrap();
+        let a = TripleStoreEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
+        let b = RelationalEngine
+            .evaluate(&graph(), &q, &Budget::default())
+            .unwrap();
         assert_eq!(a, b);
         // Node 0: a→1, b→4 contributes (1,4); node 1: a→2, b→3 → (2,3);
         // node 2: a→0, b→3 → (0,3).

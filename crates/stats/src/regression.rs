@@ -42,8 +42,16 @@ pub fn linear_regression(points: &[(f64, f64)]) -> Option<Regression> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
-    Some(Regression { slope, intercept, r_squared })
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(Regression {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// Estimates `α` of `|Q(G)| = β·|G|^α` from `(graph size, result count)`

@@ -9,8 +9,8 @@
 //! order never affects the output (the paper notes the draws are statistically
 //! independent and order-free).
 //!
-//! The type also implements `rand::rand_core::TryRng`, so it can be used with any
-//! API from the `rand` ecosystem.
+//! The generator is self-contained: the `rand` ecosystem is not a
+//! dependency, so the workspace builds with no external crates.
 
 /// A deterministic xoshiro256** PRNG with SplitMix64 seeding.
 ///
@@ -77,10 +77,7 @@ impl Prng {
     /// Returns the next 64 uniformly random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -162,7 +159,11 @@ impl Prng {
     /// Picks an index in `[0, weights.len())` with probability proportional
     /// to `weights`. Returns `None` if all weights are zero / non-finite.
     pub fn choose_weighted(&mut self, weights: &[f64]) -> Option<usize> {
-        let total: f64 = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).sum();
+        let total: f64 = weights
+            .iter()
+            .copied()
+            .filter(|w| w.is_finite() && *w > 0.0)
+            .sum();
         if total <= 0.0 {
             return None;
         }
@@ -182,21 +183,11 @@ impl Prng {
     }
 }
 
-impl rand::rand_core::TryRng for Prng {
-    type Error = core::convert::Infallible;
-
-    #[inline]
-    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
-        Ok(self.next_u32())
-    }
-
-    #[inline]
-    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
-        Ok(self.next_u64())
-    }
-
-    #[inline]
-    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error> {
+/// Fills a byte slice from the stream (the `rand`-style primitive; kept
+/// crate-local so the workspace builds without the `rand` ecosystem).
+impl Prng {
+    /// Fills `dst` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dst: &mut [u8]) {
         let mut chunks = dst.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64().to_le_bytes());
@@ -206,7 +197,6 @@ impl rand::rand_core::TryRng for Prng {
             let bytes = self.next_u64().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-        Ok(())
     }
 }
 
@@ -233,7 +223,7 @@ mod tests {
 
     #[test]
     fn split_does_not_advance_parent() {
-        let mut a = Prng::seed_from_u64(7);
+        let a = Prng::seed_from_u64(7);
         let b = a.clone();
         let _child = a.split(3);
         assert_eq!(a, b);
@@ -342,11 +332,10 @@ mod tests {
     }
 
     #[test]
-    fn try_rng_fill_bytes_works() {
-        use rand::rand_core::TryRng;
+    fn fill_bytes_works() {
         let mut rng = Prng::seed_from_u64(41);
         let mut buf = [0u8; 13];
-        rng.try_fill_bytes(&mut buf).unwrap();
+        rng.fill_bytes(&mut buf);
         assert!(buf.iter().any(|&b| b != 0));
     }
 }

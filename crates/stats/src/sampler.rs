@@ -39,7 +39,10 @@ pub struct Uniform {
 impl Uniform {
     /// Creates a uniform sampler; panics if `min > max`.
     pub fn new(min: u64, max: u64) -> Self {
-        assert!(min <= max, "Uniform requires min <= max, got [{min}, {max}]");
+        assert!(
+            min <= max,
+            "Uniform requires min <= max, got [{min}, {max}]"
+        );
         Uniform { min, max }
     }
 }
@@ -169,7 +172,13 @@ impl Zipf {
         let h_x1 = h(1.5) - 1.0; // h(1) = 1^-s = 1
         let h_n = h(n as f64 + 0.5);
         let threshold = 2.0 - h_inv(h(2.5) - (-s * 2.0f64.ln()).exp());
-        Zipf { n, s, h_x1, h_n, threshold }
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            threshold,
+        }
     }
 
     #[inline]
@@ -307,7 +316,11 @@ mod tests {
         let mut rng = rng();
         let total: u64 = (0..100_000).map(|_| s.sample(&mut rng)).sum();
         let emp = total as f64 / 100_000.0;
-        assert!((emp - s.mean()).abs() < 0.05, "empirical {emp} vs {}", s.mean());
+        assert!(
+            (emp - s.mean()).abs() < 0.05,
+            "empirical {emp} vs {}",
+            s.mean()
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Csr {
             targets[slot as usize] = t;
             cursor[s as usize] += 1;
         }
-        let mut csr = Csr { offsets: counts, targets };
+        let mut csr = Csr {
+            offsets: counts,
+            targets,
+        };
         csr.sort_segments();
         if dedup {
             csr.dedup_segments();
@@ -72,7 +75,10 @@ impl Csr {
 
     #[inline]
     fn bounds(&self, v: NodeId) -> (usize, usize) {
-        (self.offsets[v as usize] as usize, self.offsets[v as usize + 1] as usize)
+        (
+            self.offsets[v as usize] as usize,
+            self.offsets[v as usize + 1] as usize,
+        )
     }
 
     /// Number of nodes covered by this adjacency structure.
@@ -110,7 +116,9 @@ impl Csr {
     /// Iterates all `(source, target)` pairs in source order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         (0..self.node_count()).flat_map(move |v| {
-            self.neighbors(v as NodeId).iter().map(move |&t| (v as NodeId, t))
+            self.neighbors(v as NodeId)
+                .iter()
+                .map(move |&t| (v as NodeId, t))
         })
     }
 }
@@ -268,12 +276,18 @@ impl Graph {
     /// In-degree sequence for `(pred, type)` — used by the schema-extraction
     /// extension and by distribution-shape tests.
     pub fn in_degrees(&self, pred: PredIdx, node_type: usize) -> Vec<usize> {
-        self.partition.range(node_type).map(|v| self.bwd[pred].degree(v)).collect()
+        self.partition
+            .range(node_type)
+            .map(|v| self.bwd[pred].degree(v))
+            .collect()
     }
 
     /// Out-degree sequence for `(pred, type)`.
     pub fn out_degrees(&self, pred: PredIdx, node_type: usize) -> Vec<usize> {
-        self.partition.range(node_type).map(|v| self.fwd[pred].degree(v)).collect()
+        self.partition
+            .range(node_type)
+            .map(|v| self.fwd[pred].degree(v))
+            .collect()
     }
 }
 
@@ -308,26 +322,105 @@ impl GraphBuilder {
         self.edges.iter().map(Vec::len).sum()
     }
 
-    /// Merges the edges accumulated by another builder (used by the
-    /// parallel generator to combine per-thread shards deterministically).
+    /// Merges the edges accumulated by another builder.
+    ///
+    /// The merge appends `other`'s per-predicate edge lists to this
+    /// builder's, so absorbing shards **in ascending constraint order**
+    /// reproduces exactly the internal state a single sequential builder
+    /// would have reached — the invariant the parallel generator relies on
+    /// for bit-identical output at any thread count.
     pub fn absorb(&mut self, other: GraphBuilder) {
-        assert_eq!(self.edges.len(), other.edges.len(), "predicate count mismatch");
+        assert_eq!(
+            self.edges.len(),
+            other.edges.len(),
+            "predicate count mismatch"
+        );
         for (mine, theirs) in self.edges.iter_mut().zip(other.edges) {
             mine.extend(theirs);
         }
     }
 
-    /// Finalizes into CSR form.
+    /// Finalizes into CSR form on the calling thread.
     pub fn build(self) -> Graph {
+        self.build_with_threads(1)
+    }
+
+    /// Finalizes into CSR form, fanning the per-predicate forward/backward
+    /// CSR construction out over `threads` worker threads.
+    ///
+    /// Each `(predicate, direction)` pair is an independent work item —
+    /// its CSR depends only on that predicate's accumulated edge list — so
+    /// workers claim items from a shared counter and the results are placed
+    /// by index. The output is identical for every thread count.
+    pub fn build_with_threads(self, threads: usize) -> Graph {
         let n = self.partition.node_count();
-        let mut fwd = Vec::with_capacity(self.edges.len());
-        let mut bwd = Vec::with_capacity(self.edges.len());
-        for pairs in &self.edges {
-            fwd.push(Csr::from_edges(n, pairs, self.dedup));
-            let flipped: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(s, t)| (t, s)).collect();
-            bwd.push(Csr::from_edges(n, &flipped, self.dedup));
+        let dedup = self.dedup;
+        let pred_count = self.edges.len();
+        // One item per (predicate, direction); no point spawning more
+        // workers than items.
+        let threads = threads.max(1).min((pred_count * 2).max(1));
+        if threads <= 1 || pred_count == 0 {
+            let mut fwd = Vec::with_capacity(pred_count);
+            let mut bwd = Vec::with_capacity(pred_count);
+            for pairs in &self.edges {
+                fwd.push(Csr::from_edges(n, pairs, dedup));
+                let flipped: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(s, t)| (t, s)).collect();
+                bwd.push(Csr::from_edges(n, &flipped, dedup));
+            }
+            return Graph {
+                partition: self.partition,
+                fwd,
+                bwd,
+            };
         }
-        Graph { partition: self.partition, fwd, bwd }
+
+        let edges = &self.edges;
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut finalized: Vec<(usize, Csr)> = std::thread::scope(|scope| {
+            let next = &next;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let item = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if item >= pred_count * 2 {
+                                break;
+                            }
+                            let pred = item / 2;
+                            let csr = if item.is_multiple_of(2) {
+                                Csr::from_edges(n, &edges[pred], dedup)
+                            } else {
+                                let flipped: Vec<(NodeId, NodeId)> =
+                                    edges[pred].iter().map(|&(s, t)| (t, s)).collect();
+                                Csr::from_edges(n, &flipped, dedup)
+                            };
+                            out.push((item, csr));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("CSR finalization worker panicked"))
+                .collect()
+        });
+        finalized.sort_by_key(|(item, _)| *item);
+        let mut fwd = Vec::with_capacity(pred_count);
+        let mut bwd = Vec::with_capacity(pred_count);
+        for (item, csr) in finalized {
+            if item.is_multiple_of(2) {
+                fwd.push(csr);
+            } else {
+                bwd.push(csr);
+            }
+        }
+        Graph {
+            partition: self.partition,
+            fwd,
+            bwd,
+        }
     }
 }
 
@@ -440,6 +533,38 @@ mod tests {
         assert_eq!(g.edge_count(), 2);
         assert!(g.has_edge(0, 0, 1));
         assert!(g.has_edge(0, 2, 3));
+    }
+
+    #[test]
+    fn threaded_finalization_matches_sequential() {
+        // A few predicates with irregular edge lists, including duplicates.
+        let part = TypePartition::from_counts(&[8]);
+        let build_input = || {
+            let mut b = GraphBuilder::new(part.clone(), 3);
+            for i in 0..200u32 {
+                b.edge(i % 8, (i % 3) as usize, (i * 7 + 3) % 8);
+            }
+            b.edge(1, 2, 1);
+            b.edge(1, 2, 1);
+            b
+        };
+        let sequential = build_input().build();
+        for threads in [2, 3, 8, 32] {
+            let parallel = build_input().build_with_threads(threads);
+            assert_eq!(parallel.partition(), sequential.partition());
+            for pred in 0..3 {
+                assert_eq!(
+                    parallel.forward(pred),
+                    sequential.forward(pred),
+                    "forward CSR, pred {pred}, {threads} threads"
+                );
+                assert_eq!(
+                    parallel.backward(pred),
+                    sequential.backward(pred),
+                    "backward CSR, pred {pred}, {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -178,7 +178,8 @@ mod tests {
 
     #[test]
     fn reader_skips_comments_and_blanks() {
-        let input = "# a comment\n\n<http://g/node/1> <http://g/pred/authors> <http://g/node/2> .\n";
+        let input =
+            "# a comment\n\n<http://g/node/1> <http://g/pred/authors> <http://g/node/2> .\n";
         let triples = read_ntriples(input.as_bytes(), &names()).unwrap();
         assert_eq!(triples, vec![(1, 0, 2)]);
     }

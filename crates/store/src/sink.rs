@@ -24,7 +24,10 @@ pub struct CountingSink {
 impl CountingSink {
     /// Creates a counter for `predicate_count` labels.
     pub fn new(predicate_count: usize) -> Self {
-        CountingSink { per_pred: vec![0; predicate_count], total: 0 }
+        CountingSink {
+            per_pred: vec![0; predicate_count],
+            total: 0,
+        }
     }
 
     /// Total edges seen.

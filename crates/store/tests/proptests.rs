@@ -46,11 +46,11 @@ proptest! {
     fn partition_type_of_is_inverse_of_ranges(counts in prop::collection::vec(0u64..50, 1..10)) {
         let p = TypePartition::from_counts(&counts);
         prop_assert_eq!(p.node_count() as u64, counts.iter().sum::<u64>());
-        for t in 0..p.type_count() {
+        for (t, &expected) in counts.iter().enumerate().take(p.type_count()) {
             for v in p.range(t) {
                 prop_assert_eq!(p.type_of(v), t);
             }
-            prop_assert_eq!(p.count(t) as u64, counts[t]);
+            prop_assert_eq!(p.count(t) as u64, expected);
         }
     }
 

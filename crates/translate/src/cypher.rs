@@ -126,7 +126,10 @@ fn conjunct_patterns(
             .collect();
         return vec![format!("(x{src})-[:{}]->(x{trg})", labels.join("|"))];
     }
-    expr.disjuncts.iter().map(|p| path_pattern(src, p, trg, schema)).collect()
+    expr.disjuncts
+        .iter()
+        .map(|p| path_pattern(src, p, trg, schema))
+        .collect()
 }
 
 /// A concatenation as a path through anonymous nodes.
@@ -136,7 +139,11 @@ fn path_pattern(src: u32, p: &PathExpr, trg: u32, schema: &Schema) -> String {
     }
     let mut out = format!("(x{src})");
     for (i, s) in p.0.iter().enumerate() {
-        let node = if i + 1 == p.len() { format!("(x{trg})") } else { "()".to_owned() };
+        let node = if i + 1 == p.len() {
+            format!("(x{trg})")
+        } else {
+            "()".to_owned()
+        };
         out.push_str(&segment(*s, schema));
         out.push_str(&node);
     }
@@ -197,7 +204,11 @@ mod tests {
     fn single(expr: RegularExpr) -> Query {
         Query::single(Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr, trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr,
+                trg: Var(1),
+            }],
         })
         .unwrap()
     }
@@ -218,7 +229,11 @@ mod tests {
     #[test]
     fn concatenation_through_anonymous_nodes() {
         let s = translate(
-            &single(RegularExpr::path(PathExpr(vec![sym(0), sym(1).flipped(), sym(2)]))),
+            &single(RegularExpr::path(PathExpr(vec![
+                sym(0),
+                sym(1).flipped(),
+                sym(2),
+            ]))),
             &schema(),
         );
         assert!(s.contains("MATCH (x0)-[:a]->()<-[:b]-()-[:c]->(x1)"), "{s}");
@@ -276,7 +291,10 @@ mod tests {
     fn star_with_inverse_is_lossy() {
         // (a·a⁻)* keeps the non-inverse a.
         let s = translate(
-            &single(RegularExpr::star(vec![PathExpr(vec![sym(0), sym(0).flipped()])])),
+            &single(RegularExpr::star(vec![PathExpr(vec![
+                sym(0),
+                sym(0).flipped(),
+            ])])),
             &schema(),
         );
         assert!(s.contains("LOSSY"), "{s}");
@@ -287,7 +305,11 @@ mod tests {
     fn boolean_query_returns_flag() {
         let q = Query::single(Rule {
             head: vec![],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate(&q, &schema());

@@ -34,8 +34,16 @@ fn path_rules(head_name: &str, p: &PathExpr, schema: &Schema) -> String {
     }
     let mut body = Vec::with_capacity(p.len());
     for (i, sym) in p.0.iter().enumerate() {
-        let from = if i == 0 { "X".to_owned() } else { format!("Z{i}") };
-        let to = if i + 1 == p.len() { "Y".to_owned() } else { format!("Z{}", i + 1) };
+        let from = if i == 0 {
+            "X".to_owned()
+        } else {
+            format!("Z{i}")
+        };
+        let to = if i + 1 == p.len() {
+            "Y".to_owned()
+        } else {
+            format!("Z{}", i + 1)
+        };
         body.push(edge_atom(*sym, &from, &to, schema));
     }
     format!("{head_name}(X, Y) :- {}.\n", body.join(", "))
@@ -68,7 +76,10 @@ pub fn translate(query: &Query, schema: &Schema) -> String {
                     definitions.push_str(&path_rules(&step, d, schema));
                 }
                 let _ = writeln!(definitions, "{p_name}(X, X) :- node(X).");
-                let _ = writeln!(definitions, "{p_name}(X, Y) :- {p_name}(X, Z), {step}(Z, Y).");
+                let _ = writeln!(
+                    definitions,
+                    "{p_name}(X, Y) :- {p_name}(X, Z), {step}(Z, Y)."
+                );
             } else {
                 for d in &c.expr.disjuncts {
                     definitions.push_str(&path_rules(&p_name, d, schema));
@@ -110,7 +121,11 @@ mod tests {
     fn single_edge_inlines() {
         let q = Query::single(Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate(&q, &schema());
@@ -144,7 +159,10 @@ mod tests {
         })
         .unwrap();
         let s = translate(&q, &schema());
-        assert!(s.contains("p0(X, Y) :- edge_a(X, Z1), edge_b(Z1, Y)."), "{s}");
+        assert!(
+            s.contains("p0(X, Y) :- edge_a(X, Z1), edge_b(Z1, Y)."),
+            "{s}"
+        );
         assert!(s.contains("ans(X0, X1) :- p0(X0, X1)."), "{s}");
     }
 
@@ -154,10 +172,7 @@ mod tests {
             head: vec![Var(0), Var(1)],
             body: vec![Conjunct {
                 src: Var(0),
-                expr: RegularExpr::union(vec![
-                    PathExpr(vec![sym(0)]),
-                    PathExpr(vec![sym(1)]),
-                ]),
+                expr: RegularExpr::union(vec![PathExpr(vec![sym(0)]), PathExpr(vec![sym(1)])]),
                 trg: Var(1),
             }],
         })
@@ -179,7 +194,10 @@ mod tests {
         })
         .unwrap();
         let s = translate(&q, &schema());
-        assert!(s.contains("p0_step(X, Y) :- edge_a(X, Z1), edge_b(Z1, Y)."), "{s}");
+        assert!(
+            s.contains("p0_step(X, Y) :- edge_a(X, Z1), edge_b(Z1, Y)."),
+            "{s}"
+        );
         assert!(s.contains("p0(X, X) :- node(X)."), "{s}");
         assert!(s.contains("p0(X, Y) :- p0(X, Z), p0_step(Z, Y)."), "{s}");
     }
@@ -203,7 +221,11 @@ mod tests {
     fn boolean_head() {
         let q = Query::single(Rule {
             head: vec![],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate(&q, &schema());
@@ -214,7 +236,11 @@ mod tests {
     fn multi_rule_union_shares_ans() {
         let mk = |p: usize| Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(p)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(p)),
+                trg: Var(1),
+            }],
         };
         let q = Query::new(vec![mk(0), mk(1)]).unwrap();
         let s = translate(&q, &schema());

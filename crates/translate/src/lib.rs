@@ -73,7 +73,10 @@ pub fn translate(query: &Query, schema: &Schema, syntax: Syntax) -> String {
 
 /// Translates a query into all four syntaxes.
 pub fn translate_all(query: &Query, schema: &Schema) -> Vec<(Syntax, String)> {
-    Syntax::ALL.iter().map(|&s| (s, translate(query, schema, s))).collect()
+    Syntax::ALL
+        .iter()
+        .map(|&s| (s, translate(query, schema, s)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -100,10 +103,7 @@ mod tests {
             head: vec![Var(0), Var(1)],
             body: vec![Conjunct {
                 src: Var(0),
-                expr: RegularExpr::star(vec![
-                    PathExpr(vec![a, b]),
-                    PathExpr(vec![c]),
-                ]),
+                expr: RegularExpr::star(vec![PathExpr(vec![a, b]), PathExpr(vec![c])]),
                 trg: Var(1),
             }],
         })

@@ -32,7 +32,10 @@ fn path(p: &PathExpr, schema: &Schema) -> String {
         // SPARQL output; guard anyway with an impossible self-loop test.
         return "(p:__epsilon__)?".to_owned();
     }
-    p.0.iter().map(|&s| symbol(s, schema)).collect::<Vec<_>>().join("/")
+    p.0.iter()
+        .map(|&s| symbol(s, schema))
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
 fn expr(e: &RegularExpr, schema: &Schema) -> String {
@@ -50,7 +53,13 @@ fn expr(e: &RegularExpr, schema: &Schema) -> String {
 fn rule_group(rule: &Rule, schema: &Schema) -> String {
     let mut out = String::new();
     for c in &rule.body {
-        let _ = writeln!(out, "    ?x{} {} ?x{} .", c.src.0, expr(&c.expr, schema), c.trg.0);
+        let _ = writeln!(
+            out,
+            "    ?x{} {} ?x{} .",
+            c.src.0,
+            expr(&c.expr, schema),
+            c.trg.0
+        );
     }
     out
 }
@@ -137,7 +146,11 @@ mod tests {
                     ]),
                     trg: Var(1),
                 },
-                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(0)), trg: Var(2) },
+                Conjunct {
+                    src: Var(1),
+                    expr: RegularExpr::symbol(sym(0)),
+                    trg: Var(2),
+                },
                 Conjunct {
                     src: Var(2),
                     expr: RegularExpr::symbol(sym(1).flipped()),
@@ -158,7 +171,11 @@ mod tests {
     fn boolean_query_is_ask() {
         let q = Query::single(Rule {
             head: vec![],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate(&q, &schema());
@@ -170,7 +187,11 @@ mod tests {
     fn union_of_rules() {
         let mk = |p: usize| Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(p)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(p)),
+                trg: Var(1),
+            }],
         };
         let q = Query::new(vec![mk(0), mk(1)]).unwrap();
         let s = translate(&q, &schema());
@@ -200,7 +221,11 @@ mod tests {
     fn count_wrapper_nests_distinct() {
         let q = Query::single(Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate_count(&q, &schema());

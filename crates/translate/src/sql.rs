@@ -47,14 +47,24 @@ fn path_select(p: &PathExpr, schema: &Schema) -> String {
         }
         let _ = write!(from, "({}) AS e{i}", symbol_select(*sym, schema));
     }
-    let where_clause =
-        if wheres.is_empty() { String::new() } else { format!(" WHERE {}", wheres.join(" AND ")) };
-    format!("SELECT e0.s AS s, e{}.t AS t FROM {from}{where_clause}", p.len() - 1)
+    let where_clause = if wheres.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", wheres.join(" AND "))
+    };
+    format!(
+        "SELECT e0.s AS s, e{}.t AS t FROM {from}{where_clause}",
+        p.len() - 1
+    )
 }
 
 /// A `(s, t)` subquery for a non-starred disjunction.
 fn union_select(e: &RegularExpr, schema: &Schema) -> String {
-    e.disjuncts.iter().map(|p| path_select(p, schema)).collect::<Vec<_>>().join(" UNION ")
+    e.disjuncts
+        .iter()
+        .map(|p| path_select(p, schema))
+        .collect::<Vec<_>>()
+        .join(" UNION ")
 }
 
 /// Translates a UCRPQ into a single SQL statement.
@@ -72,13 +82,19 @@ pub fn translate(query: &Query, schema: &Schema) -> String {
             if c.expr.starred {
                 recursive = true;
                 let base = format!("b{}", name);
-                ctes.push(format!("{base}(s, t) AS ({})", union_select(&c.expr, schema)));
+                ctes.push(format!(
+                    "{base}(s, t) AS ({})",
+                    union_select(&c.expr, schema)
+                ));
                 ctes.push(format!(
                     "{name}(s, t) AS (SELECT id AS s, id AS t FROM node UNION \
                      SELECT r.s, b.t FROM {name} AS r, {base} AS b WHERE r.t = b.s)"
                 ));
             } else {
-                ctes.push(format!("{name}(s, t) AS ({})", union_select(&c.expr, schema)));
+                ctes.push(format!(
+                    "{name}(s, t) AS ({})",
+                    union_select(&c.expr, schema)
+                ));
             }
             conjunct_ctes.push(name);
         }
@@ -102,8 +118,14 @@ fn rule_select(rule: &Rule, conjunct_ctes: &[String]) -> String {
     use std::collections::BTreeMap;
     let mut bindings: BTreeMap<u32, Vec<String>> = BTreeMap::new();
     for (i, c) in rule.body.iter().enumerate() {
-        bindings.entry(c.src.0).or_default().push(format!("{}.s", conjunct_ctes[i]));
-        bindings.entry(c.trg.0).or_default().push(format!("{}.t", conjunct_ctes[i]));
+        bindings
+            .entry(c.src.0)
+            .or_default()
+            .push(format!("{}.s", conjunct_ctes[i]));
+        bindings
+            .entry(c.trg.0)
+            .or_default()
+            .push(format!("{}.t", conjunct_ctes[i]));
     }
     let mut wheres = Vec::new();
     for cols in bindings.values() {
@@ -126,8 +148,11 @@ fn rule_select(rule: &Rule, conjunct_ctes: &[String]) -> String {
             .join(", ")
     };
     let from = conjunct_ctes.join(", ");
-    let where_clause =
-        if wheres.is_empty() { String::new() } else { format!(" WHERE {}", wheres.join(" AND ")) };
+    let where_clause = if wheres.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", wheres.join(" AND "))
+    };
     format!("SELECT DISTINCT {projection} FROM {from}{where_clause}")
 }
 
@@ -160,12 +185,22 @@ mod tests {
     fn single_edge_query() {
         let q = Query::single(Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate(&q, &schema());
-        assert!(s.contains("c0(s, t) AS (SELECT src AS s, trg AS t FROM edge WHERE label = 'a')"), "{s}");
-        assert!(s.contains("SELECT DISTINCT c0.s AS x0, c0.t AS x1 FROM c0"), "{s}");
+        assert!(
+            s.contains("c0(s, t) AS (SELECT src AS s, trg AS t FROM edge WHERE label = 'a')"),
+            "{s}"
+        );
+        assert!(
+            s.contains("SELECT DISTINCT c0.s AS x0, c0.t AS x1 FROM c0"),
+            "{s}"
+        );
         assert!(!s.contains("RECURSIVE"), "{s}");
     }
 
@@ -181,7 +216,10 @@ mod tests {
         })
         .unwrap();
         let s = translate(&q, &schema());
-        assert!(s.contains("SELECT trg AS s, src AS t FROM edge WHERE label = 'b'"), "{s}");
+        assert!(
+            s.contains("SELECT trg AS s, src AS t FROM edge WHERE label = 'b'"),
+            "{s}"
+        );
     }
 
     #[test]
@@ -222,8 +260,16 @@ mod tests {
         let q = Query::single(Rule {
             head: vec![Var(0), Var(2)],
             body: vec![
-                Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) },
-                Conjunct { src: Var(1), expr: RegularExpr::symbol(sym(1)), trg: Var(2) },
+                Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(sym(0)),
+                    trg: Var(1),
+                },
+                Conjunct {
+                    src: Var(1),
+                    expr: RegularExpr::symbol(sym(1)),
+                    trg: Var(2),
+                },
             ],
         })
         .unwrap();
@@ -235,7 +281,11 @@ mod tests {
     fn boolean_query_selects_constant() {
         let q = Query::single(Rule {
             head: vec![],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate(&q, &schema());
@@ -246,7 +296,11 @@ mod tests {
     fn multi_rule_union() {
         let mk = |p: usize| Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(p)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(p)),
+                trg: Var(1),
+            }],
         };
         let q = Query::new(vec![mk(0), mk(1)]).unwrap();
         let s = translate(&q, &schema());
@@ -257,7 +311,11 @@ mod tests {
     fn count_wrapper() {
         let q = Query::single(Rule {
             head: vec![Var(0), Var(1)],
-            body: vec![Conjunct { src: Var(0), expr: RegularExpr::symbol(sym(0)), trg: Var(1) }],
+            body: vec![Conjunct {
+                src: Var(0),
+                expr: RegularExpr::symbol(sym(0)),
+                trg: Var(1),
+            }],
         })
         .unwrap();
         let s = translate_count(&q, &schema());

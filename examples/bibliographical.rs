@@ -5,11 +5,21 @@
 //! Fig. 2(c).
 //!
 //! ```sh
-//! cargo run --release --example bibliographical
+//! cargo run --release --example bibliographical [-- --threads N]
 //! ```
 
 use gmark::config::{parse_config, write_config};
 use gmark::prelude::*;
+
+/// `--threads N` from argv (generation is bit-identical at any count).
+fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 fn main() {
     // Fig. 2(a)/(b): occurrence constraints; Fig. 2(c): distributions.
@@ -28,7 +38,13 @@ fn main() {
     // "the number of authors on papers follows a Gaussian distribution …
     // whereas the number of papers authored by a researcher follows a
     // Zipfian"
-    b.edge(researcher, authors, paper, Distribution::gaussian(3.0, 1.0), Distribution::zipfian(2.5));
+    b.edge(
+        researcher,
+        authors,
+        paper,
+        Distribution::gaussian(3.0, 1.0),
+        Distribution::zipfian(2.5),
+    );
     // "a paper is published in exactly one conference"
     b.edge(
         paper,
@@ -38,10 +54,22 @@ fn main() {
         Distribution::uniform(1, 1),
     );
     // "a paper can be extended or not to a journal"
-    b.edge(paper, extended_to, journal, Distribution::gaussian(2.0, 1.0), Distribution::uniform(0, 1));
+    b.edge(
+        paper,
+        extended_to,
+        journal,
+        Distribution::gaussian(2.0, 1.0),
+        Distribution::uniform(0, 1),
+    );
     // "a conference is held in exactly one city, the number of conferences
     // per city follows a Zipfian distribution"
-    b.edge(conference, held_in, city, Distribution::zipfian(2.5), Distribution::uniform(1, 1));
+    b.edge(
+        conference,
+        held_in,
+        city,
+        Distribution::zipfian(2.5),
+        Distribution::uniform(1, 1),
+    );
     let schema = b.build().expect("well-formed schema");
 
     let config = GraphConfig::new(20_000, schema.clone());
@@ -53,7 +81,11 @@ fn main() {
     assert_eq!(reparsed.graph, config);
 
     // Generate and inspect.
-    let (graph, report) = generate_graph(&config, &GeneratorOptions::with_seed(2024));
+    let gen_opts = GeneratorOptions {
+        threads: threads_from_args(),
+        ..GeneratorOptions::with_seed(2024)
+    };
+    let (graph, report) = generate_graph(&config, &gen_opts);
     println!(
         "generated {} nodes / {} edges",
         graph.node_count(),
@@ -101,8 +133,10 @@ fn main() {
 
     // Schema extraction (the concluding-remarks extension): recover a
     // configuration from the generated instance.
-    let type_names: Vec<String> =
-        schema.types().map(|t| schema.type_name(t).to_owned()).collect();
+    let type_names: Vec<String> = schema
+        .types()
+        .map(|t| schema.type_name(t).to_owned())
+        .collect();
     let extracted = gmark::core::extract::extract_config(
         &graph,
         &type_names,

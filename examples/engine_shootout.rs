@@ -3,15 +3,29 @@
 //! (Fig. 12 in small).
 //!
 //! ```sh
-//! cargo run --release --example engine_shootout
+//! cargo run --release --example engine_shootout [-- --threads N]
 //! ```
 
 use gmark::prelude::*;
 use std::time::{Duration, Instant};
 
+/// `--threads N` from argv (generation is bit-identical at any count).
+fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 fn main() {
     let schema = gmark::core::usecases::bib();
     let sizes = [1_000u64, 2_000, 4_000];
+    let gen_opts = GeneratorOptions {
+        threads: threads_from_args(),
+        ..GeneratorOptions::with_seed(17)
+    };
 
     let mut wcfg = WorkloadConfig::new(9).with_seed(3);
     wcfg.query_size.conjuncts = (1, 3);
@@ -25,7 +39,7 @@ fn main() {
     for class in SelectivityClass::ALL {
         for &n in &sizes {
             let config = GraphConfig::new(n, schema.clone());
-            let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(17));
+            let (graph, _) = generate_graph(&config, &gen_opts);
             let mut row = format!("{:<12} {:>6}", class.to_string(), n);
             for engine in all_engines() {
                 let mut total = Duration::ZERO;

@@ -39,7 +39,10 @@ fn main() {
     // An unsatisfiable formula: (x∨x∨x) needs exactly one of three equal
     // literals true — impossible.
     let lit = |var, positive| Literal { var, positive };
-    let unsat = Cnf3 { vars: 1, clauses: vec![[lit(0, true), lit(0, true), lit(0, true)]] };
+    let unsat = Cnf3 {
+        vars: 1,
+        clauses: vec![[lit(0, true), lit(0, true), lit(0, true)]],
+    };
     let red = reduce(&unsat);
     println!(
         "\n(x ∨ x ∨ x): 1-in-3 satisfiable = {}, configuration satisfiable = {}",

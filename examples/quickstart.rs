@@ -3,11 +3,21 @@
 //! print it in all four output syntaxes.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --threads N]
 //! ```
 
 use gmark::prelude::*;
 use gmark::translate::translate_all;
+
+/// `--threads N` from argv (generation is bit-identical at any count).
+fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 fn main() {
     // 1. The Bib schema of Fig. 2: researchers author papers published in
@@ -25,13 +35,21 @@ fn main() {
     for issue in config.validate() {
         println!("consistency check: {issue:?}");
     }
-    let (graph, report) = generate_graph(&config, &GeneratorOptions::with_seed(42));
+    let opts = GeneratorOptions {
+        threads: threads_from_args(),
+        ..GeneratorOptions::with_seed(42)
+    };
+    let (graph, report) = generate_graph(&config, &opts);
     println!(
         "graph: {} nodes, {} edges ({} per constraint: {:?})",
         graph.node_count(),
         report.total_edges,
         report.constraints.len(),
-        report.constraints.iter().map(|c| c.edges).collect::<Vec<_>>()
+        report
+            .constraints
+            .iter()
+            .map(|c| c.edges)
+            .collect::<Vec<_>>()
     );
 
     // 3. Generate a 9-query workload: 3 constant, 3 linear, 3 quadratic

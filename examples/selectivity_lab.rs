@@ -3,13 +3,23 @@
 //! graph, and an empirical α measurement closing the loop.
 //!
 //! ```sh
-//! cargo run --release --example selectivity_lab
+//! cargo run --release --example selectivity_lab [-- --threads N]
 //! ```
 
 use gmark::core::selectivity::graph::{SchemaGraph, SelectivityGraph};
 use gmark::core::selectivity::{Card, Estimator, SelOp, SelTriple};
 use gmark::prelude::*;
 use gmark::stats::log_log_alpha;
+
+/// `--threads N` from argv (generation is bit-identical at any count).
+fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
 
 fn main() {
     let schema = gmark::core::usecases::bib();
@@ -33,8 +43,14 @@ fn main() {
     // The Fig. 7 algebra at work: the quadratic pattern > · <.
     let greater = SelTriple::new(Card::Many, SelOp::Greater, Card::Many);
     let less = SelTriple::new(Card::Many, SelOp::Less, Card::Many);
-    println!("\nFig. 7 concatenation: {greater} · {less} = {}", greater.concat(less));
-    println!("Fig. 7 concatenation: {less} · {greater} = {}", less.concat(greater));
+    println!(
+        "\nFig. 7 concatenation: {greater} · {less} = {}",
+        greater.concat(less)
+    );
+    println!(
+        "Fig. 7 concatenation: {less} · {greater} = {}",
+        less.concat(greater)
+    );
 
     // The schema graph G_S and selectivity graph G_sel (Section 5.2.3).
     let gs = SchemaGraph::build(&schema);
@@ -42,8 +58,7 @@ fn main() {
     let edges: usize = gs.valid_nodes().map(|n| gs.successors(n).len()).sum();
     println!("\nG_S: {valid} nodes, {edges} labeled edges");
     let d = gs.distance_matrix();
-    let finite: usize =
-        d.iter().flatten().filter(|e| e.is_some()).count();
+    let finite: usize = d.iter().flatten().filter(|e| e.is_some()).count();
     println!("distance matrix: {finite} finite entries");
     let gsel = SelectivityGraph::build(&gs, 1, 4);
     let gsel_edges: usize = gs.valid_nodes().map(|n| gsel.successors(n).len()).sum();
@@ -56,7 +71,11 @@ fn main() {
         let mut observations = Vec::new();
         for n in [1_000u64, 2_000, 4_000, 8_000] {
             let config = GraphConfig::new(n, schema.clone());
-            let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(8));
+            let gen_opts = GeneratorOptions {
+                threads: threads_from_args(),
+                ..GeneratorOptions::with_seed(8)
+            };
+            let (graph, _) = generate_graph(&config, &gen_opts);
             let count = TripleStoreEngine
                 .evaluate(&graph, &gq.query, &Budget::default())
                 .map(|a| a.count())

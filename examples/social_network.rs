@@ -6,16 +6,30 @@
 //! the openCypher degradation phenomenon of Section 7.1.
 //!
 //! ```sh
-//! cargo run --release --example social_network
+//! cargo run --release --example social_network [-- --threads N]
 //! ```
 
 use gmark::prelude::*;
 use std::time::Duration;
 
+/// `--threads N` from argv (generation is bit-identical at any count).
+fn threads_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
 fn main() {
     let schema = gmark::core::usecases::lsn();
     let config = GraphConfig::new(4_000, schema.clone());
-    let (graph, report) = generate_graph(&config, &GeneratorOptions::with_seed(99));
+    let opts = GeneratorOptions {
+        threads: threads_from_args(),
+        ..GeneratorOptions::with_seed(99)
+    };
+    let (graph, report) = generate_graph(&config, &opts);
     println!(
         "LSN instance: {} nodes, {} edges",
         graph.node_count(),
@@ -75,7 +89,11 @@ fn main() {
         println!(
             "  [{}]{} {}",
             gq.target.map_or("-".into(), |t| t.to_string()),
-            if gq.query.is_recursive() { " (recursive)" } else { "" },
+            if gq.query.is_recursive() {
+                " (recursive)"
+            } else {
+                ""
+            },
             gq.query.display(&schema)
         );
     }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the generation-side performance baseline and records it as
+# BENCH_gen.json for perf-trajectory tracking across PRs:
+#
+#   * the `generation` criterion bench (graph_gen / query_gen / ablation
+#     groups, including the 1-vs-4-thread parallel pipeline ablation),
+#     exported one JSON object per line via GMARK_BENCH_JSON;
+#   * the `querygen_scale` binary (Section 6.2's 1000-query workload
+#     generation + translation), timed per scenario and appended in the
+#     same format.
+#
+# Usage: scripts/bench.sh [output.json]   (default: BENCH_gen.json)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_gen.json}"
+case "$out" in
+    /*) ;;
+    *) out="$PWD/$out" ;; # cargo runs bench binaries from the package dir
+esac
+rm -f "$out"
+
+echo "== criterion generation benches (exporting to $out) =="
+GMARK_BENCH_JSON="$out" cargo bench --offline -p gmark-bench --bench generation
+
+echo "== querygen_scale (Section 6.2) =="
+# Time the whole sweep; per-scenario timings are printed by the binary.
+start_ns=$(date +%s%N)
+cargo run --offline --release -p gmark-bench --bin querygen_scale
+end_ns=$(date +%s%N)
+total_ns=$((end_ns - start_ns))
+printf '{"group":"querygen_scale","bench":"all_scenarios_1000q","mean_ns":%d,"min_ns":%d,"iters":1,"throughput_kind":"none","throughput_units":0}\n' \
+    "$total_ns" "$total_ns" >> "$out"
+
+echo "== baseline written =="
+wc -l "$out"
+cat "$out"

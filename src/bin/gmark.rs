@@ -41,19 +41,31 @@ fn parse_args() -> Result<Args, String> {
     while i < argv.len() {
         let take_value = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            argv.get(*i).cloned().ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
         };
         match argv[i].as_str() {
             "--config" | "-c" => config = Some(PathBuf::from(take_value(&mut i)?)),
             "--output" | "-o" => output = Some(PathBuf::from(take_value(&mut i)?)),
             "--seed" => {
-                seed = Some(take_value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?)
+                seed = Some(
+                    take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                )
             }
             "--nodes" | "-n" => {
-                nodes = Some(take_value(&mut i)?.parse().map_err(|e| format!("--nodes: {e}"))?)
+                nodes = Some(
+                    take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--nodes: {e}"))?,
+                )
             }
             "--threads" => {
-                threads = take_value(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?
+                threads = take_value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
             }
             "--help" | "-h" => {
                 println!(
@@ -86,29 +98,52 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("creating {}: {e}", args.output.display()))?;
 
     let seed = args.seed.unwrap_or(0x674D_61726B);
-    let opts = GeneratorOptions { seed, threads: args.threads, ..Default::default() };
+    let opts = GeneratorOptions {
+        seed,
+        threads: args.threads,
+        ..Default::default()
+    };
     let schema = parsed.graph.schema.clone();
 
     // Consistency check (Section 4) — reported, never fatal.
     let issues = parsed.graph.validate();
 
-    // Graph → N-Triples, streamed.
+    // Graph → N-Triples. Single-threaded runs stream edges straight to the
+    // file (generation order, duplicates kept) without materializing the
+    // graph; `--threads T > 1` runs the parallel pipeline (generation,
+    // deterministic shard merge, and CSR finalization all on worker
+    // threads) and serializes the built graph — sorted and deduplicated,
+    // byte-identical across all T > 1. The two modes therefore emit the
+    // same edge *set* but differ in order and duplicate triples (RDF set
+    // semantics make them equivalent data).
     let nt_path = args.output.join("graph.nt");
     let file = fs::File::create(&nt_path).map_err(|e| format!("{}: {e}", nt_path.display()))?;
-    let mut writer = gmark::store::NTriplesWriter::new(
-        std::io::BufWriter::new(file),
-        schema.predicate_names(),
-    );
+    let mut writer =
+        gmark::store::NTriplesWriter::new(std::io::BufWriter::new(file), schema.predicate_names());
     let start = std::time::Instant::now();
-    let report = gmark::core::generate_into(&parsed.graph, &opts, &mut writer);
-    let written = writer.finish().map_err(|e| format!("writing {}: {e}", nt_path.display()))?;
+    let report = if args.threads > 1 {
+        let (graph, report) = generate_graph(&parsed.graph, &opts);
+        for pred in 0..graph.predicate_count() {
+            for (src, trg) in graph.edges(pred) {
+                writer.edge(src, pred, trg);
+            }
+        }
+        report
+    } else {
+        gmark::core::generate_into(&parsed.graph, &opts, &mut writer)
+    };
+    let written = writer
+        .finish()
+        .map_err(|e| format!("writing {}: {e}", nt_path.display()))?;
     let gen_time = start.elapsed();
     println!(
-        "graph: {} nodes requested, {} edges -> {} ({:.3}s)",
+        "graph: {} nodes requested, {} edges -> {} ({:.3}s, {} thread{})",
         parsed.graph.n,
         written,
         nt_path.display(),
-        gen_time.as_secs_f64()
+        gen_time.as_secs_f64(),
+        args.threads.max(1),
+        if args.threads > 1 { "s" } else { "" }
     );
 
     // Workload → rule notation + all four syntaxes.
@@ -135,7 +170,10 @@ fn run() -> Result<(), String> {
         for syntax in Syntax::ALL {
             let mut text = String::new();
             for (i, gq) in workload.queries.iter().enumerate() {
-                text.push_str(&format!("-- query {i}\n{}\n", translate(&gq.query, &schema, syntax)));
+                text.push_str(&format!(
+                    "-- query {i}\n{}\n",
+                    translate(&gq.query, &schema, syntax)
+                ));
             }
             let path = args.output.join(format!("workload.{syntax}"));
             fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
@@ -157,14 +195,20 @@ fn run() -> Result<(), String> {
     }
 
     // Report.
-    let mut rep = fs::File::create(args.output.join("report.txt"))
-        .map_err(|e| format!("report.txt: {e}"))?;
+    let mut rep =
+        fs::File::create(args.output.join("report.txt")).map_err(|e| format!("report.txt: {e}"))?;
     writeln!(rep, "gMark generation report").ok();
     writeln!(rep, "config: {}", args.config.display()).ok();
     writeln!(rep, "seed: {seed}").ok();
     writeln!(rep, "nodes requested: {}", parsed.graph.n).ok();
     writeln!(rep, "nodes realized: {}", parsed.graph.realized_nodes()).ok();
-    writeln!(rep, "edges: {} in {:.3}s", report.total_edges, gen_time.as_secs_f64()).ok();
+    writeln!(
+        rep,
+        "edges: {written} written ({} generated before dedup) in {:.3}s",
+        report.total_edges,
+        gen_time.as_secs_f64()
+    )
+    .ok();
     for (i, cr) in report.constraints.iter().enumerate() {
         writeln!(
             rep,

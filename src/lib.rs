@@ -57,9 +57,7 @@ pub mod prelude {
         Distribution, GraphConfig, Occurrence, PredicateId, Schema, SchemaBuilder, TypeId,
     };
     pub use gmark_core::selectivity::SelectivityClass;
-    pub use gmark_core::workload::{
-        generate_workload, QuerySize, Shape, Workload, WorkloadConfig,
-    };
+    pub use gmark_core::workload::{generate_workload, QuerySize, Shape, Workload, WorkloadConfig};
     pub use gmark_engines::{
         all_engines, Answers, Budget, DatalogEngine, Engine, EvalError, NavigationalEngine,
         RelationalEngine, TripleStoreEngine,

@@ -68,7 +68,10 @@ fn workloads_are_seed_deterministic() {
         .iter()
         .zip(&w3.queries)
         .all(|(a, b)| a.query == b.query);
-    assert!(!all_same, "different seeds should produce different workloads");
+    assert!(
+        !all_same,
+        "different seeds should produce different workloads"
+    );
 }
 
 #[test]
@@ -90,8 +93,12 @@ fn evaluation_is_deterministic() {
     let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(5));
     let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(6).with_seed(6));
     for gq in &workload.queries {
-        let a = DatalogEngine.evaluate(&graph, &gq.query, &Budget::default()).unwrap();
-        let b = DatalogEngine.evaluate(&graph, &gq.query, &Budget::default()).unwrap();
+        let a = DatalogEngine
+            .evaluate(&graph, &gq.query, &Budget::default())
+            .unwrap();
+        let b = DatalogEngine
+            .evaluate(&graph, &gq.query, &Budget::default())
+            .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -49,8 +49,7 @@ const CONFIG: &str = r#"
 #[test]
 fn xml_to_graph_to_workload_to_answers() {
     let parsed = parse_config(CONFIG).expect("config parses");
-    let (graph, report) =
-        generate_graph(&parsed.graph, &GeneratorOptions::with_seed(5));
+    let (graph, report) = generate_graph(&parsed.graph, &GeneratorOptions::with_seed(5));
     assert!(report.total_edges > 100, "edges: {}", report.total_edges);
     assert_eq!(graph.node_count(), 820); // 0.5+0.3+0.2 of 800 + 20 fixed
 
@@ -88,7 +87,10 @@ fn config_round_trip_preserves_generation() {
     let (g2, r2) = generate_graph(&reparsed.graph, &GeneratorOptions::with_seed(9));
     assert_eq!(r1.total_edges, r2.total_edges);
     for p in 0..g1.predicate_count() {
-        assert_eq!(g1.edges(p).collect::<Vec<_>>(), g2.edges(p).collect::<Vec<_>>());
+        assert_eq!(
+            g1.edges(p).collect::<Vec<_>>(),
+            g2.edges(p).collect::<Vec<_>>()
+        );
     }
 }
 
@@ -98,20 +100,12 @@ fn ntriples_round_trip_through_store() {
     let schema = &parsed.graph.schema;
     let mut buffer = Vec::new();
     {
-        let mut writer = gmark::store::NTriplesWriter::new(
-            &mut buffer,
-            schema.predicate_names(),
-        );
-        gmark::core::generate_into(
-            &parsed.graph,
-            &GeneratorOptions::with_seed(5),
-            &mut writer,
-        );
+        let mut writer = gmark::store::NTriplesWriter::new(&mut buffer, schema.predicate_names());
+        gmark::core::generate_into(&parsed.graph, &GeneratorOptions::with_seed(5), &mut writer);
         writer.finish().expect("flush");
     }
-    let triples =
-        gmark::store::read_ntriples(buffer.as_slice(), &schema.predicate_names())
-            .expect("read back");
+    let triples = gmark::store::read_ntriples(buffer.as_slice(), &schema.predicate_names())
+        .expect("read back");
     // Same number of triples as a counting run.
     let mut counter = gmark::store::CountingSink::new(schema.predicate_count());
     gmark::core::generate_into(&parsed.graph, &GeneratorOptions::with_seed(5), &mut counter);

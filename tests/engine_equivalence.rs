@@ -150,8 +150,12 @@ fn engines_agree_on_generated_workloads() {
     let (workload, _) = generate_workload(&schema, &wcfg);
     let budget = Budget::default();
     for gq in &workload.queries {
-        let a = RelationalEngine.evaluate(&graph, &gq.query, &budget).unwrap();
-        let b = TripleStoreEngine.evaluate(&graph, &gq.query, &budget).unwrap();
+        let a = RelationalEngine
+            .evaluate(&graph, &gq.query, &budget)
+            .unwrap();
+        let b = TripleStoreEngine
+            .evaluate(&graph, &gq.query, &budget)
+            .unwrap();
         let c = DatalogEngine.evaluate(&graph, &gq.query, &budget).unwrap();
         assert_eq!(a, b, "relational vs triplestore on {:?}", gq.query);
         assert_eq!(a, c, "relational vs datalog on {:?}", gq.query);

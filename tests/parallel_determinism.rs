@@ -1,0 +1,119 @@
+//! The parallel pipeline's core guarantee: `generate_graph` produces a
+//! bit-identical graph and report at every thread count.
+//!
+//! Each schema constraint draws from an RNG stream split off the master
+//! seed by constraint index, shards are merged in ascending constraint
+//! order, and CSR finalization is a pure per-predicate function — so
+//! neither worker count nor scheduling may influence the output. This test
+//! pins that contract for the paper's bibliographical and social-network
+//! scenarios, comparing both the structured graphs and their N-Triples
+//! serializations byte for byte.
+
+use gmark::prelude::*;
+use gmark::store::NTriplesWriter;
+use gmark_core::gen::GenReport;
+use gmark_core::usecases;
+
+/// Serializes a graph to N-Triples bytes (predicate-major, CSR order).
+fn to_ntriples(graph: &Graph, schema: &gmark::core::schema::Schema) -> Vec<u8> {
+    let mut buf = Vec::new();
+    {
+        let mut writer = NTriplesWriter::new(&mut buf, schema.predicate_names());
+        for pred in 0..graph.predicate_count() {
+            for (src, trg) in graph.edges(pred) {
+                writer.edge(src, pred, trg);
+            }
+        }
+        writer.finish().expect("in-memory write cannot fail");
+    }
+    buf
+}
+
+fn assert_identical(a: &Graph, b: &Graph, what: &str) {
+    assert_eq!(a.partition(), b.partition(), "{what}: partitions differ");
+    assert_eq!(
+        a.predicate_count(),
+        b.predicate_count(),
+        "{what}: predicate counts differ"
+    );
+    for pred in 0..a.predicate_count() {
+        assert_eq!(
+            a.forward(pred),
+            b.forward(pred),
+            "{what}: forward CSR differs for predicate {pred}"
+        );
+        assert_eq!(
+            a.backward(pred),
+            b.backward(pred),
+            "{what}: backward CSR differs for predicate {pred}"
+        );
+    }
+}
+
+fn assert_same_report(a: &GenReport, b: &GenReport, what: &str) {
+    assert_eq!(a.total_edges, b.total_edges, "{what}: total_edges differ");
+    assert_eq!(
+        a.constraints, b.constraints,
+        "{what}: per-constraint reports differ"
+    );
+}
+
+fn check_scenario(name: &str, schema: gmark::core::schema::Schema, n: u64, seed: u64) {
+    let config = GraphConfig::new(n, schema.clone());
+    let baseline_opts = GeneratorOptions {
+        threads: 1,
+        ..GeneratorOptions::with_seed(seed)
+    };
+    let (baseline, baseline_report) = generate_graph(&config, &baseline_opts);
+    let baseline_nt = to_ntriples(&baseline, &schema);
+    assert!(
+        baseline_report.total_edges > 0,
+        "{name}: empty baseline graph"
+    );
+
+    for threads in [2usize, 8] {
+        let opts = GeneratorOptions {
+            threads,
+            ..GeneratorOptions::with_seed(seed)
+        };
+        let (graph, report) = generate_graph(&config, &opts);
+        let what = format!("{name}, {threads} threads");
+        assert_identical(&baseline, &graph, &what);
+        assert_same_report(&baseline_report, &report, &what);
+        assert_eq!(
+            baseline_nt,
+            to_ntriples(&graph, &schema),
+            "{what}: N-Triples serialization differs"
+        );
+    }
+}
+
+#[test]
+fn bib_is_identical_across_thread_counts() {
+    check_scenario("bib", usecases::bib(), 5_000, 0xB1B);
+}
+
+#[test]
+fn social_network_is_identical_across_thread_counts() {
+    check_scenario("lsn", usecases::lsn(), 5_000, 0x15D);
+}
+
+#[test]
+fn reports_are_identical_even_when_threads_exceed_constraints() {
+    // More workers than constraints: surplus threads must idle, not skew.
+    let schema = usecases::bib();
+    let config = GraphConfig::new(1_000, schema.clone());
+    let constraints = schema.constraints().len();
+    let opts_seq = GeneratorOptions {
+        threads: 1,
+        ..GeneratorOptions::with_seed(7)
+    };
+    let opts_wide = GeneratorOptions {
+        threads: constraints + 13,
+        ..GeneratorOptions::with_seed(7)
+    };
+    let (a, ra) = generate_graph(&config, &opts_seq);
+    let (b, rb) = generate_graph(&config, &opts_wide);
+    assert_identical(&a, &b, "bib, oversubscribed threads");
+    assert_same_report(&ra, &rb, "bib, oversubscribed threads");
+}

@@ -15,7 +15,9 @@ fn measure_alpha(schema: &Schema, query: &Query, sizes: &[u64]) -> Option<f64> {
     for &n in sizes {
         let config = GraphConfig::new(n, schema.clone());
         let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(101));
-        let answers = TripleStoreEngine.evaluate(&graph, query, &Budget::default()).ok()?;
+        let answers = TripleStoreEngine
+            .evaluate(&graph, query, &Budget::default())
+            .ok()?;
         observations.push((n, answers.count()));
     }
     log_log_alpha(&observations).map(|(alpha, _beta)| alpha)
@@ -68,7 +70,10 @@ fn bib_selectivity_classes_hold_empirically() {
     assert!((0.4..1.6).contains(&l), "linear class mean drifted: {l:.2}");
     assert!(q > 1.2, "quadratic class mean drifted: {q:.2}");
     // The classes must be ordered as the paper's Table 2 shows.
-    assert!(c < l && l < q, "class means must order: {c:.2} < {l:.2} < {q:.2}");
+    assert!(
+        c < l && l < q,
+        "class means must order: {c:.2} < {l:.2} < {q:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,297 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! crates.io is unavailable in this build environment, so this crate
+//! implements the benchmark-harness subset the workspace's benches use:
+//! [`Criterion`], benchmark groups, [`BenchmarkId`], [`Throughput`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! warmed up briefly, then timed for a fixed measurement window; the
+//! mean/min per-iteration wall time is printed, and when the
+//! `GMARK_BENCH_JSON` environment variable names a file, one JSON object
+//! per benchmark is appended to it (consumed by `scripts/bench.sh`).
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(800),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            measurement_time: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Units of work per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and a parameter into `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the measurement window for this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    /// Declares the per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().id;
+        let mut bencher = Bencher {
+            warm_up_time: self.criterion.warm_up_time,
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let stats = bencher.stats();
+        let mut line = format!(
+            "bench {}/{}: mean {} min {} ({} iters)",
+            self.name,
+            id,
+            fmt_ns(stats.mean_ns),
+            fmt_ns(stats.min_ns),
+            stats.iters
+        );
+        if let Some(Throughput::Elements(n)) = self.throughput {
+            if stats.mean_ns > 0.0 {
+                line.push_str(&format!(
+                    ", {:.1}M elems/s",
+                    n as f64 / stats.mean_ns * 1e9 / 1e6
+                ));
+            }
+        }
+        eprintln!("{line}");
+        export_json(&self.name, &id, &stats, self.throughput);
+        self
+    }
+
+    /// Ends the group (separator line; results are already reported).
+    pub fn finish(&mut self) {
+        eprintln!();
+    }
+}
+
+/// Measured summary for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Mean wall time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest observed iteration in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly for the measurement window.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Measurement: individual iteration timings until the window closes.
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed().as_nanos() as f64);
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    fn stats(&self) -> Stats {
+        if self.samples.is_empty() {
+            return Stats {
+                mean_ns: 0.0,
+                min_ns: 0.0,
+                iters: 0,
+            };
+        }
+        let sum: f64 = self.samples.iter().sum();
+        let min = self.samples.iter().copied().fold(f64::INFINITY, f64::min);
+        Stats {
+            mean_ns: sum / self.samples.len() as f64,
+            min_ns: min,
+            iters: self.samples.len() as u64,
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn export_json(group: &str, id: &str, stats: &Stats, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("GMARK_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let (kind, units) = match throughput {
+        Some(Throughput::Elements(n)) => ("elements", n),
+        Some(Throughput::Bytes(n)) => ("bytes", n),
+        None => ("none", 0),
+    };
+    let record = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"mean_ns\":{:.1},\"min_ns\":{:.1},\"iters\":{},\"throughput_kind\":\"{}\",\"throughput_units\":{}}}\n",
+        escape(group),
+        escape(id),
+        stats.mean_ns,
+        stats.min_ns,
+        stats.iters,
+        kind,
+        units
+    );
+    if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = f.write_all(record.as_bytes());
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Declares a function running the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(5),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut group = c.benchmark_group("smoke");
+        let mut ran = 0u64;
+        group.bench_function("noop", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("f", 4);
+        assert_eq!(id.id, "f/4");
+        let from: BenchmarkId = "plain".into();
+        assert_eq!(from.id, "plain");
+    }
+}

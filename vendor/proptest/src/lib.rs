@@ -1,0 +1,718 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! crates.io is unavailable in this build environment, so this crate
+//! implements exactly the subset of proptest's API the workspace's
+//! property tests use: value-generating strategies (no shrinking), the
+//! [`proptest!`] test macro, `prop_assert*` / [`prop_assume!`], tuple and
+//! collection combinators, [`prop_oneof!`], and string strategies compiled
+//! from the small character-class regex dialect the tests rely on.
+//!
+//! Cases are generated from a fixed deterministic seed so failures are
+//! reproducible run-to-run and on CI.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic generator state handed to strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift rejection-free mapping is plenty for test data.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the runner redraws.
+    Reject,
+}
+
+impl TestCaseError {
+    /// An assertion failure carrying a rendered message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test values. Unlike real proptest there is no shrinking:
+/// a failing case reports the seed and (Debug) inputs and panics.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Rc<S> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice among boxed same-valued strategies ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Rc<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<Rc<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].new_value(rng)
+    }
+}
+
+/// Type-erases a strategy into a [`Union`] arm (used by [`prop_oneof!`]).
+pub fn union_arm<S>(s: S) -> Rc<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Rc::new(s)
+}
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical `any::<T>()` strategy.
+pub trait Arbitrary {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, moderate magnitudes: good test data, no NaN surprises.
+        (rng.unit_f64() - 0.5) * 2e9
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// A collection-size specification: an exact size or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // inclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; draws until the sampled size is
+    /// reached or the element space is (apparently) exhausted.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// See [`btree_set`].
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < n * 20 + 64 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String strategies: literal `&str` patterns are compiled as a sequence of
+// character-class atoms with `{m,n}` repetition, the dialect used by the
+// workspace tests (e.g. "[a-z][a-z0-9]{0,8}", "[ -~&&[^<&]]{1,12}").
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct PatternAtom {
+    alphabet: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn printable_ascii() -> Vec<char> {
+    (b' '..=b'~').map(char::from).collect()
+}
+
+fn parse_class(chars: &[char], i: &mut usize) -> Vec<char> {
+    debug_assert_eq!(chars[*i], '[');
+    *i += 1;
+    let negated = chars.get(*i) == Some(&'^');
+    if negated {
+        *i += 1;
+    }
+    let mut set: Vec<char> = Vec::new();
+    while *i < chars.len() && chars[*i] != ']' {
+        if chars[*i] == '&' && chars.get(*i + 1) == Some(&'&') && chars.get(*i + 2) == Some(&'[') {
+            // Class intersection `&&[...]` (used as subtraction with `[^..]`).
+            *i += 2;
+            let rhs = parse_class(chars, i);
+            set.retain(|c| rhs.contains(c));
+        } else if chars.get(*i + 1) == Some(&'-') && chars.get(*i + 2).is_some_and(|&c| c != ']') {
+            let (lo, hi) = (chars[*i], chars[*i + 2]);
+            assert!(lo <= hi, "invalid class range {lo}-{hi}");
+            let fresh: Vec<char> = (lo..=hi).filter(|c| !set.contains(c)).collect();
+            set.extend(fresh);
+            *i += 3;
+        } else {
+            let c = chars[*i];
+            let c = if c == '\\' {
+                *i += 1;
+                chars[*i]
+            } else {
+                c
+            };
+            if !set.contains(&c) {
+                set.push(c);
+            }
+            *i += 1;
+        }
+    }
+    assert!(*i < chars.len(), "unterminated character class");
+    *i += 1; // closing ']'
+    if negated {
+        printable_ascii()
+            .into_iter()
+            .filter(|c| !set.contains(c))
+            .collect()
+    } else {
+        set
+    }
+}
+
+fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    *i += 1;
+    let mut lo = String::new();
+    while chars[*i].is_ascii_digit() {
+        lo.push(chars[*i]);
+        *i += 1;
+    }
+    let min: usize = lo.parse().expect("repeat lower bound");
+    let max = if chars[*i] == ',' {
+        *i += 1;
+        let mut hi = String::new();
+        while chars[*i].is_ascii_digit() {
+            hi.push(chars[*i]);
+            *i += 1;
+        }
+        hi.parse().expect("repeat upper bound")
+    } else {
+        min
+    };
+    assert_eq!(chars[*i], '}', "unterminated repetition");
+    *i += 1;
+    (min, max)
+}
+
+fn compile_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let alphabet = if chars[i] == '[' {
+            parse_class(&chars, &mut i)
+        } else {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        assert!(
+            !alphabet.is_empty(),
+            "empty character class in pattern {pattern:?}"
+        );
+        let (min, max) = parse_repeat(&chars, &mut i);
+        atoms.push(PatternAtom { alphabet, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let atoms = compile_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let reps = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                out.push(atom.alphabet[rng.below(atom.alphabet.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+const BASE_SEED: u64 = 0x674D_6172_6B50_7430; // deterministic across runs
+
+/// FNV-1a over the test name: distinct tests get distinct input streams
+/// even when their names have equal length.
+fn name_hash(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `config.cases` generated cases of `body` against `strategy`,
+/// panicking on the first failure. Called by the [`proptest!`] expansion.
+pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rejects = 0u32;
+    let reject_cap = config.cases * 32 + 256;
+    let mut case = 0u32;
+    let mut draw = 0u64;
+    let seed = BASE_SEED ^ name_hash(test_name);
+    while case < config.cases {
+        let mut rng = TestRng::new(seed ^ draw.wrapping_mul(0x9E37_79B9));
+        draw += 1;
+        let value = strategy.new_value(&mut rng);
+        let rendered = format!("{value:?}");
+        match body(value) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejects += 1;
+                assert!(
+                    rejects < reject_cap,
+                    "{test_name}: too many prop_assume! rejections ({rejects})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case #{case} failed: {msg}\n  inputs: {rendered}")
+            }
+        }
+    }
+}
+
+/// Declares property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and `pattern in strategy` parameters.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr; $(
+        #[test]
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = ($($strat,)+);
+                $crate::run_cases(&config, stringify!($name), &strategy, |($($pat,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case, redrawing inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::union_arm($arm)),+])
+    };
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    /// Namespaced access mirror (`prop::collection::vec`).
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_compiler_handles_workspace_dialect() {
+        let mut rng = super::TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,8}".new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let t = "[ -~&&[^<&]]{1,12}".new_value(&mut rng);
+            assert!((1..=12).contains(&t.len()));
+            assert!(t
+                .chars()
+                .all(|c| (' '..='~').contains(&c) && c != '<' && c != '&'));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in -5i32..5, z in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![Just(1u8), Just(2u8)].prop_map(|x| x * 10)) {
+            prop_assert!(v == 10 || v == 20);
+        }
+
+        #[test]
+        fn collections_respect_sizes(
+            xs in prop::collection::vec(0u32..100, 2..5),
+            set in prop::collection::btree_set(0i32..1000, 2..8),
+        ) {
+            prop_assert!((2..5).contains(&xs.len()));
+            prop_assert!((2..8).contains(&set.len()));
+        }
+    }
+}
