@@ -197,6 +197,42 @@ impl HarnessOptions {
     }
 }
 
+/// Takes the value following `argv[*i]` (the occurrence of `flag`),
+/// advancing `*i`; names the flag in the error when the value is missing.
+/// The shared primitive for the bench binaries' argv mini-parsers.
+pub fn take_flag_value(argv: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+    *i += 1;
+    argv.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("missing value after {flag}"))
+}
+
+/// Peak resident set size of this process in kibibytes, read from Linux
+/// procfs (`VmHWM` in `/proc/self/status`); `None` where that is
+/// unavailable. The scale sweep records this per *process* (one size per
+/// invocation), which is what makes the streamed-vs-materialized memory
+/// comparison in `BENCH_gen.json` meaningful.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Appends one line to the `GMARK_BENCH_JSON` export file if that
+/// environment variable is set (the same protocol the criterion stub and
+/// `scripts/bench.sh` use to assemble `BENCH_gen.json`).
+pub fn append_bench_json(row: &str) -> std::io::Result<()> {
+    if let Ok(path) = std::env::var("GMARK_BENCH_JSON") {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(f, "{row}")?;
+    }
+    Ok(())
+}
+
 /// Generates a graph for an experiment (shared seed discipline).
 pub fn build_graph(schema: &Schema, n: u64, seed: u64, threads: usize) -> Graph {
     let config = GraphConfig::new(n, schema.clone());

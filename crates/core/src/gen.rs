@@ -26,7 +26,7 @@
 
 use crate::schema::{Distribution, GraphConfig};
 use gmark_stats::{DegreeSampler, Prng, Zipf};
-use gmark_store::{EdgeSink, Graph, GraphBuilder, NodeId, TypePartition};
+use gmark_store::{EdgeSink, Graph, GraphBuilder, NodeId, ShardSet, TypePartition};
 
 /// Options controlling graph generation.
 #[derive(Debug, Clone)]
@@ -36,9 +36,11 @@ pub struct GeneratorOptions {
     pub seed: u64,
     /// Enables the Gaussian fast path described in the module docs.
     pub gaussian_fast_path: bool,
-    /// Number of worker threads for [`generate_graph`]; constraints are
-    /// sharded across threads with per-constraint RNG splitting, so the
-    /// result is identical for any thread count.
+    /// Number of worker threads for [`generate_graph`] /
+    /// [`generate_streamed`]; constraints are sharded across threads with
+    /// per-constraint RNG splitting, so the result is identical for any
+    /// thread count. `0` means auto-detect via
+    /// [`std::thread::available_parallelism`].
     pub threads: usize,
 }
 
@@ -58,6 +60,19 @@ impl GeneratorOptions {
         GeneratorOptions {
             seed,
             ..Default::default()
+        }
+    }
+
+    /// Resolves the configured thread count: `0` auto-detects via
+    /// [`std::thread::available_parallelism`] (falling back to 1 when the
+    /// parallelism is unknown). Output never depends on this value.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 }
@@ -119,7 +134,7 @@ pub fn generate_graph(config: &GraphConfig, opts: &GeneratorOptions) -> (Graph, 
     let partition = TypePartition::from_counts(&counts);
     let pred_count = config.schema.predicate_count();
     let n_constraints = config.schema.constraints().len();
-    let threads = opts.threads.max(1);
+    let threads = opts.effective_threads().max(1);
     let gen_threads = threads.min(n_constraints.max(1));
 
     if threads <= 1 {
@@ -181,6 +196,123 @@ pub fn generate_graph(config: &GraphConfig, opts: &GeneratorOptions) -> (Graph, 
 
     // Phase 3 — CSR finalization on worker threads.
     (root.build_with_threads(threads), report)
+}
+
+/// Options for [`generate_streamed`]: where the N-Triples go and where the
+/// temporary per-constraint shards live.
+#[derive(Debug, Clone)]
+pub struct StreamOptions {
+    /// Base IRI of the N-Triples output (no trailing slash needed).
+    pub base: String,
+    /// Parent directory for the temporary shard files. Pick one on the
+    /// same filesystem as the final output so the concatenation is a plain
+    /// sequential copy. Defaults to [`std::env::temp_dir`].
+    pub scratch_dir: std::path::PathBuf,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            base: "http://gmark.example.org".to_owned(),
+            scratch_dir: std::env::temp_dir(),
+        }
+    }
+}
+
+/// Generates the graph as N-Triples straight into `out` without ever
+/// materializing it: the memory-bounded counterpart of [`generate_graph`].
+///
+/// Constraints fan out over `opts.threads` workers (0 = auto-detect), each
+/// writing the edges of the constraints it claims into that constraint's
+/// own shard file ([`ShardSet`]); shards are then concatenated in
+/// ascending constraint order. Peak memory is bounded by the slot vectors
+/// of the largest single constraint (`O(max type size · mean degree)` per
+/// worker), not by the total edge count — this is what makes the paper's
+/// Table 3 scale (10⁹ edges) reachable.
+///
+/// Because each constraint draws from an RNG stream split off the master
+/// seed by constraint index, shard bytes are independent of scheduling,
+/// and the output is **byte-identical for every thread count, including
+/// 1** (single-threaded runs skip the temp files and stream constraints in
+/// order directly into `out`, which is the same byte sequence by
+/// construction). Unlike [`generate_graph`]'s serialization, the stream
+/// preserves generation order and keeps duplicate triples (RDF set
+/// semantics make the data equivalent).
+///
+/// Returns the generation report and the number of triples written.
+pub fn generate_streamed<W: std::io::Write>(
+    config: &GraphConfig,
+    opts: &GeneratorOptions,
+    stream: &StreamOptions,
+    out: &mut W,
+) -> std::io::Result<(GenReport, u64)> {
+    let names = config.schema.predicate_names();
+    let n_constraints = config.schema.constraints().len();
+    let threads = opts.effective_threads().max(1).min(n_constraints.max(1));
+    // Encode the predicate alphabet once; every shard writer shares it.
+    let format = std::sync::Arc::new(gmark_store::NTriplesFormat::new(&names, &stream.base));
+
+    if threads <= 1 {
+        // Constraint order equals concat order, so the plain sequential
+        // stream emits the same bytes as the sharded path without touching
+        // disk twice.
+        let mut writer = gmark_store::NTriplesWriter::with_format(&mut *out, format);
+        let report = generate_into(config, opts, &mut writer);
+        let written = writer.finish()?;
+        return Ok((report, written));
+    }
+
+    let counts = config.node_counts();
+    let partition = TypePartition::from_counts(&counts);
+    let master = Prng::seed_from_u64(opts.seed);
+    let shards = ShardSet::create(&stream.scratch_dir, n_constraints)?;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<std::io::Result<Vec<(usize, ConstraintReport, u64)>>> =
+        std::thread::scope(|scope| {
+            let (next, partition, master, shards, format) =
+                (&next, &partition, &master, &shards, &format);
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if idx >= n_constraints {
+                                break;
+                            }
+                            let mut sink = shards.writer(idx, format.clone())?;
+                            let mut rng = master.split(idx as u64);
+                            let cr = generate_constraint(
+                                config, opts, idx, partition, &mut rng, &mut sink,
+                            );
+                            let written = sink.finish()?;
+                            done.push((idx, cr, written));
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("streaming generator thread panicked"))
+                .collect()
+        });
+
+    let mut batches = Vec::with_capacity(n_constraints);
+    for result in per_worker {
+        batches.extend(result?);
+    }
+    batches.sort_by_key(|(idx, _, _)| *idx);
+    let mut report = GenReport::default();
+    let mut written = 0u64;
+    for (_, cr, w) in batches {
+        report.total_edges += cr.edges;
+        report.constraints.push(cr);
+        written += w;
+    }
+    shards.concat_into(out)?;
+    out.flush()?;
+    Ok((report, written))
 }
 
 /// How one side of a constraint contributes edge endpoints.
@@ -652,6 +784,75 @@ mod tests {
             let b: Vec<_> = g_par.edges(pred).collect();
             assert_eq!(a, b, "predicate {pred} edge sets must match");
         }
+    }
+
+    #[test]
+    fn streamed_is_byte_identical_across_thread_counts() {
+        let schema = crate::schema::tests::example_3_3();
+        let cfg = GraphConfig::new(2_000, schema);
+        let stream = StreamOptions::default();
+        let mut baseline = Vec::new();
+        let opts1 = GeneratorOptions {
+            threads: 1,
+            ..GeneratorOptions::with_seed(12)
+        };
+        let (r1, w1) = generate_streamed(&cfg, &opts1, &stream, &mut baseline).unwrap();
+        assert!(w1 > 0);
+        assert_eq!(r1.total_edges, w1);
+        for threads in [2usize, 8] {
+            let opts = GeneratorOptions {
+                threads,
+                ..GeneratorOptions::with_seed(12)
+            };
+            let mut buf = Vec::new();
+            let (r, w) = generate_streamed(&cfg, &opts, &stream, &mut buf).unwrap();
+            assert_eq!(buf, baseline, "{threads} threads: bytes differ");
+            assert_eq!(w, w1);
+            assert_eq!(r.constraints, r1.constraints);
+        }
+    }
+
+    #[test]
+    fn streamed_matches_sequential_sink_stream() {
+        // The streamed file is exactly what generate_into + one N-Triples
+        // writer produces: same edges, same order, duplicates kept.
+        let schema = crate::schema::tests::example_3_3();
+        let cfg = GraphConfig::new(1_000, schema.clone());
+        let opts = GeneratorOptions {
+            threads: 4,
+            ..GeneratorOptions::with_seed(13)
+        };
+        let mut streamed = Vec::new();
+        generate_streamed(&cfg, &opts, &StreamOptions::default(), &mut streamed).unwrap();
+
+        let mut direct = Vec::new();
+        let mut writer =
+            gmark_store::NTriplesWriter::new(&mut direct, cfg.schema.predicate_names());
+        generate_into(&cfg, &opts, &mut writer);
+        writer.finish().unwrap();
+        assert_eq!(streamed, direct);
+    }
+
+    #[test]
+    fn zero_threads_means_auto_detect() {
+        let opts = GeneratorOptions {
+            threads: 0,
+            ..Default::default()
+        };
+        assert!(opts.effective_threads() >= 1);
+        let cfg = GraphConfig::new(
+            300,
+            two_type_schema(Distribution::uniform(1, 2), Distribution::uniform(1, 2)),
+        );
+        let mut auto = Vec::new();
+        generate_streamed(&cfg, &opts, &StreamOptions::default(), &mut auto).unwrap();
+        let mut one = Vec::new();
+        let opts1 = GeneratorOptions {
+            threads: 1,
+            ..Default::default()
+        };
+        generate_streamed(&cfg, &opts1, &StreamOptions::default(), &mut one).unwrap();
+        assert_eq!(auto, one);
     }
 
     #[test]

@@ -12,16 +12,24 @@
 //!   edges to a builder, a counter, or an N-Triples file without
 //!   materializing the graph (needed for the Table 3 scalability runs),
 //! * [`ntriples`] — the N-Triples writer/reader mentioned in Section 1.1
-//!   ("including N-triples for data").
+//!   ("including N-triples for data"); predicate names are percent-encoded
+//!   on write and decoded on read, so hostile schema alphabets still
+//!   produce valid RDF,
+//! * [`shard`] — per-constraint N-Triples shard files plus the
+//!   ascending-order concatenation that makes the memory-bounded streaming
+//!   pipeline byte-identical at every thread count (the shard format and
+//!   the concatenation invariant are documented on the module).
 
 #![warn(missing_docs)]
 
 pub mod graph;
 pub mod ntriples;
+pub mod shard;
 pub mod sink;
 
 pub use graph::{Csr, Graph, GraphBuilder, TypePartition};
-pub use ntriples::{read_ntriples, NTriplesWriter};
+pub use ntriples::{read_ntriples, NTriplesFormat, NTriplesWriter};
+pub use shard::{ShardSet, ShardWriter};
 pub use sink::{CountingSink, EdgeSink, ForwardingSink, VecSink};
 
 /// Node identifier. `u32` bounds graphs at ~4.29 B nodes, comfortably above

@@ -4,18 +4,132 @@
 //! graphs …, including N-triples for data". Nodes and predicates are mapped
 //! to IRIs under a configurable base, matching the RDF serialization the
 //! SPARQL engines of Section 7 consume.
+//!
+//! Predicate names come from user-authored schemas and may contain
+//! characters that are illegal inside an IRI (spaces, `>`, quotes) or
+//! non-ASCII text; they are percent-encoded as a single path segment on
+//! write ([`encode_segment`]) and decoded on read, so every emitted line is
+//! valid N-Triples regardless of the schema's alphabet. The base IRI is
+//! likewise escaped just enough to be legal ([`encode_iri_base`]) while
+//! leaving IRI structure (`:`, `/`, `#`, …) intact.
 
 use crate::sink::EdgeSink;
 use crate::{NodeId, PredIdx};
 use std::io::{self, BufRead, Write};
 
+/// RFC 3986 "unreserved" characters, the only bytes a path segment keeps
+/// verbatim; everything else is written as uppercase `%XX` per UTF-8 byte.
+#[inline]
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~')
+}
+
+const HEX: &[u8; 16] = b"0123456789ABCDEF";
+
+/// Percent-encodes `s` as one IRI path segment: RFC 3986 unreserved bytes
+/// pass through, every other byte (including `/`, `%`, spaces, and each
+/// byte of a non-ASCII codepoint) becomes uppercase `%XX`.
+pub fn encode_segment(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_unreserved(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(HEX[(b >> 4) as usize] as char);
+            out.push(HEX[(b & 0xF) as usize] as char);
+        }
+    }
+    out
+}
+
+/// Decodes a percent-encoded path segment produced by [`encode_segment`].
+///
+/// Returns `None` on truncated or non-hex escapes and on escape sequences
+/// that do not decode to valid UTF-8.
+pub fn decode_segment(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hi = bytes.get(i + 1).and_then(|b| (*b as char).to_digit(16))?;
+            let lo = bytes.get(i + 2).and_then(|b| (*b as char).to_digit(16))?;
+            out.push((hi as u8) << 4 | lo as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Escapes the characters an N-Triples `IRIREF` production forbids
+/// (controls, space, `<`, `>`, `"`, `{`, `}`, `|`, `^`, `` ` ``, `\`)
+/// while leaving IRI structure — scheme separators, slashes, fragments,
+/// existing `%XX` escapes, non-ASCII — untouched.
+pub fn encode_iri_base(base: &str) -> String {
+    let mut out = String::with_capacity(base.len());
+    for c in base.chars() {
+        let illegal = c <= ' '
+            || matches!(
+                c,
+                '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' | '\u{7f}'
+            );
+        if illegal {
+            let b = c as u8;
+            out.push('%');
+            out.push(HEX[(b >> 4) as usize] as char);
+            out.push(HEX[(b & 0xF) as usize] as char);
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Precomputed IRI fragments for one `(base, predicate names)` pair: the
+/// shared subject/object prefix and the full per-predicate IRIs.
+///
+/// Encoding the predicate alphabet is O(total name length); done once and
+/// shared (behind an [`Arc`](std::sync::Arc)) across the many short-lived
+/// writers of the sharded streaming pipeline instead of once per shard.
+#[derive(Debug)]
+pub struct NTriplesFormat {
+    /// `"<base/node/"` — shared prefix of every subject/object IRI.
+    node_prefix: String,
+    /// Full `<base/pred/NAME>` IRI per predicate index.
+    pred_iris: Vec<String>,
+}
+
+impl NTriplesFormat {
+    /// Precomputes the IRI fragments for a base (no trailing slash needed)
+    /// and predicate alphabet.
+    pub fn new(predicate_names: &[String], base: &str) -> Self {
+        let base = encode_iri_base(base.trim_end_matches('/'));
+        NTriplesFormat {
+            node_prefix: format!("<{base}/node/"),
+            pred_iris: predicate_names
+                .iter()
+                .map(|n| format!("<{base}/pred/{}>", encode_segment(n)))
+                .collect(),
+        }
+    }
+}
+
 /// Streams edges as N-Triples lines:
 /// `<base/node/S> <base/pred/NAME> <base/node/T> .`
+///
+/// `NAME` is the percent-encoded predicate name; the base is escaped via
+/// [`encode_iri_base`]. The full subject/object prefix and per-predicate
+/// IRIs are precomputed ([`NTriplesFormat`]), keeping the per-edge hot
+/// path to integer formatting plus buffered writes (this writer is what
+/// every streaming shard of [`crate::shard`] runs).
 #[derive(Debug)]
 pub struct NTriplesWriter<W: Write> {
     out: W,
-    base: String,
-    predicate_names: Vec<String>,
+    format: std::sync::Arc<NTriplesFormat>,
     written: u64,
     error: Option<io::Error>,
 }
@@ -28,10 +142,18 @@ impl<W: Write> NTriplesWriter<W> {
 
     /// Creates a writer with a custom base IRI (no trailing slash).
     pub fn with_base(out: W, predicate_names: Vec<String>, base: &str) -> Self {
+        Self::with_format(
+            out,
+            std::sync::Arc::new(NTriplesFormat::new(&predicate_names, base)),
+        )
+    }
+
+    /// Creates a writer over precomputed IRI fragments; the cheap
+    /// constructor when many writers share one format (shard fan-out).
+    pub fn with_format(out: W, format: std::sync::Arc<NTriplesFormat>) -> Self {
         NTriplesWriter {
             out,
-            base: base.trim_end_matches('/').to_owned(),
-            predicate_names,
+            format,
             written: 0,
             error: None,
         }
@@ -59,11 +181,11 @@ impl<W: Write> EdgeSink for NTriplesWriter<W> {
         if self.error.is_some() {
             return;
         }
-        let name = &self.predicate_names[pred];
         let result = writeln!(
             self.out,
-            "<{base}/node/{src}> <{base}/pred/{name}> <{base}/node/{trg}> .",
-            base = self.base,
+            "{node}{src}> {pred} {node}{trg}> .",
+            node = self.format.node_prefix,
+            pred = self.format.pred_iris[pred],
         );
         match result {
             Ok(()) => self.written += 1,
@@ -73,49 +195,112 @@ impl<W: Write> EdgeSink for NTriplesWriter<W> {
 }
 
 /// Parses N-Triples produced by [`NTriplesWriter`] back into raw triples,
-/// resolving predicate IRIs against `predicate_names`.
+/// resolving percent-encoded predicate IRIs against `predicate_names`.
 ///
 /// This is a round-trip reader for gMark's own output (full N-Triples
-/// generality — literals, blank nodes — is out of scope).
+/// generality — literals, blank nodes — is out of scope). It is strict
+/// about what it does accept: every line must be exactly
+/// `<s> <p> <o> .` with nothing after the terminating dot, every IRI in
+/// the **file** must share one base (a base mismatch means the file was
+/// not produced by the writer configuration the caller assumed — node ids
+/// from different bases live in different id spaces and must not be
+/// conflated), and malformed lines are rejected with their 1-based line
+/// number and a reason.
 pub fn read_ntriples<R: BufRead>(
     input: R,
     predicate_names: &[String],
 ) -> io::Result<Vec<(NodeId, PredIdx, NodeId)>> {
     let mut triples = Vec::new();
+    let mut file_base: Option<String> = None;
     for (lineno, line) in input.lines().enumerate() {
         let line = line?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let parse = || -> Option<(NodeId, PredIdx, NodeId)> {
-            let mut parts = line.split_whitespace();
-            let subj = parts.next()?;
-            let pred = parts.next()?;
-            let obj = parts.next()?;
-            if parts.next()? != "." {
-                return None;
-            }
-            let node_of = |iri: &str| -> Option<NodeId> {
-                let inner = iri.strip_prefix('<')?.strip_suffix('>')?;
-                inner.rsplit_once("/node/")?.1.parse().ok()
-            };
-            let pred_inner = pred.strip_prefix('<')?.strip_suffix('>')?;
-            let pred_name = pred_inner.rsplit_once("/pred/")?.1;
-            let pred_idx = predicate_names.iter().position(|n| n == pred_name)?;
-            Some((node_of(subj)?, pred_idx, node_of(obj)?))
+        let malformed = |reason: String| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed N-Triples line {}: {reason}: {line}", lineno + 1),
+            )
         };
-        match parse() {
-            Some(t) => triples.push(t),
-            None => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("malformed N-Triples line {}: {line}", lineno + 1),
-                ))
+        let (base, triple) = parse_line(line, predicate_names).map_err(malformed)?;
+        match &file_base {
+            // Own the base once (first line); every later line compares
+            // borrowed slices — no per-line allocation on this path.
+            None => file_base = Some(base.to_owned()),
+            Some(expected) if expected.as_str() != base => {
+                return Err(malformed(format!(
+                    "IRI base {base:?} differs from the file's base {expected:?}"
+                )))
             }
+            Some(_) => {}
         }
+        triples.push(triple);
     }
     Ok(triples)
+}
+
+/// Parses one line, returning its (shared) IRI base — borrowed from
+/// `line`, so the happy path allocates nothing — and the triple.
+fn parse_line<'a>(
+    line: &'a str,
+    predicate_names: &[String],
+) -> Result<(&'a str, (NodeId, PredIdx, NodeId)), String> {
+    let mut parts = line.split_whitespace();
+    let subj = parts.next().ok_or("missing subject")?;
+    let pred = parts.next().ok_or("missing predicate")?;
+    let obj = parts.next().ok_or("missing object")?;
+    match parts.next() {
+        Some(".") => {}
+        Some(other) => return Err(format!("expected terminating '.', found {other:?}")),
+        None => return Err("missing terminating '.'".to_owned()),
+    }
+    if let Some(garbage) = parts.next() {
+        return Err(format!("trailing garbage after '.': {garbage:?}"));
+    }
+
+    fn inner<'b>(iri: &'b str, what: &str) -> Result<&'b str, String> {
+        iri.strip_prefix('<')
+            .and_then(|s| s.strip_suffix('>'))
+            .ok_or_else(|| format!("{what} is not an IRI"))
+    }
+    // Split `<base/node/ID>` into (base, id); `rsplit_once` tolerates
+    // bases that themselves contain `/node/`.
+    fn node_parts<'b>(iri: &'b str, what: &str) -> Result<(&'b str, NodeId), String> {
+        let inner = inner(iri, what)?;
+        let (base, id) = inner
+            .rsplit_once("/node/")
+            .ok_or_else(|| format!("{what} has no /node/ segment"))?;
+        let id = id
+            .parse()
+            .map_err(|_| format!("{what} node id {id:?} is not an integer"))?;
+        Ok((base, id))
+    }
+
+    let (subj_base, src) = node_parts(subj, "subject")?;
+    let (obj_base, trg) = node_parts(obj, "object")?;
+    let pred_inner = inner(pred, "predicate")?;
+    let (pred_base, pred_enc) = pred_inner
+        .rsplit_once("/pred/")
+        .ok_or("predicate has no /pred/ segment")?;
+    // A segment without '%' decodes to itself — compare in place and keep
+    // the happy path for ordinary predicate names allocation-free.
+    let pred_idx = if pred_enc.contains('%') {
+        let pred_name = decode_segment(pred_enc)
+            .ok_or_else(|| format!("undecodable predicate {pred_enc:?}"))?;
+        predicate_names.iter().position(|n| n == &pred_name)
+    } else {
+        predicate_names.iter().position(|n| n == pred_enc)
+    }
+    .ok_or_else(|| format!("unknown predicate {pred_enc:?}"))?;
+    if subj_base != pred_base || subj_base != obj_base {
+        return Err(format!(
+            "inconsistent IRI bases: subject {subj_base:?}, predicate {pred_base:?}, \
+             object {obj_base:?}"
+        ));
+    }
+    Ok((subj_base, (src, pred_idx, trg)))
 }
 
 #[cfg(test)]
@@ -177,6 +362,68 @@ mod tests {
     }
 
     #[test]
+    fn hostile_predicate_names_produce_valid_ascii_iris() {
+        let hostile = vec![
+            "has part".to_owned(),
+            "a>b\"c".to_owned(),
+            "café/µ".to_owned(),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut w = NTriplesWriter::new(&mut buf, hostile.clone());
+            w.edge(0, 0, 1);
+            w.edge(1, 1, 2);
+            w.edge(2, 2, 0);
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf.clone()).unwrap();
+        for line in text.lines() {
+            assert!(line.is_ascii(), "IRIs must be pure ASCII: {line}");
+            // Between the angle brackets nothing an IRIREF forbids survives.
+            for iri in line.split_whitespace().take(3) {
+                let inner = iri
+                    .strip_prefix('<')
+                    .and_then(|s| s.strip_suffix('>'))
+                    .unwrap_or_else(|| panic!("not bracketed: {iri}"));
+                assert!(
+                    !inner.contains(['<', '>', '"', ' ', '{', '}', '|', '^', '`', '\\']),
+                    "illegal IRI char survived: {inner}"
+                );
+            }
+        }
+        assert!(text.contains("has%20part"), "{text}");
+        let back = read_ntriples(buf.as_slice(), &hostile).unwrap();
+        assert_eq!(back, vec![(0, 0, 1), (1, 1, 2), (2, 2, 0)]);
+    }
+
+    #[test]
+    fn hostile_base_is_escaped() {
+        let mut buf = Vec::new();
+        {
+            let mut w = NTriplesWriter::with_base(&mut buf, names(), "http://ex.org/my graphs");
+            w.edge(1, 0, 2);
+            w.finish().unwrap();
+        }
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(
+            text.starts_with("<http://ex.org/my%20graphs/node/1>"),
+            "{text}"
+        );
+        let back = read_ntriples(buf.as_slice(), &names()).unwrap();
+        assert_eq!(back, vec![(1, 0, 2)]);
+    }
+
+    #[test]
+    fn segment_codec_round_trips() {
+        for s in ["plain", "with space", "ü/µ%", "a.b-c_d~e", "100%"] {
+            assert_eq!(decode_segment(&encode_segment(s)).as_deref(), Some(s));
+        }
+        assert_eq!(decode_segment("%2"), None, "truncated escape");
+        assert_eq!(decode_segment("%zz"), None, "non-hex escape");
+        assert_eq!(decode_segment("%FF"), None, "invalid UTF-8");
+    }
+
+    #[test]
     fn reader_skips_comments_and_blanks() {
         let input =
             "# a comment\n\n<http://g/node/1> <http://g/pred/authors> <http://g/node/2> .\n";
@@ -190,5 +437,43 @@ mod tests {
         assert!(read_ntriples(input.as_bytes(), &names()).is_err());
         let unknown_pred = "<http://g/node/1> <http://g/pred/nope> <http://g/node/2> .\n";
         assert!(read_ntriples(unknown_pred.as_bytes(), &names()).is_err());
+    }
+
+    #[test]
+    fn reader_rejects_trailing_garbage_with_line_number() {
+        let input = "<http://g/node/1> <http://g/pred/authors> <http://g/node/2> .\n\
+                     <http://g/node/1> <http://g/pred/authors> <http://g/node/2> . extra\n";
+        let err = read_ntriples(input.as_bytes(), &names()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("trailing garbage"), "{msg}");
+    }
+
+    #[test]
+    fn reader_rejects_inconsistent_bases() {
+        let input = "<http://a/node/1> <http://b/pred/authors> <http://a/node/2> .\n";
+        let err = read_ntriples(input.as_bytes(), &names()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "{msg}");
+        assert!(msg.contains("inconsistent IRI bases"), "{msg}");
+    }
+
+    #[test]
+    fn reader_rejects_mixed_bases_across_lines() {
+        // Two internally-consistent lines with different bases: their node
+        // id spaces are unrelated, so the file must be rejected.
+        let input = "<http://a/node/1> <http://a/pred/authors> <http://a/node/2> .\n\
+                     <http://b/node/1> <http://b/pred/authors> <http://b/node/2> .\n";
+        let err = read_ntriples(input.as_bytes(), &names()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("differs from the file's base"), "{msg}");
+    }
+
+    #[test]
+    fn reader_rejects_non_numeric_node_ids() {
+        let input = "<http://g/node/x> <http://g/pred/authors> <http://g/node/2> .\n";
+        let err = read_ntriples(input.as_bytes(), &names()).unwrap_err();
+        assert!(err.to_string().contains("not an integer"), "{err}");
     }
 }

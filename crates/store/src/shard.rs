@@ -1,0 +1,332 @@
+//! Per-constraint N-Triples shards for the memory-bounded streaming
+//! pipeline.
+//!
+//! The parallel in-memory pipeline ([`crate::GraphBuilder::absorb`])
+//! materializes every edge before serializing, which caps graph size at
+//! available RAM. The streaming pipeline instead gives each schema
+//! constraint its own *shard*: an N-Triples fragment written to a temp
+//! file by whichever worker thread claims that constraint, then
+//! concatenated into the final output.
+//!
+//! # Shard format
+//!
+//! Shard `i` holds exactly the N-Triples lines of constraint `i`, in the
+//! order the generator emitted them, produced by an
+//! [`NTriplesWriter`](crate::NTriplesWriter) with the same predicate
+//! names and base IRI as every other shard. Shards are plain N-Triples —
+//! `cat`-ing them in any order is a valid document — but gMark relies on
+//! a stronger property:
+//!
+//! # Concatenation invariant
+//!
+//! Because every constraint draws from an RNG stream split off the master
+//! seed by *constraint index* (never from a shared sequential stream), the
+//! bytes of shard `i` are a pure function of `(config, seed, i)` —
+//! independent of thread count, scheduling, and the order shards are
+//! written in. Concatenating shards in **ascending constraint order**
+//! therefore reproduces, byte for byte, the file a single-threaded run
+//! streaming straight to disk would have written. [`ShardSet::concat_into`]
+//! implements exactly that order, and `tests/streamed_determinism.rs` pins
+//! the guarantee at 1/2/8 threads.
+
+use crate::ntriples::{NTriplesFormat, NTriplesWriter};
+use crate::sink::EdgeSink;
+use crate::{NodeId, PredIdx};
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A scratch directory holding one N-Triples shard per schema constraint.
+///
+/// The directory is uniquely named (process id + counter), so concurrent
+/// gMark runs can share a scratch parent; it is removed, with everything
+/// in it, when the `ShardSet` is dropped.
+#[derive(Debug)]
+pub struct ShardSet {
+    dir: PathBuf,
+    count: usize,
+}
+
+impl ShardSet {
+    /// Creates a fresh shard directory under `parent` for `count` shards.
+    ///
+    /// `parent` is created if missing. Choosing a parent on the same
+    /// filesystem as the final output keeps the concatenation a plain
+    /// sequential copy (no cross-device surprises).
+    pub fn create(parent: &Path, count: usize) -> io::Result<ShardSet> {
+        static UNIQUIFIER: AtomicU64 = AtomicU64::new(0);
+        fs::create_dir_all(parent).map_err(|e| annotate(e, "creating scratch parent", parent))?;
+        reap_stale_scratch(parent, std::time::Duration::from_secs(3600));
+        loop {
+            let tag = UNIQUIFIER.fetch_add(1, Ordering::Relaxed);
+            let dir = parent.join(format!(".gmark-shards-{}-{tag}", std::process::id()));
+            match fs::create_dir(&dir) {
+                Ok(()) => return Ok(ShardSet { dir, count }),
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(annotate(e, "creating shard dir", &dir)),
+            }
+        }
+    }
+
+    /// Number of shards this set was created for.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Path of shard `shard` (zero-padded so lexicographic = numeric order,
+    /// which keeps the directory debuggable with plain `ls` + `cat`).
+    pub fn path(&self, shard: usize) -> PathBuf {
+        debug_assert!(
+            shard < self.count,
+            "shard {shard} out of range {}",
+            self.count
+        );
+        self.dir.join(format!("shard-{shard:06}.nt"))
+    }
+
+    /// Opens the writer for one shard. Each worker thread opens the shards
+    /// it claims; all writers must share one [`NTriplesFormat`] — the
+    /// predicate alphabet and base of the final document (see the
+    /// concatenation invariant above) — which is also why the format is
+    /// precomputed once rather than re-encoded per shard.
+    pub fn writer(&self, shard: usize, format: Arc<NTriplesFormat>) -> io::Result<ShardWriter> {
+        let path = self.path(shard);
+        let file = File::create(&path).map_err(|e| annotate(e, "creating shard", &path))?;
+        Ok(ShardWriter {
+            inner: NTriplesWriter::with_format(BufWriter::new(file), format),
+        })
+    }
+
+    /// Concatenates all shards into `out` in **ascending shard order**,
+    /// returning the number of bytes copied.
+    ///
+    /// Every shard must have been written (and its writer finished); a
+    /// missing shard file is an error, not an empty segment — it means a
+    /// constraint was never generated.
+    pub fn concat_into<W: Write>(&self, out: &mut W) -> io::Result<u64> {
+        let mut bytes = 0u64;
+        for shard in 0..self.count {
+            let path = self.path(shard);
+            let mut f = File::open(&path).map_err(|e| annotate(e, "opening shard", &path))?;
+            bytes += io::copy(&mut f, out)?;
+        }
+        Ok(bytes)
+    }
+}
+
+impl Drop for ShardSet {
+    fn drop(&mut self) {
+        // Best effort: scratch cleanup must never mask the real error path.
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn annotate(e: io::Error, what: &str, path: &Path) -> io::Error {
+    io::Error::new(e.kind(), format!("{what} {}: {e}", path.display()))
+}
+
+/// Removes `.gmark-shards-<pid>-*` directories left by processes that no
+/// longer exist (Drop never runs on SIGKILL / un-unwound Ctrl-C, and an
+/// interrupted Table 3-scale run can leave many GB behind). A directory
+/// is reaped only when *both* hold:
+///
+/// * its pid is dead per procfs (so reaping only happens where `/proc`
+///   exists, and directories of live local pids are never touched), and
+/// * it has not been modified for `min_idle` (an hour in production;
+///   shard creation bumps the dir mtime, so an active run keeps itself
+///   fresh).
+///
+/// The pid check is namespace-local: a run in a *different* pid namespace
+/// (container) sharing this scratch parent looks dead from here. The age
+/// guard is what protects such runs — only one idle for over an hour can
+/// be misreaped, and sharing one scratch/output directory between
+/// concurrent runs is already unsupported (they would overwrite each
+/// other's `graph.nt`). Best effort by design.
+fn reap_stale_scratch(parent: &Path, min_idle: std::time::Duration) {
+    if !Path::new("/proc/self").exists() {
+        return;
+    }
+    let Ok(entries) = fs::read_dir(parent) else {
+        return;
+    };
+    let own_pid = std::process::id();
+    for entry in entries.filter_map(|e| e.ok()) {
+        let name = entry.file_name();
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix(".gmark-shards-")) else {
+            continue;
+        };
+        let Some(pid) = rest.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
+            continue;
+        };
+        let pid_dead = pid != own_pid && !Path::new(&format!("/proc/{pid}")).exists();
+        let idle_long = min_idle.is_zero()
+            || entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| t.elapsed().ok())
+                .is_some_and(|age| age >= min_idle);
+        if pid_dead && idle_long {
+            let _ = fs::remove_dir_all(entry.path());
+        }
+    }
+}
+
+/// The per-constraint [`EdgeSink`]: an [`NTriplesWriter`] over a buffered
+/// shard file.
+#[derive(Debug)]
+pub struct ShardWriter {
+    inner: NTriplesWriter<BufWriter<File>>,
+}
+
+impl ShardWriter {
+    /// Triples written to this shard so far.
+    pub fn written(&self) -> u64 {
+        self.inner.written()
+    }
+
+    /// Flushes the shard and surfaces any deferred I/O error, returning
+    /// the number of triples written.
+    pub fn finish(self) -> io::Result<u64> {
+        self.inner.finish()
+    }
+}
+
+impl EdgeSink for ShardWriter {
+    #[inline]
+    fn edge(&mut self, src: NodeId, pred: PredIdx, trg: NodeId) {
+        self.inner.edge(src, pred, trg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names() -> Vec<String> {
+        vec!["a".to_owned(), "b".to_owned()]
+    }
+
+    fn format() -> Arc<NTriplesFormat> {
+        Arc::new(NTriplesFormat::new(&names(), "http://g"))
+    }
+
+    #[test]
+    fn concat_is_in_ascending_order_regardless_of_write_order() {
+        let set = ShardSet::create(&std::env::temp_dir(), 3).unwrap();
+        // Write shards out of order, as racing workers would.
+        for shard in [2usize, 0, 1] {
+            let mut w = set.writer(shard, format()).unwrap();
+            w.edge(shard as NodeId, 0, 99);
+            assert_eq!(w.finish().unwrap(), 1);
+        }
+        let mut buf = Vec::new();
+        set.concat_into(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let subjects: Vec<&str> = text
+            .lines()
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        assert_eq!(
+            subjects,
+            vec![
+                "<http://g/node/0>",
+                "<http://g/node/1>",
+                "<http://g/node/2>"
+            ]
+        );
+    }
+
+    #[test]
+    fn concat_matches_single_writer_bytes() {
+        // Sharded output must be byte-identical to one writer emitting the
+        // same edges in shard-major order.
+        let edges: Vec<Vec<(NodeId, PredIdx, NodeId)>> =
+            vec![vec![(0, 0, 1), (2, 1, 3)], vec![], vec![(4, 0, 0)]];
+        let set = ShardSet::create(&std::env::temp_dir(), edges.len()).unwrap();
+        for (shard, es) in edges.iter().enumerate() {
+            let mut w = set.writer(shard, format()).unwrap();
+            for &(s, p, t) in es {
+                w.edge(s, p, t);
+            }
+            w.finish().unwrap();
+        }
+        let mut sharded = Vec::new();
+        let bytes = set.concat_into(&mut sharded).unwrap();
+        assert_eq!(bytes as usize, sharded.len());
+
+        let mut single = Vec::new();
+        let mut w = NTriplesWriter::with_base(&mut single, names(), "http://g");
+        for es in &edges {
+            for &(s, p, t) in es {
+                w.edge(s, p, t);
+            }
+        }
+        w.finish().unwrap();
+        assert_eq!(sharded, single);
+    }
+
+    #[test]
+    fn missing_shard_is_an_error() {
+        let set = ShardSet::create(&std::env::temp_dir(), 2).unwrap();
+        set.writer(0, format()).unwrap().finish().unwrap();
+        // Shard 1 never written.
+        let err = set.concat_into(&mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("shard"), "{err}");
+    }
+
+    #[test]
+    fn drop_removes_scratch_dir() {
+        let dir;
+        {
+            let set = ShardSet::create(&std::env::temp_dir(), 1).unwrap();
+            set.writer(0, format()).unwrap().finish().unwrap();
+            dir = set.path(0).parent().unwrap().to_path_buf();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "scratch dir should be removed on drop");
+    }
+
+    #[test]
+    fn stale_scratch_of_dead_process_is_reaped() {
+        if !Path::new("/proc/self").exists() {
+            return; // liveness check needs procfs
+        }
+        let parent = std::env::temp_dir().join(format!("gmark-reap-test-{}", std::process::id()));
+        fs::create_dir_all(&parent).unwrap();
+        // No pid this high exists (kernel pid_max tops out well below).
+        let stale = parent.join(".gmark-shards-4294967294-0");
+        fs::create_dir_all(&stale).unwrap();
+        fs::write(stale.join("shard-000000.nt"), b"leftover").unwrap();
+        // Freshly modified: the production age guard must spare it even
+        // though its pid is dead (cross-namespace protection)...
+        let _recent_spared = ShardSet::create(&parent, 1).unwrap();
+        assert!(stale.exists(), "hour-fresh dir must survive the age guard");
+        // ...but once past the idle threshold it is reaped.
+        reap_stale_scratch(&parent, std::time::Duration::ZERO);
+        assert!(!stale.exists(), "stale dir of a dead pid must be reaped");
+        drop(_recent_spared);
+        let _ = fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn live_scratch_is_not_reaped() {
+        let parent = std::env::temp_dir().join(format!("gmark-reap-live-{}", std::process::id()));
+        let a = ShardSet::create(&parent, 1).unwrap();
+        a.writer(0, format()).unwrap().finish().unwrap();
+        // A second create in the same parent must leave our (live) dir alone.
+        let _b = ShardSet::create(&parent, 1).unwrap();
+        assert!(a.path(0).exists(), "live scratch dir was reaped");
+        drop(a);
+        let _ = fs::remove_dir_all(&parent);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_collide() {
+        let a = ShardSet::create(&std::env::temp_dir(), 1).unwrap();
+        let b = ShardSet::create(&std::env::temp_dir(), 1).unwrap();
+        assert_ne!(a.path(0), b.path(0));
+    }
+}

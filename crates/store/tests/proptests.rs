@@ -78,6 +78,41 @@ proptest! {
     }
 
     #[test]
+    fn ntriples_round_trip_hostile_predicate_names(
+        raw_names in prop::collection::vec("\\PC{1,8}", 1..5),
+        edges in prop::collection::vec((0u32..50, 0usize..5, 0u32..50), 0..60),
+    ) {
+        // Arbitrary printable unicode — spaces, '>', '%', emoji — suffixed
+        // with the index so names stay distinct (the reader resolves
+        // predicates by name).
+        let names: Vec<String> = raw_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| format!("{n}{i}"))
+            .collect();
+        let mut buf = Vec::new();
+        let written: Vec<(NodeId, usize, NodeId)> = {
+            let mut w = gmark_store::NTriplesWriter::new(&mut buf, names.clone());
+            let mut out = Vec::new();
+            for &(s, p, t) in &edges {
+                let p = p % names.len();
+                w.edge(s, p, t);
+                out.push((s, p, t));
+            }
+            w.finish().unwrap();
+            out
+        };
+        // Hostile names must never leak illegal bytes into the IRIs.
+        let text = std::str::from_utf8(&buf).unwrap();
+        for line in text.lines() {
+            prop_assert!(line.is_ascii(), "non-ASCII line: {}", line);
+            prop_assert_eq!(line.split_whitespace().count(), 4, "line: {}", line);
+        }
+        let back = gmark_store::read_ntriples(buf.as_slice(), &names).unwrap();
+        prop_assert_eq!(back, written);
+    }
+
+    #[test]
     fn ntriples_round_trip_arbitrary_edges(
         n in 1u32..30,
         edges in prop::collection::vec((0u32..30, 0usize..2, 0u32..30), 0..80),

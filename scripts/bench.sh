@@ -7,7 +7,11 @@
 #     exported one JSON object per line via GMARK_BENCH_JSON;
 #   * the `querygen_scale` binary (Section 6.2's 1000-query workload
 #     generation + translation), timed per scenario and appended in the
-#     same format.
+#     same format;
+#   * the `scale_sweep` binary (Table 3-style): streamed generation at
+#     50K -> 5M nodes plus materialized contrast rows, one process per
+#     size so each row's `peak_rss_kb` (VmHWM) is a per-size peak — these
+#     rows pin the memory-bounded streaming claim.
 #
 # Usage: scripts/bench.sh [output.json]   (default: BENCH_gen.json)
 
@@ -32,6 +36,17 @@ end_ns=$(date +%s%N)
 total_ns=$((end_ns - start_ns))
 printf '{"group":"querygen_scale","bench":"all_scenarios_1000q","mean_ns":%d,"min_ns":%d,"iters":1,"throughput_kind":"none","throughput_units":0}\n' \
     "$total_ns" "$total_ns" >> "$out"
+
+echo "== scale sweep (Table 3-style, streamed + materialized contrast) =="
+# One process per size: peak_rss_kb rows are per-size VmHWM peaks.
+for n in 50000 500000 5000000; do
+    GMARK_BENCH_JSON="$out" cargo run --offline --release -p gmark-bench \
+        --bin scale_sweep -- --nodes "$n" --mode streamed --threads 0
+done
+for n in 50000 500000; do
+    GMARK_BENCH_JSON="$out" cargo run --offline --release -p gmark-bench \
+        --bin scale_sweep -- --nodes "$n" --mode materialized --threads 0
+done
 
 echo "== baseline written =="
 wc -l "$out"

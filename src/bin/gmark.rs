@@ -11,10 +11,12 @@
 //! * `report.txt` — generation statistics and consistency-check findings.
 //!
 //! ```sh
-//! gmark --config config.xml --output out/ [--seed N] [--nodes N] [--threads T]
+//! gmark --config config.xml --output out/ [--seed N] [--nodes N] \
+//!       [--threads T] [--stream]
 //! ```
 
 use gmark::config::parse_config;
+use gmark::core::gen::StreamOptions;
 use gmark::prelude::*;
 use gmark::translate::{translate, Syntax};
 use std::fs;
@@ -27,50 +29,71 @@ struct Args {
     output: PathBuf,
     seed: Option<u64>,
     nodes: Option<u64>,
+    /// Worker threads; 0 = auto-detect (`available_parallelism`).
     threads: usize,
+    stream: bool,
 }
+
+const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] \
+[--threads T] [--stream]\n\n\
+  --threads T   worker threads; 0 auto-detects the available parallelism.\n\
+                Default mode: byte-identical across all T > 1 (T = 1 streams\n\
+                raw triples; same edge set, different bytes).\n\
+  --stream      memory-bounded pipeline: stream N-Triples through\n\
+                per-constraint shard files instead of materializing the\n\
+                graph. Byte-identical for every thread count, including 1.\n\
+  --version     print the version and exit.";
 
 fn parse_args() -> Result<Args, String> {
     let mut config = None;
     let mut output = None;
     let mut seed = None;
     let mut nodes = None;
-    let mut threads = 1;
+    let mut threads = 1usize;
+    let mut stream = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
-        let take_value = |i: &mut usize| -> Result<String, String> {
+        // Takes the value following `argv[i]`, naming the flag (not a
+        // positional guess) in the error when the value is missing.
+        let take_value = |i: &mut usize, flag: &str| -> Result<String, String> {
             *i += 1;
             argv.get(*i)
                 .cloned()
-                .ok_or_else(|| format!("missing value after {}", argv[*i - 1]))
+                .ok_or_else(|| format!("missing value after {flag}"))
         };
-        match argv[i].as_str() {
-            "--config" | "-c" => config = Some(PathBuf::from(take_value(&mut i)?)),
-            "--output" | "-o" => output = Some(PathBuf::from(take_value(&mut i)?)),
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--config" | "-c" => config = Some(PathBuf::from(take_value(&mut i, &flag)?)),
+            "--output" | "-o" => output = Some(PathBuf::from(take_value(&mut i, &flag)?)),
             "--seed" => {
-                seed = Some(
-                    take_value(&mut i)?
-                        .parse()
-                        .map_err(|e| format!("--seed: {e}"))?,
-                )
+                let v = take_value(&mut i, &flag)?;
+                seed = Some(v.parse().map_err(|_| {
+                    format!("--seed: expected an unsigned 64-bit integer, got {v:?}")
+                })?)
             }
             "--nodes" | "-n" => {
-                nodes = Some(
-                    take_value(&mut i)?
-                        .parse()
-                        .map_err(|e| format!("--nodes: {e}"))?,
-                )
+                let v = take_value(&mut i, &flag)?;
+                nodes =
+                    Some(v.parse().map_err(|_| {
+                        format!("{flag}: expected a positive node count, got {v:?}")
+                    })?)
             }
             "--threads" => {
-                threads = take_value(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--threads: {e}"))?
+                let v = take_value(&mut i, &flag)?;
+                threads = v.parse().map_err(|_| {
+                    format!(
+                        "--threads: expected a non-negative integer (0 = auto-detect), got {v:?}"
+                    )
+                })?
+            }
+            "--stream" => stream = true,
+            "--version" | "-V" => {
+                println!("gmark {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
             }
             "--help" | "-h" => {
-                println!(
-                    "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] [--threads T]"
-                );
+                println!("{USAGE}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -83,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         seed,
         nodes,
         threads,
+        stream,
     })
 }
 
@@ -108,42 +132,65 @@ fn run() -> Result<(), String> {
     // Consistency check (Section 4) — reported, never fatal.
     let issues = parsed.graph.validate();
 
-    // Graph → N-Triples. Single-threaded runs stream edges straight to the
-    // file (generation order, duplicates kept) without materializing the
-    // graph; `--threads T > 1` runs the parallel pipeline (generation,
-    // deterministic shard merge, and CSR finalization all on worker
-    // threads) and serializes the built graph — sorted and deduplicated,
-    // byte-identical across all T > 1. The two modes therefore emit the
-    // same edge *set* but differ in order and duplicate triples (RDF set
-    // semantics make them equivalent data).
+    // Graph → N-Triples, three pipelines:
+    //
+    // * `--stream` (any thread count): the memory-bounded pipeline —
+    //   constraints fan out over workers into per-constraint N-Triples
+    //   shard files, concatenated in ascending constraint order. Output is
+    //   generation-ordered, keeps duplicate triples, and is byte-identical
+    //   for every thread count including 1.
+    // * no `--stream`, one thread: stream edges straight to the file
+    //   (same bytes as `--stream --threads 1`) without materializing.
+    // * no `--stream`, T > 1 threads: the in-memory parallel pipeline
+    //   (generation, deterministic shard merge, CSR finalization) then
+    //   serializes the built graph — sorted and deduplicated,
+    //   byte-identical across all T > 1. Same edge *set* as the streamed
+    //   file, different order/duplicates (RDF set semantics make them
+    //   equivalent data).
+    let threads = opts.effective_threads();
     let nt_path = args.output.join("graph.nt");
     let file = fs::File::create(&nt_path).map_err(|e| format!("{}: {e}", nt_path.display()))?;
-    let mut writer =
-        gmark::store::NTriplesWriter::new(std::io::BufWriter::new(file), schema.predicate_names());
+    let mut out = std::io::BufWriter::new(file);
     let start = std::time::Instant::now();
-    let report = if args.threads > 1 {
-        let (graph, report) = generate_graph(&parsed.graph, &opts);
-        for pred in 0..graph.predicate_count() {
-            for (src, trg) in graph.edges(pred) {
-                writer.edge(src, pred, trg);
-            }
-        }
-        report
+    let (report, written) = if args.stream {
+        // Shards live next to the output: same filesystem, so the final
+        // concatenation is a sequential same-device copy.
+        let stream_opts = StreamOptions {
+            scratch_dir: args.output.clone(),
+            ..StreamOptions::default()
+        };
+        gmark::core::gen::generate_streamed(&parsed.graph, &opts, &stream_opts, &mut out)
+            .map_err(|e| format!("streaming {}: {e}", nt_path.display()))?
     } else {
-        gmark::core::generate_into(&parsed.graph, &opts, &mut writer)
+        let mut writer = gmark::store::NTriplesWriter::new(&mut out, schema.predicate_names());
+        let report = if threads > 1 {
+            let (graph, report) = generate_graph(&parsed.graph, &opts);
+            for pred in 0..graph.predicate_count() {
+                for (src, trg) in graph.edges(pred) {
+                    writer.edge(src, pred, trg);
+                }
+            }
+            report
+        } else {
+            gmark::core::generate_into(&parsed.graph, &opts, &mut writer)
+        };
+        let written = writer
+            .finish()
+            .map_err(|e| format!("writing {}: {e}", nt_path.display()))?;
+        (report, written)
     };
-    let written = writer
-        .finish()
-        .map_err(|e| format!("writing {}: {e}", nt_path.display()))?;
+    out.flush()
+        .map_err(|e| format!("flushing {}: {e}", nt_path.display()))?;
     let gen_time = start.elapsed();
     println!(
-        "graph: {} nodes requested, {} edges -> {} ({:.3}s, {} thread{})",
+        "graph: {} nodes requested, {} edges -> {} ({:.3}s, {} thread{}{})",
         parsed.graph.n,
         written,
         nt_path.display(),
         gen_time.as_secs_f64(),
-        args.threads.max(1),
-        if args.threads > 1 { "s" } else { "" }
+        threads,
+        if threads > 1 { "s" } else { "" },
+        if args.stream { ", streamed" } else { "" }
     );
 
     // Workload → rule notation + all four syntaxes.

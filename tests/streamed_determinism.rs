@@ -1,0 +1,106 @@
+//! The streaming pipeline's headline guarantee, pinned end to end: the
+//! `gmark` CLI with `--stream` writes a byte-identical `graph.nt` for
+//! `--threads 1`, `2`, and `8` on `examples/configs/bib.xml`, and the
+//! library-level stream equals the single-threaded direct stream.
+//!
+//! (Shard bytes are a pure function of `(config, seed, constraint
+//! index)`; concatenation in ascending constraint order makes scheduling
+//! invisible — see `gmark_store::shard` for the invariant.)
+
+use gmark::prelude::*;
+use gmark_core::gen::{generate_streamed, StreamOptions};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn run_cli(out_dir: &Path, threads: &str) -> Vec<u8> {
+    let status = Command::new(env!("CARGO_BIN_EXE_gmark"))
+        .args([
+            "--config",
+            repo_path("examples/configs/bib.xml").to_str().unwrap(),
+            "--output",
+            out_dir.to_str().unwrap(),
+            "--stream",
+            "--threads",
+            threads,
+            "--seed",
+            "42",
+        ])
+        .status()
+        .expect("spawning the gmark binary");
+    assert!(
+        status.success(),
+        "gmark --stream --threads {threads} failed"
+    );
+    std::fs::read(out_dir.join("graph.nt")).expect("graph.nt written")
+}
+
+#[test]
+fn cli_streamed_graph_is_byte_identical_at_1_2_8_threads() {
+    let scratch = std::env::temp_dir().join(format!("gmark-stream-test-{}", std::process::id()));
+    let baseline = run_cli(&scratch.join("t1"), "1");
+    assert!(!baseline.is_empty(), "streamed graph.nt is empty");
+    for threads in ["2", "8"] {
+        let nt = run_cli(&scratch.join(format!("t{threads}")), threads);
+        assert_eq!(
+            nt, baseline,
+            "graph.nt differs between --threads 1 and --threads {threads}"
+        );
+    }
+    // No shard scratch directories may survive a successful run.
+    for dir in ["t1", "t2", "t8"] {
+        let leftovers: Vec<_> = std::fs::read_dir(scratch.join(dir))
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().starts_with(".gmark-shards"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "{dir}: leftover shard dirs {leftovers:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn library_streamed_bytes_match_across_thread_counts() {
+    let schema = gmark::core::usecases::bib();
+    let config = GraphConfig::new(5_000, schema);
+    let stream = StreamOptions::default();
+    let mut baseline = Vec::new();
+    let opts = |threads| GeneratorOptions {
+        threads,
+        ..GeneratorOptions::with_seed(0xB1B)
+    };
+    let (report, written) = generate_streamed(&config, &opts(1), &stream, &mut baseline).unwrap();
+    assert_eq!(report.total_edges, written);
+    assert!(written > 0);
+    for threads in [2usize, 8] {
+        let mut buf = Vec::new();
+        let (r, w) = generate_streamed(&config, &opts(threads), &stream, &mut buf).unwrap();
+        assert_eq!(buf, baseline, "{threads} threads: streamed bytes differ");
+        assert_eq!(w, written, "{threads} threads: triple count differs");
+        assert_eq!(r.constraints, report.constraints);
+    }
+}
+
+#[test]
+fn streamed_output_parses_back_to_the_same_edge_multiset() {
+    // The streamed file must round-trip through the strict reader and
+    // carry exactly the edges the in-memory pipeline reports.
+    let schema = gmark::core::usecases::bib();
+    let config = GraphConfig::new(2_000, schema.clone());
+    let opts = GeneratorOptions {
+        threads: 4,
+        ..GeneratorOptions::with_seed(7)
+    };
+    let mut buf = Vec::new();
+    let (report, written) =
+        generate_streamed(&config, &opts, &StreamOptions::default(), &mut buf).unwrap();
+    let triples = gmark::store::read_ntriples(buf.as_slice(), &schema.predicate_names()).unwrap();
+    assert_eq!(triples.len() as u64, written);
+    assert_eq!(report.total_edges, written);
+}
