@@ -20,7 +20,7 @@ fn engines(c: &mut Criterion) {
     let schema = usecases::bib();
     let config = GraphConfig::new(2_000, schema.clone());
     let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(5));
-    let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(6));
+    let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(6)).unwrap();
     for class in SelectivityClass::ALL {
         let Some(gq) = workload.of_class(class).next() else {
             continue;
@@ -61,7 +61,8 @@ fn selectivity_machinery(c: &mut Criterion) {
             b.iter(|| black_box(gs.distance_matrix().len()))
         });
         // Whole-query estimation cost.
-        let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(9));
+        let (workload, _) =
+            generate_workload(&schema, &WorkloadConfig::new(3).with_seed(9)).unwrap();
         let est = Estimator::new(&schema);
         group.bench_function(BenchmarkId::new("estimate_alpha", name), |b| {
             b.iter(|| {

@@ -44,7 +44,7 @@ fn query_gen(c: &mut Criterion) {
         let mut cfg = WorkloadConfig::new(100).with_seed(2);
         cfg.recursion_probability = 0.2;
         group.bench_function(BenchmarkId::new("100_queries", name), |b| {
-            b.iter(|| black_box(generate_workload(&schema, &cfg).0.queries.len()))
+            b.iter(|| black_box(generate_workload(&schema, &cfg).unwrap().0.queries.len()))
         });
     }
     group.finish();

@@ -4,25 +4,52 @@
 //! translation of a thousand queries into all four supported syntaxes …
 //! took a mere tenth of a second."
 //!
+//! Runs the parallel workload pipeline end to end per scenario: generation
+//! via [`generate_workload_with_threads`] and translation via the
+//! streaming writer ([`stream_workload`] into byte sinks — the same path
+//! the `gmark` CLI uses). When `GMARK_BENCH_JSON` is set, one row per
+//! scenario is appended (the `scripts/bench.sh` protocol assembling
+//! `BENCH_workload.json`):
+//!
+//! ```text
+//! {"group":"querygen_scale","bench":"bib_1000q_t1","mean_ns":..,
+//!  "throughput_kind":"elements","throughput_units":1000,
+//!  "queries_per_s":..,"peak_rss_kb":..,"threads":1}
+//! ```
+//!
+//! `bench.sh` invokes it once per thread count (1 vs auto), one process
+//! per invocation so `peak_rss_kb` (VmHWM) is a per-run peak.
+//!
 //! ```sh
-//! cargo run -p gmark-bench --release --bin querygen_scale [--seed N]
+//! cargo run -p gmark-bench --release --bin querygen_scale \
+//!     [--seed N] [--threads T]
 //! ```
 
-use gmark_bench::HarnessOptions;
+use gmark_bench::{append_bench_json, peak_rss_kb, HarnessOptions};
 use gmark_core::usecases;
-use gmark_core::workload::{generate_workload, QuerySize, WorkloadConfig};
-use gmark_translate::translate_all;
+use gmark_core::workload::{generate_workload_with_threads, QuerySize, WorkloadConfig};
+use gmark_translate::{stream_workload, WorkloadOutputs, WorkloadStreamOptions};
 use std::time::Instant;
+
+const QUERIES: usize = 1_000;
 
 fn main() {
     let opts = HarnessOptions::from_args();
-    println!("query workload generation + translation, 1000 queries per scenario");
     println!(
-        "{:<8} {:>16} {:>20} {:>14}",
-        "scenario", "generation", "translation (x4)", "texts"
+        "query workload generation + translation, {QUERIES} queries per scenario, \
+         {} thread(s)",
+        if opts.threads == 0 {
+            "auto".to_owned()
+        } else {
+            opts.threads.to_string()
+        }
+    );
+    println!(
+        "{:<8} {:>16} {:>20} {:>12} {:>14}",
+        "scenario", "generation", "translation (x4)", "queries/s", "bytes"
     );
     for (name, schema) in usecases::all() {
-        let mut cfg = WorkloadConfig::new(1_000).with_seed(opts.seed);
+        let mut cfg = WorkloadConfig::new(QUERIES).with_seed(opts.seed);
         cfg.query_size = QuerySize {
             conjuncts: (1, 3),
             disjuncts: (1, 2),
@@ -31,25 +58,65 @@ fn main() {
         cfg.recursion_probability = 0.2;
 
         let start = Instant::now();
-        let (workload, report) = generate_workload(&schema, &cfg);
+        let (workload, report) = generate_workload_with_threads(&schema, &cfg, opts.threads)
+            .unwrap_or_else(|e| {
+                eprintln!("querygen_scale: {name}: {e}");
+                std::process::exit(1);
+            });
         let gen_time = start.elapsed();
+        drop(workload);
 
+        // Translation through the streaming writer (generation included in
+        // the wall time; the pipeline is one pass).
+        let mut outs = WorkloadOutputs {
+            rules: std::io::sink(),
+            sparql: std::io::sink(),
+            cypher: std::io::sink(),
+            sql: std::io::sink(),
+            datalog: std::io::sink(),
+        };
+        let stream_opts = WorkloadStreamOptions {
+            threads: opts.threads,
+            ..Default::default()
+        };
         let start = Instant::now();
-        let mut texts = 0usize;
-        for gq in &workload.queries {
-            texts += translate_all(&gq.query, &schema).len();
-        }
-        let translate_time = start.elapsed();
+        let summary = stream_workload(&schema, &cfg, &stream_opts, &mut outs).unwrap_or_else(|e| {
+            eprintln!("querygen_scale: {name}: {e}");
+            std::process::exit(1);
+        });
+        let pipeline_time = start.elapsed();
+        let translate_time = pipeline_time.saturating_sub(gen_time);
+        let bytes: u64 = summary.bytes.iter().sum();
+        let qps = QUERIES as f64 / pipeline_time.as_secs_f64().max(1e-9);
 
         println!(
-            "{:<8} {:>14.3}s {:>18.3}s {:>14}   (relaxations: {}, unmet targets: {})",
+            "{:<8} {:>14.3}s {:>18.3}s {:>12.0} {:>14}   (relaxations: {}, unmet targets: {}, \
+             cypher degradations: {}+{})",
             name,
             gen_time.as_secs_f64(),
             translate_time.as_secs_f64(),
-            texts,
+            qps,
+            bytes,
             report.relaxations,
             report.unsatisfied_selectivity,
+            report.cypher.star_concat,
+            report.cypher.star_inverse,
         );
+
+        // peak_rss_kb is omitted — not faked as 0 — where procfs is absent.
+        let rss_field = peak_rss_kb().map_or(String::new(), |kb| format!(",\"peak_rss_kb\":{kb}"));
+        let ns = pipeline_time.as_nanos();
+        let row = format!(
+            "{{\"group\":\"querygen_scale\",\"bench\":\"{name}_{QUERIES}q_t{t}\",\
+             \"mean_ns\":{ns},\"min_ns\":{ns},\"iters\":1,\"throughput_kind\":\"elements\",\
+             \"throughput_units\":{QUERIES},\"queries_per_s\":{qps:.0}{rss_field},\
+             \"threads\":{t}}}",
+            t = opts.threads,
+        );
+        if let Err(e) = append_bench_json(&row) {
+            eprintln!("querygen_scale: exporting row: {e}");
+            std::process::exit(1);
+        }
     }
     println!(
         "\npaper reference: ~1 s generation for Bib/LSN/SP, ~10 s for WD \

@@ -105,7 +105,9 @@ impl WorkloadKind {
 
     /// Generates the family's workload for a schema.
     pub fn workload(self, schema: &Schema, seed: u64) -> Workload {
-        generate_workload(schema, &self.config(seed)).0
+        generate_workload(schema, &self.config(seed))
+            .expect("experiment workloads generate")
+            .0
     }
 }
 

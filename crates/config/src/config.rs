@@ -450,7 +450,8 @@ mod tests {
         // Proportions sum to 0.9 plus 100 fixed city nodes: 4600 realized.
         assert_eq!(graph.node_count(), 4_600);
         assert!(report.total_edges > 0);
-        let (w, _) = gmark_core::generate_workload(&cfg.graph.schema, &cfg.workload.unwrap());
+        let (w, _) =
+            gmark_core::generate_workload(&cfg.graph.schema, &cfg.workload.unwrap()).unwrap();
         assert_eq!(w.queries.len(), 30);
     }
 

@@ -40,4 +40,7 @@ pub use schema::{
     TypeId,
 };
 pub use selectivity::{Card, SelOp, SelTriple, SelectivityClass};
-pub use workload::{generate_workload, QuerySize, Shape, Workload, WorkloadConfig, WorkloadReport};
+pub use workload::{
+    cypher_degradations, generate_workload, generate_workload_with_threads, CypherDegradations,
+    QuerySize, Shape, Workload, WorkloadConfig, WorkloadContext, WorkloadError, WorkloadReport,
+};

@@ -469,7 +469,7 @@ mod tests {
     fn workloads_generate_for_each_usecase() {
         for (name, schema) in all() {
             let cfg = WorkloadConfig::new(12).with_seed(7);
-            let (w, report) = generate_workload(&schema, &cfg);
+            let (w, report) = generate_workload(&schema, &cfg).expect("workload generates");
             assert_eq!(w.queries.len(), 12, "{name}");
             assert_eq!(
                 report.unsatisfied_selectivity, 0,

@@ -20,8 +20,23 @@
 //! the paper prescribes. When a required length is infeasible the generator
 //! *relaxes the path length* rather than backtracking (Section 5.2.4, final
 //! paragraph).
+//!
+//! # Parallel pipeline
+//!
+//! Workload generation mirrors the graph pipeline's architecture
+//! ([`crate::gen::generate_graph`]): the shared selectivity context —
+//! schema graph `G_S`, type graph, and the per-(relaxation, class)
+//! `G_sel`/`ChainSampler` tables — is built **once** as an immutable
+//! [`WorkloadContext`] snapshot; worker threads then claim query indices
+//! from a shared counter and draw from per-query RNG streams split off the
+//! master seed by query index ([`gmark_stats::Prng::split2`], domain-
+//! separated from the graph generator's constraint streams). Query `i` is
+//! therefore a pure function of `(schema, config, i)`, so the assembled
+//! [`Workload`] and [`WorkloadReport`] are bit-identical at every thread
+//! count — `generate_workload_with_threads(.., 1)`, `2`, and `8` agree
+//! exactly, and `tests/workload_determinism.rs` pins the guarantee.
 
-use crate::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Var};
+use crate::query::{Conjunct, PathExpr, Query, QueryError, RegularExpr, Rule, Var};
 use crate::schema::{Schema, TypeId};
 use crate::selectivity::graph::{ChainSampler, GsNodeId, SchemaGraph, SelectivityGraph, TypeGraph};
 use crate::selectivity::{Estimator, SelectivityClass};
@@ -147,12 +162,88 @@ pub struct GeneratedQuery {
     pub query: Query,
     /// The skeleton shape used.
     pub shape: Shape,
-    /// The selectivity class this query was generated to satisfy, if any.
+    /// The selectivity class requested for this query slot (round-robin
+    /// over [`WorkloadConfig::selectivities`]), if any.
+    pub requested: Option<SelectivityClass>,
+    /// The selectivity class the query actually satisfies, if any. `None`
+    /// with `requested = Some(..)` means the target had to be abandoned.
     pub target: Option<SelectivityClass>,
     /// The estimator's α̂ for the generated query (binary chains only).
     pub estimated_alpha: Option<u8>,
     /// Number of relaxation steps applied during instantiation.
     pub relaxations: u32,
+}
+
+/// An error raised while constructing one workload query, tagged with the
+/// failing query index so callers (the CLI in particular) can point at the
+/// exact slot. In a parallel run the **lowest** failing index is reported,
+/// independent of scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadError {
+    /// Index of the query that failed (0-based generation order).
+    pub index: usize,
+    /// The underlying query-construction failure.
+    pub source: QueryError,
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query {}: {}", self.index, self.source)
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// How often a query would be *degraded* by the openCypher translator
+/// (Section 7.1): openCypher's variable-length patterns support neither
+/// concatenation nor inverse traversal under a Kleene star, so the
+/// translator keeps the first usable symbol. These counters make the loss
+/// visible as data (the translator additionally marks each occurrence with
+/// a `// LOSSY:` comment).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CypherDegradations {
+    /// Starred disjunct paths of length > 1 (concatenation under `*`
+    /// reduced to a single symbol).
+    pub star_concat: u64,
+    /// Starred disjunct paths containing an inverse symbol (inversion
+    /// dropped under `*`).
+    pub star_inverse: u64,
+}
+
+impl CypherDegradations {
+    /// Whether any degradation would occur.
+    pub fn any(&self) -> bool {
+        self.star_concat > 0 || self.star_inverse > 0
+    }
+}
+
+/// Counts the openCypher degradations of Section 7.1 for one query: one
+/// `star_concat` per starred disjunct path longer than one symbol, one
+/// `star_inverse` per starred disjunct path containing an inverse symbol.
+/// These conditions mirror `gmark_translate::cypher` exactly (a test there
+/// pins the agreement against the emitted `// LOSSY:` notes).
+pub fn cypher_degradations(query: &Query) -> CypherDegradations {
+    let mut d = CypherDegradations::default();
+    for rule in &query.rules {
+        for c in &rule.body {
+            if !c.expr.starred {
+                continue;
+            }
+            for p in &c.expr.disjuncts {
+                if p.len() > 1 {
+                    d.star_concat += 1;
+                }
+                if p.0.iter().any(|s| s.inverse) {
+                    d.star_inverse += 1;
+                }
+            }
+        }
+    }
+    d
 }
 
 /// A generated workload.
@@ -175,20 +266,7 @@ impl Workload {
     pub fn diversity(&self) -> DiversitySummary {
         let mut s = DiversitySummary::default();
         for gq in &self.queries {
-            s.total += 1;
-            *s.by_shape.entry(gq.shape).or_insert(0) += 1;
-            if let Some(t) = gq.target {
-                *s.by_class.entry(t).or_insert(0) += 1;
-            }
-            *s.by_arity.entry(gq.query.arity()).or_insert(0) += 1;
-            if gq.query.is_recursive() {
-                s.recursive += 1;
-            }
-            let (rules, conjuncts, disjuncts, length) = gq.query.size();
-            s.max_rules = s.max_rules.max(rules);
-            s.max_conjuncts = s.max_conjuncts.max(conjuncts);
-            s.max_disjuncts = s.max_disjuncts.max(disjuncts);
-            s.max_path_length = s.max_path_length.max(length);
+            s.add(gq);
         }
         s
     }
@@ -215,6 +293,48 @@ pub struct DiversitySummary {
     pub max_disjuncts: usize,
     /// Longest disjunct path.
     pub max_path_length: usize,
+}
+
+impl DiversitySummary {
+    /// Folds one query into the summary (streaming counterpart of
+    /// [`Workload::diversity`]).
+    pub fn add(&mut self, gq: &GeneratedQuery) {
+        self.total += 1;
+        *self.by_shape.entry(gq.shape).or_insert(0) += 1;
+        if let Some(t) = gq.target {
+            *self.by_class.entry(t).or_insert(0) += 1;
+        }
+        *self.by_arity.entry(gq.query.arity()).or_insert(0) += 1;
+        if gq.query.is_recursive() {
+            self.recursive += 1;
+        }
+        let (rules, conjuncts, disjuncts, length) = gq.query.size();
+        self.max_rules = self.max_rules.max(rules);
+        self.max_conjuncts = self.max_conjuncts.max(conjuncts);
+        self.max_disjuncts = self.max_disjuncts.max(disjuncts);
+        self.max_path_length = self.max_path_length.max(length);
+    }
+
+    /// Merges another summary in. Counts add and maxima combine, so merging
+    /// per-worker partial summaries yields the same result in any grouping —
+    /// what keeps the parallel streaming pipeline's summary deterministic.
+    pub fn merge(&mut self, other: &DiversitySummary) {
+        self.total += other.total;
+        for (&k, &v) in &other.by_shape {
+            *self.by_shape.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.by_class {
+            *self.by_class.entry(k).or_insert(0) += v;
+        }
+        for (&k, &v) in &other.by_arity {
+            *self.by_arity.entry(k).or_insert(0) += v;
+        }
+        self.recursive += other.recursive;
+        self.max_rules = self.max_rules.max(other.max_rules);
+        self.max_conjuncts = self.max_conjuncts.max(other.max_conjuncts);
+        self.max_disjuncts = self.max_disjuncts.max(other.max_disjuncts);
+        self.max_path_length = self.max_path_length.max(other.max_path_length);
+    }
 }
 
 impl std::fmt::Display for DiversitySummary {
@@ -244,7 +364,7 @@ impl std::fmt::Display for DiversitySummary {
 }
 
 /// Summary of a workload generation run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WorkloadReport {
     /// Queries produced.
     pub produced: usize,
@@ -253,30 +373,90 @@ pub struct WorkloadReport {
     pub unsatisfied_selectivity: usize,
     /// Total relaxation steps applied across the workload.
     pub relaxations: u32,
+    /// openCypher degradations (Section 7.1) summed over the workload.
+    pub cypher: CypherDegradations,
+}
+
+impl WorkloadReport {
+    /// Folds one generated query into the report. Every counter is derived
+    /// from the query itself (the requested-vs-satisfied target and the
+    /// structural cypher degradations), so folding in any order — or
+    /// merging per-worker partial reports — produces identical totals.
+    pub fn absorb(&mut self, gq: &GeneratedQuery) {
+        self.produced += 1;
+        if gq.requested.is_some() && gq.target.is_none() {
+            self.unsatisfied_selectivity += 1;
+        }
+        self.relaxations += gq.relaxations;
+        let d = cypher_degradations(&gq.query);
+        self.cypher.star_concat += d.star_concat;
+        self.cypher.star_inverse += d.star_inverse;
+    }
+
+    /// Merges another report in (see [`WorkloadReport::absorb`]).
+    pub fn merge(&mut self, other: &WorkloadReport) {
+        self.produced += other.produced;
+        self.unsatisfied_selectivity += other.unsatisfied_selectivity;
+        self.relaxations += other.relaxations;
+        self.cypher.star_concat += other.cypher.star_concat;
+        self.cypher.star_inverse += other.cypher.star_inverse;
+    }
 }
 
 /// Maximum extra widening of `[l_min, l_max]` when relaxing (Section 5.2.4:
 /// "we choose to relax the path length").
 const MAX_RELAX: usize = 4;
 
-/// Generates a query workload from a schema (Fig. 6).
-pub fn generate_workload(schema: &Schema, config: &WorkloadConfig) -> (Workload, WorkloadReport) {
-    let mut gen = WorkloadGenerator::new(schema, config);
-    gen.run()
+/// RNG domain tag separating workload query streams from the graph
+/// generator's constraint streams (see [`gmark_stats::Prng::split2`]):
+/// with a shared `--seed`, query `i` and constraint `i` must not read the
+/// same child stream.
+const RNG_DOMAIN_WORKLOAD: u64 = 0x574B_4C44; // "WKLD"
+
+/// Generates a query workload from a schema (Fig. 6), single-threaded.
+///
+/// Equivalent to [`generate_workload_with_threads`] with one thread (any
+/// thread count produces bit-identical output; this entry point just skips
+/// the worker machinery).
+pub fn generate_workload(
+    schema: &Schema,
+    config: &WorkloadConfig,
+) -> Result<(Workload, WorkloadReport), WorkloadError> {
+    WorkloadContext::new(schema, config).generate_all(1)
 }
 
-struct WorkloadGenerator<'a> {
+/// Generates a query workload on `threads` worker threads (Fig. 6, the
+/// parallel pipeline of the module docs). `0` auto-detects via
+/// [`std::thread::available_parallelism`]. Output is **bit-identical for
+/// every thread count**: each query draws from an RNG stream split off the
+/// master seed by query index, and results are assembled in ascending
+/// index order.
+pub fn generate_workload_with_threads(
+    schema: &Schema,
+    config: &WorkloadConfig,
+    threads: usize,
+) -> Result<(Workload, WorkloadReport), WorkloadError> {
+    WorkloadContext::new(schema, config).generate_all(threads)
+}
+
+/// The immutable shared snapshot of the workload pipeline: schema graph
+/// `G_S`, type graph, and the `G_sel`/`ChainSampler` tables per
+/// (relaxation level, selectivity class) — built once, then read
+/// concurrently by worker threads ([`WorkloadContext::generate`] takes
+/// `&self`).
+pub struct WorkloadContext<'a> {
     schema: &'a Schema,
     config: &'a WorkloadConfig,
+    master: Prng,
     gs: SchemaGraph,
     type_graph: TypeGraph,
     /// `G_sel` + `ChainSampler` per (relaxation level, selectivity class).
     samplers: Vec<Vec<(SelectivityGraph, ChainSampler)>>,
-    report: WorkloadReport,
 }
 
-impl<'a> WorkloadGenerator<'a> {
-    fn new(schema: &'a Schema, config: &'a WorkloadConfig) -> Self {
+impl<'a> WorkloadContext<'a> {
+    /// Builds the shared selectivity context for `(schema, config)`.
+    pub fn new(schema: &'a Schema, config: &'a WorkloadConfig) -> Self {
         let gs = SchemaGraph::build(schema);
         let type_graph = TypeGraph::build(schema);
         let (lmin, lmax) = config.query_size.length;
@@ -299,44 +479,117 @@ impl<'a> WorkloadGenerator<'a> {
                 samplers.push(per_class);
             }
         }
-        WorkloadGenerator {
+        WorkloadContext {
             schema,
             config,
+            master: Prng::seed_from_u64(config.seed),
             gs,
             type_graph,
             samplers,
-            report: WorkloadReport::default(),
         }
     }
 
-    fn run(&mut self) -> (Workload, WorkloadReport) {
-        let master = Prng::seed_from_u64(self.config.seed);
-        let mut queries = Vec::with_capacity(self.config.size);
-        for i in 0..self.config.size {
-            let mut rng = master.split(i as u64);
-            // Round-robin over classes/shapes/arities yields the balanced
-            // workloads the experiments need (e.g. 10/10/10 in Section 6.2).
-            let target = if self.config.selectivities.is_empty() {
-                None
-            } else {
-                Some(self.config.selectivities[i % self.config.selectivities.len()])
-            };
-            let shape = self.config.shapes[i % self.config.shapes.len()];
-            let arity = self.config.arity[i % self.config.arity.len()];
-            let q = self.generate_query(&mut rng, shape, arity, target);
-            self.report.produced += 1;
-            queries.push(q);
+    /// The selectivity class requested for query slot `i` (round-robin over
+    /// the configuration's classes, which yields the balanced workloads the
+    /// experiments need — e.g. 10/10/10 in Section 6.2).
+    pub fn requested_target(&self, i: usize) -> Option<SelectivityClass> {
+        if self.config.selectivities.is_empty() {
+            None
+        } else {
+            Some(self.config.selectivities[i % self.config.selectivities.len()])
         }
-        (Workload { queries }, self.report.clone())
+    }
+
+    /// Generates query `i` — a pure function of `(schema, config, i)`:
+    /// the RNG stream is split off the master seed by query index, so the
+    /// result is independent of which thread runs the call and in what
+    /// order.
+    pub fn generate(&self, i: usize) -> Result<GeneratedQuery, WorkloadError> {
+        let mut rng = self.master.split2(RNG_DOMAIN_WORKLOAD, i as u64);
+        let target = self.requested_target(i);
+        let shape = self.config.shapes[i % self.config.shapes.len()];
+        let arity = self.config.arity[i % self.config.arity.len()];
+        self.generate_query(&mut rng, shape, arity, target)
+            .map_err(|source| WorkloadError { index: i, source })
+    }
+
+    /// Resolves a thread-count knob (`0` = auto-detect) against the
+    /// workload size: never more workers than queries, never fewer than 1.
+    /// The single authority for this policy — the streaming pipeline in
+    /// `gmark-translate` resolves its worker count through here too.
+    pub fn effective_threads(&self, threads: usize) -> usize {
+        let t = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        };
+        t.clamp(1, self.config.size.max(1))
+    }
+
+    /// Generates the whole workload on `threads` workers (see
+    /// [`generate_workload_with_threads`]).
+    pub fn generate_all(
+        &self,
+        threads: usize,
+    ) -> Result<(Workload, WorkloadReport), WorkloadError> {
+        let size = self.config.size;
+        let threads = self.effective_threads(threads);
+        let mut queries: Vec<GeneratedQuery> = Vec::with_capacity(size);
+        if threads <= 1 {
+            for i in 0..size {
+                queries.push(self.generate(i)?);
+            }
+        } else {
+            // Workers claim query indices from a shared counter (dynamic
+            // load balance: per-query cost varies with relaxation retries)
+            // and results are re-assembled in ascending index order, which
+            // also makes the reported error — the lowest failing index —
+            // independent of scheduling.
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let mut batches: Vec<(usize, Result<GeneratedQuery, WorkloadError>)> =
+                std::thread::scope(|scope| {
+                    let next = &next;
+                    let handles: Vec<_> = (0..threads)
+                        .map(|_| {
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                loop {
+                                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    if i >= size {
+                                        break;
+                                    }
+                                    out.push((i, self.generate(i)));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("workload worker panicked"))
+                        .collect()
+                });
+            batches.sort_by_key(|(i, _)| *i);
+            for (_, result) in batches {
+                queries.push(result?);
+            }
+        }
+        let mut report = WorkloadReport::default();
+        for gq in &queries {
+            report.absorb(gq);
+        }
+        Ok((Workload { queries }, report))
     }
 
     fn generate_query(
-        &mut self,
+        &self,
         rng: &mut Prng,
         shape: Shape,
         arity: usize,
         target: Option<SelectivityClass>,
-    ) -> GeneratedQuery {
+    ) -> Result<GeneratedQuery, QueryError> {
         let n_rules = rng.range_inclusive(
             self.config.rules.0.max(1) as u64,
             self.config.rules.1.max(1) as u64,
@@ -352,25 +605,22 @@ impl<'a> WorkloadGenerator<'a> {
             }
             rules.push(rule);
         }
-        if satisfied_target.is_none() && target.is_some() {
-            self.report.unsatisfied_selectivity += 1;
-        }
-        self.report.relaxations += relaxations;
-        let query = Query::new(rules).expect("generated rules are well-formed");
+        let query = Query::new(rules)?;
         let estimated_alpha = Estimator::new(self.schema).alpha(&query);
-        GeneratedQuery {
+        Ok(GeneratedQuery {
             query,
             shape,
+            requested: target,
             target: satisfied_target,
             estimated_alpha,
             relaxations,
-        }
+        })
     }
 
     /// Generates one rule; returns `(rule, relaxation steps, selectivity
     /// target honored?)`.
     fn generate_rule(
-        &mut self,
+        &self,
         rng: &mut Prng,
         shape: Shape,
         arity: usize,
@@ -405,7 +655,7 @@ impl<'a> WorkloadGenerator<'a> {
     /// Section 5.2.4: type the spine with a `G_sel` walk, instantiate each
     /// spine conjunct with `G_S` paths, branches with type-graph walks.
     fn instantiate_with_selectivity(
-        &mut self,
+        &self,
         rng: &mut Prng,
         skeleton: &Skeleton,
         starred: &[bool],
@@ -1016,8 +1266,8 @@ mod tests {
     fn workload_is_deterministic() {
         let schema = test_schema();
         let cfg = WorkloadConfig::new(12).with_seed(99);
-        let (w1, _) = generate_workload(&schema, &cfg);
-        let (w2, _) = generate_workload(&schema, &cfg);
+        let (w1, _) = generate_workload(&schema, &cfg).unwrap();
+        let (w2, _) = generate_workload(&schema, &cfg).unwrap();
         assert_eq!(w1.queries.len(), 12);
         for (a, b) in w1.queries.iter().zip(&w2.queries) {
             assert_eq!(a.query, b.query);
@@ -1028,7 +1278,7 @@ mod tests {
     fn workload_balances_selectivity_classes() {
         let schema = test_schema();
         let cfg = WorkloadConfig::new(30).with_seed(1);
-        let (w, report) = generate_workload(&schema, &cfg);
+        let (w, report) = generate_workload(&schema, &cfg).unwrap();
         assert_eq!(report.produced, 30);
         let constant = w.of_class(SelectivityClass::Constant).count();
         let linear = w.of_class(SelectivityClass::Linear).count();
@@ -1046,7 +1296,7 @@ mod tests {
     fn generated_alpha_matches_target() {
         let schema = test_schema();
         let cfg = WorkloadConfig::new(30).with_seed(3);
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         for gq in &w.queries {
             if let (Some(target), Some(alpha)) = (gq.target, gq.estimated_alpha) {
                 assert_eq!(
@@ -1068,7 +1318,7 @@ mod tests {
             disjuncts: (1, 2),
             length: (1, 2),
         };
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         for gq in &w.queries {
             let (_, conjuncts, disjuncts, length) = gq.query.size();
             assert!((2..=3).contains(&conjuncts), "conjuncts {conjuncts}");
@@ -1084,7 +1334,7 @@ mod tests {
         let mut cfg = WorkloadConfig::new(10).with_seed(5);
         cfg.recursion_probability = 1.0;
         cfg.selectivities = vec![SelectivityClass::Linear];
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         for gq in &w.queries {
             assert!(gq.query.is_recursive(), "{}", gq.query.display(&schema));
         }
@@ -1094,7 +1344,7 @@ mod tests {
     fn recursion_probability_zero_stars_nothing() {
         let schema = test_schema();
         let cfg = WorkloadConfig::new(10).with_seed(6);
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         assert!(w.queries.iter().all(|gq| !gq.query.is_recursive()));
     }
 
@@ -1105,7 +1355,7 @@ mod tests {
         cfg.arity = vec![0, 1, 3];
         cfg.selectivities = Vec::new(); // arity != 2: no selectivity control
         cfg.query_size.conjuncts = (3, 3);
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         let arities: Vec<usize> = w.queries.iter().map(|g| g.query.arity()).collect();
         assert!(arities.contains(&0));
         assert!(arities.contains(&1));
@@ -1118,7 +1368,7 @@ mod tests {
         let mut cfg = WorkloadConfig::new(16).with_seed(8);
         cfg.shapes = Shape::ALL.to_vec();
         cfg.query_size.conjuncts = (3, 4);
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         assert_eq!(w.queries.len(), 16);
         let mut seen = std::collections::HashSet::new();
         for gq in &w.queries {
@@ -1135,7 +1385,7 @@ mod tests {
         let mut cfg = WorkloadConfig::new(12).with_seed(20);
         cfg.shapes = vec![Shape::Chain, Shape::Star];
         cfg.recursion_probability = 0.4;
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         let d = w.diversity();
         assert_eq!(d.total, 12);
         assert_eq!(d.by_shape.values().sum::<usize>(), 12);
@@ -1153,7 +1403,7 @@ mod tests {
         let schema = test_schema();
         let mut cfg = WorkloadConfig::new(6).with_seed(9);
         cfg.rules = (2, 3);
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         for gq in &w.queries {
             assert!(gq.query.rules.len() >= 2);
             assert!(gq.query.rules.len() <= 3);
@@ -1164,7 +1414,7 @@ mod tests {
     fn symbols_reference_real_predicates() {
         let schema = test_schema();
         let cfg = WorkloadConfig::new(20).with_seed(10);
-        let (w, _) = generate_workload(&schema, &cfg);
+        let (w, _) = generate_workload(&schema, &cfg).unwrap();
         for gq in &w.queries {
             for rule in &gq.query.rules {
                 for c in &rule.body {

@@ -165,7 +165,7 @@ proptest! {
         cfg.recursion_probability = pr;
         cfg.shapes = vec![Shape::ALL[shape_idx]];
         cfg.query_size = QuerySize { conjuncts: (1, 3), disjuncts: (1, 2), length: (1, 3) };
-        let (workload, _) = generate_workload(&schema, &cfg);
+        let (workload, _) = generate_workload(&schema, &cfg).expect("workload generates");
         prop_assert_eq!(workload.queries.len(), 6);
         for gq in &workload.queries {
             for rule in &gq.query.rules {
@@ -180,9 +180,39 @@ proptest! {
     }
 
     #[test]
+    fn workload_is_thread_count_invariant(
+        schema in arb_schema(),
+        seed in any::<u64>(),
+        size in 1usize..12,
+        pr in 0.0f64..1.0,
+        threads in 2usize..6,
+    ) {
+        // Same (config, seed) ⇒ identical Workload and WorkloadReport at
+        // every thread count: query i is a pure function of
+        // (schema, config, i), independent of scheduling.
+        let mut cfg = WorkloadConfig::new(size).with_seed(seed);
+        cfg.recursion_probability = pr;
+        cfg.shapes = Shape::ALL.to_vec();
+        let (seq, seq_report) = gmark_core::workload::generate_workload_with_threads(
+            &schema, &cfg, 1,
+        ).expect("workload generates");
+        let (par, par_report) = gmark_core::workload::generate_workload_with_threads(
+            &schema, &cfg, threads,
+        ).expect("workload generates");
+        prop_assert_eq!(seq_report, par_report);
+        prop_assert_eq!(seq.queries.len(), par.queries.len());
+        for (a, b) in seq.queries.iter().zip(&par.queries) {
+            prop_assert_eq!(&a.query, &b.query);
+            prop_assert_eq!(a.shape, b.shape);
+            prop_assert_eq!(a.target, b.target);
+            prop_assert_eq!(a.relaxations, b.relaxations);
+        }
+    }
+
+    #[test]
     fn estimated_alpha_matches_declared_target(schema in arb_schema(), seed in any::<u64>()) {
         let cfg = WorkloadConfig::new(6).with_seed(seed);
-        let (workload, _) = generate_workload(&schema, &cfg);
+        let (workload, _) = generate_workload(&schema, &cfg).expect("workload generates");
         let est = gmark_core::selectivity::Estimator::new(&schema);
         for gq in &workload.queries {
             // The generator statically verifies non-recursive chains (and

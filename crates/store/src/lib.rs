@@ -29,7 +29,7 @@ pub mod sink;
 
 pub use graph::{Csr, Graph, GraphBuilder, TypePartition};
 pub use ntriples::{read_ntriples, NTriplesFormat, NTriplesWriter};
-pub use shard::{ShardSet, ShardWriter};
+pub use shard::{ShardSet, ShardWriter, TextShardWriter};
 pub use sink::{CountingSink, EdgeSink, ForwardingSink, VecSink};
 
 /// Node identifier. `u32` bounds graphs at ~4.29 B nodes, comfortably above

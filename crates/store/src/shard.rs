@@ -99,6 +99,22 @@ impl ShardSet {
         })
     }
 
+    /// Opens a plain-text writer for one shard — the generic counterpart
+    /// of [`ShardSet::writer`] used by the query-workload pipeline, where
+    /// each shard holds one query's rendered text (rule notation or one of
+    /// the four concrete syntaxes) rather than N-Triples. The same
+    /// concatenation invariant applies: as long as shard `i`'s text is a
+    /// pure function of the inputs and `i`, [`ShardSet::concat_into`]
+    /// reproduces the single-threaded document byte for byte.
+    pub fn text_writer(&self, shard: usize) -> io::Result<TextShardWriter> {
+        let path = self.path(shard);
+        let file = File::create(&path).map_err(|e| annotate(e, "creating shard", &path))?;
+        Ok(TextShardWriter {
+            inner: BufWriter::new(file),
+            bytes: 0,
+        })
+    }
+
     /// Concatenates all shards into `out` in **ascending shard order**,
     /// returning the number of bytes copied.
     ///
@@ -201,6 +217,29 @@ impl EdgeSink for ShardWriter {
     }
 }
 
+/// A buffered plain-text shard (see [`ShardSet::text_writer`]).
+#[derive(Debug)]
+pub struct TextShardWriter {
+    inner: BufWriter<File>,
+    bytes: u64,
+}
+
+impl TextShardWriter {
+    /// Appends `text` to the shard.
+    pub fn write_str(&mut self, text: &str) -> io::Result<()> {
+        self.inner.write_all(text.as_bytes())?;
+        self.bytes += text.len() as u64;
+        Ok(())
+    }
+
+    /// Flushes the shard and surfaces any deferred I/O error, returning
+    /// the number of bytes written.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.inner.flush()?;
+        Ok(self.bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +305,24 @@ mod tests {
         }
         w.finish().unwrap();
         assert_eq!(sharded, single);
+    }
+
+    #[test]
+    fn text_shards_concat_in_ascending_order() {
+        let set = ShardSet::create(&std::env::temp_dir(), 3).unwrap();
+        // Written out of order, as racing workers would.
+        for shard in [1usize, 2, 0] {
+            let mut w = set.text_writer(shard).unwrap();
+            w.write_str(&format!("query {shard}\n")).unwrap();
+            assert_eq!(w.finish().unwrap(), format!("query {shard}\n").len() as u64);
+        }
+        let mut buf = Vec::new();
+        let bytes = set.concat_into(&mut buf).unwrap();
+        assert_eq!(bytes as usize, buf.len());
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "query 0\nquery 1\nquery 2\n"
+        );
     }
 
     #[test]

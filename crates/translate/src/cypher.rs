@@ -302,6 +302,51 @@ mod tests {
     }
 
     #[test]
+    fn degradation_counters_match_lossy_notes() {
+        // `gmark_core::workload::cypher_degradations` promises to count
+        // exactly the degradations this translator flags: one star_concat
+        // per "concatenation … under *" note, one star_inverse per
+        // "inverse …" note. Pin the agreement on a recursion-heavy
+        // generated workload.
+        use gmark_core::usecases;
+        use gmark_core::workload::{cypher_degradations, generate_workload, WorkloadConfig};
+        let schema = usecases::bib();
+        let mut cfg = WorkloadConfig::new(40).with_seed(0xC1FE);
+        cfg.recursion_probability = 0.6;
+        cfg.query_size.length = (1, 3);
+        cfg.query_size.disjuncts = (1, 2);
+        let (workload, report) = generate_workload(&schema, &cfg).unwrap();
+        let mut concat_notes = 0u64;
+        let mut inverse_notes = 0u64;
+        let mut counted = gmark_core::workload::CypherDegradations::default();
+        for gq in &workload.queries {
+            let text = translate(&gq.query, &schema);
+            concat_notes += text
+                .lines()
+                .filter(|l| l.starts_with("// LOSSY: concatenation"))
+                .count() as u64;
+            inverse_notes += text
+                .lines()
+                .filter(|l| l.starts_with("// LOSSY: inverse"))
+                .count() as u64;
+            let d = cypher_degradations(&gq.query);
+            counted.star_concat += d.star_concat;
+            counted.star_inverse += d.star_inverse;
+        }
+        assert_eq!(counted.star_concat, concat_notes, "concat counters drift");
+        assert_eq!(
+            counted.star_inverse, inverse_notes,
+            "inverse counters drift"
+        );
+        // The WorkloadReport aggregates the same counters.
+        assert_eq!(report.cypher, counted);
+        assert!(
+            workload.queries.iter().any(|gq| gq.query.is_recursive()),
+            "test workload should exercise stars"
+        );
+    }
+
+    #[test]
     fn boolean_query_returns_flag() {
         let q = Query::single(Rule {
             head: vec![],

@@ -26,9 +26,39 @@ pub mod cypher;
 pub mod datalog;
 pub mod sparql;
 pub mod sql;
+pub mod stream;
+
+pub use stream::{
+    stream_workload, StreamSummary, WorkloadOutputs, WorkloadStreamError, WorkloadStreamOptions,
+};
 
 use gmark_core::query::Query;
 use gmark_core::schema::Schema;
+
+/// An error raised while translating one query. Translation of queries
+/// validated by `Query::new` cannot fail; the variants exist so hand-built
+/// rules propagate a clean error (tagged with the query index by the
+/// workload pipeline) instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A head variable that no body conjunct binds (SQL projection).
+    UnboundHeadVar {
+        /// The unbound variable's number.
+        var: u32,
+    },
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::UnboundHeadVar { var } => {
+                write!(f, "head variable ?x{var} is bound by no conjunct")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
 
 /// Which syntaxes to emit; `translate_all` produces each of the paper's
 /// four output languages.
@@ -47,6 +77,17 @@ pub enum Syntax {
 impl Syntax {
     /// All four syntaxes, in the paper's Fig. 1 order.
     pub const ALL: [Syntax; 4] = [Syntax::Sparql, Syntax::Cypher, Syntax::Sql, Syntax::Datalog];
+
+    /// The line-comment leader of this syntax, used for the per-query
+    /// headers in the streamed workload documents.
+    pub fn comment_prefix(self) -> &'static str {
+        match self {
+            Syntax::Sparql => "#",
+            Syntax::Cypher => "//",
+            Syntax::Sql => "--",
+            Syntax::Datalog => "%",
+        }
+    }
 }
 
 impl std::fmt::Display for Syntax {
@@ -62,20 +103,23 @@ impl std::fmt::Display for Syntax {
 }
 
 /// Translates a query into one syntax.
-pub fn translate(query: &Query, schema: &Schema, syntax: Syntax) -> String {
+pub fn translate(query: &Query, schema: &Schema, syntax: Syntax) -> Result<String, TranslateError> {
     match syntax {
-        Syntax::Sparql => sparql::translate(query, schema),
-        Syntax::Cypher => cypher::translate(query, schema),
+        Syntax::Sparql => Ok(sparql::translate(query, schema)),
+        Syntax::Cypher => Ok(cypher::translate(query, schema)),
         Syntax::Sql => sql::translate(query, schema),
-        Syntax::Datalog => datalog::translate(query, schema),
+        Syntax::Datalog => Ok(datalog::translate(query, schema)),
     }
 }
 
 /// Translates a query into all four syntaxes.
-pub fn translate_all(query: &Query, schema: &Schema) -> Vec<(Syntax, String)> {
+pub fn translate_all(
+    query: &Query,
+    schema: &Schema,
+) -> Result<Vec<(Syntax, String)>, TranslateError> {
     Syntax::ALL
         .iter()
-        .map(|&s| (s, translate(query, schema, s)))
+        .map(|&s| Ok((s, translate(query, schema, s)?)))
         .collect()
 }
 
@@ -114,7 +158,7 @@ mod tests {
     fn translate_all_produces_four_outputs() {
         let q = example_query();
         let s = schema();
-        let all = translate_all(&q, &s);
+        let all = translate_all(&q, &s).unwrap();
         assert_eq!(all.len(), 4);
         for (syntax, text) in all {
             assert!(!text.is_empty(), "{syntax} output empty");
@@ -125,5 +169,23 @@ mod tests {
     fn syntax_display_names() {
         assert_eq!(Syntax::Sparql.to_string(), "sparql");
         assert_eq!(Syntax::Datalog.to_string(), "datalog");
+    }
+
+    #[test]
+    fn unbound_head_var_is_an_error_not_a_panic() {
+        // Bypass Query::new's safety check to exercise the SQL error path.
+        let q = Query {
+            rules: vec![Rule {
+                head: vec![Var(7)],
+                body: vec![Conjunct {
+                    src: Var(0),
+                    expr: RegularExpr::symbol(Symbol::forward(PredicateId(0))),
+                    trg: Var(1),
+                }],
+            }],
+        };
+        let err = translate(&q, &schema(), Syntax::Sql).unwrap_err();
+        assert_eq!(err, TranslateError::UnboundHeadVar { var: 7 });
+        assert!(err.to_string().contains("?x7"), "{err}");
     }
 }

@@ -16,6 +16,7 @@
 //! extended by joining the starred body on the right — linear recursion.
 //! The final `SELECT DISTINCT` joins the conjunct CTEs on shared variables.
 
+use crate::TranslateError;
 use gmark_core::query::{PathExpr, Query, RegularExpr, Rule, Symbol};
 use gmark_core::schema::Schema;
 use std::fmt::Write;
@@ -68,7 +69,12 @@ fn union_select(e: &RegularExpr, schema: &Schema) -> String {
 }
 
 /// Translates a UCRPQ into a single SQL statement.
-pub fn translate(query: &Query, schema: &Schema) -> String {
+///
+/// Fails with [`TranslateError::UnboundHeadVar`] on a head variable that no
+/// conjunct binds — impossible for queries validated by `Query::new`, but
+/// propagated rather than panicking so hand-built rules surface a clean
+/// error through the pipeline.
+pub fn translate(query: &Query, schema: &Schema) -> Result<String, TranslateError> {
     let mut ctes: Vec<String> = Vec::new();
     let mut recursive = false;
     let mut rule_selects = Vec::new();
@@ -98,7 +104,7 @@ pub fn translate(query: &Query, schema: &Schema) -> String {
             }
             conjunct_ctes.push(name);
         }
-        rule_selects.push(rule_select(rule, &conjunct_ctes));
+        rule_selects.push(rule_select(rule, &conjunct_ctes)?);
     }
 
     let with = if ctes.is_empty() {
@@ -109,11 +115,11 @@ pub fn translate(query: &Query, schema: &Schema) -> String {
         format!("WITH\n  {}\n", ctes.join(",\n  "))
     };
     let body = rule_selects.join("\nUNION\n");
-    format!("{with}{body};\n")
+    Ok(format!("{with}{body};\n"))
 }
 
 /// The per-rule `SELECT DISTINCT … FROM c0, c1, … WHERE joins`.
-fn rule_select(rule: &Rule, conjunct_ctes: &[String]) -> String {
+fn rule_select(rule: &Rule, conjunct_ctes: &[String]) -> Result<String, TranslateError> {
     // Variable -> list of (conjunct index, column) bindings.
     use std::collections::BTreeMap;
     let mut bindings: BTreeMap<u32, Vec<String>> = BTreeMap::new();
@@ -141,10 +147,10 @@ fn rule_select(rule: &Rule, conjunct_ctes: &[String]) -> String {
             .map(|v| {
                 let col = &bindings
                     .get(&v.0)
-                    .expect("head vars are safe (checked by Query::new)")[0];
-                format!("{col} AS x{}", v.0)
+                    .ok_or(TranslateError::UnboundHeadVar { var: v.0 })?[0];
+                Ok(format!("{col} AS x{}", v.0))
             })
-            .collect::<Vec<_>>()
+            .collect::<Result<Vec<_>, TranslateError>>()?
             .join(", ")
     };
     let from = conjunct_ctes.join(", ");
@@ -153,14 +159,16 @@ fn rule_select(rule: &Rule, conjunct_ctes: &[String]) -> String {
     } else {
         format!(" WHERE {}", wheres.join(" AND "))
     };
-    format!("SELECT DISTINCT {projection} FROM {from}{where_clause}")
+    Ok(format!(
+        "SELECT DISTINCT {projection} FROM {from}{where_clause}"
+    ))
 }
 
 /// The count-distinct measurement wrapper of Section 7.1.
-pub fn translate_count(query: &Query, schema: &Schema) -> String {
-    let inner = translate(query, schema);
+pub fn translate_count(query: &Query, schema: &Schema) -> Result<String, TranslateError> {
+    let inner = translate(query, schema)?;
     let inner = inner.trim_end().trim_end_matches(';');
-    format!("SELECT COUNT(*) FROM ({inner}) AS answers;\n")
+    Ok(format!("SELECT COUNT(*) FROM ({inner}) AS answers;\n"))
 }
 
 #[cfg(test)]
@@ -192,7 +200,7 @@ mod tests {
             }],
         })
         .unwrap();
-        let s = translate(&q, &schema());
+        let s = translate(&q, &schema()).unwrap();
         assert!(
             s.contains("c0(s, t) AS (SELECT src AS s, trg AS t FROM edge WHERE label = 'a')"),
             "{s}"
@@ -215,7 +223,7 @@ mod tests {
             }],
         })
         .unwrap();
-        let s = translate(&q, &schema());
+        let s = translate(&q, &schema()).unwrap();
         assert!(
             s.contains("SELECT trg AS s, src AS t FROM edge WHERE label = 'b'"),
             "{s}"
@@ -233,7 +241,7 @@ mod tests {
             }],
         })
         .unwrap();
-        let s = translate(&q, &schema());
+        let s = translate(&q, &schema()).unwrap();
         assert!(s.contains("e0.t = e1.s"), "{s}");
         assert!(s.contains("SELECT e0.s AS s, e1.t AS t"), "{s}");
     }
@@ -249,7 +257,7 @@ mod tests {
             }],
         })
         .unwrap();
-        let s = translate(&q, &schema());
+        let s = translate(&q, &schema()).unwrap();
         assert!(s.contains("WITH RECURSIVE"), "{s}");
         assert!(s.contains("SELECT id AS s, id AS t FROM node"), "{s}");
         assert!(s.contains("WHERE r.t = b.s"), "{s}");
@@ -273,7 +281,7 @@ mod tests {
             ],
         })
         .unwrap();
-        let s = translate(&q, &schema());
+        let s = translate(&q, &schema()).unwrap();
         assert!(s.contains("c0.t = c1.s"), "{s}");
     }
 
@@ -288,7 +296,7 @@ mod tests {
             }],
         })
         .unwrap();
-        let s = translate(&q, &schema());
+        let s = translate(&q, &schema()).unwrap();
         assert!(s.contains("SELECT DISTINCT 1 AS nonempty"), "{s}");
     }
 
@@ -303,7 +311,7 @@ mod tests {
             }],
         };
         let q = Query::new(vec![mk(0), mk(1)]).unwrap();
-        let s = translate(&q, &schema());
+        let s = translate(&q, &schema()).unwrap();
         assert!(s.contains("\nUNION\n"), "{s}");
     }
 
@@ -318,7 +326,7 @@ mod tests {
             }],
         })
         .unwrap();
-        let s = translate_count(&q, &schema());
+        let s = translate_count(&q, &schema()).unwrap();
         assert!(s.starts_with("SELECT COUNT(*) FROM ("), "{s}");
         assert!(s.trim_end().ends_with(") AS answers;"), "{s}");
     }

@@ -1,0 +1,441 @@
+//! The streaming workload pipeline: generation → translation → output
+//! without materializing the workload's text in memory.
+//!
+//! The gMark CLI historically accumulated every query's rule notation and
+//! all four translated syntaxes as `String`s before writing them, which
+//! caps workload size at available RAM. This module instead drives the
+//! whole path incrementally, mirroring the graph pipeline's architecture
+//! (`gmark_core::gen::generate_streamed`):
+//!
+//! * the shared selectivity context is built once as an immutable
+//!   [`WorkloadContext`] snapshot;
+//! * worker threads claim query indices from a shared counter, generate
+//!   query `i` from its own RNG stream (split off the master seed by
+//!   index), render its five documents — rule notation plus SPARQL,
+//!   openCypher, SQL, Datalog — and write them to per-query shards
+//!   ([`gmark_store::ShardSet`], one set per document);
+//! * shards are concatenated in **ascending query index**, reproducing
+//!   byte for byte what a single-threaded run streams directly (the
+//!   1-thread path skips the shard files entirely).
+//!
+//! Because shard `(d, i)` is a pure function of `(schema, config, i)`, all
+//! five documents are byte-identical at every thread count — pinned by
+//! `tests/workload_determinism.rs` and the CI `cmp` smoke step.
+//!
+//! Per-worker partial [`WorkloadReport`]s and [`DiversitySummary`]s are
+//! merged commutatively, so the summary is scheduling-independent too.
+
+use crate::{translate, Syntax, TranslateError};
+use gmark_core::schema::Schema;
+use gmark_core::workload::{
+    DiversitySummary, GeneratedQuery, WorkloadConfig, WorkloadContext, WorkloadError,
+    WorkloadReport,
+};
+use gmark_store::ShardSet;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// Number of output documents: the rule notation plus the four syntaxes.
+pub const DOC_COUNT: usize = 5;
+
+/// The five destinations of a streamed workload, in document order: rule
+/// notation (`workload.txt`), then SPARQL, openCypher, SQL, Datalog.
+#[derive(Debug)]
+pub struct WorkloadOutputs<W> {
+    /// The paper's rule notation (`workload.txt`).
+    pub rules: W,
+    /// SPARQL 1.1 (`workload.sparql`).
+    pub sparql: W,
+    /// openCypher (`workload.cypher`).
+    pub cypher: W,
+    /// SQL:1999 (`workload.sql`).
+    pub sql: W,
+    /// Datalog (`workload.datalog`).
+    pub datalog: W,
+}
+
+impl<W: Write> WorkloadOutputs<W> {
+    /// The outputs as an array indexed in document order.
+    fn as_array_mut(&mut self) -> [&mut W; DOC_COUNT] {
+        [
+            &mut self.rules,
+            &mut self.sparql,
+            &mut self.cypher,
+            &mut self.sql,
+            &mut self.datalog,
+        ]
+    }
+}
+
+/// Options for [`stream_workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadStreamOptions {
+    /// Worker threads; `0` auto-detects via
+    /// [`std::thread::available_parallelism`]. Output never depends on
+    /// this value.
+    pub threads: usize,
+    /// Parent directory for the temporary per-query shard files (used only
+    /// with more than one thread). Pick one on the same filesystem as the
+    /// final outputs so concatenation is a plain sequential copy.
+    pub scratch_dir: PathBuf,
+}
+
+impl Default for WorkloadStreamOptions {
+    fn default() -> Self {
+        WorkloadStreamOptions {
+            threads: 1,
+            scratch_dir: std::env::temp_dir(),
+        }
+    }
+}
+
+/// An error from the streaming workload pipeline. Generation and
+/// translation failures carry the failing query index; in a parallel run
+/// the **lowest** failing index is reported, independent of scheduling.
+#[derive(Debug)]
+pub enum WorkloadStreamError {
+    /// Query construction failed (carries its own index).
+    Generate(WorkloadError),
+    /// Translating query `index` failed.
+    Translate {
+        /// The failing query's index.
+        index: usize,
+        /// The underlying translation error.
+        source: TranslateError,
+    },
+    /// Writing a shard or an output failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for WorkloadStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadStreamError::Generate(e) => write!(f, "generating {e}"),
+            WorkloadStreamError::Translate { index, source } => {
+                write!(f, "translating query {index}: {source}")
+            }
+            WorkloadStreamError::Io(e) => write!(f, "writing workload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadStreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadStreamError::Generate(e) => Some(e),
+            WorkloadStreamError::Translate { source, .. } => Some(source),
+            WorkloadStreamError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for WorkloadStreamError {
+    fn from(e: io::Error) -> Self {
+        WorkloadStreamError::Io(e)
+    }
+}
+
+impl From<WorkloadError> for WorkloadStreamError {
+    fn from(e: WorkloadError) -> Self {
+        WorkloadStreamError::Generate(e)
+    }
+}
+
+/// Summary of a streamed workload run (the streaming counterpart of the
+/// `(Workload, WorkloadReport)` pair — the queries themselves were written
+/// out, not kept).
+#[derive(Debug, Clone, Default)]
+pub struct StreamSummary {
+    /// The generation report (produced / unsatisfied / relaxations /
+    /// cypher degradations).
+    pub report: WorkloadReport,
+    /// Workload diversity, as [`gmark_core::workload::Workload::diversity`]
+    /// would compute it.
+    pub diversity: DiversitySummary,
+    /// Bytes written per document, in document order.
+    pub bytes: [u64; DOC_COUNT],
+    /// Worker threads actually used after resolving `0 = auto-detect` and
+    /// clamping to the workload size (what the CLI reports).
+    pub threads: usize,
+}
+
+/// Renders query `i`'s five documents. Each document gets a per-query
+/// header in that syntax's own comment leader; the rule-notation header
+/// additionally records the target class, shape, and estimated α̂.
+fn render_query(
+    index: usize,
+    gq: &GeneratedQuery,
+    schema: &Schema,
+) -> Result<[String; DOC_COUNT], WorkloadStreamError> {
+    let rules = format!(
+        "# query {index} target={} shape={} estimated_alpha={:?}\n{}\n\n",
+        gq.target.map_or("-".into(), |t| t.to_string()),
+        gq.shape,
+        gq.estimated_alpha,
+        gq.query.display(schema)
+    );
+    let mut docs = [
+        rules,
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+    ];
+    for (d, syntax) in Syntax::ALL.into_iter().enumerate() {
+        let text = translate(&gq.query, schema, syntax)
+            .map_err(|source| WorkloadStreamError::Translate { index, source })?;
+        docs[d + 1] = format!("{} query {index}\n{text}\n", syntax.comment_prefix());
+    }
+    Ok(docs)
+}
+
+/// Per-worker fold state for the parallel path.
+#[derive(Default)]
+struct Partial {
+    report: WorkloadReport,
+    diversity: DiversitySummary,
+}
+
+impl Partial {
+    fn absorb(&mut self, gq: &GeneratedQuery) {
+        self.report.absorb(gq);
+        self.diversity.add(gq);
+    }
+}
+
+/// Generates, translates, and writes a whole workload without holding more
+/// than one query's text in memory per worker (see the module docs). All
+/// five documents are byte-identical for every thread count.
+pub fn stream_workload<W: Write>(
+    schema: &Schema,
+    config: &WorkloadConfig,
+    opts: &WorkloadStreamOptions,
+    outs: &mut WorkloadOutputs<W>,
+) -> Result<StreamSummary, WorkloadStreamError> {
+    let ctx = WorkloadContext::new(schema, config);
+    let size = config.size;
+    let threads = ctx.effective_threads(opts.threads);
+
+    let mut summary = StreamSummary {
+        threads,
+        ..StreamSummary::default()
+    };
+    if threads <= 1 {
+        // Query order equals concat order, so the sequential path streams
+        // the same bytes as the sharded path without touching scratch.
+        let destinations = outs.as_array_mut();
+        for i in 0..size {
+            let gq = ctx.generate(i)?;
+            let docs = render_query(i, &gq, schema)?;
+            for (d, text) in docs.iter().enumerate() {
+                destinations[d].write_all(text.as_bytes())?;
+                summary.bytes[d] += text.len() as u64;
+            }
+            summary.report.absorb(&gq);
+            summary.diversity.add(&gq);
+        }
+        for out in destinations {
+            out.flush()?;
+        }
+        return Ok(summary);
+    }
+
+    // Parallel path: one shard set per document, one shard per query.
+    let sets: Vec<ShardSet> = (0..DOC_COUNT)
+        .map(|_| ShardSet::create(&opts.scratch_dir, size))
+        .collect::<io::Result<_>>()?;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let per_worker: Vec<Result<Partial, (usize, WorkloadStreamError)>> =
+        std::thread::scope(|scope| {
+            let (next, ctx, sets) = (&next, &ctx, &sets);
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut partial = Partial::default();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= size {
+                                break;
+                            }
+                            let gq = ctx.generate(i).map_err(|e| (i, e.into()))?;
+                            let docs = render_query(i, &gq, schema).map_err(|e| (i, e))?;
+                            for (d, text) in docs.iter().enumerate() {
+                                let write = || -> io::Result<()> {
+                                    let mut w = sets[d].text_writer(i)?;
+                                    w.write_str(text)?;
+                                    w.finish()?;
+                                    Ok(())
+                                };
+                                write().map_err(|e| (i, e.into()))?;
+                            }
+                            partial.absorb(&gq);
+                        }
+                        Ok(partial)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("workload streaming worker panicked"))
+                .collect()
+        });
+
+    // Report the lowest failing index (scheduling-independent: every index
+    // below it was claimed earlier and completed by whoever claimed it).
+    let mut first_error: Option<(usize, WorkloadStreamError)> = None;
+    for result in per_worker {
+        match result {
+            Ok(partial) => {
+                summary.report.merge(&partial.report);
+                summary.diversity.merge(&partial.diversity);
+            }
+            Err((i, e)) => {
+                if first_error.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                    first_error = Some((i, e));
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_error {
+        return Err(e);
+    }
+    for (d, out) in outs.as_array_mut().into_iter().enumerate() {
+        summary.bytes[d] = sets[d].concat_into(out)?;
+        out.flush()?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::usecases;
+    use gmark_core::workload::Shape;
+
+    fn outputs() -> WorkloadOutputs<Vec<u8>> {
+        WorkloadOutputs {
+            rules: Vec::new(),
+            sparql: Vec::new(),
+            cypher: Vec::new(),
+            sql: Vec::new(),
+            datalog: Vec::new(),
+        }
+    }
+
+    fn config() -> WorkloadConfig {
+        let mut cfg = WorkloadConfig::new(16).with_seed(0xCAFE);
+        cfg.shapes = Shape::ALL.to_vec();
+        cfg.recursion_probability = 0.3;
+        cfg
+    }
+
+    fn run(threads: usize) -> (StreamSummary, WorkloadOutputs<Vec<u8>>) {
+        let schema = usecases::bib();
+        let mut outs = outputs();
+        let opts = WorkloadStreamOptions {
+            threads,
+            ..Default::default()
+        };
+        let summary = stream_workload(&schema, &config(), &opts, &mut outs).expect("streams");
+        (summary, outs)
+    }
+
+    #[test]
+    fn streamed_documents_are_byte_identical_across_thread_counts() {
+        let (base_summary, base) = run(1);
+        assert_eq!(base_summary.report.produced, 16);
+        assert!(!base.rules.is_empty());
+        for threads in [2, 8] {
+            let (summary, outs) = run(threads);
+            assert_eq!(outs.rules, base.rules, "{threads} threads: rules differ");
+            assert_eq!(
+                outs.sparql, base.sparql,
+                "{threads} threads: sparql differs"
+            );
+            assert_eq!(
+                outs.cypher, base.cypher,
+                "{threads} threads: cypher differs"
+            );
+            assert_eq!(outs.sql, base.sql, "{threads} threads: sql differs");
+            assert_eq!(
+                outs.datalog, base.datalog,
+                "{threads} threads: datalog differs"
+            );
+            assert_eq!(summary.report, base_summary.report);
+            assert_eq!(summary.bytes, base_summary.bytes);
+            assert_eq!(summary.diversity.total, base_summary.diversity.total);
+            assert_eq!(summary.diversity.by_shape, base_summary.diversity.by_shape);
+        }
+    }
+
+    #[test]
+    fn streamed_matches_materialize_then_translate() {
+        // The streamed documents must equal what generating the workload
+        // and rendering each query sequentially would produce.
+        let schema = usecases::bib();
+        let cfg = config();
+        let (workload, report) =
+            gmark_core::workload::generate_workload(&schema, &cfg).expect("generates");
+        let mut expected = outputs();
+        let destinations = expected.as_array_mut();
+        for (i, gq) in workload.queries.iter().enumerate() {
+            let docs = render_query(i, gq, &schema).expect("renders");
+            for (d, text) in docs.iter().enumerate() {
+                destinations[d].extend_from_slice(text.as_bytes());
+            }
+        }
+        let (summary, outs) = run(4);
+        assert_eq!(outs.rules, expected.rules);
+        assert_eq!(outs.sparql, expected.sparql);
+        assert_eq!(outs.cypher, expected.cypher);
+        assert_eq!(outs.sql, expected.sql);
+        assert_eq!(outs.datalog, expected.datalog);
+        assert_eq!(summary.report, report);
+    }
+
+    #[test]
+    fn headers_use_per_syntax_comment_leaders() {
+        let (_, outs) = run(1);
+        let sparql = String::from_utf8(outs.sparql).unwrap();
+        let cypher = String::from_utf8(outs.cypher).unwrap();
+        let sql = String::from_utf8(outs.sql).unwrap();
+        let datalog = String::from_utf8(outs.datalog).unwrap();
+        assert!(sparql.starts_with("# query 0\n"), "{sparql}");
+        assert!(cypher.starts_with("// query 0\n"), "{cypher}");
+        assert!(sql.starts_with("-- query 0\n"), "{sql}");
+        assert!(datalog.starts_with("% query 0\n"), "{datalog}");
+        // Every query appears in every document.
+        for doc in [&sparql, &cypher, &sql, &datalog] {
+            assert!(doc.contains("query 15"), "last query missing");
+        }
+    }
+
+    #[test]
+    fn empty_workload_streams_nothing() {
+        let schema = usecases::bib();
+        let cfg = WorkloadConfig::new(0);
+        let mut outs = outputs();
+        let summary = stream_workload(&schema, &cfg, &WorkloadStreamOptions::default(), &mut outs)
+            .expect("empty workload streams");
+        assert_eq!(summary.report.produced, 0);
+        assert!(outs.rules.is_empty());
+        assert_eq!(summary.bytes, [0; DOC_COUNT]);
+    }
+
+    #[test]
+    fn no_scratch_leftovers_after_parallel_run() {
+        let scratch = std::env::temp_dir().join(format!("gmark-wl-scratch-{}", std::process::id()));
+        let schema = usecases::bib();
+        let mut outs = outputs();
+        let opts = WorkloadStreamOptions {
+            threads: 4,
+            scratch_dir: scratch.clone(),
+        };
+        stream_workload(&schema, &config(), &opts, &mut outs).expect("streams");
+        let leftovers: Vec<_> = std::fs::read_dir(&scratch)
+            .map(|rd| rd.filter_map(|e| e.ok()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "leftover shard dirs: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&scratch);
+    }
+}

@@ -30,7 +30,7 @@ fn main() {
     let mut wcfg = WorkloadConfig::new(9).with_seed(3);
     wcfg.query_size.conjuncts = (1, 3);
     wcfg.query_size.disjuncts = (1, 2);
-    let (workload, _) = generate_workload(&schema, &wcfg);
+    let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
 
     println!(
         "{:<12} {:>6}  {:>14} {:>14} {:>14} {:>14}",

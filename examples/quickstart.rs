@@ -54,7 +54,8 @@ fn main() {
 
     // 3. Generate a 9-query workload: 3 constant, 3 linear, 3 quadratic
     //    binary chain queries (the paper's Section 6.2 setup, scaled down).
-    let (workload, wreport) = generate_workload(&schema, &WorkloadConfig::new(9).with_seed(7));
+    let (workload, wreport) = generate_workload(&schema, &WorkloadConfig::new(9).with_seed(7))
+        .expect("workload generates");
     println!(
         "workload: {} queries ({} selectivity targets missed)",
         workload.queries.len(),
@@ -77,7 +78,7 @@ fn main() {
     // 5. Translate the first query into SPARQL, openCypher, SQL, Datalog.
     let q = &workload.queries[0].query;
     println!("\ntranslations of the first query:");
-    for (syntax, text) in translate_all(q, &schema) {
+    for (syntax, text) in translate_all(q, &schema).expect("translates") {
         println!("--- {syntax} ---\n{text}");
     }
 }

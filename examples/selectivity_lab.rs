@@ -65,7 +65,8 @@ fn main() {
     println!("G_sel (lengths 1..=4): {gsel_edges} edges");
 
     // Close the loop: measure α of one query per class on real instances.
-    let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(12));
+    let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(12))
+        .expect("workload generates");
     println!("\nempirical α (|Q(G)| = β·|G|^α, Section 6.2):");
     for gq in &workload.queries {
         let mut observations = Vec::new();

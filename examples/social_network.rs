@@ -83,7 +83,7 @@ fn main() {
     let mut wcfg = WorkloadConfig::new(9).with_seed(5);
     wcfg.recursion_probability = 0.5;
     wcfg.query_size.conjuncts = (1, 2);
-    let (workload, _) = generate_workload(&schema, &wcfg);
+    let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
     println!("\ngenerated Rec workload:");
     for gq in &workload.queries {
         println!(

@@ -1,41 +1,49 @@
 #!/usr/bin/env bash
 # Runs the generation-side performance baseline and records it as
-# BENCH_gen.json for perf-trajectory tracking across PRs:
+# BENCH_gen.json (graph) plus BENCH_workload.json (query workloads) for
+# perf-trajectory tracking across PRs:
 #
 #   * the `generation` criterion bench (graph_gen / query_gen / ablation
 #     groups, including the 1-vs-4-thread parallel pipeline ablation),
 #     exported one JSON object per line via GMARK_BENCH_JSON;
 #   * the `querygen_scale` binary (Section 6.2's 1000-query workload
-#     generation + translation), timed per scenario and appended in the
-#     same format;
+#     generation + translation through the streaming pipeline), one row
+#     per scenario per thread count (1 vs auto) into BENCH_workload.json —
+#     each row records queries/s and the run's peak RSS (VmHWM), one
+#     process per thread count so the peaks are per-run;
 #   * the `scale_sweep` binary (Table 3-style): streamed generation at
 #     50K -> 5M nodes plus materialized contrast rows, one process per
 #     size so each row's `peak_rss_kb` (VmHWM) is a per-size peak — these
 #     rows pin the memory-bounded streaming claim.
 #
-# Usage: scripts/bench.sh [output.json]   (default: BENCH_gen.json)
+# Usage: scripts/bench.sh [gen.json] [workload.json]
+#        (defaults: BENCH_gen.json BENCH_workload.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_gen.json}"
+wl_out="${2:-BENCH_workload.json}"
 case "$out" in
     /*) ;;
     *) out="$PWD/$out" ;; # cargo runs bench binaries from the package dir
 esac
-rm -f "$out"
+case "$wl_out" in
+    /*) ;;
+    *) wl_out="$PWD/$wl_out" ;;
+esac
+rm -f "$out" "$wl_out"
 
 echo "== criterion generation benches (exporting to $out) =="
 GMARK_BENCH_JSON="$out" cargo bench --offline -p gmark-bench --bench generation
 
-echo "== querygen_scale (Section 6.2) =="
-# Time the whole sweep; per-scenario timings are printed by the binary.
-start_ns=$(date +%s%N)
-cargo run --offline --release -p gmark-bench --bin querygen_scale
-end_ns=$(date +%s%N)
-total_ns=$((end_ns - start_ns))
-printf '{"group":"querygen_scale","bench":"all_scenarios_1000q","mean_ns":%d,"min_ns":%d,"iters":1,"throughput_kind":"none","throughput_units":0}\n' \
-    "$total_ns" "$total_ns" >> "$out"
+echo "== querygen_scale (Section 6.2, exporting to $wl_out) =="
+# One process per thread count: peak_rss_kb rows are per-run VmHWM peaks.
+# 1 thread vs auto-detect pins the parallel workload pipeline's trajectory.
+for t in 1 0; do
+    GMARK_BENCH_JSON="$wl_out" cargo run --offline --release -p gmark-bench \
+        --bin querygen_scale -- --threads "$t"
+done
 
 echo "== scale sweep (Table 3-style, streamed + materialized contrast) =="
 # One process per size: peak_rss_kb rows are per-size VmHWM peaks.
@@ -48,6 +56,7 @@ for n in 50000 500000; do
         --bin scale_sweep -- --nodes "$n" --mode materialized --threads 0
 done
 
-echo "== baseline written =="
-wc -l "$out"
+echo "== baselines written =="
+wc -l "$out" "$wl_out"
 cat "$out"
+cat "$wl_out"

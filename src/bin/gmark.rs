@@ -12,13 +12,17 @@
 //!
 //! ```sh
 //! gmark --config config.xml --output out/ [--seed N] [--nodes N] \
-//!       [--threads T] [--stream]
+//!       [--threads T] [--stream] [--queries-only]
 //! ```
+//!
+//! `--threads` governs both pipelines — graph constraints and workload
+//! queries fan out over the same number of workers — and the workload
+//! documents are byte-identical at every thread count.
 
 use gmark::config::parse_config;
 use gmark::core::gen::StreamOptions;
 use gmark::prelude::*;
-use gmark::translate::{translate, Syntax};
+use gmark::translate::{WorkloadOutputs, WorkloadStreamOptions};
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -32,17 +36,25 @@ struct Args {
     /// Worker threads; 0 = auto-detect (`available_parallelism`).
     threads: usize,
     stream: bool,
+    /// Generate the query workload only; skip the graph instance.
+    queries_only: bool,
 }
 
 const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] \
-[--threads T] [--stream]\n\n\
-  --threads T   worker threads; 0 auto-detects the available parallelism.\n\
-                Default mode: byte-identical across all T > 1 (T = 1 streams\n\
-                raw triples; same edge set, different bytes).\n\
-  --stream      memory-bounded pipeline: stream N-Triples through\n\
-                per-constraint shard files instead of materializing the\n\
-                graph. Byte-identical for every thread count, including 1.\n\
-  --version     print the version and exit.";
+[--threads T] [--stream] [--queries-only]\n\n\
+  --threads T     worker threads for BOTH pipelines (graph constraints and\n\
+                  workload queries); 0 auto-detects the available\n\
+                  parallelism. Workload documents are byte-identical at\n\
+                  every thread count. Graph default mode: byte-identical\n\
+                  across all T > 1 (T = 1 streams raw triples; same edge\n\
+                  set, different bytes).\n\
+  --stream        memory-bounded graph pipeline: stream N-Triples through\n\
+                  per-constraint shard files instead of materializing the\n\
+                  graph. Byte-identical for every thread count, including 1.\n\
+  --queries-only  generate the query workload from the schema without\n\
+                  building the graph at all (no graph.nt); the config must\n\
+                  have a <workload> section.\n\
+  --version       print the version and exit.";
 
 fn parse_args() -> Result<Args, String> {
     let mut config = None;
@@ -51,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
     let mut nodes = None;
     let mut threads = 1usize;
     let mut stream = false;
+    let mut queries_only = false;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -88,6 +101,7 @@ fn parse_args() -> Result<Args, String> {
                 })?
             }
             "--stream" => stream = true,
+            "--queries-only" => queries_only = true,
             "--version" | "-V" => {
                 println!("gmark {}", env!("CARGO_PKG_VERSION"));
                 std::process::exit(0);
@@ -107,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         nodes,
         threads,
         stream,
+        queries_only,
     })
 }
 
@@ -132,6 +147,13 @@ fn run() -> Result<(), String> {
     // Consistency check (Section 4) — reported, never fatal.
     let issues = parsed.graph.validate();
 
+    if args.queries_only && parsed.workload.is_none() {
+        return Err(format!(
+            "--queries-only: {} has no <workload> section",
+            args.config.display()
+        ));
+    }
+
     // Graph → N-Triples, three pipelines:
     //
     // * `--stream` (any thread count): the memory-bounded pipeline —
@@ -148,96 +170,108 @@ fn run() -> Result<(), String> {
     //   file, different order/duplicates (RDF set semantics make them
     //   equivalent data).
     let threads = opts.effective_threads();
-    let nt_path = args.output.join("graph.nt");
-    let file = fs::File::create(&nt_path).map_err(|e| format!("{}: {e}", nt_path.display()))?;
-    let mut out = std::io::BufWriter::new(file);
-    let start = std::time::Instant::now();
-    let (report, written) = if args.stream {
-        // Shards live next to the output: same filesystem, so the final
-        // concatenation is a sequential same-device copy.
-        let stream_opts = StreamOptions {
-            scratch_dir: args.output.clone(),
-            ..StreamOptions::default()
-        };
-        gmark::core::gen::generate_streamed(&parsed.graph, &opts, &stream_opts, &mut out)
-            .map_err(|e| format!("streaming {}: {e}", nt_path.display()))?
-    } else {
-        let mut writer = gmark::store::NTriplesWriter::new(&mut out, schema.predicate_names());
-        let report = if threads > 1 {
-            let (graph, report) = generate_graph(&parsed.graph, &opts);
-            for pred in 0..graph.predicate_count() {
-                for (src, trg) in graph.edges(pred) {
-                    writer.edge(src, pred, trg);
-                }
-            }
-            report
+    let mut graph_outcome = None;
+    if !args.queries_only {
+        let nt_path = args.output.join("graph.nt");
+        let file = fs::File::create(&nt_path).map_err(|e| format!("{}: {e}", nt_path.display()))?;
+        let mut out = std::io::BufWriter::new(file);
+        let start = std::time::Instant::now();
+        let (report, written) = if args.stream {
+            // Shards live next to the output: same filesystem, so the final
+            // concatenation is a sequential same-device copy.
+            let stream_opts = StreamOptions {
+                scratch_dir: args.output.clone(),
+                ..StreamOptions::default()
+            };
+            gmark::core::gen::generate_streamed(&parsed.graph, &opts, &stream_opts, &mut out)
+                .map_err(|e| format!("streaming {}: {e}", nt_path.display()))?
         } else {
-            gmark::core::generate_into(&parsed.graph, &opts, &mut writer)
+            let mut writer = gmark::store::NTriplesWriter::new(&mut out, schema.predicate_names());
+            let report = if threads > 1 {
+                let (graph, report) = generate_graph(&parsed.graph, &opts);
+                for pred in 0..graph.predicate_count() {
+                    for (src, trg) in graph.edges(pred) {
+                        writer.edge(src, pred, trg);
+                    }
+                }
+                report
+            } else {
+                gmark::core::generate_into(&parsed.graph, &opts, &mut writer)
+            };
+            let written = writer
+                .finish()
+                .map_err(|e| format!("writing {}: {e}", nt_path.display()))?;
+            (report, written)
         };
-        let written = writer
-            .finish()
-            .map_err(|e| format!("writing {}: {e}", nt_path.display()))?;
-        (report, written)
-    };
-    out.flush()
-        .map_err(|e| format!("flushing {}: {e}", nt_path.display()))?;
-    let gen_time = start.elapsed();
-    println!(
-        "graph: {} nodes requested, {} edges -> {} ({:.3}s, {} thread{}{})",
-        parsed.graph.n,
-        written,
-        nt_path.display(),
-        gen_time.as_secs_f64(),
-        threads,
-        if threads > 1 { "s" } else { "" },
-        if args.stream { ", streamed" } else { "" }
-    );
+        out.flush()
+            .map_err(|e| format!("flushing {}: {e}", nt_path.display()))?;
+        let gen_time = start.elapsed();
+        println!(
+            "graph: {} nodes requested, {} edges -> {} ({:.3}s, {} thread{}{})",
+            parsed.graph.n,
+            written,
+            nt_path.display(),
+            gen_time.as_secs_f64(),
+            threads,
+            if threads > 1 { "s" } else { "" },
+            if args.stream { ", streamed" } else { "" }
+        );
+        graph_outcome = Some((report, written, gen_time));
+    }
 
-    // Workload → rule notation + all four syntaxes.
+    // Workload → rule notation + all four syntaxes, streamed through the
+    // parallel pipeline: workers claim query indices, render each query's
+    // five documents into per-query shards, and the shards concatenate in
+    // ascending index order — byte-identical at every thread count.
     let mut workload_summary = String::new();
     if let Some(mut wcfg) = parsed.workload.clone() {
         if args.seed.is_some() {
             wcfg.seed = seed;
         }
+        let open = |name: &str| -> Result<std::io::BufWriter<fs::File>, String> {
+            let path = args.output.join(name);
+            Ok(std::io::BufWriter::new(
+                fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?,
+            ))
+        };
+        let mut outs = WorkloadOutputs {
+            rules: open("workload.txt")?,
+            sparql: open("workload.sparql")?,
+            cypher: open("workload.cypher")?,
+            sql: open("workload.sql")?,
+            datalog: open("workload.datalog")?,
+        };
+        let stream_opts = WorkloadStreamOptions {
+            threads: args.threads,
+            // Same filesystem as the outputs: concatenation stays a plain
+            // sequential copy.
+            scratch_dir: args.output.clone(),
+        };
         let start = std::time::Instant::now();
-        let (workload, wreport) = generate_workload(&schema, &wcfg);
+        let summary = gmark::translate::stream_workload(&schema, &wcfg, &stream_opts, &mut outs)
+            .map_err(|e| format!("workload: {e}"))?;
         let wl_time = start.elapsed();
-        let mut plain = String::new();
-        for (i, gq) in workload.queries.iter().enumerate() {
-            plain.push_str(&format!(
-                "# query {i} target={} shape={} estimated_alpha={:?}\n{}\n\n",
-                gq.target.map_or("-".into(), |t| t.to_string()),
-                gq.shape,
-                gq.estimated_alpha,
-                gq.query.display(&schema)
-            ));
-        }
-        fs::write(args.output.join("workload.txt"), plain)
-            .map_err(|e| format!("workload.txt: {e}"))?;
-        for syntax in Syntax::ALL {
-            let mut text = String::new();
-            for (i, gq) in workload.queries.iter().enumerate() {
-                text.push_str(&format!(
-                    "-- query {i}\n{}\n",
-                    translate(&gq.query, &schema, syntax)
-                ));
-            }
-            let path = args.output.join(format!("workload.{syntax}"));
-            fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
-        }
         println!(
-            "workload: {} queries -> {}/workload.{{txt,sparql,cypher,sql,datalog}} ({:.3}s)",
-            workload.queries.len(),
+            "workload: {} queries -> {}/workload.{{txt,sparql,cypher,sql,datalog}} \
+             ({:.3}s, {} thread{}; cypher degradations: {} concatenation, {} inverse)",
+            summary.report.produced,
             args.output.display(),
-            wl_time.as_secs_f64()
+            wl_time.as_secs_f64(),
+            summary.threads,
+            if summary.threads > 1 { "s" } else { "" },
+            summary.report.cypher.star_concat,
+            summary.report.cypher.star_inverse,
         );
         workload_summary = format!(
             "workload: {} queries, {} relaxation steps, {} unmet selectivity targets\n\
+             cypher degradations: {} concatenation-under-star, {} inverse-under-star\n\
              diversity:\n{}\n",
-            workload.queries.len(),
-            wreport.relaxations,
-            wreport.unsatisfied_selectivity,
-            workload.diversity()
+            summary.report.produced,
+            summary.report.relaxations,
+            summary.report.unsatisfied_selectivity,
+            summary.report.cypher.star_concat,
+            summary.report.cypher.star_inverse,
+            summary.diversity
         );
     }
 
@@ -247,22 +281,26 @@ fn run() -> Result<(), String> {
     writeln!(rep, "gMark generation report").ok();
     writeln!(rep, "config: {}", args.config.display()).ok();
     writeln!(rep, "seed: {seed}").ok();
-    writeln!(rep, "nodes requested: {}", parsed.graph.n).ok();
-    writeln!(rep, "nodes realized: {}", parsed.graph.realized_nodes()).ok();
-    writeln!(
-        rep,
-        "edges: {written} written ({} generated before dedup) in {:.3}s",
-        report.total_edges,
-        gen_time.as_secs_f64()
-    )
-    .ok();
-    for (i, cr) in report.constraints.iter().enumerate() {
+    if let Some((report, written, gen_time)) = &graph_outcome {
+        writeln!(rep, "nodes requested: {}", parsed.graph.n).ok();
+        writeln!(rep, "nodes realized: {}", parsed.graph.realized_nodes()).ok();
         writeln!(
             rep,
-            "constraint {i}: src_slots={} trg_slots={} edges={}",
-            cr.src_slots, cr.trg_slots, cr.edges
+            "edges: {written} written ({} generated before dedup) in {:.3}s",
+            report.total_edges,
+            gen_time.as_secs_f64()
         )
         .ok();
+        for (i, cr) in report.constraints.iter().enumerate() {
+            writeln!(
+                rep,
+                "constraint {i}: src_slots={} trg_slots={} edges={}",
+                cr.src_slots, cr.trg_slots, cr.edges
+            )
+            .ok();
+        }
+    } else {
+        writeln!(rep, "graph: skipped (--queries-only)").ok();
     }
     if issues.is_empty() {
         writeln!(rep, "consistency check: ok").ok();

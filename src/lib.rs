@@ -30,7 +30,9 @@
 //! assert!(report.total_edges > 0);
 //!
 //! // A 9-query workload: 3 constant, 3 linear, 3 quadratic chains.
-//! let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(9));
+//! // (Pass a thread count to generate_workload_with_threads for the
+//! // parallel pipeline — output is bit-identical either way.)
+//! let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(9)).unwrap();
 //! assert_eq!(workload.queries.len(), 9);
 //!
 //! // Evaluate one query and translate it to SPARQL.
@@ -57,7 +59,10 @@ pub mod prelude {
         Distribution, GraphConfig, Occurrence, PredicateId, Schema, SchemaBuilder, TypeId,
     };
     pub use gmark_core::selectivity::SelectivityClass;
-    pub use gmark_core::workload::{generate_workload, QuerySize, Shape, Workload, WorkloadConfig};
+    pub use gmark_core::workload::{
+        generate_workload, generate_workload_with_threads, QuerySize, Shape, Workload,
+        WorkloadConfig, WorkloadError,
+    };
     pub use gmark_engines::{
         all_engines, Answers, Budget, DatalogEngine, Engine, EvalError, NavigationalEngine,
         RelationalEngine, TripleStoreEngine,

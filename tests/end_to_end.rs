@@ -54,14 +54,15 @@ fn xml_to_graph_to_workload_to_answers() {
     assert_eq!(graph.node_count(), 820); // 0.5+0.3+0.2 of 800 + 20 fixed
 
     let wcfg = parsed.workload.expect("workload present");
-    let (workload, wreport) = generate_workload(&parsed.graph.schema, &wcfg);
+    let (workload, wreport) =
+        generate_workload(&parsed.graph.schema, &wcfg).expect("workload generates");
     assert_eq!(workload.queries.len(), 12);
     assert_eq!(wreport.unsatisfied_selectivity, 0);
 
     // Every query translates to all four syntaxes and evaluates on at
     // least two engines with identical counts.
     for gq in &workload.queries {
-        let translations = translate_all(&gq.query, &parsed.graph.schema);
+        let translations = translate_all(&gq.query, &parsed.graph.schema).expect("translates");
         assert_eq!(translations.len(), 4);
         for (syntax, text) in &translations {
             assert!(!text.trim().is_empty(), "{syntax} produced empty text");
@@ -116,7 +117,8 @@ fn ntriples_round_trip_through_store() {
 fn translations_are_deterministic() {
     let parsed = parse_config(CONFIG).expect("config parses");
     let (workload, _) =
-        generate_workload(&parsed.graph.schema, &parsed.workload.expect("workload"));
+        generate_workload(&parsed.graph.schema, &parsed.workload.expect("workload"))
+            .expect("workload generates");
     for gq in &workload.queries {
         for syntax in Syntax::ALL {
             let a = gmark::translate::translate(&gq.query, &parsed.graph.schema, syntax);

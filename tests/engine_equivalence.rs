@@ -147,7 +147,7 @@ fn engines_agree_on_generated_workloads() {
     let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(13));
     let mut wcfg = WorkloadConfig::new(15).with_seed(17);
     wcfg.recursion_probability = 0.3;
-    let (workload, _) = generate_workload(&schema, &wcfg);
+    let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
     let budget = Budget::default();
     for gq in &workload.queries {
         let a = RelationalEngine

@@ -29,7 +29,7 @@ fn bib_selectivity_classes_hold_empirically() {
     let sizes = [1_000, 2_000, 4_000, 8_000];
     let mut wcfg = WorkloadConfig::new(9).with_seed(23);
     wcfg.query_size.conjuncts = (1, 2);
-    let (workload, report) = generate_workload(&schema, &wcfg);
+    let (workload, report) = generate_workload(&schema, &wcfg).expect("workload generates");
     assert_eq!(report.unsatisfied_selectivity, 0);
 
     // Table 2 reports class *means* (individual queries scatter — the
@@ -81,7 +81,8 @@ fn estimator_alpha_matches_generated_targets_across_usecases() {
     // The static estimate α̂ (no graphs involved) must equal the target
     // class for every selectivity-controlled query on every use case.
     for (name, schema) in gmark::core::usecases::all() {
-        let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(12).with_seed(31));
+        let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(12).with_seed(31))
+            .expect("workload generates");
         for gq in &workload.queries {
             if let (Some(target), Some(alpha)) = (gq.target, gq.estimated_alpha) {
                 assert_eq!(
@@ -102,7 +103,8 @@ fn quadratic_queries_return_more_results_than_constant() {
     let schema = gmark::core::usecases::bib();
     let config = GraphConfig::new(4_000, schema.clone());
     let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(7));
-    let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(9).with_seed(37));
+    let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(9).with_seed(37))
+        .expect("workload generates");
     let mean_count = |class: SelectivityClass| -> f64 {
         let counts: Vec<u64> = workload
             .of_class(class)
