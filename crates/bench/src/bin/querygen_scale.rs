@@ -5,9 +5,9 @@
 //! took a mere tenth of a second."
 //!
 //! Runs the parallel workload pipeline end to end per scenario: generation
-//! via [`generate_workload_with_threads`] and translation via the
-//! streaming writer ([`stream_workload`] into byte sinks — the same path
-//! the `gmark` CLI uses). When `GMARK_BENCH_JSON` is set, one row per
+//! via [`generate_workload_with_threads`] and translation via the unified
+//! pipeline (`gmark::run::run` on a queries-only plan into a `NullSink` —
+//! the same path the `gmark` CLI uses). When `GMARK_BENCH_JSON` is set, one row per
 //! scenario is appended (the `scripts/bench.sh` protocol assembling
 //! `BENCH_workload.json`):
 //!
@@ -25,10 +25,10 @@
 //!     [--seed N] [--threads T]
 //! ```
 
+use gmark::run::{run, NullSink, RunOptions, RunPlan};
 use gmark_bench::{append_bench_json, peak_rss_kb, HarnessOptions};
 use gmark_core::usecases;
 use gmark_core::workload::{generate_workload_with_threads, QuerySize, WorkloadConfig};
-use gmark_translate::{stream_workload, WorkloadOutputs, WorkloadStreamOptions};
 use std::time::Instant;
 
 const QUERIES: usize = 1_000;
@@ -66,27 +66,28 @@ fn main() {
         let gen_time = start.elapsed();
         drop(workload);
 
-        // Translation through the streaming writer (generation included in
+        // Translation through the unified pipeline (generation included in
         // the wall time; the pipeline is one pass).
-        let mut outs = WorkloadOutputs {
-            rules: std::io::sink(),
-            sparql: std::io::sink(),
-            cypher: std::io::sink(),
-            sql: std::io::sink(),
-            datalog: std::io::sink(),
-        };
-        let stream_opts = WorkloadStreamOptions {
-            threads: opts.threads,
-            ..Default::default()
-        };
+        let plan = RunPlan::builder(schema.clone())
+            .workload(cfg.clone())
+            .queries_only()
+            .build()
+            .unwrap_or_else(|e| {
+                eprintln!("querygen_scale: {name}: {e}");
+                std::process::exit(1);
+            });
+        let run_opts = RunOptions::default().threads(opts.threads);
         let start = Instant::now();
-        let summary = stream_workload(&schema, &cfg, &stream_opts, &mut outs).unwrap_or_else(|e| {
+        let summary = run(&plan, &run_opts, &mut NullSink).unwrap_or_else(|e| {
             eprintln!("querygen_scale: {name}: {e}");
             std::process::exit(1);
         });
         let pipeline_time = start.elapsed();
         let translate_time = pipeline_time.saturating_sub(gen_time);
-        let bytes: u64 = summary.bytes.iter().sum();
+        let wsum = summary
+            .workload
+            .expect("queries-only plans run the workload");
+        let bytes: u64 = wsum.bytes.iter().sum();
         let qps = QUERIES as f64 / pipeline_time.as_secs_f64().max(1e-9);
 
         println!(

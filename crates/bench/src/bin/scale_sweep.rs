@@ -10,10 +10,12 @@
 //!  "throughput_units":<edges>,"peak_rss_kb":<VmHWM>}
 //! ```
 //!
-//! `--mode streamed` runs [`generate_streamed`] (per-constraint shard
-//! files, graph never materialized — peak memory is the largest single
-//! constraint's slot vectors); `--mode materialized` runs
-//! [`generate_graph`] and serializes nothing, as the RSS contrast row.
+//! `--mode streamed` runs the memory-bounded pipeline
+//! (`gmark::run::run` with `RunOptions::stream` into a `NullSink`:
+//! per-constraint shard files, graph never materialized — peak memory is
+//! the largest single constraint's slot vectors); `--mode materialized`
+//! runs `gmark::run::run_in_memory` and serializes nothing, as the RSS
+//! contrast row.
 //! `scripts/bench.sh` sweeps node counts 50K → 5M streamed plus
 //! materialized contrast rows.
 //!
@@ -21,9 +23,9 @@
 //! [--mode streamed|materialized]` (exports a row when `GMARK_BENCH_JSON`
 //! is set).
 
+use gmark::run::{run, run_in_memory, NullSink, RunOptions, RunPlan};
 use gmark_bench::{append_bench_json, fmt_minutes, peak_rss_kb, take_flag_value};
-use gmark_core::gen::{generate_graph, generate_streamed, GeneratorOptions, StreamOptions};
-use gmark_core::schema::{GraphConfig, Schema};
+use gmark_core::schema::Schema;
 use gmark_core::usecases;
 use std::time::Instant;
 
@@ -108,11 +110,14 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let config = GraphConfig::new(args.nodes, schema);
-    let opts = GeneratorOptions {
-        threads: args.threads,
-        ..GeneratorOptions::with_seed(args.seed)
-    };
+    let plan = RunPlan::builder(schema)
+        .nodes(args.nodes)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("scale_sweep: {e}");
+            std::process::exit(2);
+        });
+    let opts = RunOptions::with_seed(args.seed).threads(args.threads);
     let mode = if args.streamed {
         "streamed"
     } else {
@@ -126,17 +131,18 @@ fn main() {
         // Shard files hit disk; the concatenated stream goes to the null
         // sink — the sweep measures generation + serialization, not the
         // final copy's target device.
-        let mut sink = std::io::sink();
-        let (report, _) = generate_streamed(&config, &opts, &StreamOptions::default(), &mut sink)
-            .unwrap_or_else(|e| {
-                eprintln!("scale_sweep: streaming failed: {e}");
-                std::process::exit(1);
-            });
-        report.total_edges
+        let summary = run(&plan, &opts.clone().stream(true), &mut NullSink).unwrap_or_else(|e| {
+            eprintln!("scale_sweep: streaming failed: {e}");
+            std::process::exit(1);
+        });
+        summary.graph.expect("graph ran").edges_generated
     } else {
-        let (graph, report) = generate_graph(&config, &opts);
-        std::hint::black_box(graph.edge_count());
-        report.total_edges
+        let arts = run_in_memory(&plan, &opts).unwrap_or_else(|e| {
+            eprintln!("scale_sweep: generation failed: {e}");
+            std::process::exit(1);
+        });
+        std::hint::black_box(arts.graph.expect("graph ran").edge_count());
+        arts.summary.graph.expect("graph ran").edges_generated
     };
     let elapsed = start.elapsed();
     let rss_kb = peak_rss_kb();

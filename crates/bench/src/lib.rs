@@ -20,10 +20,10 @@
 //! protocol (cold run discarded, warm runs averaged after dropping the
 //! fastest and slowest), and small table-printing helpers.
 
-use gmark_core::gen::{generate_graph, GeneratorOptions};
-use gmark_core::schema::{GraphConfig, Schema};
+use gmark::run::{run_in_memory, RunOptions, RunPlan};
+use gmark_core::schema::Schema;
 use gmark_core::selectivity::SelectivityClass;
-use gmark_core::workload::{generate_workload, QuerySize, Workload, WorkloadConfig};
+use gmark_core::workload::{QuerySize, Workload, WorkloadConfig};
 use gmark_engines::{Budget, Engine, EvalError};
 use gmark_store::Graph;
 use std::time::{Duration, Instant};
@@ -103,11 +103,19 @@ impl WorkloadKind {
         cfg
     }
 
-    /// Generates the family's workload for a schema.
+    /// Generates the family's workload for a schema (through the unified
+    /// pipeline API; output is identical to the historical
+    /// `generate_workload` call).
     pub fn workload(self, schema: &Schema, seed: u64) -> Workload {
-        generate_workload(schema, &self.config(seed))
+        let plan = RunPlan::builder(schema.clone())
+            .workload(self.config(seed))
+            .queries_only()
+            .build()
+            .expect("experiment plans are valid");
+        run_in_memory(&plan, &RunOptions::default())
             .expect("experiment workloads generate")
-            .0
+            .workload
+            .expect("queries-only plans materialize a workload")
     }
 }
 
@@ -235,14 +243,18 @@ pub fn append_bench_json(row: &str) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Generates a graph for an experiment (shared seed discipline).
+/// Generates a graph for an experiment (shared seed discipline), through
+/// the unified pipeline API — bit-identical to the historical
+/// `generate_graph` call at every thread count.
 pub fn build_graph(schema: &Schema, n: u64, seed: u64, threads: usize) -> Graph {
-    let config = GraphConfig::new(n, schema.clone());
-    let opts = GeneratorOptions {
-        threads,
-        ..GeneratorOptions::with_seed(seed)
-    };
-    generate_graph(&config, &opts).0
+    let plan = RunPlan::builder(schema.clone())
+        .nodes(n)
+        .build()
+        .expect("experiment plans are valid");
+    run_in_memory(&plan, &RunOptions::with_seed(seed).threads(threads))
+        .expect("experiment graphs generate")
+        .graph
+        .expect("graph plans materialize a graph")
 }
 
 /// The Section 7.1 measurement protocol: one cold run (discarded), `warm`

@@ -12,6 +12,11 @@
 //! * [`config`] — the mapping between XML documents and
 //!   [`gmark_core::GraphConfig`] / [`gmark_core::workload::WorkloadConfig`]
 //!   values, both directions.
+//!
+//! Programs rarely need this crate directly: the `gmark` facade crate's
+//! `run::RunPlan::from_xml` / `from_config_file` parse a document
+//! straight into an executable plan, wrapping [`ConfigError`] (with the
+//! offending path) into the unified `GmarkError`.
 
 #![warn(missing_docs)]
 

@@ -23,6 +23,11 @@
 //! around `μ`, so the matching distribution is nearly identical while the
 //! memory for that side's vector (and its shuffle) disappears. The fast path
 //! is on by default and measured as an ablation in `gmark-bench`.
+//!
+//! These entry points are the graph half of the pipeline; the `gmark`
+//! facade crate's `run` module orchestrates them (plan → options → sink)
+//! behind one API and one error type — prefer that surface unless you
+//! need this layer in isolation.
 
 use crate::schema::{Distribution, GraphConfig};
 use gmark_stats::{DegreeSampler, Prng, Zipf};

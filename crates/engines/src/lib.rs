@@ -111,7 +111,9 @@ impl Budget {
 }
 
 /// Why an evaluation failed — these are *reported outcomes* in the
-/// experiments (the paper's "-" cells), not panics.
+/// experiments (the paper's "-" cells), not panics. The `gmark` facade
+/// crate wraps this type into its unified `run::GmarkError` alongside the
+/// other pipeline errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
     /// The wall-clock budget was exhausted.

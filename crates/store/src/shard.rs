@@ -12,7 +12,7 @@
 //!
 //! Shard `i` holds exactly the N-Triples lines of constraint `i`, in the
 //! order the generator emitted them, produced by an
-//! [`NTriplesWriter`](crate::NTriplesWriter) with the same predicate
+//! [`NTriplesWriter`] with the same predicate
 //! names and base IRI as every other shard. Shards are plain N-Triples —
 //! `cat`-ing them in any order is a valid document — but gMark relies on
 //! a stronger property:

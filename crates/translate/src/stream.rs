@@ -24,6 +24,11 @@
 //!
 //! Per-worker partial [`WorkloadReport`]s and [`DiversitySummary`]s are
 //! merged commutatively, so the summary is scheduling-independent too.
+//!
+//! This module is the workload half of the pipeline; the `gmark` facade
+//! crate's `run` module orchestrates it (plan → options → sink) behind
+//! one API, and maps [`WorkloadStreamError`] into the unified
+//! `GmarkError` variant for variant.
 
 use crate::{translate, Syntax, TranslateError};
 use gmark_core::schema::Schema;

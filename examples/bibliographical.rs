@@ -1,8 +1,9 @@
 //! The motivating example of Section 3.1, built from scratch with the
 //! schema-builder API (rather than the canned `usecases::bib()`), written
-//! to and re-read from the XML configuration format, exported as
-//! N-Triples, and checked against the degree-distribution intent of
-//! Fig. 2(c).
+//! to and re-read from the XML configuration format, run through the
+//! unified pipeline (graph in memory for inspection, N-Triples through a
+//! [`MemorySink`](gmark::run::MemorySink)), and checked against the
+//! degree-distribution intent of Fig. 2(c).
 //!
 //! ```sh
 //! cargo run --release --example bibliographical [-- --threads N]
@@ -21,7 +22,7 @@ fn threads_from_args() -> usize {
         .unwrap_or(1)
 }
 
-fn main() {
+fn main() -> Result<(), GmarkError> {
     // Fig. 2(a)/(b): occurrence constraints; Fig. 2(c): distributions.
     let mut b = SchemaBuilder::new();
     let researcher = b.node_type("researcher", Occurrence::Proportion(0.5));
@@ -74,22 +75,24 @@ fn main() {
 
     let config = GraphConfig::new(20_000, schema.clone());
 
-    // Round-trip through the XML configuration format (Fig. 1's input).
+    // Round-trip through the XML configuration format (Fig. 1's input) —
+    // a plan parsed back from the written XML describes the same scenario.
     let xml = write_config(&config, None);
     println!("=== XML configuration ===\n{xml}");
     let reparsed = parse_config(&xml).expect("round trip");
     assert_eq!(reparsed.graph, config);
+    let plan_from_xml = RunPlan::from_xml(&xml)?;
+    assert_eq!(plan_from_xml.graph, config);
 
-    // Generate and inspect.
-    let gen_opts = GeneratorOptions {
-        threads: threads_from_args(),
-        ..GeneratorOptions::with_seed(2024)
-    };
-    let (graph, report) = generate_graph(&config, &gen_opts);
+    // Generate and inspect through the pipeline API.
+    let plan = RunPlan::builder(schema.clone()).nodes(20_000).build()?;
+    let opts = RunOptions::with_seed(2024).threads(threads_from_args());
+    let arts = run_in_memory(&plan, &opts)?;
+    let graph = arts.graph.expect("plan generates a graph");
     println!(
         "generated {} nodes / {} edges",
         graph.node_count(),
-        report.total_edges
+        arts.summary.graph.as_ref().unwrap().edges_generated
     );
 
     // Check the Fig. 2(c) intent on the instance.
@@ -114,18 +117,13 @@ fn main() {
         100.0 * exactly_one as f64 / out.len() as f64
     );
 
-    // Export a sample as N-Triples (the data format of Fig. 1).
-    let mut buffer = Vec::new();
-    {
-        let mut writer = gmark::store::NTriplesWriter::new(&mut buffer, schema.predicate_names());
-        gmark::core::generate_into(
-            &GraphConfig::new(50, schema.clone()),
-            &GeneratorOptions::with_seed(2024),
-            &mut writer,
-        );
-        writer.finish().expect("in-memory write");
-    }
-    let text = String::from_utf8(buffer).unwrap();
+    // Export a small instance as N-Triples (the data format of Fig. 1)
+    // through a MemorySink — the same bytes a DirSink would put in
+    // graph.nt.
+    let small = RunPlan::builder(schema.clone()).nodes(50).build()?;
+    let mut sink = MemorySink::new();
+    run(&small, &RunOptions::with_seed(2024), &mut sink)?;
+    let text = String::from_utf8(sink.bytes(Artifact::Graph).expect("graph written")).unwrap();
     println!("\n=== first N-Triples of a 50-node instance ===");
     for line in text.lines().take(8) {
         println!("{line}");
@@ -154,4 +152,5 @@ fn main() {
             c.dout,
         );
     }
+    Ok(())
 }

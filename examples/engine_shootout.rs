@@ -22,15 +22,22 @@ fn threads_from_args() -> usize {
 fn main() {
     let schema = gmark::core::usecases::bib();
     let sizes = [1_000u64, 2_000, 4_000];
-    let gen_opts = GeneratorOptions {
-        threads: threads_from_args(),
-        ..GeneratorOptions::with_seed(17)
-    };
+    let opts = RunOptions::with_seed(17).threads(threads_from_args());
 
     let mut wcfg = WorkloadConfig::new(9).with_seed(3);
     wcfg.query_size.conjuncts = (1, 3);
     wcfg.query_size.disjuncts = (1, 2);
-    let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
+    let workload = run_in_memory(
+        &RunPlan::builder(schema.clone())
+            .workload(wcfg)
+            .queries_only()
+            .build()
+            .expect("plan builds"),
+        &RunOptions::default(),
+    )
+    .expect("workload generates")
+    .workload
+    .expect("plan generates a workload");
 
     println!(
         "{:<12} {:>6}  {:>14} {:>14} {:>14} {:>14}",
@@ -38,8 +45,14 @@ fn main() {
     );
     for class in SelectivityClass::ALL {
         for &n in &sizes {
-            let config = GraphConfig::new(n, schema.clone());
-            let (graph, _) = generate_graph(&config, &gen_opts);
+            let plan = RunPlan::builder(schema.clone())
+                .nodes(n)
+                .build()
+                .expect("plan builds");
+            let graph = run_in_memory(&plan, &opts)
+                .expect("graph generates")
+                .graph
+                .expect("plan generates a graph");
             let mut row = format!("{:<12} {:>6}", class.to_string(), n);
             for engine in all_engines() {
                 let mut total = Duration::ZERO;

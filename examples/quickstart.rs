@@ -1,6 +1,9 @@
-//! Quickstart: generate a graph and a selectivity-controlled workload from
-//! the paper's default bibliographical scenario, evaluate a query, and
-//! print it in all four output syntaxes.
+//! Quickstart: the unified pipeline API end to end — build a
+//! [`RunPlan`](gmark::run::RunPlan) over the paper's default
+//! bibliographical scenario, materialize the graph and a
+//! selectivity-controlled workload with
+//! [`run_in_memory`](gmark::run::run_in_memory), evaluate each query, and
+//! print the first one in all four output syntaxes.
 //!
 //! ```sh
 //! cargo run --release --example quickstart [-- --threads N]
@@ -19,7 +22,7 @@ fn threads_from_args() -> usize {
         .unwrap_or(1)
 }
 
-fn main() {
+fn main() -> Result<(), GmarkError> {
     // 1. The Bib schema of Fig. 2: researchers author papers published in
     //    conferences held in cities; papers may be extended to journals.
     let schema = gmark::core::usecases::bib();
@@ -30,39 +33,42 @@ fn main() {
         schema.constraints().len()
     );
 
-    // 2. Generate a 10 000-node instance (deterministic in the seed).
-    let config = GraphConfig::new(10_000, schema.clone());
-    for issue in config.validate() {
-        println!("consistency check: {issue:?}");
+    // 2. One plan: a 10 000-node instance plus a 9-query workload —
+    //    3 constant, 3 linear, 3 quadratic binary chain queries (the
+    //    paper's Section 6.2 setup, scaled down).
+    let plan = RunPlan::builder(schema.clone())
+        .nodes(10_000)
+        .workload(WorkloadConfig::new(9).with_seed(7))
+        .build()?;
+    let opts = RunOptions::with_seed(42).threads(threads_from_args());
+
+    // 3. Materialize (the embedding entry point: engines want the graph
+    //    itself, not its N-Triples).
+    let arts = run_in_memory(&plan, &opts)?;
+    let summary = &arts.summary;
+    for issue in &summary.consistency {
+        println!("consistency check: {issue}");
     }
-    let opts = GeneratorOptions {
-        threads: threads_from_args(),
-        ..GeneratorOptions::with_seed(42)
-    };
-    let (graph, report) = generate_graph(&config, &opts);
+    let g = summary.graph.as_ref().expect("plan generates a graph");
     println!(
         "graph: {} nodes, {} edges ({} per constraint: {:?})",
-        graph.node_count(),
-        report.total_edges,
-        report.constraints.len(),
-        report
-            .constraints
-            .iter()
-            .map(|c| c.edges)
-            .collect::<Vec<_>>()
+        g.nodes_realized,
+        g.edges_generated,
+        g.constraints.len(),
+        g.constraints.iter().map(|c| c.edges).collect::<Vec<_>>()
     );
-
-    // 3. Generate a 9-query workload: 3 constant, 3 linear, 3 quadratic
-    //    binary chain queries (the paper's Section 6.2 setup, scaled down).
-    let (workload, wreport) = generate_workload(&schema, &WorkloadConfig::new(9).with_seed(7))
-        .expect("workload generates");
+    let w = summary
+        .workload
+        .as_ref()
+        .expect("plan generates a workload");
     println!(
         "workload: {} queries ({} selectivity targets missed)",
-        workload.queries.len(),
-        wreport.unsatisfied_selectivity
+        w.produced, w.unsatisfied_selectivity
     );
 
     // 4. Evaluate each query, printing its class and result count.
+    let graph = arts.graph.expect("materialized");
+    let workload = arts.workload.expect("materialized");
     for gq in &workload.queries {
         let answers = TripleStoreEngine
             .evaluate(&graph, &gq.query, &Budget::default())
@@ -81,4 +87,5 @@ fn main() {
     for (syntax, text) in translate_all(q, &schema).expect("translates") {
         println!("--- {syntax} ---\n{text}");
     }
+    Ok(())
 }

@@ -65,18 +65,31 @@ fn main() {
     println!("G_sel (lengths 1..=4): {gsel_edges} edges");
 
     // Close the loop: measure α of one query per class on real instances.
-    let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(12))
-        .expect("workload generates");
+    // Queries and graphs both come from the unified pipeline API.
+    let workload = run_in_memory(
+        &RunPlan::builder(schema.clone())
+            .workload(WorkloadConfig::new(3).with_seed(12))
+            .queries_only()
+            .build()
+            .expect("plan builds"),
+        &RunOptions::default(),
+    )
+    .expect("workload generates")
+    .workload
+    .expect("plan generates a workload");
     println!("\nempirical α (|Q(G)| = β·|G|^α, Section 6.2):");
     for gq in &workload.queries {
         let mut observations = Vec::new();
         for n in [1_000u64, 2_000, 4_000, 8_000] {
-            let config = GraphConfig::new(n, schema.clone());
-            let gen_opts = GeneratorOptions {
-                threads: threads_from_args(),
-                ..GeneratorOptions::with_seed(8)
-            };
-            let (graph, _) = generate_graph(&config, &gen_opts);
+            let plan = RunPlan::builder(schema.clone())
+                .nodes(n)
+                .build()
+                .expect("plan builds");
+            let opts = RunOptions::with_seed(8).threads(threads_from_args());
+            let graph = run_in_memory(&plan, &opts)
+                .expect("graph generates")
+                .graph
+                .expect("plan generates a graph");
             let count = TripleStoreEngine
                 .evaluate(&graph, &gq.query, &Budget::default())
                 .map(|a| a.count())

@@ -3,7 +3,8 @@
 //! Demonstrates the paper's flagship recursion example — the transitive
 //! closure of `knows` is a *quadratic* query because the social graph's
 //! power-law in/out distributions create hub users (Section 5.2.1) — and
-//! the openCypher degradation phenomenon of Section 7.1.
+//! the openCypher degradation phenomenon of Section 7.1. Generation runs
+//! through the unified pipeline API ([`run_in_memory`]).
 //!
 //! ```sh
 //! cargo run --release --example social_network [-- --threads N]
@@ -22,18 +23,27 @@ fn threads_from_args() -> usize {
         .unwrap_or(1)
 }
 
-fn main() {
+fn main() -> Result<(), GmarkError> {
     let schema = gmark::core::usecases::lsn();
-    let config = GraphConfig::new(4_000, schema.clone());
-    let opts = GeneratorOptions {
-        threads: threads_from_args(),
-        ..GeneratorOptions::with_seed(99)
-    };
-    let (graph, report) = generate_graph(&config, &opts);
+
+    // One plan carries both halves: the 4 000-node instance and the Rec
+    // workload of the paper's recursion experiments.
+    let mut wcfg = WorkloadConfig::new(9).with_seed(5);
+    wcfg.recursion_probability = 0.5;
+    wcfg.query_size.conjuncts = (1, 2);
+    let plan = RunPlan::builder(schema.clone())
+        .nodes(4_000)
+        .workload(wcfg)
+        .build()?;
+    let arts = run_in_memory(
+        &plan,
+        &RunOptions::with_seed(99).threads(threads_from_args()),
+    )?;
+    let graph = arts.graph.expect("plan generates a graph");
     println!(
         "LSN instance: {} nodes, {} edges",
         graph.node_count(),
-        report.total_edges
+        arts.summary.graph.as_ref().unwrap().edges_generated
     );
 
     let knows = schema.predicate_by_name("knows").expect("LSN has knows");
@@ -79,11 +89,8 @@ fn main() {
          the paper observes for system G)"
     );
 
-    // A full recursive workload, as in the paper's Rec experiments.
-    let mut wcfg = WorkloadConfig::new(9).with_seed(5);
-    wcfg.recursion_probability = 0.5;
-    wcfg.query_size.conjuncts = (1, 2);
-    let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
+    // The Rec workload the plan generated alongside the graph.
+    let workload = arts.workload.expect("plan generates a workload");
     println!("\ngenerated Rec workload:");
     for gq in &workload.queries {
         println!(
@@ -97,4 +104,5 @@ fn main() {
             gq.query.display(&schema)
         );
     }
+    Ok(())
 }

@@ -1,33 +1,44 @@
-//! The gMark command-line tool: the Fig. 1 workflow end to end.
+//! The gMark command-line tool: a thin client of [`gmark::run`].
 //!
-//! Reads an XML configuration (graph configuration + optional query
-//! workload configuration), generates the graph instance and the query
-//! workload, and writes:
+//! Parses arguments into a [`RunPlan`] + [`RunOptions`], executes them
+//! through a [`DirSink`], and prints the [`RunSummary`] — human-readable
+//! by default, machine-readable JSON with `--format json`. All
+//! orchestration (which pipeline runs, in which mode, where shard scratch
+//! lives, what the report contains) is owned by the library.
+//!
+//! Outputs, inside `--output <dir>`:
 //!
 //! * `graph.nt` — the instance as N-Triples,
 //! * `workload.txt` — the queries in the paper's rule notation,
 //! * `workload.sparql` / `.cypher` / `.sql` / `.datalog` — the four
 //!   concrete syntaxes,
-//! * `report.txt` — generation statistics and consistency-check findings.
+//! * `report.txt` — generation statistics and consistency-check findings,
+//! * `summary.json` — the run summary (with `--format json`).
 //!
 //! ```sh
 //! gmark --config config.xml --output out/ [--seed N] [--nodes N] \
-//!       [--threads T] [--stream] [--queries-only]
+//!       [--threads T] [--stream] [--queries-only] [--format text|json]
 //! ```
 //!
 //! `--threads` governs both pipelines — graph constraints and workload
-//! queries fan out over the same number of workers — and the workload
-//! documents are byte-identical at every thread count.
+//! queries fan out over the same number of workers — and every output
+//! file is byte-identical at every thread count, including 1.
 
-use gmark::config::parse_config;
-use gmark::core::gen::StreamOptions;
-use gmark::prelude::*;
-use gmark::translate::{WorkloadOutputs, WorkloadStreamOptions};
-use std::fs;
-use std::io::Write as _;
+use gmark::run::{run, DirSink, GmarkError, RunOptions, RunPlan};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Which rendering of the run summary goes to stdout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    /// The human-readable banner (default).
+    Text,
+    /// The `RunSummary` as one JSON object (also written to
+    /// `summary.json`), so harnesses stop scraping `report.txt`.
+    Json,
+}
+
+#[derive(Debug)]
 struct Args {
     config: PathBuf,
     output: PathBuf,
@@ -38,25 +49,40 @@ struct Args {
     stream: bool,
     /// Generate the query workload only; skip the graph instance.
     queries_only: bool,
+    format: Format,
+}
+
+/// A fully parsed command line: either a run to execute, or an informational
+/// early exit (`--help` / `--version`) whose text the caller prints before
+/// returning success — parsing never terminates the process itself, so
+/// destructors run and `main`'s `ExitCode` stays authoritative.
+#[derive(Debug)]
+enum Parsed {
+    Run(Box<Args>),
+    EarlyExit(String),
 }
 
 const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] \
-[--threads T] [--stream] [--queries-only]\n\n\
+[--threads T] [--stream] [--queries-only] [--format text|json]\n\n\
   --threads T     worker threads for BOTH pipelines (graph constraints and\n\
                   workload queries); 0 auto-detects the available\n\
-                  parallelism. Workload documents are byte-identical at\n\
-                  every thread count. Graph default mode: byte-identical\n\
-                  across all T > 1 (T = 1 streams raw triples; same edge\n\
-                  set, different bytes).\n\
+                  parallelism. Every output file is byte-identical at\n\
+                  every thread count, including 1.\n\
   --stream        memory-bounded graph pipeline: stream N-Triples through\n\
                   per-constraint shard files instead of materializing the\n\
-                  graph. Byte-identical for every thread count, including 1.\n\
+                  graph. Also byte-identical for every thread count. The\n\
+                  streamed serialization keeps generation order and\n\
+                  duplicate triples; the default serialization is sorted\n\
+                  and deduplicated (same edge set either way).\n\
   --queries-only  generate the query workload from the schema without\n\
                   building the graph at all (no graph.nt); the config must\n\
                   have a <workload> section.\n\
+  --format F      what to print on stdout: 'text' (default, human-readable\n\
+                  banner) or 'json' (the machine-readable RunSummary, also\n\
+                  written to summary.json in the output directory).\n\
   --version       print the version and exit.";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args(argv: &[String]) -> Result<Parsed, String> {
     let mut config = None;
     let mut output = None;
     let mut seed = None;
@@ -64,7 +90,7 @@ fn parse_args() -> Result<Args, String> {
     let mut threads = 1usize;
     let mut stream = false;
     let mut queries_only = false;
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = Format::Text;
     let mut i = 0;
     while i < argv.len() {
         // Takes the value following `argv[i]`, naming the flag (not a
@@ -102,19 +128,27 @@ fn parse_args() -> Result<Args, String> {
             }
             "--stream" => stream = true,
             "--queries-only" => queries_only = true,
+            "--format" => {
+                format = match take_value(&mut i, &flag)?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format: expected text|json, got {other:?}")),
+                }
+            }
             "--version" | "-V" => {
-                println!("gmark {}", env!("CARGO_PKG_VERSION"));
-                std::process::exit(0);
+                return Ok(Parsed::EarlyExit(format!(
+                    "gmark {}",
+                    env!("CARGO_PKG_VERSION")
+                )));
             }
             "--help" | "-h" => {
-                println!("{USAGE}");
-                std::process::exit(0);
+                return Ok(Parsed::EarlyExit(USAGE.to_owned()));
             }
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
     }
-    Ok(Args {
+    Ok(Parsed::Run(Box::new(Args {
         config: config.ok_or("--config is required")?,
         output: output.ok_or("--output is required")?,
         seed,
@@ -122,203 +156,112 @@ fn parse_args() -> Result<Args, String> {
         threads,
         stream,
         queries_only,
-    })
+        format,
+    })))
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
-    let xml = fs::read_to_string(&args.config)
-        .map_err(|e| format!("reading {}: {e}", args.config.display()))?;
-    let mut parsed = parse_config(&xml).map_err(|e| format!("parsing config: {e}"))?;
+fn execute(args: &Args) -> Result<(), GmarkError> {
+    // What to generate…
+    let mut plan = RunPlan::from_config_file(&args.config)?;
     if let Some(n) = args.nodes {
-        parsed.graph.n = n;
+        plan = plan.with_nodes(n);
     }
-    fs::create_dir_all(&args.output)
-        .map_err(|e| format!("creating {}: {e}", args.output.display()))?;
+    if args.queries_only {
+        if plan.workload.is_none() {
+            return Err(GmarkError::Plan(format!(
+                "--queries-only: {} has no <workload> section",
+                args.config.display()
+            )));
+        }
+        plan.outputs.graph = false;
+    }
 
-    let seed = args.seed.unwrap_or(0x674D_61726B);
-    let opts = GeneratorOptions {
-        seed,
+    // …how…
+    let opts = RunOptions {
+        seed: args.seed,
         threads: args.threads,
-        ..Default::default()
+        stream: args.stream,
+        ..RunOptions::default()
     };
-    let schema = parsed.graph.schema.clone();
 
-    // Consistency check (Section 4) — reported, never fatal.
-    let issues = parsed.graph.validate();
+    // …and where. The library does the rest. (DirSink::new already
+    // annotates its error with the directory path.)
+    let mut sink = DirSink::new(&args.output)?.with_summary_json(args.format == Format::Json);
+    let summary = run(&plan, &opts, &mut sink)?;
 
-    if args.queries_only && parsed.workload.is_none() {
-        return Err(format!(
-            "--queries-only: {} has no <workload> section",
-            args.config.display()
-        ));
-    }
-
-    // Graph → N-Triples, three pipelines:
-    //
-    // * `--stream` (any thread count): the memory-bounded pipeline —
-    //   constraints fan out over workers into per-constraint N-Triples
-    //   shard files, concatenated in ascending constraint order. Output is
-    //   generation-ordered, keeps duplicate triples, and is byte-identical
-    //   for every thread count including 1.
-    // * no `--stream`, one thread: stream edges straight to the file
-    //   (same bytes as `--stream --threads 1`) without materializing.
-    // * no `--stream`, T > 1 threads: the in-memory parallel pipeline
-    //   (generation, deterministic shard merge, CSR finalization) then
-    //   serializes the built graph — sorted and deduplicated,
-    //   byte-identical across all T > 1. Same edge *set* as the streamed
-    //   file, different order/duplicates (RDF set semantics make them
-    //   equivalent data).
-    let threads = opts.effective_threads();
-    let mut graph_outcome = None;
-    if !args.queries_only {
-        let nt_path = args.output.join("graph.nt");
-        let file = fs::File::create(&nt_path).map_err(|e| format!("{}: {e}", nt_path.display()))?;
-        let mut out = std::io::BufWriter::new(file);
-        let start = std::time::Instant::now();
-        let (report, written) = if args.stream {
-            // Shards live next to the output: same filesystem, so the final
-            // concatenation is a sequential same-device copy.
-            let stream_opts = StreamOptions {
-                scratch_dir: args.output.clone(),
-                ..StreamOptions::default()
-            };
-            gmark::core::gen::generate_streamed(&parsed.graph, &opts, &stream_opts, &mut out)
-                .map_err(|e| format!("streaming {}: {e}", nt_path.display()))?
-        } else {
-            let mut writer = gmark::store::NTriplesWriter::new(&mut out, schema.predicate_names());
-            let report = if threads > 1 {
-                let (graph, report) = generate_graph(&parsed.graph, &opts);
-                for pred in 0..graph.predicate_count() {
-                    for (src, trg) in graph.edges(pred) {
-                        writer.edge(src, pred, trg);
-                    }
-                }
-                report
-            } else {
-                gmark::core::generate_into(&parsed.graph, &opts, &mut writer)
-            };
-            let written = writer
-                .finish()
-                .map_err(|e| format!("writing {}: {e}", nt_path.display()))?;
-            (report, written)
-        };
-        out.flush()
-            .map_err(|e| format!("flushing {}: {e}", nt_path.display()))?;
-        let gen_time = start.elapsed();
-        println!(
-            "graph: {} nodes requested, {} edges -> {} ({:.3}s, {} thread{}{})",
-            parsed.graph.n,
-            written,
-            nt_path.display(),
-            gen_time.as_secs_f64(),
-            threads,
-            if threads > 1 { "s" } else { "" },
-            if args.stream { ", streamed" } else { "" }
-        );
-        graph_outcome = Some((report, written, gen_time));
-    }
-
-    // Workload → rule notation + all four syntaxes, streamed through the
-    // parallel pipeline: workers claim query indices, render each query's
-    // five documents into per-query shards, and the shards concatenate in
-    // ascending index order — byte-identical at every thread count.
-    let mut workload_summary = String::new();
-    if let Some(mut wcfg) = parsed.workload.clone() {
-        if args.seed.is_some() {
-            wcfg.seed = seed;
+    match args.format {
+        Format::Json => println!("{}", summary.to_json()),
+        Format::Text => {
+            print!("{summary}");
+            println!("report -> {}/report.txt", args.output.display());
         }
-        let open = |name: &str| -> Result<std::io::BufWriter<fs::File>, String> {
-            let path = args.output.join(name);
-            Ok(std::io::BufWriter::new(
-                fs::File::create(&path).map_err(|e| format!("{}: {e}", path.display()))?,
-            ))
-        };
-        let mut outs = WorkloadOutputs {
-            rules: open("workload.txt")?,
-            sparql: open("workload.sparql")?,
-            cypher: open("workload.cypher")?,
-            sql: open("workload.sql")?,
-            datalog: open("workload.datalog")?,
-        };
-        let stream_opts = WorkloadStreamOptions {
-            threads: args.threads,
-            // Same filesystem as the outputs: concatenation stays a plain
-            // sequential copy.
-            scratch_dir: args.output.clone(),
-        };
-        let start = std::time::Instant::now();
-        let summary = gmark::translate::stream_workload(&schema, &wcfg, &stream_opts, &mut outs)
-            .map_err(|e| format!("workload: {e}"))?;
-        let wl_time = start.elapsed();
-        println!(
-            "workload: {} queries -> {}/workload.{{txt,sparql,cypher,sql,datalog}} \
-             ({:.3}s, {} thread{}; cypher degradations: {} concatenation, {} inverse)",
-            summary.report.produced,
-            args.output.display(),
-            wl_time.as_secs_f64(),
-            summary.threads,
-            if summary.threads > 1 { "s" } else { "" },
-            summary.report.cypher.star_concat,
-            summary.report.cypher.star_inverse,
-        );
-        workload_summary = format!(
-            "workload: {} queries, {} relaxation steps, {} unmet selectivity targets\n\
-             cypher degradations: {} concatenation-under-star, {} inverse-under-star\n\
-             diversity:\n{}\n",
-            summary.report.produced,
-            summary.report.relaxations,
-            summary.report.unsatisfied_selectivity,
-            summary.report.cypher.star_concat,
-            summary.report.cypher.star_inverse,
-            summary.diversity
-        );
     }
-
-    // Report.
-    let mut rep =
-        fs::File::create(args.output.join("report.txt")).map_err(|e| format!("report.txt: {e}"))?;
-    writeln!(rep, "gMark generation report").ok();
-    writeln!(rep, "config: {}", args.config.display()).ok();
-    writeln!(rep, "seed: {seed}").ok();
-    if let Some((report, written, gen_time)) = &graph_outcome {
-        writeln!(rep, "nodes requested: {}", parsed.graph.n).ok();
-        writeln!(rep, "nodes realized: {}", parsed.graph.realized_nodes()).ok();
-        writeln!(
-            rep,
-            "edges: {written} written ({} generated before dedup) in {:.3}s",
-            report.total_edges,
-            gen_time.as_secs_f64()
-        )
-        .ok();
-        for (i, cr) in report.constraints.iter().enumerate() {
-            writeln!(
-                rep,
-                "constraint {i}: src_slots={} trg_slots={} edges={}",
-                cr.src_slots, cr.trg_slots, cr.edges
-            )
-            .ok();
-        }
-    } else {
-        writeln!(rep, "graph: skipped (--queries-only)").ok();
-    }
-    if issues.is_empty() {
-        writeln!(rep, "consistency check: ok").ok();
-    }
-    for issue in &issues {
-        writeln!(rep, "consistency check: {issue:?}").ok();
-    }
-    rep.write_all(workload_summary.as_bytes()).ok();
-    println!("report -> {}/report.txt", args.output.display());
     Ok(())
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(Parsed::EarlyExit(text)) => {
+            println!("{text}");
+            ExitCode::SUCCESS
+        }
+        Ok(Parsed::Run(args)) => match execute(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gmark: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Err(e) => {
             eprintln!("gmark: {e}");
+            eprintln!("usage: {USAGE}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn version_and_help_are_early_exits_not_process_exits() {
+        for flags in [&["--version"][..], &["-V"], &["--help"], &["-h"]] {
+            match parse_args(&argv(flags)).expect("parses") {
+                Parsed::EarlyExit(text) => assert!(!text.is_empty()),
+                other => panic!("{flags:?} should early-exit, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_wins_even_mid_command_line() {
+        let parsed = parse_args(&argv(&["--config", "x.xml", "--version"])).expect("parses");
+        assert!(matches!(parsed, Parsed::EarlyExit(_)));
+    }
+
+    #[test]
+    fn format_flag_parses_and_rejects_garbage() {
+        let parsed = parse_args(&argv(&[
+            "--config", "c.xml", "--output", "o", "--format", "json",
+        ]))
+        .expect("parses");
+        match parsed {
+            Parsed::Run(args) => assert_eq!(args.format, Format::Json),
+            other => panic!("expected a run, got {other:?}"),
+        }
+        assert!(parse_args(&argv(&["--format", "yaml"])).is_err());
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse_args(&argv(&["--output", "o"])).is_err());
+        assert!(parse_args(&argv(&["--config", "c.xml"])).is_err());
+        assert!(parse_args(&argv(&["--bogus"])).is_err());
     }
 }

@@ -6,6 +6,66 @@
 //! synthetic graph instances and UCRPQ query workloads with
 //! **schema-driven selectivity control**.
 //!
+//! ## The pipeline API
+//!
+//! The paper's Fig. 1 workflow — schema → graph instance → query workload
+//! → concrete syntaxes — is exposed as one typed pipeline in [`run`]:
+//! a [`RunPlan`](run::RunPlan) (*what* to generate, from XML or a fluent
+//! builder), [`RunOptions`](run::RunOptions) (*how*: seed, threads,
+//! streaming), and a [`Sink`](run::Sink) (*where* the bytes go). Every
+//! failure surfaces as one [`GmarkError`](run::GmarkError); every run
+//! returns a JSON-serializable [`RunSummary`](run::RunSummary). The
+//! `gmark` CLI is a thin client of exactly this surface.
+//!
+//! ```
+//! use gmark::run::{run, Artifact, MemorySink, RunOptions, RunPlan};
+//! use gmark::prelude::*;
+//!
+//! // The paper's bibliographical scenario (Fig. 2), 1 000 nodes, with a
+//! // 9-query workload: 3 constant, 3 linear, 3 quadratic chains.
+//! let plan = RunPlan::builder(gmark::core::usecases::bib())
+//!     .nodes(1_000)
+//!     .workload(WorkloadConfig::new(9))
+//!     .build()?;
+//!
+//! let mut sink = MemorySink::new();
+//! let summary = run(&plan, &RunOptions::with_seed(42), &mut sink)?;
+//! assert!(summary.graph.as_ref().unwrap().edges_written > 0);
+//! assert_eq!(summary.workload.as_ref().unwrap().produced, 9);
+//! assert!(!sink.bytes(Artifact::Sparql).unwrap().is_empty());
+//!
+//! // Embedding? Materialize instead of serializing, then evaluate.
+//! let arts = gmark::run::run_in_memory(&plan, &RunOptions::with_seed(42))?;
+//! let (graph, workload) = (arts.graph.unwrap(), arts.workload.unwrap());
+//! let answers = RelationalEngine
+//!     .evaluate(&graph, &workload.queries[0].query, &Budget::default())
+//!     .unwrap();
+//! let _count = answers.count();
+//! # Ok::<(), gmark::run::GmarkError>(())
+//! ```
+//!
+//! Everything generated is a pure function of the plan and the seed:
+//! thread count, streaming mode, and sink choice never change a byte (see
+//! the [`run`] module docs for the exact guarantee).
+//!
+//! ## Migrating from the pre-`run` free functions
+//!
+//! The per-crate entry points remain available as documented
+//! pass-throughs, but new code should compose plans:
+//!
+//! | old free-function surface | new pipeline surface |
+//! |---|---|
+//! | `parse_config(&xml)` + hand-rolled orchestration | [`run::RunPlan::from_xml`] / [`run::RunPlan::from_config_file`] + [`run::run`] |
+//! | `generate_graph(&config, &GeneratorOptions { .. })` | [`run::run_in_memory`] (graph in [`run::RunArtifacts::graph`]) |
+//! | `generate_into(&config, &opts, &mut writer)` | [`run::run`] with a custom [`run::Sink`] |
+//! | `generate_streamed(&config, &opts, &stream_opts, &mut out)` | [`run::run`] with [`run::RunOptions::stream`] |
+//! | `generate_workload[_with_threads](&schema, &cfg, ..)` | [`run::run_in_memory`] (workload in [`run::RunArtifacts::workload`]) |
+//! | `stream_workload(&schema, &cfg, &opts, &mut outs)` | [`run::run`] (the five workload artifacts) |
+//! | `ConfigError` / `WorkloadError` / `TranslateError` / `EvalError` / `io::Error` juggling | [`run::GmarkError`] |
+//! | scraping `report.txt` | [`run::RunSummary::to_json`] (`--format json`) |
+//!
+//! ## Workspace layout
+//!
 //! This facade crate re-exports the whole workspace:
 //!
 //! * [`core`] — schemas, the linear-time graph generator, UCRPQ queries,
@@ -16,33 +76,10 @@
 //! * [`config`] — XML configuration files;
 //! * [`translate`] — SPARQL / openCypher / SQL / Datalog output;
 //! * [`engines`] — four UCRPQ evaluation engines (relational, triple-store,
-//!   navigational, Datalog) used by the paper-reproduction experiments.
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use gmark::prelude::*;
-//!
-//! // The paper's bibliographical scenario (Fig. 2), 1 000 nodes.
-//! let schema = gmark::core::usecases::bib();
-//! let config = GraphConfig::new(1_000, schema.clone());
-//! let (graph, report) = generate_graph(&config, &GeneratorOptions::with_seed(42));
-//! assert!(report.total_edges > 0);
-//!
-//! // A 9-query workload: 3 constant, 3 linear, 3 quadratic chains.
-//! // (Pass a thread count to generate_workload_with_threads for the
-//! // parallel pipeline — output is bit-identical either way.)
-//! let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(9)).unwrap();
-//! assert_eq!(workload.queries.len(), 9);
-//!
-//! // Evaluate one query and translate it to SPARQL.
-//! let query = &workload.queries[0].query;
-//! let answers = RelationalEngine
-//!     .evaluate(&graph, query, &Budget::default())
-//!     .unwrap();
-//! let _count = answers.count();
-//! let _sparql = gmark::translate::sparql::translate(query, &schema);
-//! ```
+//!   navigational, Datalog) used by the paper-reproduction experiments;
+//! * [`run`] — the unified pipeline API tying them together.
+
+#![deny(missing_docs)]
 
 pub use gmark_config as config;
 pub use gmark_core as core;
@@ -51,8 +88,20 @@ pub use gmark_stats as stats;
 pub use gmark_store as store;
 pub use gmark_translate as translate;
 
+pub mod run;
+
 /// The most common imports in one place.
+///
+/// The first block is the unified pipeline surface ([`run`]); the rest are
+/// the underlying building blocks — still fully supported, and the right
+/// tools when you need a single layer (a schema, one engine, one
+/// translator) rather than the whole pipeline.
 pub mod prelude {
+    pub use crate::run::{
+        run, run_in_memory, Artifact, DirSink, GmarkError, MemorySink, NullSink, OutputSelection,
+        RunArtifacts, RunOptions, RunPlan, RunPlanBuilder, RunSummary, Sink,
+    };
+
     pub use gmark_core::gen::{generate_graph, generate_into, GeneratorOptions};
     pub use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Symbol, Var};
     pub use gmark_core::schema::{

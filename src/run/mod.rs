@@ -1,0 +1,386 @@
+//! The unified pipeline API: one typed plan, one entry point, one error
+//! type, one summary.
+//!
+//! The paper's Fig. 1 workflow is a single pipeline — schema → graph
+//! instance → query workload → concrete syntaxes — and this module exposes
+//! it as one:
+//!
+//! ```text
+//! RunPlan (what)  +  RunOptions (how)  +  Sink (where)
+//!          └────────────── run() ──────────────┘
+//!                          │
+//!                      RunSummary
+//! ```
+//!
+//! * [`RunPlan`] — scenario schema, node count, workload specification,
+//!   output selection; built [from XML](RunPlan::from_config_file) or
+//!   [programmatically](RunPlan::builder);
+//! * [`RunOptions`] — seed, threads, streaming (collapsing the three
+//!   per-crate option structs);
+//! * [`Sink`] — where artifact bytes go: [`DirSink`] (the CLI's file
+//!   layout), [`MemorySink`] (tests/embedding), [`NullSink`]
+//!   (benchmarks), or your own implementation;
+//! * [`GmarkError`] — every failure of the pipeline behind one type;
+//! * [`RunSummary`] — what happened, serializable to JSON.
+//!
+//! [`run`] streams artifacts through a sink without materializing them;
+//! [`run_in_memory`] instead returns the built [`Graph`] and [`Workload`]
+//! values for direct use (evaluation engines, experiments).
+//!
+//! # Determinism
+//!
+//! Every byte produced through this API is a pure function of the plan
+//! and the seed: thread count, streaming mode, and sink choice never
+//! change workload bytes, and within one graph serialization mode the
+//! graph bytes are identical at every thread count — **including one**
+//! (this API routes single-threaded default-mode runs through the same
+//! ordered-merge path as parallel runs, closing the historical wart where
+//! `--threads 1` wrote the same edge set with different bytes). Streamed
+//! and non-streamed graph output remain distinct serializations of the
+//! same data: generation order with duplicates vs. sorted and
+//! deduplicated.
+//!
+//! # Example
+//!
+//! ```
+//! use gmark::run::{run, MemorySink, Artifact, RunOptions, RunPlan};
+//! use gmark::prelude::WorkloadConfig;
+//!
+//! let plan = RunPlan::builder(gmark::core::usecases::bib())
+//!     .nodes(500)
+//!     .workload(WorkloadConfig::new(3))
+//!     .build()?;
+//! let mut sink = MemorySink::new();
+//! let summary = run(&plan, &RunOptions::with_seed(7), &mut sink)?;
+//! assert!(summary.graph.as_ref().unwrap().edges_written > 0);
+//! assert!(!sink.bytes(Artifact::Sparql).unwrap().is_empty());
+//! # Ok::<(), gmark::run::GmarkError>(())
+//! ```
+
+mod error;
+mod options;
+mod plan;
+mod sink;
+mod summary;
+
+pub use error::GmarkError;
+pub use options::RunOptions;
+pub use plan::{OutputSelection, RunPlan, RunPlanBuilder};
+pub use sink::{Artifact, DirSink, MemorySink, NullSink, Sink};
+pub use summary::{GraphRunSummary, RunSummary, WorkloadRunSummary};
+
+use gmark_core::gen::{generate_graph, generate_streamed};
+use gmark_core::workload::{generate_workload_with_threads, Workload};
+use gmark_store::{EdgeSink as _, Graph, NTriplesWriter};
+use gmark_translate::{stream_workload, WorkloadOutputs};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Executes a plan, streaming every artifact through the sink.
+///
+/// The graph is written as N-Triples (memory-bounded when
+/// [`RunOptions::stream`] is set, materialized-then-serialized otherwise);
+/// the workload streams through the parallel per-query shard pipeline.
+/// Returns the [`RunSummary`] after [`Sink::finish`] has run.
+pub fn run<S: Sink + ?Sized>(
+    plan: &RunPlan,
+    opts: &RunOptions,
+    sink: &mut S,
+) -> Result<RunSummary, GmarkError> {
+    plan.validate()?;
+    let consistency = consistency_findings(plan);
+    let gen_opts = opts.generator_options();
+    let threads = gen_opts.effective_threads();
+    let scratch = scratch_dir(opts, sink);
+
+    let mut graph_summary = None;
+    if plan.outputs.graph {
+        let mut out = sink
+            .open(Artifact::Graph)
+            .map_err(|e| GmarkError::io("opening graph.nt", e))?;
+        let start = Instant::now();
+        let (report, written) = if opts.stream {
+            let stream_opts = opts.stream_options(scratch.clone());
+            generate_streamed(&plan.graph, &gen_opts, &stream_opts, &mut out)
+                .map_err(|e| GmarkError::io("streaming graph.nt", e))?
+        } else {
+            // The ordered-merge path at *every* thread count: materialize
+            // (deterministic constraint-order shard merge), then serialize
+            // the built graph — sorted, deduplicated, byte-identical for
+            // T = 1, 2, 8, ….
+            let (graph, report) = generate_graph(&plan.graph, &gen_opts);
+            let mut writer = NTriplesWriter::with_base(
+                &mut out,
+                plan.graph.schema.predicate_names(),
+                &opts.base_iri,
+            );
+            for pred in 0..graph.predicate_count() {
+                for (src, trg) in graph.edges(pred) {
+                    writer.edge(src, pred, trg);
+                }
+            }
+            let written = writer
+                .finish()
+                .map_err(|e| GmarkError::io("writing graph.nt", e))?;
+            (report, written)
+        };
+        out.flush()
+            .map_err(|e| GmarkError::io("flushing graph.nt", e))?;
+        graph_summary = Some(GraphRunSummary {
+            nodes_requested: plan.graph.n,
+            nodes_realized: plan.graph.realized_nodes(),
+            edges_written: written,
+            edges_generated: report.total_edges,
+            constraints: report.constraints,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
+    let mut workload_summary = None;
+    if plan.outputs.workload {
+        let mut wcfg = plan.workload.clone().expect("validated: workload present");
+        if let Some(seed) = opts.seed {
+            wcfg.seed = seed;
+        }
+        let mut open = |artifact| {
+            sink.open(artifact)
+                .map_err(|e| GmarkError::io(format!("opening {artifact}"), e))
+        };
+        let mut outs = WorkloadOutputs {
+            rules: open(Artifact::Rules)?,
+            sparql: open(Artifact::Sparql)?,
+            cypher: open(Artifact::Cypher)?,
+            sql: open(Artifact::Sql)?,
+            datalog: open(Artifact::Datalog)?,
+        };
+        let stream_opts = opts.workload_stream_options(scratch);
+        let start = Instant::now();
+        let s = stream_workload(&plan.graph.schema, &wcfg, &stream_opts, &mut outs)?;
+        workload_summary = Some(WorkloadRunSummary {
+            seed: wcfg.seed,
+            produced: s.report.produced,
+            unsatisfied_selectivity: s.report.unsatisfied_selectivity,
+            relaxations: s.report.relaxations,
+            cypher_star_concat: s.report.cypher.star_concat,
+            cypher_star_inverse: s.report.cypher.star_inverse,
+            bytes: s.bytes,
+            diversity: s.diversity,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+
+    let summary = RunSummary {
+        config: plan.source.clone(),
+        seed: opts.graph_seed(),
+        threads,
+        streamed: opts.stream && plan.outputs.graph,
+        consistency,
+        graph: graph_summary,
+        workload: workload_summary,
+    };
+    sink.finish(&summary)
+        .map_err(|e| GmarkError::io("finishing outputs", e))?;
+    Ok(summary)
+}
+
+/// The materialized artifacts of [`run_in_memory`].
+#[derive(Debug)]
+pub struct RunArtifacts {
+    /// The built graph instance, when the plan produced one.
+    pub graph: Option<Graph>,
+    /// The generated workload, when the plan produced one.
+    pub workload: Option<Workload>,
+    /// The run summary (per-constraint reports, workload counters,
+    /// diversity; document byte counts are zero — nothing was rendered).
+    pub summary: RunSummary,
+}
+
+/// Executes a plan in memory, returning the built [`Graph`] and
+/// [`Workload`] values instead of serialized artifacts.
+///
+/// This is the embedding entry point: evaluation engines, experiments,
+/// and tests want the graph itself, not its N-Triples. Generation is
+/// bit-identical to [`run`]'s — same seeds, same RNG streams, any thread
+/// count — only the serialization step is skipped.
+pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, GmarkError> {
+    plan.validate()?;
+    let consistency = consistency_findings(plan);
+    let gen_opts = opts.generator_options();
+    let threads = gen_opts.effective_threads();
+
+    let mut graph = None;
+    let mut graph_summary = None;
+    if plan.outputs.graph {
+        let start = Instant::now();
+        let (g, report) = generate_graph(&plan.graph, &gen_opts);
+        graph_summary = Some(GraphRunSummary {
+            nodes_requested: plan.graph.n,
+            nodes_realized: plan.graph.realized_nodes(),
+            edges_written: g.edge_count() as u64,
+            edges_generated: report.total_edges,
+            constraints: report.constraints,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+        graph = Some(g);
+    }
+
+    let mut workload = None;
+    let mut workload_summary = None;
+    if plan.outputs.workload {
+        let mut wcfg = plan.workload.clone().expect("validated: workload present");
+        if let Some(seed) = opts.seed {
+            wcfg.seed = seed;
+        }
+        let start = Instant::now();
+        let (w, report) = generate_workload_with_threads(&plan.graph.schema, &wcfg, opts.threads)?;
+        workload_summary = Some(WorkloadRunSummary {
+            seed: wcfg.seed,
+            produced: report.produced,
+            unsatisfied_selectivity: report.unsatisfied_selectivity,
+            relaxations: report.relaxations,
+            cypher_star_concat: report.cypher.star_concat,
+            cypher_star_inverse: report.cypher.star_inverse,
+            bytes: [0; 5],
+            diversity: w.diversity(),
+            seconds: start.elapsed().as_secs_f64(),
+        });
+        workload = Some(w);
+    }
+
+    Ok(RunArtifacts {
+        graph,
+        workload,
+        summary: RunSummary {
+            config: plan.source.clone(),
+            seed: opts.graph_seed(),
+            threads,
+            streamed: false,
+            consistency,
+            graph: graph_summary,
+            workload: workload_summary,
+        },
+    })
+}
+
+/// The Section 4 consistency check, rendered for the report (never fatal).
+fn consistency_findings(plan: &RunPlan) -> Vec<String> {
+    plan.graph
+        .validate()
+        .iter()
+        .map(|issue| format!("{issue:?}"))
+        .collect()
+}
+
+/// Scratch-directory resolution: explicit override, else the sink's
+/// preference, else the system temp dir.
+fn scratch_dir<S: Sink + ?Sized>(opts: &RunOptions, sink: &S) -> PathBuf {
+    opts.scratch_dir
+        .clone()
+        .or_else(|| sink.scratch_dir())
+        .unwrap_or_else(std::env::temp_dir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::usecases;
+    use gmark_core::workload::WorkloadConfig;
+
+    fn plan() -> RunPlan {
+        RunPlan::builder(usecases::bib())
+            .nodes(600)
+            .workload(WorkloadConfig::new(5))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn default_mode_graph_bytes_are_identical_at_every_thread_count_including_one() {
+        let plan = plan();
+        let baseline = {
+            let mut sink = MemorySink::new();
+            run(&plan, &RunOptions::with_seed(11).threads(1), &mut sink).unwrap();
+            sink.bytes(Artifact::Graph).unwrap()
+        };
+        assert!(!baseline.is_empty());
+        for threads in [2usize, 8] {
+            let mut sink = MemorySink::new();
+            run(
+                &plan,
+                &RunOptions::with_seed(11).threads(threads),
+                &mut sink,
+            )
+            .unwrap();
+            assert_eq!(
+                sink.bytes(Artifact::Graph).unwrap(),
+                baseline,
+                "graph bytes differ between 1 and {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn run_reports_match_what_the_sink_received() {
+        let mut sink = MemorySink::new();
+        let summary = run(&plan(), &RunOptions::with_seed(3), &mut sink).unwrap();
+        let g = summary.graph.as_ref().unwrap();
+        let graph_lines = sink.bytes(Artifact::Graph).unwrap();
+        assert_eq!(
+            g.edges_written,
+            graph_lines.iter().filter(|&&b| b == b'\n').count() as u64
+        );
+        let w = summary.workload.as_ref().unwrap();
+        assert_eq!(w.produced, 5);
+        for (artifact, &bytes) in Artifact::WORKLOAD.iter().zip(&w.bytes) {
+            assert_eq!(
+                sink.bytes(*artifact).unwrap().len() as u64,
+                bytes,
+                "{artifact} byte count"
+            );
+        }
+        assert!(sink.summary().is_some(), "finish must store the summary");
+        assert!(!sink.bytes(Artifact::Report).unwrap().is_empty());
+    }
+
+    #[test]
+    fn in_memory_run_matches_streamed_edge_counts() {
+        let plan = plan();
+        let opts = RunOptions::with_seed(5).threads(2);
+        let mem = run_in_memory(&plan, &opts).unwrap();
+        let mut sink = MemorySink::new();
+        let streamed = run(&plan, &opts, &mut sink).unwrap();
+        assert_eq!(
+            mem.summary.graph.as_ref().unwrap().edges_generated,
+            streamed.graph.as_ref().unwrap().edges_generated
+        );
+        assert_eq!(
+            mem.summary.workload.as_ref().unwrap().produced,
+            streamed.workload.as_ref().unwrap().produced
+        );
+        assert!(mem.graph.unwrap().edge_count() > 0);
+        assert_eq!(mem.workload.unwrap().queries.len(), 5);
+    }
+
+    #[test]
+    fn streamed_and_default_modes_write_the_same_edge_multiset_size() {
+        let plan = RunPlan::builder(usecases::bib())
+            .nodes(400)
+            .build()
+            .unwrap();
+        let mut a = MemorySink::new();
+        let sa = run(&plan, &RunOptions::with_seed(9), &mut a).unwrap();
+        let mut b = MemorySink::new();
+        let sb = run(&plan, &RunOptions::with_seed(9).stream(true), &mut b).unwrap();
+        assert_eq!(
+            sa.graph.as_ref().unwrap().edges_generated,
+            sb.graph.as_ref().unwrap().edges_generated
+        );
+        assert!(sb.streamed && !sa.streamed);
+        // Streamed keeps duplicates, default dedups: written counts may
+        // differ, but never exceed generated.
+        assert!(
+            sa.graph.as_ref().unwrap().edges_written <= sb.graph.as_ref().unwrap().edges_written
+        );
+    }
+}

@@ -1,0 +1,146 @@
+//! Execution options, collapsed from the three per-crate option structs.
+//!
+//! PRs 1–3 grew three overlapping option types — `GeneratorOptions` (seed,
+//! threads, Gaussian fast path), `StreamOptions` (base IRI, scratch dir),
+//! and `WorkloadStreamOptions` (threads, scratch dir) — that every caller
+//! had to assemble consistently by hand. [`RunOptions`] is the single
+//! knob set of the unified pipeline; [`run`](crate::run::run) derives the
+//! per-crate structs from it internally.
+
+use gmark_core::gen::{GeneratorOptions, StreamOptions};
+use gmark_translate::WorkloadStreamOptions;
+use std::path::PathBuf;
+
+/// How to execute a [`RunPlan`](crate::run::RunPlan): seed, parallelism,
+/// and streaming. The *what* lives in the plan; everything here may change
+/// without changing a single output byte — except `seed` (different bytes
+/// by design) and `stream` (same edge set, different serialization
+/// strategy).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Master seed override. `None` keeps the defaults: the generator's
+    /// built-in seed for the graph and the workload configuration's own
+    /// seed (e.g. from the XML `seed` attribute) for the queries.
+    /// `Some(s)` pins both pipelines to `s`.
+    pub seed: Option<u64>,
+    /// Worker threads for both pipelines (graph constraints and workload
+    /// queries). `0` auto-detects via
+    /// [`std::thread::available_parallelism`]. Every output is
+    /// byte-identical at every thread count.
+    pub threads: usize,
+    /// Memory-bounded graph pipeline: stream N-Triples through
+    /// per-constraint shard files instead of materializing the graph.
+    /// Streamed output preserves generation order and keeps duplicate
+    /// triples; non-streamed output is sorted and deduplicated (same edge
+    /// set — RDF set semantics make them equivalent data).
+    pub stream: bool,
+    /// The Gaussian fast path of the graph generator (see
+    /// [`GeneratorOptions::gaussian_fast_path`]).
+    pub gaussian_fast_path: bool,
+    /// Base IRI of the N-Triples output (no trailing slash needed).
+    pub base_iri: String,
+    /// Scratch directory override for temporary shard files. `None` asks
+    /// the [`Sink`](crate::run::Sink) for one (falling back to
+    /// [`std::env::temp_dir`]), which keeps shards on the output's
+    /// filesystem so concatenation is a plain sequential copy.
+    pub scratch_dir: Option<PathBuf>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        let defaults = GeneratorOptions::default();
+        RunOptions {
+            seed: None,
+            threads: defaults.threads,
+            stream: false,
+            gaussian_fast_path: defaults.gaussian_fast_path,
+            base_iri: StreamOptions::default().base,
+            scratch_dir: None,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options pinning both pipelines to one seed.
+    pub fn with_seed(seed: u64) -> RunOptions {
+        RunOptions {
+            seed: Some(seed),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Sets the worker thread count (`0` = auto-detect).
+    pub fn threads(mut self, threads: usize) -> RunOptions {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables the memory-bounded streaming graph pipeline.
+    pub fn stream(mut self, stream: bool) -> RunOptions {
+        self.stream = stream;
+        self
+    }
+
+    /// The graph seed after applying the default.
+    pub fn graph_seed(&self) -> u64 {
+        self.seed.unwrap_or(GeneratorOptions::default().seed)
+    }
+
+    /// Resolves `0 = auto-detect` exactly like the per-crate options do.
+    pub fn effective_threads(&self) -> usize {
+        self.generator_options().effective_threads()
+    }
+
+    /// The graph generator's option struct derived from these options.
+    pub(crate) fn generator_options(&self) -> GeneratorOptions {
+        GeneratorOptions {
+            seed: self.graph_seed(),
+            gaussian_fast_path: self.gaussian_fast_path,
+            threads: self.threads,
+        }
+    }
+
+    /// The streaming graph pipeline's option struct.
+    pub(crate) fn stream_options(&self, scratch: PathBuf) -> StreamOptions {
+        StreamOptions {
+            base: self.base_iri.clone(),
+            scratch_dir: scratch,
+        }
+    }
+
+    /// The streaming workload pipeline's option struct.
+    pub(crate) fn workload_stream_options(&self, scratch: PathBuf) -> WorkloadStreamOptions {
+        WorkloadStreamOptions {
+            threads: self.threads,
+            scratch_dir: scratch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_per_crate_structs() {
+        let opts = RunOptions::default();
+        let gen = GeneratorOptions::default();
+        assert_eq!(opts.graph_seed(), gen.seed);
+        assert_eq!(opts.threads, gen.threads);
+        assert_eq!(opts.gaussian_fast_path, gen.gaussian_fast_path);
+        assert_eq!(opts.base_iri, StreamOptions::default().base);
+    }
+
+    #[test]
+    fn seed_override_reaches_the_generator() {
+        let opts = RunOptions::with_seed(7).threads(3);
+        let gen = opts.generator_options();
+        assert_eq!(gen.seed, 7);
+        assert_eq!(gen.threads, 3);
+    }
+
+    #[test]
+    fn zero_threads_auto_detects() {
+        assert!(RunOptions::default().threads(0).effective_threads() >= 1);
+    }
+}

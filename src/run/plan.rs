@@ -1,0 +1,297 @@
+//! The typed plan: *what* one gMark run generates.
+//!
+//! A [`RunPlan`] is the Fig. 1 workflow as a value — scenario schema and
+//! node count ([`GraphConfig`]), optional query-workload specification
+//! ([`WorkloadConfig`]), and which outputs to produce. It is buildable two
+//! equivalent ways:
+//!
+//! * **from XML** — [`RunPlan::from_xml`] / [`RunPlan::from_config_file`]
+//!   parse the gMark configuration format;
+//! * **programmatically** — [`RunPlan::builder`] with a fluent
+//!   [`RunPlanBuilder`].
+//!
+//! Both roads produce bit-identical output through
+//! [`run`](crate::run::run) when they describe the same scenario — pinned
+//! by `tests/plan_equivalence.rs`.
+
+use super::error::GmarkError;
+use gmark_config::parse_config;
+use gmark_core::schema::{GraphConfig, Schema};
+use gmark_core::workload::WorkloadConfig;
+use std::path::{Path, PathBuf};
+
+/// Which artifacts a run produces. The report and summary are governed by
+/// the [`Sink`](crate::run::Sink), not here — they always describe
+/// whatever was generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutputSelection {
+    /// Generate the graph instance ([`Artifact::Graph`](crate::run::Artifact)).
+    pub graph: bool,
+    /// Generate the query workload (the five
+    /// [`Artifact::WORKLOAD`](crate::run::Artifact::WORKLOAD) documents).
+    /// Requires the plan to carry a workload configuration.
+    pub workload: bool,
+}
+
+impl Default for OutputSelection {
+    /// Everything the plan can produce.
+    fn default() -> Self {
+        OutputSelection {
+            graph: true,
+            workload: true,
+        }
+    }
+}
+
+/// What to generate: scenario schema, node count, workload specification,
+/// and output selection. Execution knobs (seed, threads, streaming) live
+/// in [`RunOptions`](crate::run::RunOptions); destinations live in the
+/// [`Sink`](crate::run::Sink).
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// The graph configuration `G = (n, S)`.
+    pub graph: GraphConfig,
+    /// The workload configuration `Q`, when queries are wanted.
+    pub workload: Option<WorkloadConfig>,
+    /// Which artifacts to produce.
+    pub outputs: OutputSelection,
+    /// The configuration file this plan came from, when it came from one
+    /// (recorded in the report).
+    pub source: Option<PathBuf>,
+}
+
+impl RunPlan {
+    /// A plan from an XML configuration document (see [`gmark_config`]).
+    ///
+    /// A document without a `<workload>` section yields a graph-only plan
+    /// (no workload output requested), mirroring [`RunPlanBuilder::build`].
+    pub fn from_xml(xml: &str) -> Result<RunPlan, GmarkError> {
+        let parsed = parse_config(xml)?;
+        Ok(RunPlan {
+            outputs: OutputSelection {
+                graph: true,
+                workload: parsed.workload.is_some(),
+            },
+            graph: parsed.graph,
+            workload: parsed.workload,
+            source: None,
+        })
+    }
+
+    /// A plan from an XML configuration file.
+    pub fn from_config_file(path: impl AsRef<Path>) -> Result<RunPlan, GmarkError> {
+        let path = path.as_ref();
+        let xml = std::fs::read_to_string(path)
+            .map_err(|e| GmarkError::io(format!("reading {}", path.display()), e))?;
+        let parsed = parse_config(&xml).map_err(|e| GmarkError::config_in(path, e))?;
+        Ok(RunPlan {
+            outputs: OutputSelection {
+                graph: true,
+                workload: parsed.workload.is_some(),
+            },
+            graph: parsed.graph,
+            workload: parsed.workload,
+            source: Some(path.to_path_buf()),
+        })
+    }
+
+    /// Starts a fluent builder over a scenario schema.
+    pub fn builder(schema: Schema) -> RunPlanBuilder {
+        RunPlanBuilder {
+            nodes: 10_000,
+            schema,
+            workload: None,
+            outputs: OutputSelection::default(),
+        }
+    }
+
+    /// Overrides the requested node count (the CLI's `--nodes`).
+    pub fn with_nodes(mut self, n: u64) -> RunPlan {
+        self.graph.n = n;
+        self
+    }
+
+    /// Checks the plan for internal consistency; called by
+    /// [`run`](crate::run::run) before any output is opened.
+    pub fn validate(&self) -> Result<(), GmarkError> {
+        if self.outputs.workload && self.workload.is_none() {
+            return Err(GmarkError::Plan(
+                "workload output requested but the plan has no workload \
+                 configuration (no <workload> section)"
+                    .to_owned(),
+            ));
+        }
+        if !self.outputs.graph && !self.outputs.workload {
+            return Err(GmarkError::Plan(
+                "nothing to generate: both graph and workload outputs are disabled".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`RunPlan`] — the programmatic counterpart of
+/// the XML configuration.
+///
+/// ```
+/// use gmark::run::{RunPlan, RunOptions, MemorySink, run};
+/// use gmark::prelude::WorkloadConfig;
+///
+/// let plan = RunPlan::builder(gmark::core::usecases::bib())
+///     .nodes(1_000)
+///     .workload(WorkloadConfig::new(4))
+///     .build()
+///     .unwrap();
+/// let mut sink = MemorySink::new();
+/// let summary = run(&plan, &RunOptions::with_seed(42), &mut sink).unwrap();
+/// assert_eq!(summary.workload.as_ref().unwrap().produced, 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunPlanBuilder {
+    nodes: u64,
+    schema: Schema,
+    workload: Option<WorkloadConfig>,
+    outputs: OutputSelection,
+}
+
+impl RunPlanBuilder {
+    /// Sets the requested node count `n` (default 10 000).
+    pub fn nodes(mut self, n: u64) -> RunPlanBuilder {
+        self.nodes = n;
+        self
+    }
+
+    /// Adds a query-workload specification.
+    pub fn workload(mut self, config: WorkloadConfig) -> RunPlanBuilder {
+        self.workload = Some(config);
+        self
+    }
+
+    /// Generate only the query workload — no graph instance (the CLI's
+    /// `--queries-only`).
+    pub fn queries_only(mut self) -> RunPlanBuilder {
+        self.outputs.graph = false;
+        self.outputs.workload = true;
+        self
+    }
+
+    /// Generate only the graph instance, even if a workload specification
+    /// is present.
+    pub fn graph_only(mut self) -> RunPlanBuilder {
+        self.outputs.graph = true;
+        self.outputs.workload = false;
+        self
+    }
+
+    /// Finishes the plan, validating it.
+    pub fn build(self) -> Result<RunPlan, GmarkError> {
+        let has_workload = self.workload.is_some();
+        let plan = RunPlan {
+            graph: GraphConfig::new(self.nodes, self.schema),
+            workload: self.workload,
+            outputs: OutputSelection {
+                graph: self.outputs.graph,
+                // A plan without a workload section simply produces no
+                // workload documents — mirroring the CLI, where a config
+                // without <workload> still runs.
+                workload: self.outputs.workload && has_workload,
+            },
+            source: None,
+        };
+        // queries_only without a workload is the one combination that
+        // cannot be softened into "produce less".
+        if !plan.outputs.graph && !has_workload {
+            return Err(GmarkError::Plan(
+                "queries_only requires a workload configuration".to_owned(),
+            ));
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::usecases;
+
+    #[test]
+    fn builder_defaults_produce_a_graph_only_plan() {
+        let plan = RunPlan::builder(usecases::bib())
+            .nodes(500)
+            .build()
+            .unwrap();
+        assert_eq!(plan.graph.n, 500);
+        assert!(plan.outputs.graph);
+        assert!(
+            !plan.outputs.workload,
+            "no workload config, no workload output"
+        );
+    }
+
+    #[test]
+    fn queries_only_without_workload_is_rejected() {
+        let err = RunPlan::builder(usecases::bib())
+            .queries_only()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+    }
+
+    #[test]
+    fn xml_and_builder_agree_on_the_shape_of_the_plan() {
+        let xml = r#"
+            <generator>
+              <graph>
+                <nodes>800</nodes>
+                <types>
+                  <type name="a" proportion="0.5"/>
+                  <type name="b" proportion="0.5"/>
+                </types>
+                <predicates><predicate name="p"/></predicates>
+                <constraints>
+                  <constraint source="a" predicate="p" target="b">
+                    <outdistribution type="uniform" min="1" max="2"/>
+                  </constraint>
+                </constraints>
+              </graph>
+              <workload size="3" seed="9"/>
+            </generator>"#;
+        let plan = RunPlan::from_xml(xml).unwrap();
+        assert_eq!(plan.graph.n, 800);
+        assert_eq!(plan.workload.as_ref().unwrap().size, 3);
+        assert_eq!(plan.workload.as_ref().unwrap().seed, 9);
+        assert!(plan.outputs.graph && plan.outputs.workload);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn graph_only_xml_yields_a_runnable_graph_only_plan() {
+        let xml = r#"
+            <generator>
+              <graph>
+                <nodes>100</nodes>
+                <types><type name="a" proportion="1.0"/></types>
+                <predicates><predicate name="p" proportion="0.5"/></predicates>
+                <constraints>
+                  <constraint source="a" predicate="p" target="a">
+                    <outdistribution type="uniform" min="1" max="1"/>
+                  </constraint>
+                </constraints>
+              </graph>
+            </generator>"#;
+        let plan = RunPlan::from_xml(xml).unwrap();
+        assert!(plan.outputs.graph);
+        assert!(
+            !plan.outputs.workload,
+            "no <workload> section must not request workload output"
+        );
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn missing_config_file_is_an_io_error_with_the_path() {
+        let err = RunPlan::from_config_file("/nonexistent/gmark.xml").unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/gmark.xml"), "{err}");
+    }
+}

@@ -1,0 +1,466 @@
+//! The machine-readable run summary.
+//!
+//! One [`RunSummary`] captures everything `report.txt` and the CLI banner
+//! used to print — what was generated, with which seed, how long it took,
+//! what the consistency check found — and serializes it to JSON
+//! ([`RunSummary::to_json`], hand-rolled: no serde offline) so harnesses
+//! like `scripts/bench.sh` stop scraping the human-readable report.
+
+use gmark_core::gen::ConstraintReport;
+use gmark_core::workload::DiversitySummary;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// What one pipeline run produced. Returned by [`run`](crate::run::run)
+/// and [`run_in_memory`](crate::run::run_in_memory), rendered to
+/// `report.txt` by [`DirSink`](crate::run::DirSink), serializable with
+/// [`RunSummary::to_json`].
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// The configuration file the plan came from, when it came from one.
+    pub config: Option<PathBuf>,
+    /// The graph pipeline's resolved master seed.
+    pub seed: u64,
+    /// Worker threads actually used (after resolving `0 = auto-detect`).
+    pub threads: usize,
+    /// Whether the memory-bounded streaming graph pipeline ran.
+    pub streamed: bool,
+    /// Findings of the Section 4 consistency check (empty = consistent).
+    pub consistency: Vec<String>,
+    /// Graph-instance outcome; `None` when the plan skipped the graph.
+    pub graph: Option<GraphRunSummary>,
+    /// Workload outcome; `None` when the plan had no workload output.
+    pub workload: Option<WorkloadRunSummary>,
+}
+
+/// The graph half of a [`RunSummary`].
+#[derive(Debug, Clone)]
+pub struct GraphRunSummary {
+    /// Node count requested by the configuration.
+    pub nodes_requested: u64,
+    /// Node count realized after per-type rounding and fixed counts.
+    pub nodes_realized: u64,
+    /// Triples written to the [`Artifact::Graph`](crate::run::Artifact)
+    /// output.
+    pub edges_written: u64,
+    /// Edges generated before deduplication.
+    pub edges_generated: u64,
+    /// Per-constraint generation outcomes, in declaration order.
+    pub constraints: Vec<ConstraintReport>,
+    /// Wall-clock generation + serialization time.
+    pub seconds: f64,
+}
+
+/// The workload half of a [`RunSummary`].
+#[derive(Debug, Clone)]
+pub struct WorkloadRunSummary {
+    /// The workload pipeline's resolved seed.
+    pub seed: u64,
+    /// Queries produced.
+    pub produced: usize,
+    /// Queries whose selectivity target had to be abandoned.
+    pub unsatisfied_selectivity: usize,
+    /// Total relaxation steps applied across the workload.
+    pub relaxations: u32,
+    /// Starred concatenations the openCypher translator degrades
+    /// (Section 7.1).
+    pub cypher_star_concat: u64,
+    /// Starred inverses the openCypher translator degrades (Section 7.1).
+    pub cypher_star_inverse: u64,
+    /// Bytes written per workload document, in
+    /// [`Artifact::WORKLOAD`](crate::run::Artifact::WORKLOAD) order.
+    /// All zeros when the run materialized queries without rendering them
+    /// ([`run_in_memory`](crate::run::run_in_memory)).
+    pub bytes: [u64; 5],
+    /// Workload diversity (shapes, classes, arities, size maxima).
+    pub diversity: DiversitySummary,
+    /// Wall-clock generation + translation time.
+    pub seconds: f64,
+}
+
+impl RunSummary {
+    /// Renders the human-readable `report.txt` (same layout the CLI has
+    /// written since PR 1, so downstream scrapers keep working during the
+    /// migration to [`RunSummary::to_json`]).
+    pub fn render_report(&self) -> String {
+        let mut rep = String::new();
+        let _ = writeln!(rep, "gMark generation report");
+        match &self.config {
+            Some(path) => {
+                let _ = writeln!(rep, "config: {}", path.display());
+            }
+            None => {
+                let _ = writeln!(rep, "config: (programmatic plan)");
+            }
+        }
+        let _ = writeln!(rep, "seed: {}", self.seed);
+        match &self.graph {
+            Some(g) => {
+                let _ = writeln!(rep, "nodes requested: {}", g.nodes_requested);
+                let _ = writeln!(rep, "nodes realized: {}", g.nodes_realized);
+                let _ = writeln!(
+                    rep,
+                    "edges: {} written ({} generated before dedup) in {:.3}s",
+                    g.edges_written, g.edges_generated, g.seconds
+                );
+                for (i, cr) in g.constraints.iter().enumerate() {
+                    let _ = writeln!(
+                        rep,
+                        "constraint {i}: src_slots={} trg_slots={} edges={}",
+                        cr.src_slots, cr.trg_slots, cr.edges
+                    );
+                }
+            }
+            None => {
+                let _ = writeln!(rep, "graph: skipped (--queries-only)");
+            }
+        }
+        if self.consistency.is_empty() {
+            let _ = writeln!(rep, "consistency check: ok");
+        }
+        for issue in &self.consistency {
+            let _ = writeln!(rep, "consistency check: {issue}");
+        }
+        if let Some(w) = &self.workload {
+            let _ = writeln!(
+                rep,
+                "workload: {} queries, {} relaxation steps, {} unmet selectivity targets",
+                w.produced, w.relaxations, w.unsatisfied_selectivity
+            );
+            let _ = writeln!(
+                rep,
+                "cypher degradations: {} concatenation-under-star, {} inverse-under-star",
+                w.cypher_star_concat, w.cypher_star_inverse
+            );
+            let _ = writeln!(rep, "diversity:\n{}", w.diversity);
+        }
+        rep
+    }
+
+    /// Serializes the summary as one JSON object (stable key order, no
+    /// trailing newline). `--format json` writes this to `summary.json`
+    /// and stdout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push('{');
+        push_key(&mut out, "gmark_version");
+        push_str(&mut out, env!("CARGO_PKG_VERSION"));
+        out.push(',');
+        push_key(&mut out, "config");
+        match &self.config {
+            Some(p) => push_str(&mut out, &p.display().to_string()),
+            None => out.push_str("null"),
+        }
+        out.push(',');
+        push_key(&mut out, "seed");
+        let _ = write!(out, "{}", self.seed);
+        out.push(',');
+        push_key(&mut out, "threads");
+        let _ = write!(out, "{}", self.threads);
+        out.push(',');
+        push_key(&mut out, "streamed");
+        let _ = write!(out, "{}", self.streamed);
+        out.push(',');
+        push_key(&mut out, "consistency");
+        out.push('[');
+        for (i, issue) in self.consistency.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(&mut out, issue);
+        }
+        out.push(']');
+        out.push(',');
+        push_key(&mut out, "graph");
+        match &self.graph {
+            Some(g) => g.write_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push(',');
+        push_key(&mut out, "workload");
+        match &self.workload {
+            Some(w) => w.write_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Display for RunSummary {
+    /// The CLI's human-readable banner (one line per pipeline that ran).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(g) = &self.graph {
+            writeln!(
+                f,
+                "graph: {} nodes requested, {} edges -> graph.nt ({:.3}s, {} thread{}{})",
+                g.nodes_requested,
+                g.edges_written,
+                g.seconds,
+                self.threads,
+                if self.threads > 1 { "s" } else { "" },
+                if self.streamed { ", streamed" } else { "" }
+            )?;
+        }
+        if let Some(w) = &self.workload {
+            writeln!(
+                f,
+                "workload: {} queries -> workload.{{txt,sparql,cypher,sql,datalog}} \
+                 ({:.3}s, {} thread{}; cypher degradations: {} concatenation, {} inverse)",
+                w.produced,
+                w.seconds,
+                self.threads,
+                if self.threads > 1 { "s" } else { "" },
+                w.cypher_star_concat,
+                w.cypher_star_inverse,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl GraphRunSummary {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        push_key(out, "nodes_requested");
+        let _ = write!(out, "{}", self.nodes_requested);
+        out.push(',');
+        push_key(out, "nodes_realized");
+        let _ = write!(out, "{}", self.nodes_realized);
+        out.push(',');
+        push_key(out, "edges_written");
+        let _ = write!(out, "{}", self.edges_written);
+        out.push(',');
+        push_key(out, "edges_generated");
+        let _ = write!(out, "{}", self.edges_generated);
+        out.push(',');
+        push_key(out, "seconds");
+        let _ = write!(out, "{:.6}", self.seconds);
+        out.push(',');
+        push_key(out, "constraints");
+        out.push('[');
+        for (i, cr) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"src_slots\":{},\"trg_slots\":{},\"edges\":{}}}",
+                cr.src_slots, cr.trg_slots, cr.edges
+            );
+        }
+        out.push(']');
+        out.push('}');
+    }
+}
+
+impl WorkloadRunSummary {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        push_key(out, "seed");
+        let _ = write!(out, "{}", self.seed);
+        out.push(',');
+        push_key(out, "produced");
+        let _ = write!(out, "{}", self.produced);
+        out.push(',');
+        push_key(out, "unsatisfied_selectivity");
+        let _ = write!(out, "{}", self.unsatisfied_selectivity);
+        out.push(',');
+        push_key(out, "relaxations");
+        let _ = write!(out, "{}", self.relaxations);
+        out.push(',');
+        push_key(out, "cypher_degradations");
+        let _ = write!(
+            out,
+            "{{\"star_concat\":{},\"star_inverse\":{}}}",
+            self.cypher_star_concat, self.cypher_star_inverse
+        );
+        out.push(',');
+        push_key(out, "bytes");
+        let _ = write!(
+            out,
+            "{{\"rules\":{},\"sparql\":{},\"cypher\":{},\"sql\":{},\"datalog\":{}}}",
+            self.bytes[0], self.bytes[1], self.bytes[2], self.bytes[3], self.bytes[4]
+        );
+        out.push(',');
+        push_key(out, "seconds");
+        let _ = write!(out, "{:.6}", self.seconds);
+        out.push(',');
+        push_key(out, "diversity");
+        write_diversity_json(&self.diversity, out);
+        out.push('}');
+    }
+}
+
+fn write_diversity_json(d: &DiversitySummary, out: &mut String) {
+    out.push('{');
+    push_key(out, "total");
+    let _ = write!(out, "{}", d.total);
+    out.push(',');
+    push_key(out, "recursive");
+    let _ = write!(out, "{}", d.recursive);
+    out.push(',');
+    push_key(out, "by_shape");
+    out.push('{');
+    for (i, (shape, n)) in d.by_shape.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(out, &shape.to_string());
+        out.push(':');
+        let _ = write!(out, "{n}");
+    }
+    out.push('}');
+    out.push(',');
+    push_key(out, "by_class");
+    out.push('{');
+    for (i, (class, n)) in d.by_class.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(out, &class.to_string());
+        out.push(':');
+        let _ = write!(out, "{n}");
+    }
+    out.push('}');
+    out.push(',');
+    push_key(out, "by_arity");
+    out.push('{');
+    for (i, (arity, n)) in d.by_arity.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_str(out, &arity.to_string());
+        out.push(':');
+        let _ = write!(out, "{n}");
+    }
+    out.push('}');
+    out.push(',');
+    push_key(out, "max_rules");
+    let _ = write!(out, "{}", d.max_rules);
+    out.push(',');
+    push_key(out, "max_conjuncts");
+    let _ = write!(out, "{}", d.max_conjuncts);
+    out.push(',');
+    push_key(out, "max_disjuncts");
+    let _ = write!(out, "{}", d.max_disjuncts);
+    out.push(',');
+    push_key(out, "max_path_length");
+    let _ = write!(out, "{}", d.max_path_length);
+    out.push('}');
+}
+
+/// Appends `"key":` to `out`.
+fn push_key(out: &mut String, key: &str) {
+    push_str(out, key);
+    out.push(':');
+}
+
+/// Appends a JSON string literal (RFC 8259 escaping).
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunSummary {
+        RunSummary {
+            config: Some(PathBuf::from("bib.xml")),
+            seed: 42,
+            threads: 2,
+            streamed: false,
+            consistency: vec!["something \"quoted\"".to_owned()],
+            graph: Some(GraphRunSummary {
+                nodes_requested: 100,
+                nodes_realized: 120,
+                edges_written: 300,
+                edges_generated: 310,
+                constraints: vec![ConstraintReport {
+                    src_slots: 10,
+                    trg_slots: 20,
+                    edges: 10,
+                }],
+                seconds: 0.25,
+            }),
+            workload: Some(WorkloadRunSummary {
+                seed: 42,
+                produced: 12,
+                unsatisfied_selectivity: 0,
+                relaxations: 3,
+                cypher_star_concat: 1,
+                cypher_star_inverse: 2,
+                bytes: [10, 20, 30, 40, 50],
+                diversity: DiversitySummary::default(),
+                seconds: 0.1,
+            }),
+        }
+    }
+
+    #[test]
+    fn report_keeps_the_historical_anchor_lines() {
+        let rep = sample().render_report();
+        assert!(rep.contains("gMark generation report"), "{rep}");
+        assert!(rep.contains("seed: 42"), "{rep}");
+        assert!(
+            rep.contains("edges: 300 written (310 generated before dedup)"),
+            "{rep}"
+        );
+        assert!(
+            rep.contains("cypher degradations: 1 concatenation-under-star"),
+            "{rep}"
+        );
+
+        let mut skipped = sample();
+        skipped.graph = None;
+        assert!(
+            skipped
+                .render_report()
+                .contains("graph: skipped (--queries-only)"),
+            "queries-only anchor line lost"
+        );
+    }
+
+    #[test]
+    fn json_is_escaped_and_balanced() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"seed\":42"), "{json}");
+        assert!(json.contains("\"produced\":12"), "{json}");
+        assert!(json.contains("something \\\"quoted\\\""), "{json}");
+        // Balanced braces/brackets (cheap structural sanity; full parsing
+        // is covered by the CLI integration test via python -m json.tool
+        // in CI).
+        let depth = json.chars().fold(0i64, |d, c| match c {
+            '{' | '[' => d + 1,
+            '}' | ']' => d - 1,
+            _ => d,
+        });
+        assert_eq!(depth, 0, "{json}");
+    }
+
+    #[test]
+    fn skipped_halves_serialize_as_null() {
+        let mut s = sample();
+        s.graph = None;
+        s.workload = None;
+        let json = s.to_json();
+        assert!(json.contains("\"graph\":null"), "{json}");
+        assert!(json.contains("\"workload\":null"), "{json}");
+    }
+}

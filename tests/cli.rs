@@ -1,0 +1,190 @@
+//! CLI contract tests: early-exit flags, exit codes, and the
+//! machine-readable `--format json` output.
+//!
+//! `--version` and `--help` historically called `std::process::exit`
+//! mid-parse — skipping destructors and bypassing `main`'s `ExitCode`.
+//! They now return a parsed early-exit variant; these tests pin the
+//! observable contract (exit status 0, expected text, no output files).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn gmark(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gmark"))
+        .args(args)
+        .output()
+        .expect("spawning the gmark binary")
+}
+
+#[test]
+fn version_exits_zero_and_prints_the_version() {
+    for flag in ["--version", "-V"] {
+        let out = gmark(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            stdout.trim().starts_with("gmark ") && stdout.contains(env!("CARGO_PKG_VERSION")),
+            "{flag}: unexpected output {stdout:?}"
+        );
+    }
+}
+
+#[test]
+fn help_exits_zero_and_documents_every_flag() {
+    for flag in ["--help", "-h"] {
+        let out = gmark(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        for documented in [
+            "--threads",
+            "--stream",
+            "--queries-only",
+            "--format",
+            "--version",
+        ] {
+            assert!(stdout.contains(documented), "{flag}: {documented} missing");
+        }
+    }
+}
+
+#[test]
+fn early_exit_flags_win_even_with_other_arguments_present() {
+    // --version after valid-looking flags must still exit 0 without
+    // generating anything.
+    let scratch = std::env::temp_dir().join(format!("gmark-earlyexit-{}", std::process::id()));
+    let out = gmark(&[
+        "--config",
+        repo_path("examples/configs/bib.xml").to_str().unwrap(),
+        "--output",
+        scratch.to_str().unwrap(),
+        "--version",
+    ]);
+    assert!(out.status.success());
+    assert!(
+        !scratch.exists(),
+        "--version must not run the pipeline (output dir was created)"
+    );
+}
+
+#[test]
+fn unknown_and_malformed_arguments_fail_with_usage() {
+    for bad in [&["--bogus"][..], &["--format", "yaml"], &["--seed", "x"]] {
+        let out = gmark(bad);
+        assert!(!out.status.success(), "{bad:?} must fail");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(stderr.contains("usage:"), "{bad:?}: no usage in {stderr:?}");
+    }
+}
+
+#[test]
+fn format_json_writes_summary_json_and_pure_json_stdout() {
+    let scratch = std::env::temp_dir().join(format!("gmark-json-{}", std::process::id()));
+    let out = gmark(&[
+        "--config",
+        repo_path("examples/configs/bib.xml").to_str().unwrap(),
+        "--output",
+        scratch.to_str().unwrap(),
+        "--queries-only",
+        "--format",
+        "json",
+        "--seed",
+        "42",
+        "--threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{:?}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+
+    // Stdout is exactly one JSON object (no banner mixed in) mirroring
+    // summary.json.
+    let trimmed = stdout.trim();
+    assert!(
+        trimmed.starts_with('{') && trimmed.ends_with('}'),
+        "stdout is not a lone JSON object: {stdout:?}"
+    );
+    let on_disk = std::fs::read_to_string(scratch.join("summary.json")).expect("summary.json");
+    assert_eq!(trimmed, on_disk.trim(), "stdout and summary.json diverge");
+
+    // The anchors external harnesses key on.
+    for anchor in [
+        "\"gmark_version\"",
+        "\"seed\":42",
+        "\"graph\":null",
+        "\"produced\":12",
+        "\"cypher_degradations\"",
+        "\"bytes\"",
+    ] {
+        assert!(trimmed.contains(anchor), "missing {anchor} in {trimmed}");
+    }
+    // --queries-only: no graph, but all five workload documents.
+    assert!(!scratch.join("graph.nt").exists());
+    for doc in [
+        "workload.txt",
+        "workload.sparql",
+        "workload.cypher",
+        "workload.sql",
+        "workload.datalog",
+    ] {
+        assert!(scratch.join(doc).exists(), "{doc} missing");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn text_format_keeps_the_human_banner_and_skips_summary_json() {
+    let scratch = std::env::temp_dir().join(format!("gmark-text-{}", std::process::id()));
+    let out = gmark(&[
+        "--config",
+        repo_path("examples/configs/bib.xml").to_str().unwrap(),
+        "--output",
+        scratch.to_str().unwrap(),
+        "--queries-only",
+        "--seed",
+        "42",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("workload: 12 queries"), "{stdout}");
+    assert!(stdout.contains("report ->"), "{stdout}");
+    assert!(
+        !scratch.join("summary.json").exists(),
+        "summary.json must be opt-in via --format json"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn queries_only_without_workload_section_is_a_plan_error() {
+    let scratch = std::env::temp_dir().join(format!("gmark-noplan-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let config = scratch.join("graph-only.xml");
+    std::fs::write(
+        &config,
+        r#"<generator><graph><nodes>100</nodes>
+           <types><type name="a" proportion="1.0"/></types>
+           <predicates><predicate name="p" proportion="0.5"/></predicates>
+           <constraints><constraint source="a" predicate="p" target="a">
+             <outdistribution type="uniform" min="1" max="1"/>
+           </constraint></constraints></graph></generator>"#,
+    )
+    .unwrap();
+    let out = gmark(&[
+        "--config",
+        config.to_str().unwrap(),
+        "--output",
+        scratch.join("out").to_str().unwrap(),
+        "--queries-only",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no <workload> section"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

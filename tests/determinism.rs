@@ -1,8 +1,18 @@
 //! Reproducibility guarantees: everything gMark generates is a pure
 //! function of (configuration, seed) — including under parallel generation
 //! and across all output formats.
+//!
+//! The historical wart — default-mode (non-streamed) `graph.nt` was
+//! byte-identical only across T > 1, because T = 1 streamed raw triples —
+//! is fixed: the unified `gmark::run` pipeline routes every thread count
+//! through the same ordered-merge-then-serialize path, and the tests here
+//! pin T = 1 vs T = 2 vs T = 8 both at the library level and through the
+//! CLI.
 
 use gmark::prelude::*;
+use gmark::run::{run, Artifact, MemorySink, RunOptions, RunPlan};
+use std::path::{Path, PathBuf};
+use std::process::Command;
 
 fn graph_fingerprint(g: &Graph) -> u64 {
     // Order-independent-ish FNV over all edges per predicate.
@@ -48,6 +58,70 @@ fn thread_count_does_not_change_the_graph() {
             "threads = {threads}"
         );
     }
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+#[test]
+fn default_mode_graph_bytes_are_identical_at_1_2_8_threads() {
+    // The new-API pin of the fixed T=1 wart: non-streamed graph.nt is one
+    // byte sequence at every thread count, including 1.
+    let plan = RunPlan::builder(gmark::core::usecases::lsn())
+        .nodes(2_000)
+        .build()
+        .expect("plan builds");
+    let bytes_at = |threads: usize| {
+        let mut sink = MemorySink::new();
+        run(
+            &plan,
+            &RunOptions::with_seed(99).threads(threads),
+            &mut sink,
+        )
+        .expect("runs");
+        sink.bytes(Artifact::Graph).expect("graph written")
+    };
+    let baseline = bytes_at(1);
+    assert!(!baseline.is_empty());
+    for threads in [2usize, 8] {
+        assert_eq!(
+            bytes_at(threads),
+            baseline,
+            "default-mode graph bytes differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn cli_default_mode_graph_is_byte_identical_at_t1_vs_t2() {
+    // End-to-end cover of the same guarantee through the binary (the CI
+    // smoke step runs the same comparison on release builds).
+    let scratch = std::env::temp_dir().join(format!("gmark-default-t1-{}", std::process::id()));
+    let run_cli = |dir: &Path, threads: &str| {
+        let status = Command::new(env!("CARGO_BIN_EXE_gmark"))
+            .args([
+                "--config",
+                repo_path("examples/configs/bib.xml").to_str().unwrap(),
+                "--output",
+                dir.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--seed",
+                "42",
+            ])
+            .status()
+            .expect("spawning the gmark binary");
+        assert!(status.success(), "gmark --threads {threads} failed");
+        std::fs::read(dir.join("graph.nt")).expect("graph.nt written")
+    };
+    let t1 = run_cli(&scratch.join("t1"), "1");
+    let t2 = run_cli(&scratch.join("t2"), "2");
+    assert_eq!(
+        t1, t2,
+        "CLI default-mode graph.nt differs between T=1 and T=2"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 #[test]

@@ -48,21 +48,32 @@ const CONFIG: &str = r#"
 
 #[test]
 fn xml_to_graph_to_workload_to_answers() {
-    let parsed = parse_config(CONFIG).expect("config parses");
-    let (graph, report) = generate_graph(&parsed.graph, &GeneratorOptions::with_seed(5));
-    assert!(report.total_edges > 100, "edges: {}", report.total_edges);
+    // The full Fig. 1 workflow through the unified pipeline API: one plan
+    // from XML, one in-memory run, everything evaluated downstream.
+    let plan = RunPlan::from_xml(CONFIG).expect("config parses");
+    let arts = run_in_memory(&plan, &RunOptions::with_seed(5)).expect("pipeline runs");
+    let gsum = arts.summary.graph.as_ref().expect("graph generated");
+    assert!(
+        gsum.edges_generated > 100,
+        "edges: {}",
+        gsum.edges_generated
+    );
+    let graph = arts.graph.expect("graph materialized");
     assert_eq!(graph.node_count(), 820); // 0.5+0.3+0.2 of 800 + 20 fixed
+    assert_eq!(gsum.nodes_realized, 820);
 
-    let wcfg = parsed.workload.expect("workload present");
-    let (workload, wreport) =
-        generate_workload(&parsed.graph.schema, &wcfg).expect("workload generates");
+    let workload = arts.workload.expect("workload materialized");
+    let wsum = arts.summary.workload.as_ref().expect("workload generated");
     assert_eq!(workload.queries.len(), 12);
-    assert_eq!(wreport.unsatisfied_selectivity, 0);
+    // --seed 5 overrides the XML's seed=11 in the plan's options…
+    assert_eq!(wsum.seed, 5);
+    assert_eq!(wsum.unsatisfied_selectivity, 0);
+    let schema = &plan.graph.schema;
 
     // Every query translates to all four syntaxes and evaluates on at
     // least two engines with identical counts.
     for gq in &workload.queries {
-        let translations = translate_all(&gq.query, &parsed.graph.schema).expect("translates");
+        let translations = translate_all(&gq.query, schema).expect("translates");
         assert_eq!(translations.len(), 4);
         for (syntax, text) in &translations {
             assert!(!text.trim().is_empty(), "{syntax} produced empty text");

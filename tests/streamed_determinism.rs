@@ -88,6 +88,32 @@ fn library_streamed_bytes_match_across_thread_counts() {
 }
 
 #[test]
+fn run_api_streamed_graph_is_byte_identical_at_1_2_8_threads() {
+    // The same guarantee through the unified pipeline API.
+    use gmark::run::{run, Artifact, MemorySink, RunOptions, RunPlan};
+    let plan = RunPlan::builder(gmark::core::usecases::bib())
+        .nodes(3_000)
+        .build()
+        .expect("plan builds");
+    let bytes_at = |threads: usize| {
+        let mut sink = MemorySink::new();
+        let summary = run(
+            &plan,
+            &RunOptions::with_seed(0xB1B).threads(threads).stream(true),
+            &mut sink,
+        )
+        .expect("streams");
+        assert!(summary.streamed);
+        sink.bytes(Artifact::Graph).expect("graph written")
+    };
+    let baseline = bytes_at(1);
+    assert!(!baseline.is_empty());
+    for threads in [2usize, 8] {
+        assert_eq!(bytes_at(threads), baseline, "{threads} threads differ");
+    }
+}
+
+#[test]
 fn streamed_output_parses_back_to_the_same_edge_multiset() {
     // The streamed file must round-trip through the strict reader and
     // carry exactly the edges the in-memory pipeline reports.

@@ -134,6 +134,42 @@ fn library_workload_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn run_api_workload_documents_are_byte_identical_at_1_2_8_threads() {
+    // The five documents through the unified pipeline API (queries-only
+    // plan), pinned byte-for-byte across thread counts.
+    use gmark::run::{run, Artifact, MemorySink, RunOptions, RunPlan};
+    let mut cfg = WorkloadConfig::new(24).with_seed(0xB1B);
+    cfg.shapes = vec![Shape::Chain, Shape::Star, Shape::Cycle, Shape::StarChain];
+    cfg.recursion_probability = 0.25;
+    let plan = RunPlan::builder(gmark::core::usecases::bib())
+        .workload(cfg)
+        .queries_only()
+        .build()
+        .expect("plan builds");
+    let docs_at = |threads: usize| {
+        let mut sink = MemorySink::new();
+        let summary = run(&plan, &RunOptions::default().threads(threads), &mut sink)
+            .expect("workload streams");
+        assert!(summary.graph.is_none(), "queries-only must skip the graph");
+        assert!(
+            sink.bytes(Artifact::Graph).is_none(),
+            "graph.nt written anyway"
+        );
+        Artifact::WORKLOAD.map(|a| sink.bytes(a).expect("document written"))
+    };
+    let baseline = docs_at(1);
+    for doc in &baseline {
+        assert!(!doc.is_empty());
+    }
+    for threads in [2usize, 8] {
+        let docs = docs_at(threads);
+        for (artifact, (doc, base)) in Artifact::WORKLOAD.iter().zip(docs.iter().zip(&baseline)) {
+            assert_eq!(doc, base, "{artifact} differs at {threads} threads");
+        }
+    }
+}
+
+#[test]
 fn zero_threads_auto_detects_and_matches() {
     let schema = gmark::core::usecases::bib();
     let cfg = WorkloadConfig::new(12).with_seed(7);
