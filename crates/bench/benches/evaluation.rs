@@ -10,7 +10,7 @@ use gmark_core::selectivity::graph::{SchemaGraph, SelectivityGraph};
 use gmark_core::selectivity::{Estimator, SelectivityClass};
 use gmark_core::usecases;
 use gmark_core::workload::{generate_workload, WorkloadConfig};
-use gmark_engines::{all_engines, Budget};
+use gmark_engines::{Budget, EngineKind, EvalContext};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -21,21 +21,20 @@ fn engines(c: &mut Criterion) {
     let config = GraphConfig::new(2_000, schema.clone());
     let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(5));
     let (workload, _) = generate_workload(&schema, &WorkloadConfig::new(3).with_seed(6)).unwrap();
+    // One shared context — the benchmark measures the per-query hot path,
+    // not per-query index rebuilds.
+    let ctx = EvalContext::new(&graph);
     for class in SelectivityClass::ALL {
         let Some(gq) = workload.of_class(class).next() else {
             continue;
         };
-        for engine in all_engines() {
+        for kind in EngineKind::ALL {
             group.bench_function(
-                BenchmarkId::new(engine.name().replace('/', "_"), class.to_string()),
+                BenchmarkId::new(kind.name().replace('/', "_"), class.to_string()),
                 |b| {
                     b.iter(|| {
                         let budget = Budget::default();
-                        black_box(
-                            engine
-                                .evaluate(&graph, &gq.query, &budget)
-                                .map(|a| a.count()),
-                        )
+                        black_box(kind.evaluate(&ctx, &gq.query, &budget).map(|a| a.count()))
                     })
                 },
             );

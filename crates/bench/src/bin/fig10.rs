@@ -15,11 +15,11 @@
 //! cargo run -p gmark-bench --release --bin fig10 [--full]
 //! ```
 
-use gmark_bench::{build_graph, measure, HarnessOptions, WorkloadKind};
+use gmark_bench::{build_graph, fmt_matrix_cell_with_count, HarnessOptions, WorkloadKind};
 use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Symbol, Var};
 use gmark_core::selectivity::SelectivityClass;
 use gmark_core::usecases;
-use gmark_engines::TripleStoreEngine;
+use gmark_engines::{evaluate_matrix, EngineKind, EvalContext};
 
 /// Hand-written fixed queries mirroring SP²Bench's Q-set character:
 /// a journal–journal lookup (constant), an author-of-article listing
@@ -100,23 +100,41 @@ fn main() {
         .map(|&n| build_graph(&schema, n, opts.seed, opts.threads))
         .collect();
 
-    for (label, queries) in [("org", org_queries(&schema)), ("gMark", gmark_queries)] {
-        for (class, q) in &queries {
+    // Both series through the shared harness: per graph, one context and
+    // one matrix over all six queries on the triple-store engine.
+    let org = org_queries(&schema);
+    let series: Vec<(&str, &[(SelectivityClass, Query)])> =
+        vec![("org", &org), ("gMark", &gmark_queries)];
+    let queries: Vec<&Query> = series
+        .iter()
+        .flat_map(|(_, qs)| qs.iter().map(|(_, q)| q))
+        .collect();
+    let reports: Vec<_> = graphs
+        .iter()
+        .map(|graph| {
+            let ctx = EvalContext::new(graph);
+            evaluate_matrix(
+                &ctx,
+                &queries,
+                &[EngineKind::TripleStore],
+                &opts.cell_budget(),
+                &opts.matrix_options(),
+            )
+        })
+        .collect();
+
+    let mut row = 0usize;
+    for (label, qs) in &series {
+        for (class, _) in qs.iter() {
             let mut cells = Vec::new();
-            for graph in &graphs {
-                let r = measure(
-                    &TripleStoreEngine,
-                    graph,
-                    q,
-                    &opts.budget(),
-                    opts.warm_runs(),
-                );
-                cells.push(match &r {
-                    Ok((d, count)) => format!("{:.3}s/{count}", d.as_secs_f64()),
-                    Err(_) => "-".into(),
-                });
+            for report in &reports {
+                let cell = report
+                    .cell(row, EngineKind::TripleStore)
+                    .expect("matrix covers every cell");
+                cells.push(fmt_matrix_cell_with_count(cell));
             }
             gmark_bench::print_row(&format!("{class} ({label})"), &cells, 16);
+            row += 1;
         }
     }
     println!(

@@ -15,7 +15,7 @@
 use gmark_bench::{build_graph, HarnessOptions, WorkloadKind};
 use gmark_core::selectivity::SelectivityClass;
 use gmark_core::usecases;
-use gmark_engines::{Engine, TripleStoreEngine};
+use gmark_engines::{evaluate_matrix, CellOutcome, EngineKind, EvalContext, MatrixOptions};
 use gmark_stats::log_log_alpha;
 
 fn main() {
@@ -26,6 +26,16 @@ fn main() {
         .iter()
         .map(|&n| (n, build_graph(&schema, n, opts.seed, opts.threads)))
         .collect();
+    // One shared context per graph size, reused across all four panels —
+    // this experiment only needs counts, so no warm runs.
+    let contexts: Vec<EvalContext<'_>> = graphs
+        .iter()
+        .map(|(_, graph)| EvalContext::new(graph))
+        .collect();
+    let matrix_opts = MatrixOptions {
+        threads: opts.threads,
+        warm_runs: 0,
+    };
 
     println!("Fig. 11: measured |E| vs fitted theoretical |Q| = beta*n^alpha (Bib)");
     for kind in [
@@ -43,10 +53,17 @@ fn main() {
             };
             let mut observations: Vec<(u64, u64)> = Vec::new();
             let mut failed = false;
-            for (n, graph) in &graphs {
-                match TripleStoreEngine.evaluate(graph, &gq.query, &opts.budget()) {
-                    Ok(a) => observations.push((*n, a.count())),
-                    Err(_) => {
+            for ((n, _), ctx) in graphs.iter().zip(&contexts) {
+                let report = evaluate_matrix(
+                    ctx,
+                    &[&gq.query],
+                    &[EngineKind::TripleStore],
+                    &opts.cell_budget(),
+                    &matrix_opts,
+                );
+                match &report.cells[0].outcome {
+                    CellOutcome::Answers { count, .. } => observations.push((*n, *count)),
+                    CellOutcome::Failed(_) => {
                         failed = true;
                         break;
                     }

@@ -8,14 +8,19 @@
 //! two most deviant query averages per cell discarded, here approximated
 //! by skipping failed queries).
 //!
+//! Runs on the shared evaluation harness: per (family, graph size), one
+//! `EvalContext` and one `evaluate_matrix` call cover every
+//! (query × engine) cell; panel averages are folded from the cells.
+//!
 //! ```sh
 //! cargo run -p gmark-bench --release --bin fig12 [--full]
 //! ```
 
-use gmark_bench::{build_graph, measure, HarnessOptions, WorkloadKind};
+use gmark_bench::{build_graph, HarnessOptions, WorkloadKind};
+use gmark_core::query::Query;
 use gmark_core::selectivity::SelectivityClass;
 use gmark_core::usecases;
-use gmark_engines::all_engines;
+use gmark_engines::{evaluate_matrix, CellOutcome, EngineKind, EvalContext, EvalReport};
 use gmark_stats::Summary;
 
 fn main() {
@@ -26,29 +31,79 @@ fn main() {
         .iter()
         .map(|&n| (n, build_graph(&schema, n, opts.seed, opts.threads)))
         .collect();
+    // One shared context per graph size, reused by every workload family
+    // — the per-graph indexes (relations, EDB) are built once, not once
+    // per family.
+    let contexts: Vec<EvalContext<'_>> = graphs
+        .iter()
+        .map(|(_, graph)| EvalContext::new(graph))
+        .collect();
+
+    // Evaluate every (family × size) matrix once, then print the three
+    // class panels from the cached cells. Queries are laid out per family
+    // as [class0 queries..., class1 queries..., class2 queries...] with
+    // recorded (class, row range) offsets.
+    struct FamilyRun {
+        kind: WorkloadKind,
+        /// Per class: the matrix row indices of its queries.
+        class_rows: Vec<(SelectivityClass, Vec<usize>)>,
+        /// One report per graph size.
+        reports: Vec<EvalReport>,
+    }
+
+    let runs: Vec<FamilyRun> = WorkloadKind::NON_RECURSIVE
+        .iter()
+        .map(|&kind| {
+            let workload = kind.workload(&schema, opts.seed ^ 0xF12);
+            let mut queries: Vec<&Query> = Vec::new();
+            let mut class_rows = Vec::new();
+            for class in SelectivityClass::ALL {
+                let start = queries.len();
+                queries.extend(workload.of_class(class).map(|gq| &gq.query));
+                class_rows.push((class, (start..queries.len()).collect()));
+            }
+            let reports = contexts
+                .iter()
+                .map(|ctx| {
+                    evaluate_matrix(
+                        ctx,
+                        &queries,
+                        &EngineKind::ALL,
+                        &opts.cell_budget(),
+                        &opts.matrix_options(),
+                    )
+                })
+                .collect();
+            FamilyRun {
+                kind,
+                class_rows,
+                reports,
+            }
+        })
+        .collect();
 
     println!("Fig. 12: average query time per (workload, engine) cell, Bib scenario");
     for class in SelectivityClass::ALL {
         println!("\n--- panel: {class} queries ---");
         let header: Vec<String> = sizes.iter().map(|n| format!("{}K", n / 1000)).collect();
         gmark_bench::print_row("workload/engine", &header, 12);
-        for kind in WorkloadKind::NON_RECURSIVE {
-            let workload = kind.workload(&schema, opts.seed ^ 0xF12);
-            for engine in all_engines() {
+        for run in &runs {
+            let rows = &run
+                .class_rows
+                .iter()
+                .find(|(c, _)| *c == class)
+                .expect("all classes recorded")
+                .1;
+            for kind in EngineKind::ALL {
                 let mut cells = Vec::new();
-                for (_, graph) in &graphs {
+                for report in &run.reports {
                     let mut summary = Summary::new();
                     let mut failures = 0;
-                    for gq in workload.of_class(class) {
-                        match measure(
-                            engine.as_ref(),
-                            graph,
-                            &gq.query,
-                            &opts.budget(),
-                            opts.warm_runs(),
-                        ) {
-                            Ok((d, _)) => summary.push(d.as_secs_f64()),
-                            Err(_) => failures += 1,
+                    for &row in rows.iter() {
+                        let cell = report.cell(row, kind).expect("matrix covers every cell");
+                        match &cell.outcome {
+                            CellOutcome::Answers { .. } => summary.push(cell.seconds),
+                            CellOutcome::Failed(_) => failures += 1,
                         }
                     }
                     if summary.count() == 0 {
@@ -59,7 +114,7 @@ fn main() {
                         cells.push(format!("{:.3}s", summary.mean()));
                     }
                 }
-                gmark_bench::print_row(&format!("{}/{}", kind.name(), engine.name()), &cells, 12);
+                gmark_bench::print_row(&format!("{}/{}", run.kind.name(), kind.name()), &cells, 12);
             }
         }
     }

@@ -12,12 +12,17 @@
 //! ```sh
 //! cargo run -p gmark-bench --release --bin table4 [--full]
 //! ```
+//!
+//! Runs on the shared evaluation harness: per graph size, one
+//! [`EvalContext`] is built and every (engine × query) cell goes through
+//! [`evaluate_matrix`] with a fresh per-cell budget and the Section 7.1
+//! warm-run protocol.
 
-use gmark_bench::{build_graph, fmt_cell, measure, HarnessOptions, WorkloadKind};
+use gmark_bench::{build_graph, fmt_matrix_cell, HarnessOptions, WorkloadKind};
 use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Symbol, Var};
 use gmark_core::selectivity::SelectivityClass;
 use gmark_core::usecases;
-use gmark_engines::all_engines;
+use gmark_engines::{evaluate_matrix, EngineKind, EvalContext, EvalReport};
 
 /// Picks the first *recursive* query of the given class from the Rec
 /// workload (the paper's "small case analysis" selected its two queries
@@ -64,6 +69,21 @@ fn main() {
         .map(|&n| (n, build_graph(&schema, n, opts.seed, opts.threads)))
         .collect();
 
+    // One shared context and one (engine × query) matrix per graph size.
+    let reports: Vec<EvalReport> = graphs
+        .iter()
+        .map(|(_, graph)| {
+            let ctx = EvalContext::new(graph);
+            evaluate_matrix(
+                &ctx,
+                &[&q1, &q2],
+                &EngineKind::ALL,
+                &opts.cell_budget(),
+                &opts.matrix_options(),
+            )
+        })
+        .collect();
+
     let header: Vec<String> = {
         let mut h: Vec<String> = sizes.iter().map(|n| format!("Q1 {}K", n / 1000)).collect();
         h.extend(sizes.iter().map(|n| format!("Q2 {}K", n / 1000)));
@@ -71,15 +91,15 @@ fn main() {
     };
     gmark_bench::print_row("engine", &header, 10);
 
-    for engine in all_engines() {
+    for kind in EngineKind::ALL {
         let mut cells = Vec::new();
-        for q in [&q1, &q2] {
-            for (_, graph) in &graphs {
-                let result = measure(engine.as_ref(), graph, q, &opts.budget(), opts.warm_runs());
-                cells.push(fmt_cell(&result));
+        for q in 0..2 {
+            for report in &reports {
+                let cell = report.cell(q, kind).expect("matrix covers every cell");
+                cells.push(fmt_matrix_cell(cell));
             }
         }
-        gmark_bench::print_row(engine.name(), &cells, 10);
+        gmark_bench::print_row(kind.name(), &cells, 10);
     }
     println!(
         "\npaper reference (Table 4): P finished Q1 only at 2K/4K (3 400 s / \

@@ -24,7 +24,7 @@ use gmark::run::{run_in_memory, RunOptions, RunPlan};
 use gmark_core::schema::Schema;
 use gmark_core::selectivity::SelectivityClass;
 use gmark_core::workload::{QuerySize, Workload, WorkloadConfig};
-use gmark_engines::{Budget, Engine, EvalError};
+use gmark_engines::{Budget, CellBudget, CellOutcome, Engine, EvalCell, EvalError, MatrixOptions};
 use gmark_store::Graph;
 use std::time::{Duration, Instant};
 
@@ -190,10 +190,24 @@ impl HarnessOptions {
 
     /// The per-query evaluation budget.
     pub fn budget(&self) -> Budget {
+        let cb = self.cell_budget();
+        Budget::with_limits(cb.timeout, cb.max_tuples)
+    }
+
+    /// The per-cell budget recipe for the evaluation matrix harness: each
+    /// (engine × query) cell starts a fresh clock, so late cells are not
+    /// charged for earlier ones.
+    pub fn cell_budget(&self) -> CellBudget {
         if self.full {
-            Budget::new(Duration::from_secs(120), 50_000_000)
+            CellBudget {
+                timeout: Some(Duration::from_secs(120)),
+                max_tuples: 50_000_000,
+            }
         } else {
-            Budget::new(Duration::from_secs(10), 20_000_000)
+            CellBudget {
+                timeout: Some(Duration::from_secs(10)),
+                max_tuples: 20_000_000,
+            }
         }
     }
 
@@ -203,6 +217,15 @@ impl HarnessOptions {
             5
         } else {
             3
+        }
+    }
+
+    /// Matrix options for [`gmark_engines::evaluate_matrix`], carrying the
+    /// harness thread count and the Section 7.1 warm-run protocol.
+    pub fn matrix_options(&self) -> MatrixOptions {
+        MatrixOptions {
+            threads: self.threads,
+            warm_runs: self.warm_runs(),
         }
     }
 }
@@ -292,6 +315,23 @@ pub fn fmt_cell(result: &Result<(Duration, u64), EvalError>) -> String {
     match result {
         Ok((d, _)) => format!("{:.3}s", d.as_secs_f64()),
         Err(_) => "-".to_owned(),
+    }
+}
+
+/// Formats one evaluation-matrix cell like the paper's grids: warm-run
+/// mean seconds for completed cells, `-` for budget failures.
+pub fn fmt_matrix_cell(cell: &EvalCell) -> String {
+    match &cell.outcome {
+        CellOutcome::Answers { .. } => format!("{:.3}s", cell.seconds),
+        CellOutcome::Failed(_) => "-".to_owned(),
+    }
+}
+
+/// Formats one matrix cell as `time/result-count` (Fig. 10 style).
+pub fn fmt_matrix_cell_with_count(cell: &EvalCell) -> String {
+    match &cell.outcome {
+        CellOutcome::Answers { count, .. } => format!("{:.3}s/{count}", cell.seconds),
+        CellOutcome::Failed(_) => "-".to_owned(),
     }
 }
 

@@ -174,6 +174,28 @@ pub struct GeneratedQuery {
     pub relaxations: u32,
 }
 
+impl GeneratedQuery {
+    /// A compact, deterministic metadata label for evaluation reports:
+    /// target selectivity class, skeleton shape, arity, and recursion —
+    /// the per-query context Section 7's tables annotate their rows with.
+    /// Pure function of the generated query, so reports embedding it stay
+    /// byte-identical across thread counts.
+    pub fn eval_label(&self) -> String {
+        format!(
+            "class={} shape={} arity={} recursive={}",
+            self.target
+                .map_or_else(|| "-".to_owned(), |t| t.to_string()),
+            self.shape,
+            self.query.arity(),
+            if self.query.is_recursive() {
+                "yes"
+            } else {
+                "no"
+            },
+        )
+    }
+}
+
 /// An error raised while constructing one workload query, tagged with the
 /// failing query index so callers (the CLI in particular) can point at the
 /// exact slot. In a parallel run the **lowest** failing index is reported,

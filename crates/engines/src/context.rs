@@ -1,0 +1,190 @@
+//! The shared, immutable evaluation context.
+//!
+//! Before this module existed, every engine re-derived its own view of the
+//! graph *per query*: the relational engine collected and sorted one edge
+//! list per symbol occurrence, the Datalog engine rebuilt the whole EDB
+//! (`node(v)`, `edge_<p>(s, t)`) from scratch, and the automaton engines
+//! recompiled NFAs for expressions they had already seen. An
+//! [`EvalContext`] computes each of these **at most once per graph** and
+//! lends them to all four engines — the "one context, many query backends"
+//! shape of a server, and the schema-wide precomputation that
+//! schema-based query optimisation exploits:
+//!
+//! * [`EvalContext::relation`] — the sorted, deduplicated binary relation
+//!   of a `Σ±` symbol (forward or inverse), built lazily per
+//!   `(predicate, direction)` and shared by reference;
+//! * [`EvalContext::edb`] — the Datalog extensional database plus the base
+//!   program interning `node` and every `edge_<p>`, built lazily once;
+//!   per-query programs extend a clone of the (tiny) base program while
+//!   borrowing the (large) fact database;
+//! * [`EvalContext::nfa`] — a memoized [`compile_nfa`], keyed by the
+//!   regular expression;
+//! * [`EvalContext::cardinality`] — per-predicate edge counts (an O(1)
+//!   read off the CSR), the convenience input for cardinality-driven
+//!   planning in harness code.
+//!
+//! The context is `Sync`: lazy slots are [`OnceLock`]s whose values are
+//! pure functions of the graph, and the NFA cache is a mutex around a
+//! memo table — so concurrent initialization from the matrix harness's
+//! workers is race-free and cannot affect any observable result.
+
+use crate::automaton::{compile_nfa, Nfa};
+use crate::datalog::{graph_edb, Database, Program};
+use crate::relations::Relation;
+use gmark_core::query::{RegularExpr, Symbol};
+use gmark_store::Graph;
+use rustc_hash::FxHashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Everything the four engines would otherwise re-derive from the graph on
+/// every query, computed at most once and borrowed by every
+/// (engine × query) cell. See the module docs.
+#[derive(Debug)]
+pub struct EvalContext<'g> {
+    graph: &'g Graph,
+    /// Lazy forward relation per predicate.
+    fwd: Vec<OnceLock<Relation>>,
+    /// Lazy inverse relation per predicate.
+    bwd: Vec<OnceLock<Relation>>,
+    /// Lazy Datalog base program (`node`, `edge_<p>`) and EDB facts.
+    edb: OnceLock<(Program, Database)>,
+    /// Memoized compiled automata, keyed by expression.
+    nfas: Mutex<FxHashMap<RegularExpr, Arc<Nfa>>>,
+}
+
+impl<'g> EvalContext<'g> {
+    /// Wraps a graph. Cheap: every index is initialized lazily on first
+    /// use, so a context built for one triple-store query never pays for
+    /// the Datalog EDB.
+    pub fn new(graph: &'g Graph) -> EvalContext<'g> {
+        let preds = graph.predicate_count();
+        EvalContext {
+            graph,
+            fwd: (0..preds).map(|_| OnceLock::new()).collect(),
+            bwd: (0..preds).map(|_| OnceLock::new()).collect(),
+            edb: OnceLock::new(),
+            nfas: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The underlying graph.
+    #[inline]
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Number of `pred`-labeled edges (the planner's cardinality input;
+    /// an O(1) read off the forward CSR).
+    #[inline]
+    pub fn cardinality(&self, pred: usize) -> usize {
+        self.graph.edge_count_for(pred)
+    }
+
+    /// The sorted binary relation of one `Σ±` symbol, computed on first
+    /// use for its `(predicate, direction)` slot and shared afterwards.
+    pub fn relation(&self, sym: Symbol) -> &Relation {
+        let slot = if sym.inverse {
+            &self.bwd[sym.predicate.0]
+        } else {
+            &self.fwd[sym.predicate.0]
+        };
+        slot.get_or_init(|| Relation::of_symbol(self.graph, sym))
+    }
+
+    /// The compiled NFA of a regular expression, memoized per context.
+    pub fn nfa(&self, expr: &RegularExpr) -> Arc<Nfa> {
+        let mut cache = self.nfas.lock().expect("no panics while compiling NFAs");
+        if let Some(nfa) = cache.get(expr) {
+            return Arc::clone(nfa);
+        }
+        let nfa = Arc::new(compile_nfa(expr));
+        cache.insert(expr.clone(), Arc::clone(&nfa));
+        nfa
+    }
+
+    /// The Datalog base program (`node` + one `edge_<p>` per predicate,
+    /// interned in predicate order) and the extensional database over it,
+    /// built on first use. Per-query programs start from a clone of the
+    /// base program — so their `edge_<p>` ids line up with the shared
+    /// facts — and evaluate against the borrowed EDB via
+    /// [`crate::datalog::semi_naive_over`].
+    pub fn edb(&self) -> (&Program, &Database) {
+        let (program, db) = self.edb.get_or_init(|| {
+            let mut program = Program::new();
+            let db = graph_edb(self.graph, &mut program);
+            (program, db)
+        });
+        (program, db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::schema::PredicateId;
+    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new(TypePartition::from_counts(&[4]), 2);
+        for (s, t) in [(0, 1), (1, 2), (2, 0), (3, 1)] {
+            b.edge(s, 0, t);
+        }
+        for (s, t) in [(1, 3), (2, 3)] {
+            b.edge(s, 1, t);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn relations_are_shared_not_rebuilt() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let sym = Symbol::forward(PredicateId(0));
+        let first = ctx.relation(sym) as *const Relation;
+        let second = ctx.relation(sym) as *const Relation;
+        assert_eq!(first, second, "same OnceLock slot must be returned");
+        assert_eq!(ctx.relation(sym).pairs(), &[(0, 1), (1, 2), (2, 0), (3, 1)]);
+        assert_eq!(
+            ctx.relation(sym.flipped()).pairs(),
+            &[(0, 2), (1, 0), (1, 3), (2, 1)]
+        );
+    }
+
+    #[test]
+    fn cardinalities_match_the_graph() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        assert_eq!(ctx.cardinality(0), 4);
+        assert_eq!(ctx.cardinality(1), 2);
+    }
+
+    #[test]
+    fn nfa_cache_returns_the_same_automaton() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let expr = RegularExpr::symbol(Symbol::forward(PredicateId(0)));
+        let a = ctx.nfa(&expr);
+        let b = ctx.nfa(&expr);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn edb_is_built_once_and_covers_the_graph() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let (program, db) = ctx.edb();
+        let node = program.predicate_id("node").expect("node interned");
+        let e0 = program.predicate_id("edge_0").expect("edge_0 interned");
+        assert_eq!(db.count(node), 4);
+        assert_eq!(db.count(e0), 4);
+        let (again, _) = ctx.edb();
+        assert_eq!(again as *const Program, program as *const Program);
+    }
+
+    #[test]
+    fn context_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<EvalContext<'_>>();
+    }
+}

@@ -136,15 +136,40 @@ pub fn semi_naive(
     mut db: Database,
     budget: &Budget,
 ) -> Result<Database, EvalError> {
-    // IDB predicates = heads of rules.
-    let idb: FxHashSet<usize> = program.rules.iter().map(|r| r.head.pred).collect();
+    let idb = semi_naive_over(program, &db, budget)?;
+    for (pred, facts) in idb.relations {
+        db.relations.entry(pred).or_default().extend(facts);
+    }
+    Ok(db)
+}
 
-    // Round 0: evaluate every rule on the full database.
+/// Semi-naive evaluation against a **borrowed** extensional database:
+/// derived facts accumulate in a fresh IDB-only [`Database`] which is
+/// returned, while `edb` is only read. This is the shared-context hot
+/// path — a whole evaluation matrix reuses one EDB built from the graph
+/// (see [`crate::EvalContext::edb`]) instead of rebuilding `node(v)` and
+/// every `edge_<p>(s, t)` fact per query.
+pub fn semi_naive_over(
+    program: &Program,
+    edb: &Database,
+    budget: &Budget,
+) -> Result<Database, EvalError> {
+    // IDB predicates = heads of rules.
+    let idb_preds: FxHashSet<usize> = program.rules.iter().map(|r| r.head.pred).collect();
+    let mut idb = Database::new();
+
+    // Round 0: evaluate every rule on the full (layered) database.
+    // The head's EDB relation is resolved once per rule, outside the
+    // per-fact loop; for query programs it is always absent (heads are
+    // `ans`/fresh predicates), so the common path pays nothing per fact.
     let mut delta: FxHashMap<usize, FxHashSet<Vec<NodeId>>> = FxHashMap::default();
     for rule in &program.rules {
-        let derived = eval_rule(rule, &db, None, usize::MAX, budget)?;
+        let head_edb = edb.relations.get(&rule.head.pred);
+        let derived = eval_rule(rule, edb, &idb, None, usize::MAX, budget)?;
         for fact in derived {
-            if db.insert(rule.head.pred, fact.clone()) {
+            if head_edb.is_none_or(|s| !s.contains(&fact))
+                && idb.insert(rule.head.pred, fact.clone())
+            {
                 delta.entry(rule.head.pred).or_default().insert(fact);
             }
         }
@@ -154,11 +179,12 @@ pub fn semi_naive(
     // the delta at that position against the full database elsewhere.
     while !delta.is_empty() {
         budget.check_time()?;
-        budget.check_size(db.total())?;
+        budget.check_size(edb.total() + idb.total())?;
         let current = std::mem::take(&mut delta);
         for rule in &program.rules {
+            let head_edb = edb.relations.get(&rule.head.pred);
             for (pos, atom) in rule.body.iter().enumerate() {
-                if !idb.contains(&atom.pred) {
+                if !idb_preds.contains(&atom.pred) {
                     continue;
                 }
                 let Some(d) = current.get(&atom.pred) else {
@@ -167,16 +193,18 @@ pub fn semi_naive(
                 if d.is_empty() {
                     continue;
                 }
-                let derived = eval_rule(rule, &db, Some((pos, d)), usize::MAX, budget)?;
+                let derived = eval_rule(rule, edb, &idb, Some((pos, d)), usize::MAX, budget)?;
                 for fact in derived {
-                    if db.insert(rule.head.pred, fact.clone()) {
+                    if head_edb.is_none_or(|s| !s.contains(&fact))
+                        && idb.insert(rule.head.pred, fact.clone())
+                    {
                         delta.entry(rule.head.pred).or_default().insert(fact);
                     }
                 }
             }
         }
     }
-    Ok(db)
+    Ok(idb)
 }
 
 /// Hash key over the probed argument values of an atom: packed into a
@@ -201,9 +229,9 @@ fn probe_key(values: impl ExactSizeIterator<Item = NodeId> + Clone) -> ProbeKey 
     }
 }
 
-/// Evaluates one rule body left-to-right. When `delta_at = Some((i, Δ))`,
-/// atom `i` ranges over `Δ` instead of the full relation (the semi-naive
-/// restriction).
+/// Evaluates one rule body left-to-right over the layered `edb` + `idb`
+/// fact database. When `delta_at = Some((i, Δ))`, atom `i` ranges over `Δ`
+/// instead of the full relation (the semi-naive restriction).
 ///
 /// Bindings are flat fixed-width rows over a precomputed variable→slot
 /// layout (no per-row maps — this is the hot loop of the engine; the
@@ -211,7 +239,8 @@ fn probe_key(values: impl ExactSizeIterator<Item = NodeId> + Clone) -> ProbeKey 
 /// stay cheap).
 fn eval_rule(
     rule: &DlRule,
-    db: &Database,
+    edb: &Database,
+    idb: &Database,
     delta_at: Option<(usize, &FxHashSet<Vec<NodeId>>)>,
     limit: usize,
     budget: &Budget,
@@ -302,7 +331,9 @@ fn eval_rule(
                 add_fact(f);
             }
         } else {
-            for f in db.facts(atom.pred) {
+            // EDB facts first, then derived ones; the layers are disjoint
+            // (inserts into the IDB check the EDB), so no fact repeats.
+            for f in edb.facts(atom.pred).chain(idb.facts(atom.pred)) {
                 add_fact(f);
             }
         }
@@ -388,6 +419,16 @@ pub fn graph_edb(graph: &Graph, program: &mut Program) -> Database {
 /// `gmark-translate::datalog`).
 pub fn program_from_query(query: &Query) -> Program {
     let mut prog = Program::new();
+    append_query_rules(&mut prog, query);
+    prog
+}
+
+/// Appends a UCRPQ's rules to an existing program — typically a clone of
+/// the shared-context base program whose `node`/`edge_<p>` ids already
+/// match a prebuilt EDB — returning the interned `ans` predicate id.
+/// Predicates already interned (by name) are reused, so the EDB facts and
+/// the query rules agree on ids without rebuilding either.
+pub fn append_query_rules(prog: &mut Program, query: &Query) -> usize {
     let node = prog.predicate("node");
     let ans = prog.predicate("ans");
     let mut fresh = 0usize;
@@ -485,7 +526,7 @@ pub fn program_from_query(query: &Query) -> Program {
     for rule in &query.rules {
         let mut body = Vec::with_capacity(rule.body.len());
         for c in &rule.body {
-            let pred = expr_pred(&mut prog, node, &mut fresh, &c.expr);
+            let pred = expr_pred(prog, node, &mut fresh, &c.expr);
             body.push(Atom {
                 pred,
                 args: vec![Term::Var(c.src.0), Term::Var(c.trg.0)],
@@ -500,7 +541,7 @@ pub fn program_from_query(query: &Query) -> Program {
             body,
         );
     }
-    prog
+    ans
 }
 
 /// See the module docs.
@@ -512,17 +553,20 @@ impl Engine for DatalogEngine {
         "D/datalog"
     }
 
-    fn evaluate(
+    fn evaluate_ctx(
         &self,
-        graph: &Graph,
+        ctx: &crate::EvalContext<'_>,
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
-        let mut program = program_from_query(query);
-        let edb = graph_edb(graph, &mut program);
-        let db = semi_naive(&program, edb, budget)?;
-        let ans = program.predicate_id("ans").expect("ans is always interned");
-        let tuples: Vec<Vec<NodeId>> = db.facts(ans).cloned().collect();
+        // The per-query program extends a clone of the base program (a
+        // handful of interned names) while the EDB facts — the expensive
+        // part — stay borrowed from the shared context.
+        let (base, edb) = ctx.edb();
+        let mut program = base.clone();
+        let ans = append_query_rules(&mut program, query);
+        let idb = semi_naive_over(&program, edb, budget)?;
+        let tuples: Vec<Vec<NodeId>> = idb.facts(ans).cloned().collect();
         Ok(Answers::new(query.arity(), tuples))
     }
 }

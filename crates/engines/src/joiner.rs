@@ -166,24 +166,34 @@ fn extend_table(
 /// Projects a joined table onto a rule's head (deduplicated by the caller
 /// through [`crate::Answers::new`]). A Boolean head yields one empty tuple
 /// iff any row exists.
-pub(crate) fn project(table: &BindingTable, rule: &Rule) -> Vec<Vec<NodeId>> {
+///
+/// A head variable that never appears in the body violates rule safety;
+/// it surfaces as a typed [`EvalError`] — one malformed query becomes a
+/// failed matrix cell, not a process abort.
+pub(crate) fn project(table: &BindingTable, rule: &Rule) -> Result<Vec<Vec<NodeId>>, EvalError> {
     if rule.head.is_empty() {
-        return if table.rows.is_empty() {
+        return Ok(if table.rows.is_empty() {
             Vec::new()
         } else {
             vec![Vec::new()]
-        };
+        });
     }
     let cols: Vec<usize> = rule
         .head
         .iter()
-        .map(|v| table.col(*v).expect("head vars are bound (rule safety)"))
-        .collect();
-    table
+        .map(|v| {
+            table.col(*v).ok_or_else(|| {
+                EvalError::Unsupported(format!(
+                    "head variable {v} is not bound in the rule body (rule safety)"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(table
         .rows
         .iter()
         .map(|row| cols.iter().map(|&c| row[c]).collect())
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -287,17 +297,27 @@ mod tests {
     #[test]
     fn projection_and_boolean() {
         let t = join_all(vec![cp(0, 1, vec![(1, 2), (1, 3)])], &Budget::default()).unwrap();
-        let p = project(&t, &rule_with_head(vec![1, 0]));
+        let p = project(&t, &rule_with_head(vec![1, 0])).unwrap();
         let mut p = p;
         p.sort();
         assert_eq!(p, vec![vec![2, 1], vec![3, 1]]);
-        let b = project(&t, &rule_with_head(vec![]));
+        let b = project(&t, &rule_with_head(vec![])).unwrap();
         assert_eq!(b, vec![Vec::<NodeId>::new()]);
         let empty = BindingTable {
             vars: vec![Var(0)],
             rows: vec![],
         };
-        assert!(project(&empty, &rule_with_head(vec![])).is_empty());
+        assert!(project(&empty, &rule_with_head(vec![])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbound_head_var_is_a_typed_error_not_a_panic() {
+        let t = join_all(vec![cp(0, 1, vec![(1, 2)])], &Budget::default()).unwrap();
+        let err = project(&t, &rule_with_head(vec![7])).unwrap_err();
+        assert!(
+            matches!(err, EvalError::Unsupported(ref what) if what.contains("?x7")),
+            "{err:?}"
+        );
     }
 
     #[test]

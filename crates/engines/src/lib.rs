@@ -25,19 +25,33 @@
 //! [`Budget`]: exceeding the time or tuple budget aborts with an error —
 //! reproducing the "failed / manually terminated" entries of the paper's
 //! Tables and figures rather than hanging the harness.
+//!
+//! Engines share one immutable [`EvalContext`] — per-predicate sorted
+//! relations, the Datalog EDB, a compiled-NFA cache — built once per graph
+//! instead of re-derived per query, and the [`evaluate_matrix`] harness
+//! fans the (engine × query) cells of a whole workload over worker threads
+//! with a fresh per-cell [`Budget`], reassembling a deterministic
+//! [`EvalReport`].
 
 #![warn(missing_docs)]
 
 pub mod automaton;
+pub mod context;
 pub mod datalog;
 mod joiner;
+pub mod matrix;
 pub mod navigational;
 pub mod relational;
 pub mod relations;
 pub mod triplestore;
 
 pub use automaton::{compile_nfa, eval_rpq, Nfa};
+pub use context::EvalContext;
 pub use datalog::DatalogEngine;
+pub use matrix::{
+    evaluate_matrix, CellBudget, CellOutcome, EngineKind, EvalCell, EvalReport, EvalTotals,
+    MatrixOptions,
+};
 pub use navigational::NavigationalEngine;
 pub use relational::RelationalEngine;
 pub use triplestore::TripleStoreEngine;
@@ -76,6 +90,16 @@ impl Budget {
     pub fn new(timeout: Duration, max_tuples: usize) -> Self {
         Budget {
             deadline: Some(Instant::now() + timeout),
+            max_tuples,
+        }
+    }
+
+    /// A budget with an optional timeout (starting now) and a tuple cap:
+    /// `None` means no wall-clock deadline at all — the fully deterministic
+    /// regime the evaluation-determinism tests pin.
+    pub fn with_limits(timeout: Option<Duration>, max_tuples: usize) -> Self {
+        Budget {
+            deadline: timeout.map(|t| Instant::now() + t),
             max_tuples,
         }
     }
@@ -121,8 +145,14 @@ pub enum EvalError {
     /// An intermediate result exceeded the tuple budget.
     TooLarge(usize),
     /// The engine cannot express the query (after its documented
-    /// degradations).
+    /// degradations), or the query violates an assumption the engine
+    /// depends on (e.g. a head variable never bound in the body).
     Unsupported(String),
+    /// An engine invariant was violated mid-evaluation. These used to be
+    /// `expect` panics in the hot loops; as typed errors, one broken query
+    /// becomes a failed *cell* in the evaluation matrix instead of
+    /// aborting the whole run.
+    Internal(String),
 }
 
 impl std::fmt::Display for EvalError {
@@ -131,6 +161,7 @@ impl std::fmt::Display for EvalError {
             EvalError::Timeout => write!(f, "timeout"),
             EvalError::TooLarge(n) => write!(f, "intermediate result too large ({n} tuples)"),
             EvalError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            EvalError::Internal(what) => write!(f, "engine invariant violated: {what}"),
         }
     }
 }
@@ -170,10 +201,33 @@ pub trait Engine {
     /// Short system letter + architecture name for reports.
     fn name(&self) -> &'static str;
 
-    /// Evaluates `query` on `graph` under a resource budget, returning the
-    /// distinct projected tuples.
-    fn evaluate(&self, graph: &Graph, query: &Query, budget: &Budget)
-        -> Result<Answers, EvalError>;
+    /// Evaluates `query` against a shared [`EvalContext`] under a resource
+    /// budget, returning the distinct projected tuples. This is the
+    /// per-query hot path: the context's precomputed indexes (sorted
+    /// relations, Datalog EDB, compiled-NFA cache) are borrowed, never
+    /// rebuilt.
+    fn evaluate_ctx(
+        &self,
+        ctx: &EvalContext<'_>,
+        query: &Query,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError>;
+
+    /// Evaluates `query` on `graph` under a resource budget.
+    ///
+    /// Convenience for one-off evaluations: builds a fresh (lazy)
+    /// [`EvalContext`] per call. Callers evaluating many queries on the
+    /// same graph should build the context once and use
+    /// [`Engine::evaluate_ctx`] (or the [`evaluate_matrix`] harness) so the
+    /// per-predicate indexes are shared.
+    fn evaluate(
+        &self,
+        graph: &Graph,
+        query: &Query,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
+        self.evaluate_ctx(&EvalContext::new(graph), query, budget)
+    }
 }
 
 /// All four engines, boxed, in the paper's P/G/S/D report order.

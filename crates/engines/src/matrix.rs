@@ -1,0 +1,768 @@
+//! The evaluation matrix harness: every (query × engine) cell of a
+//! Section 7 experiment, fanned over worker threads, reassembled into a
+//! deterministic report.
+//!
+//! [`evaluate_matrix`] is to evaluation what the parallel generators are
+//! to the graph and workload stages: worker threads claim cell indices
+//! from a shared counter, each cell evaluates one query on one engine
+//! under a **fresh per-cell [`Budget`]** (late cells are not charged for
+//! early ones), and the results are reassembled in ascending
+//! `(query index, engine position)` order. Because every engine is a
+//! deterministic function of `(graph, query, budget caps)`, the resulting
+//! [`EvalReport`] — answer-set cardinalities and failure outcomes — is
+//! **bit-identical at every thread count** whenever cell outcomes do not
+//! depend on the wall clock: with no time limit, with a generous limit no
+//! cell approaches, or with an already-expired one (the regimes the
+//! determinism tests pin). Wall-clock measurements are still taken per
+//! cell, but they live outside the deterministic rendering — see
+//! [`EvalCell::time_bucket`] and [`EvalReport::render_times`].
+
+use crate::context::EvalContext;
+use crate::{
+    Answers, Budget, DatalogEngine, Engine, EvalError, NavigationalEngine, RelationalEngine,
+    TripleStoreEngine,
+};
+use gmark_core::query::Query;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One of the four in-repo engines, named by the paper's system letter.
+/// The enum form (rather than trait objects) is what the matrix harness,
+/// the `--engines` CLI flag, and the reports share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EngineKind {
+    /// `P` — the relational engine (PostgreSQL-style).
+    Relational,
+    /// `G` — the navigational engine (openCypher-style, degraded queries).
+    Navigational,
+    /// `S` — the triple-store engine (SPARQL-style).
+    TripleStore,
+    /// `D` — the Datalog engine.
+    Datalog,
+}
+
+impl EngineKind {
+    /// All four engines in the paper's `P`/`G`/`S`/`D` report order.
+    pub const ALL: [EngineKind; 4] = [
+        EngineKind::Relational,
+        EngineKind::Navigational,
+        EngineKind::TripleStore,
+        EngineKind::Datalog,
+    ];
+
+    /// The paper's system letter.
+    pub fn letter(self) -> char {
+        match self {
+            EngineKind::Relational => 'P',
+            EngineKind::Navigational => 'G',
+            EngineKind::TripleStore => 'S',
+            EngineKind::Datalog => 'D',
+        }
+    }
+
+    /// Letter + architecture name, matching [`Engine::name`].
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Relational => RelationalEngine.name(),
+            EngineKind::Navigational => NavigationalEngine.name(),
+            EngineKind::TripleStore => TripleStoreEngine.name(),
+            EngineKind::Datalog => DatalogEngine.name(),
+        }
+    }
+
+    /// Parses a system letter (case-insensitive).
+    pub fn from_letter(letter: char) -> Option<EngineKind> {
+        match letter.to_ascii_uppercase() {
+            'P' => Some(EngineKind::Relational),
+            'G' => Some(EngineKind::Navigational),
+            'S' => Some(EngineKind::TripleStore),
+            'D' => Some(EngineKind::Datalog),
+            _ => None,
+        }
+    }
+
+    /// Parses a comma-separated engine selection like `P,S,G,D` (the CLI's
+    /// `--engines` value). Order is preserved — it becomes the report's
+    /// column order — duplicates are rejected, and the list must select at
+    /// least one engine.
+    pub fn parse_list(list: &str) -> Result<Vec<EngineKind>, String> {
+        let mut engines = Vec::new();
+        for part in list.split(',') {
+            let part = part.trim();
+            let mut chars = part.chars();
+            let (Some(letter), None) = (chars.next(), chars.next()) else {
+                return Err(format!(
+                    "expected a single engine letter (P, G, S, or D), got {part:?}"
+                ));
+            };
+            let kind = EngineKind::from_letter(letter)
+                .ok_or_else(|| format!("unknown engine letter {letter:?} (use P, G, S, or D)"))?;
+            if engines.contains(&kind) {
+                return Err(format!("engine {letter} selected twice"));
+            }
+            engines.push(kind);
+        }
+        if engines.is_empty() {
+            return Err("empty engine selection".to_owned());
+        }
+        Ok(engines)
+    }
+
+    /// Evaluates one query through this engine against a shared context.
+    pub fn evaluate(
+        self,
+        ctx: &EvalContext<'_>,
+        query: &Query,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
+        match self {
+            EngineKind::Relational => RelationalEngine.evaluate_ctx(ctx, query, budget),
+            EngineKind::Navigational => NavigationalEngine.evaluate_ctx(ctx, query, budget),
+            EngineKind::TripleStore => TripleStoreEngine.evaluate_ctx(ctx, query, budget),
+            EngineKind::Datalog => DatalogEngine.evaluate_ctx(ctx, query, budget),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-cell resource limits. Unlike a bare [`Budget`] — whose deadline is
+/// fixed when it is constructed — this is a budget *recipe*: the harness
+/// starts a fresh [`Budget`] for every cell, so a cell evaluated late in
+/// the run gets the same time allowance as the first one.
+#[derive(Debug, Clone, Copy)]
+pub struct CellBudget {
+    /// Wall-clock allowance per cell; `None` = no time limit (the fully
+    /// deterministic regime).
+    pub timeout: Option<Duration>,
+    /// Maximum tuples any intermediate or final result may hold
+    /// (deterministic by construction).
+    pub max_tuples: usize,
+}
+
+impl Default for CellBudget {
+    fn default() -> Self {
+        CellBudget {
+            timeout: None,
+            max_tuples: Budget::default().max_tuples,
+        }
+    }
+}
+
+impl CellBudget {
+    /// Starts a fresh budget whose clock begins now.
+    pub fn start(&self) -> Budget {
+        Budget::with_limits(self.timeout, self.max_tuples)
+    }
+}
+
+/// Execution knobs of [`evaluate_matrix`].
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixOptions {
+    /// Worker threads; `0` auto-detects via
+    /// [`std::thread::available_parallelism`]. The report's deterministic
+    /// content never depends on this value.
+    pub threads: usize,
+    /// Extra timing runs per successful cell, following the Section 7.1
+    /// protocol: the cold run decides the outcome, the warm runs are
+    /// averaged (dropping the fastest and slowest) into
+    /// [`EvalCell::seconds`]. `0` keeps the cold run's own time.
+    pub warm_runs: usize,
+}
+
+impl Default for MatrixOptions {
+    fn default() -> Self {
+        MatrixOptions {
+            threads: 1,
+            warm_runs: 0,
+        }
+    }
+}
+
+/// What one (query × engine) cell produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The engine finished: answer-set arity and distinct-tuple count (the
+    /// paper's `count(distinct ...)` measurement).
+    Answers {
+        /// Tuple width.
+        arity: usize,
+        /// Distinct answer tuples.
+        count: u64,
+    },
+    /// The engine failed — the paper's `-` cells, with the typed reason.
+    Failed(EvalError),
+}
+
+impl CellOutcome {
+    /// Whether the cell completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, CellOutcome::Answers { .. })
+    }
+
+    /// The deterministic cell label for reports: the tuple count, or a
+    /// short failure word.
+    pub fn label(&self) -> String {
+        match self {
+            CellOutcome::Answers { count, .. } => count.to_string(),
+            CellOutcome::Failed(EvalError::Timeout) => "timeout".to_owned(),
+            CellOutcome::Failed(EvalError::TooLarge(_)) => "too-large".to_owned(),
+            CellOutcome::Failed(EvalError::Unsupported(_)) => "unsupported".to_owned(),
+            CellOutcome::Failed(EvalError::Internal(_)) => "error".to_owned(),
+        }
+    }
+}
+
+/// One evaluated cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct EvalCell {
+    /// Query index (position in the slice passed to [`evaluate_matrix`]).
+    pub query: usize,
+    /// The engine that evaluated it.
+    pub engine: EngineKind,
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Measured wall time (warm-run mean when warm runs were requested).
+    /// Nondeterministic by nature — it never enters
+    /// [`EvalReport::render`]; use [`EvalCell::time_bucket`] for the
+    /// coarse, human-oriented view.
+    pub seconds: f64,
+}
+
+impl EvalCell {
+    /// The cell's wall time bucketed into decades — a deterministic
+    /// *function* of the measured time (the measurement itself still
+    /// varies run to run, which is why buckets appear only in
+    /// [`EvalReport::render_times`], outside the byte-compared report).
+    pub fn time_bucket(&self) -> &'static str {
+        time_bucket(Duration::from_secs_f64(self.seconds.max(0.0)))
+    }
+}
+
+/// Maps a duration to its decade bucket. Total over all durations.
+pub fn time_bucket(d: Duration) -> &'static str {
+    let micros = d.as_micros();
+    match micros {
+        0..1_000 => "<1ms",
+        1_000..10_000 => "1-10ms",
+        10_000..100_000 => "10-100ms",
+        100_000..1_000_000 => "0.1-1s",
+        1_000_000..10_000_000 => "1-10s",
+        _ => ">=10s",
+    }
+}
+
+/// Aggregate cell outcomes of a report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalTotals {
+    /// Total cells.
+    pub cells: usize,
+    /// Completed cells.
+    pub ok: usize,
+    /// Cells that exhausted the wall-clock budget.
+    pub timeout: usize,
+    /// Cells that exceeded the tuple budget.
+    pub too_large: usize,
+    /// Cells the engine could not express.
+    pub unsupported: usize,
+    /// Cells that hit an engine invariant violation.
+    pub internal: usize,
+}
+
+/// The assembled result of one [`evaluate_matrix`] run: cells in ascending
+/// `(query index, engine position)` order.
+#[derive(Debug, Clone)]
+pub struct EvalReport {
+    /// The engine columns, in selection order.
+    pub engines: Vec<EngineKind>,
+    /// Number of query rows.
+    pub queries: usize,
+    /// All cells, row-major: `cells[q * engines.len() + e]`.
+    pub cells: Vec<EvalCell>,
+}
+
+impl EvalReport {
+    /// The cell of one (query, engine) coordinate, if both are in range.
+    pub fn cell(&self, query: usize, engine: EngineKind) -> Option<&EvalCell> {
+        let e = self.engines.iter().position(|&k| k == engine)?;
+        self.cells.get(query * self.engines.len() + e)
+    }
+
+    /// Aggregated outcomes.
+    pub fn totals(&self) -> EvalTotals {
+        let mut t = EvalTotals {
+            cells: self.cells.len(),
+            ..EvalTotals::default()
+        };
+        for cell in &self.cells {
+            match &cell.outcome {
+                CellOutcome::Answers { .. } => t.ok += 1,
+                CellOutcome::Failed(EvalError::Timeout) => t.timeout += 1,
+                CellOutcome::Failed(EvalError::TooLarge(_)) => t.too_large += 1,
+                CellOutcome::Failed(EvalError::Unsupported(_)) => t.unsupported += 1,
+                CellOutcome::Failed(EvalError::Internal(_)) => t.internal += 1,
+            }
+        }
+        t
+    }
+
+    /// Renders the deterministic outcome matrix: one row per query, one
+    /// column per engine, each cell its [`CellOutcome::label`], plus a
+    /// totals footer. Bit-identical at every thread count (no wall-clock
+    /// content — see the module docs).
+    pub fn render(&self) -> String {
+        self.render_with_labels(&[])
+    }
+
+    /// Like [`EvalReport::render`], with a trailing per-query annotation
+    /// (e.g. the workload's class/shape metadata) after each row.
+    /// Annotations beyond the query count are ignored; missing ones render
+    /// nothing.
+    pub fn render_with_labels(&self, labels: &[String]) -> String {
+        const W: usize = 12;
+        let mut out = String::new();
+        let _ = write!(out, "{:<8}", "query");
+        for kind in &self.engines {
+            let _ = write!(out, " {:>W$}", kind.letter());
+        }
+        out.push('\n');
+        for q in 0..self.queries {
+            let _ = write!(out, "{:<8}", format!("q{q}"));
+            for e in 0..self.engines.len() {
+                let label = self.cells[q * self.engines.len() + e].outcome.label();
+                let _ = write!(out, " {label:>W$}");
+            }
+            if let Some(label) = labels.get(q) {
+                let _ = write!(out, "  {label}");
+            }
+            out.push('\n');
+        }
+        let t = self.totals();
+        let _ = writeln!(
+            out,
+            "cells: {} ok, {} timeout, {} too-large, {} unsupported, {} error ({} total)",
+            t.ok, t.timeout, t.too_large, t.unsupported, t.internal, t.cells
+        );
+        out
+    }
+
+    /// Renders the measured wall times as decade buckets (failures show
+    /// their outcome label). Informative, **not** part of the determinism
+    /// contract — keep it out of byte-compared artifacts.
+    pub fn render_times(&self) -> String {
+        const W: usize = 12;
+        let mut out = String::new();
+        let _ = write!(out, "{:<8}", "query");
+        for kind in &self.engines {
+            let _ = write!(out, " {:>W$}", kind.letter());
+        }
+        out.push('\n');
+        for q in 0..self.queries {
+            let _ = write!(out, "{:<8}", format!("q{q}"));
+            for e in 0..self.engines.len() {
+                let cell = &self.cells[q * self.engines.len() + e];
+                let shown = if cell.outcome.is_ok() {
+                    cell.time_bucket().to_owned()
+                } else {
+                    cell.outcome.label()
+                };
+                let _ = write!(out, " {shown:>W$}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Evaluates every (query × engine) cell of a workload, in parallel.
+///
+/// Worker threads claim cell indices from a shared counter; each cell gets
+/// a fresh budget from `budget` ([`CellBudget::start`]) and runs
+/// [`EngineKind::evaluate`] against the shared context (optionally
+/// repeated `warm_runs` times for the Section 7.1 timing protocol).
+/// Results are reassembled in ascending `(query index, engine position)`
+/// order, so the report layout is independent of scheduling.
+pub fn evaluate_matrix(
+    ctx: &EvalContext<'_>,
+    queries: &[&Query],
+    engines: &[EngineKind],
+    budget: &CellBudget,
+    options: &MatrixOptions,
+) -> EvalReport {
+    let cell_count = queries.len() * engines.len();
+    let threads = resolve_threads(options.threads).min(cell_count.max(1));
+    warm_context(ctx, queries, engines);
+
+    let cells: Vec<EvalCell> = if threads <= 1 {
+        (0..cell_count)
+            .map(|ci| run_cell(ctx, queries, engines, budget, options.warm_runs, ci))
+            .collect()
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut indexed: Vec<(usize, EvalCell)> = std::thread::scope(|scope| {
+            let next = &next;
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let ci = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if ci >= cell_count {
+                                break;
+                            }
+                            let cell =
+                                run_cell(ctx, queries, engines, budget, options.warm_runs, ci);
+                            out.push((ci, cell));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("matrix worker panicked"))
+                .collect()
+        });
+        indexed.sort_by_key(|(ci, _)| *ci);
+        indexed.into_iter().map(|(_, cell)| cell).collect()
+    };
+
+    EvalReport {
+        engines: engines.to_vec(),
+        queries: queries.len(),
+        cells,
+    }
+}
+
+/// Initializes the context's shared indexes the selected engines will
+/// need **before any cell clock starts**. Without this, whichever cell
+/// touches a lazy slot first (the Datalog EDB, a symbol relation) is
+/// billed for one-time context construction — inflating its timing and,
+/// under a finite per-cell deadline, making its outcome depend on
+/// scheduling. Warming is idempotent; only the symbols the workload
+/// actually mentions are materialized, and unselected engines' indexes
+/// stay lazy.
+fn warm_context(ctx: &EvalContext<'_>, queries: &[&Query], engines: &[EngineKind]) {
+    if engines.contains(&EngineKind::Datalog) {
+        let _ = ctx.edb();
+    }
+    if engines.contains(&EngineKind::Relational) {
+        for query in queries {
+            for rule in &query.rules {
+                for conjunct in &rule.body {
+                    for sym in conjunct.expr.symbols() {
+                        let _ = ctx.relation(sym);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+fn run_cell(
+    ctx: &EvalContext<'_>,
+    queries: &[&Query],
+    engines: &[EngineKind],
+    budget: &CellBudget,
+    warm_runs: usize,
+    ci: usize,
+) -> EvalCell {
+    let query_idx = ci / engines.len();
+    let kind = engines[ci % engines.len()];
+    let query = queries[query_idx];
+
+    // Cold run: decides the outcome and the fallback timing.
+    let cold_budget = budget.start();
+    let started = Instant::now();
+    let result = kind.evaluate(ctx, query, &cold_budget);
+    let mut seconds = started.elapsed().as_secs_f64();
+
+    let outcome = match result {
+        Ok(answers) => {
+            if warm_runs > 0 {
+                // Section 7.1 protocol: warm runs, extremes dropped, mean.
+                let mut times = Vec::with_capacity(warm_runs);
+                for _ in 0..warm_runs {
+                    let warm_budget = budget.start();
+                    let t0 = Instant::now();
+                    if kind.evaluate(ctx, query, &warm_budget).is_ok() {
+                        times.push(t0.elapsed().as_secs_f64());
+                    }
+                }
+                if !times.is_empty() {
+                    seconds = gmark_stats::summary::warm_run_average(&times);
+                }
+            }
+            CellOutcome::Answers {
+                arity: answers.arity,
+                count: answers.count(),
+            }
+        }
+        Err(e) => CellOutcome::Failed(e),
+    };
+    EvalCell {
+        query: query_idx,
+        engine: kind,
+        outcome,
+        seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmark_core::query::{Conjunct, PathExpr, RegularExpr, Rule, Symbol, Var};
+    use gmark_core::schema::PredicateId;
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
+
+    fn sym(i: usize) -> Symbol {
+        Symbol::forward(PredicateId(i))
+    }
+
+    fn graph() -> Graph {
+        let mut b = GraphBuilder::new(TypePartition::from_counts(&[5]), 2);
+        for (s, t) in [(0, 1), (1, 2), (2, 0), (3, 1), (4, 2)] {
+            b.edge(s, 0, t);
+        }
+        for (s, t) in [(1, 3), (2, 3), (0, 4)] {
+            b.edge(s, 1, t);
+        }
+        b.build()
+    }
+
+    fn chain(exprs: Vec<RegularExpr>) -> Query {
+        let n = exprs.len() as u32;
+        Query::single(Rule {
+            head: vec![Var(0), Var(n)],
+            body: exprs
+                .into_iter()
+                .enumerate()
+                .map(|(i, expr)| Conjunct {
+                    src: Var(i as u32),
+                    expr,
+                    trg: Var(i as u32 + 1),
+                })
+                .collect(),
+        })
+        .unwrap()
+    }
+
+    fn queries() -> Vec<Query> {
+        vec![
+            chain(vec![RegularExpr::symbol(sym(0))]),
+            chain(vec![RegularExpr::star(vec![PathExpr(vec![sym(0)])])]),
+            chain(vec![
+                RegularExpr::symbol(sym(0)),
+                RegularExpr::symbol(sym(1)),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn letters_round_trip() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::from_letter(kind.letter()), Some(kind));
+            assert_eq!(
+                EngineKind::from_letter(kind.letter().to_ascii_lowercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(EngineKind::from_letter('X'), None);
+    }
+
+    #[test]
+    fn parse_list_preserves_order_and_rejects_garbage() {
+        assert_eq!(
+            EngineKind::parse_list("S,P").unwrap(),
+            vec![EngineKind::TripleStore, EngineKind::Relational]
+        );
+        assert_eq!(
+            EngineKind::parse_list("p, g, s, d").unwrap(),
+            EngineKind::ALL.to_vec()
+        );
+        assert!(EngineKind::parse_list("P,P").is_err());
+        assert!(EngineKind::parse_list("Q").is_err());
+        assert!(EngineKind::parse_list("PS").is_err());
+        assert!(EngineKind::parse_list("").is_err());
+    }
+
+    #[test]
+    fn matrix_is_thread_count_invariant() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let qs = queries();
+        let q_refs: Vec<&Query> = qs.iter().collect();
+        let budget = CellBudget::default();
+        let base = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &EngineKind::ALL,
+            &budget,
+            &MatrixOptions::default(),
+        );
+        assert_eq!(base.cells.len(), 12);
+        for threads in [2, 8] {
+            let report = evaluate_matrix(
+                &ctx,
+                &q_refs,
+                &EngineKind::ALL,
+                &budget,
+                &MatrixOptions {
+                    threads,
+                    warm_runs: 0,
+                },
+            );
+            assert_eq!(report.render(), base.render(), "{threads} threads");
+            for (a, b) in report.cells.iter().zip(&base.cells) {
+                assert_eq!(a.outcome, b.outcome);
+                assert_eq!((a.query, a.engine), (b.query, b.engine));
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_in_row_major_order_and_addressable() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let qs = queries();
+        let q_refs: Vec<&Query> = qs.iter().collect();
+        let engines = [EngineKind::TripleStore, EngineKind::Datalog];
+        let report = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &engines,
+            &CellBudget::default(),
+            &MatrixOptions::default(),
+        );
+        for (i, cell) in report.cells.iter().enumerate() {
+            assert_eq!(cell.query, i / 2);
+            assert_eq!(cell.engine, engines[i % 2]);
+        }
+        let c = report.cell(1, EngineKind::Datalog).unwrap();
+        assert_eq!(c.query, 1);
+        assert!(report.cell(0, EngineKind::Relational).is_none());
+    }
+
+    #[test]
+    fn non_degraded_cells_agree_across_engines() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let qs = queries();
+        let q_refs: Vec<&Query> = qs.iter().collect();
+        let report = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &EngineKind::ALL,
+            &CellBudget::default(),
+            &MatrixOptions {
+                threads: 3,
+                warm_runs: 0,
+            },
+        );
+        // None of the test queries is degraded, so each row agrees.
+        for q in 0..q_refs.len() {
+            let reference = &report.cell(q, EngineKind::Relational).unwrap().outcome;
+            for kind in EngineKind::ALL {
+                assert_eq!(&report.cell(q, kind).unwrap().outcome, reference, "q{q}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_budget_failures_are_deterministic_cells() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let qs = queries();
+        let q_refs: Vec<&Query> = qs.iter().collect();
+        let tight = CellBudget {
+            timeout: None,
+            max_tuples: 1,
+        };
+        let a = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &EngineKind::ALL,
+            &tight,
+            &MatrixOptions::default(),
+        );
+        let b = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &EngineKind::ALL,
+            &tight,
+            &MatrixOptions {
+                threads: 4,
+                warm_runs: 0,
+            },
+        );
+        assert_eq!(a.render(), b.render());
+        assert!(a.totals().too_large > 0, "{:?}", a.totals());
+    }
+
+    #[test]
+    fn expired_clock_times_out_every_cell() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let qs = queries();
+        let q_refs: Vec<&Query> = qs.iter().collect();
+        let expired = CellBudget {
+            timeout: Some(Duration::ZERO),
+            max_tuples: usize::MAX,
+        };
+        let report = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &EngineKind::ALL,
+            &expired,
+            &MatrixOptions::default(),
+        );
+        let t = report.totals();
+        assert_eq!(t.timeout, t.cells, "{t:?}");
+    }
+
+    #[test]
+    fn render_shape_and_labels() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let qs = queries();
+        let q_refs: Vec<&Query> = qs.iter().collect();
+        let report = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &[EngineKind::Relational],
+            &CellBudget::default(),
+            &MatrixOptions::default(),
+        );
+        let text = report.render_with_labels(&["first".to_owned()]);
+        assert!(text.starts_with("query "), "{text}");
+        assert!(text.contains("q0"), "{text}");
+        assert!(text.contains("first"), "{text}");
+        assert!(text.ends_with("(3 total)\n"), "{text}");
+        let times = report.render_times();
+        assert!(times.contains("ms") || times.contains('s'), "{times}");
+    }
+
+    #[test]
+    fn time_buckets_cover_the_decades() {
+        assert_eq!(time_bucket(Duration::from_micros(10)), "<1ms");
+        assert_eq!(time_bucket(Duration::from_millis(5)), "1-10ms");
+        assert_eq!(time_bucket(Duration::from_millis(50)), "10-100ms");
+        assert_eq!(time_bucket(Duration::from_millis(500)), "0.1-1s");
+        assert_eq!(time_bucket(Duration::from_secs(5)), "1-10s");
+        assert_eq!(time_bucket(Duration::from_secs(500)), ">=10s");
+    }
+}

@@ -21,11 +21,12 @@
 //! emits `*0..` so this engine keeps ε — the degradation above is the only
 //! semantic difference retained, keeping the comparison interpretable.
 
-use crate::automaton::{compile_nfa, eval_rpq_from};
+use crate::automaton::eval_rpq_from;
+use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
 use crate::{unpack, Answers, Budget, Engine, EvalError};
 use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Var};
-use gmark_store::{Graph, NodeId};
+use gmark_store::NodeId;
 
 /// See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -95,17 +96,17 @@ impl Engine for NavigationalEngine {
         "G/navigational"
     }
 
-    fn evaluate(
+    fn evaluate_ctx(
         &self,
-        graph: &Graph,
+        ctx: &EvalContext<'_>,
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
         let (query, _lossy) = degrade_for_cypher(query);
         let mut tuples = Vec::new();
         for rule in &query.rules {
-            let table = eval_rule(graph, rule, budget)?;
-            tuples.extend(project(&table, rule));
+            let table = eval_rule(ctx, rule, budget)?;
+            tuples.extend(project(&table, rule)?);
             budget.check_size(tuples.len())?;
         }
         Ok(Answers::new(query.arity(), tuples))
@@ -116,11 +117,12 @@ impl Engine for NavigationalEngine {
 /// each new conjunct anchored at a bound variable; its pairs are computed
 /// by automaton BFS *from the currently bound seeds only*.
 fn eval_rule(
-    graph: &Graph,
+    ctx: &EvalContext<'_>,
     rule: &Rule,
     budget: &Budget,
 ) -> Result<crate::joiner::BindingTable, EvalError> {
-    let order = anchor_order(rule);
+    let graph = ctx.graph();
+    let order = anchor_order(rule)?;
     let mut bound: Vec<Var> = Vec::new();
     let mut materialized = Vec::with_capacity(rule.body.len());
     let mut table: Option<crate::joiner::BindingTable> = None;
@@ -140,15 +142,13 @@ fn eval_rule(
         } else {
             (c.src, c.trg, c.expr.clone())
         };
-        let nfa = compile_nfa(&expr);
+        let nfa = ctx.nfa(&expr);
         // Seeds: the bound values of `from` if available, else all nodes.
         let current_seeds: Vec<NodeId> = match &table {
             Some(t) if bound.contains(&from) => {
-                let col = t
-                    .vars
-                    .iter()
-                    .position(|&v| v == from)
-                    .expect("bound var in table");
+                let col = t.vars.iter().position(|&v| v == from).ok_or_else(|| {
+                    EvalError::Internal(format!("bound variable {from} missing from table"))
+                })?;
                 let mut s: Vec<NodeId> = t.rows.iter().map(|r| r[col]).collect();
                 s.sort_unstable();
                 s.dedup();
@@ -236,7 +236,9 @@ fn merge_tables(
 
 /// Orders conjuncts so each (after the first) touches an already-bound
 /// variable, flipping traversal direction when only the target is bound.
-fn anchor_order(rule: &Rule) -> Vec<(usize, bool)> {
+/// A broken ordering invariant surfaces as [`EvalError::Internal`] — one
+/// malformed query fails its matrix cell instead of aborting the run.
+fn anchor_order(rule: &Rule) -> Result<Vec<(usize, bool)>, EvalError> {
     let n = rule.body.len();
     let mut used = vec![false; n];
     let mut order = Vec::with_capacity(n);
@@ -252,12 +254,10 @@ fn anchor_order(rule: &Rule) -> Vec<(usize, bool)> {
                     .find(|&i| bound.contains(&rule.body[i].trg))
                     .map(|i| (i, true))
             })
-            .unwrap_or_else(|| {
-                (
-                    (0..n).find(|&i| !used[i]).expect("some conjunct unused"),
-                    false,
-                )
-            });
+            .or_else(|| (0..n).find(|&i| !used[i]).map(|i| (i, false)))
+            .ok_or_else(|| {
+                EvalError::Internal("conjunct ordering ran out of unused conjuncts".to_owned())
+            })?;
         used[pick.0] = true;
         for v in [rule.body[pick.0].src, rule.body[pick.0].trg] {
             if !bound.contains(&v) {
@@ -266,7 +266,7 @@ fn anchor_order(rule: &Rule) -> Vec<(usize, bool)> {
         }
         order.push(pick);
     }
-    order
+    Ok(order)
 }
 
 #[cfg(test)]
@@ -276,7 +276,7 @@ mod tests {
     use crate::Engine;
     use gmark_core::query::Symbol;
     use gmark_core::schema::PredicateId;
-    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
 
     fn sym(i: usize) -> Symbol {
         Symbol::forward(PredicateId(i))
@@ -410,7 +410,7 @@ mod tests {
                 },
             ],
         };
-        let order = anchor_order(&rule);
+        let order = anchor_order(&rule).unwrap();
         assert_eq!(order, vec![(0, false), (1, false)]);
     }
 

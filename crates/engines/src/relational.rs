@@ -13,11 +13,11 @@
 //! quadratic-selectivity transitive closure exhausts its budget — the "-"
 //! cells of Table 4.
 
+use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
 use crate::relations::Relation;
 use crate::{Answers, Budget, Engine, EvalError};
 use gmark_core::query::Query;
-use gmark_store::Graph;
 
 /// See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,26 +28,27 @@ impl Engine for RelationalEngine {
         "P/relational"
     }
 
-    fn evaluate(
+    fn evaluate_ctx(
         &self,
-        graph: &Graph,
+        ctx: &EvalContext<'_>,
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
         let mut tuples = Vec::new();
         for rule in &query.rules {
-            // Materialize each conjunct in declaration order.
+            // Materialize each conjunct in declaration order; base symbol
+            // relations are the context's shared sorted indexes.
             let mut conjuncts = Vec::with_capacity(rule.body.len());
             for c in &rule.body {
-                let rel = Relation::of_expr(graph, &c.expr, budget)?;
+                let rel = Relation::of_expr_ctx(ctx, &c.expr, budget)?;
                 conjuncts.push(ConjunctPairs {
                     src: c.src,
                     trg: c.trg,
-                    pairs: rel.pairs().to_vec(),
+                    pairs: rel.into_pairs(),
                 });
             }
             let table = join_all(conjuncts, budget)?;
-            tuples.extend(project(&table, rule));
+            tuples.extend(project(&table, rule)?);
             budget.check_size(tuples.len())?;
         }
         Ok(Answers::new(query.arity(), tuples))
@@ -59,7 +60,7 @@ mod tests {
     use super::*;
     use gmark_core::query::{Conjunct, PathExpr, RegularExpr, Rule, Symbol, Var};
     use gmark_core::schema::PredicateId;
-    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
 
     fn sym(i: usize) -> Symbol {
         Symbol::forward(PredicateId(i))

@@ -7,6 +7,7 @@
 //! footnote 4, evaluated semi-naively (delta-driven) so each derivation is
 //! joined only once.
 
+use crate::context::EvalContext;
 use crate::{pack, Budget, EvalError};
 use gmark_core::query::{PathExpr, RegularExpr, Symbol};
 use gmark_store::{Graph, NodeId};
@@ -27,16 +28,20 @@ impl Relation {
     }
 
     /// The relation of one `Σ±` symbol: all `a`-edges, flipped for `a⁻`.
+    ///
+    /// Both directions come pre-sorted out of the store's CSR indexes
+    /// ([`Graph::pairs`] walks the backward index for `a⁻`), so no sort is
+    /// paid here — only a dedup pass for graphs that keep parallel edges.
     pub fn of_symbol(graph: &Graph, sym: Symbol) -> Relation {
-        let pred = sym.predicate.0;
-        let mut pairs: Vec<(NodeId, NodeId)> = if sym.inverse {
-            graph.edges(pred).map(|(s, t)| (t, s)).collect()
-        } else {
-            graph.edges(pred).collect()
-        };
-        pairs.sort_unstable();
+        let mut pairs: Vec<(NodeId, NodeId)> = graph.pairs(sym.predicate.0, sym.inverse).collect();
+        debug_assert!(pairs.is_sorted());
         pairs.dedup();
         Relation { pairs }
+    }
+
+    /// Consumes the relation, yielding its sorted pairs.
+    pub fn into_pairs(self) -> Vec<(NodeId, NodeId)> {
+        self.pairs
     }
 
     /// The identity relation over all `n` nodes (the ε relation).
@@ -129,14 +134,50 @@ impl Relation {
 
     /// Evaluates a whole regular expression by relational algebra:
     /// concatenation ⇒ compose, disjunction ⇒ union, star ⇒ closure.
+    ///
+    /// Per-symbol relations are collected from the graph on the spot —
+    /// the one-off path. Engines evaluating many queries on one graph use
+    /// [`Relation::of_expr_ctx`], which borrows the shared, build-once
+    /// relations of an [`EvalContext`] instead.
     pub fn of_expr(
         graph: &Graph,
         expr: &RegularExpr,
         budget: &Budget,
     ) -> Result<Relation, EvalError> {
+        Relation::of_expr_with(
+            &mut |sym| Relation::of_symbol(graph, sym),
+            graph.node_count(),
+            expr,
+            budget,
+        )
+    }
+
+    /// [`Relation::of_expr`] against a shared [`EvalContext`]: leaf symbol
+    /// relations come from the context's per-`(predicate, direction)`
+    /// cache, so nothing is re-derived from the graph on the per-query
+    /// path.
+    pub fn of_expr_ctx(
+        ctx: &EvalContext<'_>,
+        expr: &RegularExpr,
+        budget: &Budget,
+    ) -> Result<Relation, EvalError> {
+        Relation::of_expr_with(
+            &mut |sym| ctx.relation(sym).clone(),
+            ctx.graph().node_count(),
+            expr,
+            budget,
+        )
+    }
+
+    fn of_expr_with(
+        leaf: &mut dyn FnMut(Symbol) -> Relation,
+        n: NodeId,
+        expr: &RegularExpr,
+        budget: &Budget,
+    ) -> Result<Relation, EvalError> {
         let mut union_acc: Option<Relation> = None;
         for path in &expr.disjuncts {
-            let r = Relation::of_path(graph, path, budget)?;
+            let r = Relation::of_path_with(leaf, n, path, budget)?;
             union_acc = Some(match union_acc {
                 None => r,
                 Some(acc) => acc.union(&r),
@@ -144,7 +185,7 @@ impl Relation {
         }
         let base = union_acc.unwrap_or_default();
         if expr.starred {
-            base.star(graph.node_count(), budget)
+            base.star(n, budget)
         } else {
             Ok(base)
         }
@@ -152,12 +193,26 @@ impl Relation {
 
     /// Evaluates one concatenation path.
     pub fn of_path(graph: &Graph, path: &PathExpr, budget: &Budget) -> Result<Relation, EvalError> {
+        Relation::of_path_with(
+            &mut |sym| Relation::of_symbol(graph, sym),
+            graph.node_count(),
+            path,
+            budget,
+        )
+    }
+
+    fn of_path_with(
+        leaf: &mut dyn FnMut(Symbol) -> Relation,
+        n: NodeId,
+        path: &PathExpr,
+        budget: &Budget,
+    ) -> Result<Relation, EvalError> {
         if path.is_empty() {
-            return Ok(Relation::identity(graph.node_count()));
+            return Ok(Relation::identity(n));
         }
-        let mut acc = Relation::of_symbol(graph, path.0[0]);
+        let mut acc = leaf(path.0[0]);
         for &sym in &path.0[1..] {
-            let next = Relation::of_symbol(graph, sym);
+            let next = leaf(sym);
             acc = acc.compose(&next, budget)?;
         }
         Ok(acc)
@@ -272,6 +327,25 @@ mod tests {
             ..Budget::default()
         };
         assert!(matches!(r.star(50, &tight), Err(EvalError::TooLarge(_))));
+    }
+
+    #[test]
+    fn ctx_expr_matches_direct_expr() {
+        let g = chain_graph();
+        let ctx = crate::context::EvalContext::new(&g);
+        let exprs = [
+            RegularExpr::symbol(sym(0)),
+            RegularExpr::symbol(sym(0).flipped()),
+            RegularExpr::star(vec![PathExpr(vec![sym(0)])]),
+            RegularExpr::union(vec![PathExpr(vec![sym(0), sym(0)]), PathExpr::epsilon()]),
+        ];
+        for expr in exprs {
+            assert_eq!(
+                Relation::of_expr_ctx(&ctx, &expr, &Budget::default()).unwrap(),
+                Relation::of_expr(&g, &expr, &Budget::default()).unwrap(),
+                "{expr:?}"
+            );
+        }
     }
 
     #[test]

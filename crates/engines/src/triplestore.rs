@@ -13,11 +13,10 @@
 //! `V × Q` per source; with the measurement budgets of Section 7 this
 //! engine finishes only the small instances — Table 4's `S` row.
 
-use crate::automaton::{compile_nfa, eval_rpq};
+use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
-use crate::{unpack, Answers, Budget, Engine, EvalError};
+use crate::{eval_rpq, unpack, Answers, Budget, Engine, EvalError};
 use gmark_core::query::Query;
-use gmark_store::Graph;
 
 /// See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -28,19 +27,20 @@ impl Engine for TripleStoreEngine {
         "S/triplestore"
     }
 
-    fn evaluate(
+    fn evaluate_ctx(
         &self,
-        graph: &Graph,
+        ctx: &EvalContext<'_>,
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
         let mut tuples = Vec::new();
         for rule in &query.rules {
-            // Property-path evaluation per conjunct.
+            // Property-path evaluation per conjunct, with the compiled
+            // automaton memoized in the shared context.
             let mut materialized: Vec<ConjunctPairs> = Vec::with_capacity(rule.body.len());
             for c in &rule.body {
-                let nfa = compile_nfa(&c.expr);
-                let packed = eval_rpq(graph, &nfa, budget)?;
+                let nfa = ctx.nfa(&c.expr);
+                let packed = eval_rpq(ctx.graph(), &nfa, budget)?;
                 materialized.push(ConjunctPairs {
                     src: c.src,
                     trg: c.trg,
@@ -50,33 +50,38 @@ impl Engine for TripleStoreEngine {
             // Greedy order: repeatedly pick the smallest not-yet-joined
             // conjunct that shares a variable with the bound set (or the
             // globally smallest when none connects).
-            let ordered = greedy_order(materialized);
+            let ordered = greedy_order(materialized)?;
             let table = join_all(ordered, budget)?;
-            tuples.extend(project(&table, rule));
+            tuples.extend(project(&table, rule)?);
             budget.check_size(tuples.len())?;
         }
         Ok(Answers::new(query.arity(), tuples))
     }
 }
 
-fn greedy_order(mut conjuncts: Vec<ConjunctPairs>) -> Vec<ConjunctPairs> {
+fn greedy_order(mut conjuncts: Vec<ConjunctPairs>) -> Result<Vec<ConjunctPairs>, EvalError> {
     let mut ordered = Vec::with_capacity(conjuncts.len());
     let mut bound: Vec<gmark_core::query::Var> = Vec::new();
     while !conjuncts.is_empty() {
-        let connected_min = conjuncts
+        let idx = conjuncts
             .iter()
             .enumerate()
             .filter(|(_, c)| bound.contains(&c.src) || bound.contains(&c.trg))
             .min_by_key(|(_, c)| c.pairs.len())
-            .map(|(i, _)| i);
-        let idx = connected_min.unwrap_or_else(|| {
-            conjuncts
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, c)| c.pairs.len())
-                .map(|(i, _)| i)
-                .expect("non-empty")
-        });
+            .map(|(i, _)| i)
+            .or_else(|| {
+                conjuncts
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, c)| c.pairs.len())
+                    .map(|(i, _)| i)
+            })
+            .ok_or_else(|| {
+                // Unreachable while the loop guard holds; surfaced as a
+                // typed error so a broken invariant fails one cell, not
+                // the whole matrix.
+                EvalError::Internal("conjunct ordering found no candidate".to_owned())
+            })?;
         let c = conjuncts.swap_remove(idx);
         if !bound.contains(&c.src) {
             bound.push(c.src);
@@ -86,7 +91,7 @@ fn greedy_order(mut conjuncts: Vec<ConjunctPairs>) -> Vec<ConjunctPairs> {
         }
         ordered.push(c);
     }
-    ordered
+    Ok(ordered)
 }
 
 #[cfg(test)]
@@ -95,7 +100,7 @@ mod tests {
     use crate::relational::RelationalEngine;
     use gmark_core::query::{Conjunct, PathExpr, RegularExpr, Rule, Symbol, Var};
     use gmark_core::schema::PredicateId;
-    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
 
     fn sym(i: usize) -> Symbol {
         Symbol::forward(PredicateId(i))
@@ -175,7 +180,7 @@ mod tests {
             trg: Var(3),
             pairs: (0..10).map(|i| (i, i)).collect(),
         };
-        let ordered = greedy_order(vec![c_big, c_small, c_mid]);
+        let ordered = greedy_order(vec![c_big, c_small, c_mid]).unwrap();
         assert_eq!(ordered[0].pairs.len(), 1, "smallest seeds the join");
         // Next must connect to Var(1)/Var(2): both do; mid (10) < big (100).
         assert_eq!(ordered[1].pairs.len(), 10);

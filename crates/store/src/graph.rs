@@ -273,6 +273,26 @@ impl Graph {
         self.fwd[pred].iter_edges()
     }
 
+    /// Iterates the pairs of one `Σ±` symbol in **lexicographic order**:
+    /// `(s, t)` per forward edge, `(t, s)` per edge when `inverse` is set.
+    ///
+    /// Both directions come straight out of the corresponding CSR (the
+    /// backward index stores flipped pairs already sorted by target), so
+    /// consumers that need a sorted binary relation — the evaluation
+    /// engines' `Relation::of_symbol` in particular — get one without
+    /// collecting and re-sorting the edge list per query.
+    pub fn pairs(
+        &self,
+        pred: PredIdx,
+        inverse: bool,
+    ) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        if inverse {
+            self.bwd[pred].iter_edges()
+        } else {
+            self.fwd[pred].iter_edges()
+        }
+    }
+
     /// In-degree sequence for `(pred, type)` — used by the schema-extraction
     /// extension and by distribution-shape tests.
     pub fn in_degrees(&self, pred: PredIdx, node_type: usize) -> Vec<usize> {
@@ -512,6 +532,18 @@ mod tests {
         let g = small_graph();
         let edges: Vec<_> = g.edges(0).collect();
         assert_eq!(edges, vec![(0, 3), (0, 4), (1, 3)]);
+    }
+
+    #[test]
+    fn symbol_pairs_are_sorted_both_directions() {
+        let g = small_graph();
+        let fwd: Vec<_> = g.pairs(0, false).collect();
+        assert_eq!(fwd, vec![(0, 3), (0, 4), (1, 3)]);
+        let bwd: Vec<_> = g.pairs(0, true).collect();
+        assert_eq!(bwd, vec![(3, 0), (3, 1), (4, 0)]);
+        let mut sorted = bwd.clone();
+        sorted.sort_unstable();
+        assert_eq!(bwd, sorted, "inverse pairs must come out sorted");
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub mod sql;
 pub mod stream;
 
 pub use stream::{
-    stream_workload, StreamSummary, WorkloadOutputs, WorkloadStreamError, WorkloadStreamOptions,
+    stream_workload, write_workload, StreamSummary, WorkloadOutputs, WorkloadStreamError,
+    WorkloadStreamOptions,
 };
 
 use gmark_core::query::Query;

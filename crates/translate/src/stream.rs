@@ -194,6 +194,37 @@ fn render_query(
     Ok(docs)
 }
 
+/// Renders an **already-materialized** workload's five documents in
+/// index order — byte-for-byte what [`stream_workload`] produces for the
+/// same queries (both funnel through the same per-query renderer; pinned
+/// by this module's materialize-then-translate test). Returns the bytes
+/// written per document, in document order.
+///
+/// This is the path for callers that must hold the [`GeneratedQuery`]s
+/// in memory anyway (the evaluation pipeline, notably): generate once,
+/// render from the materialized workload, instead of paying query
+/// generation a second time inside [`stream_workload`]. Rendering is
+/// sequential — translation is cheap next to generation and evaluation.
+pub fn write_workload<W: Write>(
+    schema: &Schema,
+    queries: &[GeneratedQuery],
+    outs: &mut WorkloadOutputs<W>,
+) -> Result<[u64; DOC_COUNT], WorkloadStreamError> {
+    let mut bytes = [0u64; DOC_COUNT];
+    let destinations = outs.as_array_mut();
+    for (i, gq) in queries.iter().enumerate() {
+        let docs = render_query(i, gq, schema)?;
+        for (d, text) in docs.iter().enumerate() {
+            destinations[d].write_all(text.as_bytes())?;
+            bytes[d] += text.len() as u64;
+        }
+    }
+    for out in destinations {
+        out.flush()?;
+    }
+    Ok(bytes)
+}
+
 /// Per-worker fold state for the parallel path.
 #[derive(Default)]
 struct Partial {
@@ -396,6 +427,23 @@ mod tests {
         assert_eq!(outs.sql, expected.sql);
         assert_eq!(outs.datalog, expected.datalog);
         assert_eq!(summary.report, report);
+    }
+
+    #[test]
+    fn write_workload_matches_stream_workload_bytes() {
+        let schema = usecases::bib();
+        let cfg = config();
+        let (workload, _) =
+            gmark_core::workload::generate_workload(&schema, &cfg).expect("generates");
+        let mut rendered = outputs();
+        let bytes = write_workload(&schema, &workload.queries, &mut rendered).expect("renders");
+        let (summary, streamed) = run(4);
+        assert_eq!(rendered.rules, streamed.rules);
+        assert_eq!(rendered.sparql, streamed.sparql);
+        assert_eq!(rendered.cypher, streamed.cypher);
+        assert_eq!(rendered.sql, streamed.sql);
+        assert_eq!(rendered.datalog, streamed.datalog);
+        assert_eq!(bytes, summary.bytes);
     }
 
     #[test]

@@ -2,14 +2,20 @@
 //! against all four evaluation engines and print the timing grid
 //! (Fig. 12 in small).
 //!
+//! Built on the evaluation harness: per graph size one shared
+//! `EvalContext` feeds every engine, and `evaluate_matrix` fans the
+//! (engine × query) cells over `--threads` workers with a fresh per-cell
+//! budget — the same machinery behind the CLI's `--eval`.
+//!
 //! ```sh
 //! cargo run --release --example engine_shootout [-- --threads N]
 //! ```
 
 use gmark::prelude::*;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// `--threads N` from argv (generation is bit-identical at any count).
+/// `--threads N` from argv (generation and the matrix's deterministic
+/// content are bit-identical at any count).
 fn threads_from_args() -> usize {
     let args: Vec<String> = std::env::args().collect();
     args.iter()
@@ -22,7 +28,8 @@ fn threads_from_args() -> usize {
 fn main() {
     let schema = gmark::core::usecases::bib();
     let sizes = [1_000u64, 2_000, 4_000];
-    let opts = RunOptions::with_seed(17).threads(threads_from_args());
+    let threads = threads_from_args();
+    let opts = RunOptions::with_seed(17).threads(threads);
 
     let mut wcfg = WorkloadConfig::new(9).with_seed(3);
     wcfg.query_size.conjuncts = (1, 3);
@@ -39,39 +46,60 @@ fn main() {
     .workload
     .expect("plan generates a workload");
 
+    let budget = CellBudget {
+        timeout: Some(Duration::from_secs(10)),
+        max_tuples: 20_000_000,
+    };
+    let matrix_opts = MatrixOptions {
+        threads,
+        warm_runs: 0,
+    };
+
     println!(
         "{:<12} {:>6}  {:>14} {:>14} {:>14} {:>14}",
         "class", "nodes", "P/relational", "G/navigational", "S/triplestore", "D/datalog"
     );
-    for class in SelectivityClass::ALL {
-        for &n in &sizes {
-            let plan = RunPlan::builder(schema.clone())
-                .nodes(n)
-                .build()
-                .expect("plan builds");
-            let graph = run_in_memory(&plan, &opts)
-                .expect("graph generates")
-                .graph
-                .expect("plan generates a graph");
-            let mut row = format!("{:<12} {:>6}", class.to_string(), n);
-            for engine in all_engines() {
+    for &n in &sizes {
+        let plan = RunPlan::builder(schema.clone())
+            .nodes(n)
+            .build()
+            .expect("plan builds");
+        let graph = run_in_memory(&plan, &opts)
+            .expect("graph generates")
+            .graph
+            .expect("plan generates a graph");
+        let ctx = EvalContext::new(&graph);
+        let queries: Vec<&Query> = workload.queries.iter().map(|gq| &gq.query).collect();
+        let report = evaluate_matrix(&ctx, &queries, &EngineKind::ALL, &budget, &matrix_opts);
+
+        for class in SelectivityClass::ALL {
+            let rows: Vec<usize> = workload
+                .queries
+                .iter()
+                .enumerate()
+                .filter(|(_, gq)| gq.target == Some(class))
+                .map(|(i, _)| i)
+                .collect();
+            let mut line = format!("{:<12} {:>6}", class.to_string(), n);
+            for kind in EngineKind::ALL {
                 let mut total = Duration::ZERO;
                 let mut failed = false;
-                for gq in workload.of_class(class) {
-                    let budget = Budget::with_timeout(Duration::from_secs(10));
-                    let start = Instant::now();
-                    match engine.evaluate(&graph, &gq.query, &budget) {
-                        Ok(_) => total += start.elapsed(),
-                        Err(_) => failed = true,
+                for &row in &rows {
+                    let cell = report.cell(row, kind).expect("matrix covers every cell");
+                    match &cell.outcome {
+                        CellOutcome::Answers { .. } => {
+                            total += Duration::from_secs_f64(cell.seconds)
+                        }
+                        CellOutcome::Failed(_) => failed = true,
                     }
                 }
                 if failed {
-                    row.push_str(&format!(" {:>14}", "-"));
+                    line.push_str(&format!(" {:>14}", "-"));
                 } else {
-                    row.push_str(&format!(" {:>13.1?}", total));
+                    line.push_str(&format!(" {:>13.1?}", total));
                 }
             }
-            println!("{row}");
+            println!("{line}");
         }
     }
     println!(

@@ -14,16 +14,22 @@
 #   * the `scale_sweep` binary (Table 3-style): streamed generation at
 #     50K -> 5M nodes plus materialized contrast rows, one process per
 #     size so each row's `peak_rss_kb` (VmHWM) is a per-size peak — these
-#     rows pin the memory-bounded streaming claim.
+#     rows pin the memory-bounded streaming claim;
+#   * the `eval_matrix` binary (Section 7 in miniature): the full
+#     (engine x query) evaluation matrix on Bib through the shared
+#     EvalContext harness, one process per thread count (1 vs auto) into
+#     BENCH_eval.json — each row records cells/s, the timeout/too-large
+#     counts, and the run's peak RSS (VmHWM).
 #
-# Usage: scripts/bench.sh [gen.json] [workload.json]
-#        (defaults: BENCH_gen.json BENCH_workload.json)
+# Usage: scripts/bench.sh [gen.json] [workload.json] [eval.json]
+#        (defaults: BENCH_gen.json BENCH_workload.json BENCH_eval.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_gen.json}"
 wl_out="${2:-BENCH_workload.json}"
+eval_out="${3:-BENCH_eval.json}"
 case "$out" in
     /*) ;;
     *) out="$PWD/$out" ;; # cargo runs bench binaries from the package dir
@@ -32,7 +38,11 @@ case "$wl_out" in
     /*) ;;
     *) wl_out="$PWD/$wl_out" ;;
 esac
-rm -f "$out" "$wl_out"
+case "$eval_out" in
+    /*) ;;
+    *) eval_out="$PWD/$eval_out" ;;
+esac
+rm -f "$out" "$wl_out" "$eval_out"
 
 echo "== criterion generation benches (exporting to $out) =="
 GMARK_BENCH_JSON="$out" cargo bench --offline -p gmark-bench --bench generation
@@ -56,7 +66,16 @@ for n in 50000 500000; do
         --bin scale_sweep -- --nodes "$n" --mode materialized --threads 0
 done
 
+echo "== eval matrix (Section 7 in miniature, exporting to $eval_out) =="
+# One process per thread count: peak_rss_kb rows are per-run VmHWM peaks.
+# 1 thread vs auto-detect pins the parallel evaluation pipeline's trajectory.
+for t in 1 0; do
+    GMARK_BENCH_JSON="$eval_out" cargo run --offline --release -p gmark-bench \
+        --bin eval_matrix -- --threads "$t"
+done
+
 echo "== baselines written =="
-wc -l "$out" "$wl_out"
+wc -l "$out" "$wl_out" "$eval_out"
 cat "$out"
 cat "$wl_out"
+cat "$eval_out"

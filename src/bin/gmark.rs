@@ -12,19 +12,23 @@
 //! * `workload.txt` — the queries in the paper's rule notation,
 //! * `workload.sparql` / `.cypher` / `.sql` / `.datalog` — the four
 //!   concrete syntaxes,
+//! * `eval.txt` — the (query × engine) evaluation matrix (with `--eval`),
 //! * `report.txt` — generation statistics and consistency-check findings,
 //! * `summary.json` — the run summary (with `--format json`).
 //!
 //! ```sh
 //! gmark --config config.xml --output out/ [--seed N] [--nodes N] \
-//!       [--threads T] [--stream] [--queries-only] [--format text|json]
+//!       [--threads T] [--stream] [--queries-only] [--format text|json] \
+//!       [--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N]
 //! ```
 //!
-//! `--threads` governs both pipelines — graph constraints and workload
-//! queries fan out over the same number of workers — and every output
-//! file is byte-identical at every thread count, including 1.
+//! `--threads` governs every pipeline stage — graph constraints, workload
+//! queries, and the `--eval` matrix fan out over the same number of
+//! workers — and every output file is byte-identical at every thread
+//! count, including 1.
 
-use gmark::run::{run, DirSink, GmarkError, RunOptions, RunPlan};
+use gmark::engines::EngineKind;
+use gmark::run::{run, DirSink, EvalSpec, GmarkError, RunOptions, RunPlan};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -49,6 +53,14 @@ struct Args {
     stream: bool,
     /// Generate the query workload only; skip the graph instance.
     queries_only: bool,
+    /// Run the generated workload through the evaluation engines.
+    eval: bool,
+    /// Engine selection for `--eval` (report column order).
+    engines: Option<Vec<EngineKind>>,
+    /// Per-cell wall-clock budget in milliseconds (0 = unlimited).
+    budget_ms: Option<u64>,
+    /// Per-cell tuple cap.
+    max_tuples: Option<usize>,
     format: Format,
 }
 
@@ -63,20 +75,40 @@ enum Parsed {
 }
 
 const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] \
-[--threads T] [--stream] [--queries-only] [--format text|json]\n\n\
-  --threads T     worker threads for BOTH pipelines (graph constraints and\n\
-                  workload queries); 0 auto-detects the available\n\
-                  parallelism. Every output file is byte-identical at\n\
-                  every thread count, including 1.\n\
+[--threads T] [--stream] [--queries-only] [--format text|json] \
+[--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N]\n\n\
+  --threads T     worker threads for EVERY pipeline stage (graph\n\
+                  constraints, workload queries, and the --eval matrix);\n\
+                  0 auto-detects the available parallelism. Every output\n\
+                  file is byte-identical at every thread count,\n\
+                  including 1.\n\
   --stream        memory-bounded graph pipeline: stream N-Triples through\n\
                   per-constraint shard files instead of materializing the\n\
                   graph. Also byte-identical for every thread count. The\n\
                   streamed serialization keeps generation order and\n\
                   duplicate triples; the default serialization is sorted\n\
-                  and deduplicated (same edge set either way).\n\
+                  and deduplicated (same edge set either way). Not\n\
+                  combinable with --eval (engines need the in-memory\n\
+                  graph).\n\
   --queries-only  generate the query workload from the schema without\n\
                   building the graph at all (no graph.nt); the config must\n\
-                  have a <workload> section.\n\
+                  have a <workload> section. Not combinable with --eval.\n\
+  --eval          after generating, run every workload query through the\n\
+                  evaluation engines against the generated graph and write\n\
+                  the (query x engine) outcome matrix to eval.txt (plus\n\
+                  the eval rows of summary.json). The matrix is\n\
+                  byte-identical at every thread count whenever cell\n\
+                  outcomes cannot race the per-cell deadline — use\n\
+                  --budget-ms 0 for the fully deterministic regime.\n\
+  --engines LIST  engine columns for --eval, comma-separated paper\n\
+                  letters in report order (default P,G,S,D):\n\
+                  P relational, G navigational (degraded openCypher\n\
+                  semantics), S triple store, D Datalog.\n\
+  --budget-ms N   per-cell wall-clock budget for --eval in milliseconds\n\
+                  (default 10000); 0 removes the time limit, making cell\n\
+                  outcomes machine-independent.\n\
+  --max-tuples N  per-cell tuple cap for --eval (default 20000000);\n\
+                  exceeding it reports the cell as too-large.\n\
   --format F      what to print on stdout: 'text' (default, human-readable\n\
                   banner) or 'json' (the machine-readable RunSummary, also\n\
                   written to summary.json in the output directory).\n\
@@ -90,6 +122,10 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
     let mut threads = 1usize;
     let mut stream = false;
     let mut queries_only = false;
+    let mut eval = false;
+    let mut engines = None;
+    let mut budget_ms = None;
+    let mut max_tuples = None;
     let mut format = Format::Text;
     let mut i = 0;
     while i < argv.len() {
@@ -128,6 +164,34 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
             }
             "--stream" => stream = true,
             "--queries-only" => queries_only = true,
+            "--eval" => eval = true,
+            "--engines" => {
+                let v = take_value(&mut i, &flag)?;
+                engines = Some(EngineKind::parse_list(&v).map_err(|e| format!("--engines: {e}"))?);
+            }
+            "--budget-ms" => {
+                let v = take_value(&mut i, &flag)?;
+                budget_ms = Some(v.parse().map_err(|_| {
+                    format!("--budget-ms: expected a millisecond count (0 = unlimited), got {v:?}")
+                })?)
+            }
+            "--max-tuples" => {
+                let v = take_value(&mut i, &flag)?;
+                let cap: usize = v.parse().map_err(|_| {
+                    format!("--max-tuples: expected a positive tuple cap, got {v:?}")
+                })?;
+                if cap == 0 {
+                    // Unlike --budget-ms, 0 does not mean "unlimited" here
+                    // — it would deterministically fail every non-empty
+                    // cell. Reject it instead of producing useless output.
+                    return Err(
+                        "--max-tuples: the cap must be positive (every non-empty cell \
+                         would report too-large); omit the flag for the default cap"
+                            .to_owned(),
+                    );
+                }
+                max_tuples = Some(cap)
+            }
             "--format" => {
                 format = match take_value(&mut i, &flag)?.as_str() {
                     "text" => Format::Text,
@@ -148,6 +212,15 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
         }
         i += 1;
     }
+    if !eval && (engines.is_some() || budget_ms.is_some() || max_tuples.is_some()) {
+        return Err("--engines/--budget-ms/--max-tuples require --eval".to_owned());
+    }
+    if eval && queries_only {
+        return Err("--eval needs the graph instance; drop --queries-only".to_owned());
+    }
+    if eval && stream {
+        return Err("--eval needs the materialized graph; drop --stream".to_owned());
+    }
     Ok(Parsed::Run(Box::new(Args {
         config: config.ok_or("--config is required")?,
         output: output.ok_or("--output is required")?,
@@ -156,6 +229,10 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
         threads,
         stream,
         queries_only,
+        eval,
+        engines,
+        budget_ms,
+        max_tuples,
         format,
     })))
 }
@@ -174,6 +251,25 @@ fn execute(args: &Args) -> Result<(), GmarkError> {
             )));
         }
         plan.outputs.graph = false;
+    }
+    if args.eval {
+        if plan.workload.is_none() {
+            return Err(GmarkError::Plan(format!(
+                "--eval: {} has no <workload> section to evaluate",
+                args.config.display()
+            )));
+        }
+        let mut spec = EvalSpec::default();
+        if let Some(engines) = &args.engines {
+            spec.engines = engines.clone();
+        }
+        if let Some(ms) = args.budget_ms {
+            spec.budget_ms = ms;
+        }
+        if let Some(cap) = args.max_tuples {
+            spec.max_tuples = cap;
+        }
+        plan.eval = Some(spec);
     }
 
     // …how…
@@ -263,5 +359,82 @@ mod tests {
         assert!(parse_args(&argv(&["--output", "o"])).is_err());
         assert!(parse_args(&argv(&["--config", "c.xml"])).is_err());
         assert!(parse_args(&argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn eval_flags_parse_and_enforce_their_preconditions() {
+        let parsed = parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--engines",
+            "S,D",
+            "--budget-ms",
+            "500",
+            "--max-tuples",
+            "1000",
+        ]))
+        .expect("parses");
+        match parsed {
+            Parsed::Run(args) => {
+                assert!(args.eval);
+                assert_eq!(
+                    args.engines.as_deref(),
+                    Some(&[EngineKind::TripleStore, EngineKind::Datalog][..])
+                );
+                assert_eq!(args.budget_ms, Some(500));
+                assert_eq!(args.max_tuples, Some(1000));
+            }
+            other => panic!("expected a run, got {other:?}"),
+        }
+
+        // Eval sub-flags without --eval are rejected.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--engines",
+            "P"
+        ]))
+        .is_err());
+        // Conflicting modes are rejected at parse time.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--queries-only"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&[
+            "--config", "c.xml", "--output", "o", "--eval", "--stream"
+        ]))
+        .is_err());
+        // A zero tuple cap would fail every non-empty cell: rejected.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--max-tuples",
+            "0"
+        ]))
+        .is_err());
+        // Garbage engine letters are rejected.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--engines",
+            "P,X"
+        ]))
+        .is_err());
     }
 }

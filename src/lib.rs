@@ -98,8 +98,9 @@ pub mod run;
 /// translator) rather than the whole pipeline.
 pub mod prelude {
     pub use crate::run::{
-        run, run_in_memory, Artifact, DirSink, GmarkError, MemorySink, NullSink, OutputSelection,
-        RunArtifacts, RunOptions, RunPlan, RunPlanBuilder, RunSummary, Sink,
+        run, run_in_memory, Artifact, DirSink, EvalRunSummary, EvalSpec, GmarkError, MemorySink,
+        NullSink, OutputSelection, RunArtifacts, RunOptions, RunPlan, RunPlanBuilder, RunSummary,
+        Sink,
     };
 
     pub use gmark_core::gen::{generate_graph, generate_into, GeneratorOptions};
@@ -113,7 +114,8 @@ pub mod prelude {
         WorkloadConfig, WorkloadError,
     };
     pub use gmark_engines::{
-        all_engines, Answers, Budget, DatalogEngine, Engine, EvalError, NavigationalEngine,
+        all_engines, evaluate_matrix, Answers, Budget, CellBudget, CellOutcome, DatalogEngine,
+        Engine, EngineKind, EvalContext, EvalError, EvalReport, MatrixOptions, NavigationalEngine,
         RelationalEngine, TripleStoreEngine,
     };
     pub use gmark_store::{EdgeSink, Graph, GraphBuilder, NodeId, TypePartition};

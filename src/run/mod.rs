@@ -13,10 +13,12 @@
 //! ```
 //!
 //! * [`RunPlan`] — scenario schema, node count, workload specification,
-//!   output selection; built [from XML](RunPlan::from_config_file) or
-//!   [programmatically](RunPlan::builder);
+//!   output selection, and optionally an [`EvalSpec`] that closes the
+//!   Section 7 loop: the generated workload is *evaluated* against the
+//!   generated graph across the in-repo engines (the CLI's `--eval`);
 //! * [`RunOptions`] — seed, threads, streaming (collapsing the three
-//!   per-crate option structs);
+//!   per-crate option structs); `threads` drives graph constraints,
+//!   workload queries, **and** the (engine × query) evaluation matrix;
 //! * [`Sink`] — where artifact bytes go: [`DirSink`] (the CLI's file
 //!   layout), [`MemorySink`] (tests/embedding), [`NullSink`]
 //!   (benchmarks), or your own implementation;
@@ -39,6 +41,14 @@
 //! and non-streamed graph output remain distinct serializations of the
 //! same data: generation order with duplicates vs. sorted and
 //! deduplicated.
+//!
+//! The evaluation stage keeps the same contract: cells are reassembled in
+//! ascending `(query, engine)` order and neither the `eval.txt` artifact
+//! nor the `eval` object of `summary.json` carries wall-clock content, so
+//! both are byte-identical at every thread count whenever cell outcomes
+//! don't race the per-cell time budget (no limit, a generous one, or an
+//! expired one). Stage timing lives in `report.txt` and the CLI banner
+//! instead.
 //!
 //! # Example
 //!
@@ -65,14 +75,16 @@ mod summary;
 
 pub use error::GmarkError;
 pub use options::RunOptions;
-pub use plan::{OutputSelection, RunPlan, RunPlanBuilder};
+pub use plan::{EvalSpec, OutputSelection, RunPlan, RunPlanBuilder};
 pub use sink::{Artifact, DirSink, MemorySink, NullSink, Sink};
-pub use summary::{GraphRunSummary, RunSummary, WorkloadRunSummary};
+pub use summary::{EvalCellRow, EvalRunSummary, GraphRunSummary, RunSummary, WorkloadRunSummary};
 
 use gmark_core::gen::{generate_graph, generate_streamed};
-use gmark_core::workload::{generate_workload_with_threads, Workload};
+use gmark_core::workload::{generate_workload_with_threads, Workload, WorkloadConfig};
+use gmark_engines::{evaluate_matrix, CellOutcome, EvalContext, EvalReport, MatrixOptions};
 use gmark_store::{EdgeSink as _, Graph, NTriplesWriter};
-use gmark_translate::{stream_workload, WorkloadOutputs};
+use gmark_translate::{stream_workload, write_workload, WorkloadOutputs};
+use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -89,12 +101,22 @@ pub fn run<S: Sink + ?Sized>(
     sink: &mut S,
 ) -> Result<RunSummary, GmarkError> {
     plan.validate()?;
+    if plan.eval.is_some() && opts.stream {
+        return Err(GmarkError::Plan(
+            "evaluation requires the materialized graph pipeline (drop --stream): \
+             the engines evaluate the in-memory graph"
+                .to_owned(),
+        ));
+    }
     let consistency = consistency_findings(plan);
     let gen_opts = opts.generator_options();
     let threads = gen_opts.effective_threads();
     let scratch = scratch_dir(opts, sink);
 
     let mut graph_summary = None;
+    // The materialized graph, kept past serialization when an evaluation
+    // stage will need it.
+    let mut kept_graph: Option<Graph> = None;
     if plan.outputs.graph {
         let mut out = sink
             .open(Artifact::Graph)
@@ -123,6 +145,9 @@ pub fn run<S: Sink + ?Sized>(
             let written = writer
                 .finish()
                 .map_err(|e| GmarkError::io("writing graph.nt", e))?;
+            if plan.eval.is_some() {
+                kept_graph = Some(graph);
+            }
             (report, written)
         };
         out.flush()
@@ -138,11 +163,10 @@ pub fn run<S: Sink + ?Sized>(
     }
 
     let mut workload_summary = None;
+    // The materialized workload, kept for the evaluation stage.
+    let mut kept_workload: Option<Workload> = None;
     if plan.outputs.workload {
-        let mut wcfg = plan.workload.clone().expect("validated: workload present");
-        if let Some(seed) = opts.seed {
-            wcfg.seed = seed;
-        }
+        let wcfg = effective_workload_config(plan, opts);
         let mut open = |artifact| {
             sink.open(artifact)
                 .map_err(|e| GmarkError::io(format!("opening {artifact}"), e))
@@ -154,20 +178,59 @@ pub fn run<S: Sink + ?Sized>(
             sql: open(Artifact::Sql)?,
             datalog: open(Artifact::Datalog)?,
         };
-        let stream_opts = opts.workload_stream_options(scratch);
         let start = Instant::now();
-        let s = stream_workload(&plan.graph.schema, &wcfg, &stream_opts, &mut outs)?;
+        let (report, bytes, diversity) = if plan.eval.is_some() {
+            // Evaluation needs the materialized queries anyway: generate
+            // once (parallel), render the documents from the materialized
+            // workload — byte-identical to the streamed path, which
+            // funnels through the same per-query renderer.
+            let (w, report) =
+                generate_workload_with_threads(&plan.graph.schema, &wcfg, opts.threads)?;
+            let bytes = write_workload(&plan.graph.schema, &w.queries, &mut outs)?;
+            let diversity = w.diversity();
+            kept_workload = Some(w);
+            (report, bytes, diversity)
+        } else {
+            let stream_opts = opts.workload_stream_options(scratch);
+            let s = stream_workload(&plan.graph.schema, &wcfg, &stream_opts, &mut outs)?;
+            (s.report, s.bytes, s.diversity)
+        };
         workload_summary = Some(WorkloadRunSummary {
             seed: wcfg.seed,
-            produced: s.report.produced,
-            unsatisfied_selectivity: s.report.unsatisfied_selectivity,
-            relaxations: s.report.relaxations,
-            cypher_star_concat: s.report.cypher.star_concat,
-            cypher_star_inverse: s.report.cypher.star_inverse,
-            bytes: s.bytes,
-            diversity: s.diversity,
+            produced: report.produced,
+            unsatisfied_selectivity: report.unsatisfied_selectivity,
+            relaxations: report.relaxations,
+            cypher_star_concat: report.cypher.star_concat,
+            cypher_star_inverse: report.cypher.star_inverse,
+            bytes,
+            diversity,
             seconds: start.elapsed().as_secs_f64(),
         });
+    }
+
+    let mut eval_summary = None;
+    if let Some(spec) = &plan.eval {
+        let graph = kept_graph
+            .take()
+            .expect("validated: eval runs imply a materialized graph");
+        let workload = kept_workload
+            .take()
+            .expect("validated: eval runs imply a workload");
+        let start = Instant::now();
+        let report = evaluate_stage(spec, &graph, &workload, opts.threads);
+        let rendered = render_eval_report(plan, spec, &graph, &workload, &report);
+        let mut out = sink
+            .open(Artifact::EvalReport)
+            .map_err(|e| GmarkError::io("opening eval.txt", e))?;
+        out.write_all(rendered.as_bytes())
+            .map_err(|e| GmarkError::io("writing eval.txt", e))?;
+        out.flush()
+            .map_err(|e| GmarkError::io("flushing eval.txt", e))?;
+        eval_summary = Some(eval_run_summary(
+            spec,
+            &report,
+            start.elapsed().as_secs_f64(),
+        ));
     }
 
     let summary = RunSummary {
@@ -178,6 +241,7 @@ pub fn run<S: Sink + ?Sized>(
         consistency,
         graph: graph_summary,
         workload: workload_summary,
+        eval: eval_summary,
     };
     sink.finish(&summary)
         .map_err(|e| GmarkError::io("finishing outputs", e))?;
@@ -191,6 +255,10 @@ pub struct RunArtifacts {
     pub graph: Option<Graph>,
     /// The generated workload, when the plan produced one.
     pub workload: Option<Workload>,
+    /// The full evaluation matrix (cells with measured wall times), when
+    /// the plan had an [`EvalSpec`]. The deterministic digest also lands
+    /// in [`RunSummary::eval`].
+    pub eval: Option<EvalReport>,
     /// The run summary (per-constraint reports, workload counters,
     /// diversity; document byte counts are zero — nothing was rendered).
     pub summary: RunSummary,
@@ -228,10 +296,7 @@ pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, 
     let mut workload = None;
     let mut workload_summary = None;
     if plan.outputs.workload {
-        let mut wcfg = plan.workload.clone().expect("validated: workload present");
-        if let Some(seed) = opts.seed {
-            wcfg.seed = seed;
-        }
+        let wcfg = effective_workload_config(plan, opts);
         let start = Instant::now();
         let (w, report) = generate_workload_with_threads(&plan.graph.schema, &wcfg, opts.threads)?;
         workload_summary = Some(WorkloadRunSummary {
@@ -248,9 +313,29 @@ pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, 
         workload = Some(w);
     }
 
+    let mut eval = None;
+    let mut eval_summary = None;
+    if let Some(spec) = &plan.eval {
+        let g = graph
+            .as_ref()
+            .expect("validated: eval runs imply a materialized graph");
+        let w = workload
+            .as_ref()
+            .expect("validated: eval runs imply a workload");
+        let start = Instant::now();
+        let report = evaluate_stage(spec, g, w, opts.threads);
+        eval_summary = Some(eval_run_summary(
+            spec,
+            &report,
+            start.elapsed().as_secs_f64(),
+        ));
+        eval = Some(report);
+    }
+
     Ok(RunArtifacts {
         graph,
         workload,
+        eval,
         summary: RunSummary {
             config: plan.source.clone(),
             seed: opts.graph_seed(),
@@ -259,8 +344,132 @@ pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, 
             consistency,
             graph: graph_summary,
             workload: workload_summary,
+            eval: eval_summary,
         },
     })
+}
+
+/// The workload configuration after applying the run options' seed
+/// override — shared by the document-streaming, in-memory, and evaluation
+/// stages so they always describe the same queries.
+fn effective_workload_config(plan: &RunPlan, opts: &RunOptions) -> WorkloadConfig {
+    let mut wcfg = plan.workload.clone().expect("validated: workload present");
+    if let Some(seed) = opts.seed {
+        wcfg.seed = seed;
+    }
+    wcfg
+}
+
+/// Runs the evaluation matrix for a plan's [`EvalSpec`]: one shared
+/// [`EvalContext`] over the graph, every (query × engine) cell through
+/// the parallel harness. Rendering is separate
+/// ([`render_eval_report`]) so the in-memory path pays nothing for text
+/// it would discard.
+fn evaluate_stage(
+    spec: &EvalSpec,
+    graph: &Graph,
+    workload: &Workload,
+    threads: usize,
+) -> EvalReport {
+    let ctx = EvalContext::new(graph);
+    let queries: Vec<&gmark_core::query::Query> =
+        workload.queries.iter().map(|gq| &gq.query).collect();
+    evaluate_matrix(
+        &ctx,
+        &queries,
+        &spec.engines,
+        &spec.cell_budget(),
+        &MatrixOptions {
+            threads,
+            warm_runs: 0,
+        },
+    )
+}
+
+/// Renders the deterministic `eval.txt` artifact: a header (config,
+/// graph shape, engines, budget), the (query × engine) outcome matrix
+/// with per-query workload metadata, and the outcome totals. Every byte
+/// is a pure function of the plan and seed — thread count never changes
+/// it.
+fn render_eval_report(
+    plan: &RunPlan,
+    spec: &EvalSpec,
+    graph: &Graph,
+    workload: &Workload,
+    report: &EvalReport,
+) -> String {
+    let mut rendered = String::new();
+    let _ = writeln!(rendered, "gMark evaluation report");
+    match &plan.source {
+        Some(path) => {
+            let _ = writeln!(rendered, "config: {}", path.display());
+        }
+        None => {
+            let _ = writeln!(rendered, "config: (programmatic plan)");
+        }
+    }
+    let _ = writeln!(
+        rendered,
+        "graph: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+    let engine_names: Vec<&str> = spec.engines.iter().map(|k| k.name()).collect();
+    let _ = writeln!(rendered, "engines: {}", engine_names.join(" "));
+    let _ = writeln!(
+        rendered,
+        "budget: {} per cell, max {} tuples",
+        if spec.budget_ms == 0 {
+            "unlimited time".to_owned()
+        } else {
+            format!("{} ms", spec.budget_ms)
+        },
+        spec.max_tuples
+    );
+    let labels: Vec<String> = workload.queries.iter().map(|gq| gq.eval_label()).collect();
+    rendered.push_str(&report.render_with_labels(&labels));
+    rendered
+}
+
+/// Digests an [`EvalReport`] into the summary's deterministic rows plus
+/// the stage wall time (report/banner only).
+fn eval_run_summary(spec: &EvalSpec, report: &EvalReport, seconds: f64) -> EvalRunSummary {
+    let totals = report.totals();
+    let rows = report
+        .cells
+        .iter()
+        .map(|cell| EvalCellRow {
+            query: cell.query,
+            engine: cell.engine.letter(),
+            outcome: match &cell.outcome {
+                CellOutcome::Answers { .. } => "ok".to_owned(),
+                CellOutcome::Failed(e) => match e {
+                    gmark_engines::EvalError::Timeout => "timeout".to_owned(),
+                    gmark_engines::EvalError::TooLarge(_) => "too-large".to_owned(),
+                    gmark_engines::EvalError::Unsupported(_) => "unsupported".to_owned(),
+                    gmark_engines::EvalError::Internal(_) => "error".to_owned(),
+                },
+            },
+            count: match &cell.outcome {
+                CellOutcome::Answers { count, .. } => Some(*count),
+                CellOutcome::Failed(_) => None,
+            },
+        })
+        .collect();
+    EvalRunSummary {
+        engines: spec.letters(),
+        budget_ms: spec.budget_ms,
+        max_tuples: spec.max_tuples,
+        queries: report.queries,
+        cells: report.cells.len(),
+        ok: totals.ok,
+        timeout: totals.timeout,
+        too_large: totals.too_large,
+        unsupported: totals.unsupported,
+        internal: totals.internal,
+        rows,
+        seconds,
+    }
 }
 
 /// The Section 4 consistency check, rendered for the report (never fatal).
@@ -360,6 +569,56 @@ mod tests {
         );
         assert!(mem.graph.unwrap().edge_count() > 0);
         assert_eq!(mem.workload.unwrap().queries.len(), 5);
+    }
+
+    #[test]
+    fn eval_stage_writes_report_and_summary_rows() {
+        let plan = RunPlan::builder(usecases::bib())
+            .nodes(300)
+            .workload(WorkloadConfig::new(3))
+            .eval(EvalSpec {
+                budget_ms: 0, // deterministic regime
+                max_tuples: 200_000,
+                ..EvalSpec::default()
+            })
+            .build()
+            .unwrap();
+        let mut sink = MemorySink::new();
+        let summary = run(&plan, &RunOptions::with_seed(7), &mut sink).unwrap();
+        let eval = summary.eval.as_ref().expect("eval stage ran");
+        assert_eq!(eval.queries, 3);
+        assert_eq!(eval.cells, 12);
+        assert_eq!(eval.rows.len(), 12);
+        assert_eq!(
+            eval.ok + eval.timeout + eval.too_large + eval.unsupported + eval.internal,
+            12
+        );
+        let text = String::from_utf8(sink.bytes(Artifact::EvalReport).unwrap()).unwrap();
+        assert!(text.starts_with("gMark evaluation report"), "{text}");
+        assert!(text.contains("engines: P/relational"), "{text}");
+        assert!(text.contains("class="), "per-query metadata: {text}");
+        // In-memory runs produce the same deterministic digest.
+        let arts = run_in_memory(&plan, &RunOptions::with_seed(7)).unwrap();
+        let mem_eval = arts.summary.eval.as_ref().unwrap();
+        assert_eq!(mem_eval.rows, eval.rows);
+        assert_eq!(arts.eval.as_ref().unwrap().cells.len(), 12);
+    }
+
+    #[test]
+    fn eval_rejects_the_streamed_pipeline() {
+        let plan = RunPlan::builder(usecases::bib())
+            .nodes(200)
+            .workload(WorkloadConfig::new(2))
+            .eval(EvalSpec::default())
+            .build()
+            .unwrap();
+        let err = run(
+            &plan,
+            &RunOptions::with_seed(1).stream(true),
+            &mut MemorySink::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
     }
 
     #[test]

@@ -18,7 +18,9 @@ use super::error::GmarkError;
 use gmark_config::parse_config;
 use gmark_core::schema::{GraphConfig, Schema};
 use gmark_core::workload::WorkloadConfig;
+use gmark_engines::{CellBudget, EngineKind};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Which artifacts a run produces. The report and summary are governed by
 /// the [`Sink`](crate::run::Sink), not here — they always describe
@@ -43,6 +45,53 @@ impl Default for OutputSelection {
     }
 }
 
+/// The Section 7 evaluation stage of a plan: which engines run the
+/// generated workload against the generated graph, under what per-cell
+/// resource budget. Present on a plan (via [`RunPlanBuilder::eval`] or the
+/// CLI's `--eval`), it turns one run into the full
+/// generate → translate → **evaluate** loop, producing
+/// [`Artifact::EvalReport`](crate::run::Artifact) and the `eval` rows of
+/// the [`RunSummary`](crate::run::RunSummary).
+#[derive(Debug, Clone)]
+pub struct EvalSpec {
+    /// Engine columns, in report order (the CLI's `--engines P,G,S,D`).
+    pub engines: Vec<EngineKind>,
+    /// Wall-clock budget per (engine × query) cell in milliseconds; `0`
+    /// disables the time limit entirely — the fully deterministic regime
+    /// (cell outcomes then cannot depend on machine speed).
+    pub budget_ms: u64,
+    /// Maximum tuples any intermediate or final result may hold per cell.
+    pub max_tuples: usize,
+}
+
+impl Default for EvalSpec {
+    /// All four engines, a 10-second per-cell budget, and the default
+    /// laptop-scale tuple cap.
+    fn default() -> Self {
+        EvalSpec {
+            engines: EngineKind::ALL.to_vec(),
+            budget_ms: 10_000,
+            max_tuples: 20_000_000,
+        }
+    }
+}
+
+impl EvalSpec {
+    /// The engine letters in column order, e.g. `"PGSD"`.
+    pub fn letters(&self) -> String {
+        self.engines.iter().map(|k| k.letter()).collect()
+    }
+
+    /// The per-cell budget recipe the matrix harness starts each cell
+    /// from.
+    pub(crate) fn cell_budget(&self) -> CellBudget {
+        CellBudget {
+            timeout: (self.budget_ms > 0).then(|| Duration::from_millis(self.budget_ms)),
+            max_tuples: self.max_tuples,
+        }
+    }
+}
+
 /// What to generate: scenario schema, node count, workload specification,
 /// and output selection. Execution knobs (seed, threads, streaming) live
 /// in [`RunOptions`](crate::run::RunOptions); destinations live in the
@@ -55,6 +104,9 @@ pub struct RunPlan {
     pub workload: Option<WorkloadConfig>,
     /// Which artifacts to produce.
     pub outputs: OutputSelection,
+    /// The evaluation stage, when the workload should also be *run*
+    /// against the graph (requires both graph and workload outputs).
+    pub eval: Option<EvalSpec>,
     /// The configuration file this plan came from, when it came from one
     /// (recorded in the report).
     pub source: Option<PathBuf>,
@@ -74,6 +126,7 @@ impl RunPlan {
             },
             graph: parsed.graph,
             workload: parsed.workload,
+            eval: None,
             source: None,
         })
     }
@@ -91,6 +144,7 @@ impl RunPlan {
             },
             graph: parsed.graph,
             workload: parsed.workload,
+            eval: None,
             source: Some(path.to_path_buf()),
         })
     }
@@ -102,6 +156,7 @@ impl RunPlan {
             schema,
             workload: None,
             outputs: OutputSelection::default(),
+            eval: None,
         }
     }
 
@@ -125,6 +180,27 @@ impl RunPlan {
             return Err(GmarkError::Plan(
                 "nothing to generate: both graph and workload outputs are disabled".to_owned(),
             ));
+        }
+        if let Some(spec) = &self.eval {
+            if !self.outputs.graph || !self.outputs.workload {
+                return Err(GmarkError::Plan(
+                    "evaluation requires both the graph and the workload \
+                     (drop --queries-only / enable both outputs)"
+                        .to_owned(),
+                ));
+            }
+            if spec.engines.is_empty() {
+                return Err(GmarkError::Plan(
+                    "evaluation requested with an empty engine selection".to_owned(),
+                ));
+            }
+            if spec.max_tuples == 0 {
+                return Err(GmarkError::Plan(
+                    "evaluation max_tuples must be positive (a zero cap fails every \
+                     non-empty cell)"
+                        .to_owned(),
+                ));
+            }
         }
         Ok(())
     }
@@ -152,6 +228,7 @@ pub struct RunPlanBuilder {
     schema: Schema,
     workload: Option<WorkloadConfig>,
     outputs: OutputSelection,
+    eval: Option<EvalSpec>,
 }
 
 impl RunPlanBuilder {
@@ -164,6 +241,15 @@ impl RunPlanBuilder {
     /// Adds a query-workload specification.
     pub fn workload(mut self, config: WorkloadConfig) -> RunPlanBuilder {
         self.workload = Some(config);
+        self
+    }
+
+    /// Adds the evaluation stage (the CLI's `--eval`): after generation,
+    /// run every workload query through the selected engines against the
+    /// generated graph. Requires a workload specification and graph
+    /// output.
+    pub fn eval(mut self, spec: EvalSpec) -> RunPlanBuilder {
+        self.eval = Some(spec);
         self
     }
 
@@ -196,6 +282,7 @@ impl RunPlanBuilder {
                 // without <workload> still runs.
                 workload: self.outputs.workload && has_workload,
             },
+            eval: self.eval,
             source: None,
         };
         // queries_only without a workload is the one combination that
@@ -287,6 +374,55 @@ mod tests {
             "no <workload> section must not request workload output"
         );
         plan.validate().unwrap();
+    }
+
+    #[test]
+    fn eval_requires_graph_and_workload() {
+        // Eval without a workload: rejected.
+        let err = RunPlan::builder(usecases::bib())
+            .eval(EvalSpec::default())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+
+        // Eval on a queries-only plan: rejected (no graph to evaluate on).
+        let err = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .queries_only()
+            .eval(EvalSpec::default())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+
+        // Eval with an empty engine selection: rejected.
+        let err = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .eval(EvalSpec {
+                engines: Vec::new(),
+                ..EvalSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+
+        // A zero tuple cap: rejected (it would fail every non-empty cell).
+        let err = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .eval(EvalSpec {
+                max_tuples: 0,
+                ..EvalSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+
+        // The well-formed combination builds.
+        let plan = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .eval(EvalSpec::default())
+            .build()
+            .unwrap();
+        assert_eq!(plan.eval.as_ref().unwrap().letters(), "PGSD");
     }
 
     #[test]

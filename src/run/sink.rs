@@ -35,6 +35,10 @@ pub enum Artifact {
     Sql,
     /// The workload as Datalog (`workload.datalog`).
     Datalog,
+    /// The deterministic evaluation report of the `--eval` stage
+    /// (`eval.txt`): the (query × engine) outcome matrix with answer-set
+    /// cardinalities — byte-identical at every thread count.
+    EvalReport,
     /// The human-readable generation report (`report.txt`).
     Report,
     /// The machine-readable run summary (`summary.json`).
@@ -62,6 +66,7 @@ impl Artifact {
             Artifact::Cypher => "workload.cypher",
             Artifact::Sql => "workload.sql",
             Artifact::Datalog => "workload.datalog",
+            Artifact::EvalReport => "eval.txt",
             Artifact::Report => "report.txt",
             Artifact::Summary => "summary.json",
         }
@@ -274,6 +279,7 @@ mod tests {
         assert_eq!(Artifact::WORKLOAD.len(), 5);
         assert_eq!(Artifact::WORKLOAD[0].file_name(), "workload.txt");
         assert_eq!(Artifact::WORKLOAD[4].file_name(), "workload.datalog");
+        assert_eq!(Artifact::EvalReport.file_name(), "eval.txt");
     }
 
     #[test]

@@ -31,6 +31,8 @@ pub struct RunSummary {
     pub graph: Option<GraphRunSummary>,
     /// Workload outcome; `None` when the plan had no workload output.
     pub workload: Option<WorkloadRunSummary>,
+    /// Evaluation outcome; `None` when the plan had no `--eval` stage.
+    pub eval: Option<EvalRunSummary>,
 }
 
 /// The graph half of a [`RunSummary`].
@@ -76,6 +78,57 @@ pub struct WorkloadRunSummary {
     pub diversity: DiversitySummary,
     /// Wall-clock generation + translation time.
     pub seconds: f64,
+}
+
+/// The evaluation half of a [`RunSummary`] — the outcome of the
+/// (engine × query) matrix the `--eval` stage ran.
+///
+/// Everything serialized by [`RunSummary::to_json`] from this struct is a
+/// pure function of the plan and the seed (outcomes, cardinalities,
+/// counts): the `eval` section of `summary.json` is byte-identical at
+/// every thread count. The stage's wall time is recorded in
+/// [`EvalRunSummary::seconds`] for the report and the CLI banner but
+/// deliberately kept **out** of the JSON, preserving that guarantee.
+#[derive(Debug, Clone)]
+pub struct EvalRunSummary {
+    /// Engine letters in column order, e.g. `"PGSD"`.
+    pub engines: String,
+    /// Per-cell wall-clock budget in milliseconds (`0` = unlimited).
+    pub budget_ms: u64,
+    /// Per-cell tuple cap.
+    pub max_tuples: usize,
+    /// Number of evaluated queries (matrix rows).
+    pub queries: usize,
+    /// Number of evaluated cells (`queries × engines`).
+    pub cells: usize,
+    /// Cells that completed.
+    pub ok: usize,
+    /// Cells that exhausted the wall-clock budget.
+    pub timeout: usize,
+    /// Cells that exceeded the tuple budget.
+    pub too_large: usize,
+    /// Cells the engine could not express.
+    pub unsupported: usize,
+    /// Cells that hit an engine invariant violation.
+    pub internal: usize,
+    /// Per-cell rows in ascending `(query, engine position)` order.
+    pub rows: Vec<EvalCellRow>,
+    /// Stage wall time (report/banner only — not serialized to JSON).
+    pub seconds: f64,
+}
+
+/// One deterministic cell row of an [`EvalRunSummary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalCellRow {
+    /// Query index (generation order).
+    pub query: usize,
+    /// Engine letter (`P`/`G`/`S`/`D`).
+    pub engine: char,
+    /// Outcome word: `ok`, `timeout`, `too-large`, `unsupported`, or
+    /// `error`.
+    pub outcome: String,
+    /// Distinct answer tuples for completed cells, `None` otherwise.
+    pub count: Option<u64>,
 }
 
 impl RunSummary {
@@ -134,6 +187,22 @@ impl RunSummary {
             );
             let _ = writeln!(rep, "diversity:\n{}", w.diversity);
         }
+        if let Some(e) = &self.eval {
+            let _ = writeln!(
+                rep,
+                "evaluation: {} queries x {} engines ({}) = {} cells in {:.3}s",
+                e.queries,
+                e.engines.len(),
+                e.engines,
+                e.cells,
+                e.seconds
+            );
+            let _ = writeln!(
+                rep,
+                "evaluation outcomes: {} ok, {} timeout, {} too-large, {} unsupported, {} error",
+                e.ok, e.timeout, e.too_large, e.unsupported, e.internal
+            );
+        }
         rep
     }
 
@@ -182,6 +251,12 @@ impl RunSummary {
             Some(w) => w.write_json(&mut out),
             None => out.push_str("null"),
         }
+        out.push(',');
+        push_key(&mut out, "eval");
+        match &self.eval {
+            Some(e) => e.write_json(&mut out),
+            None => out.push_str("null"),
+        }
         out.push('}');
         out
     }
@@ -213,6 +288,22 @@ impl std::fmt::Display for RunSummary {
                 if self.threads > 1 { "s" } else { "" },
                 w.cypher_star_concat,
                 w.cypher_star_inverse,
+            )?;
+        }
+        if let Some(e) = &self.eval {
+            writeln!(
+                f,
+                "eval: {} cells ({} queries x {} engines) -> eval.txt \
+                 ({:.3}s, {} thread{}; {} ok, {} timeout, {} too-large)",
+                e.cells,
+                e.queries,
+                e.engines,
+                e.seconds,
+                self.threads,
+                if self.threads > 1 { "s" } else { "" },
+                e.ok,
+                e.timeout,
+                e.too_large,
             )?;
         }
         Ok(())
@@ -288,6 +379,60 @@ impl WorkloadRunSummary {
         out.push(',');
         push_key(out, "diversity");
         write_diversity_json(&self.diversity, out);
+        out.push('}');
+    }
+}
+
+impl EvalRunSummary {
+    /// Serializes the deterministic evaluation fields. The stage's wall
+    /// time is intentionally absent: the `eval` JSON object is a pure
+    /// function of the plan and seed (see the struct docs).
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        push_key(out, "engines");
+        push_str(out, &self.engines);
+        out.push(',');
+        push_key(out, "budget_ms");
+        let _ = write!(out, "{}", self.budget_ms);
+        out.push(',');
+        push_key(out, "max_tuples");
+        let _ = write!(out, "{}", self.max_tuples);
+        out.push(',');
+        push_key(out, "queries");
+        let _ = write!(out, "{}", self.queries);
+        out.push(',');
+        push_key(out, "cells");
+        let _ = write!(out, "{}", self.cells);
+        out.push(',');
+        push_key(out, "outcomes");
+        let _ = write!(
+            out,
+            "{{\"ok\":{},\"timeout\":{},\"too_large\":{},\"unsupported\":{},\"error\":{}}}",
+            self.ok, self.timeout, self.too_large, self.unsupported, self.internal
+        );
+        out.push(',');
+        push_key(out, "rows");
+        out.push('[');
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"query\":{},\"engine\":\"{}\",\"outcome\":",
+                row.query, row.engine
+            );
+            push_str(out, &row.outcome);
+            out.push_str(",\"count\":");
+            match row.count {
+                Some(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push('}');
+        }
+        out.push(']');
         out.push('}');
     }
 }
@@ -409,6 +554,33 @@ mod tests {
                 diversity: DiversitySummary::default(),
                 seconds: 0.1,
             }),
+            eval: Some(EvalRunSummary {
+                engines: "PGSD".to_owned(),
+                budget_ms: 10_000,
+                max_tuples: 1_000_000,
+                queries: 2,
+                cells: 8,
+                ok: 7,
+                timeout: 1,
+                too_large: 0,
+                unsupported: 0,
+                internal: 0,
+                rows: vec![
+                    EvalCellRow {
+                        query: 0,
+                        engine: 'P',
+                        outcome: "ok".to_owned(),
+                        count: Some(12),
+                    },
+                    EvalCellRow {
+                        query: 0,
+                        engine: 'G',
+                        outcome: "timeout".to_owned(),
+                        count: None,
+                    },
+                ],
+                seconds: 0.5,
+            }),
         }
     }
 
@@ -459,8 +631,30 @@ mod tests {
         let mut s = sample();
         s.graph = None;
         s.workload = None;
+        s.eval = None;
         let json = s.to_json();
         assert!(json.contains("\"graph\":null"), "{json}");
         assert!(json.contains("\"workload\":null"), "{json}");
+        assert!(json.contains("\"eval\":null"), "{json}");
+    }
+
+    #[test]
+    fn eval_json_is_deterministic_no_seconds() {
+        let json = sample().to_json();
+        let eval = &json[json.find("\"eval\"").unwrap()..];
+        assert!(eval.contains("\"engines\":\"PGSD\""), "{eval}");
+        assert!(
+            eval.contains("\"outcome\":\"timeout\",\"count\":null"),
+            "{eval}"
+        );
+        assert!(eval.contains("\"count\":12"), "{eval}");
+        assert!(
+            !eval.contains("seconds"),
+            "eval JSON must not carry wall-clock content: {eval}"
+        );
+        // The report keeps the timing (it is not byte-compared).
+        let rep = sample().render_report();
+        assert!(rep.contains("evaluation: 2 queries x 4 engines"), "{rep}");
+        assert!(rep.contains("1 timeout"), "{rep}");
     }
 }

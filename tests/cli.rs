@@ -44,6 +44,10 @@ fn help_exits_zero_and_documents_every_flag() {
             "--stream",
             "--queries-only",
             "--format",
+            "--eval",
+            "--engines",
+            "--budget-ms",
+            "--max-tuples",
             "--version",
         ] {
             assert!(stdout.contains(documented), "{flag}: {documented} missing");

@@ -139,6 +139,74 @@ proptest! {
     }
 }
 
+// Differential correctness on the *generator's own* output: for
+// non-recursive workloads (no stars ⇒ no Section 7.1 degradation ⇒ even
+// the navigational engine must agree), all engines produce identical
+// sorted answer sets over small generated graphs — through one shared
+// EvalContext per graph, so this also pins that the shared-index path
+// computes the same answers as the paper semantics.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn engines_agree_on_nonrecursive_generated_workloads(seed in 0u64..400) {
+        let schema = gmark::core::usecases::bib();
+        let config = GraphConfig::new(250, schema.clone());
+        let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(seed));
+        let mut wcfg = WorkloadConfig::new(6).with_seed(seed ^ 0xD1FF);
+        wcfg.recursion_probability = 0.0; // non-recursive ⇒ non-degraded
+        let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
+        let ctx = EvalContext::new(&graph);
+        let budget = Budget::default();
+        for gq in &workload.queries {
+            prop_assert!(!gq.query.is_recursive());
+            let (_, lossy) = gmark::engines::navigational::degrade_for_cypher(&gq.query);
+            prop_assert!(!lossy, "non-recursive queries cannot be degraded");
+            let reference = RelationalEngine
+                .evaluate_ctx(&ctx, &gq.query, &budget)
+                .unwrap();
+            for kind in EngineKind::ALL {
+                let answers = kind.evaluate(&ctx, &gq.query, &budget).unwrap();
+                prop_assert_eq!(
+                    &answers,
+                    &reference,
+                    "{} differs on {:?}",
+                    kind.name(),
+                    gq.query
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn shared_context_matches_per_call_contexts() {
+    // The shared EvalContext path (one context, many queries/engines)
+    // must produce the same *result* — answers or typed budget failure —
+    // as Engine::evaluate's fresh-context path. The tight tuple cap keeps
+    // heavy recursive cells cheap (they fail identically on both paths).
+    let schema = gmark::core::usecases::bib();
+    let config = GraphConfig::new(300, schema.clone());
+    let (graph, _) = generate_graph(&config, &GeneratorOptions::with_seed(21));
+    let mut wcfg = WorkloadConfig::new(8).with_seed(22);
+    wcfg.recursion_probability = 0.3;
+    let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
+    let ctx = EvalContext::new(&graph);
+    let budget = Budget::with_limits(None, 200_000);
+    for gq in &workload.queries {
+        for kind in EngineKind::ALL {
+            let shared = kind.evaluate(&ctx, &gq.query, &budget);
+            let fresh = match kind {
+                EngineKind::Relational => RelationalEngine.evaluate(&graph, &gq.query, &budget),
+                EngineKind::Navigational => NavigationalEngine.evaluate(&graph, &gq.query, &budget),
+                EngineKind::TripleStore => TripleStoreEngine.evaluate(&graph, &gq.query, &budget),
+                EngineKind::Datalog => DatalogEngine.evaluate(&graph, &gq.query, &budget),
+            };
+            assert_eq!(shared, fresh, "{} on {:?}", kind.name(), gq.query);
+        }
+    }
+}
+
 #[test]
 fn engines_agree_on_generated_workloads() {
     // Not random shapes: the actual gMark workload generator's output.
