@@ -1,6 +1,6 @@
 //! Evaluation-matrix throughput baseline: drives the full
 //! generate → evaluate loop (Section 7 in miniature) through the shared
-//! [`EvalContext`] + [`evaluate_matrix`] harness and emits one
+//! [`EvalContext`] + [`evaluate_matrix_with_schema`] harness and emits one
 //! `BENCH_eval.json` row per invocation — cells/s, outcome counts, and
 //! the process's peak RSS — via the `GMARK_BENCH_JSON` protocol.
 //!
@@ -11,15 +11,22 @@
 //!
 //! ```sh
 //! cargo run -p gmark-bench --release --bin eval_matrix -- \
-//!     [--nodes N] [--queries Q] [--threads T] [--budget-ms MS] [--seed S]
+//!     [--nodes N] [--queries Q] [--threads T] [--budget-ms MS] \
+//!     [--max-tuples N] [--seed S] [--no-plan]
 //! ```
+//!
+//! `--no-plan` disables the schema-statistics query planner, so
+//! `bench.sh` can record a planner-on vs planner-off pair per thread
+//! count; each JSON row carries a `"plan"` field naming its regime.
 
 use gmark_bench::{append_bench_json, build_graph, peak_rss_kb, take_flag_value};
 use gmark_core::query::Query;
 use gmark_core::selectivity::SelectivityClass;
 use gmark_core::usecases;
-use gmark_core::workload::{generate_workload, WorkloadConfig};
-use gmark_engines::{evaluate_matrix, CellBudget, EngineKind, EvalContext, MatrixOptions};
+use gmark_core::workload::{generate_workload, Shape, WorkloadConfig};
+use gmark_engines::{
+    evaluate_matrix_with_schema, CellBudget, EngineKind, EvalContext, MatrixOptions,
+};
 use std::time::{Duration, Instant};
 
 struct Args {
@@ -27,7 +34,9 @@ struct Args {
     queries: usize,
     threads: usize,
     budget_ms: u64,
+    max_tuples: usize,
     seed: u64,
+    plan: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,7 +45,9 @@ fn parse_args() -> Result<Args, String> {
         queries: 30,
         threads: 1,
         budget_ms: 2_000,
+        max_tuples: 2_000_000,
         seed: 0x9A9E_2017,
+        plan: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -49,7 +60,11 @@ fn parse_args() -> Result<Args, String> {
             "--budget-ms" => {
                 args.budget_ms = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?
             }
+            "--max-tuples" => {
+                args.max_tuples = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?
+            }
             "--seed" => args.seed = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?,
+            "--no-plan" => args.plan = false,
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
@@ -74,31 +89,39 @@ fn main() {
     let schema = usecases::bib();
     let graph = build_graph(&schema, args.nodes, args.seed, args.threads);
 
-    // A mixed workload (recursion included) so the budget actually bites
-    // on the closure-heavy cells — the timeout/too-large counters below
-    // are part of the recorded baseline, like the paper's "-" cells.
+    // A mixed multi-conjunct workload (recursion included) so the budget
+    // actually bites on the closure-heavy cells — the timeout/too-large
+    // counters below are part of the recorded baseline, like the paper's
+    // "-" cells. At least two conjuncts per query and all four body
+    // shapes (chains leave join order forced by connectivity; stars,
+    // cycles, and star-chains give the planner real ordering freedom)
+    // keep join *order* in play, which is what the planner-on vs
+    // --no-plan row pair measures.
     let mut wcfg = WorkloadConfig::new(args.queries).with_seed(args.seed ^ 0xE7A1);
     wcfg.selectivities = SelectivityClass::ALL.to_vec();
-    wcfg.recursion_probability = 0.3;
-    wcfg.query_size.conjuncts = (1, 3);
+    wcfg.shapes = Shape::ALL.to_vec();
+    wcfg.recursion_probability = 0.4;
+    wcfg.query_size.conjuncts = (2, 4);
     wcfg.query_size.disjuncts = (1, 2);
     let (workload, _) = generate_workload(&schema, &wcfg).expect("workload generates");
     let queries: Vec<&Query> = workload.queries.iter().map(|gq| &gq.query).collect();
 
     let budget = CellBudget {
         timeout: (args.budget_ms > 0).then(|| Duration::from_millis(args.budget_ms)),
-        max_tuples: 20_000_000,
+        max_tuples: args.max_tuples,
     };
     let ctx = EvalContext::new(&graph);
     let started = Instant::now();
-    let report = evaluate_matrix(
+    let report = evaluate_matrix_with_schema(
         &ctx,
+        Some(&schema),
         &queries,
         &EngineKind::ALL,
         &budget,
         &MatrixOptions {
             threads: args.threads,
             warm_runs: 0,
+            plan: args.plan,
         },
     );
     let seconds = started.elapsed().as_secs_f64();
@@ -106,11 +129,12 @@ fn main() {
     let cells_per_s = totals.cells as f64 / seconds.max(1e-9);
 
     println!(
-        "eval_matrix: bib n={} q={} engines=PGSD threads={} -> {} cells in {seconds:.3}s \
+        "eval_matrix: bib n={} q={} engines=PGSD threads={} plan={} -> {} cells in {seconds:.3}s \
          ({cells_per_s:.0} cells/s; {} ok, {} timeout, {} too-large)",
         args.nodes,
         args.queries,
         args.threads,
+        if args.plan { "on" } else { "off" },
         totals.cells,
         totals.ok,
         totals.timeout,
@@ -122,13 +146,16 @@ fn main() {
         .unwrap_or_else(|| "null".to_owned());
     let row = format!(
         "{{\"bench\":\"eval_matrix\",\"scenario\":\"bib\",\"nodes\":{},\"queries\":{},\
-         \"engines\":\"PGSD\",\"threads\":{},\"budget_ms\":{},\"cells\":{},\
+         \"engines\":\"PGSD\",\"threads\":{},\"budget_ms\":{},\"max_tuples\":{},\
+         \"plan\":{},\"cells\":{},\
          \"seconds\":{seconds:.6},\"cells_per_s\":{cells_per_s:.1},\"ok\":{},\
          \"timeout\":{},\"too_large\":{},\"peak_rss_kb\":{rss}}}",
         args.nodes,
         args.queries,
         args.threads,
         args.budget_ms,
+        args.max_tuples,
+        args.plan,
         totals.cells,
         totals.ok,
         totals.timeout,

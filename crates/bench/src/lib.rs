@@ -226,6 +226,7 @@ impl HarnessOptions {
         MatrixOptions {
             threads: self.threads,
             warm_runs: self.warm_runs(),
+            plan: true,
         }
     }
 }

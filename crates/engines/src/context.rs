@@ -21,7 +21,10 @@
 //!   regular expression;
 //! * [`EvalContext::cardinality`] — per-predicate edge counts (an O(1)
 //!   read off the CSR), the convenience input for cardinality-driven
-//!   planning in harness code.
+//!   planning in harness code;
+//! * [`EvalContext::symbol_stats`] — distinct-source/distinct-target
+//!   counts per `(predicate, direction)`, the planner's selectivity
+//!   input, computed once off the CSR degree arrays and shared.
 //!
 //! The context is `Sync`: lazy slots are [`OnceLock`]s whose values are
 //! pure functions of the graph, and the NFA cache is a mutex around a
@@ -50,6 +53,27 @@ pub struct EvalContext<'g> {
     edb: OnceLock<(Program, Database)>,
     /// Memoized compiled automata, keyed by expression.
     nfas: Mutex<FxHashMap<RegularExpr, Arc<Nfa>>>,
+    /// Lazy per-predicate `(distinct sources, distinct targets)` counts.
+    stats: Vec<OnceLock<(usize, usize)>>,
+}
+
+/// Statistics of one `Σ±` symbol: how many edges carry its predicate and
+/// how many distinct nodes appear on each side (in the symbol's own
+/// direction — an inverse symbol sees the forward counts swapped). These
+/// are the per-symbol inputs of the cost model in [`crate::planner`]; like
+/// the sorted relations they are computed lazily per predicate, shared
+/// across engines, and pre-warmable so no matrix cell is ever billed for
+/// their construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymbolStats {
+    /// Number of edges labeled with the symbol's predicate.
+    pub edges: usize,
+    /// Distinct nodes with at least one outgoing such edge (in symbol
+    /// direction).
+    pub distinct_src: usize,
+    /// Distinct nodes with at least one incoming such edge (in symbol
+    /// direction).
+    pub distinct_trg: usize,
 }
 
 impl<'g> EvalContext<'g> {
@@ -64,6 +88,7 @@ impl<'g> EvalContext<'g> {
             bwd: (0..preds).map(|_| OnceLock::new()).collect(),
             edb: OnceLock::new(),
             nfas: Mutex::new(FxHashMap::default()),
+            stats: (0..preds).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -89,6 +114,36 @@ impl<'g> EvalContext<'g> {
             &self.fwd[sym.predicate.0]
         };
         slot.get_or_init(|| Relation::of_symbol(self.graph, sym))
+    }
+
+    /// The distinct-endpoint statistics of one `Σ±` symbol, computed on
+    /// first use for its predicate (one CSR degree sweep) and shared by
+    /// both directions — the inverse symbol returns the same counts with
+    /// source and target swapped.
+    pub fn symbol_stats(&self, sym: Symbol) -> SymbolStats {
+        let p = sym.predicate.0;
+        let &(src, trg) = self.stats[p].get_or_init(|| {
+            let fwd = self.graph.forward(p);
+            let bwd = self.graph.backward(p);
+            let n = self.graph.node_count();
+            let src = (0..n).filter(|&v| fwd.degree(v) > 0).count();
+            let trg = (0..n).filter(|&v| bwd.degree(v) > 0).count();
+            (src, trg)
+        });
+        let edges = self.graph.edge_count_for(p);
+        if sym.inverse {
+            SymbolStats {
+                edges,
+                distinct_src: trg,
+                distinct_trg: src,
+            }
+        } else {
+            SymbolStats {
+                edges,
+                distinct_src: src,
+                distinct_trg: trg,
+            }
+        }
     }
 
     /// The compiled NFA of a regular expression, memoized per context.
@@ -156,6 +211,38 @@ mod tests {
         let ctx = EvalContext::new(&g);
         assert_eq!(ctx.cardinality(0), 4);
         assert_eq!(ctx.cardinality(1), 2);
+    }
+
+    #[test]
+    fn symbol_stats_count_distinct_endpoints() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        // Predicate 0: edges (0,1),(1,2),(2,0),(3,1) — four distinct
+        // sources, three distinct targets {0,1,2}.
+        let a = ctx.symbol_stats(Symbol::forward(PredicateId(0)));
+        assert_eq!(
+            a,
+            SymbolStats {
+                edges: 4,
+                distinct_src: 4,
+                distinct_trg: 3
+            }
+        );
+        // The inverse symbol sees the same counts, swapped.
+        let a_inv = ctx.symbol_stats(Symbol::forward(PredicateId(0)).flipped());
+        assert_eq!(a_inv.distinct_src, 3);
+        assert_eq!(a_inv.distinct_trg, 4);
+        assert_eq!(a_inv.edges, 4);
+        // Predicate 1: (1,3),(2,3) — two sources, one target.
+        let b = ctx.symbol_stats(Symbol::forward(PredicateId(1)));
+        assert_eq!(
+            b,
+            SymbolStats {
+                edges: 2,
+                distinct_src: 2,
+                distinct_trg: 1
+            }
+        );
     }
 
     #[test]

@@ -429,6 +429,21 @@ pub fn program_from_query(query: &Query) -> Program {
 /// Predicates already interned (by name) are reused, so the EDB facts and
 /// the query rules agree on ids without rebuilding either.
 pub fn append_query_rules(prog: &mut Program, query: &Query) -> usize {
+    append_query_rules_planned(prog, query, None)
+}
+
+/// Like [`append_query_rules`], but with the `ans` rule bodies ordered by
+/// a [`crate::planner::QueryPlan`] when one is given. Semi-naive
+/// evaluation joins body atoms left to right, so the planner's
+/// selective-first order bounds the intermediate binding sets the same
+/// way it does for the other engines; the auxiliary path/closure rules
+/// are emitted identically in both modes (only the `ans` body atom order
+/// differs), and the answers never change.
+pub fn append_query_rules_planned(
+    prog: &mut Program,
+    query: &Query,
+    plan: Option<&crate::planner::QueryPlan>,
+) -> usize {
     let node = prog.predicate("node");
     let ans = prog.predicate("ans");
     let mut fresh = 0usize;
@@ -523,15 +538,29 @@ pub fn append_query_rules(prog: &mut Program, query: &Query) -> usize {
         pred
     }
 
-    for rule in &query.rules {
-        let mut body = Vec::with_capacity(rule.body.len());
-        for c in &rule.body {
-            let pred = expr_pred(prog, node, &mut fresh, &c.expr);
-            body.push(Atom {
-                pred,
-                args: vec![Term::Var(c.src.0), Term::Var(c.trg.0)],
-            });
-        }
+    for (ri, rule) in query.rules.iter().enumerate() {
+        // Auxiliary expression predicates are interned in declaration
+        // order regardless of the plan; only the `ans` body atom order
+        // follows it.
+        let preds: Vec<usize> = rule
+            .body
+            .iter()
+            .map(|c| expr_pred(prog, node, &mut fresh, &c.expr))
+            .collect();
+        let order: Vec<usize> = plan
+            .and_then(|p| p.rule_order(ri, rule.body.len()))
+            .map(|o| o.into_iter().map(|(ci, _)| ci).collect())
+            .unwrap_or_else(|| (0..rule.body.len()).collect());
+        let body: Vec<Atom> = order
+            .into_iter()
+            .map(|ci| {
+                let c = &rule.body[ci];
+                Atom {
+                    pred: preds[ci],
+                    args: vec![Term::Var(c.src.0), Term::Var(c.trg.0)],
+                }
+            })
+            .collect();
         let head_args: Vec<Term> = rule.head.iter().map(|v| Term::Var(v.0)).collect();
         prog.rule(
             Atom {
@@ -559,12 +588,22 @@ impl Engine for DatalogEngine {
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
+        self.evaluate_planned(ctx, query, None, budget)
+    }
+
+    fn evaluate_planned(
+        &self,
+        ctx: &crate::EvalContext<'_>,
+        query: &Query,
+        plan: Option<&crate::planner::QueryPlan>,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
         // The per-query program extends a clone of the base program (a
         // handful of interned names) while the EDB facts — the expensive
         // part — stay borrowed from the shared context.
         let (base, edb) = ctx.edb();
         let mut program = base.clone();
-        let ans = append_query_rules(&mut program, query);
+        let ans = append_query_rules_planned(&mut program, query, plan);
         let idb = semi_naive_over(&program, edb, budget)?;
         let tuples: Vec<Vec<NodeId>> = idb.facts(ans).cloned().collect();
         Ok(Answers::new(query.arity(), tuples))

@@ -41,18 +41,20 @@ pub mod datalog;
 mod joiner;
 pub mod matrix;
 pub mod navigational;
+pub mod planner;
 pub mod relational;
 pub mod relations;
 pub mod triplestore;
 
 pub use automaton::{compile_nfa, eval_rpq, Nfa};
-pub use context::EvalContext;
+pub use context::{EvalContext, SymbolStats};
 pub use datalog::DatalogEngine;
 pub use matrix::{
-    evaluate_matrix, CellBudget, CellOutcome, EngineKind, EvalCell, EvalReport, EvalTotals,
-    MatrixOptions,
+    evaluate_matrix, evaluate_matrix_with_schema, CellBudget, CellOutcome, EngineKind, EvalCell,
+    EvalReport, EvalTotals, MatrixOptions, PlanQuality,
 };
 pub use navigational::NavigationalEngine;
+pub use planner::{plan_query, ConjunctStep, QueryPlan, RulePlan};
 pub use relational::RelationalEngine;
 pub use triplestore::TripleStoreEngine;
 
@@ -212,6 +214,22 @@ pub trait Engine {
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError>;
+
+    /// Evaluates `query` following a planner-chosen conjunct order (see
+    /// [`planner::plan_query`]). `None` falls back to the engine's legacy
+    /// order, and the default implementation ignores the plan entirely —
+    /// a plan may only change *how* the answer is computed, never *what*
+    /// it is.
+    fn evaluate_planned(
+        &self,
+        ctx: &EvalContext<'_>,
+        query: &Query,
+        plan: Option<&QueryPlan>,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
+        let _ = plan;
+        self.evaluate_ctx(ctx, query, budget)
+    }
 
     /// Evaluates `query` on `graph` under a resource budget.
     ///

@@ -18,11 +18,13 @@
 //! [`EvalCell::time_bucket`] and [`EvalReport::render_times`].
 
 use crate::context::EvalContext;
+use crate::planner::{plan_query, QueryPlan};
 use crate::{
     Answers, Budget, DatalogEngine, Engine, EvalError, NavigationalEngine, RelationalEngine,
     TripleStoreEngine,
 };
 use gmark_core::query::Query;
+use gmark_core::schema::Schema;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -115,11 +117,27 @@ impl EngineKind {
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
+        self.evaluate_with(ctx, query, None, budget)
+    }
+
+    /// Like [`EngineKind::evaluate`], routed through
+    /// [`Engine::evaluate_planned`] so a shared [`QueryPlan`] can order the
+    /// engine's joins. Plans change *how* an engine evaluates, never *what*
+    /// it answers.
+    pub fn evaluate_with(
+        self,
+        ctx: &EvalContext<'_>,
+        query: &Query,
+        plan: Option<&QueryPlan>,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
         match self {
-            EngineKind::Relational => RelationalEngine.evaluate_ctx(ctx, query, budget),
-            EngineKind::Navigational => NavigationalEngine.evaluate_ctx(ctx, query, budget),
-            EngineKind::TripleStore => TripleStoreEngine.evaluate_ctx(ctx, query, budget),
-            EngineKind::Datalog => DatalogEngine.evaluate_ctx(ctx, query, budget),
+            EngineKind::Relational => RelationalEngine.evaluate_planned(ctx, query, plan, budget),
+            EngineKind::Navigational => {
+                NavigationalEngine.evaluate_planned(ctx, query, plan, budget)
+            }
+            EngineKind::TripleStore => TripleStoreEngine.evaluate_planned(ctx, query, plan, budget),
+            EngineKind::Datalog => DatalogEngine.evaluate_planned(ctx, query, plan, budget),
         }
     }
 }
@@ -172,6 +190,13 @@ pub struct MatrixOptions {
     /// averaged (dropping the fastest and slowest) into
     /// [`EvalCell::seconds`]. `0` keeps the cold run's own time.
     pub warm_runs: usize,
+    /// Whether to run the statistics planner ([`plan_query`]) once per
+    /// query and hand the resulting [`QueryPlan`] to every engine. Plans
+    /// are pure functions of `(schema, graph, query)`, so enabling them
+    /// preserves the thread-count determinism guarantee; disabling them
+    /// reverts every engine to its historical declaration-order /
+    /// per-engine-heuristic behavior.
+    pub plan: bool,
 }
 
 impl Default for MatrixOptions {
@@ -179,6 +204,7 @@ impl Default for MatrixOptions {
         MatrixOptions {
             threads: 1,
             warm_runs: 0,
+            plan: true,
         }
     }
 }
@@ -226,6 +252,11 @@ pub struct EvalCell {
     pub engine: EngineKind,
     /// What happened.
     pub outcome: CellOutcome,
+    /// The planner's estimated answer cardinality for the cell's query
+    /// ([`QueryPlan::est_answers`]), when planning was enabled. Recorded
+    /// next to the actual count so reports can show estimated-vs-actual
+    /// accounting; `None` when the matrix ran with `plan: false`.
+    pub estimate: Option<u64>,
     /// Measured wall time (warm-run mean when warm runs were requested).
     /// Nondeterministic by nature — it never enters
     /// [`EvalReport::render`]; use [`EvalCell::time_bucket`] for the
@@ -234,6 +265,16 @@ pub struct EvalCell {
 }
 
 impl EvalCell {
+    /// The deterministic cell label: `est~count` for a completed cell with
+    /// a planner estimate (estimated cardinality before the `~`, actual
+    /// after), otherwise [`CellOutcome::label`].
+    pub fn label(&self) -> String {
+        match (&self.outcome, self.estimate) {
+            (CellOutcome::Answers { count, .. }, Some(est)) => format!("{est}~{count}"),
+            _ => self.outcome.label(),
+        }
+    }
+
     /// The cell's wall time bucketed into decades — a deterministic
     /// *function* of the measured time (the measurement itself still
     /// varies run to run, which is why buckets appear only in
@@ -271,6 +312,21 @@ pub struct EvalTotals {
     pub unsupported: usize,
     /// Cells that hit an engine invariant violation.
     pub internal: usize,
+}
+
+/// Estimated-vs-actual planner accounting over a report's completed
+/// cells — see [`EvalReport::plan_quality`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanQuality {
+    /// Completed cells carrying a planner estimate.
+    pub estimated_ok: usize,
+    /// Of those, cells whose estimate is within a factor of 10 of the
+    /// actual count (both directions; two empty results count as within).
+    pub within_10x: usize,
+    /// Sum of the estimates over the counted cells.
+    pub est_total: u128,
+    /// Sum of the actual counts over the counted cells.
+    pub actual_total: u128,
 }
 
 /// The assembled result of one [`evaluate_matrix`] run: cells in ascending
@@ -333,7 +389,7 @@ impl EvalReport {
         for q in 0..self.queries {
             let _ = write!(out, "{:<8}", format!("q{q}"));
             for e in 0..self.engines.len() {
-                let label = self.cells[q * self.engines.len() + e].outcome.label();
+                let label = self.cells[q * self.engines.len() + e].label();
                 let _ = write!(out, " {label:>W$}");
             }
             if let Some(label) = labels.get(q) {
@@ -347,7 +403,39 @@ impl EvalReport {
             "cells: {} ok, {} timeout, {} too-large, {} unsupported, {} error ({} total)",
             t.ok, t.timeout, t.too_large, t.unsupported, t.internal, t.cells
         );
+        if let Some(q) = self.plan_quality() {
+            let _ = writeln!(
+                out,
+                "plan: {}/{} estimates within 10x of actual (est total {}, actual total {})",
+                q.within_10x, q.estimated_ok, q.est_total, q.actual_total
+            );
+        }
         out
+    }
+
+    /// Estimated-vs-actual aggregates over the completed cells that carry
+    /// a planner estimate; `None` when the matrix ran without planning.
+    /// Integer arithmetic throughout — the numbers are part of the
+    /// byte-compared report.
+    pub fn plan_quality(&self) -> Option<PlanQuality> {
+        if !self.cells.iter().any(|c| c.estimate.is_some()) {
+            return None;
+        }
+        let mut q = PlanQuality::default();
+        for cell in &self.cells {
+            let (CellOutcome::Answers { count, .. }, Some(est)) = (&cell.outcome, cell.estimate)
+            else {
+                continue;
+            };
+            q.estimated_ok += 1;
+            q.est_total += u128::from(est);
+            q.actual_total += u128::from(*count);
+            let (e, c) = (u128::from(est), u128::from(*count));
+            if e <= (c * 10).max(1) && c <= (e * 10).max(1) {
+                q.within_10x += 1;
+            }
+        }
+        Some(q)
     }
 
     /// Renders the measured wall times as decade buckets (failures show
@@ -393,13 +481,38 @@ pub fn evaluate_matrix(
     budget: &CellBudget,
     options: &MatrixOptions,
 ) -> EvalReport {
+    evaluate_matrix_with_schema(ctx, None, queries, engines, budget, options)
+}
+
+/// [`evaluate_matrix`] with the generating schema available to the
+/// planner. The schema sharpens the cost model's star estimates (the
+/// selectivity algebra decides which transitive closures are quadratic);
+/// without it the planner still runs on graph statistics alone. When
+/// `options.plan` is false the schema is unused.
+pub fn evaluate_matrix_with_schema(
+    ctx: &EvalContext<'_>,
+    schema: Option<&Schema>,
+    queries: &[&Query],
+    engines: &[EngineKind],
+    budget: &CellBudget,
+    options: &MatrixOptions,
+) -> EvalReport {
     let cell_count = queries.len() * engines.len();
     let threads = resolve_threads(options.threads).min(cell_count.max(1));
-    warm_context(ctx, queries, engines);
+    warm_context(ctx, queries, engines, options.plan);
+
+    // One plan per query, shared by every engine column. Planning happens
+    // before any cell clock starts (it is context warm-up work, not query
+    // evaluation) and is a pure function of `(schema, graph, query)`, so
+    // it cannot perturb the thread-count determinism guarantee.
+    let plans: Option<Vec<QueryPlan>> = options
+        .plan
+        .then(|| queries.iter().map(|q| plan_query(ctx, schema, q)).collect());
+    let plans = plans.as_deref();
 
     let cells: Vec<EvalCell> = if threads <= 1 {
         (0..cell_count)
-            .map(|ci| run_cell(ctx, queries, engines, budget, options.warm_runs, ci))
+            .map(|ci| run_cell(ctx, queries, engines, budget, options.warm_runs, plans, ci))
             .collect()
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -414,8 +527,15 @@ pub fn evaluate_matrix(
                             if ci >= cell_count {
                                 break;
                             }
-                            let cell =
-                                run_cell(ctx, queries, engines, budget, options.warm_runs, ci);
+                            let cell = run_cell(
+                                ctx,
+                                queries,
+                                engines,
+                                budget,
+                                options.warm_runs,
+                                plans,
+                                ci,
+                            );
                             out.push((ci, cell));
                         }
                         out
@@ -446,7 +566,7 @@ pub fn evaluate_matrix(
 /// scheduling. Warming is idempotent; only the symbols the workload
 /// actually mentions are materialized, and unselected engines' indexes
 /// stay lazy.
-fn warm_context(ctx: &EvalContext<'_>, queries: &[&Query], engines: &[EngineKind]) {
+fn warm_context(ctx: &EvalContext<'_>, queries: &[&Query], engines: &[EngineKind], plan: bool) {
     if engines.contains(&EngineKind::Datalog) {
         let _ = ctx.edb();
     }
@@ -456,6 +576,20 @@ fn warm_context(ctx: &EvalContext<'_>, queries: &[&Query], engines: &[EngineKind
                 for conjunct in &rule.body {
                     for sym in conjunct.expr.symbols() {
                         let _ = ctx.relation(sym);
+                    }
+                }
+            }
+        }
+    }
+    if plan {
+        // The planner reads per-predicate distinct-endpoint statistics;
+        // warm them for every mentioned symbol so plan construction is
+        // never billed to a cell.
+        for query in queries {
+            for rule in &query.rules {
+                for conjunct in &rule.body {
+                    for sym in conjunct.expr.symbols() {
+                        let _ = ctx.symbol_stats(sym);
                     }
                 }
             }
@@ -479,16 +613,18 @@ fn run_cell(
     engines: &[EngineKind],
     budget: &CellBudget,
     warm_runs: usize,
+    plans: Option<&[QueryPlan]>,
     ci: usize,
 ) -> EvalCell {
     let query_idx = ci / engines.len();
     let kind = engines[ci % engines.len()];
     let query = queries[query_idx];
+    let plan = plans.map(|p| &p[query_idx]);
 
     // Cold run: decides the outcome and the fallback timing.
     let cold_budget = budget.start();
     let started = Instant::now();
-    let result = kind.evaluate(ctx, query, &cold_budget);
+    let result = kind.evaluate_with(ctx, query, plan, &cold_budget);
     let mut seconds = started.elapsed().as_secs_f64();
 
     let outcome = match result {
@@ -499,7 +635,7 @@ fn run_cell(
                 for _ in 0..warm_runs {
                     let warm_budget = budget.start();
                     let t0 = Instant::now();
-                    if kind.evaluate(ctx, query, &warm_budget).is_ok() {
+                    if kind.evaluate_with(ctx, query, plan, &warm_budget).is_ok() {
                         times.push(t0.elapsed().as_secs_f64());
                     }
                 }
@@ -518,6 +654,7 @@ fn run_cell(
         query: query_idx,
         engine: kind,
         outcome,
+        estimate: plan.map(|p| p.est_answers),
         seconds,
     }
 }
@@ -624,6 +761,7 @@ mod tests {
                 &MatrixOptions {
                     threads,
                     warm_runs: 0,
+                    plan: true,
                 },
             );
             assert_eq!(report.render(), base.render(), "{threads} threads");
@@ -671,6 +809,7 @@ mod tests {
             &MatrixOptions {
                 threads: 3,
                 warm_runs: 0,
+                plan: true,
             },
         );
         // None of the test queries is degraded, so each row agrees.
@@ -707,6 +846,7 @@ mod tests {
             &MatrixOptions {
                 threads: 4,
                 warm_runs: 0,
+                plan: true,
             },
         );
         assert_eq!(a.render(), b.render());
@@ -751,9 +891,52 @@ mod tests {
         assert!(text.starts_with("query "), "{text}");
         assert!(text.contains("q0"), "{text}");
         assert!(text.contains("first"), "{text}");
-        assert!(text.ends_with("(3 total)\n"), "{text}");
+        assert!(text.contains("(3 total)\n"), "{text}");
+        // Planning is on by default, so ok cells read `est~count` and the
+        // report closes with the plan-quality line.
+        assert!(text.contains('~'), "{text}");
+        let last = text.lines().last().unwrap();
+        assert!(last.starts_with("plan: "), "{text}");
         let times = report.render_times();
         assert!(times.contains("ms") || times.contains('s'), "{times}");
+    }
+
+    #[test]
+    fn planner_changes_labels_but_never_outcomes() {
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let qs = queries();
+        let q_refs: Vec<&Query> = qs.iter().collect();
+        let budget = CellBudget::default();
+        let planned = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &EngineKind::ALL,
+            &budget,
+            &MatrixOptions::default(),
+        );
+        let unplanned = evaluate_matrix(
+            &ctx,
+            &q_refs,
+            &EngineKind::ALL,
+            &budget,
+            &MatrixOptions {
+                threads: 1,
+                warm_runs: 0,
+                plan: false,
+            },
+        );
+        for (a, b) in planned.cells.iter().zip(&unplanned.cells) {
+            assert_eq!(a.outcome, b.outcome, "q{} {}", a.query, a.engine);
+            assert!(a.estimate.is_some());
+            assert!(b.estimate.is_none());
+        }
+        assert!(planned.plan_quality().is_some());
+        assert!(unplanned.plan_quality().is_none());
+        // Without estimates the unplanned report has no plan line and
+        // plain count labels.
+        assert!(!unplanned.render().contains("plan:"));
+        assert!(!unplanned.render().contains('~'));
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::automaton::eval_rpq_from;
 use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
-use crate::{unpack, Answers, Budget, Engine, EvalError};
+use crate::{unpack, Answers, Budget, Engine, EvalError, QueryPlan};
 use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Var};
 use gmark_store::NodeId;
 
@@ -102,10 +102,27 @@ impl Engine for NavigationalEngine {
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
+        self.evaluate_planned(ctx, query, None, budget)
+    }
+
+    fn evaluate_planned(
+        &self,
+        ctx: &EvalContext<'_>,
+        query: &Query,
+        plan: Option<&QueryPlan>,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
+        // Degradation rewrites conjunct *expressions* only — rule and
+        // conjunct positions are preserved, so a plan computed on the
+        // original query orders the degraded one correctly.
         let (query, _lossy) = degrade_for_cypher(query);
         let mut tuples = Vec::new();
-        for rule in &query.rules {
-            let table = eval_rule(ctx, rule, budget)?;
+        for (ri, rule) in query.rules.iter().enumerate() {
+            let order = match plan.and_then(|p| p.rule_order(ri, rule.body.len())) {
+                Some(order) => order,
+                None => anchor_order(rule)?,
+            };
+            let table = eval_rule(ctx, rule, &order, budget)?;
             tuples.extend(project(&table, rule)?);
             budget.check_size(tuples.len())?;
         }
@@ -113,21 +130,23 @@ impl Engine for NavigationalEngine {
     }
 }
 
-/// Seed-driven evaluation: conjuncts are processed in an order that keeps
-/// each new conjunct anchored at a bound variable; its pairs are computed
-/// by automaton BFS *from the currently bound seeds only*.
+/// Seed-driven evaluation along a caller-chosen `(conjunct, flip)` order
+/// (the planner's, or the legacy [`anchor_order`]): each conjunct's pairs
+/// are computed by automaton BFS *from the currently bound seeds only*,
+/// flipped conjuncts traversing their reversed expression from the
+/// target side.
 fn eval_rule(
     ctx: &EvalContext<'_>,
     rule: &Rule,
+    order: &[(usize, bool)],
     budget: &Budget,
 ) -> Result<crate::joiner::BindingTable, EvalError> {
     let graph = ctx.graph();
-    let order = anchor_order(rule)?;
     let mut bound: Vec<Var> = Vec::new();
     let mut materialized = Vec::with_capacity(rule.body.len());
     let mut table: Option<crate::joiner::BindingTable> = None;
 
-    for (ci, flip) in order {
+    for &(ci, flip) in order {
         budget.check_time()?;
         let c = &rule.body[ci];
         let (from, _to, expr) = if flip {
@@ -412,6 +431,33 @@ mod tests {
         };
         let order = anchor_order(&rule).unwrap();
         assert_eq!(order, vec![(0, false), (1, false)]);
+    }
+
+    #[test]
+    fn planned_order_preserves_answers() {
+        // The planner may pick any anchor order; answers must not change,
+        // degraded or not.
+        let cases = vec![
+            chain(vec![
+                RegularExpr::symbol(sym(0)),
+                RegularExpr::symbol(sym(1)),
+            ]),
+            chain(vec![
+                RegularExpr::star(vec![PathExpr(vec![sym(0), sym(1)])]),
+                RegularExpr::symbol(sym(1).flipped()),
+            ]),
+        ];
+        let g = graph();
+        let ctx = crate::EvalContext::new(&g);
+        for q in cases {
+            let plan = crate::planner::plan_query(&ctx, None, &q);
+            let budget = Budget::default();
+            let planned = NavigationalEngine
+                .evaluate_planned(&ctx, &q, Some(&plan), &budget)
+                .unwrap();
+            let unplanned = NavigationalEngine.evaluate_ctx(&ctx, &q, &budget).unwrap();
+            assert_eq!(planned, unplanned, "on {q:?}");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
 use crate::relations::Relation;
-use crate::{Answers, Budget, Engine, EvalError};
+use crate::{Answers, Budget, Engine, EvalError, QueryPlan};
 use gmark_core::query::Query;
 
 /// See the module docs.
@@ -34,12 +34,28 @@ impl Engine for RelationalEngine {
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
+        self.evaluate_planned(ctx, query, None, budget)
+    }
+
+    fn evaluate_planned(
+        &self,
+        ctx: &EvalContext<'_>,
+        query: &Query,
+        plan: Option<&QueryPlan>,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
         let mut tuples = Vec::new();
-        for rule in &query.rules {
-            // Materialize each conjunct in declaration order; base symbol
-            // relations are the context's shared sorted indexes.
+        for (ri, rule) in query.rules.iter().enumerate() {
+            // Materialize each conjunct — in the planner's join order
+            // when a plan is given, declaration order otherwise; base
+            // symbol relations are the context's shared sorted indexes.
+            let order: Vec<usize> = plan
+                .and_then(|p| p.rule_order(ri, rule.body.len()))
+                .map(|o| o.into_iter().map(|(ci, _)| ci).collect())
+                .unwrap_or_else(|| (0..rule.body.len()).collect());
             let mut conjuncts = Vec::with_capacity(rule.body.len());
-            for c in &rule.body {
+            for &ci in &order {
+                let c = &rule.body[ci];
                 let rel = Relation::of_expr_ctx(ctx, &c.expr, budget)?;
                 conjuncts.push(ConjunctPairs {
                     src: c.src,

@@ -15,7 +15,7 @@
 
 use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
-use crate::{eval_rpq, unpack, Answers, Budget, Engine, EvalError};
+use crate::{eval_rpq, unpack, Answers, Budget, Engine, EvalError, QueryPlan};
 use gmark_core::query::Query;
 
 /// See the module docs.
@@ -33,8 +33,18 @@ impl Engine for TripleStoreEngine {
         query: &Query,
         budget: &Budget,
     ) -> Result<Answers, EvalError> {
+        self.evaluate_planned(ctx, query, None, budget)
+    }
+
+    fn evaluate_planned(
+        &self,
+        ctx: &EvalContext<'_>,
+        query: &Query,
+        plan: Option<&QueryPlan>,
+        budget: &Budget,
+    ) -> Result<Answers, EvalError> {
         let mut tuples = Vec::new();
-        for rule in &query.rules {
+        for (ri, rule) in query.rules.iter().enumerate() {
             // Property-path evaluation per conjunct, with the compiled
             // automaton memoized in the shared context.
             let mut materialized: Vec<ConjunctPairs> = Vec::with_capacity(rule.body.len());
@@ -47,10 +57,24 @@ impl Engine for TripleStoreEngine {
                     pairs: packed.into_iter().map(unpack).collect(),
                 });
             }
-            // Greedy order: repeatedly pick the smallest not-yet-joined
-            // conjunct that shares a variable with the bound set (or the
-            // globally smallest when none connects).
-            let ordered = greedy_order(materialized)?;
+            // Join order: the planner's estimate-driven order when a plan
+            // is given, the legacy greedy smallest-materialized-first
+            // order otherwise.
+            let ordered = match plan.and_then(|p| p.rule_order(ri, rule.body.len())) {
+                Some(order) => {
+                    let mut slots: Vec<Option<ConjunctPairs>> =
+                        materialized.into_iter().map(Some).collect();
+                    order
+                        .into_iter()
+                        .map(|(ci, _)| {
+                            slots[ci].take().ok_or_else(|| {
+                                EvalError::Internal("plan order revisited a conjunct".to_owned())
+                            })
+                        })
+                        .collect::<Result<Vec<_>, _>>()?
+                }
+                None => greedy_order(materialized)?,
+            };
             let table = join_all(ordered, budget)?;
             tuples.extend(project(&table, rule)?);
             budget.check_size(tuples.len())?;
@@ -59,30 +83,40 @@ impl Engine for TripleStoreEngine {
     }
 }
 
-fn greedy_order(mut conjuncts: Vec<ConjunctPairs>) -> Result<Vec<ConjunctPairs>, EvalError> {
-    let mut ordered = Vec::with_capacity(conjuncts.len());
+/// Greedy smallest-relation-first join order: repeatedly pick the
+/// smallest not-yet-joined conjunct that shares a variable with the bound
+/// set. When no remaining conjunct connects (the body has several
+/// variable-disjoint components), the next component is seeded by the
+/// **globally smallest remaining conjunct** — never by declaration
+/// position — and every size tie breaks toward the earliest-declared
+/// conjunct, so the order is a deterministic function of the
+/// (sizes, variables) input alone.
+fn greedy_order(conjuncts: Vec<ConjunctPairs>) -> Result<Vec<ConjunctPairs>, EvalError> {
+    let n = conjuncts.len();
+    let mut slots: Vec<Option<ConjunctPairs>> = conjuncts.into_iter().map(Some).collect();
+    let mut ordered = Vec::with_capacity(n);
     let mut bound: Vec<gmark_core::query::Var> = Vec::new();
-    while !conjuncts.is_empty() {
-        let idx = conjuncts
-            .iter()
-            .enumerate()
+    for _ in 0..n {
+        let remaining = || {
+            slots
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| Some((i, s.as_ref()?)))
+        };
+        let idx = remaining()
             .filter(|(_, c)| bound.contains(&c.src) || bound.contains(&c.trg))
-            .min_by_key(|(_, c)| c.pairs.len())
+            .min_by_key(|&(i, c)| (c.pairs.len(), i))
+            .or_else(|| remaining().min_by_key(|&(i, c)| (c.pairs.len(), i)))
             .map(|(i, _)| i)
-            .or_else(|| {
-                conjuncts
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, c)| c.pairs.len())
-                    .map(|(i, _)| i)
-            })
             .ok_or_else(|| {
-                // Unreachable while the loop guard holds; surfaced as a
+                // Unreachable while the loop bound holds; surfaced as a
                 // typed error so a broken invariant fails one cell, not
                 // the whole matrix.
                 EvalError::Internal("conjunct ordering found no candidate".to_owned())
             })?;
-        let c = conjuncts.swap_remove(idx);
+        let c = slots[idx]
+            .take()
+            .ok_or_else(|| EvalError::Internal("conjunct slot taken twice".to_owned()))?;
         if !bound.contains(&c.src) {
             bound.push(c.src);
         }
@@ -185,6 +219,73 @@ mod tests {
         // Next must connect to Var(1)/Var(2): both do; mid (10) < big (100).
         assert_eq!(ordered[1].pairs.len(), 10);
         assert_eq!(ordered[2].pairs.len(), 100);
+    }
+
+    #[test]
+    fn greedy_order_handles_disconnected_groups_smallest_first() {
+        // Two variable-disjoint components: {x0–x1–x2} and {x10–x11}.
+        // After the first component's seed (size 1) pulls in its size-50
+        // neighbor, nothing connects — the second component must be
+        // seeded by the globally smallest remaining conjunct (size 5),
+        // not whichever happens to sit first in the input.
+        let a_big = ConjunctPairs {
+            src: Var(10),
+            trg: Var(11),
+            pairs: (0..20).map(|i| (i, i)).collect(),
+        };
+        let a_small = ConjunctPairs {
+            src: Var(11),
+            trg: Var(12),
+            pairs: (0..5).map(|i| (i, i)).collect(),
+        };
+        let b_seed = ConjunctPairs {
+            src: Var(0),
+            trg: Var(1),
+            pairs: vec![(0, 0)],
+        };
+        let b_next = ConjunctPairs {
+            src: Var(1),
+            trg: Var(2),
+            pairs: (0..50).map(|i| (i, i)).collect(),
+        };
+        let ordered = greedy_order(vec![a_big, a_small, b_seed, b_next]).unwrap();
+        let sizes: Vec<usize> = ordered.iter().map(|c| c.pairs.len()).collect();
+        // Component 1: seed (1) then its only neighbor (50). Component 2:
+        // smallest remaining (5), then its connected neighbor (20).
+        assert_eq!(sizes, vec![1, 50, 5, 20]);
+    }
+
+    #[test]
+    fn greedy_order_breaks_ties_by_declaration_index() {
+        // Three disconnected equal-size conjuncts: the order must be
+        // exactly the declaration order (earliest index wins each tie),
+        // independent of any removal bookkeeping.
+        let mk = |v: u32| ConjunctPairs {
+            src: Var(v),
+            trg: Var(v + 1),
+            pairs: vec![(0, 0), (1, 1)],
+        };
+        let ordered = greedy_order(vec![mk(0), mk(10), mk(20)]).unwrap();
+        let srcs: Vec<Var> = ordered.iter().map(|c| c.src).collect();
+        assert_eq!(srcs, vec![Var(0), Var(10), Var(20)]);
+    }
+
+    #[test]
+    fn planned_order_matches_greedy_answers() {
+        // A plan only changes the join order, never the answers.
+        let q = chain_query(vec![
+            RegularExpr::symbol(sym(0)),
+            RegularExpr::symbol(sym(1)),
+        ]);
+        let g = graph();
+        let ctx = EvalContext::new(&g);
+        let plan = crate::planner::plan_query(&ctx, None, &q);
+        let budget = Budget::default();
+        let planned = TripleStoreEngine
+            .evaluate_planned(&ctx, &q, Some(&plan), &budget)
+            .unwrap();
+        let unplanned = TripleStoreEngine.evaluate_ctx(&ctx, &q, &budget).unwrap();
+        assert_eq!(planned, unplanned);
     }
 
     #[test]

@@ -17,9 +17,12 @@
 #     rows pin the memory-bounded streaming claim;
 #   * the `eval_matrix` binary (Section 7 in miniature): the full
 #     (engine x query) evaluation matrix on Bib through the shared
-#     EvalContext harness, one process per thread count (1 vs auto) into
-#     BENCH_eval.json — each row records cells/s, the timeout/too-large
-#     counts, and the run's peak RSS (VmHWM).
+#     EvalContext harness, one process per (planner regime x thread
+#     count) — planner on vs --no-plan, 1 thread vs auto — into
+#     BENCH_eval.json. Each row records cells/s, the timeout/too-large
+#     counts, its `"plan"` regime, and the run's peak RSS (VmHWM); the
+#     on/off pairs pin the statistics planner's effect on
+#     budget-exhausted cells across PRs.
 #
 # Usage: scripts/bench.sh [gen.json] [workload.json] [eval.json]
 #        (defaults: BENCH_gen.json BENCH_workload.json BENCH_eval.json)
@@ -67,11 +70,16 @@ for n in 50000 500000; do
 done
 
 echo "== eval matrix (Section 7 in miniature, exporting to $eval_out) =="
-# One process per thread count: peak_rss_kb rows are per-run VmHWM peaks.
-# 1 thread vs auto-detect pins the parallel evaluation pipeline's trajectory.
-for t in 1 0; do
-    GMARK_BENCH_JSON="$eval_out" cargo run --offline --release -p gmark-bench \
-        --bin eval_matrix -- --threads "$t"
+# One process per (planner regime x thread count): peak_rss_kb rows are
+# per-run VmHWM peaks. 1 thread vs auto-detect pins the parallel evaluation
+# pipeline's trajectory; planner on vs --no-plan pins the statistics
+# planner's effect on the timeout/too-large counts.
+for plan_flag in "" "--no-plan"; do
+    for t in 1 0; do
+        # shellcheck disable=SC2086
+        GMARK_BENCH_JSON="$eval_out" cargo run --offline --release -p gmark-bench \
+            --bin eval_matrix -- --threads "$t" $plan_flag
+    done
 done
 
 echo "== baselines written =="

@@ -61,6 +61,8 @@ struct Args {
     budget_ms: Option<u64>,
     /// Per-cell tuple cap.
     max_tuples: Option<usize>,
+    /// Disable the schema-statistics query planner for `--eval`.
+    no_plan: bool,
     format: Format,
 }
 
@@ -76,7 +78,7 @@ enum Parsed {
 
 const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] \
 [--threads T] [--stream] [--queries-only] [--format text|json] \
-[--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N]\n\n\
+[--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N] [--no-plan]\n\n\
   --threads T     worker threads for EVERY pipeline stage (graph\n\
                   constraints, workload queries, and the --eval matrix);\n\
                   0 auto-detects the available parallelism. Every output\n\
@@ -109,6 +111,10 @@ const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--node
                   outcomes machine-independent.\n\
   --max-tuples N  per-cell tuple cap for --eval (default 20000000);\n\
                   exceeding it reports the cell as too-large.\n\
+  --no-plan       disable the schema-statistics query planner for --eval:\n\
+                  engines fall back to declaration-order / per-engine\n\
+                  heuristic joins and eval.txt drops the est~actual\n\
+                  annotations. Answers never depend on this flag.\n\
   --format F      what to print on stdout: 'text' (default, human-readable\n\
                   banner) or 'json' (the machine-readable RunSummary, also\n\
                   written to summary.json in the output directory).\n\
@@ -126,6 +132,7 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
     let mut engines = None;
     let mut budget_ms = None;
     let mut max_tuples = None;
+    let mut no_plan = false;
     let mut format = Format::Text;
     let mut i = 0;
     while i < argv.len() {
@@ -192,6 +199,7 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
                 }
                 max_tuples = Some(cap)
             }
+            "--no-plan" => no_plan = true,
             "--format" => {
                 format = match take_value(&mut i, &flag)?.as_str() {
                     "text" => Format::Text,
@@ -212,8 +220,8 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
         }
         i += 1;
     }
-    if !eval && (engines.is_some() || budget_ms.is_some() || max_tuples.is_some()) {
-        return Err("--engines/--budget-ms/--max-tuples require --eval".to_owned());
+    if !eval && (engines.is_some() || budget_ms.is_some() || max_tuples.is_some() || no_plan) {
+        return Err("--engines/--budget-ms/--max-tuples/--no-plan require --eval".to_owned());
     }
     if eval && queries_only {
         return Err("--eval needs the graph instance; drop --queries-only".to_owned());
@@ -233,6 +241,7 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
         engines,
         budget_ms,
         max_tuples,
+        no_plan,
         format,
     })))
 }
@@ -269,6 +278,7 @@ fn execute(args: &Args) -> Result<(), GmarkError> {
         if let Some(cap) = args.max_tuples {
             spec.max_tuples = cap;
         }
+        spec.plan = !args.no_plan;
         plan.eval = Some(spec);
     }
 
@@ -375,6 +385,7 @@ mod tests {
             "500",
             "--max-tuples",
             "1000",
+            "--no-plan",
         ]))
         .expect("parses");
         match parsed {
@@ -386,6 +397,7 @@ mod tests {
                 );
                 assert_eq!(args.budget_ms, Some(500));
                 assert_eq!(args.max_tuples, Some(1000));
+                assert!(args.no_plan);
             }
             other => panic!("expected a run, got {other:?}"),
         }
@@ -400,6 +412,7 @@ mod tests {
             "P"
         ]))
         .is_err());
+        assert!(parse_args(&argv(&["--config", "c.xml", "--output", "o", "--no-plan"])).is_err());
         // Conflicting modes are rejected at parse time.
         assert!(parse_args(&argv(&[
             "--config",

@@ -114,9 +114,10 @@ pub mod prelude {
         WorkloadConfig, WorkloadError,
     };
     pub use gmark_engines::{
-        all_engines, evaluate_matrix, Answers, Budget, CellBudget, CellOutcome, DatalogEngine,
-        Engine, EngineKind, EvalContext, EvalError, EvalReport, MatrixOptions, NavigationalEngine,
-        RelationalEngine, TripleStoreEngine,
+        all_engines, evaluate_matrix, evaluate_matrix_with_schema, plan_query, Answers, Budget,
+        CellBudget, CellOutcome, DatalogEngine, Engine, EngineKind, EvalContext, EvalError,
+        EvalReport, MatrixOptions, NavigationalEngine, PlanQuality, QueryPlan, RelationalEngine,
+        TripleStoreEngine,
     };
     pub use gmark_store::{EdgeSink, Graph, GraphBuilder, NodeId, TypePartition};
 }

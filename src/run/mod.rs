@@ -81,7 +81,9 @@ pub use summary::{EvalCellRow, EvalRunSummary, GraphRunSummary, RunSummary, Work
 
 use gmark_core::gen::{generate_graph, generate_streamed};
 use gmark_core::workload::{generate_workload_with_threads, Workload, WorkloadConfig};
-use gmark_engines::{evaluate_matrix, CellOutcome, EvalContext, EvalReport, MatrixOptions};
+use gmark_engines::{
+    evaluate_matrix_with_schema, CellOutcome, EvalContext, EvalReport, MatrixOptions,
+};
 use gmark_store::{EdgeSink as _, Graph, NTriplesWriter};
 use gmark_translate::{stream_workload, write_workload, WorkloadOutputs};
 use std::fmt::Write as _;
@@ -217,7 +219,7 @@ pub fn run<S: Sink + ?Sized>(
             .take()
             .expect("validated: eval runs imply a workload");
         let start = Instant::now();
-        let report = evaluate_stage(spec, &graph, &workload, opts.threads);
+        let report = evaluate_stage(spec, &plan.graph.schema, &graph, &workload, opts.threads);
         let rendered = render_eval_report(plan, spec, &graph, &workload, &report);
         let mut out = sink
             .open(Artifact::EvalReport)
@@ -323,7 +325,7 @@ pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, 
             .as_ref()
             .expect("validated: eval runs imply a workload");
         let start = Instant::now();
-        let report = evaluate_stage(spec, g, w, opts.threads);
+        let report = evaluate_stage(spec, &plan.graph.schema, g, w, opts.threads);
         eval_summary = Some(eval_run_summary(
             spec,
             &report,
@@ -367,6 +369,7 @@ fn effective_workload_config(plan: &RunPlan, opts: &RunOptions) -> WorkloadConfi
 /// it would discard.
 fn evaluate_stage(
     spec: &EvalSpec,
+    schema: &gmark_core::schema::Schema,
     graph: &Graph,
     workload: &Workload,
     threads: usize,
@@ -374,14 +377,16 @@ fn evaluate_stage(
     let ctx = EvalContext::new(graph);
     let queries: Vec<&gmark_core::query::Query> =
         workload.queries.iter().map(|gq| &gq.query).collect();
-    evaluate_matrix(
+    evaluate_matrix_with_schema(
         &ctx,
+        Some(schema),
         &queries,
         &spec.engines,
         &spec.cell_budget(),
         &MatrixOptions {
             threads,
             warm_runs: 0,
+            plan: spec.plan,
         },
     )
 }
@@ -426,6 +431,11 @@ fn render_eval_report(
         },
         spec.max_tuples
     );
+    let _ = writeln!(
+        rendered,
+        "planner: {}",
+        if spec.plan { "on" } else { "off" }
+    );
     let labels: Vec<String> = workload.queries.iter().map(|gq| gq.eval_label()).collect();
     rendered.push_str(&report.render_with_labels(&labels));
     rendered
@@ -454,12 +464,14 @@ fn eval_run_summary(spec: &EvalSpec, report: &EvalReport, seconds: f64) -> EvalR
                 CellOutcome::Answers { count, .. } => Some(*count),
                 CellOutcome::Failed(_) => None,
             },
+            estimate: cell.estimate,
         })
         .collect();
     EvalRunSummary {
         engines: spec.letters(),
         budget_ms: spec.budget_ms,
         max_tuples: spec.max_tuples,
+        plan: spec.plan,
         queries: report.queries,
         cells: report.cells.len(),
         ok: totals.ok,

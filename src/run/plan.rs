@@ -62,16 +62,22 @@ pub struct EvalSpec {
     pub budget_ms: u64,
     /// Maximum tuples any intermediate or final result may hold per cell.
     pub max_tuples: usize,
+    /// Whether the schema-statistics planner orders every engine's joins
+    /// (the default). The CLI's `--no-plan` clears it; answers never
+    /// depend on this flag, only evaluation cost and the est~actual
+    /// annotations in the report.
+    pub plan: bool,
 }
 
 impl Default for EvalSpec {
-    /// All four engines, a 10-second per-cell budget, and the default
-    /// laptop-scale tuple cap.
+    /// All four engines, a 10-second per-cell budget, the default
+    /// laptop-scale tuple cap, and the planner enabled.
     fn default() -> Self {
         EvalSpec {
             engines: EngineKind::ALL.to_vec(),
             budget_ms: 10_000,
             max_tuples: 20_000_000,
+            plan: true,
         }
     }
 }

@@ -97,6 +97,8 @@ pub struct EvalRunSummary {
     pub budget_ms: u64,
     /// Per-cell tuple cap.
     pub max_tuples: usize,
+    /// Whether the schema-statistics planner ordered the engines' joins.
+    pub plan: bool,
     /// Number of evaluated queries (matrix rows).
     pub queries: usize,
     /// Number of evaluated cells (`queries × engines`).
@@ -129,6 +131,9 @@ pub struct EvalCellRow {
     pub outcome: String,
     /// Distinct answer tuples for completed cells, `None` otherwise.
     pub count: Option<u64>,
+    /// The planner's estimated answer cardinality for the cell's query;
+    /// `None` when the run had the planner off.
+    pub estimate: Option<u64>,
 }
 
 impl RunSummary {
@@ -398,6 +403,9 @@ impl EvalRunSummary {
         push_key(out, "max_tuples");
         let _ = write!(out, "{}", self.max_tuples);
         out.push(',');
+        push_key(out, "plan");
+        out.push_str(if self.plan { "true" } else { "false" });
+        out.push(',');
         push_key(out, "queries");
         let _ = write!(out, "{}", self.queries);
         out.push(',');
@@ -425,6 +433,13 @@ impl EvalRunSummary {
             push_str(out, &row.outcome);
             out.push_str(",\"count\":");
             match row.count {
+                Some(n) => {
+                    let _ = write!(out, "{n}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(",\"estimate\":");
+            match row.estimate {
                 Some(n) => {
                     let _ = write!(out, "{n}");
                 }
@@ -558,6 +573,7 @@ mod tests {
                 engines: "PGSD".to_owned(),
                 budget_ms: 10_000,
                 max_tuples: 1_000_000,
+                plan: true,
                 queries: 2,
                 cells: 8,
                 ok: 7,
@@ -571,12 +587,14 @@ mod tests {
                         engine: 'P',
                         outcome: "ok".to_owned(),
                         count: Some(12),
+                        estimate: Some(10),
                     },
                     EvalCellRow {
                         query: 0,
                         engine: 'G',
                         outcome: "timeout".to_owned(),
                         count: None,
+                        estimate: Some(10),
                     },
                 ],
                 seconds: 0.5,
@@ -614,6 +632,8 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"seed\":42"), "{json}");
         assert!(json.contains("\"produced\":12"), "{json}");
+        assert!(json.contains("\"plan\":true"), "{json}");
+        assert!(json.contains("\"estimate\":10"), "{json}");
         assert!(json.contains("something \\\"quoted\\\""), "{json}");
         // Balanced braces/brackets (cheap structural sanity; full parsing
         // is covered by the CLI integration test via python -m json.tool

@@ -165,12 +165,26 @@ proptest! {
             let reference = RelationalEngine
                 .evaluate_ctx(&ctx, &gq.query, &budget)
                 .unwrap();
+            // The same cardinalities must come out with the shared
+            // statistics plan ordering every engine's joins and without it
+            // — plans change evaluation order, never answers.
+            let plan = plan_query(&ctx, Some(&schema), &gq.query);
             for kind in EngineKind::ALL {
                 let answers = kind.evaluate(&ctx, &gq.query, &budget).unwrap();
                 prop_assert_eq!(
                     &answers,
                     &reference,
                     "{} differs on {:?}",
+                    kind.name(),
+                    gq.query
+                );
+                let planned = kind
+                    .evaluate_with(&ctx, &gq.query, Some(&plan), &budget)
+                    .unwrap();
+                prop_assert_eq!(
+                    &planned,
+                    &reference,
+                    "{} planned differs on {:?}",
                     kind.name(),
                     gq.query
                 );

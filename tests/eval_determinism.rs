@@ -73,11 +73,79 @@ fn library_eval_report_is_byte_identical_across_thread_counts() {
         base_text.contains("class="),
         "per-query metadata missing: {base_text}"
     );
+    // The default regime is planner-on: the report says so, ok cells carry
+    // the est~actual annotation, and the plan-quality totals close it.
+    assert!(base_text.contains("planner: on"), "{base_text}");
+    assert!(base_text.contains('~'), "{base_text}");
+    assert!(base_text.contains("\nplan: "), "{base_text}");
     for threads in [2usize, 8] {
         let (report, json) = run_at(threads);
         assert_eq!(report, base_report, "eval.txt differs at {threads} threads");
         assert_eq!(json, base_json, "summary eval differs at {threads} threads");
     }
+}
+
+#[test]
+fn planner_off_eval_report_is_byte_identical_across_thread_counts() {
+    let mut plan = eval_plan();
+    plan.eval.as_mut().expect("eval spec set").plan = false;
+    let run_at = |threads: usize| {
+        let mut sink = MemorySink::new();
+        run(
+            &plan,
+            &RunOptions::with_seed(11).threads(threads),
+            &mut sink,
+        )
+        .expect("pipeline runs");
+        (
+            sink.bytes(Artifact::EvalReport).expect("eval.txt written"),
+            eval_json_section(&sink.bytes(Artifact::Summary).expect("summary rendered")),
+        )
+    };
+    let (base_report, base_json) = run_at(1);
+    let base_text = String::from_utf8(base_report.clone()).unwrap();
+    assert!(base_text.contains("planner: off"), "{base_text}");
+    assert!(!base_text.contains('~'), "{base_text}");
+    assert!(base_json.contains("\"plan\":false"), "{base_json}");
+    for threads in [2usize, 8] {
+        let (report, json) = run_at(threads);
+        assert_eq!(report, base_report, "eval.txt differs at {threads} threads");
+        assert_eq!(json, base_json, "summary eval differs at {threads} threads");
+    }
+}
+
+#[test]
+fn planner_never_changes_answer_cardinalities() {
+    // `--no-plan` vs the default: plans reorder joins, so the evaluation
+    // *cost* differs — which cells exhaust the tuple cap may differ too —
+    // but any cell that completes in both regimes must report the same
+    // answer cardinality.
+    let planned = eval_plan();
+    let mut unplanned = eval_plan();
+    unplanned.eval.as_mut().expect("eval spec set").plan = false;
+    let opts = RunOptions::with_seed(11).threads(2);
+    let rows_of = |plan: &RunPlan| {
+        run_in_memory(plan, &opts)
+            .expect("pipeline runs")
+            .summary
+            .eval
+            .expect("eval ran")
+            .rows
+    };
+    let on = rows_of(&planned);
+    let off = rows_of(&unplanned);
+    assert_eq!(on.len(), off.len());
+    let mut compared = 0;
+    for (a, b) in on.iter().zip(&off) {
+        assert_eq!((a.query, a.engine), (b.query, b.engine));
+        assert!(a.estimate.is_some(), "planner-on rows carry the estimate");
+        assert!(b.estimate.is_none(), "planner-off rows carry none");
+        if let (Some(ca), Some(cb)) = (a.count, b.count) {
+            assert_eq!(ca, cb, "q{} {} cardinality changed", a.query, a.engine);
+            compared += 1;
+        }
+    }
+    assert!(compared > 0, "no cell completed in both regimes");
 }
 
 #[test]
@@ -184,6 +252,7 @@ fn expired_clock_budget_times_out_every_cell_at_every_thread_count() {
             &MatrixOptions {
                 threads,
                 warm_runs: 0,
+                plan: true,
             },
         );
         let totals = report.totals();
