@@ -31,7 +31,9 @@
 
 use crate::schema::{Distribution, GraphConfig};
 use gmark_stats::{DegreeSampler, Prng, Zipf};
-use gmark_store::{EdgeSink, Graph, GraphBuilder, NodeId, ShardSet, TypePartition};
+use gmark_store::{
+    EdgeSink, EdgeSpool, ForwardingSink, Graph, GraphBuilder, NodeId, ShardSet, TypePartition,
+};
 
 /// Options controlling graph generation.
 #[derive(Debug, Clone)]
@@ -251,25 +253,69 @@ pub fn generate_streamed<W: std::io::Write>(
     stream: &StreamOptions,
     out: &mut W,
 ) -> std::io::Result<(GenReport, u64)> {
+    generate_streamed_impl(config, opts, stream, out, None)
+}
+
+/// [`generate_streamed`] with a second output: every edge is also teed,
+/// as raw `(src, trg)` records, into the per-constraint [`EdgeSpool`] that
+/// feeds the on-disk store builder
+/// ([`gmark_store::build_store_from_spool`]). The N-Triples bytes written
+/// to `out` are identical to a plain streamed run, and the spool contents
+/// are a pure function of `(config, seed)` like everything else — workers
+/// write only the spool files of constraints they claimed, so thread
+/// scheduling never reorders records within a file.
+pub fn generate_streamed_spooled<W: std::io::Write>(
+    config: &GraphConfig,
+    opts: &GeneratorOptions,
+    stream: &StreamOptions,
+    out: &mut W,
+    spool: &EdgeSpool,
+) -> std::io::Result<(GenReport, u64)> {
+    generate_streamed_impl(config, opts, stream, out, Some(spool))
+}
+
+fn generate_streamed_impl<W: std::io::Write>(
+    config: &GraphConfig,
+    opts: &GeneratorOptions,
+    stream: &StreamOptions,
+    out: &mut W,
+    spool: Option<&EdgeSpool>,
+) -> std::io::Result<(GenReport, u64)> {
     let names = config.schema.predicate_names();
     let n_constraints = config.schema.constraints().len();
     let threads = opts.effective_threads().max(1).min(n_constraints.max(1));
     // Encode the predicate alphabet once; every shard writer shares it.
     let format = std::sync::Arc::new(gmark_store::NTriplesFormat::new(&names, &stream.base));
+    let counts = config.node_counts();
+    let partition = TypePartition::from_counts(&counts);
+    let master = Prng::seed_from_u64(opts.seed);
 
     if threads <= 1 {
         // Constraint order equals concat order, so the plain sequential
         // stream emits the same bytes as the sharded path without touching
-        // disk twice.
+        // disk twice. (This loop is [`generate_into`] with a per-constraint
+        // spool tee spliced in.)
         let mut writer = gmark_store::NTriplesWriter::with_format(&mut *out, format);
-        let report = generate_into(config, opts, &mut writer);
+        let mut report = GenReport::default();
+        for idx in 0..n_constraints {
+            let mut rng = master.split(idx as u64);
+            let cr = match spool {
+                None => generate_constraint(config, opts, idx, &partition, &mut rng, &mut writer),
+                Some(spool) => {
+                    let mut raw = spool.writer(idx)?;
+                    let mut tee = ForwardingSink::new(&mut writer, &mut raw);
+                    let cr = generate_constraint(config, opts, idx, &partition, &mut rng, &mut tee);
+                    raw.finish()?;
+                    cr
+                }
+            };
+            report.total_edges += cr.edges;
+            report.constraints.push(cr);
+        }
         let written = writer.finish()?;
         return Ok((report, written));
     }
 
-    let counts = config.node_counts();
-    let partition = TypePartition::from_counts(&counts);
-    let master = Prng::seed_from_u64(opts.seed);
     let shards = ShardSet::create(&stream.scratch_dir, n_constraints)?;
     let next = std::sync::atomic::AtomicUsize::new(0);
     let per_worker: Vec<std::io::Result<Vec<(usize, ConstraintReport, u64)>>> =
@@ -287,9 +333,20 @@ pub fn generate_streamed<W: std::io::Write>(
                             }
                             let mut sink = shards.writer(idx, format.clone())?;
                             let mut rng = master.split(idx as u64);
-                            let cr = generate_constraint(
-                                config, opts, idx, partition, &mut rng, &mut sink,
-                            );
+                            let cr = match spool {
+                                None => generate_constraint(
+                                    config, opts, idx, partition, &mut rng, &mut sink,
+                                ),
+                                Some(spool) => {
+                                    let mut raw = spool.writer(idx)?;
+                                    let mut tee = ForwardingSink::new(&mut sink, &mut raw);
+                                    let cr = generate_constraint(
+                                        config, opts, idx, partition, &mut rng, &mut tee,
+                                    );
+                                    raw.finish()?;
+                                    cr
+                                }
+                            };
                             let written = sink.finish()?;
                             done.push((idx, cr, written));
                         }

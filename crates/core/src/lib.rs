@@ -33,7 +33,10 @@ pub mod selectivity;
 pub mod usecases;
 pub mod workload;
 
-pub use gen::{generate_graph, generate_into, GenReport, GeneratorOptions};
+pub use gen::{
+    generate_graph, generate_into, generate_streamed, generate_streamed_spooled, GenReport,
+    GeneratorOptions, StreamOptions,
+};
 pub use query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Symbol, Var};
 pub use schema::{
     Distribution, EdgeConstraint, GraphConfig, Occurrence, PredicateId, Schema, SchemaBuilder,

@@ -300,6 +300,23 @@ impl Schema {
     pub fn node_counts(&self, n: u64) -> Vec<u64> {
         self.type_constraints.iter().map(|c| c.resolve(n)).collect()
     }
+
+    /// A stable 64-bit fingerprint of the schema's alphabet: the type
+    /// names followed by the predicate names, each length-prefixed
+    /// (domain-separated, with a count separator between the two lists).
+    ///
+    /// The on-disk graph store records this next to the seed so a store
+    /// file can be checked against the configuration a caller is about to
+    /// evaluate with — it deliberately covers only the name lists (not
+    /// distributions), because predicate *indices* are what stored
+    /// segments are keyed by.
+    pub fn schema_hash(&self) -> u64 {
+        let mut h = gmark_store::paged::Fnv64::new();
+        gmark_store::paged::fnv_strings(&mut h, &self.type_names);
+        h.update(&(self.predicate_names.len() as u64).to_le_bytes());
+        gmark_store::paged::fnv_strings(&mut h, &self.predicate_names);
+        h.finish()
+    }
 }
 
 /// A graph configuration `G = (n, S)` (Definition 3.2).

@@ -16,7 +16,7 @@
 
 use crate::{pack, unpack, Budget, EvalError};
 use gmark_core::query::{RegularExpr, Symbol};
-use gmark_store::{Graph, NodeId};
+use gmark_store::{GraphView, NodeId};
 use rustc_hash::FxHashSet;
 
 /// An ε-free NFA over `Σ±`.
@@ -107,7 +107,14 @@ pub fn compile_nfa(expr: &RegularExpr) -> Nfa {
 
 /// Evaluates the binary RPQ `{(u, v) | u ⟶_L v}` for the NFA's language
 /// `L`, returning sorted distinct pairs packed as `(u << 32) | v`.
-pub fn eval_rpq(graph: &Graph, nfa: &Nfa, budget: &Budget) -> Result<Vec<u64>, EvalError> {
+/// `graph` accepts either `&Graph` or `&StoreReader` (anything that
+/// coerces into a [`GraphView`]).
+pub fn eval_rpq<'g>(
+    graph: impl Into<GraphView<'g>>,
+    nfa: &Nfa,
+    budget: &Budget,
+) -> Result<Vec<u64>, EvalError> {
+    let graph = graph.into();
     let n = graph.node_count() as usize;
     let states = nfa.len();
     let mut out: Vec<u64> = Vec::new();
@@ -129,12 +136,11 @@ pub fn eval_rpq(graph: &Graph, nfa: &Nfa, budget: &Budget) -> Result<Vec<u64>, E
         if src % 1024 == 0 {
             budget.check_time()?;
         }
-        // Skip sources that cannot make a first move.
-        let can_move = nfa.transitions[nfa.start as usize].iter().any(|&(sym, _)| {
-            !graph
-                .neighbors(sym.predicate.0, src, sym.inverse)
-                .is_empty()
-        });
+        // Skip sources that cannot make a first move. `degree` reads only
+        // offset words — on the paged variant no target page is fetched.
+        let can_move = nfa.transitions[nfa.start as usize]
+            .iter()
+            .any(|&(sym, _)| graph.degree(sym.predicate.0, src, sym.inverse) > 0);
         if !can_move {
             continue;
         }
@@ -146,7 +152,7 @@ pub fn eval_rpq(graph: &Graph, nfa: &Nfa, budget: &Budget) -> Result<Vec<u64>, E
             let (v, q) = queue[qi];
             qi += 1;
             for &(sym, q2) in &nfa.transitions[q as usize] {
-                for &w in graph.neighbors(sym.predicate.0, v, sym.inverse) {
+                for &w in &graph.neighbors(sym.predicate.0, v, sym.inverse) {
                     let slot = w as usize * states + q2 as usize;
                     if seen[slot] != src {
                         seen[slot] = src;
@@ -171,8 +177,8 @@ pub fn eval_rpq(graph: &Graph, nfa: &Nfa, budget: &Budget) -> Result<Vec<u64>, E
 }
 
 /// Convenience: evaluates and unpacks.
-pub fn eval_rpq_pairs(
-    graph: &Graph,
+pub fn eval_rpq_pairs<'g>(
+    graph: impl Into<GraphView<'g>>,
     expr: &RegularExpr,
     budget: &Budget,
 ) -> Result<Vec<(NodeId, NodeId)>, EvalError> {
@@ -185,12 +191,13 @@ pub fn eval_rpq_pairs(
 
 /// Seed-driven variant: computes `{(u, v) | u ∈ seeds, u ⟶_L v}` only for
 /// the given sources (the navigational engines' primitive).
-pub fn eval_rpq_from(
-    graph: &Graph,
+pub fn eval_rpq_from<'g>(
+    graph: impl Into<GraphView<'g>>,
     nfa: &Nfa,
     seeds: &[NodeId],
     budget: &Budget,
 ) -> Result<Vec<u64>, EvalError> {
+    let graph = graph.into();
     let mut out: Vec<u64> = Vec::new();
     let mut seen: FxHashSet<u64> = FxHashSet::default();
     let mut queue: Vec<(NodeId, u32)> = Vec::new();
@@ -210,7 +217,7 @@ pub fn eval_rpq_from(
             let (v, q) = queue[qi];
             qi += 1;
             for &(sym, q2) in &nfa.transitions[q as usize] {
-                for &w in graph.neighbors(sym.predicate.0, v, sym.inverse) {
+                for &w in &graph.neighbors(sym.predicate.0, v, sym.inverse) {
                     if seen.insert(pack(w, q2)) {
                         if nfa.accepting[q2 as usize] && !(nfa.accepts_epsilon() && w == src) {
                             out.push(pack(src, w));
@@ -232,7 +239,7 @@ mod tests {
     use super::*;
     use gmark_core::query::PathExpr;
     use gmark_core::schema::PredicateId;
-    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
 
     fn sym(i: usize) -> Symbol {
         Symbol::forward(PredicateId(i))

@@ -35,16 +35,21 @@ use crate::automaton::{compile_nfa, Nfa};
 use crate::datalog::{graph_edb, Database, Program};
 use crate::relations::Relation;
 use gmark_core::query::{RegularExpr, Symbol};
-use gmark_store::Graph;
+use gmark_store::GraphView;
 use rustc_hash::FxHashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Everything the four engines would otherwise re-derive from the graph on
 /// every query, computed at most once and borrowed by every
 /// (engine × query) cell. See the module docs.
+///
+/// The context is built over a [`GraphView`], so the same engines evaluate
+/// either the in-memory CSR [`Graph`](gmark_store::Graph) or the on-disk
+/// paged store ([`gmark_store::StoreReader`]) — `EvalContext::new(&graph)`
+/// and `EvalContext::new(&reader)` both work.
 #[derive(Debug)]
 pub struct EvalContext<'g> {
-    graph: &'g Graph,
+    view: GraphView<'g>,
     /// Lazy forward relation per predicate.
     fwd: Vec<OnceLock<Relation>>,
     /// Lazy inverse relation per predicate.
@@ -77,13 +82,14 @@ pub struct SymbolStats {
 }
 
 impl<'g> EvalContext<'g> {
-    /// Wraps a graph. Cheap: every index is initialized lazily on first
-    /// use, so a context built for one triple-store query never pays for
-    /// the Datalog EDB.
-    pub fn new(graph: &'g Graph) -> EvalContext<'g> {
-        let preds = graph.predicate_count();
+    /// Wraps a graph view (either `&Graph` or `&StoreReader` coerces).
+    /// Cheap: every index is initialized lazily on first use, so a context
+    /// built for one triple-store query never pays for the Datalog EDB.
+    pub fn new(view: impl Into<GraphView<'g>>) -> EvalContext<'g> {
+        let view = view.into();
+        let preds = view.predicate_count();
         EvalContext {
-            graph,
+            view,
             fwd: (0..preds).map(|_| OnceLock::new()).collect(),
             bwd: (0..preds).map(|_| OnceLock::new()).collect(),
             edb: OnceLock::new(),
@@ -92,17 +98,17 @@ impl<'g> EvalContext<'g> {
         }
     }
 
-    /// The underlying graph.
+    /// The underlying graph view.
     #[inline]
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn view(&self) -> GraphView<'g> {
+        self.view
     }
 
     /// Number of `pred`-labeled edges (the planner's cardinality input;
-    /// an O(1) read off the forward CSR).
+    /// an O(1) read off the forward CSR or the store directory).
     #[inline]
     pub fn cardinality(&self, pred: usize) -> usize {
-        self.graph.edge_count_for(pred)
+        self.view.edge_count_for(pred)
     }
 
     /// The sorted binary relation of one `Σ±` symbol, computed on first
@@ -113,24 +119,17 @@ impl<'g> EvalContext<'g> {
         } else {
             &self.fwd[sym.predicate.0]
         };
-        slot.get_or_init(|| Relation::of_symbol(self.graph, sym))
+        slot.get_or_init(|| Relation::of_symbol(self.view, sym))
     }
 
     /// The distinct-endpoint statistics of one `Σ±` symbol, computed on
-    /// first use for its predicate (one CSR degree sweep) and shared by
-    /// both directions — the inverse symbol returns the same counts with
-    /// source and target swapped.
+    /// first use for its predicate (one offsets sweep, no target pages)
+    /// and shared by both directions — the inverse symbol returns the same
+    /// counts with source and target swapped.
     pub fn symbol_stats(&self, sym: Symbol) -> SymbolStats {
         let p = sym.predicate.0;
-        let &(src, trg) = self.stats[p].get_or_init(|| {
-            let fwd = self.graph.forward(p);
-            let bwd = self.graph.backward(p);
-            let n = self.graph.node_count();
-            let src = (0..n).filter(|&v| fwd.degree(v) > 0).count();
-            let trg = (0..n).filter(|&v| bwd.degree(v) > 0).count();
-            (src, trg)
-        });
-        let edges = self.graph.edge_count_for(p);
+        let &(src, trg) = self.stats[p].get_or_init(|| self.view.distinct_endpoints(p));
+        let edges = self.view.edge_count_for(p);
         if sym.inverse {
             SymbolStats {
                 edges,
@@ -166,7 +165,7 @@ impl<'g> EvalContext<'g> {
     pub fn edb(&self) -> (&Program, &Database) {
         let (program, db) = self.edb.get_or_init(|| {
             let mut program = Program::new();
-            let db = graph_edb(self.graph, &mut program);
+            let db = graph_edb(self.view, &mut program);
             (program, db)
         });
         (program, db)
@@ -177,7 +176,7 @@ impl<'g> EvalContext<'g> {
 mod tests {
     use super::*;
     use gmark_core::schema::PredicateId;
-    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
 
     fn graph() -> Graph {
         let mut b = GraphBuilder::new(TypePartition::from_counts(&[4]), 2);

@@ -18,7 +18,7 @@
 
 use crate::{Answers, Budget, Engine, EvalError};
 use gmark_core::query::{PathExpr, Query, RegularExpr};
-use gmark_store::{Graph, NodeId};
+use gmark_store::{GraphView, NodeId};
 use rustc_hash::{FxHashMap, FxHashSet};
 
 /// A term: variable (rule-scoped index) or constant (node id).
@@ -399,7 +399,8 @@ fn eval_rule(
 }
 
 /// Builds the EDB for a graph: `edge_<p>(s, t)` per predicate plus `node(v)`.
-pub fn graph_edb(graph: &Graph, program: &mut Program) -> Database {
+pub fn graph_edb<'g>(graph: impl Into<GraphView<'g>>, program: &mut Program) -> Database {
+    let graph = graph.into();
     let mut db = Database::new();
     let node = program.predicate("node");
     for v in 0..graph.node_count() {
@@ -407,7 +408,7 @@ pub fn graph_edb(graph: &Graph, program: &mut Program) -> Database {
     }
     for p in 0..graph.predicate_count() {
         let pred = program.predicate(&format!("edge_{p}"));
-        for (s, t) in graph.edges(p) {
+        for (s, t) in graph.pairs(p, false) {
             db.insert(pred, vec![s, t]);
         }
     }
@@ -616,7 +617,7 @@ mod tests {
     use crate::relational::RelationalEngine;
     use gmark_core::query::{Conjunct, Rule, Symbol, Var};
     use gmark_core::schema::PredicateId;
-    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
 
     fn sym(i: usize) -> Symbol {
         Symbol::forward(PredicateId(i))

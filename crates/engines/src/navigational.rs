@@ -141,7 +141,7 @@ fn eval_rule(
     order: &[(usize, bool)],
     budget: &Budget,
 ) -> Result<crate::joiner::BindingTable, EvalError> {
-    let graph = ctx.graph();
+    let graph = ctx.view();
     let mut bound: Vec<Var> = Vec::new();
     let mut materialized = Vec::with_capacity(rule.body.len());
     let mut table: Option<crate::joiner::BindingTable> = None;

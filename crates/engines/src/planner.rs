@@ -140,7 +140,7 @@ struct ExprEst {
 /// the schema's selectivity classes). Pure and deterministic — see the
 /// module docs.
 pub fn plan_query(ctx: &EvalContext<'_>, schema: Option<&Schema>, query: &Query) -> QueryPlan {
-    let n = ctx.graph().node_count() as u128;
+    let n = ctx.view().node_count() as u128;
     let rules: Vec<RulePlan> = query
         .rules
         .iter()

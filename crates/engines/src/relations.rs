@@ -10,7 +10,7 @@
 use crate::context::EvalContext;
 use crate::{pack, Budget, EvalError};
 use gmark_core::query::{PathExpr, RegularExpr, Symbol};
-use gmark_store::{Graph, NodeId};
+use gmark_store::{GraphView, NodeId};
 use rustc_hash::FxHashSet;
 
 /// A sorted, deduplicated set of node pairs.
@@ -29,11 +29,13 @@ impl Relation {
 
     /// The relation of one `Σ±` symbol: all `a`-edges, flipped for `a⁻`.
     ///
-    /// Both directions come pre-sorted out of the store's CSR indexes
-    /// ([`Graph::pairs`] walks the backward index for `a⁻`), so no sort is
-    /// paid here — only a dedup pass for graphs that keep parallel edges.
-    pub fn of_symbol(graph: &Graph, sym: Symbol) -> Relation {
-        let mut pairs: Vec<(NodeId, NodeId)> = graph.pairs(sym.predicate.0, sym.inverse).collect();
+    /// Both directions come pre-sorted out of the CSR indexes — in memory
+    /// or paged ([`GraphView::pairs`] walks the backward index for `a⁻`),
+    /// so no sort is paid here — only a dedup pass for graphs that keep
+    /// parallel edges.
+    pub fn of_symbol<'g>(graph: impl Into<GraphView<'g>>, sym: Symbol) -> Relation {
+        let mut pairs: Vec<(NodeId, NodeId)> =
+            graph.into().pairs(sym.predicate.0, sym.inverse).collect();
         debug_assert!(pairs.is_sorted());
         pairs.dedup();
         Relation { pairs }
@@ -139,11 +141,12 @@ impl Relation {
     /// the one-off path. Engines evaluating many queries on one graph use
     /// [`Relation::of_expr_ctx`], which borrows the shared, build-once
     /// relations of an [`EvalContext`] instead.
-    pub fn of_expr(
-        graph: &Graph,
+    pub fn of_expr<'g>(
+        graph: impl Into<GraphView<'g>>,
         expr: &RegularExpr,
         budget: &Budget,
     ) -> Result<Relation, EvalError> {
+        let graph = graph.into();
         Relation::of_expr_with(
             &mut |sym| Relation::of_symbol(graph, sym),
             graph.node_count(),
@@ -163,7 +166,7 @@ impl Relation {
     ) -> Result<Relation, EvalError> {
         Relation::of_expr_with(
             &mut |sym| ctx.relation(sym).clone(),
-            ctx.graph().node_count(),
+            ctx.view().node_count(),
             expr,
             budget,
         )
@@ -192,7 +195,12 @@ impl Relation {
     }
 
     /// Evaluates one concatenation path.
-    pub fn of_path(graph: &Graph, path: &PathExpr, budget: &Budget) -> Result<Relation, EvalError> {
+    pub fn of_path<'g>(
+        graph: impl Into<GraphView<'g>>,
+        path: &PathExpr,
+        budget: &Budget,
+    ) -> Result<Relation, EvalError> {
+        let graph = graph.into();
         Relation::of_path_with(
             &mut |sym| Relation::of_symbol(graph, sym),
             graph.node_count(),
@@ -223,7 +231,7 @@ impl Relation {
 mod tests {
     use super::*;
     use gmark_core::schema::PredicateId;
-    use gmark_store::{EdgeSink, GraphBuilder, TypePartition};
+    use gmark_store::{EdgeSink, Graph, GraphBuilder, TypePartition};
 
     fn sym(i: usize) -> Symbol {
         Symbol::forward(PredicateId(i))

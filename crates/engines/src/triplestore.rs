@@ -50,7 +50,7 @@ impl Engine for TripleStoreEngine {
             let mut materialized: Vec<ConjunctPairs> = Vec::with_capacity(rule.body.len());
             for c in &rule.body {
                 let nfa = ctx.nfa(&c.expr);
-                let packed = eval_rpq(ctx.graph(), &nfa, budget)?;
+                let packed = eval_rpq(ctx.view(), &nfa, budget)?;
                 materialized.push(ConjunctPairs {
                     src: c.src,
                     trg: c.trg,

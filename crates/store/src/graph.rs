@@ -113,13 +113,74 @@ impl Csr {
         self.neighbors(v).binary_search(&w).is_ok()
     }
 
+    /// The raw offset array: `node_count() + 1` monotone entries with
+    /// `neighbors(v) = targets()[offsets()[v] as usize .. offsets()[v+1] as usize]`.
+    ///
+    /// Exposed for bulk consumers — the on-disk store writer serializes
+    /// both arrays verbatim, and endpoint statistics scan offsets without
+    /// touching targets.
+    #[inline]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated target array (see [`Csr::offsets`]).
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
     /// Iterates all `(source, target)` pairs in source order.
-    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        (0..self.node_count()).flat_map(move |v| {
-            self.neighbors(v as NodeId)
-                .iter()
-                .map(move |&t| (v as NodeId, t))
-        })
+    pub fn iter_edges(&self) -> CsrEdges<'_> {
+        CsrEdges {
+            offsets: &self.offsets,
+            targets: &self.targets,
+            e: 0,
+            v: 0,
+            hi: 0,
+            primed: false,
+        }
+    }
+}
+
+/// Concrete iterator behind [`Csr::iter_edges`]: walks the edge index and
+/// advances the source node whenever it crosses an offset boundary —
+/// nameable so [`GraphView::pairs`](crate::GraphView::pairs) can hold it
+/// in an enum without boxing.
+#[derive(Debug, Clone)]
+pub struct CsrEdges<'a> {
+    offsets: &'a [u64],
+    targets: &'a [NodeId],
+    e: usize,
+    v: NodeId,
+    hi: u64,
+    primed: bool,
+}
+
+impl Iterator for CsrEdges<'_> {
+    type Item = (NodeId, NodeId);
+
+    #[inline]
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        if self.e >= self.targets.len() {
+            return None;
+        }
+        if !self.primed {
+            self.hi = self.offsets[1];
+            self.primed = true;
+        }
+        while self.e as u64 >= self.hi {
+            self.v += 1;
+            self.hi = self.offsets[self.v as usize + 1];
+        }
+        let t = self.targets[self.e];
+        self.e += 1;
+        Some((self.v, t))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.targets.len() - self.e;
+        (left, Some(left))
     }
 }
 
@@ -187,6 +248,23 @@ impl TypePartition {
         // partition_point returns the first offset > v; types are 0-based.
         self.offsets.partition_point(|&o| o <= v) - 1
     }
+
+    /// The raw cumulative offsets (`type_count() + 1` entries, starting at
+    /// 0) — the exact array the on-disk store serializes.
+    #[inline]
+    pub(crate) fn offsets(&self) -> &[NodeId] {
+        &self.offsets
+    }
+
+    /// Rebuilds a partition from the offsets written by
+    /// [`TypePartition::offsets`]; rejects arrays that are empty,
+    /// non-monotone, or not starting at 0.
+    pub(crate) fn from_offsets(offsets: Vec<NodeId>) -> Option<Self> {
+        if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(TypePartition { offsets })
+    }
 }
 
 /// An immutable directed edge-labeled graph with typed nodes.
@@ -195,6 +273,10 @@ pub struct Graph {
     partition: TypePartition,
     fwd: Vec<Csr>,
     bwd: Vec<Csr>,
+    /// Cached sum of the per-predicate edge counts: the planner and
+    /// statistics paths ask for the total repeatedly, and re-summing every
+    /// CSR per call made `edge_count` O(predicates) instead of O(1).
+    edge_count: usize,
 }
 
 impl Graph {
@@ -216,9 +298,10 @@ impl Graph {
         &self.partition
     }
 
-    /// Total number of edges across all predicates.
+    /// Total number of edges across all predicates (cached at build time).
+    #[inline]
     pub fn edge_count(&self) -> usize {
-        self.fwd.iter().map(Csr::edge_count).sum()
+        self.edge_count
     }
 
     /// Number of `a`-labeled edges.
@@ -387,10 +470,12 @@ impl GraphBuilder {
                 let flipped: Vec<(NodeId, NodeId)> = pairs.iter().map(|&(s, t)| (t, s)).collect();
                 bwd.push(Csr::from_edges(n, &flipped, dedup));
             }
+            let edge_count = fwd.iter().map(Csr::edge_count).sum();
             return Graph {
                 partition: self.partition,
                 fwd,
                 bwd,
+                edge_count,
             };
         }
 
@@ -436,10 +521,12 @@ impl GraphBuilder {
                 bwd.push(csr);
             }
         }
+        let edge_count = fwd.iter().map(Csr::edge_count).sum();
         Graph {
             partition: self.partition,
             fwd,
             bwd,
+            edge_count,
         }
     }
 }

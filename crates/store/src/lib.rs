@@ -18,19 +18,33 @@
 //! * [`shard`] — per-constraint N-Triples shard files plus the
 //!   ascending-order concatenation that makes the memory-bounded streaming
 //!   pipeline byte-identical at every thread count (the shard format and
-//!   the concatenation invariant are documented on the module).
+//!   the concatenation invariant are documented on the module),
+//! * [`paged`] — the on-disk `gmark-store` binary format ([`StoreWriter`] /
+//!   [`StoreReader`]): the same CSR arrays persisted page-aligned, served by
+//!   positioned reads through a bounded page cache so evaluation runs at
+//!   beyond-RAM scale,
+//! * [`view`] — [`GraphView`], the common read interface the evaluation
+//!   engines use so one code path serves both [`Graph`] and
+//!   [`StoreReader`].
 
 #![warn(missing_docs)]
 
 pub mod graph;
 pub mod ntriples;
+pub mod paged;
 pub mod shard;
 pub mod sink;
+pub mod view;
 
 pub use graph::{Csr, Graph, GraphBuilder, TypePartition};
 pub use ntriples::{read_ntriples, NTriplesFormat, NTriplesWriter};
+pub use paged::{
+    build_store_from_spool, EdgeSpool, SpoolWriter, StoreError, StoreInfo, StoreMeta, StoreReader,
+    StoreWriter, DEFAULT_PAGE_SIZE,
+};
 pub use shard::{ShardSet, ShardWriter, TextShardWriter};
 pub use sink::{CountingSink, EdgeSink, ForwardingSink, VecSink};
+pub use view::{GraphView, Neighbors};
 
 /// Node identifier. `u32` bounds graphs at ~4.29 B nodes, comfortably above
 /// the paper's largest instance (100 M nodes, Table 3).

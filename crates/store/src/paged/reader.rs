@@ -1,0 +1,874 @@
+//! Paged store reading: cheap structural validation at open time, point
+//! lookups through a pinned-page cache, sequential scans with private
+//! buffers, and a full-file integrity check ([`StoreReader::verify`]).
+
+use super::{
+    Fnv64, SegmentMeta, StoreError, StoreInfo, END_MAGIC, FIXED_HEADER_LEN, FOOTER_LEN, MAGIC,
+    VERSION,
+};
+use crate::{NodeId, PredIdx, TypePartition};
+use rustc_hash::FxHashMap;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+/// Default page-cache capacity: 1024 pages = 8 MiB at the default page
+/// size — evaluation memory is bounded by this, not by the edge count.
+pub const DEFAULT_CACHE_PAGES: usize = 1024;
+
+/// Entries per chunk for sequential offset/target scans (private buffers,
+/// deliberately bypassing the page cache so scans don't evict hot pages).
+const SCAN_CHUNK: usize = 8192;
+
+/// Serves CSR queries straight from a store file via positioned reads.
+///
+/// [`StoreReader::open`] validates framing and bounds (magic, version,
+/// footer, directory, segment positions) without reading the data pages;
+/// [`StoreReader::verify`] additionally checks the checksum and the
+/// offset arrays. Point lookups ([`StoreReader::neighbors`],
+/// [`StoreReader::degree`], [`StoreReader::has_edge`]) go through a small
+/// LRU page cache; bulk scans ([`StoreReader::pairs`],
+/// [`StoreReader::distinct_endpoints`]) stream with private buffers.
+///
+/// The reader is `Sync`: the page cache sits behind a mutex, so one
+/// reader can serve every worker thread of the evaluation matrix.
+#[derive(Debug)]
+pub struct StoreReader {
+    file: File,
+    path: PathBuf,
+    file_len: u64,
+    page_size: u64,
+    seed: u64,
+    schema_hash: u64,
+    stored_checksum: u64,
+    node_count: NodeId,
+    predicate_names: Vec<String>,
+    partition: TypePartition,
+    total_edges: u64,
+    segments: Vec<SegmentMeta>,
+    cache: Mutex<PageCache>,
+}
+
+impl StoreReader {
+    /// Opens a store with the default cache size.
+    pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
+        Self::open_with_cache(path, DEFAULT_CACHE_PAGES)
+    }
+
+    /// Opens a store, capping the page cache at `cache_pages` pages.
+    pub fn open_with_cache(path: &Path, cache_pages: usize) -> Result<StoreReader, StoreError> {
+        let file = File::open(path).map_err(|e| StoreError::io("opening store", path, e))?;
+        let file_len = file
+            .metadata()
+            .map_err(|e| StoreError::io("reading store metadata", path, e))?
+            .len();
+        if file_len < FIXED_HEADER_LEN + FOOTER_LEN {
+            return Err(StoreError::not_a_store(
+                path,
+                format!("only {file_len} bytes, too short for header and footer"),
+            ));
+        }
+
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        pread(
+            &file,
+            path,
+            file_len - FOOTER_LEN,
+            &mut footer,
+            "reading footer",
+        )?;
+        if footer[16..24] != END_MAGIC {
+            return Err(StoreError::not_a_store(
+                path,
+                "end magic missing (truncated, or not a store)",
+            ));
+        }
+        let dir_pos = u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes"));
+        let stored_checksum = u64::from_le_bytes(footer[8..16].try_into().expect("8 bytes"));
+
+        let mut fixed = [0u8; FIXED_HEADER_LEN as usize];
+        pread(&file, path, 0, &mut fixed, "reading header")?;
+        if fixed[0..8] != MAGIC {
+            return Err(StoreError::not_a_store(path, "bad magic"));
+        }
+        let version = read_u32(&fixed, 8);
+        if version != VERSION {
+            return Err(StoreError::not_a_store(
+                path,
+                format!("unsupported version {version} (this build reads {VERSION})"),
+            ));
+        }
+        let page_size = read_u32(&fixed, 12) as u64;
+        if !(64..=1 << 24).contains(&page_size) || !page_size.is_multiple_of(8) {
+            return Err(StoreError::corrupt(
+                path,
+                format!("unusable page size {page_size}"),
+                Some(0),
+            ));
+        }
+        let seed = read_u64(&fixed, 16);
+        let schema_hash = read_u64(&fixed, 24);
+        let node_count = read_u32(&fixed, 32);
+        let predicate_count = read_u32(&fixed, 36) as usize;
+        let type_count = read_u32(&fixed, 40) as usize;
+        // Loose caps so a corrupt count can't trigger absurd allocations
+        // before the bounds checks below.
+        if predicate_count as u64 * 4 > file_len || (type_count as u64 + 1) * 4 > file_len {
+            return Err(StoreError::corrupt(
+                path,
+                format!("header counts exceed the file ({predicate_count} predicates, {type_count} types in {file_len} bytes)"),
+                Some(0),
+            ));
+        }
+
+        let data_end = file_len - FOOTER_LEN;
+        let mut cursor = FIXED_HEADER_LEN;
+        let mut predicate_names = Vec::with_capacity(predicate_count);
+        for i in 0..predicate_count {
+            let mut len_buf = [0u8; 4];
+            if cursor + 4 > data_end {
+                return Err(StoreError::corrupt(
+                    path,
+                    format!("predicate table truncated at entry {i}"),
+                    Some(cursor / page_size),
+                ));
+            }
+            pread(&file, path, cursor, &mut len_buf, "reading predicate table")?;
+            cursor += 4;
+            let len = u32::from_le_bytes(len_buf) as u64;
+            if len > (1 << 20) || cursor + len > data_end {
+                return Err(StoreError::corrupt(
+                    path,
+                    format!("predicate {i} name length {len} out of bounds"),
+                    Some(cursor / page_size),
+                ));
+            }
+            let mut name = vec![0u8; len as usize];
+            pread(&file, path, cursor, &mut name, "reading predicate table")?;
+            cursor += len;
+            let name = String::from_utf8(name).map_err(|_| {
+                StoreError::corrupt(
+                    path,
+                    format!("predicate {i} name is not UTF-8"),
+                    Some(cursor / page_size),
+                )
+            })?;
+            predicate_names.push(name);
+        }
+
+        let part_len = (type_count + 1) * 4;
+        if cursor + part_len as u64 > data_end {
+            return Err(StoreError::corrupt(
+                path,
+                "type partition out of bounds",
+                Some(cursor / page_size),
+            ));
+        }
+        let mut part_bytes = vec![0u8; part_len];
+        pread(
+            &file,
+            path,
+            cursor,
+            &mut part_bytes,
+            "reading type partition",
+        )?;
+        let offsets: Vec<NodeId> = part_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect();
+        let partition = TypePartition::from_offsets(offsets).ok_or_else(|| {
+            StoreError::corrupt(
+                path,
+                "type partition is not monotone from 0",
+                Some(cursor / page_size),
+            )
+        })?;
+        if partition.node_count() != node_count {
+            return Err(StoreError::corrupt(
+                path,
+                format!(
+                    "type partition covers {} nodes but the header says {node_count}",
+                    partition.node_count()
+                ),
+                Some(cursor / page_size),
+            ));
+        }
+
+        // Directory: must sit page-aligned and run exactly up to the footer.
+        let dir_len = 8 + predicate_count as u64 * 2 * 24;
+        if dir_pos % page_size != 0 || dir_pos.checked_add(dir_len) != Some(data_end) {
+            return Err(StoreError::corrupt(
+                path,
+                format!("directory position {dir_pos} inconsistent with file length {file_len}"),
+                None,
+            ));
+        }
+        let mut dir = vec![0u8; dir_len as usize];
+        pread(&file, path, dir_pos, &mut dir, "reading directory")?;
+        let total_edges = read_u64(&dir, 0);
+        let mut segments = Vec::with_capacity(predicate_count * 2);
+        let n_plus_1 = node_count as u64 + 1;
+        for i in 0..predicate_count * 2 {
+            let base = 8 + i * 24;
+            let seg = SegmentMeta {
+                offsets_pos: read_u64(&dir, base),
+                targets_pos: read_u64(&dir, base + 8),
+                edge_count: read_u64(&dir, base + 16),
+            };
+            let offsets_ok = seg.offsets_pos.is_multiple_of(page_size)
+                && seg
+                    .offsets_pos
+                    .checked_add(n_plus_1 * 8)
+                    .is_some_and(|end| end <= seg.targets_pos);
+            let targets_ok = seg.targets_pos.is_multiple_of(page_size)
+                && seg
+                    .edge_count
+                    .checked_mul(4)
+                    .and_then(|len| seg.targets_pos.checked_add(len))
+                    .is_some_and(|end| end <= dir_pos);
+            if !offsets_ok || !targets_ok {
+                return Err(StoreError::corrupt(
+                    path,
+                    format!(
+                        "directory entry for segment {i} (predicate {}, {}) is out of bounds",
+                        i / 2,
+                        if i % 2 == 0 { "forward" } else { "backward" }
+                    ),
+                    Some(dir_pos / page_size),
+                ));
+            }
+            segments.push(seg);
+        }
+        let forward_sum: u64 = segments.iter().step_by(2).map(|s| s.edge_count).sum();
+        if forward_sum != total_edges {
+            return Err(StoreError::corrupt(
+                path,
+                format!("directory total {total_edges} != sum of forward segments {forward_sum}"),
+                Some(dir_pos / page_size),
+            ));
+        }
+
+        Ok(StoreReader {
+            file,
+            path: path.to_path_buf(),
+            file_len,
+            page_size,
+            seed,
+            schema_hash,
+            stored_checksum,
+            node_count,
+            predicate_names,
+            partition,
+            total_edges,
+            segments,
+            cache: Mutex::new(PageCache::new(page_size as usize, cache_pages.max(1))),
+        })
+    }
+
+    /// Full integrity check: every offsets array must be monotone within
+    /// its segment bounds, every target id in range, and the whole file
+    /// must match its FNV-1a checksum. Structural violations name the bad
+    /// page; a checksum mismatch with intact structure (e.g. a flipped
+    /// padding byte) cannot be localized and reports without one.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        let mut off_buf = vec![0u64; SCAN_CHUNK];
+        let mut tgt_buf = vec![0 as NodeId; SCAN_CHUNK];
+        for (i, seg) in self.segments.iter().enumerate() {
+            let label = |what: &str| {
+                format!(
+                    "segment {i} (predicate {}, {}): {what}",
+                    i / 2,
+                    if i % 2 == 0 { "forward" } else { "backward" }
+                )
+            };
+            let n_plus_1 = self.node_count as u64 + 1;
+            let mut prev = 0u64;
+            let mut idx = 0u64;
+            while idx < n_plus_1 {
+                let take = ((n_plus_1 - idx) as usize).min(SCAN_CHUNK);
+                self.read_u64s(seg.offsets_pos + idx * 8, &mut off_buf[..take])?;
+                for (j, &o) in off_buf[..take].iter().enumerate() {
+                    let page = (seg.offsets_pos + (idx + j as u64) * 8) / self.page_size;
+                    if (idx + j as u64 == 0 && o != 0) || o < prev || o > seg.edge_count {
+                        return Err(StoreError::corrupt(
+                            &self.path,
+                            label(&format!(
+                                "offset {} = {o} breaks monotonicity",
+                                idx + j as u64
+                            )),
+                            Some(page),
+                        ));
+                    }
+                    prev = o;
+                }
+                idx += take as u64;
+            }
+            if prev != seg.edge_count {
+                return Err(StoreError::corrupt(
+                    &self.path,
+                    label(&format!(
+                        "final offset {prev} != edge count {}",
+                        seg.edge_count
+                    )),
+                    Some((seg.offsets_pos + (n_plus_1 - 1) * 8) / self.page_size),
+                ));
+            }
+            let mut e = 0u64;
+            while e < seg.edge_count {
+                let take = ((seg.edge_count - e) as usize).min(SCAN_CHUNK);
+                self.read_u32s(seg.targets_pos + e * 4, &mut tgt_buf[..take])?;
+                for (j, &t) in tgt_buf[..take].iter().enumerate() {
+                    if t >= self.node_count {
+                        let page = (seg.targets_pos + (e + j as u64) * 4) / self.page_size;
+                        return Err(StoreError::corrupt(
+                            &self.path,
+                            label(&format!("target {} = {t} >= node count", e + j as u64)),
+                            Some(page),
+                        ));
+                    }
+                }
+                e += take as u64;
+            }
+        }
+
+        let mut hash = Fnv64::new();
+        let hashed_len = self.file_len - 16; // checksum field + end magic excluded
+        let mut buf = vec![0u8; 64 * 1024];
+        let mut pos = 0u64;
+        while pos < hashed_len {
+            let take = ((hashed_len - pos) as usize).min(buf.len());
+            pread(&self.file, &self.path, pos, &mut buf[..take], "verifying")?;
+            hash.update(&buf[..take]);
+            pos += take as u64;
+        }
+        if hash.finish() != self.stored_checksum {
+            return Err(StoreError::corrupt(
+                &self.path,
+                format!(
+                    "checksum mismatch (stored {:#018x}, computed {:#018x})",
+                    self.stored_checksum,
+                    hash.finish()
+                ),
+                None,
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> NodeId {
+        self.node_count
+    }
+
+    /// Number of predicates.
+    #[inline]
+    pub fn predicate_count(&self) -> usize {
+        self.predicate_names.len()
+    }
+
+    /// Total (deduplicated) edges, straight from the directory.
+    #[inline]
+    pub fn edge_count(&self) -> u64 {
+        self.total_edges
+    }
+
+    /// Number of edges of one predicate.
+    #[inline]
+    pub fn edge_count_for(&self, pred: PredIdx) -> usize {
+        self.segments[pred * 2].edge_count as usize
+    }
+
+    /// The node-type partition recorded in the header.
+    #[inline]
+    pub fn partition(&self) -> &TypePartition {
+        &self.partition
+    }
+
+    /// The predicate alphabet recorded in the header.
+    #[inline]
+    pub fn predicate_names(&self) -> &[String] {
+        &self.predicate_names
+    }
+
+    /// The master seed the graph was generated from.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The generating schema's hash (see `Schema::schema_hash`).
+    #[inline]
+    pub fn schema_hash(&self) -> u64 {
+        self.schema_hash
+    }
+
+    /// File size and edge totals, for reports.
+    pub fn info(&self) -> StoreInfo {
+        StoreInfo {
+            bytes: self.file_len,
+            page_size: self.page_size as u32,
+            edges: self.total_edges,
+        }
+    }
+
+    /// The file this reader serves.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    #[inline]
+    fn segment(&self, pred: PredIdx, inverse: bool) -> &SegmentMeta {
+        &self.segments[pred * 2 + inverse as usize]
+    }
+
+    /// Sorted neighbor list of `v` along `pred`, forward or backward — the
+    /// paged counterpart of [`Graph::neighbors`](crate::Graph::neighbors).
+    pub fn neighbors(
+        &self,
+        pred: PredIdx,
+        v: NodeId,
+        inverse: bool,
+    ) -> Result<Vec<NodeId>, StoreError> {
+        let (lo, hi) = self.bounds(pred, v, inverse)?;
+        let seg = self.segment(pred, inverse);
+        let mut out = vec![0 as NodeId; (hi - lo) as usize];
+        self.read_u32s_cached(seg.targets_pos + lo * 4, &mut out)?;
+        Ok(out)
+    }
+
+    /// Degree of `v` along `pred` (two offset words through the cache; no
+    /// target bytes are touched).
+    pub fn degree(&self, pred: PredIdx, v: NodeId, inverse: bool) -> Result<usize, StoreError> {
+        let (lo, hi) = self.bounds(pred, v, inverse)?;
+        Ok((hi - lo) as usize)
+    }
+
+    /// Whether the edge `v --pred--> w` exists (binary search over the
+    /// fetched neighbor list).
+    pub fn has_edge(&self, pred: PredIdx, v: NodeId, w: NodeId) -> Result<bool, StoreError> {
+        Ok(self.neighbors(pred, v, false)?.binary_search(&w).is_ok())
+    }
+
+    /// The `(offsets[v], offsets[v+1])` pair of a segment, bounds-checked
+    /// against the segment's edge count.
+    fn bounds(&self, pred: PredIdx, v: NodeId, inverse: bool) -> Result<(u64, u64), StoreError> {
+        debug_assert!(v < self.node_count, "node {v} out of range");
+        let seg = self.segment(pred, inverse);
+        let pos = seg.offsets_pos + v as u64 * 8;
+        let mut words = [0u64; 2];
+        self.read_u64s_cached(pos, &mut words)?;
+        let (lo, hi) = (words[0], words[1]);
+        if lo > hi || hi > seg.edge_count {
+            return Err(StoreError::corrupt(
+                &self.path,
+                format!("offsets of node {v} are not monotone ({lo} > {hi} or beyond the segment)"),
+                Some(pos / self.page_size),
+            ));
+        }
+        Ok((lo, hi))
+    }
+
+    /// Iterates the `(source, target)` pairs of one `Σ±` symbol in
+    /// lexicographic order — the paged counterpart of
+    /// [`Graph::pairs`](crate::Graph::pairs). The scan streams both arrays
+    /// sequentially with private buffers, bypassing the page cache.
+    ///
+    /// # Panics
+    ///
+    /// On I/O failure mid-scan (the iterator interface is infallible; the
+    /// file's bounds were validated at open time).
+    pub fn pairs(&self, pred: PredIdx, inverse: bool) -> StorePairs<'_> {
+        let seg = *self.segment(pred, inverse);
+        StorePairs {
+            reader: self,
+            seg,
+            m: seg.edge_count,
+            e: 0,
+            node: 0,
+            node_end: 0,
+            off_chunk: Vec::new(),
+            off_start: u64::MAX,
+            tgt_chunk: Vec::new(),
+            tgt_start: u64::MAX,
+            primed: false,
+        }
+    }
+
+    /// `(distinct sources, distinct targets)` of one predicate's forward
+    /// relation: a sequential scan over both offset arrays counting nodes
+    /// with non-zero degree — never touching target pages. This is the
+    /// bulk statistic behind the planner's `SymbolStats`.
+    pub fn distinct_endpoints(&self, pred: PredIdx) -> Result<(usize, usize), StoreError> {
+        let mut out = [0usize; 2];
+        let mut buf = vec![0u64; SCAN_CHUNK];
+        for (dir, slot) in out.iter_mut().enumerate() {
+            let seg = self.segment(pred, dir == 1);
+            let n_plus_1 = self.node_count as u64 + 1;
+            let mut prev = 0u64;
+            let mut idx = 0u64;
+            let mut distinct = 0usize;
+            while idx < n_plus_1 {
+                let take = ((n_plus_1 - idx) as usize).min(SCAN_CHUNK);
+                self.read_u64s(seg.offsets_pos + idx * 8, &mut buf[..take])?;
+                for &o in &buf[..take] {
+                    if o > prev {
+                        distinct += 1;
+                    }
+                    prev = o;
+                }
+                idx += take as u64;
+            }
+            *slot = distinct;
+        }
+        Ok((out[0], out[1]))
+    }
+
+    /// Uncached positioned read of little-endian u64s.
+    fn read_u64s(&self, pos: u64, out: &mut [u64]) -> Result<(), StoreError> {
+        let mut bytes = vec![0u8; out.len() * 8];
+        pread(&self.file, &self.path, pos, &mut bytes, "reading offsets")?;
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+            *o = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        }
+        Ok(())
+    }
+
+    /// Uncached positioned read of little-endian u32s.
+    fn read_u32s(&self, pos: u64, out: &mut [NodeId]) -> Result<(), StoreError> {
+        let mut bytes = vec![0u8; out.len() * 4];
+        pread(&self.file, &self.path, pos, &mut bytes, "reading targets")?;
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = u32::from_le_bytes(c.try_into().expect("4 bytes"));
+        }
+        Ok(())
+    }
+
+    /// Cache-backed read of little-endian u64s.
+    fn read_u64s_cached(&self, pos: u64, out: &mut [u64]) -> Result<(), StoreError> {
+        let mut bytes = vec![0u8; out.len() * 8];
+        self.read_cached(pos, &mut bytes)?;
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+            *o = u64::from_le_bytes(c.try_into().expect("8 bytes"));
+        }
+        Ok(())
+    }
+
+    /// Cache-backed read of little-endian u32s.
+    fn read_u32s_cached(&self, pos: u64, out: &mut [NodeId]) -> Result<(), StoreError> {
+        let mut bytes = vec![0u8; out.len() * 4];
+        self.read_cached(pos, &mut bytes)?;
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = u32::from_le_bytes(c.try_into().expect("4 bytes"));
+        }
+        Ok(())
+    }
+
+    /// Reads `dst.len()` bytes at `pos` through the page cache.
+    fn read_cached(&self, mut pos: u64, dst: &mut [u8]) -> Result<(), StoreError> {
+        let ps = self.page_size;
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut off = 0usize;
+        while off < dst.len() {
+            let page = pos / ps;
+            let in_page = (pos % ps) as usize;
+            let n = (dst.len() - off).min(ps as usize - in_page);
+            let slot = cache.slot_for(&self.file, &self.path, page, ps, self.file_len)?;
+            dst[off..off + n].copy_from_slice(&cache.slots[slot].data[in_page..in_page + n]);
+            off += n;
+            pos += n as u64;
+        }
+        Ok(())
+    }
+}
+
+/// Fixed-capacity pinned-page cache with timestamp (scan-min) LRU
+/// eviction. Small by design: correctness never depends on it, only the
+/// number of `pread` syscalls does.
+#[derive(Debug)]
+struct PageCache {
+    map: FxHashMap<u64, usize>,
+    slots: Vec<Slot>,
+    tick: u64,
+    cap: usize,
+    page_size: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    page: u64,
+    last: u64,
+    data: Box<[u8]>,
+}
+
+impl PageCache {
+    fn new(page_size: usize, cap: usize) -> PageCache {
+        PageCache {
+            map: FxHashMap::default(),
+            slots: Vec::new(),
+            tick: 0,
+            cap,
+            page_size,
+        }
+    }
+
+    fn slot_for(
+        &mut self,
+        file: &File,
+        path: &Path,
+        page: u64,
+        ps: u64,
+        file_len: u64,
+    ) -> Result<usize, StoreError> {
+        self.tick += 1;
+        if let Some(&i) = self.map.get(&page) {
+            self.slots[i].last = self.tick;
+            return Ok(i);
+        }
+        let start = page * ps;
+        let len = (file_len.saturating_sub(start)).min(ps) as usize;
+        if len == 0 {
+            return Err(StoreError::corrupt(
+                path,
+                format!("read beyond end of file (page {page})"),
+                Some(page),
+            ));
+        }
+        debug_assert!(len <= self.page_size);
+        let mut data = vec![0u8; len];
+        pread(file, path, start, &mut data, "reading page")?;
+        let i = if self.slots.len() < self.cap {
+            self.slots.push(Slot {
+                page,
+                last: self.tick,
+                data: data.into_boxed_slice(),
+            });
+            self.slots.len() - 1
+        } else {
+            let i = self
+                .slots
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, s)| s.last)
+                .map(|(i, _)| i)
+                .expect("cache capacity is at least one page");
+            self.map.remove(&self.slots[i].page);
+            self.slots[i] = Slot {
+                page,
+                last: self.tick,
+                data: data.into_boxed_slice(),
+            };
+            i
+        };
+        self.map.insert(page, i);
+        Ok(i)
+    }
+}
+
+/// Sequential `(source, target)` iterator over one stored segment (see
+/// [`StoreReader::pairs`]).
+#[derive(Debug)]
+pub struct StorePairs<'r> {
+    reader: &'r StoreReader,
+    seg: SegmentMeta,
+    m: u64,
+    e: u64,
+    node: u64,
+    node_end: u64,
+    off_chunk: Vec<u64>,
+    off_start: u64,
+    tgt_chunk: Vec<NodeId>,
+    tgt_start: u64,
+    primed: bool,
+}
+
+impl StorePairs<'_> {
+    /// `offsets[i]`, loading a fresh chunk when `i` runs past the current
+    /// one (the scan only ever moves forward).
+    fn offset_at(&mut self, i: u64) -> u64 {
+        let in_chunk = self.off_start != u64::MAX
+            && i >= self.off_start
+            && i < self.off_start + self.off_chunk.len() as u64;
+        if !in_chunk {
+            let n_plus_1 = self.reader.node_count as u64 + 1;
+            let take = ((n_plus_1 - i) as usize).min(SCAN_CHUNK);
+            self.off_chunk.resize(take, 0);
+            self.reader
+                .read_u64s(self.seg.offsets_pos + i * 8, &mut self.off_chunk)
+                .expect("store offsets vanished mid-scan");
+            self.off_start = i;
+        }
+        self.off_chunk[(i - self.off_start) as usize]
+    }
+
+    fn target_at(&mut self, e: u64) -> NodeId {
+        let in_chunk = self.tgt_start != u64::MAX
+            && e >= self.tgt_start
+            && e < self.tgt_start + self.tgt_chunk.len() as u64;
+        if !in_chunk {
+            let take = ((self.m - e) as usize).min(SCAN_CHUNK * 2);
+            self.tgt_chunk.resize(take, 0);
+            self.reader
+                .read_u32s(self.seg.targets_pos + e * 4, &mut self.tgt_chunk)
+                .expect("store targets vanished mid-scan");
+            self.tgt_start = e;
+        }
+        self.tgt_chunk[(e - self.tgt_start) as usize]
+    }
+}
+
+impl Iterator for StorePairs<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        if self.e >= self.m {
+            return None;
+        }
+        if !self.primed {
+            self.node_end = self.offset_at(1);
+            self.primed = true;
+        }
+        while self.e >= self.node_end {
+            self.node += 1;
+            self.node_end = self.offset_at(self.node + 1);
+        }
+        let t = self.target_at(self.e);
+        self.e += 1;
+        Some((self.node as NodeId, t))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.m - self.e) as usize;
+        (left, Some(left))
+    }
+}
+
+fn pread(
+    file: &File,
+    path: &Path,
+    pos: u64,
+    buf: &mut [u8],
+    context: &str,
+) -> Result<(), StoreError> {
+    file.read_exact_at(buf, pos)
+        .map_err(|e| StoreError::io(context, path, e))
+}
+
+#[inline]
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"))
+}
+
+#[inline]
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paged::{StoreMeta, StoreWriter, DEFAULT_PAGE_SIZE};
+    use crate::{Csr, Graph, GraphBuilder};
+
+    fn tiny_graph() -> Graph {
+        // 2 types (3 + 2 nodes), 2 predicates.
+        use crate::sink::EdgeSink;
+        let mut b = GraphBuilder::new(crate::TypePartition::from_counts(&[3, 2]), 2);
+        for (s, p, t) in [
+            (0u32, 0usize, 3u32),
+            (0, 0, 4),
+            (1, 0, 3),
+            (2, 0, 3),
+            (3, 1, 0),
+            (4, 1, 2),
+            (4, 1, 0),
+        ] {
+            b.edge(s, p, t);
+        }
+        b.build()
+    }
+
+    fn meta_for(g: &Graph) -> StoreMeta {
+        StoreMeta {
+            seed: 42,
+            schema_hash: 0xdead_beef,
+            page_size: 64, // smallest legal page: exercises multi-page layout
+            predicate_names: vec!["authors".into(), "cite%2Fs".into()],
+            partition: g.partition().clone(),
+        }
+    }
+
+    #[test]
+    fn round_trip_matches_in_memory() {
+        let dir = std::env::temp_dir().join(format!("gstore-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.gstore");
+        let g = tiny_graph();
+        let info = StoreWriter::write_graph(&path, &meta_for(&g), &g).unwrap();
+        assert_eq!(info.edges, g.edge_count() as u64);
+
+        let r = StoreReader::open(&path).unwrap();
+        r.verify().unwrap();
+        assert_eq!(r.node_count(), g.node_count());
+        assert_eq!(r.predicate_count(), 2);
+        assert_eq!(r.edge_count(), g.edge_count() as u64);
+        assert_eq!(r.seed(), 42);
+        assert_eq!(r.schema_hash(), 0xdead_beef);
+        assert_eq!(r.predicate_names(), ["authors", "cite%2Fs"]);
+        assert_eq!(r.partition().offsets(), g.partition().offsets());
+        for pred in 0..2 {
+            assert_eq!(r.edge_count_for(pred), g.edge_count_for(pred));
+            for inverse in [false, true] {
+                for v in 0..g.node_count() {
+                    assert_eq!(
+                        r.neighbors(pred, v, inverse).unwrap(),
+                        g.neighbors(pred, v, inverse),
+                        "pred {pred} inverse {inverse} node {v}"
+                    );
+                    assert_eq!(
+                        r.degree(pred, v, inverse).unwrap(),
+                        g.neighbors(pred, v, inverse).len()
+                    );
+                }
+                let paged: Vec<_> = r.pairs(pred, inverse).collect();
+                let in_ram: Vec<_> = g.pairs(pred, inverse).collect();
+                assert_eq!(paged, in_ram, "pred {pred} inverse {inverse}");
+            }
+            for v in 0..g.node_count() {
+                for w in 0..g.node_count() {
+                    assert_eq!(r.has_edge(pred, v, w).unwrap(), g.has_edge(pred, v, w));
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_page_size_and_tiny_cache_round_trip() {
+        let dir = std::env::temp_dir().join(format!("gstore-dp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.gstore");
+        let g = tiny_graph();
+        let mut meta = meta_for(&g);
+        meta.page_size = DEFAULT_PAGE_SIZE;
+        StoreWriter::write_graph(&path, &meta, &g).unwrap();
+        // A one-page cache forces constant eviction; results must not change.
+        let r = StoreReader::open_with_cache(&path, 1).unwrap();
+        for v in 0..g.node_count() {
+            assert_eq!(r.neighbors(0, v, false).unwrap(), g.neighbors(0, v, false));
+            assert_eq!(r.neighbors(1, v, true).unwrap(), g.neighbors(1, v, true));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn csr_edges_iterator_matches_flat_map() {
+        let edges = [(0u32, 5u32), (0, 7), (2, 1), (4, 0), (4, 9)];
+        let csr = Csr::from_edges(10, &edges, true);
+        let got: Vec<_> = csr.iter_edges().collect();
+        assert_eq!(got, edges);
+        let empty = Csr::from_edges(0, &[], true);
+        assert_eq!(empty.iter_edges().count(), 0);
+    }
+}

@@ -56,18 +56,8 @@ impl ShardSet {
     /// filesystem as the final output keeps the concatenation a plain
     /// sequential copy (no cross-device surprises).
     pub fn create(parent: &Path, count: usize) -> io::Result<ShardSet> {
-        static UNIQUIFIER: AtomicU64 = AtomicU64::new(0);
-        fs::create_dir_all(parent).map_err(|e| annotate(e, "creating scratch parent", parent))?;
-        reap_stale_scratch(parent, std::time::Duration::from_secs(3600));
-        loop {
-            let tag = UNIQUIFIER.fetch_add(1, Ordering::Relaxed);
-            let dir = parent.join(format!(".gmark-shards-{}-{tag}", std::process::id()));
-            match fs::create_dir(&dir) {
-                Ok(()) => return Ok(ShardSet { dir, count }),
-                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
-                Err(e) => return Err(annotate(e, "creating shard dir", &dir)),
-            }
-        }
+        let dir = create_unique_scratch(parent, ".gmark-shards-")?;
+        Ok(ShardSet { dir, count })
     }
 
     /// Number of shards this set was created for.
@@ -143,7 +133,27 @@ fn annotate(e: io::Error, what: &str, path: &Path) -> io::Error {
     io::Error::new(e.kind(), format!("{what} {}: {e}", path.display()))
 }
 
-/// Removes `.gmark-shards-<pid>-*` directories left by processes that no
+/// Creates a uniquely named (process id + counter) scratch directory under
+/// `parent`, first reaping stale siblings with the same `prefix` — the
+/// shared primitive behind N-Triples shard sets and the store's binary
+/// edge spool. `prefix` must start with `.` and end with `-`.
+pub(crate) fn create_unique_scratch(parent: &Path, prefix: &str) -> io::Result<PathBuf> {
+    static UNIQUIFIER: AtomicU64 = AtomicU64::new(0);
+    debug_assert!(prefix.starts_with('.') && prefix.ends_with('-'));
+    fs::create_dir_all(parent).map_err(|e| annotate(e, "creating scratch parent", parent))?;
+    reap_stale_scratch(parent, prefix, std::time::Duration::from_secs(3600));
+    loop {
+        let tag = UNIQUIFIER.fetch_add(1, Ordering::Relaxed);
+        let dir = parent.join(format!("{prefix}{}-{tag}", std::process::id()));
+        match fs::create_dir(&dir) {
+            Ok(()) => return Ok(dir),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(annotate(e, "creating scratch dir", &dir)),
+        }
+    }
+}
+
+/// Removes `<prefix><pid>-*` directories left by processes that no
 /// longer exist (Drop never runs on SIGKILL / un-unwound Ctrl-C, and an
 /// interrupted Table 3-scale run can leave many GB behind). A directory
 /// is reaped only when *both* hold:
@@ -160,7 +170,7 @@ fn annotate(e: io::Error, what: &str, path: &Path) -> io::Error {
 /// be misreaped, and sharing one scratch/output directory between
 /// concurrent runs is already unsupported (they would overwrite each
 /// other's `graph.nt`). Best effort by design.
-fn reap_stale_scratch(parent: &Path, min_idle: std::time::Duration) {
+fn reap_stale_scratch(parent: &Path, prefix: &str, min_idle: std::time::Duration) {
     if !Path::new("/proc/self").exists() {
         return;
     }
@@ -170,7 +180,7 @@ fn reap_stale_scratch(parent: &Path, min_idle: std::time::Duration) {
     let own_pid = std::process::id();
     for entry in entries.filter_map(|e| e.ok()) {
         let name = entry.file_name();
-        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix(".gmark-shards-")) else {
+        let Some(rest) = name.to_str().and_then(|n| n.strip_prefix(prefix)) else {
             continue;
         };
         let Some(pid) = rest.split('-').next().and_then(|p| p.parse::<u32>().ok()) else {
@@ -362,7 +372,7 @@ mod tests {
         let _recent_spared = ShardSet::create(&parent, 1).unwrap();
         assert!(stale.exists(), "hour-fresh dir must survive the age guard");
         // ...but once past the idle threshold it is reaped.
-        reap_stale_scratch(&parent, std::time::Duration::ZERO);
+        reap_stale_scratch(&parent, ".gmark-shards-", std::time::Duration::ZERO);
         assert!(!stale.exists(), "stale dir of a dead pid must be reaped");
         drop(_recent_spared);
         let _ = fs::remove_dir_all(&parent);

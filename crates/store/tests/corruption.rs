@@ -1,0 +1,153 @@
+//! Corruption and truncation tests for the paged store: damaged files must
+//! fail with a typed [`StoreError`] — naming the bad page when the damage
+//! is page-locatable — never with a panic or silently wrong results.
+
+use gmark_store::{
+    EdgeSink, GraphBuilder, StoreError, StoreMeta, StoreReader, StoreWriter, TypePartition,
+};
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const PAGE: u32 = 64; // smallest legal page: puts regions on distinct pages
+
+/// Builds a small two-predicate store in a fresh scratch directory and
+/// returns `(dir, path, first_segment_pos)` — the byte position of the
+/// first (predicate 0, forward) offsets array, which starts at the first
+/// page boundary after the header region.
+fn build_store(tag: &str) -> (PathBuf, PathBuf, u64) {
+    let dir = std::env::temp_dir().join(format!("gstore-corrupt-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("g.gstore");
+    let names = vec!["authors".to_owned(), "cite%2Fs".to_owned()];
+    let partition = TypePartition::from_counts(&[3, 2]);
+    let mut b = GraphBuilder::new(partition.clone(), names.len());
+    for (s, p, t) in [
+        (0u32, 0usize, 3u32),
+        (1, 0, 3),
+        (2, 0, 4),
+        (3, 1, 0),
+        (4, 1, 2),
+    ] {
+        b.edge(s, p, t);
+    }
+    let g = b.build();
+    let meta = StoreMeta {
+        seed: 9,
+        schema_hash: 0x5eed,
+        page_size: PAGE,
+        predicate_names: names.clone(),
+        partition,
+    };
+    StoreWriter::write_graph(&path, &meta, &g).unwrap();
+    // Header region: 48 fixed + Σ(4 + len) names + (types + 1) × 4
+    // partition offsets, zero-padded to the next page boundary.
+    let header = 48 + names.iter().map(|n| 4 + n.len() as u64).sum::<u64>() + (2 + 1) * 4;
+    let first_seg = header.div_ceil(PAGE as u64) * PAGE as u64;
+    (dir, path, first_seg)
+}
+
+fn patch(path: &Path, pos: u64, change: impl FnOnce(u8) -> u8) {
+    let mut f = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap();
+    f.seek(SeekFrom::Start(pos)).unwrap();
+    let mut byte = [0u8; 1];
+    f.read_exact(&mut byte).unwrap();
+    f.seek(SeekFrom::Start(pos)).unwrap();
+    f.write_all(&[change(byte[0])]).unwrap();
+}
+
+#[test]
+fn bit_flip_in_an_offsets_page_names_the_page() {
+    let (dir, path, first_seg) = build_store("offsets");
+    // offset[1] of the first segment lives at first_seg + 8; making it huge
+    // breaks monotonicity against the segment's edge count.
+    patch(&path, first_seg + 8, |_| 0xFF);
+    let r = StoreReader::open(&path).unwrap();
+    match r.verify() {
+        Err(StoreError::Corrupt { page, what, .. }) => {
+            assert_eq!(page, Some(first_seg / PAGE as u64), "wrong page: {what}");
+            assert!(what.contains("monotonicity"), "unexpected message: {what}");
+        }
+        other => panic!("expected Corrupt naming a page, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bit_flip_in_padding_fails_the_checksum_without_a_page() {
+    let (dir, path, first_seg) = build_store("padding");
+    // The offsets array is 6 × 8 = 48 bytes; the tail of its 64-byte page
+    // is zero padding — structurally invisible, caught only by the
+    // whole-file checksum, which cannot localize it.
+    patch(&path, first_seg + 60, |b| b ^ 0x40);
+    let r = StoreReader::open(&path).unwrap();
+    match r.verify() {
+        Err(StoreError::Corrupt {
+            page: None, what, ..
+        }) => {
+            assert!(what.contains("checksum"), "unexpected message: {what}");
+        }
+        other => panic!("expected an unlocatable checksum failure, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flipped_magic_is_not_a_store() {
+    let (dir, path, _) = build_store("magic");
+    patch(&path, 0, |b| b ^ 0x01);
+    match StoreReader::open(&path) {
+        Err(StoreError::NotAStore { .. }) => {}
+        other => panic!("expected NotAStore, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_files_are_rejected_at_open() {
+    let (dir, path, _) = build_store("truncate");
+    let full = std::fs::metadata(&path).unwrap().len();
+    // Chop the file mid-segments: the trailing end magic vanishes.
+    let f = OpenOptions::new().write(true).open(&path).unwrap();
+    f.set_len(full / 2).unwrap();
+    match StoreReader::open(&path) {
+        Err(StoreError::NotAStore { what, .. }) => {
+            assert!(what.contains("truncated"), "unexpected message: {what}");
+        }
+        other => panic!("expected NotAStore for a truncated file, got {other:?}"),
+    }
+    // Shorter than even the fixed header + footer.
+    f.set_len(10).unwrap();
+    assert!(matches!(
+        StoreReader::open(&path),
+        Err(StoreError::NotAStore { .. })
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_flipped_directory_count_is_caught_structurally() {
+    let (dir, path, _) = build_store("directory");
+    // The directory's total-edges field is the first u64 of the directory
+    // page; dir_pos is recorded in the footer (file_len - 24).
+    let full = std::fs::metadata(&path).unwrap().len();
+    let mut f = OpenOptions::new().read(true).open(&path).unwrap();
+    f.seek(SeekFrom::Start(full - 24)).unwrap();
+    let mut dir_pos = [0u8; 8];
+    f.read_exact(&mut dir_pos).unwrap();
+    let dir_pos = u64::from_le_bytes(dir_pos);
+    drop(f);
+    patch(&path, dir_pos, |b| b.wrapping_add(1));
+    // open() cross-checks the directory total against the segment sums.
+    match StoreReader::open(&path) {
+        Err(StoreError::Corrupt { page, .. }) => {
+            assert_eq!(page, Some(dir_pos / PAGE as u64));
+        }
+        other => panic!("expected Corrupt at the directory page, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -23,9 +23,16 @@
 #     counts, its `"plan"` regime, and the run's peak RSS (VmHWM); the
 #     on/off pairs pin the statistics planner's effect on
 #     budget-exhausted cells across PRs.
+#   * the `store_sweep` binary (on-disk paged store): builds a 500K-node
+#     `graph.gstore` through the streamed spool tee (build MB/s), then
+#     evaluates the same workload paged (cold + warm pass) and in-RAM —
+#     one process per mode so the `peak_rss_kb` rows contrast the paged
+#     reader's bounded memory against the materialized CSR — into
+#     BENCH_store.json.
 #
-# Usage: scripts/bench.sh [gen.json] [workload.json] [eval.json]
-#        (defaults: BENCH_gen.json BENCH_workload.json BENCH_eval.json)
+# Usage: scripts/bench.sh [gen.json] [workload.json] [eval.json] [store.json]
+#        (defaults: BENCH_gen.json BENCH_workload.json BENCH_eval.json
+#         BENCH_store.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,6 +40,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_gen.json}"
 wl_out="${2:-BENCH_workload.json}"
 eval_out="${3:-BENCH_eval.json}"
+store_out="${4:-BENCH_store.json}"
 case "$out" in
     /*) ;;
     *) out="$PWD/$out" ;; # cargo runs bench binaries from the package dir
@@ -45,7 +53,11 @@ case "$eval_out" in
     /*) ;;
     *) eval_out="$PWD/$eval_out" ;;
 esac
-rm -f "$out" "$wl_out" "$eval_out"
+case "$store_out" in
+    /*) ;;
+    *) store_out="$PWD/$store_out" ;;
+esac
+rm -f "$out" "$wl_out" "$eval_out" "$store_out"
 
 echo "== criterion generation benches (exporting to $out) =="
 GMARK_BENCH_JSON="$out" cargo bench --offline -p gmark-bench --bench generation
@@ -82,8 +94,19 @@ for plan_flag in "" "--no-plan"; do
     done
 done
 
+echo "== store sweep (paged store build + paged-vs-in-RAM eval, exporting to $store_out) =="
+# One process per mode: the paged rows' peak_rss_kb (VmHWM) measures the
+# bounded-memory paged reader, the inram row the materialized CSR.
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$store_dir"' EXIT
+for mode in build paged inram; do
+    GMARK_BENCH_JSON="$store_out" cargo run --offline --release -p gmark-bench \
+        --bin store_sweep -- --mode "$mode" --nodes 500000 --store "$store_dir"
+done
+
 echo "== baselines written =="
-wc -l "$out" "$wl_out" "$eval_out"
+wc -l "$out" "$wl_out" "$eval_out" "$store_out"
 cat "$out"
 cat "$wl_out"
 cat "$eval_out"
+cat "$store_out"

@@ -9,6 +9,9 @@
 //! Outputs, inside `--output <dir>`:
 //!
 //! * `graph.nt` — the instance as N-Triples,
+//! * `graph.gstore` — the instance as an on-disk paged store (with
+//!   `--store`); combined with `--stream`, evaluation pages through this
+//!   file instead of an in-memory graph,
 //! * `workload.txt` — the queries in the paper's rule notation,
 //! * `workload.sparql` / `.cypher` / `.sql` / `.datalog` — the four
 //!   concrete syntaxes,
@@ -18,8 +21,10 @@
 //!
 //! ```sh
 //! gmark --config config.xml --output out/ [--seed N] [--nodes N] \
-//!       [--threads T] [--stream] [--queries-only] [--format text|json] \
-//!       [--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N]
+//!       [--threads T] [--stream] [--store] [--queries-only] \
+//!       [--format text|json] [--eval] [--engines P,G,S,D] \
+//!       [--budget-ms N] [--max-tuples N] [--from-store FILE]
+//! gmark --verify-store out/graph.gstore
 //! ```
 //!
 //! `--threads` governs every pipeline stage — graph constraints, workload
@@ -29,7 +34,8 @@
 
 use gmark::engines::EngineKind;
 use gmark::run::{run, DirSink, EvalSpec, GmarkError, RunOptions, RunPlan};
-use std::path::PathBuf;
+use gmark::store::StoreReader;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Which rendering of the run summary goes to stdout.
@@ -51,6 +57,11 @@ struct Args {
     /// Worker threads; 0 = auto-detect (`available_parallelism`).
     threads: usize,
     stream: bool,
+    /// Also write the graph as an on-disk paged store (graph.gstore).
+    store: bool,
+    /// Evaluate against an existing store file instead of generating a
+    /// graph (requires --eval).
+    from_store: Option<PathBuf>,
     /// Generate the query workload only; skip the graph instance.
     queries_only: bool,
     /// Run the generated workload through the evaluation engines.
@@ -73,12 +84,18 @@ struct Args {
 #[derive(Debug)]
 enum Parsed {
     Run(Box<Args>),
+    /// `--verify-store <file>`: a standalone mode — open the store, check
+    /// structure and checksum, print its shape. No config or output
+    /// directory involved.
+    VerifyStore(PathBuf),
     EarlyExit(String),
 }
 
 const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] \
-[--threads T] [--stream] [--queries-only] [--format text|json] \
-[--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N] [--no-plan]\n\n\
+[--threads T] [--stream] [--store] [--queries-only] [--format text|json] \
+[--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N] [--no-plan] \
+[--from-store FILE]\n\
+gmark --verify-store <file.gstore>\n\n\
   --threads T     worker threads for EVERY pipeline stage (graph\n\
                   constraints, workload queries, and the --eval matrix);\n\
                   0 auto-detects the available parallelism. Every output\n\
@@ -89,16 +106,29 @@ const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--node
                   graph. Also byte-identical for every thread count. The\n\
                   streamed serialization keeps generation order and\n\
                   duplicate triples; the default serialization is sorted\n\
-                  and deduplicated (same edge set either way). Not\n\
-                  combinable with --eval (engines need the in-memory\n\
-                  graph).\n\
+                  and deduplicated (same edge set either way). Combinable\n\
+                  with --eval only alongside --store (the engines then\n\
+                  page through the store instead of an in-memory graph).\n\
+  --store         also write the graph as an on-disk paged store\n\
+                  (graph.gstore): a checksummed binary CSR the evaluation\n\
+                  engines can page through without materializing the\n\
+                  graph. Store bytes are identical at every thread count\n\
+                  and in both pipelines; with --stream the whole\n\
+                  generate-and-evaluate loop runs beyond-RAM.\n\
+  --from-store F  evaluate against an existing graph.gstore instead of\n\
+                  generating a graph (requires --eval; the config must\n\
+                  describe the same schema the store was built from).\n\
+  --verify-store F  standalone mode: validate an existing store file —\n\
+                  structure, offsets, and whole-file checksum — naming\n\
+                  the corrupt page on failure, then print its shape.\n\
   --queries-only  generate the query workload from the schema without\n\
                   building the graph at all (no graph.nt); the config must\n\
                   have a <workload> section. Not combinable with --eval.\n\
   --eval          after generating, run every workload query through the\n\
-                  evaluation engines against the generated graph and write\n\
-                  the (query x engine) outcome matrix to eval.txt (plus\n\
-                  the eval rows of summary.json). The matrix is\n\
+                  evaluation engines against the generated graph (or the\n\
+                  paged store, with --stream --store / --from-store) and\n\
+                  write the (query x engine) outcome matrix to eval.txt\n\
+                  (plus the eval rows of summary.json). The matrix is\n\
                   byte-identical at every thread count whenever cell\n\
                   outcomes cannot race the per-cell deadline — use\n\
                   --budget-ms 0 for the fully deterministic regime.\n\
@@ -127,6 +157,8 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
     let mut nodes = None;
     let mut threads = 1usize;
     let mut stream = false;
+    let mut store = false;
+    let mut from_store = None;
     let mut queries_only = false;
     let mut eval = false;
     let mut engines = None;
@@ -170,6 +202,13 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
                 })?
             }
             "--stream" => stream = true,
+            "--store" => store = true,
+            "--from-store" => from_store = Some(PathBuf::from(take_value(&mut i, &flag)?)),
+            "--verify-store" => {
+                return Ok(Parsed::VerifyStore(PathBuf::from(take_value(
+                    &mut i, &flag,
+                )?)));
+            }
             "--queries-only" => queries_only = true,
             "--eval" => eval = true,
             "--engines" => {
@@ -226,8 +265,24 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
     if eval && queries_only {
         return Err("--eval needs the graph instance; drop --queries-only".to_owned());
     }
-    if eval && stream {
-        return Err("--eval needs the materialized graph; drop --stream".to_owned());
+    if from_store.is_some() && !eval {
+        return Err("--from-store is only consumed by --eval".to_owned());
+    }
+    if from_store.is_some() && (store || stream || queries_only) {
+        return Err(
+            "--from-store replaces graph generation; drop --store/--stream/--queries-only"
+                .to_owned(),
+        );
+    }
+    if store && queries_only {
+        return Err("--queries-only generates no graph to store; drop --store".to_owned());
+    }
+    if eval && stream && !store {
+        return Err(
+            "--eval with --stream needs the on-disk store: add --store (the engines \
+             then page through graph.gstore) or drop --stream"
+                .to_owned(),
+        );
     }
     Ok(Parsed::Run(Box::new(Args {
         config: config.ok_or("--config is required")?,
@@ -236,6 +291,8 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
         nodes,
         threads,
         stream,
+        store,
+        from_store,
         queries_only,
         eval,
         engines,
@@ -281,6 +338,13 @@ fn execute(args: &Args) -> Result<(), GmarkError> {
         spec.plan = !args.no_plan;
         plan.eval = Some(spec);
     }
+    if args.store {
+        plan.outputs.store = true;
+    }
+    if let Some(path) = &args.from_store {
+        plan.outputs.graph = false;
+        plan.from_store = Some(path.clone());
+    }
 
     // …how…
     let opts = RunOptions {
@@ -305,6 +369,24 @@ fn execute(args: &Args) -> Result<(), GmarkError> {
     Ok(())
 }
 
+/// The `--verify-store` mode: structural validation (offsets, bounds,
+/// monotonicity — corruption names the bad page) plus the whole-file
+/// checksum, then a one-line shape description.
+fn verify_store(path: &Path) -> Result<String, GmarkError> {
+    let reader = StoreReader::open(path)?;
+    reader.verify()?;
+    let info = reader.info();
+    Ok(format!(
+        "{}: ok ({} nodes, {} predicates, {} edges, {} bytes, page size {})",
+        path.display(),
+        reader.node_count(),
+        reader.predicate_count(),
+        info.edges,
+        info.bytes,
+        info.page_size,
+    ))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&argv) {
@@ -312,6 +394,16 @@ fn main() -> ExitCode {
             println!("{text}");
             ExitCode::SUCCESS
         }
+        Ok(Parsed::VerifyStore(path)) => match verify_store(&path) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("gmark: {e}");
+                ExitCode::FAILURE
+            }
+        },
         Ok(Parsed::Run(args)) => match execute(&args) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -423,10 +515,20 @@ mod tests {
             "--queries-only"
         ]))
         .is_err());
+        // --eval --stream without a store has no graph for the engines…
         assert!(parse_args(&argv(&[
             "--config", "c.xml", "--output", "o", "--eval", "--stream"
         ]))
         .is_err());
+        // …but adding --store makes it the paged beyond-RAM combination.
+        match parse_args(&argv(&[
+            "--config", "c.xml", "--output", "o", "--eval", "--stream", "--store",
+        ]))
+        .expect("parses")
+        {
+            Parsed::Run(args) => assert!(args.eval && args.stream && args.store),
+            other => panic!("expected a run, got {other:?}"),
+        }
         // A zero tuple cap would fail every non-empty cell: rejected.
         assert!(parse_args(&argv(&[
             "--config",
@@ -447,6 +549,75 @@ mod tests {
             "--eval",
             "--engines",
             "P,X"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn store_flags_parse_and_enforce_their_preconditions() {
+        // --verify-store is a standalone mode.
+        match parse_args(&argv(&["--verify-store", "g.gstore"])).expect("parses") {
+            Parsed::VerifyStore(path) => assert_eq!(path, PathBuf::from("g.gstore")),
+            other => panic!("expected verify mode, got {other:?}"),
+        }
+        assert!(parse_args(&argv(&["--verify-store"])).is_err());
+
+        // --from-store needs --eval and replaces generation.
+        match parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--from-store",
+            "g.gstore",
+        ]))
+        .expect("parses")
+        {
+            Parsed::Run(args) => {
+                assert_eq!(args.from_store, Some(PathBuf::from("g.gstore")));
+            }
+            other => panic!("expected a run, got {other:?}"),
+        }
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--from-store",
+            "g.gstore"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--from-store",
+            "g.gstore",
+            "--store"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--from-store",
+            "g.gstore",
+            "--stream"
+        ]))
+        .is_err());
+        // --store without a graph to store is rejected.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--store",
+            "--queries-only"
         ]))
         .is_err());
     }

@@ -63,6 +63,13 @@
 //! | `stream_workload(&schema, &cfg, &opts, &mut outs)` | [`run::run`] (the five workload artifacts) |
 //! | `ConfigError` / `WorkloadError` / `TranslateError` / `EvalError` / `io::Error` juggling | [`run::GmarkError`] |
 //! | scraping `report.txt` | [`run::RunSummary::to_json`] (`--format json`) |
+//! | `EvalContext::new(&graph)` over a `&Graph` only | `EvalContext::new(view)` over a [`store::GraphView`] — `&Graph` still converts via `Into`, and [`store::StoreReader`] plugs in the on-disk paged store |
+//!
+//! Evaluation no longer requires a materialized [`store::Graph`]: every
+//! engine reads through [`store::GraphView`], so a paged
+//! [`store::StoreReader`] (`--store` / `--from-store` on the CLI,
+//! [`run::RunPlan`]'s `store` output + `from_store` input in the API)
+//! evaluates beyond-RAM instances through the identical code path.
 //!
 //! ## Workspace layout
 //!
@@ -70,7 +77,9 @@
 //!
 //! * [`core`] — schemas, the linear-time graph generator, UCRPQ queries,
 //!   selectivity estimation, workload generation, the four paper use cases;
-//! * [`store`] — CSR graph storage and N-Triples I/O;
+//! * [`store`] — CSR graph storage, the on-disk paged store
+//!   ([`store::StoreWriter`] / [`store::StoreReader`]), the
+//!   [`store::GraphView`] read abstraction, and N-Triples I/O;
 //! * [`stats`] — deterministic RNG, degree-distribution samplers,
 //!   regression;
 //! * [`config`] — XML configuration files;

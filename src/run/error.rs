@@ -11,6 +11,7 @@
 use gmark_config::ConfigError;
 use gmark_core::workload::WorkloadError;
 use gmark_engines::EvalError;
+use gmark_store::StoreError;
 use gmark_translate::{TranslateError, WorkloadStreamError};
 use std::io;
 use std::path::PathBuf;
@@ -45,6 +46,9 @@ pub enum GmarkError {
     },
     /// Evaluating a query on an engine failed or exceeded its budget.
     Eval(EvalError),
+    /// Writing, opening, or verifying an on-disk paged graph store failed
+    /// (see [`gmark_store::StoreError`] — corruption names the bad page).
+    Store(StoreError),
     /// An I/O operation failed.
     Io {
         /// What was being read or written (a path or an artifact name).
@@ -90,6 +94,7 @@ impl std::fmt::Display for GmarkError {
                 write!(f, "translating query {index}: {source}")
             }
             GmarkError::Eval(e) => write!(f, "evaluation: {e}"),
+            GmarkError::Store(e) => write!(f, "store: {e}"),
             GmarkError::Io { context, source } => write!(f, "{context}: {source}"),
         }
     }
@@ -103,6 +108,7 @@ impl std::error::Error for GmarkError {
             GmarkError::Workload(e) => Some(e),
             GmarkError::Translate { source, .. } => Some(source),
             GmarkError::Eval(e) => Some(e),
+            GmarkError::Store(e) => Some(e),
             GmarkError::Io { source, .. } => Some(source),
         }
     }
@@ -123,6 +129,12 @@ impl From<WorkloadError> for GmarkError {
 impl From<EvalError> for GmarkError {
     fn from(e: EvalError) -> Self {
         GmarkError::Eval(e)
+    }
+}
+
+impl From<StoreError> for GmarkError {
+    fn from(e: StoreError) -> Self {
+        GmarkError::Store(e)
     }
 }
 

@@ -77,18 +77,25 @@ pub use error::GmarkError;
 pub use options::RunOptions;
 pub use plan::{EvalSpec, OutputSelection, RunPlan, RunPlanBuilder};
 pub use sink::{Artifact, DirSink, MemorySink, NullSink, Sink};
-pub use summary::{EvalCellRow, EvalRunSummary, GraphRunSummary, RunSummary, WorkloadRunSummary};
+pub use summary::{
+    EvalCellRow, EvalRunSummary, GraphRunSummary, RunSummary, StoreRunSummary, WorkloadRunSummary,
+};
 
-use gmark_core::gen::{generate_graph, generate_streamed};
+use gmark_core::gen::{generate_graph, generate_streamed, generate_streamed_spooled};
 use gmark_core::workload::{generate_workload_with_threads, Workload, WorkloadConfig};
 use gmark_engines::{
     evaluate_matrix_with_schema, CellOutcome, EvalContext, EvalReport, MatrixOptions,
 };
-use gmark_store::{EdgeSink as _, Graph, NTriplesWriter};
+use gmark_store::{
+    build_store_from_spool, EdgeSink as _, EdgeSpool, Graph, GraphView, NTriplesWriter, StoreError,
+    StoreMeta, StoreReader, StoreWriter, TypePartition, DEFAULT_PAGE_SIZE,
+};
 use gmark_translate::{stream_workload, write_workload, WorkloadOutputs};
 use std::fmt::Write as _;
+use std::fs::File;
 use std::io::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Executes a plan, streaming every artifact through the sink.
@@ -103,10 +110,11 @@ pub fn run<S: Sink + ?Sized>(
     sink: &mut S,
 ) -> Result<RunSummary, GmarkError> {
     plan.validate()?;
-    if plan.eval.is_some() && opts.stream {
+    if plan.eval.is_some() && opts.stream && !plan.outputs.store && plan.from_store.is_none() {
         return Err(GmarkError::Plan(
-            "evaluation requires the materialized graph pipeline (drop --stream): \
-             the engines evaluate the in-memory graph"
+            "evaluation of a streamed run needs the on-disk store: add --store to \
+             evaluate through the paged store, or drop --stream for the in-memory \
+             engines"
                 .to_owned(),
         ));
     }
@@ -116,37 +124,102 @@ pub fn run<S: Sink + ?Sized>(
     let scratch = scratch_dir(opts, sink);
 
     let mut graph_summary = None;
+    let mut store_summary = None;
     // The materialized graph, kept past serialization when an evaluation
     // stage will need it.
     let mut kept_graph: Option<Graph> = None;
-    if plan.outputs.graph {
-        let mut out = sink
-            .open(Artifact::Graph)
-            .map_err(|e| GmarkError::io("opening graph.nt", e))?;
+    // Where this run's store file lives, and whether it is a scratch
+    // temporary (sinks without real files get the bytes copied in after
+    // the evaluation stage is done paging through the scratch copy).
+    let mut store_file: Option<(PathBuf, bool)> = None;
+    if plan.outputs.graph || plan.outputs.store {
+        let mut out: Box<dyn std::io::Write + Send> = if plan.outputs.graph {
+            sink.open(Artifact::Graph)
+                .map_err(|e| GmarkError::io("opening graph.nt", e))?
+        } else {
+            // A store-only run executes the same generator — the store is
+            // just another serialization of the same edge stream — but
+            // renders no N-Triples artifact.
+            Box::new(std::io::sink())
+        };
         let start = Instant::now();
         let (report, written) = if opts.stream {
             let stream_opts = opts.stream_options(scratch.clone());
-            generate_streamed(&plan.graph, &gen_opts, &stream_opts, &mut out)
-                .map_err(|e| GmarkError::io("streaming graph.nt", e))?
+            if plan.outputs.store {
+                // The beyond-RAM path: tee every generated edge into
+                // per-constraint spool files while streaming N-Triples,
+                // then assemble the paged store from the spools. The CSR
+                // canonicalization (sort + dedup per predicate) makes the
+                // store bytes identical to a materialized build at every
+                // thread count.
+                let spool = EdgeSpool::create(&scratch, plan.graph.schema.constraints().len())
+                    .map_err(|e| GmarkError::io("creating store spool", e))?;
+                let generated = generate_streamed_spooled(
+                    &plan.graph,
+                    &gen_opts,
+                    &stream_opts,
+                    &mut out,
+                    &spool,
+                )
+                .map_err(|e| GmarkError::io("streaming graph.nt", e))?;
+                let store_start = Instant::now();
+                let target = store_target(sink, &scratch);
+                let preds: Vec<usize> = plan
+                    .graph
+                    .schema
+                    .constraints()
+                    .iter()
+                    .map(|c| c.predicate.0)
+                    .collect();
+                let info =
+                    build_store_from_spool(&target.0, &store_meta(plan, opts), &spool, &preds)?;
+                store_summary = Some(StoreRunSummary {
+                    bytes: info.bytes,
+                    page_size: info.page_size,
+                    edges: info.edges,
+                    seconds: store_start.elapsed().as_secs_f64(),
+                });
+                store_file = Some(target);
+                generated
+            } else {
+                generate_streamed(&plan.graph, &gen_opts, &stream_opts, &mut out)
+                    .map_err(|e| GmarkError::io("streaming graph.nt", e))?
+            }
         } else {
             // The ordered-merge path at *every* thread count: materialize
             // (deterministic constraint-order shard merge), then serialize
             // the built graph — sorted, deduplicated, byte-identical for
             // T = 1, 2, 8, ….
             let (graph, report) = generate_graph(&plan.graph, &gen_opts);
-            let mut writer = NTriplesWriter::with_base(
-                &mut out,
-                plan.graph.schema.predicate_names(),
-                &opts.base_iri,
-            );
-            for pred in 0..graph.predicate_count() {
-                for (src, trg) in graph.edges(pred) {
-                    writer.edge(src, pred, trg);
+            let written = if plan.outputs.graph {
+                let mut writer = NTriplesWriter::with_base(
+                    &mut out,
+                    plan.graph.schema.predicate_names(),
+                    &opts.base_iri,
+                );
+                for pred in 0..graph.predicate_count() {
+                    for (src, trg) in graph.edges(pred) {
+                        writer.edge(src, pred, trg);
+                    }
                 }
+                writer
+                    .finish()
+                    .map_err(|e| GmarkError::io("writing graph.nt", e))?
+            } else {
+                0
+            };
+            if plan.outputs.store {
+                let store_start = Instant::now();
+                let target = store_target(sink, &scratch);
+                let info = StoreWriter::write_graph(&target.0, &store_meta(plan, opts), &graph)?;
+                store_summary = Some(StoreRunSummary {
+                    bytes: info.bytes,
+                    page_size: info.page_size,
+                    edges: info.edges,
+                    seconds: store_start.elapsed().as_secs_f64(),
+                });
+                store_file = Some(target);
             }
-            let written = writer
-                .finish()
-                .map_err(|e| GmarkError::io("writing graph.nt", e))?;
             if plan.eval.is_some() {
                 kept_graph = Some(graph);
             }
@@ -212,15 +285,26 @@ pub fn run<S: Sink + ?Sized>(
 
     let mut eval_summary = None;
     if let Some(spec) = &plan.eval {
-        let graph = kept_graph
-            .take()
-            .expect("validated: eval runs imply a materialized graph");
         let workload = kept_workload
             .take()
             .expect("validated: eval runs imply a workload");
+        // The engines page through a store whenever no materialized graph
+        // exists: either the one this run just built (streamed --store)
+        // or the one the plan points at (--from-store).
+        let reader = match (&kept_graph, &plan.from_store, &store_file) {
+            (Some(_), _, _) => None,
+            (None, Some(path), _) => Some(open_checked_store(path, plan)?),
+            (None, None, Some((path, _))) => Some(StoreReader::open(path)?),
+            (None, None, None) => unreachable!("validated: eval implies a graph source"),
+        };
+        let view = match (&kept_graph, &reader) {
+            (Some(g), _) => GraphView::from(g),
+            (None, Some(r)) => GraphView::from(r),
+            (None, None) => unreachable!(),
+        };
         let start = Instant::now();
-        let report = evaluate_stage(spec, &plan.graph.schema, &graph, &workload, opts.threads);
-        let rendered = render_eval_report(plan, spec, &graph, &workload, &report);
+        let report = evaluate_stage(spec, &plan.graph.schema, view, &workload, opts.threads);
+        let rendered = render_eval_report(plan, spec, view, &workload, &report);
         let mut out = sink
             .open(Artifact::EvalReport)
             .map_err(|e| GmarkError::io("opening eval.txt", e))?;
@@ -235,13 +319,29 @@ pub fn run<S: Sink + ?Sized>(
         ));
     }
 
+    // Sinks without real files receive the finished store bytes now that
+    // the evaluation stage is done paging through the scratch copy.
+    if let Some((path, true)) = &store_file {
+        let mut out = sink
+            .open(Artifact::Store)
+            .map_err(|e| GmarkError::io("opening graph.gstore", e))?;
+        let mut file =
+            File::open(path).map_err(|e| GmarkError::io("reading the scratch store", e))?;
+        std::io::copy(&mut file, &mut out)
+            .map_err(|e| GmarkError::io("writing graph.gstore", e))?;
+        out.flush()
+            .map_err(|e| GmarkError::io("flushing graph.gstore", e))?;
+        let _ = std::fs::remove_file(path);
+    }
+
     let summary = RunSummary {
         config: plan.source.clone(),
         seed: opts.graph_seed(),
         threads,
-        streamed: opts.stream && plan.outputs.graph,
+        streamed: opts.stream && (plan.outputs.graph || plan.outputs.store),
         consistency,
         graph: graph_summary,
+        store: store_summary,
         workload: workload_summary,
         eval: eval_summary,
     };
@@ -275,6 +375,13 @@ pub struct RunArtifacts {
 /// count — only the serialization step is skipped.
 pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, GmarkError> {
     plan.validate()?;
+    if plan.outputs.store || plan.from_store.is_some() {
+        return Err(GmarkError::Plan(
+            "the in-memory API does not handle on-disk stores (store output / \
+             from_store): use run() with a sink"
+                .to_owned(),
+        ));
+    }
     let consistency = consistency_findings(plan);
     let gen_opts = opts.generator_options();
     let threads = gen_opts.effective_threads();
@@ -325,7 +432,13 @@ pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, 
             .as_ref()
             .expect("validated: eval runs imply a workload");
         let start = Instant::now();
-        let report = evaluate_stage(spec, &plan.graph.schema, g, w, opts.threads);
+        let report = evaluate_stage(
+            spec,
+            &plan.graph.schema,
+            GraphView::from(g),
+            w,
+            opts.threads,
+        );
         eval_summary = Some(eval_run_summary(
             spec,
             &report,
@@ -345,6 +458,7 @@ pub fn run_in_memory(plan: &RunPlan, opts: &RunOptions) -> Result<RunArtifacts, 
             streamed: false,
             consistency,
             graph: graph_summary,
+            store: None,
             workload: workload_summary,
             eval: eval_summary,
         },
@@ -362,19 +476,68 @@ fn effective_workload_config(plan: &RunPlan, opts: &RunOptions) -> WorkloadConfi
     wcfg
 }
 
+/// The store header metadata for one plan + option set: everything a
+/// [`StoreReader`] needs to validate and serve the file without the
+/// generating configuration. A pure function of `(config, seed)` — the
+/// reason store bytes are reproducible across pipelines and thread
+/// counts.
+fn store_meta(plan: &RunPlan, opts: &RunOptions) -> StoreMeta {
+    StoreMeta {
+        seed: opts.graph_seed(),
+        schema_hash: plan.graph.schema.schema_hash(),
+        page_size: DEFAULT_PAGE_SIZE,
+        predicate_names: plan.graph.schema.predicate_names(),
+        partition: TypePartition::from_counts(&plan.graph.node_counts()),
+    }
+}
+
+/// Resolves where this run's store file is written: the sink's real path
+/// when it offers one ([`Sink::local_path`]), else a uniquely named
+/// scratch temporary whose bytes are copied into the sink once the run no
+/// longer needs the file. The flag is "temporary".
+fn store_target<S: Sink + ?Sized>(sink: &S, scratch: &Path) -> (PathBuf, bool) {
+    match sink.local_path(Artifact::Store) {
+        Some(path) => (path, false),
+        None => {
+            static NEXT: AtomicU64 = AtomicU64::new(0);
+            let n = NEXT.fetch_add(1, Ordering::Relaxed);
+            (
+                scratch.join(format!(".gmark-store-{}-{n}.tmp", std::process::id())),
+                true,
+            )
+        }
+    }
+}
+
+/// Opens an existing store for `from_store`, refusing one generated from
+/// a different schema before any engine touches it.
+fn open_checked_store(path: &Path, plan: &RunPlan) -> Result<StoreReader, GmarkError> {
+    let reader = StoreReader::open(path)?;
+    let expected = plan.graph.schema.schema_hash();
+    if reader.schema_hash() != expected {
+        return Err(StoreError::SchemaMismatch {
+            path: path.to_path_buf(),
+            expected,
+            found: reader.schema_hash(),
+        }
+        .into());
+    }
+    Ok(reader)
+}
+
 /// Runs the evaluation matrix for a plan's [`EvalSpec`]: one shared
-/// [`EvalContext`] over the graph, every (query × engine) cell through
-/// the parallel harness. Rendering is separate
-/// ([`render_eval_report`]) so the in-memory path pays nothing for text
-/// it would discard.
+/// [`EvalContext`] over the graph view — in-memory CSR or paged store,
+/// the engines cannot tell — every (query × engine) cell through the
+/// parallel harness. Rendering is separate ([`render_eval_report`]) so
+/// the in-memory path pays nothing for text it would discard.
 fn evaluate_stage(
     spec: &EvalSpec,
     schema: &gmark_core::schema::Schema,
-    graph: &Graph,
+    view: GraphView<'_>,
     workload: &Workload,
     threads: usize,
 ) -> EvalReport {
-    let ctx = EvalContext::new(graph);
+    let ctx = EvalContext::new(view);
     let queries: Vec<&gmark_core::query::Query> =
         workload.queries.iter().map(|gq| &gq.query).collect();
     evaluate_matrix_with_schema(
@@ -399,7 +562,7 @@ fn evaluate_stage(
 fn render_eval_report(
     plan: &RunPlan,
     spec: &EvalSpec,
-    graph: &Graph,
+    view: GraphView<'_>,
     workload: &Workload,
     report: &EvalReport,
 ) -> String {
@@ -416,8 +579,8 @@ fn render_eval_report(
     let _ = writeln!(
         rendered,
         "graph: {} nodes, {} edges",
-        graph.node_count(),
-        graph.edge_count()
+        view.node_count(),
+        view.edge_count()
     );
     let engine_names: Vec<&str> = spec.engines.iter().map(|k| k.name()).collect();
     let _ = writeln!(rendered, "engines: {}", engine_names.join(" "));
@@ -617,7 +780,7 @@ mod tests {
     }
 
     #[test]
-    fn eval_rejects_the_streamed_pipeline() {
+    fn eval_rejects_the_streamed_pipeline_without_a_store() {
         let plan = RunPlan::builder(usecases::bib())
             .nodes(200)
             .workload(WorkloadConfig::new(2))
@@ -630,7 +793,174 @@ mod tests {
             &mut MemorySink::new(),
         )
         .unwrap_err();
-        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+        match err {
+            GmarkError::Plan(msg) => {
+                assert!(
+                    msg.contains("--store"),
+                    "should point at the store path: {msg}"
+                )
+            }
+            other => panic!("wrong variant: {other}"),
+        }
+    }
+
+    #[test]
+    fn store_bytes_are_identical_across_thread_counts_and_pipelines() {
+        let plan = RunPlan::builder(usecases::bib())
+            .nodes(400)
+            .store()
+            .build()
+            .unwrap();
+        // Materialized T=1 is the baseline…
+        let baseline = {
+            let mut sink = MemorySink::new();
+            let summary = run(&plan, &RunOptions::with_seed(11).threads(1), &mut sink).unwrap();
+            let s = summary.store.as_ref().expect("store summary present");
+            let bytes = sink.bytes(Artifact::Store).unwrap();
+            assert_eq!(bytes.len() as u64, s.bytes);
+            assert!(s.edges > 0);
+            bytes
+        };
+        // …and the streamed (spooled) pipeline must reproduce it byte for
+        // byte at every thread count, as must a parallel materialized run.
+        for threads in [1usize, 2, 8] {
+            let mut sink = MemorySink::new();
+            run(
+                &plan,
+                &RunOptions::with_seed(11).threads(threads).stream(true),
+                &mut sink,
+            )
+            .unwrap();
+            assert_eq!(
+                sink.bytes(Artifact::Store).unwrap(),
+                baseline,
+                "streamed store bytes differ at {threads} threads"
+            );
+        }
+        let mut sink = MemorySink::new();
+        run(&plan, &RunOptions::with_seed(11).threads(4), &mut sink).unwrap();
+        assert_eq!(sink.bytes(Artifact::Store).unwrap(), baseline);
+    }
+
+    /// The `"eval":…` suffix of `summary.json` — the byte-compared object
+    /// (it is the last key, so the suffix is well-defined).
+    fn eval_json(sink: &MemorySink) -> String {
+        let json = String::from_utf8(sink.bytes(Artifact::Summary).unwrap()).unwrap();
+        let start = json.find("\"eval\":").unwrap();
+        json[start..].to_owned()
+    }
+
+    #[test]
+    fn paged_evaluation_is_byte_identical_to_in_memory() {
+        let spec = EvalSpec {
+            budget_ms: 0, // deterministic regime
+            max_tuples: 200_000,
+            ..EvalSpec::default()
+        };
+        let in_memory_plan = RunPlan::builder(usecases::bib())
+            .nodes(300)
+            .workload(WorkloadConfig::new(3))
+            .eval(spec.clone())
+            .build()
+            .unwrap();
+        let (baseline_eval, baseline_json) = {
+            let mut sink = MemorySink::new();
+            run(&in_memory_plan, &RunOptions::with_seed(7), &mut sink).unwrap();
+            (sink.bytes(Artifact::EvalReport).unwrap(), eval_json(&sink))
+        };
+        // Streamed + store: the engines page through the store file and
+        // must produce the same eval.txt and `eval` summary object.
+        let paged_plan = RunPlan::builder(usecases::bib())
+            .nodes(300)
+            .workload(WorkloadConfig::new(3))
+            .store()
+            .eval(spec)
+            .build()
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let mut sink = MemorySink::new();
+            let summary = run(
+                &paged_plan,
+                &RunOptions::with_seed(7).threads(threads).stream(true),
+                &mut sink,
+            )
+            .unwrap();
+            assert!(summary.store.is_some());
+            assert_eq!(
+                sink.bytes(Artifact::EvalReport).unwrap(),
+                baseline_eval,
+                "paged eval.txt differs at {threads} threads"
+            );
+            assert_eq!(
+                eval_json(&sink),
+                baseline_json,
+                "paged eval summary differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn from_store_reproduces_the_in_memory_eval_report() {
+        let spec = EvalSpec {
+            budget_ms: 0,
+            max_tuples: 200_000,
+            ..EvalSpec::default()
+        };
+        // Build a store on disk with a DirSink (the in-place write path).
+        let dir =
+            std::env::temp_dir().join(format!("gmark-from-store-test-{}", std::process::id()));
+        let store_plan = RunPlan::builder(usecases::bib())
+            .nodes(300)
+            .store()
+            .build()
+            .unwrap();
+        let mut dir_sink = DirSink::new(&dir).unwrap();
+        run(&store_plan, &RunOptions::with_seed(7), &mut dir_sink).unwrap();
+        let store_path = dir.join("graph.gstore");
+        assert!(store_path.exists(), "DirSink writes the store in place");
+
+        let baseline = {
+            let plan = RunPlan::builder(usecases::bib())
+                .nodes(300)
+                .workload(WorkloadConfig::new(3))
+                .eval(spec.clone())
+                .build()
+                .unwrap();
+            let mut sink = MemorySink::new();
+            run(&plan, &RunOptions::with_seed(7), &mut sink).unwrap();
+            sink.bytes(Artifact::EvalReport).unwrap()
+        };
+        let plan = RunPlan::builder(usecases::bib())
+            .nodes(300)
+            .workload(WorkloadConfig::new(3))
+            .eval(spec.clone())
+            .from_store(&store_path)
+            .build()
+            .unwrap();
+        let mut sink = MemorySink::new();
+        let summary = run(&plan, &RunOptions::with_seed(7), &mut sink).unwrap();
+        assert!(summary.graph.is_none(), "no graph was generated");
+        assert!(summary.store.is_none(), "no store was written");
+        assert_eq!(sink.bytes(Artifact::EvalReport).unwrap(), baseline);
+
+        // A store from a different schema is refused before any engine
+        // runs.
+        let mismatched = RunPlan::builder(usecases::lsn())
+            .nodes(300)
+            .workload(WorkloadConfig::new(3))
+            .eval(spec)
+            .from_store(&store_path)
+            .build()
+            .unwrap();
+        let err = run(
+            &mismatched,
+            &RunOptions::with_seed(7),
+            &mut MemorySink::new(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GmarkError::Store(_)), "{err}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,14 +33,23 @@ pub struct OutputSelection {
     /// [`Artifact::WORKLOAD`](crate::run::Artifact::WORKLOAD) documents).
     /// Requires the plan to carry a workload configuration.
     pub workload: bool,
+    /// Also write the graph as an on-disk paged store
+    /// ([`Artifact::Store`](crate::run::Artifact), the CLI's `--store`).
+    /// Store bytes are a pure function of the configuration and seed —
+    /// identical at every thread count and in both the materialized and
+    /// streamed pipelines. Combined with streaming, this is the
+    /// beyond-RAM path: the evaluation stage pages through the store
+    /// instead of an in-memory graph.
+    pub store: bool,
 }
 
 impl Default for OutputSelection {
-    /// Everything the plan can produce.
+    /// Everything a plan produces by default — the store is opt-in.
     fn default() -> Self {
         OutputSelection {
             graph: true,
             workload: true,
+            store: false,
         }
     }
 }
@@ -111,8 +120,18 @@ pub struct RunPlan {
     /// Which artifacts to produce.
     pub outputs: OutputSelection,
     /// The evaluation stage, when the workload should also be *run*
-    /// against the graph (requires both graph and workload outputs).
+    /// against the graph (requires the workload output plus a graph
+    /// source: the materialized graph, a store output, or
+    /// [`RunPlan::from_store`]).
     pub eval: Option<EvalSpec>,
+    /// Evaluate against an existing on-disk store (the CLI's
+    /// `--from-store`) instead of generating a graph: the evaluation
+    /// stage pages through this file via
+    /// [`StoreReader`](gmark_store::StoreReader). Requires an [`EvalSpec`]
+    /// and replaces graph generation (graph and store outputs must be
+    /// off). The store's recorded schema hash must match the plan's
+    /// schema.
+    pub from_store: Option<PathBuf>,
     /// The configuration file this plan came from, when it came from one
     /// (recorded in the report).
     pub source: Option<PathBuf>,
@@ -129,10 +148,12 @@ impl RunPlan {
             outputs: OutputSelection {
                 graph: true,
                 workload: parsed.workload.is_some(),
+                store: false,
             },
             graph: parsed.graph,
             workload: parsed.workload,
             eval: None,
+            from_store: None,
             source: None,
         })
     }
@@ -147,10 +168,12 @@ impl RunPlan {
             outputs: OutputSelection {
                 graph: true,
                 workload: parsed.workload.is_some(),
+                store: false,
             },
             graph: parsed.graph,
             workload: parsed.workload,
             eval: None,
+            from_store: None,
             source: Some(path.to_path_buf()),
         })
     }
@@ -163,6 +186,7 @@ impl RunPlan {
             workload: None,
             outputs: OutputSelection::default(),
             eval: None,
+            from_store: None,
         }
     }
 
@@ -182,16 +206,38 @@ impl RunPlan {
                     .to_owned(),
             ));
         }
-        if !self.outputs.graph && !self.outputs.workload {
+        if self.from_store.is_some() {
+            if self.outputs.graph || self.outputs.store {
+                return Err(GmarkError::Plan(
+                    "from_store replaces graph generation: disable the graph and \
+                     store outputs when evaluating an existing store"
+                        .to_owned(),
+                ));
+            }
+            if self.eval.is_none() {
+                return Err(GmarkError::Plan(
+                    "from_store is only consumed by the evaluation stage (add --eval)".to_owned(),
+                ));
+            }
+        }
+        if !self.outputs.graph
+            && !self.outputs.workload
+            && !self.outputs.store
+            && self.from_store.is_none()
+        {
             return Err(GmarkError::Plan(
-                "nothing to generate: both graph and workload outputs are disabled".to_owned(),
+                "nothing to generate: graph, store, and workload outputs are all disabled"
+                    .to_owned(),
             ));
         }
         if let Some(spec) = &self.eval {
-            if !self.outputs.graph || !self.outputs.workload {
+            let has_graph_source =
+                self.outputs.graph || self.outputs.store || self.from_store.is_some();
+            if !has_graph_source || !self.outputs.workload {
                 return Err(GmarkError::Plan(
-                    "evaluation requires both the graph and the workload \
-                     (drop --queries-only / enable both outputs)"
+                    "evaluation requires the workload plus a graph source: the \
+                     materialized graph, an on-disk store output (--store), or an \
+                     existing store (--from-store)"
                         .to_owned(),
                 ));
             }
@@ -235,6 +281,7 @@ pub struct RunPlanBuilder {
     workload: Option<WorkloadConfig>,
     outputs: OutputSelection,
     eval: Option<EvalSpec>,
+    from_store: Option<PathBuf>,
 }
 
 impl RunPlanBuilder {
@@ -256,6 +303,22 @@ impl RunPlanBuilder {
     /// output.
     pub fn eval(mut self, spec: EvalSpec) -> RunPlanBuilder {
         self.eval = Some(spec);
+        self
+    }
+
+    /// Also write the graph as an on-disk paged store (the CLI's
+    /// `--store`). See [`OutputSelection::store`].
+    pub fn store(mut self) -> RunPlanBuilder {
+        self.outputs.store = true;
+        self
+    }
+
+    /// Evaluate against an existing on-disk store instead of generating a
+    /// graph (the CLI's `--from-store`): disables the graph output and
+    /// records the store path. Requires [`RunPlanBuilder::eval`].
+    pub fn from_store(mut self, path: impl Into<PathBuf>) -> RunPlanBuilder {
+        self.outputs.graph = false;
+        self.from_store = Some(path.into());
         self
     }
 
@@ -287,13 +350,16 @@ impl RunPlanBuilder {
                 // workload documents — mirroring the CLI, where a config
                 // without <workload> still runs.
                 workload: self.outputs.workload && has_workload,
+                store: self.outputs.store,
             },
             eval: self.eval,
+            from_store: self.from_store,
             source: None,
         };
         // queries_only without a workload is the one combination that
         // cannot be softened into "produce less".
-        if !plan.outputs.graph && !has_workload {
+        if !plan.outputs.graph && !plan.outputs.store && plan.from_store.is_none() && !has_workload
+        {
             return Err(GmarkError::Plan(
                 "queries_only requires a workload configuration".to_owned(),
             ));
@@ -429,6 +495,58 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(plan.eval.as_ref().unwrap().letters(), "PGSD");
+    }
+
+    #[test]
+    fn store_output_and_from_store_validate() {
+        // --store rides along with any generating plan.
+        let plan = RunPlan::builder(usecases::bib()).store().build().unwrap();
+        assert!(plan.outputs.store && plan.outputs.graph);
+
+        // A store can even be the only output.
+        let mut plan = RunPlan::builder(usecases::bib()).store().build().unwrap();
+        plan.outputs.graph = false;
+        plan.validate().unwrap();
+
+        // from_store without an eval stage: rejected (nothing would read it).
+        let err = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .from_store("g.gstore")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+
+        // from_store combined with generation outputs: rejected.
+        let mut plan = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .eval(EvalSpec::default())
+            .build()
+            .unwrap();
+        plan.from_store = Some("g.gstore".into());
+        let err = plan.validate().unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+
+        // The well-formed from_store evaluation plan builds.
+        let plan = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .eval(EvalSpec::default())
+            .from_store("g.gstore")
+            .build()
+            .unwrap();
+        assert!(!plan.outputs.graph);
+        assert_eq!(
+            plan.from_store.as_deref(),
+            Some(std::path::Path::new("g.gstore"))
+        );
+
+        // Store output + eval (the beyond-RAM combination) builds too.
+        let plan = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .store()
+            .eval(EvalSpec::default())
+            .build()
+            .unwrap();
+        assert!(plan.outputs.store);
     }
 
     #[test]

@@ -25,6 +25,10 @@ use std::sync::{Arc, Mutex};
 pub enum Artifact {
     /// The graph instance as N-Triples (`graph.nt`).
     Graph,
+    /// The graph instance as an on-disk paged store (`graph.gstore`):
+    /// the binary CSR format the evaluation engines can page through
+    /// without materializing the graph (see [`gmark_store::StoreReader`]).
+    Store,
     /// The workload in the paper's rule notation (`workload.txt`).
     Rules,
     /// The workload as SPARQL 1.1 (`workload.sparql`).
@@ -61,6 +65,7 @@ impl Artifact {
     pub fn file_name(self) -> &'static str {
         match self {
             Artifact::Graph => "graph.nt",
+            Artifact::Store => "graph.gstore",
             Artifact::Rules => "workload.txt",
             Artifact::Sparql => "workload.sparql",
             Artifact::Cypher => "workload.cypher",
@@ -98,6 +103,17 @@ pub trait Sink {
     /// pipeline's temporary shard files. `None` (the default) falls back
     /// to [`std::env::temp_dir`].
     fn scratch_dir(&self) -> Option<PathBuf> {
+        None
+    }
+
+    /// A stable on-disk path for one artifact, when the sink can offer
+    /// one. The paged store ([`Artifact::Store`]) is written with
+    /// positioned file I/O and read back by the evaluation stage, so the
+    /// pipeline writes it directly to this path when available; sinks
+    /// without real files (memory, null) return `None` (the default) and
+    /// receive the finished bytes through [`Sink::open`] instead.
+    fn local_path(&self, artifact: Artifact) -> Option<PathBuf> {
+        let _ = artifact;
         None
     }
 
@@ -159,6 +175,12 @@ impl Sink for DirSink {
     /// copy.
     fn scratch_dir(&self) -> Option<PathBuf> {
         Some(self.dir.clone())
+    }
+
+    /// Every artifact has a real file here — the store is written in
+    /// place, never staged through scratch.
+    fn local_path(&self, artifact: Artifact) -> Option<PathBuf> {
+        Some(self.dir.join(artifact.file_name()))
     }
 
     fn finish(&mut self, summary: &RunSummary) -> io::Result<()> {
@@ -276,6 +298,7 @@ mod tests {
     #[test]
     fn artifact_file_names_cover_the_cli_layout() {
         assert_eq!(Artifact::Graph.file_name(), "graph.nt");
+        assert_eq!(Artifact::Store.file_name(), "graph.gstore");
         assert_eq!(Artifact::WORKLOAD.len(), 5);
         assert_eq!(Artifact::WORKLOAD[0].file_name(), "workload.txt");
         assert_eq!(Artifact::WORKLOAD[4].file_name(), "workload.datalog");

@@ -29,6 +29,10 @@ pub struct RunSummary {
     pub consistency: Vec<String>,
     /// Graph-instance outcome; `None` when the plan skipped the graph.
     pub graph: Option<GraphRunSummary>,
+    /// On-disk paged store outcome; `None` when the plan had no store
+    /// output. (Evaluating an existing store via `from_store` does not
+    /// set this — nothing was written.)
+    pub store: Option<StoreRunSummary>,
     /// Workload outcome; `None` when the plan had no workload output.
     pub workload: Option<WorkloadRunSummary>,
     /// Evaluation outcome; `None` when the plan had no `--eval` stage.
@@ -50,6 +54,21 @@ pub struct GraphRunSummary {
     /// Per-constraint generation outcomes, in declaration order.
     pub constraints: Vec<ConstraintReport>,
     /// Wall-clock generation + serialization time.
+    pub seconds: f64,
+}
+
+/// The on-disk paged store's slice of a [`RunSummary`] (the `--store`
+/// output). Everything but `seconds` is a pure function of the
+/// configuration and seed.
+#[derive(Debug, Clone)]
+pub struct StoreRunSummary {
+    /// Total store file size in bytes.
+    pub bytes: u64,
+    /// Page size of the store file.
+    pub page_size: u32,
+    /// Deduplicated edges recorded in the store.
+    pub edges: u64,
+    /// Wall-clock store build time (report/banner only).
     pub seconds: f64,
 }
 
@@ -173,6 +192,13 @@ impl RunSummary {
                 let _ = writeln!(rep, "graph: skipped (--queries-only)");
             }
         }
+        if let Some(s) = &self.store {
+            let _ = writeln!(
+                rep,
+                "store: {} edges, {} bytes (page size {}) in {:.3}s",
+                s.edges, s.bytes, s.page_size, s.seconds
+            );
+        }
         if self.consistency.is_empty() {
             let _ = writeln!(rep, "consistency check: ok");
         }
@@ -251,6 +277,12 @@ impl RunSummary {
             None => out.push_str("null"),
         }
         out.push(',');
+        push_key(&mut out, "store");
+        match &self.store {
+            Some(s) => s.write_json(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push(',');
         push_key(&mut out, "workload");
         match &self.workload {
             Some(w) => w.write_json(&mut out),
@@ -280,6 +312,13 @@ impl std::fmt::Display for RunSummary {
                 self.threads,
                 if self.threads > 1 { "s" } else { "" },
                 if self.streamed { ", streamed" } else { "" }
+            )?;
+        }
+        if let Some(s) = &self.store {
+            writeln!(
+                f,
+                "store: {} edges -> graph.gstore ({} bytes, page size {}, {:.3}s)",
+                s.edges, s.bytes, s.page_size, s.seconds
             )?;
         }
         if let Some(w) = &self.workload {
@@ -346,6 +385,24 @@ impl GraphRunSummary {
             );
         }
         out.push(']');
+        out.push('}');
+    }
+}
+
+impl StoreRunSummary {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        push_key(out, "bytes");
+        let _ = write!(out, "{}", self.bytes);
+        out.push(',');
+        push_key(out, "page_size");
+        let _ = write!(out, "{}", self.page_size);
+        out.push(',');
+        push_key(out, "edges");
+        let _ = write!(out, "{}", self.edges);
+        out.push(',');
+        push_key(out, "seconds");
+        let _ = write!(out, "{:.6}", self.seconds);
         out.push('}');
     }
 }
@@ -558,6 +615,12 @@ mod tests {
                 }],
                 seconds: 0.25,
             }),
+            store: Some(StoreRunSummary {
+                bytes: 65_536,
+                page_size: 8192,
+                edges: 300,
+                seconds: 0.05,
+            }),
             workload: Some(WorkloadRunSummary {
                 seed: 42,
                 produced: 12,
@@ -650,12 +713,30 @@ mod tests {
     fn skipped_halves_serialize_as_null() {
         let mut s = sample();
         s.graph = None;
+        s.store = None;
         s.workload = None;
         s.eval = None;
         let json = s.to_json();
         assert!(json.contains("\"graph\":null"), "{json}");
+        assert!(json.contains("\"store\":null"), "{json}");
         assert!(json.contains("\"workload\":null"), "{json}");
         assert!(json.contains("\"eval\":null"), "{json}");
+    }
+
+    #[test]
+    fn store_slice_serializes_and_reports() {
+        let json = sample().to_json();
+        assert!(
+            json.contains("\"store\":{\"bytes\":65536,\"page_size\":8192,\"edges\":300"),
+            "{json}"
+        );
+        let rep = sample().render_report();
+        assert!(
+            rep.contains("store: 300 edges, 65536 bytes (page size 8192)"),
+            "{rep}"
+        );
+        let banner = sample().to_string();
+        assert!(banner.contains("graph.gstore"), "{banner}");
     }
 
     #[test]
