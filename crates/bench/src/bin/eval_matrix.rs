@@ -12,12 +12,16 @@
 //! ```sh
 //! cargo run -p gmark-bench --release --bin eval_matrix -- \
 //!     [--nodes N] [--queries Q] [--threads T] [--budget-ms MS] \
-//!     [--max-tuples N] [--seed S] [--no-plan]
+//!     [--max-tuples N] [--seed S] [--no-plan] [--no-eval-cache]
 //! ```
 //!
 //! `--no-plan` disables the schema-statistics query planner, so
 //! `bench.sh` can record a planner-on vs planner-off pair per thread
 //! count; each JSON row carries a `"plan"` field naming its regime.
+//! `--no-eval-cache` likewise disables the cross-cell sub-expression
+//! result cache, and each row carries a `"cache"` field plus the cache's
+//! hit/miss/rejected counters (zeros when disabled), so the cached vs
+//! uncached row pair pins the cache's contribution across PRs.
 
 use gmark_bench::{append_bench_json, build_graph, peak_rss_kb, take_flag_value};
 use gmark_core::query::Query;
@@ -37,6 +41,7 @@ struct Args {
     max_tuples: usize,
     seed: u64,
     plan: bool,
+    cache: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         max_tuples: 2_000_000,
         seed: 0x9A9E_2017,
         plan: true,
+        cache: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -65,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?,
             "--no-plan" => args.plan = false,
+            "--no-eval-cache" => args.cache = false,
             other => return Err(format!("unknown argument: {other}")),
         }
         i += 1;
@@ -120,21 +127,41 @@ fn main() {
         &budget,
         &MatrixOptions {
             threads: args.threads,
-            warm_runs: 0,
             plan: args.plan,
+            cache_mb: if args.cache {
+                MatrixOptions::DEFAULT_CACHE_MB
+            } else {
+                0
+            },
+            ..MatrixOptions::default()
         },
     );
     let seconds = started.elapsed().as_secs_f64();
     let totals = report.totals();
     let cells_per_s = totals.cells as f64 / seconds.max(1e-9);
 
+    // The cache's counters ride along in the row: a hit-rate collapse in
+    // a future PR shows up in BENCH_eval.json even if cells/s masks it.
+    let (hits, misses, rejected) = report
+        .cache
+        .as_ref()
+        .map(|c| (c.hits, c.misses, c.rejected))
+        .unwrap_or((0, 0, 0));
+    let hit_rate = if hits + misses > 0 {
+        hits as f64 / (hits + misses) as f64
+    } else {
+        0.0
+    };
+
     println!(
-        "eval_matrix: bib n={} q={} engines=PGSD threads={} plan={} -> {} cells in {seconds:.3}s \
-         ({cells_per_s:.0} cells/s; {} ok, {} timeout, {} too-large)",
+        "eval_matrix: bib n={} q={} engines=PGSD threads={} plan={} cache={} -> {} cells in \
+         {seconds:.3}s ({cells_per_s:.0} cells/s; {} ok, {} timeout, {} too-large; \
+         {hits} hits / {misses} misses, {rejected} rejected)",
         args.nodes,
         args.queries,
         args.threads,
         if args.plan { "on" } else { "off" },
+        if args.cache { "on" } else { "off" },
         totals.cells,
         totals.ok,
         totals.timeout,
@@ -147,7 +174,8 @@ fn main() {
     let row = format!(
         "{{\"bench\":\"eval_matrix\",\"scenario\":\"bib\",\"nodes\":{},\"queries\":{},\
          \"engines\":\"PGSD\",\"threads\":{},\"budget_ms\":{},\"max_tuples\":{},\
-         \"plan\":{},\"cells\":{},\
+         \"plan\":{},\"cache\":{},\"cache_hits\":{hits},\"cache_misses\":{misses},\
+         \"cache_rejected\":{rejected},\"cache_hit_rate\":{hit_rate:.3},\"cells\":{},\
          \"seconds\":{seconds:.6},\"cells_per_s\":{cells_per_s:.1},\"ok\":{},\
          \"timeout\":{},\"too_large\":{},\"peak_rss_kb\":{rss}}}",
         args.nodes,
@@ -156,6 +184,7 @@ fn main() {
         args.budget_ms,
         args.max_tuples,
         args.plan,
+        args.cache,
         totals.cells,
         totals.ok,
         totals.timeout,

@@ -35,7 +35,7 @@ fn main() {
     let matrix_opts = MatrixOptions {
         threads: opts.threads,
         warm_runs: 0,
-        plan: true,
+        ..MatrixOptions::default()
     };
 
     println!("Fig. 11: measured |E| vs fitted theoretical |Q| = beta*n^alpha (Bib)");

@@ -114,8 +114,10 @@ fn shared_workload(queries: usize, seed: u64) -> Workload {
     workload
 }
 
-/// Runs one full matrix pass and appends a `BENCH_store.json` row.
-fn matrix_pass(ctx: &EvalContext<'_>, args: &Args, mode_label: &str) {
+/// Runs one full matrix pass, appends a `BENCH_store.json` row, and
+/// returns the pass's cells/s so the paged mode can assert its
+/// warm-vs-cold ordering.
+fn matrix_pass(ctx: &EvalContext<'_>, args: &Args, mode_label: &str) -> f64 {
     let workload = shared_workload(args.queries, args.seed);
     let queries: Vec<&Query> = workload.queries.iter().map(|gq| &gq.query).collect();
     let budget = CellBudget {
@@ -132,8 +134,7 @@ fn matrix_pass(ctx: &EvalContext<'_>, args: &Args, mode_label: &str) {
         &budget,
         &MatrixOptions {
             threads: args.threads,
-            warm_runs: 0,
-            plan: true,
+            ..MatrixOptions::default()
         },
     );
     let seconds = started.elapsed().as_secs_f64();
@@ -170,6 +171,7 @@ fn matrix_pass(ctx: &EvalContext<'_>, args: &Args, mode_label: &str) {
     if let Err(e) = append_bench_json(&row) {
         eprintln!("store_sweep: writing bench row: {e}");
     }
+    cells_per_s
 }
 
 fn main() {
@@ -238,8 +240,20 @@ fn main() {
             // context, both caches hot. Same process, so the two rows
             // share one VmHWM peak.
             let ctx = EvalContext::new(&reader);
-            matrix_pass(&ctx, &args, "paged_cold");
-            matrix_pass(&ctx, &args, "paged_warm");
+            let cold = matrix_pass(&ctx, &args, "paged_cold");
+            let warm = matrix_pass(&ctx, &args, "paged_warm");
+            // The warm pass reuses the cold pass's page cache, relation
+            // cache, and expression cache — it must not be slower. A
+            // regression here means the read path is doing warm-path work
+            // per hit (the PR-7 pinned-page accounting bug); flag it
+            // loudly rather than letting the rows drift apart silently.
+            if warm < cold {
+                eprintln!(
+                    "store_sweep: WARNING: paged_warm ({warm:.1} cells/s) slower than \
+                     paged_cold ({cold:.1} cells/s) — warm-path regression in the store \
+                     read path"
+                );
+            }
         }
         Mode::InRam => {
             let schema = usecases::bib();

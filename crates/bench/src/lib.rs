@@ -226,7 +226,7 @@ impl HarnessOptions {
         MatrixOptions {
             threads: self.threads,
             warm_runs: self.warm_runs(),
-            plan: true,
+            ..MatrixOptions::default()
         }
     }
 }

@@ -16,6 +16,7 @@
 //! keeps recursive closures incremental — the architectural reason `D`
 //! outlives `P`/`S` on Table 4's quadratic recursive query.
 
+use crate::relations::Relation;
 use crate::{Answers, Budget, Engine, EvalError};
 use gmark_core::query::{PathExpr, Query, RegularExpr};
 use gmark_store::{GraphView, NodeId};
@@ -154,9 +155,32 @@ pub fn semi_naive_over(
     edb: &Database,
     budget: &Budget,
 ) -> Result<Database, EvalError> {
+    let mut idb = Database::new();
     // IDB predicates = heads of rules.
     let idb_preds: FxHashSet<usize> = program.rules.iter().map(|r| r.head.pred).collect();
-    let mut idb = Database::new();
+
+    // Predicates whose every defining rule has an IDB-free body are
+    // complete after round 0 (the `<p>_step` predicates of closure
+    // translations). Against such a stable right side, a linear-recursion
+    // delta rule `p(X,Y) :- p(X,Z), step(Z,Y)` is exactly a sorted
+    // compose — the same kernel the relational path runs — instead of a
+    // hash join.
+    let mut rules_of: FxHashMap<usize, Vec<&DlRule>> = FxHashMap::default();
+    for rule in &program.rules {
+        rules_of.entry(rule.head.pred).or_default().push(rule);
+    }
+    let stable_after_round0 = |p: usize| {
+        rules_of.get(&p).is_none_or(|rs| {
+            rs.iter()
+                .all(|r| r.body.iter().all(|a| !idb_preds.contains(&a.pred)))
+        })
+    };
+    let rec_step: Vec<Option<usize>> = program
+        .rules
+        .iter()
+        .map(|r| linear_recursion_step(r).filter(|&s| stable_after_round0(s)))
+        .collect();
+    let mut step_rels: FxHashMap<usize, Relation> = FxHashMap::default();
 
     // Round 0: evaluate every rule on the full (layered) database.
     // The head's EDB relation is resolved once per rule, outside the
@@ -181,7 +205,7 @@ pub fn semi_naive_over(
         budget.check_time()?;
         budget.check_size(edb.total() + idb.total())?;
         let current = std::mem::take(&mut delta);
-        for rule in &program.rules {
+        for (ri, rule) in program.rules.iter().enumerate() {
             let head_edb = edb.relations.get(&rule.head.pred);
             for (pos, atom) in rule.body.iter().enumerate() {
                 if !idb_preds.contains(&atom.pred) {
@@ -193,7 +217,31 @@ pub fn semi_naive_over(
                 if d.is_empty() {
                     continue;
                 }
-                let derived = eval_rule(rule, edb, &idb, Some((pos, d)), usize::MAX, budget)?;
+                let derived = if pos == 0 && rec_step[ri].is_some() {
+                    // Sorted-kernel fast path: Δp ∘ step.
+                    let step = rec_step[ri].expect("checked");
+                    let delta_rel = Relation::from_pairs(
+                        d.iter()
+                            .filter(|f| f.len() == 2)
+                            .map(|f| (f[0], f[1]))
+                            .collect(),
+                    );
+                    let composed = {
+                        let step_rel = step_rels.entry(step).or_insert_with(|| {
+                            Relation::from_pairs(
+                                edb.facts(step)
+                                    .chain(idb.facts(step))
+                                    .filter(|f| f.len() == 2)
+                                    .map(|f| (f[0], f[1]))
+                                    .collect(),
+                            )
+                        });
+                        delta_rel.compose(step_rel, budget)?
+                    };
+                    composed.pairs().iter().map(|&(x, y)| vec![x, y]).collect()
+                } else {
+                    eval_rule(rule, edb, &idb, Some((pos, d)), usize::MAX, budget)?
+                };
                 for fact in derived {
                     if head_edb.is_none_or(|s| !s.contains(&fact))
                         && idb.insert(rule.head.pred, fact.clone())
@@ -205,6 +253,34 @@ pub fn semi_naive_over(
         }
     }
     Ok(idb)
+}
+
+/// Recognizes the canonical linear-recursion shape
+/// `p(X, Y) :- p(X, Z), s(Z, Y)` with `X`, `Y`, `Z` distinct variables,
+/// returning the step predicate `s`. The caller still has to prove `s`
+/// stable before substituting a compose for the hash join.
+fn linear_recursion_step(rule: &DlRule) -> Option<usize> {
+    if rule.body.len() != 2 {
+        return None;
+    }
+    let [Term::Var(x), Term::Var(y)] = rule.head.args[..] else {
+        return None;
+    };
+    let rec = &rule.body[0];
+    let step = &rule.body[1];
+    if rec.pred != rule.head.pred {
+        return None;
+    }
+    let [Term::Var(rx), Term::Var(z)] = rec.args[..] else {
+        return None;
+    };
+    let [Term::Var(sz), Term::Var(sy)] = step.args[..] else {
+        return None;
+    };
+    if x == y || z == x || z == y || rx != x || sz != z || sy != y {
+        return None;
+    }
+    Some(step.pred)
 }
 
 /// Hash key over the probed argument values of an atom: packed into a
@@ -602,6 +678,15 @@ impl Engine for DatalogEngine {
         // The per-query program extends a clone of the base program (a
         // handful of interned names) while the EDB facts — the expensive
         // part — stay borrowed from the shared context.
+        //
+        // Deliberately NOT a consumer of the shared sub-expression cache:
+        // semi-naive evaluation charges the budget for auxiliary
+        // predicates and raw (pre-dedup) join products that a seeded fact
+        // set would never materialize, so a cache hit could complete a
+        // cell whose uncached evaluation reports too-large — breaking the
+        // cache's outcome-identity contract (see the context module docs).
+        // The closure-heavy cells the cache targets are served here by the
+        // sorted-kernel fast path of [`semi_naive_over`] instead.
         let (base, edb) = ctx.edb();
         let mut program = base.clone();
         let ans = append_query_rules_planned(&mut program, query, plan);

@@ -3,14 +3,20 @@
 //! Every engine that materializes per-conjunct binary relations (the
 //! relational and triple-store engines, and the navigational engine's
 //! binding propagation) funnels through this module: a [`BindingTable`] of
-//! rows over the variables bound so far, extended one conjunct at a time by
-//! hash join / semi-join / cartesian product depending on which of the
-//! conjunct's two variables are already bound.
+//! rows over the variables bound so far, extended one conjunct at a time.
+//! Conjunct results arrive as shared [`Relation`]s — sorted `u32` pair
+//! columns, often straight out of the sub-expression cache — so the
+//! extension kernels are search-based, not hash-based: a semi-join is a
+//! binary search per row ([`Relation::contains`]), a forward extension a
+//! sorted-run lookup ([`Relation::targets_of`]), and a backward extension
+//! one sorted `(trg, src)` copy with the same run lookup. No per-conjunct
+//! hash index is ever built.
 
+use crate::relations::Relation;
 use crate::{Budget, EvalError};
 use gmark_core::query::{Rule, Var};
 use gmark_store::NodeId;
-use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
 
 /// Rows over an ordered set of variables.
 #[derive(Debug, Clone)]
@@ -25,12 +31,14 @@ impl BindingTable {
     }
 }
 
-/// One conjunct's materialized pairs, tagged with its variables.
+/// One conjunct's materialized relation, tagged with its variables. The
+/// `Arc` makes a sub-expression cache hit free to mount here — no copy of
+/// the pair columns.
 #[derive(Debug)]
 pub(crate) struct ConjunctPairs {
     pub src: Var,
     pub trg: Var,
-    pub pairs: Vec<(NodeId, NodeId)>,
+    pub pairs: Arc<Relation>,
 }
 
 /// Joins conjuncts in the given order into a table over all body variables.
@@ -57,9 +65,10 @@ fn seed_table(c: ConjunctPairs) -> BindingTable {
         // Self-loop conjunct: keep only (v, v) pairs, one column.
         let rows = c
             .pairs
-            .into_iter()
-            .filter(|&(s, t)| s == t)
-            .map(|(s, _)| vec![s])
+            .pairs()
+            .iter()
+            .filter(|&&(s, t)| s == t)
+            .map(|&(s, _)| vec![s])
             .collect();
         BindingTable {
             vars: vec![c.src],
@@ -68,7 +77,7 @@ fn seed_table(c: ConjunctPairs) -> BindingTable {
     } else {
         BindingTable {
             vars: vec![c.src, c.trg],
-            rows: c.pairs.into_iter().map(|(s, t)| vec![s, t]).collect(),
+            rows: c.pairs.pairs().iter().map(|&(s, t)| vec![s, t]).collect(),
         }
     }
 }
@@ -80,14 +89,15 @@ fn extend_table(
 ) -> Result<BindingTable, EvalError> {
     let src_col = table.col(c.src);
     let trg_col = table.col(c.trg);
+    let rel = &*c.pairs;
     match (src_col, trg_col) {
         (Some(sc), Some(tc)) => {
-            // Semi-join: keep rows whose (src, trg) pair is in the conjunct.
-            let set: FxHashSet<(NodeId, NodeId)> = c.pairs.into_iter().collect();
+            // Binary-search semi-join: keep rows whose (src, trg) pair is
+            // in the sorted conjunct columns.
             let rows = table
                 .rows
                 .into_iter()
-                .filter(|row| set.contains(&(row[sc], row[tc])))
+                .filter(|row| rel.contains(row[sc], row[tc]))
                 .collect();
             Ok(BindingTable {
                 vars: table.vars,
@@ -95,43 +105,45 @@ fn extend_table(
             })
         }
         (Some(sc), None) => {
-            // Hash join on src; extend with trg.
-            let mut index: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
-            for (s, t) in c.pairs {
-                index.entry(s).or_default().push(t);
-            }
+            // Forward extension: each row's source selects its sorted
+            // target run directly off the pair columns.
             let mut vars = table.vars;
             vars.push(c.trg);
             let mut rows = Vec::new();
             for row in table.rows {
-                if let Some(ts) = index.get(&row[sc]) {
-                    for &t in ts {
-                        let mut r = row.clone();
-                        r.push(t);
-                        rows.push(r);
-                    }
-                    budget.check_size(rows.len())?;
+                let run = rel.targets_of(row[sc]);
+                if run.is_empty() {
+                    continue;
                 }
+                for &(_, t) in run {
+                    let mut r = row.clone();
+                    r.push(t);
+                    rows.push(r);
+                }
+                budget.check_size(rows.len())?;
             }
             Ok(BindingTable { vars, rows })
         }
         (None, Some(tc)) => {
-            let mut index: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
-            for (s, t) in c.pairs {
-                index.entry(t).or_default().push(s);
-            }
+            // Backward extension: one sorted (trg, src) copy of the
+            // columns, then the same run lookup per row.
+            let mut rev: Vec<(NodeId, NodeId)> = rel.pairs().iter().map(|&(s, t)| (t, s)).collect();
+            rev.sort_unstable();
             let mut vars = table.vars;
             vars.push(c.src);
             let mut rows = Vec::new();
             for row in table.rows {
-                if let Some(ss) = index.get(&row[tc]) {
-                    for &s in ss {
-                        let mut r = row.clone();
-                        r.push(s);
-                        rows.push(r);
-                    }
-                    budget.check_size(rows.len())?;
+                let lo = rev.partition_point(|&(t, _)| t < row[tc]);
+                let hi = lo + rev[lo..].partition_point(|&(t, _)| t == row[tc]);
+                if lo == hi {
+                    continue;
                 }
+                for &(_, s) in &rev[lo..hi] {
+                    let mut r = row.clone();
+                    r.push(s);
+                    rows.push(r);
+                }
+                budget.check_size(rows.len())?;
             }
             Ok(BindingTable { vars, rows })
         }
@@ -145,7 +157,7 @@ fn extend_table(
             }
             let mut rows = Vec::new();
             for row in &table.rows {
-                for &(s, t) in &c.pairs {
+                for &(s, t) in rel.pairs() {
                     if self_loop && s != t {
                         continue;
                     }
@@ -206,7 +218,7 @@ mod tests {
         ConjunctPairs {
             src: Var(src),
             trg: Var(trg),
-            pairs,
+            pairs: Arc::new(Relation::from_pairs(pairs)),
         }
     }
 

@@ -47,7 +47,7 @@ pub mod relations;
 pub mod triplestore;
 
 pub use automaton::{compile_nfa, eval_rpq, Nfa};
-pub use context::{EvalContext, SymbolStats};
+pub use context::{EvalCacheStats, EvalContext, SymbolStats};
 pub use datalog::DatalogEngine;
 pub use matrix::{
     evaluate_matrix, evaluate_matrix_with_schema, CellBudget, CellOutcome, EngineKind, EvalCell,

@@ -197,6 +197,17 @@ pub struct MatrixOptions {
     /// reverts every engine to its historical declaration-order /
     /// per-engine-heuristic behavior.
     pub plan: bool,
+    /// Byte budget (MiB) of the cross-cell sub-expression result cache
+    /// ([`EvalContext::fill_expr_cache`]); `0` disables it. The cache is
+    /// filled single-threaded during warm-up — before any cell clock
+    /// starts — and cells only read it, so enabling it preserves the
+    /// thread-count determinism guarantee (see the context module docs).
+    pub cache_mb: usize,
+}
+
+impl MatrixOptions {
+    /// Default cache budget: 64 MiB of pair columns.
+    pub const DEFAULT_CACHE_MB: usize = 64;
 }
 
 impl Default for MatrixOptions {
@@ -205,6 +216,7 @@ impl Default for MatrixOptions {
             threads: 1,
             warm_runs: 0,
             plan: true,
+            cache_mb: MatrixOptions::DEFAULT_CACHE_MB,
         }
     }
 }
@@ -339,6 +351,10 @@ pub struct EvalReport {
     pub queries: usize,
     /// All cells, row-major: `cells[q * engines.len() + e]`.
     pub cells: Vec<EvalCell>,
+    /// Contents and hit accounting of the sub-expression cache, when one
+    /// was enabled for this run (`None` with `cache_mb: 0`). Deterministic
+    /// at every thread count — see [`crate::context::EvalCacheStats`].
+    pub cache: Option<crate::context::EvalCacheStats>,
 }
 
 impl EvalReport {
@@ -499,7 +515,7 @@ pub fn evaluate_matrix_with_schema(
 ) -> EvalReport {
     let cell_count = queries.len() * engines.len();
     let threads = resolve_threads(options.threads).min(cell_count.max(1));
-    warm_context(ctx, queries, engines, options.plan);
+    warm_context(ctx, queries, engines, budget, options);
 
     // One plan per query, shared by every engine column. Planning happens
     // before any cell clock starts (it is context warm-up work, not query
@@ -555,6 +571,7 @@ pub fn evaluate_matrix_with_schema(
         engines: engines.to_vec(),
         queries: queries.len(),
         cells,
+        cache: ctx.expr_cache_stats(),
     }
 }
 
@@ -566,7 +583,21 @@ pub fn evaluate_matrix_with_schema(
 /// scheduling. Warming is idempotent; only the symbols the workload
 /// actually mentions are materialized, and unselected engines' indexes
 /// stay lazy.
-fn warm_context(ctx: &EvalContext<'_>, queries: &[&Query], engines: &[EngineKind], plan: bool) {
+///
+/// When `options.cache_mb > 0` this is also where the sub-expression
+/// result cache is filled — single-threaded, deterministic enumeration
+/// (queries in order, rule by rule, conjunct by conjunct, then the
+/// cypher-degraded forms if the navigational engine is selected), one
+/// fresh cell budget per entry. Cells only ever read the cache, so its
+/// contents are fixed before the first cell clock starts.
+fn warm_context(
+    ctx: &EvalContext<'_>,
+    queries: &[&Query],
+    engines: &[EngineKind],
+    budget: &CellBudget,
+    options: &MatrixOptions,
+) {
+    let plan = options.plan;
     if engines.contains(&EngineKind::Datalog) {
         let _ = ctx.edb();
     }
@@ -580,6 +611,28 @@ fn warm_context(ctx: &EvalContext<'_>, queries: &[&Query], engines: &[EngineKind
                 }
             }
         }
+    }
+    if options.cache_mb > 0 {
+        let mut exprs: Vec<gmark_core::query::RegularExpr> = Vec::new();
+        let mut collect = |query: &Query| {
+            for rule in &query.rules {
+                for conjunct in &rule.body {
+                    exprs.push(conjunct.expr.clone());
+                }
+            }
+        };
+        for query in queries {
+            collect(query);
+        }
+        if engines.contains(&EngineKind::Navigational) {
+            // The navigational engine evaluates the degraded forms, which
+            // differ under stars; cache those shapes too.
+            for query in queries {
+                let (degraded, _) = crate::navigational::degrade_for_cypher(query);
+                collect(&degraded);
+            }
+        }
+        ctx.fill_expr_cache(&exprs, options.cache_mb, || budget.start());
     }
     if plan {
         // The planner reads per-predicate distinct-endpoint statistics;
@@ -760,8 +813,7 @@ mod tests {
                 &budget,
                 &MatrixOptions {
                     threads,
-                    warm_runs: 0,
-                    plan: true,
+                    ..MatrixOptions::default()
                 },
             );
             assert_eq!(report.render(), base.render(), "{threads} threads");
@@ -808,8 +860,7 @@ mod tests {
             &CellBudget::default(),
             &MatrixOptions {
                 threads: 3,
-                warm_runs: 0,
-                plan: true,
+                ..MatrixOptions::default()
             },
         );
         // None of the test queries is degraded, so each row agrees.
@@ -845,8 +896,7 @@ mod tests {
             &tight,
             &MatrixOptions {
                 threads: 4,
-                warm_runs: 0,
-                plan: true,
+                ..MatrixOptions::default()
             },
         );
         assert_eq!(a.render(), b.render());
@@ -921,9 +971,8 @@ mod tests {
             &EngineKind::ALL,
             &budget,
             &MatrixOptions {
-                threads: 1,
-                warm_runs: 0,
                 plan: false,
+                ..MatrixOptions::default()
             },
         );
         for (a, b) in planned.cells.iter().zip(&unplanned.cells) {

@@ -24,9 +24,11 @@
 use crate::automaton::eval_rpq_from;
 use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
+use crate::relations::Relation;
 use crate::{unpack, Answers, Budget, Engine, EvalError, QueryPlan};
 use gmark_core::query::{Conjunct, PathExpr, Query, RegularExpr, Rule, Var};
 use gmark_store::NodeId;
+use std::sync::Arc;
 
 /// See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -141,7 +143,6 @@ fn eval_rule(
     order: &[(usize, bool)],
     budget: &Budget,
 ) -> Result<crate::joiner::BindingTable, EvalError> {
-    let graph = ctx.view();
     let mut bound: Vec<Var> = Vec::new();
     let mut materialized = Vec::with_capacity(rule.body.len());
     let mut table: Option<crate::joiner::BindingTable> = None;
@@ -149,21 +150,9 @@ fn eval_rule(
     for &(ci, flip) in order {
         budget.check_time()?;
         let c = &rule.body[ci];
-        let (from, _to, expr) = if flip {
-            (
-                c.trg,
-                c.src,
-                RegularExpr {
-                    disjuncts: c.expr.disjuncts.iter().map(PathExpr::reversed).collect(),
-                    starred: c.expr.starred,
-                },
-            )
-        } else {
-            (c.src, c.trg, c.expr.clone())
-        };
-        let nfa = ctx.nfa(&expr);
+        let from = if flip { c.trg } else { c.src };
         // Seeds: the bound values of `from` if available, else all nodes.
-        let current_seeds: Vec<NodeId> = match &table {
+        let bound_seeds: Option<Vec<NodeId>> = match &table {
             Some(t) if bound.contains(&from) => {
                 let col = t.vars.iter().position(|&v| v == from).ok_or_else(|| {
                     EvalError::Internal(format!("bound variable {from} missing from table"))
@@ -171,21 +160,24 @@ fn eval_rule(
                 let mut s: Vec<NodeId> = t.rows.iter().map(|r| r[col]).collect();
                 s.sort_unstable();
                 s.dedup();
-                s
+                Some(s)
             }
-            _ => (0..graph.node_count()).collect(),
+            _ => None,
         };
-        let packed = eval_rpq_from(graph, &nfa, &current_seeds, budget)?;
-        let pairs: Vec<(NodeId, NodeId)> = if flip {
-            packed
-                .into_iter()
-                .map(|p| {
-                    let (a, b) = unpack(p);
-                    (b, a)
-                })
-                .collect()
+        // An unbound forward conjunct is a whole-expression evaluation —
+        // exactly the form the shared sub-expression cache holds (BFS
+        // from every node produces the full relation, so the hit's
+        // cardinality charge matches what navigation would have paid).
+        // Bound or flipped traversals stay seed-driven BFS: there a
+        // cached full relation would be charged where navigation only
+        // explores a subset.
+        let pairs: Arc<Relation> = if !flip && bound_seeds.is_none() {
+            match ctx.cached_expr(&c.expr, budget)? {
+                Some(hit) => hit,
+                None => navigate(ctx, c, flip, None, budget)?,
+            }
         } else {
-            packed.into_iter().map(unpack).collect()
+            navigate(ctx, c, flip, bound_seeds.as_deref(), budget)?
         };
         materialized.push(ConjunctPairs {
             src: c.src,
@@ -209,6 +201,49 @@ fn eval_rule(
         vars: Vec::new(),
         rows: vec![Vec::new()],
     }))
+}
+
+/// One conjunct's pairs by automaton BFS from `seeds` (`None` = every
+/// node), flipped conjuncts traversing their reversed expression from
+/// the target side.
+fn navigate(
+    ctx: &EvalContext<'_>,
+    c: &Conjunct,
+    flip: bool,
+    seeds: Option<&[NodeId]>,
+    budget: &Budget,
+) -> Result<Arc<Relation>, EvalError> {
+    let graph = ctx.view();
+    let expr = if flip {
+        RegularExpr {
+            disjuncts: c.expr.disjuncts.iter().map(PathExpr::reversed).collect(),
+            starred: c.expr.starred,
+        }
+    } else {
+        c.expr.clone()
+    };
+    let nfa = ctx.nfa(&expr);
+    let all: Vec<NodeId>;
+    let seeds = match seeds {
+        Some(s) => s,
+        None => {
+            all = (0..graph.node_count()).collect();
+            &all
+        }
+    };
+    let packed = eval_rpq_from(graph, &nfa, seeds, budget)?;
+    let pairs: Vec<(NodeId, NodeId)> = if flip {
+        packed
+            .into_iter()
+            .map(|p| {
+                let (a, b) = unpack(p);
+                (b, a)
+            })
+            .collect()
+    } else {
+        packed.into_iter().map(unpack).collect()
+    };
+    Ok(Arc::new(Relation::from_pairs(pairs)))
 }
 
 /// Joins two binding tables on their shared variables (hash join).

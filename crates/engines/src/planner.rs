@@ -236,12 +236,28 @@ fn plan_rule(ctx: &EvalContext<'_>, schema: Option<&Schema>, rule: &Rule, n: u12
 
 /// Estimate of one regular expression: disjuncts are summed, a star is
 /// classified (schema) or capped (graph-only) — see the module docs.
+///
+/// When the expression sits in the sub-expression result cache, the
+/// statistical model is short-circuited with the **exact** cardinality
+/// ([`EvalContext::cached_expr_len`]): the cache is filled during the
+/// same warm-up phase, before any plan is computed, so this stays a pure
+/// function of `(graph, fill list, query)` and plans remain
+/// thread-count-invariant. Distinct-endpoint counts keep their capped
+/// statistical estimates (the cache does not record them).
 fn expr_est(
     ctx: &EvalContext<'_>,
     schema: Option<&Schema>,
     expr: &RegularExpr,
     n: u128,
 ) -> ExprEst {
+    if let Some(exact) = ctx.cached_expr_len(expr) {
+        let exact = exact as u128;
+        return ExprEst {
+            pairs: exact,
+            dsrc: exact.min(n),
+            dtrg: exact.min(n),
+        };
+    }
     let mut pairs: u128 = 0;
     let mut dsrc: u128 = 0;
     let mut dtrg: u128 = 0;

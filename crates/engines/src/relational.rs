@@ -15,7 +15,6 @@
 
 use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
-use crate::relations::Relation;
 use crate::{Answers, Budget, Engine, EvalError, QueryPlan};
 use gmark_core::query::Query;
 
@@ -56,11 +55,14 @@ impl Engine for RelationalEngine {
             let mut conjuncts = Vec::with_capacity(rule.body.len());
             for &ci in &order {
                 let c = &rule.body[ci];
-                let rel = Relation::of_expr_ctx(ctx, &c.expr, budget)?;
+                // A sub-expression cache hit mounts the shared relation
+                // directly (charged its cardinality check only); a miss
+                // computes through the sorted kernels as before.
+                let rel = ctx.expr_relation(&c.expr, budget)?;
                 conjuncts.push(ConjunctPairs {
                     src: c.src,
                     trg: c.trg,
-                    pairs: rel.into_pairs(),
+                    pairs: rel,
                 });
             }
             let table = join_all(conjuncts, budget)?;

@@ -1,17 +1,46 @@
 //! Materialized binary relations: the building blocks of the relational
 //! (`P`-style) engine and of the Kleene-star fixpoints.
 //!
-//! A [`Relation`] is a sorted, deduplicated set of `(s, t)` pairs — the SQL
-//! translation's `(s, t)` CTEs made concrete. Composition is a sort-merge
-//! join, union a merge, and the star the *linear recursion* of the paper's
-//! footnote 4, evaluated semi-naively (delta-driven) so each derivation is
-//! joined only once.
+//! A [`Relation`] is a sorted, deduplicated set of compact `u32` node
+//! pairs — the SQL translation's `(s, t)` CTEs made concrete. The kernels
+//! never hash and never re-sort whole results: composition walks the
+//! left side source-run by source-run with a galloping cursor into the
+//! right side (output is emitted already sorted), union and difference
+//! are linear merges of sorted inputs, and the star is the *linear
+//! recursion* of the paper's footnote 4, evaluated semi-naively with the
+//! delta maintained as a sorted set difference. Per-source target buffers
+//! live in a per-worker scratch arena (`thread_local`) so the inner loop
+//! allocates nothing in steady state.
 
 use crate::context::EvalContext;
-use crate::{pack, Budget, EvalError};
+use crate::{Budget, EvalError};
 use gmark_core::query::{PathExpr, RegularExpr, Symbol};
 use gmark_store::{GraphView, NodeId};
-use rustc_hash::FxHashSet;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+
+thread_local! {
+    /// Per-worker scratch arena: the per-source target buffer reused by
+    /// every composition this thread runs. Steady-state compositions
+    /// allocate only their output vector.
+    static SCRATCH: RefCell<Vec<NodeId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Galloping (exponential + binary) search: the first index `>= lo` whose
+/// source is `>= t`. Precondition: every entry before `lo` has source
+/// `< t` — callers walk `t` in ascending order and feed the previous
+/// result back in, so each run lookup is `O(log gap)`, not `O(log n)`.
+fn gallop_src(pairs: &[(NodeId, NodeId)], t: NodeId, mut lo: usize) -> usize {
+    let mut step = 1usize;
+    let mut hi = lo;
+    while hi < pairs.len() && pairs[hi].0 < t {
+        lo = hi + 1;
+        hi += step;
+        step <<= 1;
+    }
+    let hi = hi.min(pairs.len());
+    lo + pairs[lo..hi].partition_point(|&(s, _)| s < t)
+}
 
 /// A sorted, deduplicated set of node pairs.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -68,70 +97,140 @@ impl Relation {
         &self.pairs
     }
 
-    /// Sort-merge composition `self ; other` = `{(s, u) | (s, t) ∈ self,
-    /// (t, u) ∈ other}`.
-    pub fn compose(&self, other: &Relation, budget: &Budget) -> Result<Relation, EvalError> {
-        // Index `other` by source: it is sorted, so groups are contiguous.
-        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
-        let o = &other.pairs;
-        for (i, &(s, t)) in self.pairs.iter().enumerate() {
-            if i % 4096 == 0 {
-                budget.check_time()?;
-            }
-            // Find other's group with source == t via binary search.
-            let lo = o.partition_point(|&(os, _)| os < t);
-            let mut j = lo;
-            while j < o.len() && o[j].0 == t {
-                out.push((s, o[j].1));
-                j += 1;
-            }
-            budget.check_size(out.len())?;
-        }
-        Ok(Relation::from_pairs(out))
+    /// Approximate heap footprint of the pair columns, in bytes (the unit
+    /// the sub-expression cache's admission budget is accounted in).
+    pub fn heap_bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<(NodeId, NodeId)>()
     }
 
-    /// Union.
+    /// Sort-merge composition `self ; other` = `{(s, u) | (s, t) ∈ self,
+    /// (t, u) ∈ other}`.
+    ///
+    /// Walks `self` one source run at a time: the run's targets are
+    /// ascending, so the matching runs of `other` are found with a
+    /// forward-only galloping cursor. The run's result targets are
+    /// deduplicated in the per-worker scratch buffer and appended — the
+    /// output is sorted by construction, so no final re-sort (and no hash
+    /// set) is ever paid. The tuple budget is charged on the *deduplicated*
+    /// output, not the raw match count.
+    pub fn compose(&self, other: &Relation, budget: &Budget) -> Result<Relation, EvalError> {
+        if self.pairs.is_empty() || other.pairs.is_empty() {
+            return Ok(Relation::default());
+        }
+        SCRATCH.with(|cell| {
+            let targets = &mut *cell.borrow_mut();
+            let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+            let o = &other.pairs[..];
+            let mut i = 0usize;
+            let mut runs = 0usize;
+            while i < self.pairs.len() {
+                if runs.is_multiple_of(1024) {
+                    budget.check_time()?;
+                }
+                runs += 1;
+                let s = self.pairs[i].0;
+                let run_end = i + gallop_src(&self.pairs[i..], s + 1, 0);
+                targets.clear();
+                let mut cursor = 0usize;
+                for &(_, t) in &self.pairs[i..run_end] {
+                    let lo = gallop_src(o, t, cursor);
+                    let mut j = lo;
+                    while j < o.len() && o[j].0 == t {
+                        targets.push(o[j].1);
+                        j += 1;
+                    }
+                    cursor = lo;
+                }
+                targets.sort_unstable();
+                targets.dedup();
+                budget.check_size(out.len() + targets.len())?;
+                out.extend(targets.iter().map(|&u| (s, u)));
+                i = run_end;
+            }
+            Ok(Relation { pairs: out })
+        })
+    }
+
+    /// Union: a linear merge of two sorted inputs (no re-sort).
     pub fn union(&self, other: &Relation) -> Relation {
-        let mut pairs = Vec::with_capacity(self.len() + other.len());
-        pairs.extend_from_slice(&self.pairs);
-        pairs.extend_from_slice(&other.pairs);
-        Relation::from_pairs(pairs)
+        let (a, b) = (&self.pairs, &other.pairs);
+        let mut pairs = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                Ordering::Less => {
+                    pairs.push(a[i]);
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    pairs.push(b[j]);
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    pairs.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        pairs.extend_from_slice(&a[i..]);
+        pairs.extend_from_slice(&b[j..]);
+        Relation { pairs }
+    }
+
+    /// Set difference `self \ other`: a linear merge of sorted inputs.
+    pub fn difference(&self, other: &Relation) -> Relation {
+        let (a, b) = (&self.pairs, &other.pairs);
+        let mut pairs = Vec::new();
+        let mut j = 0usize;
+        for &p in a {
+            while j < b.len() && b[j] < p {
+                j += 1;
+            }
+            if j >= b.len() || b[j] != p {
+                pairs.push(p);
+            }
+        }
+        Relation { pairs }
+    }
+
+    /// Whether the relation contains `(s, t)` (binary search).
+    pub fn contains(&self, s: NodeId, t: NodeId) -> bool {
+        self.pairs.binary_search(&(s, t)).is_ok()
+    }
+
+    /// The contiguous run of pairs whose source is `s` (their targets,
+    /// sorted): the binary-search semi-join primitive.
+    pub fn targets_of(&self, s: NodeId) -> &[(NodeId, NodeId)] {
+        let lo = self.pairs.partition_point(|&(ps, _)| ps < s);
+        let hi = lo + self.pairs[lo..].partition_point(|&(ps, _)| ps == s);
+        &self.pairs[lo..hi]
     }
 
     /// Reflexive-transitive closure `self*` over `n` nodes via semi-naive
-    /// linear recursion: `R0 = id ∪ self`, `Δ ⋈ self` until no new pairs.
+    /// linear recursion: `R0 = id ∪ self`, `Δ ⋈ self` until no new pairs,
+    /// with the delta maintained as a sorted set difference (no hash set).
     ///
     /// This is the evaluation the SQL translation's `WITH RECURSIVE` CTE
     /// induces; on quadratic-selectivity closures it materializes the full
     /// result, which is exactly why the `P`-style engine blows its budget
     /// on the paper's hardest recursive queries (Table 4).
     pub fn star(&self, n: NodeId, budget: &Budget) -> Result<Relation, EvalError> {
-        let mut seen: FxHashSet<u64> = FxHashSet::default();
-        let mut acc: Vec<(NodeId, NodeId)> = Vec::new();
-        for v in 0..n {
-            seen.insert(pack(v, v));
-            acc.push((v, v));
-        }
-        let mut delta: Vec<(NodeId, NodeId)> = Vec::new();
-        for &(s, t) in &self.pairs {
-            if seen.insert(pack(s, t)) {
-                delta.push((s, t));
-                acc.push((s, t));
-            }
-        }
+        let mut acc = Relation::identity(n).union(self);
+        budget.check_size(acc.len())?;
+        let mut delta = self.difference(&Relation::identity(n));
         while !delta.is_empty() {
             budget.check_time()?;
-            budget.check_size(acc.len())?;
-            let d = Relation::from_pairs(std::mem::take(&mut delta));
-            let joined = d.compose(self, budget)?;
-            for &(s, t) in joined.pairs() {
-                if seen.insert(pack(s, t)) {
-                    delta.push((s, t));
-                    acc.push((s, t));
-                }
+            let next = delta.compose(self, budget)?;
+            let fresh = next.difference(&acc);
+            if fresh.is_empty() {
+                break;
             }
+            acc = acc.union(&fresh);
+            budget.check_size(acc.len())?;
+            delta = fresh;
         }
-        Ok(Relation::from_pairs(acc))
+        Ok(acc)
     }
 
     /// Evaluates a whole regular expression by relational algebra:
@@ -140,7 +239,9 @@ impl Relation {
     /// Per-symbol relations are collected from the graph on the spot —
     /// the one-off path. Engines evaluating many queries on one graph use
     /// [`Relation::of_expr_ctx`], which borrows the shared, build-once
-    /// relations of an [`EvalContext`] instead.
+    /// relations of an [`EvalContext`] instead (and, through
+    /// [`EvalContext::expr_relation`], the cross-cell sub-expression
+    /// cache).
     pub fn of_expr<'g>(
         graph: impl Into<GraphView<'g>>,
         expr: &RegularExpr,
@@ -172,7 +273,7 @@ impl Relation {
         )
     }
 
-    fn of_expr_with(
+    pub(crate) fn of_expr_with(
         leaf: &mut dyn FnMut(Symbol) -> Relation,
         n: NodeId,
         expr: &RegularExpr,
@@ -209,7 +310,7 @@ impl Relation {
         )
     }
 
-    fn of_path_with(
+    pub(crate) fn of_path_with(
         leaf: &mut dyn FnMut(Symbol) -> Relation,
         n: NodeId,
         path: &PathExpr,
@@ -266,10 +367,32 @@ mod tests {
     }
 
     #[test]
+    fn composition_output_is_sorted_and_deduplicated() {
+        // Two sources fan into one hub which fans out: composition must
+        // dedup per source and stay sorted without a final sort pass.
+        let a = Relation::from_pairs(vec![(0, 5), (0, 6), (1, 5), (1, 6)]);
+        let b = Relation::from_pairs(vec![(5, 7), (5, 8), (6, 7), (6, 8)]);
+        let ab = a.compose(&b, &Budget::default()).unwrap();
+        assert_eq!(ab.pairs(), &[(0, 7), (0, 8), (1, 7), (1, 8)]);
+        assert!(ab.pairs().is_sorted());
+    }
+
+    #[test]
     fn union_dedups() {
         let a = Relation::from_pairs(vec![(0, 1), (1, 2)]);
         let b = Relation::from_pairs(vec![(1, 2), (2, 3)]);
         assert_eq!(a.union(&b).pairs(), &[(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn difference_and_contains() {
+        let a = Relation::from_pairs(vec![(0, 1), (1, 2), (2, 3)]);
+        let b = Relation::from_pairs(vec![(1, 2)]);
+        assert_eq!(a.difference(&b).pairs(), &[(0, 1), (2, 3)]);
+        assert!(a.contains(1, 2));
+        assert!(!a.contains(2, 1));
+        assert_eq!(a.targets_of(1), &[(1, 2)]);
+        assert!(a.targets_of(7).is_empty());
     }
 
     #[test]
@@ -362,5 +485,20 @@ mod tests {
         let b = Relation::from_pairs(vec![(0, 1)]);
         assert!(a.compose(&b, &Budget::default()).unwrap().is_empty());
         assert!(b.compose(&a, &Budget::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gallop_agrees_with_partition_point() {
+        let pairs: Vec<(NodeId, NodeId)> = vec![(0, 0), (0, 1), (2, 0), (2, 5), (7, 1), (9, 9)];
+        for t in 0..=10u32 {
+            let expected = pairs.partition_point(|&(s, _)| s < t);
+            // From every valid starting hint at or before the answer.
+            for lo in 0..=expected {
+                if pairs[..lo].iter().any(|&(s, _)| s >= t) {
+                    continue; // precondition violated, skip
+                }
+                assert_eq!(gallop_src(&pairs, t, lo), expected, "t={t} lo={lo}");
+            }
+        }
     }
 }

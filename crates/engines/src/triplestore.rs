@@ -15,8 +15,10 @@
 
 use crate::context::EvalContext;
 use crate::joiner::{join_all, project, ConjunctPairs};
+use crate::relations::Relation;
 use crate::{eval_rpq, unpack, Answers, Budget, Engine, EvalError, QueryPlan};
 use gmark_core::query::Query;
+use std::sync::Arc;
 
 /// See the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -49,12 +51,25 @@ impl Engine for TripleStoreEngine {
             // automaton memoized in the shared context.
             let mut materialized: Vec<ConjunctPairs> = Vec::with_capacity(rule.body.len());
             for c in &rule.body {
-                let nfa = ctx.nfa(&c.expr);
-                let packed = eval_rpq(ctx.view(), &nfa, budget)?;
+                // A sub-expression cache hit replaces the whole product-BFS
+                // for this conjunct (charged its cardinality check only);
+                // on a miss the property-path algorithm runs as before.
+                let pairs = match ctx.cached_expr(&c.expr, budget)? {
+                    Some(rel) => rel,
+                    None => {
+                        let nfa = ctx.nfa(&c.expr);
+                        let packed = eval_rpq(ctx.view(), &nfa, budget)?;
+                        // eval_rpq yields packed pairs in ascending order,
+                        // so this is a verification pass, not a sort.
+                        Arc::new(Relation::from_pairs(
+                            packed.into_iter().map(unpack).collect(),
+                        ))
+                    }
+                };
                 materialized.push(ConjunctPairs {
                     src: c.src,
                     trg: c.trg,
-                    pairs: packed.into_iter().map(unpack).collect(),
+                    pairs,
                 });
             }
             // Join order: the planner's estimate-driven order when a plan
@@ -140,6 +155,11 @@ mod tests {
         Symbol::forward(PredicateId(i))
     }
 
+    /// An `n`-pair diagonal relation (test sizes for ordering checks).
+    fn diag(n: u32) -> Arc<Relation> {
+        Arc::new(Relation::from_pairs((0..n).map(|i| (i, i)).collect()))
+    }
+
     fn graph() -> Graph {
         let mut b = GraphBuilder::new(TypePartition::from_counts(&[5]), 2);
         for (s, t) in [(0, 1), (1, 2), (2, 0), (3, 1), (4, 2)] {
@@ -202,17 +222,17 @@ mod tests {
         let c_big = ConjunctPairs {
             src: Var(0),
             trg: Var(1),
-            pairs: (0..100).map(|i| (i, i)).collect(),
+            pairs: diag(100),
         };
         let c_small = ConjunctPairs {
             src: Var(1),
             trg: Var(2),
-            pairs: vec![(0, 0)],
+            pairs: diag(1),
         };
         let c_mid = ConjunctPairs {
             src: Var(2),
             trg: Var(3),
-            pairs: (0..10).map(|i| (i, i)).collect(),
+            pairs: diag(10),
         };
         let ordered = greedy_order(vec![c_big, c_small, c_mid]).unwrap();
         assert_eq!(ordered[0].pairs.len(), 1, "smallest seeds the join");
@@ -231,22 +251,22 @@ mod tests {
         let a_big = ConjunctPairs {
             src: Var(10),
             trg: Var(11),
-            pairs: (0..20).map(|i| (i, i)).collect(),
+            pairs: diag(20),
         };
         let a_small = ConjunctPairs {
             src: Var(11),
             trg: Var(12),
-            pairs: (0..5).map(|i| (i, i)).collect(),
+            pairs: diag(5),
         };
         let b_seed = ConjunctPairs {
             src: Var(0),
             trg: Var(1),
-            pairs: vec![(0, 0)],
+            pairs: diag(1),
         };
         let b_next = ConjunctPairs {
             src: Var(1),
             trg: Var(2),
-            pairs: (0..50).map(|i| (i, i)).collect(),
+            pairs: diag(50),
         };
         let ordered = greedy_order(vec![a_big, a_small, b_seed, b_next]).unwrap();
         let sizes: Vec<usize> = ordered.iter().map(|c| c.pairs.len()).collect();
@@ -263,7 +283,7 @@ mod tests {
         let mk = |v: u32| ConjunctPairs {
             src: Var(v),
             trg: Var(v + 1),
-            pairs: vec![(0, 0), (1, 1)],
+            pairs: diag(2),
         };
         let ordered = greedy_order(vec![mk(0), mk(10), mk(20)]).unwrap();
         let srcs: Vec<Var> = ordered.iter().map(|c| c.src).collect();

@@ -19,7 +19,11 @@ pub const DEFAULT_CACHE_PAGES: usize = 1024;
 
 /// Entries per chunk for sequential offset/target scans (private buffers,
 /// deliberately bypassing the page cache so scans don't evict hot pages).
-const SCAN_CHUNK: usize = 8192;
+/// 32Ki entries = 256 KiB of offsets per read: segment-granular readahead
+/// that amortizes the syscall over far more pairs than a store page would,
+/// which is what makes full-relation `pairs` scans cheap relative to the
+/// pointwise cache path.
+const SCAN_CHUNK: usize = 32 * 1024;
 
 /// Serves CSR queries straight from a store file via positioned reads.
 ///
@@ -28,7 +32,7 @@ const SCAN_CHUNK: usize = 8192;
 /// [`StoreReader::verify`] additionally checks the checksum and the
 /// offset arrays. Point lookups ([`StoreReader::neighbors`],
 /// [`StoreReader::degree`], [`StoreReader::has_edge`]) go through a small
-/// LRU page cache; bulk scans ([`StoreReader::pairs`],
+/// CLOCK page cache; bulk scans ([`StoreReader::pairs`],
 /// [`StoreReader::distinct_endpoints`]) stream with private buffers.
 ///
 /// The reader is `Sync`: the page cache sits behind a mutex, so one
@@ -583,14 +587,22 @@ impl StoreReader {
     }
 }
 
-/// Fixed-capacity pinned-page cache with timestamp (scan-min) LRU
-/// eviction. Small by design: correctness never depends on it, only the
-/// number of `pread` syscalls does.
+/// Fixed-capacity pinned-page cache with CLOCK (second-chance) eviction.
+/// Small by design: correctness never depends on it, only the number of
+/// `pread` syscalls does.
+///
+/// The predecessor kept a per-slot timestamp and evicted with a full
+/// `min_by_key` sweep — O(capacity) per miss, which at 1024 slots made
+/// every *warm* miss pay a scan the cold fill-up phase never did, so a
+/// warm matrix pass could measure slower than a cold one. CLOCK keeps the
+/// hit path at one hash probe plus a flag store and makes eviction O(1)
+/// amortized: the hand sweeps at most one lap over the referenced bits.
 #[derive(Debug)]
 struct PageCache {
     map: FxHashMap<u64, usize>,
     slots: Vec<Slot>,
-    tick: u64,
+    /// The CLOCK hand: next slot considered for eviction.
+    hand: usize,
     cap: usize,
     page_size: usize,
 }
@@ -598,7 +610,8 @@ struct PageCache {
 #[derive(Debug)]
 struct Slot {
     page: u64,
-    last: u64,
+    /// Second-chance bit: set on hit, cleared as the hand passes.
+    referenced: bool,
     data: Box<[u8]>,
 }
 
@@ -607,7 +620,7 @@ impl PageCache {
         PageCache {
             map: FxHashMap::default(),
             slots: Vec::new(),
-            tick: 0,
+            hand: 0,
             cap,
             page_size,
         }
@@ -621,9 +634,8 @@ impl PageCache {
         ps: u64,
         file_len: u64,
     ) -> Result<usize, StoreError> {
-        self.tick += 1;
         if let Some(&i) = self.map.get(&page) {
-            self.slots[i].last = self.tick;
+            self.slots[i].referenced = true;
             return Ok(i);
         }
         let start = page * ps;
@@ -641,22 +653,28 @@ impl PageCache {
         let i = if self.slots.len() < self.cap {
             self.slots.push(Slot {
                 page,
-                last: self.tick,
+                referenced: true,
                 data: data.into_boxed_slice(),
             });
             self.slots.len() - 1
         } else {
-            let i = self
-                .slots
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, s)| s.last)
-                .map(|(i, _)| i)
-                .expect("cache capacity is at least one page");
+            // Second chance: a referenced slot survives one lap with its
+            // bit cleared; the first unreferenced slot under the hand is
+            // the victim. Terminates within two laps since every slot the
+            // hand passes loses its bit.
+            let i = loop {
+                let h = self.hand;
+                self.hand = (self.hand + 1) % self.cap;
+                if self.slots[h].referenced {
+                    self.slots[h].referenced = false;
+                } else {
+                    break h;
+                }
+            };
             self.map.remove(&self.slots[i].page);
             self.slots[i] = Slot {
                 page,
-                last: self.tick,
+                referenced: true,
                 data: data.into_boxed_slice(),
             };
             i

@@ -53,7 +53,7 @@ fn main() {
     let matrix_opts = MatrixOptions {
         threads,
         warm_runs: 0,
-        plan: true,
+        ..MatrixOptions::default()
     };
 
     println!(

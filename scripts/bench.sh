@@ -19,10 +19,11 @@
 #     (engine x query) evaluation matrix on Bib through the shared
 #     EvalContext harness, one process per (planner regime x thread
 #     count) — planner on vs --no-plan, 1 thread vs auto — into
-#     BENCH_eval.json. Each row records cells/s, the timeout/too-large
-#     counts, its `"plan"` regime, and the run's peak RSS (VmHWM); the
-#     on/off pairs pin the statistics planner's effect on
-#     budget-exhausted cells across PRs.
+#     BENCH_eval.json, plus one --no-eval-cache contrast row. Each row
+#     records cells/s, the timeout/too-large counts, its `"plan"` and
+#     `"cache"` regimes, the cache hit/miss counters, and the run's peak
+#     RSS (VmHWM); the on/off pairs pin the statistics planner's and the
+#     sub-expression cache's effects across PRs.
 #   * the `store_sweep` binary (on-disk paged store): builds a 500K-node
 #     `graph.gstore` through the streamed spool tee (build MB/s), then
 #     evaluates the same workload paged (cold + warm pass) and in-RAM —
@@ -93,6 +94,12 @@ for plan_flag in "" "--no-plan"; do
             --bin eval_matrix -- --threads "$t" $plan_flag
     done
 done
+# Cached-regime pair: the same single-threaded planned run with the
+# sub-expression result cache disabled. Against the cache-on row above
+# (whose cache_hits/cache_misses fields record the hit rate), this pair
+# pins the cache's cells/s effect across PRs.
+GMARK_BENCH_JSON="$eval_out" cargo run --offline --release -p gmark-bench \
+    --bin eval_matrix -- --threads 1 --no-eval-cache
 
 echo "== store sweep (paged store build + paged-vs-in-RAM eval, exporting to $store_out) =="
 # One process per mode: the paged rows' peak_rss_kb (VmHWM) measures the

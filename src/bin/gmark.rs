@@ -74,6 +74,10 @@ struct Args {
     max_tuples: Option<usize>,
     /// Disable the schema-statistics query planner for `--eval`.
     no_plan: bool,
+    /// Disable the cross-cell sub-expression result cache for `--eval`.
+    no_eval_cache: bool,
+    /// Byte budget for the sub-expression cache, in MiB.
+    eval_cache_mb: Option<usize>,
     format: Format,
 }
 
@@ -94,7 +98,7 @@ enum Parsed {
 const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--nodes N] \
 [--threads T] [--stream] [--store] [--queries-only] [--format text|json] \
 [--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N] [--no-plan] \
-[--from-store FILE]\n\
+[--no-eval-cache] [--eval-cache-mb N] [--from-store FILE]\n\
 gmark --verify-store <file.gstore>\n\n\
   --threads T     worker threads for EVERY pipeline stage (graph\n\
                   constraints, workload queries, and the --eval matrix);\n\
@@ -145,6 +149,13 @@ gmark --verify-store <file.gstore>\n\n\
                   engines fall back to declaration-order / per-engine\n\
                   heuristic joins and eval.txt drops the est~actual\n\
                   annotations. Answers never depend on this flag.\n\
+  --no-eval-cache disable the cross-cell sub-expression result cache for\n\
+                  --eval: every cell recomputes its sub-expressions from\n\
+                  scratch. Cell outcomes and answer cardinalities never\n\
+                  depend on this flag; only wall-clock time does.\n\
+  --eval-cache-mb N  byte budget for the sub-expression cache in MiB\n\
+                  (default 64). Must be positive; use --no-eval-cache to\n\
+                  turn the cache off entirely.\n\
   --format F      what to print on stdout: 'text' (default, human-readable\n\
                   banner) or 'json' (the machine-readable RunSummary, also\n\
                   written to summary.json in the output directory).\n\
@@ -165,6 +176,8 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
     let mut budget_ms = None;
     let mut max_tuples = None;
     let mut no_plan = false;
+    let mut no_eval_cache = false;
+    let mut eval_cache_mb = None;
     let mut format = Format::Text;
     let mut i = 0;
     while i < argv.len() {
@@ -239,6 +252,23 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
                 max_tuples = Some(cap)
             }
             "--no-plan" => no_plan = true,
+            "--no-eval-cache" => no_eval_cache = true,
+            "--eval-cache-mb" => {
+                let v = take_value(&mut i, &flag)?;
+                let mb: usize = v.parse().map_err(|_| {
+                    format!("--eval-cache-mb: expected a cache budget in MiB, got {v:?}")
+                })?;
+                if mb == 0 {
+                    // A zero byte budget would silently behave like
+                    // --no-eval-cache; make the intent explicit instead.
+                    return Err(
+                        "--eval-cache-mb: the budget must be positive; use --no-eval-cache \
+                         to disable the cache"
+                            .to_owned(),
+                    );
+                }
+                eval_cache_mb = Some(mb)
+            }
             "--format" => {
                 format = match take_value(&mut i, &flag)?.as_str() {
                     "text" => Format::Text,
@@ -259,8 +289,24 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
         }
         i += 1;
     }
-    if !eval && (engines.is_some() || budget_ms.is_some() || max_tuples.is_some() || no_plan) {
-        return Err("--engines/--budget-ms/--max-tuples/--no-plan require --eval".to_owned());
+    if !eval
+        && (engines.is_some()
+            || budget_ms.is_some()
+            || max_tuples.is_some()
+            || no_plan
+            || no_eval_cache
+            || eval_cache_mb.is_some())
+    {
+        return Err(
+            "--engines/--budget-ms/--max-tuples/--no-plan/--no-eval-cache/--eval-cache-mb \
+             require --eval"
+                .to_owned(),
+        );
+    }
+    if no_eval_cache && eval_cache_mb.is_some() {
+        return Err(
+            "--no-eval-cache disables the cache --eval-cache-mb would size; pick one".to_owned(),
+        );
     }
     if eval && queries_only {
         return Err("--eval needs the graph instance; drop --queries-only".to_owned());
@@ -299,6 +345,8 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
         budget_ms,
         max_tuples,
         no_plan,
+        no_eval_cache,
+        eval_cache_mb,
         format,
     })))
 }
@@ -336,6 +384,10 @@ fn execute(args: &Args) -> Result<(), GmarkError> {
             spec.max_tuples = cap;
         }
         spec.plan = !args.no_plan;
+        spec.cache = !args.no_eval_cache;
+        if let Some(mb) = args.eval_cache_mb {
+            spec.cache_mb = mb;
+        }
         plan.eval = Some(spec);
     }
     if args.store {
@@ -549,6 +601,85 @@ mod tests {
             "--eval",
             "--engines",
             "P,X"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn eval_cache_flags_parse_and_enforce_their_preconditions() {
+        match parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--eval-cache-mb",
+            "128",
+        ]))
+        .expect("parses")
+        {
+            Parsed::Run(args) => {
+                assert!(!args.no_eval_cache);
+                assert_eq!(args.eval_cache_mb, Some(128));
+            }
+            other => panic!("expected a run, got {other:?}"),
+        }
+        match parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--no-eval-cache",
+        ]))
+        .expect("parses")
+        {
+            Parsed::Run(args) => {
+                assert!(args.no_eval_cache);
+                assert_eq!(args.eval_cache_mb, None);
+            }
+            other => panic!("expected a run, got {other:?}"),
+        }
+        // Cache flags without --eval are rejected, like the other eval
+        // sub-flags.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--no-eval-cache"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval-cache-mb",
+            "64"
+        ]))
+        .is_err());
+        // Sizing a cache that is simultaneously disabled is contradictory.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--no-eval-cache",
+            "--eval-cache-mb",
+            "64"
+        ]))
+        .is_err());
+        // A zero budget would silently act like --no-eval-cache: rejected.
+        assert!(parse_args(&argv(&[
+            "--config",
+            "c.xml",
+            "--output",
+            "o",
+            "--eval",
+            "--eval-cache-mb",
+            "0"
         ]))
         .is_err());
     }

@@ -550,6 +550,7 @@ fn evaluate_stage(
             threads,
             warm_runs: 0,
             plan: spec.plan,
+            cache_mb: if spec.cache { spec.cache_mb } else { 0 },
         },
     )
 }
@@ -599,6 +600,24 @@ fn render_eval_report(
         "planner: {}",
         if spec.plan { "on" } else { "off" }
     );
+    match &report.cache {
+        Some(stats) => {
+            let _ = writeln!(
+                rendered,
+                "cache: on ({} MiB budget, {} entries, {} tuples, \
+                 {} hits / {} misses, {} rejected)",
+                stats.budget_mb,
+                stats.entries,
+                stats.tuples,
+                stats.hits,
+                stats.misses,
+                stats.rejected
+            );
+        }
+        None => {
+            let _ = writeln!(rendered, "cache: off");
+        }
+    }
     let labels: Vec<String> = workload.queries.iter().map(|gq| gq.eval_label()).collect();
     rendered.push_str(&report.render_with_labels(&labels));
     rendered
@@ -635,6 +654,7 @@ fn eval_run_summary(spec: &EvalSpec, report: &EvalReport, seconds: f64) -> EvalR
         budget_ms: spec.budget_ms,
         max_tuples: spec.max_tuples,
         plan: spec.plan,
+        cache: report.cache,
         queries: report.queries,
         cells: report.cells.len(),
         ok: totals.ok,

@@ -76,6 +76,16 @@ pub struct EvalSpec {
     /// depend on this flag, only evaluation cost and the est~actual
     /// annotations in the report.
     pub plan: bool,
+    /// Whether the cross-cell sub-expression result cache is filled
+    /// during warm-up and consumed by the engines (the default). The
+    /// CLI's `--no-eval-cache` clears it; cache contents are a pure
+    /// function of graph and query set, so answers never depend on this
+    /// flag.
+    pub cache: bool,
+    /// Admission byte budget of the sub-expression cache in MiB (the
+    /// CLI's `--eval-cache-mb`). Must be positive; use
+    /// [`EvalSpec::cache`] to disable caching.
+    pub cache_mb: usize,
 }
 
 impl Default for EvalSpec {
@@ -87,6 +97,8 @@ impl Default for EvalSpec {
             budget_ms: 10_000,
             max_tuples: 20_000_000,
             plan: true,
+            cache: true,
+            cache_mb: gmark_engines::MatrixOptions::DEFAULT_CACHE_MB,
         }
     }
 }
@@ -250,6 +262,13 @@ impl RunPlan {
                 return Err(GmarkError::Plan(
                     "evaluation max_tuples must be positive (a zero cap fails every \
                      non-empty cell)"
+                        .to_owned(),
+                ));
+            }
+            if spec.cache_mb == 0 {
+                return Err(GmarkError::Plan(
+                    "eval cache_mb must be positive; disable the cache with \
+                     cache = false (--no-eval-cache) instead"
                         .to_owned(),
                 ));
             }
@@ -488,6 +507,28 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, GmarkError::Plan(_)), "{err}");
 
+        // A zero cache budget: rejected (disable with `cache` instead).
+        let err = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .eval(EvalSpec {
+                cache_mb: 0,
+                ..EvalSpec::default()
+            })
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GmarkError::Plan(_)), "{err}");
+
+        // ...but a disabled cache with the (unused) default budget is fine.
+        let plan = RunPlan::builder(usecases::bib())
+            .workload(gmark_core::workload::WorkloadConfig::new(2))
+            .eval(EvalSpec {
+                cache: false,
+                ..EvalSpec::default()
+            })
+            .build()
+            .unwrap();
+        assert!(!plan.eval.as_ref().unwrap().cache);
+
         // The well-formed combination builds.
         let plan = RunPlan::builder(usecases::bib())
             .workload(gmark_core::workload::WorkloadConfig::new(2))
@@ -495,6 +536,7 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(plan.eval.as_ref().unwrap().letters(), "PGSD");
+        assert!(plan.eval.as_ref().unwrap().cache);
     }
 
     #[test]

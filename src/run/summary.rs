@@ -118,6 +118,11 @@ pub struct EvalRunSummary {
     pub max_tuples: usize,
     /// Whether the schema-statistics planner ordered the engines' joins.
     pub plan: bool,
+    /// Sub-expression cache contents and hit accounting; `None` when the
+    /// cache was disabled. Deterministic: fill contents are a pure
+    /// function of graph and query set, and hit/miss totals are sums of
+    /// per-cell counts independent of thread schedule.
+    pub cache: Option<gmark_engines::EvalCacheStats>,
     /// Number of evaluated queries (matrix rows).
     pub queries: usize,
     /// Number of evaluated cells (`queries × engines`).
@@ -463,6 +468,19 @@ impl EvalRunSummary {
         push_key(out, "plan");
         out.push_str(if self.plan { "true" } else { "false" });
         out.push(',');
+        push_key(out, "cache");
+        match &self.cache {
+            Some(c) => {
+                let _ = write!(
+                    out,
+                    "{{\"enabled\":true,\"budget_mb\":{},\"entries\":{},\"tuples\":{},\
+                     \"hits\":{},\"misses\":{},\"rejected\":{}}}",
+                    c.budget_mb, c.entries, c.tuples, c.hits, c.misses, c.rejected
+                );
+            }
+            None => out.push_str("{\"enabled\":false}"),
+        }
+        out.push(',');
         push_key(out, "queries");
         let _ = write!(out, "{}", self.queries);
         out.push(',');
@@ -637,6 +655,15 @@ mod tests {
                 budget_ms: 10_000,
                 max_tuples: 1_000_000,
                 plan: true,
+                cache: Some(gmark_engines::EvalCacheStats {
+                    budget_mb: 64,
+                    entries: 5,
+                    tuples: 1000,
+                    bytes: 8000,
+                    hits: 9,
+                    misses: 3,
+                    rejected: 1,
+                }),
                 queries: 2,
                 cells: 8,
                 ok: 7,
@@ -737,6 +764,25 @@ mod tests {
         );
         let banner = sample().to_string();
         assert!(banner.contains("graph.gstore"), "{banner}");
+    }
+
+    #[test]
+    fn cache_stats_serialize_after_plan() {
+        let json = sample().to_json();
+        assert!(
+            json.contains(
+                "\"plan\":true,\"cache\":{\"enabled\":true,\"budget_mb\":64,\
+                 \"entries\":5,\"tuples\":1000,\"hits\":9,\"misses\":3,\"rejected\":1}"
+            ),
+            "{json}"
+        );
+        let mut off = sample();
+        off.eval.as_mut().unwrap().cache = None;
+        assert!(
+            off.to_json().contains("\"cache\":{\"enabled\":false}"),
+            "{}",
+            off.to_json()
+        );
     }
 
     #[test]

@@ -78,6 +78,15 @@ fn library_eval_report_is_byte_identical_across_thread_counts() {
     assert!(base_text.contains("planner: on"), "{base_text}");
     assert!(base_text.contains('~'), "{base_text}");
     assert!(base_text.contains("\nplan: "), "{base_text}");
+    // …and cache-on: the header names the budget and hit counters, and the
+    // summary's eval object records them — so this whole test pins that
+    // the cache's contents (and therefore its stats) are byte-identical at
+    // every thread count, not just the cells.
+    assert!(base_text.contains("\ncache: on ("), "{base_text}");
+    assert!(
+        base_json.contains("\"cache\":{\"enabled\":true"),
+        "{base_json}"
+    );
     for threads in [2usize, 8] {
         let (report, json) = run_at(threads);
         assert_eq!(report, base_report, "eval.txt differs at {threads} threads");
@@ -112,6 +121,55 @@ fn planner_off_eval_report_is_byte_identical_across_thread_counts() {
         assert_eq!(report, base_report, "eval.txt differs at {threads} threads");
         assert_eq!(json, base_json, "summary eval differs at {threads} threads");
     }
+}
+
+#[test]
+fn cache_off_changes_only_the_cache_header_and_stats() {
+    // With planning off (so the planner cannot consult cached exact
+    // cardinalities and reorder joins), disabling the cache may change
+    // nothing in the artifacts except the lines that *describe* the cache:
+    // the `cache:` header of eval.txt and the `"cache"` object of the
+    // summary. Every cell line must be byte-identical.
+    let mut plan_on = eval_plan();
+    plan_on.eval.as_mut().expect("eval spec set").plan = false;
+    let mut plan_off = eval_plan();
+    {
+        let spec = plan_off.eval.as_mut().expect("eval spec set");
+        spec.plan = false;
+        spec.cache = false;
+    }
+    let opts = RunOptions::with_seed(11).threads(2);
+    let arts_of = |plan: &RunPlan| {
+        let mut sink = MemorySink::new();
+        run(plan, &opts, &mut sink).expect("pipeline runs");
+        (
+            String::from_utf8(sink.bytes(Artifact::EvalReport).expect("eval.txt written"))
+                .expect("eval.txt is UTF-8"),
+            eval_json_section(&sink.bytes(Artifact::Summary).expect("summary rendered")),
+        )
+    };
+    let (on_txt, on_json) = arts_of(&plan_on);
+    let (off_txt, off_json) = arts_of(&plan_off);
+    assert!(on_txt.contains("\ncache: on ("), "{on_txt}");
+    assert!(off_txt.contains("\ncache: off"), "{off_txt}");
+    let strip = |text: &str| {
+        text.lines()
+            .filter(|l| !l.starts_with("cache: "))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&on_txt), strip(&off_txt), "a cell line moved");
+    assert!(on_json.contains("\"cache\":{\"enabled\":true"), "{on_json}");
+    assert!(
+        off_json.contains("\"cache\":{\"enabled\":false}"),
+        "{off_json}"
+    );
+    let scrub = |json: &str| {
+        let start = json.find("\"cache\":").expect("summary has a cache key");
+        let end = start + json[start..].find('}').expect("cache object closes") + 1;
+        format!("{}{}", &json[..start], &json[end..])
+    };
+    assert_eq!(scrub(&on_json), scrub(&off_json), "an eval row moved");
 }
 
 #[test]
@@ -252,7 +310,7 @@ fn expired_clock_budget_times_out_every_cell_at_every_thread_count() {
             &MatrixOptions {
                 threads,
                 warm_runs: 0,
-                plan: true,
+                ..MatrixOptions::default()
             },
         );
         let totals = report.totals();
