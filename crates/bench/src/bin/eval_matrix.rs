@@ -20,8 +20,11 @@
 //! count; each JSON row carries a `"plan"` field naming its regime.
 //! `--no-eval-cache` likewise disables the cross-cell sub-expression
 //! result cache, and each row carries a `"cache"` field plus the cache's
-//! hit/miss/rejected counters (zeros when disabled), so the cached vs
-//! uncached row pair pins the cache's contribution across PRs.
+//! fill/hit/miss/rejected counters (zeros when disabled), so the cached
+//! vs uncached row pair pins the cache's contribution across PRs.
+//! `cache_hit_rate` counts the pre-clock fill builds in its denominator
+//! (`hits / (hits + misses + fills)`): probes alone would report a
+//! meaningless 100% whenever every useful entry was built during fill.
 
 use gmark_bench::{append_bench_json, build_graph, peak_rss_kb, take_flag_value};
 use gmark_core::query::Query;
@@ -142,13 +145,16 @@ fn main() {
 
     // The cache's counters ride along in the row: a hit-rate collapse in
     // a future PR shows up in BENCH_eval.json even if cells/s masks it.
-    let (hits, misses, rejected) = report
+    // The rate's denominator includes the pre-clock fill builds: probes
+    // alone would read 100% on a fully pre-filled run, because every
+    // build the cells benefit from happened before the first probe.
+    let (hits, misses, rejected, fills) = report
         .cache
         .as_ref()
-        .map(|c| (c.hits, c.misses, c.rejected))
-        .unwrap_or((0, 0, 0));
-    let hit_rate = if hits + misses > 0 {
-        hits as f64 / (hits + misses) as f64
+        .map(|c| (c.hits, c.misses, c.rejected, c.fills))
+        .unwrap_or((0, 0, 0, 0));
+    let hit_rate = if hits + misses + fills > 0 {
+        hits as f64 / (hits + misses + fills) as f64
     } else {
         0.0
     };
@@ -156,7 +162,7 @@ fn main() {
     println!(
         "eval_matrix: bib n={} q={} engines=PGSD threads={} plan={} cache={} -> {} cells in \
          {seconds:.3}s ({cells_per_s:.0} cells/s; {} ok, {} timeout, {} too-large; \
-         {hits} hits / {misses} misses, {rejected} rejected)",
+         {fills} fills, {hits} hits / {misses} misses, {rejected} rejected)",
         args.nodes,
         args.queries,
         args.threads,
@@ -174,8 +180,9 @@ fn main() {
     let row = format!(
         "{{\"bench\":\"eval_matrix\",\"scenario\":\"bib\",\"nodes\":{},\"queries\":{},\
          \"engines\":\"PGSD\",\"threads\":{},\"budget_ms\":{},\"max_tuples\":{},\
-         \"plan\":{},\"cache\":{},\"cache_hits\":{hits},\"cache_misses\":{misses},\
-         \"cache_rejected\":{rejected},\"cache_hit_rate\":{hit_rate:.3},\"cells\":{},\
+         \"plan\":{},\"cache\":{},\"cache_fills\":{fills},\"cache_hits\":{hits},\
+         \"cache_misses\":{misses},\"cache_rejected\":{rejected},\
+         \"cache_hit_rate\":{hit_rate:.3},\"cells\":{},\
          \"seconds\":{seconds:.6},\"cells_per_s\":{cells_per_s:.1},\"ok\":{},\
          \"timeout\":{},\"too_large\":{},\"peak_rss_kb\":{rss}}}",
         args.nodes,

@@ -1,0 +1,196 @@
+//! Serving-path throughput baseline: drives `gmark serve` end to end —
+//! real TCP, real HTTP framing, the snapshot cache in the middle — and
+//! emits one `BENCH_serve.json` row per phase via the `GMARK_BENCH_JSON`
+//! protocol.
+//!
+//! Two phases bracket the cache's contribution:
+//!
+//! * **cold** — every request carries a fresh seed, so every request
+//!   pays a full pipeline run (requests/s ≈ build throughput);
+//! * **warm** — every request carries the same plan, so after the first
+//!   all are snapshot hits (requests/s ≈ transport + framing cost).
+//!
+//! The warm-over-cold ratio is the pay-once guarantee made measurable;
+//! a collapse of `warm_rps` toward `cold_rps` in a future PR means the
+//! snapshot cache stopped doing its job. p50/p95 latencies and peak RSS
+//! ride along, like the other bench rows.
+//!
+//! ```sh
+//! cargo run -p gmark-bench --release --bin serve_sweep -- \
+//!     [--nodes N] [--requests R] [--workers W] [--cache-mb M] [--seed S]
+//! ```
+
+use gmark::serve::http::fetch;
+use gmark::serve::{ServeConfig, Server};
+use gmark_bench::{append_bench_json, peak_rss_kb, take_flag_value};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const BIB_XML: &str = include_str!("../../../../examples/configs/bib.xml");
+
+struct Args {
+    nodes: u64,
+    requests: usize,
+    workers: usize,
+    cache_mb: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        nodes: 500,
+        requests: 20,
+        workers: 2,
+        cache_mb: 128,
+        seed: 0x5E27_E017,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--nodes" => args.nodes = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?,
+            "--requests" => args.requests = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?,
+            "--workers" => args.workers = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?,
+            "--cache-mb" => args.cache_mb = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?,
+            "--seed" => args.seed = parse(&take_flag_value(&argv, &mut i, &flag)?, &flag)?,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    if args.requests == 0 {
+        return Err("--requests must be positive".to_owned());
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| format!("{flag}: invalid value {v:?}"))
+}
+
+/// One request; panics on transport or non-200 status — a bench against
+/// a misbehaving server would record garbage.
+fn post(addr: SocketAddr, query: &str) -> Duration {
+    let started = Instant::now();
+    let resp = fetch(addr, "POST", &format!("/v1/run{query}"), BIB_XML.as_bytes())
+        .expect("request round-trips");
+    assert_eq!(
+        resp.status,
+        200,
+        "serve_sweep request failed: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    started.elapsed()
+}
+
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    let idx = (sorted.len().saturating_sub(1)) * pct / 100;
+    sorted[idx]
+}
+
+struct Phase {
+    name: &'static str,
+    rps: f64,
+    p50: Duration,
+    p95: Duration,
+    seconds: f64,
+}
+
+fn run_phase(
+    name: &'static str,
+    addr: SocketAddr,
+    requests: usize,
+    mut query: impl FnMut(usize) -> String,
+) -> Phase {
+    let started = Instant::now();
+    let mut latencies: Vec<Duration> = (0..requests).map(|i| post(addr, &query(i))).collect();
+    let seconds = started.elapsed().as_secs_f64();
+    latencies.sort();
+    Phase {
+        name,
+        rps: requests as f64 / seconds.max(1e-9),
+        p50: percentile(&latencies, 50),
+        p95: percentile(&latencies, 95),
+        seconds,
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve_sweep: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: args.workers,
+        cache_mb: args.cache_mb,
+        ..ServeConfig::default()
+    })
+    .expect("server binds a free port");
+    let addr = server.local_addr();
+
+    // Cold: a fresh seed per request — every one is a full build.
+    let nodes = args.nodes;
+    let seed = args.seed;
+    let cold = run_phase("cold", addr, args.requests, |i| {
+        format!(
+            "?nodes={nodes}&seed={}&artifact=summary.json",
+            seed + 1 + i as u64
+        )
+    });
+    // Warm: one plan for all requests — everything after the first
+    // build is a snapshot hit (the first hit-warming request is part of
+    // the measured batch; with R requests the phase pays 1 build + R-1
+    // hits, which is exactly the steady-state it models).
+    let warm = run_phase("warm", addr, args.requests, |_| {
+        format!("?nodes={nodes}&seed={seed}&artifact=summary.json")
+    });
+
+    let stats = fetch(addr, "GET", "/v1/stats", b"").expect("stats round-trip");
+    let stats_text = String::from_utf8_lossy(&stats.body).into_owned();
+    server.shutdown();
+
+    println!(
+        "serve_sweep: bib n={} r={} workers={} -> cold {:.2} req/s \
+         (p50 {:.1} ms, p95 {:.1} ms), warm {:.2} req/s (p50 {:.1} ms, p95 {:.1} ms)",
+        args.nodes,
+        args.requests,
+        args.workers,
+        cold.rps,
+        cold.p50.as_secs_f64() * 1e3,
+        cold.p95.as_secs_f64() * 1e3,
+        warm.rps,
+        warm.p50.as_secs_f64() * 1e3,
+        warm.p95.as_secs_f64() * 1e3,
+    );
+    println!("serve_sweep: stats {}", stats_text.trim_end());
+
+    let rss = peak_rss_kb()
+        .map(|kb| kb.to_string())
+        .unwrap_or_else(|| "null".to_owned());
+    for phase in [cold, warm] {
+        let row = format!(
+            "{{\"bench\":\"serve_sweep\",\"scenario\":\"bib\",\"phase\":\"{}\",\
+             \"nodes\":{},\"requests\":{},\"workers\":{},\"cache_mb\":{},\
+             \"requests_per_s\":{:.3},\"p50_ms\":{:.3},\"p95_ms\":{:.3},\
+             \"seconds\":{:.6},\"peak_rss_kb\":{rss}}}",
+            phase.name,
+            args.nodes,
+            args.requests,
+            args.workers,
+            args.cache_mb,
+            phase.rps,
+            phase.p50.as_secs_f64() * 1e3,
+            phase.p95.as_secs_f64() * 1e3,
+            phase.seconds,
+        );
+        if let Err(e) = append_bench_json(&row) {
+            eprintln!("serve_sweep: writing bench row: {e}");
+        }
+    }
+}

@@ -138,6 +138,11 @@ struct ExprCache {
     /// Relations computed during fill but not admitted because the byte
     /// budget was exhausted.
     rejected: u64,
+    /// Relations computed during the pre-clock fill (admitted, rejected,
+    /// or negatively cached). The hit/miss probe counters never see these
+    /// builds — without this figure a fully pre-filled run reports a
+    /// meaningless 100% hit rate.
+    fills: u64,
     /// The tuple cap the fill ran under ([`ExprCacheEntry::TooLarge`]
     /// entries are only meaningful relative to it).
     cap: usize,
@@ -151,6 +156,7 @@ impl ExprCache {
             bytes: 0,
             tuples: 0,
             rejected: 0,
+            fills: 0,
             cap,
         }
     }
@@ -162,6 +168,7 @@ impl ExprCache {
         if self.map.contains_key(&key) {
             return;
         }
+        self.fills += 1;
         let bytes = rel.heap_bytes();
         if self.bytes + bytes > self.budget_mb * 1024 * 1024 {
             self.rejected += 1;
@@ -193,6 +200,12 @@ pub struct EvalCacheStats {
     pub misses: u64,
     /// Fill-time admissions skipped because the byte budget was full.
     pub rejected: u64,
+    /// Relations computed during the pre-clock fill (admitted, rejected,
+    /// or negatively cached). These builds happen before any cell's clock
+    /// starts, so the hit/miss probe counters never see them — a hit rate
+    /// that ignores fills reads 100% on a fully pre-filled run. Honest
+    /// rates divide hits by `hits + misses + fills`.
+    pub fills: u64,
 }
 
 /// Statistics of one `Σ±` symbol: how many edges carry its predicate and
@@ -323,7 +336,9 @@ impl<'g> EvalContext<'g> {
                 Ok(rel) => cache.admit(expr.clone(), rel),
                 Err(EvalError::TooLarge(sz)) => {
                     // Deterministic failure under the cap: cache it so no
-                    // cell re-derives the blow-up four times.
+                    // cell re-derives the blow-up four times. The doomed
+                    // computation still ran once — it counts as a fill.
+                    cache.fills += 1;
                     cache.map.insert(expr.clone(), ExprCacheEntry::TooLarge(sz));
                 }
                 // Timeouts (and anything else wall-clock-shaped) are
@@ -548,6 +563,7 @@ impl<'g> EvalContext<'g> {
             hits: self.cache_hits.load(Ordering::Relaxed),
             misses: self.cache_misses.load(Ordering::Relaxed),
             rejected: cache.rejected,
+            fills: cache.fills,
         })
     }
 
@@ -703,6 +719,9 @@ mod tests {
         );
         let stats = ctx.expr_cache_stats().unwrap();
         assert_eq!((stats.hits, stats.misses), (2, 0));
+        // The two admitted entries were built during fill — the probe
+        // counters above never saw them, but `fills` did.
+        assert_eq!(stats.fills, 2, "{stats:?}");
         assert!(stats.entries >= 2, "{stats:?}");
         assert_eq!(stats.bytes, stats.tuples as usize * 8);
         // A second fill is a no-op: the cache froze at first fill.

@@ -30,10 +30,18 @@
 #     one process per mode so the `peak_rss_kb` rows contrast the paged
 #     reader's bounded memory against the materialized CSR — into
 #     BENCH_store.json.
+#   * the `serve_sweep` binary (`gmark serve` daemon): drives the HTTP
+#     serving path end to end — real TCP, chunked responses, the keyed
+#     snapshot cache in the middle — and records a cold row (fresh seed
+#     per request, every request a full build) and a warm row (one plan,
+#     snapshot hits) into BENCH_serve.json: requests/s, p50/p95 latency,
+#     and peak RSS. The warm/cold requests_per_s ratio pins the pay-once
+#     snapshot guarantee across PRs.
 #
-# Usage: scripts/bench.sh [gen.json] [workload.json] [eval.json] [store.json]
+# Usage: scripts/bench.sh [gen.json] [workload.json] [eval.json]
+#        [store.json] [serve.json]
 #        (defaults: BENCH_gen.json BENCH_workload.json BENCH_eval.json
-#         BENCH_store.json)
+#         BENCH_store.json BENCH_serve.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -42,6 +50,7 @@ out="${1:-BENCH_gen.json}"
 wl_out="${2:-BENCH_workload.json}"
 eval_out="${3:-BENCH_eval.json}"
 store_out="${4:-BENCH_store.json}"
+serve_out="${5:-BENCH_serve.json}"
 case "$out" in
     /*) ;;
     *) out="$PWD/$out" ;; # cargo runs bench binaries from the package dir
@@ -58,7 +67,11 @@ case "$store_out" in
     /*) ;;
     *) store_out="$PWD/$store_out" ;;
 esac
-rm -f "$out" "$wl_out" "$eval_out" "$store_out"
+case "$serve_out" in
+    /*) ;;
+    *) serve_out="$PWD/$serve_out" ;;
+esac
+rm -f "$out" "$wl_out" "$eval_out" "$store_out" "$serve_out"
 
 echo "== criterion generation benches (exporting to $out) =="
 GMARK_BENCH_JSON="$out" cargo bench --offline -p gmark-bench --bench generation
@@ -111,9 +124,18 @@ for mode in build paged inram; do
         --bin store_sweep -- --mode "$mode" --nodes 500000 --store "$store_dir"
 done
 
+echo "== serve sweep (gmark serve daemon, cold vs warm, exporting to $serve_out) =="
+# One process, two rows: cold (fresh seed per request, every request a
+# full pipeline build) and warm (one plan, snapshot hits after the first
+# build). The warm/cold requests_per_s ratio is the snapshot cache's
+# pay-once guarantee as a number.
+GMARK_BENCH_JSON="$serve_out" cargo run --offline --release -p gmark-bench \
+    --bin serve_sweep -- --nodes 500 --requests 20 --workers 2
+
 echo "== baselines written =="
-wc -l "$out" "$wl_out" "$eval_out" "$store_out"
+wc -l "$out" "$wl_out" "$eval_out" "$store_out" "$serve_out"
 cat "$out"
 cat "$wl_out"
 cat "$eval_out"
 cat "$store_out"
+cat "$serve_out"

@@ -34,6 +34,7 @@
 
 use gmark::engines::EngineKind;
 use gmark::run::{run, DirSink, EvalSpec, GmarkError, RunOptions, RunPlan};
+use gmark::serve::{ServeConfig, Server};
 use gmark::store::StoreReader;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -92,6 +93,8 @@ enum Parsed {
     /// structure and checksum, print its shape. No config or output
     /// directory involved.
     VerifyStore(PathBuf),
+    /// `serve …`: run the benchmark-as-a-service daemon until SIGTERM.
+    Serve(ServeConfig),
     EarlyExit(String),
 }
 
@@ -99,7 +102,9 @@ const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--node
 [--threads T] [--stream] [--store] [--queries-only] [--format text|json] \
 [--eval] [--engines P,G,S,D] [--budget-ms N] [--max-tuples N] [--no-plan] \
 [--no-eval-cache] [--eval-cache-mb N] [--from-store FILE]\n\
-gmark --verify-store <file.gstore>\n\n\
+gmark --verify-store <file.gstore>\n\
+gmark serve [--addr HOST:PORT] [--workers N] [--cache-mb MiB] \
+[--queue-depth N] [--deadline-ms N]\n\n\
   --threads T     worker threads for EVERY pipeline stage (graph\n\
                   constraints, workload queries, and the --eval matrix);\n\
                   0 auto-detects the available parallelism. Every output\n\
@@ -159,9 +164,26 @@ gmark --verify-store <file.gstore>\n\n\
   --format F      what to print on stdout: 'text' (default, human-readable\n\
                   banner) or 'json' (the machine-readable RunSummary, also\n\
                   written to summary.json in the output directory).\n\
-  --version       print the version and exit.";
+  --version       print the version and exit.\n\n\
+serve mode (benchmark-as-a-service daemon; POST /v1/run a schema XML\n\
+or {\"schema_xml\": …} body with CLI-shaped query parameters, stream\n\
+the artifact back; GET /v1/run/<id>/summary, /v1/stats, /healthz):\n\
+  --addr A        listen address (default 127.0.0.1:7878; port 0 picks\n\
+                  a free port and prints it).\n\
+  --workers N     worker threads draining the accept queue (default 4).\n\
+  --cache-mb M    snapshot cache byte budget in MiB (default 256);\n\
+                  identical plans are served from cache, paying the\n\
+                  run exactly once. 0 disables retention.\n\
+  --queue-depth N accept-queue capacity (default 64); connections past\n\
+                  it are answered 429 with Retry-After.\n\
+  --deadline-ms N default per-request deadline; requests still queued\n\
+                  past it are answered 503 (default 0 = none).\n\
+SIGTERM/SIGINT drain admitted requests, then exit 0.";
 
 fn parse_args(argv: &[String]) -> Result<Parsed, String> {
+    if argv.first().map(String::as_str) == Some("serve") {
+        return parse_serve_args(&argv[1..]);
+    }
     let mut config = None;
     let mut output = None;
     let mut seed = None;
@@ -351,6 +373,82 @@ fn parse_args(argv: &[String]) -> Result<Parsed, String> {
     })))
 }
 
+/// Parses everything after the `serve` subcommand word.
+fn parse_serve_args(argv: &[String]) -> Result<Parsed, String> {
+    let mut config = ServeConfig::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let take_value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {flag}"))
+        };
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--addr" => config.addr = take_value(&mut i, &flag)?,
+            "--workers" => {
+                let v = take_value(&mut i, &flag)?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("--workers: expected a positive thread count, got {v:?}")
+                })?;
+                if n == 0 {
+                    return Err("--workers: the pool needs at least one thread".to_owned());
+                }
+                config.workers = n;
+            }
+            "--cache-mb" => {
+                let v = take_value(&mut i, &flag)?;
+                config.cache_mb = v.parse().map_err(|_| {
+                    format!("--cache-mb: expected a budget in MiB (0 = no retention), got {v:?}")
+                })?;
+            }
+            "--queue-depth" => {
+                let v = take_value(&mut i, &flag)?;
+                let depth: usize = v.parse().map_err(|_| {
+                    format!("--queue-depth: expected a positive queue capacity, got {v:?}")
+                })?;
+                if depth == 0 {
+                    return Err(
+                        "--queue-depth: a zero-capacity queue would reject every request"
+                            .to_owned(),
+                    );
+                }
+                config.queue_depth = depth;
+            }
+            "--deadline-ms" => {
+                let v = take_value(&mut i, &flag)?;
+                config.deadline_ms = v.parse().map_err(|_| {
+                    format!("--deadline-ms: expected a millisecond count (0 = none), got {v:?}")
+                })?;
+            }
+            "--help" | "-h" => return Ok(Parsed::EarlyExit(USAGE.to_owned())),
+            other => return Err(format!("serve: unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(Parsed::Serve(config))
+}
+
+/// The `serve` mode: run the daemon until SIGTERM/SIGINT, then drain and
+/// exit cleanly.
+fn serve_daemon(config: ServeConfig) -> Result<(), GmarkError> {
+    let stop = gmark::serve::request_shutdown_on_signals();
+    let server =
+        Server::start(config).map_err(|e| GmarkError::io("binding the serve listener", e))?;
+    println!(
+        "gmark serve: listening on http://{} (POST /v1/run; SIGTERM drains and exits)",
+        server.local_addr()
+    );
+    while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    eprintln!("gmark serve: shutdown requested, draining");
+    server.shutdown();
+    eprintln!("gmark serve: drained, bye");
+    Ok(())
+}
+
 fn execute(args: &Args) -> Result<(), GmarkError> {
     // What to generate…
     let mut plan = RunPlan::from_config_file(&args.config)?;
@@ -457,6 +555,13 @@ fn main() -> ExitCode {
             }
         },
         Ok(Parsed::Run(args)) => match execute(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("gmark: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Ok(Parsed::Serve(config)) => match serve_daemon(config) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("gmark: {e}");
@@ -751,5 +856,56 @@ mod tests {
             "--queries-only"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn serve_subcommand_parses_its_flag_set() {
+        match parse_args(&argv(&["serve"])).expect("defaults parse") {
+            Parsed::Serve(config) => {
+                assert_eq!(config.addr, ServeConfig::default().addr);
+                assert_eq!(config.workers, ServeConfig::default().workers);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        match parse_args(&argv(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--cache-mb",
+            "32",
+            "--queue-depth",
+            "5",
+            "--deadline-ms",
+            "250",
+        ]))
+        .expect("full flag set parses")
+        {
+            Parsed::Serve(config) => {
+                assert_eq!(config.addr, "127.0.0.1:0");
+                assert_eq!(config.workers, 2);
+                assert_eq!(config.cache_mb, 32);
+                assert_eq!(config.queue_depth, 5);
+                assert_eq!(config.deadline_ms, 250);
+            }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_and_unknown_flags() {
+        assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--queue-depth", "0"])).is_err());
+        assert!(
+            parse_args(&argv(&["serve", "--addr"])).is_err(),
+            "missing value"
+        );
+        assert!(parse_args(&argv(&["serve", "--config", "c.xml"])).is_err());
+        // `serve --help` is an early exit like the batch mode's.
+        assert!(matches!(
+            parse_args(&argv(&["serve", "--help"])),
+            Ok(Parsed::EarlyExit(_))
+        ));
     }
 }

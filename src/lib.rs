@@ -86,7 +86,9 @@
 //! * [`translate`] — SPARQL / openCypher / SQL / Datalog output;
 //! * [`engines`] — four UCRPQ evaluation engines (relational, triple-store,
 //!   navigational, Datalog) used by the paper-reproduction experiments;
-//! * [`run`] — the unified pipeline API tying them together.
+//! * [`run`] — the unified pipeline API tying them together;
+//! * [`serve`] — the benchmark-as-a-service HTTP daemon behind
+//!   `gmark serve`.
 
 #![deny(missing_docs)]
 
@@ -98,6 +100,7 @@ pub use gmark_store as store;
 pub use gmark_translate as translate;
 
 pub mod run;
+pub mod serve;
 
 /// The most common imports in one place.
 ///

@@ -605,10 +605,11 @@ fn render_eval_report(
             let _ = writeln!(
                 rendered,
                 "cache: on ({} MiB budget, {} entries, {} tuples, \
-                 {} hits / {} misses, {} rejected)",
+                 {} fills, {} hits / {} misses, {} rejected)",
                 stats.budget_mb,
                 stats.entries,
                 stats.tuples,
+                stats.fills,
                 stats.hits,
                 stats.misses,
                 stats.rejected

@@ -60,6 +60,20 @@ impl Artifact {
         Artifact::Datalog,
     ];
 
+    /// Every artifact, in [`DirSink`] layout order.
+    pub const ALL: [Artifact; 10] = [
+        Artifact::Graph,
+        Artifact::Store,
+        Artifact::Rules,
+        Artifact::Sparql,
+        Artifact::Cypher,
+        Artifact::Sql,
+        Artifact::Datalog,
+        Artifact::EvalReport,
+        Artifact::Report,
+        Artifact::Summary,
+    ];
+
     /// The conventional file name of this artifact (what [`DirSink`] and
     /// the CLI write).
     pub fn file_name(self) -> &'static str {
@@ -75,6 +89,14 @@ impl Artifact {
             Artifact::Report => "report.txt",
             Artifact::Summary => "summary.json",
         }
+    }
+
+    /// The inverse of [`Artifact::file_name`]: resolves a conventional
+    /// file name (`"graph.nt"`, `"eval.txt"`, …) back to its artifact.
+    /// This is how `gmark serve` maps a client's `?artifact=` selector
+    /// onto the CLI's on-disk vocabulary.
+    pub fn from_file_name(name: &str) -> Option<Artifact> {
+        Artifact::ALL.into_iter().find(|a| a.file_name() == name)
     }
 }
 
@@ -237,6 +259,25 @@ impl MemorySink {
         self.summary.as_ref()
     }
 
+    /// Every artifact the run wrote, with its bytes, in [`Artifact`]
+    /// order. This is how `gmark serve` lifts one finished run into an
+    /// immutable cacheable snapshot.
+    pub fn into_artifacts(self) -> Vec<(Artifact, Vec<u8>)> {
+        self.bufs
+            .into_iter()
+            .map(|(artifact, buf)| {
+                let bytes = match Arc::try_unwrap(buf) {
+                    Ok(m) => m.into_inner().expect("no panics while holding buffer lock"),
+                    Err(shared) => shared
+                        .lock()
+                        .expect("no panics while holding buffer lock")
+                        .clone(),
+                };
+                (artifact, bytes)
+            })
+            .collect()
+    }
+
     fn buffer(&mut self, artifact: Artifact) -> Arc<Mutex<Vec<u8>>> {
         Arc::clone(self.bufs.entry(artifact).or_default())
     }
@@ -303,6 +344,18 @@ mod tests {
         assert_eq!(Artifact::WORKLOAD[0].file_name(), "workload.txt");
         assert_eq!(Artifact::WORKLOAD[4].file_name(), "workload.datalog");
         assert_eq!(Artifact::EvalReport.file_name(), "eval.txt");
+    }
+
+    #[test]
+    fn file_name_round_trips_through_from_file_name() {
+        for artifact in Artifact::ALL {
+            assert_eq!(
+                Artifact::from_file_name(artifact.file_name()),
+                Some(artifact)
+            );
+        }
+        assert_eq!(Artifact::from_file_name("graph.ttl"), None);
+        assert_eq!(Artifact::from_file_name(""), None);
     }
 
     #[test]

@@ -474,8 +474,8 @@ impl EvalRunSummary {
                 let _ = write!(
                     out,
                     "{{\"enabled\":true,\"budget_mb\":{},\"entries\":{},\"tuples\":{},\
-                     \"hits\":{},\"misses\":{},\"rejected\":{}}}",
-                    c.budget_mb, c.entries, c.tuples, c.hits, c.misses, c.rejected
+                     \"fills\":{},\"hits\":{},\"misses\":{},\"rejected\":{}}}",
+                    c.budget_mb, c.entries, c.tuples, c.fills, c.hits, c.misses, c.rejected
                 );
             }
             None => out.push_str("{\"enabled\":false}"),
@@ -663,6 +663,7 @@ mod tests {
                     hits: 9,
                     misses: 3,
                     rejected: 1,
+                    fills: 4,
                 }),
                 queries: 2,
                 cells: 8,
@@ -772,7 +773,8 @@ mod tests {
         assert!(
             json.contains(
                 "\"plan\":true,\"cache\":{\"enabled\":true,\"budget_mb\":64,\
-                 \"entries\":5,\"tuples\":1000,\"hits\":9,\"misses\":3,\"rejected\":1}"
+                 \"entries\":5,\"tuples\":1000,\"fills\":4,\"hits\":9,\"misses\":3,\
+                 \"rejected\":1}"
             ),
             "{json}"
         );

@@ -1,0 +1,182 @@
+//! Admission control: the bounded queue between the acceptor thread and
+//! the worker pool.
+//!
+//! The acceptor never blocks on a slow worker — it either enqueues the
+//! fresh connection or, when the queue is at capacity, turns it away
+//! immediately (the caller writes `429 Too Many Requests` with
+//! `Retry-After`). Workers block on the queue's condvar; shutdown flips
+//! a flag and wakes everyone, after which [`Admission::dequeue`] drains
+//! the remaining jobs before returning `None` — that drain is the
+//! "graceful" in graceful shutdown: everything admitted gets answered.
+
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One admitted connection, stamped with its admission time so the
+/// per-request deadline measures queue wait plus handling.
+pub struct Job {
+    /// The accepted client connection.
+    pub stream: TcpStream,
+    /// When the acceptor admitted it.
+    pub enqueued: Instant,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// A point-in-time view of the admission counters, for `GET /v1/stats`.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionStats {
+    /// Connections admitted to the queue.
+    pub admitted: u64,
+    /// Connections turned away with 429 because the queue was full.
+    pub rejected: u64,
+    /// Admitted requests that expired in the queue (answered 503).
+    pub expired: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// The queue's capacity.
+    pub queue_capacity: usize,
+}
+
+/// The shared accept queue. One instance, `&self` methods everywhere.
+pub struct Admission {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    expired: AtomicU64,
+}
+
+impl Admission {
+    /// A queue admitting at most `capacity` waiting connections
+    /// (minimum 1 — a zero-capacity queue would reject everything).
+    pub fn new(capacity: usize) -> Admission {
+        Admission {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits the connection, or hands it back when the queue is full
+    /// or the server is shutting down (the caller answers 429).
+    pub fn try_enqueue(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().unwrap();
+        if state.shutdown || state.jobs.len() >= self.capacity {
+            drop(state);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(stream);
+        }
+        state.jobs.push_back(Job {
+            stream,
+            enqueued: Instant::now(),
+        });
+        drop(state);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available. Returns `None` only once the
+    /// queue is shut down *and* drained — pending jobs still come out
+    /// after shutdown so admitted clients get answers.
+    pub fn dequeue(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+    }
+
+    /// Stops admission and wakes every worker to drain and exit.
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Records one admitted request that expired before handling (the
+    /// caller answers 503).
+    pub fn note_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of the counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            queue_depth: self.state.lock().unwrap().jobs.len(),
+            queue_capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    /// A connected socket pair to stand in for client connections.
+    fn sock() -> TcpStream {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let _server_side = listener.accept().unwrap();
+        client
+    }
+
+    #[test]
+    fn saturation_rejects_and_drain_returns_jobs_in_order() {
+        let q = Admission::new(2);
+        assert!(q.try_enqueue(sock()).is_ok());
+        assert!(q.try_enqueue(sock()).is_ok());
+        assert!(q.try_enqueue(sock()).is_err(), "third must bounce");
+        let stats = q.stats();
+        assert_eq!(
+            (stats.admitted, stats.rejected, stats.queue_depth),
+            (2, 1, 2)
+        );
+
+        q.shutdown();
+        assert!(q.dequeue().is_some(), "pending jobs drain after shutdown");
+        assert!(q.dequeue().is_some());
+        assert!(q.dequeue().is_none(), "then the queue reports closed");
+        assert!(
+            q.try_enqueue(sock()).is_err(),
+            "no admission after shutdown"
+        );
+    }
+
+    #[test]
+    fn shutdown_wakes_blocked_workers() {
+        let q = Arc::new(Admission::new(4));
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue().is_none())
+        };
+        // Give the worker time to block, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        q.shutdown();
+        assert!(worker.join().unwrap(), "worker wakes with None");
+    }
+}

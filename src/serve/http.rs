@@ -1,0 +1,463 @@
+//! Hand-rolled HTTP/1.1 framing for `gmark serve` — no dependencies,
+//! matching the workspace's offline rule.
+//!
+//! The dialect is deliberately small: one request per connection
+//! (`Connection: close` on every response), `Content-Length` request
+//! bodies only (no chunked *uploads*), capped head and body sizes, and
+//! two response shapes — fixed `Content-Length` or `Transfer-Encoding:
+//! chunked` (how artifact bytes stream back without knowing their size
+//! up front, and without buffering the socket write). The tiny client at
+//! the bottom ([`fetch`]) de-chunks responses for the integration tests
+//! and the `serve_sweep` bench driver; curl does the same in CI.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// Chunk size of chunked responses.
+const CHUNK_BYTES: usize = 64 * 1024;
+
+/// One parsed request: method, split target, lowercased headers, body.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method (`GET`, `POST`, …), uppercased as received.
+    pub method: String,
+    /// The path half of the request target (before `?`), percent-decoded.
+    pub path: String,
+    /// The query half, percent-decoded into `(key, value)` pairs in
+    /// arrival order. Valueless keys get an empty value.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first query parameter with this name, if any.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first header with this (case-insensitive) name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. [`HttpError::status`] maps each case
+/// to the response the server writes before closing the connection.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket failed (client went away, timeout): nothing to answer.
+    Io(io::Error),
+    /// The bytes were not an HTTP/1.x request we understand.
+    Malformed(String),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared body exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge(usize),
+    /// A body-carrying method arrived without `Content-Length`.
+    LengthRequired,
+}
+
+impl HttpError {
+    /// The response status for this failure (`0` = connection-level,
+    /// nothing can be written).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Io(_) => 0,
+            HttpError::Malformed(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge(_) => 413,
+            HttpError::LengthRequired => 411,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::HeadTooLarge => {
+                write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::BodyTooLarge(n) => {
+                write!(f, "request body of {n} bytes exceeds {MAX_BODY_BYTES}")
+            }
+            HttpError::LengthRequired => write!(f, "POST requires Content-Length"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses one request from the stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // Read until the blank line ending the head, never past the cap.
+    let mut head = Vec::with_capacity(1024);
+    let mut byte = [0u8; 1];
+    let head_end = loop {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-head".into()));
+        }
+        head.push(byte[0]);
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break head.len();
+        }
+    };
+    let head_text = std::str::from_utf8(&head[..head_end])
+        .map_err(|_| HttpError::Malformed("head is not UTF-8".into()))?;
+    let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty head".into()))?;
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("no method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("no request target".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(HttpError::Malformed("not an HTTP/1.x request".into())),
+    }
+
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path);
+    let query = raw_query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("header without colon: {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    let content_length = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+        None if request.method == "POST" || request.method == "PUT" => {
+            return Err(HttpError::LengthRequired);
+        }
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::BodyTooLarge(content_length));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request { body, ..request })
+}
+
+/// The standard reason phrase of the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes one fixed-length response and flushes. Always closes the
+/// connection afterwards (`Connection: close` is part of the dialect).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes one `Transfer-Encoding: chunked` response and flushes: the
+/// artifact-streaming shape of `POST /v1/run`. The payload bytes the
+/// client reassembles are exactly `body` — chunking is framing, not
+/// content — so artifact responses stay byte-identical to the CLI files.
+pub fn write_chunked(
+    stream: &mut TcpStream,
+    status: u16,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    for chunk in body.chunks(CHUNK_BYTES) {
+        write!(stream, "{:x}\r\n", chunk.len())?;
+        stream.write_all(chunk)?;
+        stream.write_all(b"\r\n")?;
+    }
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// A plain-text error response body (`gmark: <message>`), mirroring the
+/// CLI's stderr shape.
+pub fn write_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    let body = format!("gmark: {message}\n");
+    write_response(
+        stream,
+        status,
+        &[("Content-Type", "text/plain; charset=utf-8")],
+        body.as_bytes(),
+    )
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// One response read back by [`fetch`].
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// The response status code.
+    pub status: u16,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The reassembled body (chunked responses are de-chunked).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first header with this (case-insensitive) name, if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A minimal blocking HTTP/1.1 client for one request: what the
+/// integration tests and the `serve_sweep` bench driver speak to the
+/// server (curl fills the same role in CI). De-chunks chunked responses;
+/// otherwise reads to `Content-Length` (or connection close).
+pub fn fetch(
+    addr: impl ToSocketAddrs,
+    method: &str,
+    path_and_query: &str,
+    body: &[u8],
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let head = format!(
+        "{method} {path_and_query} HTTP/1.1\r\nHost: gmark\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    // A server may answer before reading the whole request (a 429 from
+    // admission control does exactly that) — a write failure is only
+    // fatal if no response can be read afterwards.
+    let wrote = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush());
+
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 16 * 1024];
+    let read_outcome = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break Ok(()),
+            Ok(n) => raw.extend_from_slice(&buf[..n]),
+            // A reset after the response bytes arrived still counts —
+            // keep what we have if it parses.
+            Err(e) => break Err(e),
+        }
+    };
+    if raw.is_empty() {
+        wrote?;
+        read_outcome?;
+    }
+    parse_client_response(&raw)
+}
+
+fn parse_client_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("response: {what}"));
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no head terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("no status code"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    let payload = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        dechunk(payload).ok_or_else(|| bad("bad chunked framing"))?
+    } else {
+        payload.to_vec()
+    };
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn dechunk(mut payload: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = payload.windows(2).position(|w| w == b"\r\n")?;
+        let size_text = std::str::from_utf8(&payload[..line_end]).ok()?;
+        let size = usize::from_str_radix(size_text.trim(), 16).ok()?;
+        payload = &payload[line_end + 2..];
+        if size == 0 {
+            return Some(out);
+        }
+        if payload.len() < size + 2 {
+            return None;
+        }
+        out.extend_from_slice(&payload[..size]);
+        payload = &payload[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding_handles_escapes_and_plus() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("no-escapes"), "no-escapes");
+        assert_eq!(percent_decode("dangling%2"), "dangling%2");
+        assert_eq!(percent_decode("%3Cxml%3E"), "<xml>");
+    }
+
+    #[test]
+    fn dechunking_reassembles_the_payload() {
+        let framed = b"3\r\nabc\r\n4\r\ndefg\r\n0\r\n\r\n";
+        assert_eq!(dechunk(framed).unwrap(), b"abcdefg");
+        assert_eq!(dechunk(b"0\r\n\r\n").unwrap(), b"");
+        assert!(dechunk(b"5\r\nab\r\n").is_none(), "truncated chunk");
+    }
+
+    #[test]
+    fn client_response_parser_reads_status_headers_and_body() {
+        let raw =
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 2\r\n\r\nhi".to_vec();
+        let resp = parse_client_response(&raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("text/plain"));
+        assert_eq!(resp.body, b"hi");
+
+        let chunked =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhi\r\n0\r\n\r\n".to_vec();
+        assert_eq!(parse_client_response(&chunked).unwrap().body, b"hi");
+    }
+}

@@ -1,0 +1,460 @@
+//! Request dispatch: turning one admitted connection into one response.
+//!
+//! `POST /v1/run` is the CLI's `gmark --config … --output …` re-expressed
+//! over HTTP: the body carries the plan (raw schema XML, or the JSON
+//! dialect `{"schema_xml": …}`), the query string carries the flags, and
+//! the selected artifact streams back chunked. The handler mirrors the
+//! CLI's flag-coupling rules exactly, so a plan the CLI rejects gets the
+//! same complaint as a 400 here. Two deliberate differences: the server
+//! never takes a filesystem path from a client (`--from-store` has no
+//! HTTP spelling), and `threads`/`deadline_ms` are execution knobs that
+//! stay **out** of the snapshot key — they never change artifact bytes,
+//! so requests differing only there share one snapshot.
+
+use super::admission::Job;
+use super::cache::{fnv1a, Snapshot, FNV_OFFSET};
+use super::http::{self, Request};
+use super::json::{self, Json};
+use super::{ServerShared, SUMMARY_LOG_CAP};
+use crate::run::{run, Artifact, EvalSpec, MemorySink, RunOptions, RunPlan};
+use gmark_engines::EngineKind;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A handler-level failure: the status and message of the error response.
+type Reject = (u16, String);
+
+fn bad(msg: impl Into<String>) -> Reject {
+    (400, msg.into())
+}
+
+/// Reads one request off the admitted connection and answers it.
+pub(crate) fn handle(shared: &ServerShared, job: Job) {
+    let Job {
+        mut stream,
+        enqueued,
+    } = job;
+    let request = match http::read_request(&mut stream) {
+        Ok(request) => request,
+        Err(e) => {
+            let status = e.status();
+            if status != 0 {
+                let _ = http::write_error(&mut stream, status, &e.to_string());
+            }
+            return;
+        }
+    };
+
+    let result = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/run") => run_route(shared, enqueued, &request, &mut stream),
+        ("GET", "/healthz") => {
+            respond(&mut stream, 200, "text/plain; charset=utf-8", b"ok\n");
+            Ok(())
+        }
+        ("GET", "/v1/stats") => {
+            let body = stats_json(shared);
+            respond(&mut stream, 200, "application/json", body.as_bytes());
+            Ok(())
+        }
+        ("GET", path) => {
+            if let Some(id) = path
+                .strip_prefix("/v1/run/")
+                .and_then(|rest| rest.strip_suffix("/summary"))
+            {
+                summary_route(shared, id, &mut stream)
+            } else {
+                Err((404, format!("no such resource: {path}")))
+            }
+        }
+        ("POST" | "PUT" | "DELETE", path) => Err((405, format!("method not allowed on {path}"))),
+        (method, _) => Err((405, format!("method {method} not supported"))),
+    };
+
+    if let Err((status, message)) = result {
+        let _ = http::write_error(&mut stream, status, &message);
+    }
+}
+
+fn respond(stream: &mut std::net::TcpStream, status: u16, content_type: &str, body: &[u8]) {
+    let _ = http::write_response(stream, status, &[("Content-Type", content_type)], body);
+}
+
+/// `GET /v1/run/<id>/summary` — the stored summary of a finished run.
+fn summary_route(
+    shared: &ServerShared,
+    id: &str,
+    stream: &mut std::net::TcpStream,
+) -> Result<(), Reject> {
+    let snapshot = {
+        let log = shared.summaries.lock().unwrap();
+        log.iter()
+            .find(|(run_id, _)| run_id == id)
+            .map(|(_, s)| Arc::clone(s))
+    };
+    let snapshot = snapshot.ok_or_else(|| {
+        (
+            404,
+            format!("unknown run id {id:?} (the server remembers the last {SUMMARY_LOG_CAP} runs)"),
+        )
+    })?;
+    // MemorySink::finish always renders the summary, so every snapshot
+    // has this artifact.
+    let body = snapshot
+        .artifact(Artifact::Summary)
+        .expect("every snapshot carries summary.json");
+    respond(stream, 200, "application/json", body);
+    Ok(())
+}
+
+/// `POST /v1/run` — validate, get-or-build the snapshot, stream the
+/// artifact.
+fn run_route(
+    shared: &ServerShared,
+    enqueued: std::time::Instant,
+    request: &Request,
+    stream: &mut std::net::TcpStream,
+) -> Result<(), Reject> {
+    // Deadline first: a request that waited out its budget in the queue
+    // is answered 503 without burning a build on it. The deadline is
+    // admission bookkeeping only — it never reaches the plan, so it can
+    // never change artifact bytes.
+    let deadline_ms = match request.query_param("deadline_ms") {
+        Some(v) => parse_num::<u64>(v, "deadline_ms")?,
+        None => shared.config.deadline_ms,
+    };
+    if deadline_ms > 0 && enqueued.elapsed() > Duration::from_millis(deadline_ms) {
+        shared.admission.note_expired();
+        return Err((
+            503,
+            format!("deadline of {deadline_ms} ms expired in the queue"),
+        ));
+    }
+
+    let parsed = parse_run_request(request)?;
+    let key = parsed.snapshot_key(&request.body);
+
+    let plan = parsed.plan;
+    let opts = parsed.opts;
+    let (result, hit) = shared.cache.get_or_build(key, move || {
+        let mut sink = MemorySink::new();
+        match run(&plan, &opts, &mut sink) {
+            Ok(_) => Ok(Arc::new(Snapshot::new(sink.into_artifacts()))),
+            Err(e) => Err(e.to_string()),
+        }
+    });
+    let snapshot = result.map_err(|e| (500, format!("run failed: {e}")))?;
+
+    // Register the run id before streaming, so a client can fetch the
+    // summary the moment the response head arrives.
+    let seq = shared.run_seq.fetch_add(1, Ordering::Relaxed);
+    let run_id = format!("{key:016x}-{seq}");
+    {
+        let mut log = shared.summaries.lock().unwrap();
+        log.push_back((run_id.clone(), Arc::clone(&snapshot)));
+        while log.len() > SUMMARY_LOG_CAP {
+            log.pop_front();
+        }
+    }
+
+    let artifact = select_artifact(request, &snapshot)?;
+    let body = snapshot
+        .artifact(artifact)
+        .expect("select_artifact verified presence");
+    let key_hex = format!("{key:016x}");
+    let headers = [
+        ("Content-Type", content_type(artifact)),
+        ("X-Gmark-Run-Id", run_id.as_str()),
+        ("X-Gmark-Cache", if hit { "hit" } else { "build" }),
+        ("X-Gmark-Snapshot-Key", key_hex.as_str()),
+        ("X-Gmark-Artifact", artifact.file_name()),
+    ];
+    let _ = http::write_chunked(stream, 200, &headers, body);
+    Ok(())
+}
+
+/// Everything parsed out of one `POST /v1/run` request: the plan, the
+/// execution options, and the canonical byte-affecting key material.
+struct ParsedRun {
+    plan: RunPlan,
+    opts: RunOptions,
+    /// The canonical spelling of every byte-affecting input besides the
+    /// body itself; hashed (never compared) so its exact format is free
+    /// to evolve.
+    key_material: String,
+}
+
+impl ParsedRun {
+    fn snapshot_key(&self, body: &[u8]) -> u64 {
+        fnv1a(self.key_material.as_bytes(), fnv1a(body, FNV_OFFSET))
+    }
+}
+
+fn parse_run_request(request: &Request) -> Result<ParsedRun, Reject> {
+    // Reject unknown parameters outright: a typoed `sede=7` silently
+    // producing default-seed bytes would be a determinism trap.
+    const KNOWN: &[&str] = &[
+        "seed",
+        "nodes",
+        "threads",
+        "stream",
+        "store",
+        "queries_only",
+        "eval",
+        "engines",
+        "budget_ms",
+        "max_tuples",
+        "no_plan",
+        "no_eval_cache",
+        "eval_cache_mb",
+        "artifact",
+        "deadline_ms",
+    ];
+    for (k, _) in &request.query {
+        if !KNOWN.contains(&k.as_str()) {
+            if k == "from_store" {
+                return Err(bad(
+                    "from_store is not available over HTTP: the server does not read \
+                     client-named filesystem paths",
+                ));
+            }
+            return Err(bad(format!("unknown query parameter {k:?}")));
+        }
+    }
+
+    let mut plan = plan_from_body(&request.body)?;
+
+    let nodes = opt_num::<u64>(request, "nodes")?;
+    let seed = opt_num::<u64>(request, "seed")?;
+    let threads = opt_num::<usize>(request, "threads")?.unwrap_or(0);
+    let stream = flag(request, "stream")?;
+    let store = flag(request, "store")?;
+    let queries_only = flag(request, "queries_only")?;
+    let eval = flag(request, "eval")?;
+    let no_plan = flag(request, "no_plan")?;
+    let no_eval_cache = flag(request, "no_eval_cache")?;
+    let engines = match request.query_param("engines") {
+        Some(list) => Some(EngineKind::parse_list(list).map_err(bad)?),
+        None => None,
+    };
+    let budget_ms = opt_num::<u64>(request, "budget_ms")?;
+    let max_tuples = opt_num::<usize>(request, "max_tuples")?;
+    let eval_cache_mb = opt_num::<usize>(request, "eval_cache_mb")?;
+
+    // The CLI's flag-coupling rules, verbatim (same messages, minus the
+    // leading dashes of the flag spellings).
+    let eval_only = engines.is_some()
+        || budget_ms.is_some()
+        || max_tuples.is_some()
+        || no_plan
+        || no_eval_cache
+        || eval_cache_mb.is_some();
+    if eval_only && !eval {
+        return Err(bad(
+            "engines/budget_ms/max_tuples/no_plan/no_eval_cache/eval_cache_mb require eval",
+        ));
+    }
+    if no_eval_cache && eval_cache_mb.is_some() {
+        return Err(bad(
+            "no_eval_cache disables the cache eval_cache_mb would size; pick one",
+        ));
+    }
+    if eval && queries_only {
+        return Err(bad("eval needs the graph instance; drop queries_only"));
+    }
+    if store && queries_only {
+        return Err(bad("queries_only generates no graph to store; drop store"));
+    }
+    if eval && stream && !store {
+        return Err(bad(
+            "eval with stream needs the on-disk store: add store (the engines then \
+             page through graph.gstore) or drop stream",
+        ));
+    }
+
+    if let Some(n) = nodes {
+        plan = plan.with_nodes(n);
+    }
+    if queries_only {
+        if plan.workload.is_none() {
+            return Err(bad("queries_only: the schema has no <workload> section"));
+        }
+        plan.outputs.graph = false;
+    }
+    if eval {
+        if plan.workload.is_none() {
+            return Err(bad(
+                "eval: the schema has no <workload> section to evaluate",
+            ));
+        }
+        let mut spec = EvalSpec::default();
+        if let Some(engines) = &engines {
+            spec.engines = engines.clone();
+        }
+        if let Some(ms) = budget_ms {
+            spec.budget_ms = ms;
+        }
+        if let Some(cap) = max_tuples {
+            spec.max_tuples = cap;
+        }
+        spec.plan = !no_plan;
+        spec.cache = !no_eval_cache;
+        if let Some(mb) = eval_cache_mb {
+            spec.cache_mb = mb;
+        }
+        plan.eval = Some(spec);
+    }
+    if store {
+        plan.outputs.store = true;
+    }
+    plan.validate().map_err(|e| bad(e.to_string()))?;
+
+    let opts = RunOptions {
+        seed,
+        threads,
+        stream,
+        ..RunOptions::default()
+    };
+
+    // Canonical key material: every byte-affecting input, in one fixed
+    // spelling. `threads` is deliberately absent (outputs are
+    // byte-identical at every thread count — the pipeline's contract),
+    // as are `artifact` (a view selector) and `deadline_ms` (admission
+    // bookkeeping).
+    let eval_key = plan
+        .eval
+        .as_ref()
+        .map(|s| {
+            format!(
+                "{}:{}:{}:{}:{}:{}",
+                s.letters(),
+                s.budget_ms,
+                s.max_tuples,
+                s.plan,
+                s.cache,
+                s.cache_mb
+            )
+        })
+        .unwrap_or_else(|| "off".to_owned());
+    let key_material = format!(
+        "seed={seed:?};nodes={nodes:?};stream={stream};store={store};\
+         queries_only={queries_only};eval={eval_key}",
+    );
+
+    Ok(ParsedRun {
+        plan,
+        opts,
+        key_material,
+    })
+}
+
+/// The plan from the request body: raw schema XML, or the JSON dialect.
+fn plan_from_body(body: &[u8]) -> Result<RunPlan, Reject> {
+    let text = std::str::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+    let trimmed = text.trim_start();
+    if trimmed.is_empty() {
+        return Err(bad(
+            "empty body: POST the schema XML, or {\"schema_xml\": \"...\"}",
+        ));
+    }
+    if trimmed.starts_with('<') {
+        return RunPlan::from_xml(text).map_err(|e| bad(e.to_string()));
+    }
+    let doc = json::parse(text).map_err(|e| bad(format!("body JSON: {e}")))?;
+    let xml = doc
+        .get("schema_xml")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("body JSON must carry a \"schema_xml\" string"))?;
+    let mut plan = RunPlan::from_xml(xml).map_err(|e| bad(e.to_string()))?;
+    if let Some(value) = doc.get("nodes") {
+        let n = value
+            .as_u64()
+            .ok_or_else(|| bad("body JSON \"nodes\" must be a non-negative integer"))?;
+        plan = plan.with_nodes(n);
+    }
+    Ok(plan)
+}
+
+/// The artifact the client asked for, defaulting to the "main" artifact
+/// of the plan shape: the graph when generated, else the workload, else
+/// the summary.
+fn select_artifact(request: &Request, snapshot: &Snapshot) -> Result<Artifact, Reject> {
+    let artifact = match request.query_param("artifact") {
+        Some(name) => Artifact::from_file_name(name).ok_or_else(|| {
+            bad(format!(
+                "unknown artifact {name:?} (one of: {})",
+                Artifact::ALL.map(|a| a.file_name()).join(", ")
+            ))
+        })?,
+        None => [Artifact::Graph, Artifact::Rules, Artifact::Summary]
+            .into_iter()
+            .find(|a| snapshot.artifact(*a).is_some())
+            .unwrap_or(Artifact::Summary),
+    };
+    if snapshot.artifact(artifact).is_none() {
+        let available: Vec<&str> = snapshot.artifacts().map(|a| a.file_name()).collect();
+        return Err((
+            404,
+            format!(
+                "this plan did not produce {}; it produced: {}",
+                artifact.file_name(),
+                available.join(", ")
+            ),
+        ));
+    }
+    Ok(artifact)
+}
+
+fn content_type(artifact: Artifact) -> &'static str {
+    match artifact {
+        Artifact::Summary => "application/json",
+        Artifact::Store => "application/octet-stream",
+        _ => "text/plain; charset=utf-8",
+    }
+}
+
+/// `GET /v1/stats` — cache, admission, and pool counters.
+fn stats_json(shared: &ServerShared) -> String {
+    let cache = shared.cache.stats();
+    let admission = shared.admission.stats();
+    format!(
+        "{{\"cache\":{{\"hits\":{},\"builds\":{},\"evictions\":{},\"entries\":{},\
+         \"bytes\":{},\"budget_bytes\":{}}},\"admission\":{{\"admitted\":{},\
+         \"rejected\":{},\"expired\":{},\"queue_depth\":{},\"queue_capacity\":{}}},\
+         \"workers\":{}}}\n",
+        cache.hits,
+        cache.builds,
+        cache.evictions,
+        cache.entries,
+        cache.bytes,
+        cache.budget_bytes,
+        admission.admitted,
+        admission.rejected,
+        admission.expired,
+        admission.queue_depth,
+        admission.queue_capacity,
+        shared.config.workers,
+    )
+}
+
+fn flag(request: &Request, name: &str) -> Result<bool, Reject> {
+    match request.query_param(name) {
+        None => Ok(false),
+        Some("" | "1" | "true") => Ok(true),
+        Some("0" | "false") => Ok(false),
+        Some(other) => Err(bad(format!("{name}: expected a boolean, got {other:?}"))),
+    }
+}
+
+fn opt_num<T: std::str::FromStr>(request: &Request, name: &str) -> Result<Option<T>, Reject> {
+    request
+        .query_param(name)
+        .map(|v| parse_num(v, name))
+        .transpose()
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, name: &str) -> Result<T, Reject> {
+    value
+        .parse()
+        .map_err(|_| bad(format!("{name}: invalid value {value:?}")))
+}

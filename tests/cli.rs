@@ -166,6 +166,70 @@ fn text_format_keeps_the_human_banner_and_skips_summary_json() {
 }
 
 #[test]
+fn verify_store_accepts_a_good_store_and_rejects_corruption() {
+    let scratch = std::env::temp_dir().join(format!("gmark-vstore-{}", std::process::id()));
+
+    // Build a store through the CLI itself.
+    let out = gmark(&[
+        "--config",
+        repo_path("examples/configs/bib.xml").to_str().unwrap(),
+        "--output",
+        scratch.to_str().unwrap(),
+        "--nodes",
+        "100",
+        "--seed",
+        "7",
+        "--store",
+    ]);
+    assert!(
+        out.status.success(),
+        "{:?}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let store = scratch.join("graph.gstore");
+
+    // The intact store verifies with exit 0 and a shape line.
+    let ok = gmark(&["--verify-store", store.to_str().unwrap()]);
+    assert_eq!(ok.status.code(), Some(0), "intact store must verify");
+    let stdout = String::from_utf8(ok.stdout).unwrap();
+    assert!(stdout.contains(": ok ("), "{stdout}");
+
+    // Flip one byte mid-file: exit code becomes non-zero and stderr
+    // carries the typed StoreError message, not a panic.
+    let mut bytes = std::fs::read(&store).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&store, &bytes).unwrap();
+    let bad = gmark(&["--verify-store", store.to_str().unwrap()]);
+    assert_ne!(
+        bad.status.code(),
+        Some(0),
+        "corrupt store must exit non-zero"
+    );
+    let stderr = String::from_utf8(bad.stderr).unwrap();
+    assert!(stderr.starts_with("gmark: "), "typed error line: {stderr}");
+    assert!(
+        stderr.contains("checksum") || stderr.contains("store") || stderr.contains("page"),
+        "stderr names the store failure: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "corruption must be a typed error, not a panic: {stderr}"
+    );
+
+    // A path that does not exist is also a clean non-zero exit.
+    let missing = gmark(&[
+        "--verify-store",
+        scratch.join("nope.gstore").to_str().unwrap(),
+    ]);
+    assert_ne!(missing.status.code(), Some(0));
+    let stderr = String::from_utf8(missing.stderr).unwrap();
+    assert!(stderr.starts_with("gmark: "), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
 fn queries_only_without_workload_section_is_a_plan_error() {
     let scratch = std::env::temp_dir().join(format!("gmark-noplan-{}", std::process::id()));
     std::fs::create_dir_all(&scratch).unwrap();

@@ -1,0 +1,237 @@
+//! `gmark serve` integration contract: byte-determinism under
+//! concurrency, pay-once snapshot builds, admission control, and
+//! graceful drain.
+//!
+//! The central pin: the bytes a client receives for a plan are exactly
+//! the bytes the CLI writes for the same plan — regardless of how many
+//! clients ask at once, which worker answers, or whether the snapshot
+//! was cached. Everything else (429s, stats counters, shutdown) is the
+//! service wrapper around that invariant.
+
+use gmark::run::{run, Artifact, MemorySink, RunOptions, RunPlan};
+use gmark::serve::http::{fetch, ClientResponse};
+use gmark::serve::{ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+const BIB_XML: &str = include_str!("../examples/configs/bib.xml");
+
+fn start(workers: usize, queue_depth: usize, cache_mb: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers,
+        queue_depth,
+        cache_mb,
+        deadline_ms: 0,
+    })
+    .expect("server binds a free port")
+}
+
+fn post_run(addr: SocketAddr, query: &str) -> ClientResponse {
+    fetch(addr, "POST", &format!("/v1/run{query}"), BIB_XML.as_bytes())
+        .expect("request round-trips")
+}
+
+/// The reference bytes: the same plan through the library pipeline (what
+/// `DirSink` would put on disk — `MemorySink` buffers are byte-identical
+/// to the CLI's files by the sink contract).
+fn reference_artifact(query_nodes: u64, seed: u64, artifact: Artifact) -> Vec<u8> {
+    let plan = RunPlan::from_xml(BIB_XML)
+        .expect("bib schema parses")
+        .with_nodes(query_nodes);
+    let mut sink = MemorySink::new();
+    run(
+        &plan,
+        &RunOptions {
+            seed: Some(seed),
+            ..RunOptions::default()
+        },
+        &mut sink,
+    )
+    .expect("reference run succeeds");
+    sink.bytes(artifact).expect("reference artifact present")
+}
+
+#[test]
+fn concurrent_identical_plans_build_once_and_stream_identical_bytes() {
+    let server = start(4, 64, 64);
+    let addr = server.local_addr();
+    let reference = reference_artifact(80, 11, Artifact::Graph);
+
+    // N threads post the same plan at once; every response must carry
+    // exactly the CLI's bytes, and the build must have happened once.
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        handles.push(std::thread::spawn(move || {
+            post_run(addr, "?nodes=80&seed=11&artifact=graph.nt")
+        }));
+    }
+    let responses: Vec<ClientResponse> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    for resp in &responses {
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(resp.body, reference, "served bytes must equal CLI bytes");
+    }
+    // All six requests shared one snapshot key…
+    let keys: std::collections::BTreeSet<_> = responses
+        .iter()
+        .map(|r| r.header("x-gmark-snapshot-key").unwrap().to_owned())
+        .collect();
+    assert_eq!(keys.len(), 1, "one plan, one snapshot key");
+    // …and the cache built it exactly once (the pay-once guarantee).
+    let stats = fetch(addr, "GET", "/v1/stats", b"").unwrap();
+    let text = String::from_utf8(stats.body).unwrap();
+    assert!(text.contains("\"builds\":1"), "built once: {text}");
+    assert!(text.contains("\"hits\":5"), "five hits: {text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn different_plans_get_different_snapshots_and_correct_bytes_each() {
+    let server = start(3, 64, 64);
+    let addr = server.local_addr();
+
+    // Three distinct plans in flight at once; each response must match
+    // its own plan's reference bytes (no cross-request bleed).
+    let cases: [(u64, u64); 3] = [(60, 1), (60, 2), (90, 1)];
+    let mut handles = Vec::new();
+    for (nodes, seed) in cases {
+        handles.push(std::thread::spawn(move || {
+            let resp = post_run(
+                addr,
+                &format!("?nodes={nodes}&seed={seed}&artifact=graph.nt"),
+            );
+            (nodes, seed, resp)
+        }));
+    }
+    let mut keys = std::collections::BTreeSet::new();
+    for handle in handles {
+        let (nodes, seed, resp) = handle.join().expect("client thread");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.body,
+            reference_artifact(nodes, seed, Artifact::Graph),
+            "plan (nodes={nodes}, seed={seed}) must serve its own bytes"
+        );
+        keys.insert(resp.header("x-gmark-snapshot-key").unwrap().to_owned());
+    }
+    assert_eq!(keys.len(), 3, "three plans, three snapshot keys");
+
+    let stats = fetch(addr, "GET", "/v1/stats", b"").unwrap();
+    let text = String::from_utf8(stats.body).unwrap();
+    assert!(text.contains("\"builds\":3"), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn thread_count_and_cache_state_never_change_response_bytes() {
+    let server = start(2, 64, 64);
+    let addr = server.local_addr();
+
+    // Cold build, warm hit, different execution thread counts: one
+    // byte-for-byte identical payload. `threads` is outside the snapshot
+    // key on purpose — the pipeline's bytes don't depend on it.
+    let cold = post_run(addr, "?nodes=70&seed=3&threads=1&artifact=workload.txt");
+    let warm = post_run(addr, "?nodes=70&seed=3&threads=1&artifact=workload.txt");
+    let other_threads = post_run(addr, "?nodes=70&seed=3&threads=4&artifact=workload.txt");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-gmark-cache"), Some("build"));
+    assert_eq!(warm.header("x-gmark-cache"), Some("hit"));
+    assert_eq!(
+        other_threads.header("x-gmark-cache"),
+        Some("hit"),
+        "threads stays out of the snapshot key"
+    );
+    assert_eq!(warm.body, cold.body);
+    assert_eq!(other_threads.body, cold.body);
+
+    // Run ids are distinct per request even when the snapshot is shared,
+    // and each resolves to the same summary bytes.
+    let id_cold = cold.header("x-gmark-run-id").unwrap();
+    let id_warm = warm.header("x-gmark-run-id").unwrap();
+    assert_ne!(id_cold, id_warm);
+    let s1 = fetch(addr, "GET", &format!("/v1/run/{id_cold}/summary"), b"").unwrap();
+    let s2 = fetch(addr, "GET", &format!("/v1/run/{id_warm}/summary"), b"").unwrap();
+    assert_eq!((s1.status, s2.status), (200, 200));
+    assert_eq!(s1.body, s2.body, "shared snapshot, shared summary bytes");
+
+    server.shutdown();
+}
+
+#[test]
+fn saturation_answers_429_with_retry_after_and_still_serves_some() {
+    // One worker, a one-deep queue, and slow builds: with six plans in
+    // flight at once, at least one connection must bounce off the full
+    // queue with 429 + Retry-After, and at least one must be served.
+    let server = start(1, 1, 64);
+    let addr = server.local_addr();
+
+    let mut handles = Vec::new();
+    for i in 0..6u64 {
+        handles.push(std::thread::spawn(move || {
+            // Distinct seeds so every request is a fresh (slow) build.
+            post_run(addr, &format!("?nodes=2000&seed={i}&artifact=summary.json"))
+        }));
+    }
+    let responses: Vec<ClientResponse> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    let served = responses.iter().filter(|r| r.status == 200).count();
+    let rejected: Vec<&ClientResponse> = responses.iter().filter(|r| r.status == 429).collect();
+    assert!(served >= 1, "someone must be served");
+    assert!(
+        !rejected.is_empty(),
+        "a 1-worker 1-deep server under 6 concurrent slow builds must shed load; statuses: {:?}",
+        responses.iter().map(|r| r.status).collect::<Vec<_>>()
+    );
+    for resp in rejected {
+        assert_eq!(
+            resp.header("retry-after"),
+            Some("1"),
+            "429 carries Retry-After"
+        );
+    }
+    let stats = fetch(addr, "GET", "/v1/stats", b"").unwrap();
+    let text = String::from_utf8(stats.body).unwrap();
+    assert!(text.contains("\"rejected\":"), "{text}");
+    assert!(!text.contains("\"rejected\":0"), "counter moved: {text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_admitted_requests_before_returning() {
+    let server = start(1, 8, 64);
+    let addr = server.local_addr();
+
+    // Start a request, give it a moment to be admitted, then shut down
+    // concurrently. The admitted request must still complete with 200.
+    let client = std::thread::spawn(move || post_run(addr, "?nodes=400&seed=9&artifact=graph.nt"));
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let server = Arc::new(std::sync::Mutex::new(Some(server)));
+    let shutdown = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            server.lock().unwrap().take().unwrap().shutdown();
+        })
+    };
+    let resp = client.join().expect("client thread");
+    assert_eq!(
+        resp.status,
+        200,
+        "admitted request must be drained, not dropped: {}",
+        String::from_utf8_lossy(&resp.body)
+    );
+    shutdown.join().expect("shutdown completes");
+
+    // After drain, the port no longer answers.
+    assert!(
+        fetch(addr, "GET", "/healthz", b"").is_err(),
+        "listener must be gone after shutdown"
+    );
+}
