@@ -3,24 +3,30 @@
 //! emits one `BENCH_serve.json` row per phase via the `GMARK_BENCH_JSON`
 //! protocol.
 //!
-//! Two phases bracket the cache's contribution:
+//! Three phases bracket the cache's and the transport's contributions:
 //!
 //! * **cold** — every request carries a fresh seed, so every request
 //!   pays a full pipeline run (requests/s ≈ build throughput);
-//! * **warm** — every request carries the same plan, so after the first
-//!   all are snapshot hits (requests/s ≈ transport + framing cost).
+//! * **warm** — every request carries the same plan over a fresh
+//!   `Connection: close` connection, so after the first all are
+//!   snapshot hits (requests/s ≈ connection setup + framing cost);
+//! * **warm_keepalive** — the same hit-serving plan, but every request
+//!   rides one persistent connection: the keep-alive fast path, whose
+//!   margin over `warm` is exactly the per-request connection cost.
 //!
 //! The warm-over-cold ratio is the pay-once guarantee made measurable;
 //! a collapse of `warm_rps` toward `cold_rps` in a future PR means the
-//! snapshot cache stopped doing its job. p50/p95 latencies and peak RSS
-//! ride along, like the other bench rows.
+//! snapshot cache stopped doing its job, and a collapse of
+//! `warm_keepalive_rps` toward `warm_rps` means keep-alive stopped
+//! saving the handshake. p50/p95 latencies and peak RSS ride along,
+//! like the other bench rows.
 //!
 //! ```sh
 //! cargo run -p gmark-bench --release --bin serve_sweep -- \
 //!     [--nodes N] [--requests R] [--workers W] [--cache-mb M] [--seed S]
 //! ```
 
-use gmark::serve::http::fetch;
+use gmark::serve::http::{fetch, Client};
 use gmark::serve::{ServeConfig, Server};
 use gmark_bench::{append_bench_json, peak_rss_kb, take_flag_value};
 use std::net::SocketAddr;
@@ -116,6 +122,62 @@ fn run_phase(
     }
 }
 
+/// The keep-alive contrast to [`run_phase`]: the same requests, but all
+/// riding one persistent connection (reconnecting only if the server
+/// closes it). The margin over the `Connection: close` warm phase is
+/// the per-request connection setup cost keep-alive removes.
+fn run_phase_keepalive(
+    name: &'static str,
+    addr: SocketAddr,
+    requests: usize,
+    mut query: impl FnMut(usize) -> String,
+) -> Phase {
+    let started = Instant::now();
+    let mut client: Option<Client> = None;
+    let mut latencies: Vec<Duration> = (0..requests)
+        .map(|i| {
+            let path = format!("/v1/run{}", query(i));
+            let request_started = Instant::now();
+            let resp = loop {
+                let conn = match client.as_mut() {
+                    Some(conn) => conn,
+                    None => {
+                        client = Some(Client::connect(addr).expect("reconnects"));
+                        client.as_mut().expect("just connected")
+                    }
+                };
+                match conn.request("POST", &path, BIB_XML.as_bytes()) {
+                    Ok(resp) => {
+                        if resp.close_after() {
+                            client = None;
+                        }
+                        break resp;
+                    }
+                    // The server may close between requests (idle
+                    // window, cap); reconnect and retry.
+                    Err(_) => client = None,
+                }
+            };
+            assert_eq!(
+                resp.status,
+                200,
+                "serve_sweep keep-alive request failed: {}",
+                String::from_utf8_lossy(&resp.body)
+            );
+            request_started.elapsed()
+        })
+        .collect();
+    let seconds = started.elapsed().as_secs_f64();
+    latencies.sort();
+    Phase {
+        name,
+        rps: requests as f64 / seconds.max(1e-9),
+        p50: percentile(&latencies, 50),
+        p95: percentile(&latencies, 95),
+        seconds,
+    }
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -150,6 +212,11 @@ fn main() {
     let warm = run_phase("warm", addr, args.requests, |_| {
         format!("?nodes={nodes}&seed={seed}&artifact=summary.json")
     });
+    // Keep-alive contrast: the same hit-serving plan, one persistent
+    // connection instead of one connection per request.
+    let warm_keepalive = run_phase_keepalive("warm_keepalive", addr, args.requests, |_| {
+        format!("?nodes={nodes}&seed={seed}&artifact=summary.json")
+    });
 
     let stats = fetch(addr, "GET", "/v1/stats", b"").expect("stats round-trip");
     let stats_text = String::from_utf8_lossy(&stats.body).into_owned();
@@ -157,7 +224,8 @@ fn main() {
 
     println!(
         "serve_sweep: bib n={} r={} workers={} -> cold {:.2} req/s \
-         (p50 {:.1} ms, p95 {:.1} ms), warm {:.2} req/s (p50 {:.1} ms, p95 {:.1} ms)",
+         (p50 {:.1} ms, p95 {:.1} ms), warm {:.2} req/s (p50 {:.1} ms, p95 {:.1} ms), \
+         warm+keep-alive {:.2} req/s (p50 {:.1} ms, p95 {:.1} ms)",
         args.nodes,
         args.requests,
         args.workers,
@@ -167,13 +235,16 @@ fn main() {
         warm.rps,
         warm.p50.as_secs_f64() * 1e3,
         warm.p95.as_secs_f64() * 1e3,
+        warm_keepalive.rps,
+        warm_keepalive.p50.as_secs_f64() * 1e3,
+        warm_keepalive.p95.as_secs_f64() * 1e3,
     );
     println!("serve_sweep: stats {}", stats_text.trim_end());
 
     let rss = peak_rss_kb()
         .map(|kb| kb.to_string())
         .unwrap_or_else(|| "null".to_owned());
-    for phase in [cold, warm] {
+    for phase in [cold, warm, warm_keepalive] {
         let row = format!(
             "{{\"bench\":\"serve_sweep\",\"scenario\":\"bib\",\"phase\":\"{}\",\
              \"nodes\":{},\"requests\":{},\"workers\":{},\"cache_mb\":{},\

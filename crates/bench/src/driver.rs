@@ -1,0 +1,360 @@
+//! The open/closed-loop traffic driver behind `gmark bench drive`.
+//!
+//! A drive is a fixed, precomputed request sequence fired at a target by
+//! a pool of worker threads, with per-request latencies collected into
+//! the same log-bucketed [`LatencyHistogram`] the serve daemon uses.
+//! Three decisions shape the design:
+//!
+//! * **The sequence is deterministic.** [`request_sequence`] draws every
+//!   popularity index up front from one seeded [`Prng`] — the same
+//!   `(seed, zipf_exponent, distinct)` triple always yields the same
+//!   sequence of request indices, no matter how many workers later fire
+//!   them or how the OS interleaves them. Thread scheduling decides
+//!   *when* each request runs, never *which* requests run.
+//! * **Closed loop by default, open loop on request.** With `rate == 0`
+//!   each of the `max_concurrency` workers fires its next request the
+//!   moment the previous one returns — measuring sustained capacity.
+//!   With `rate > 0` requests are fired on a fixed schedule and latency
+//!   is measured from the *scheduled* start, so queueing delay behind a
+//!   slow target is charged to the target (no coordinated omission).
+//! * **Warmup is excluded.** The first `warmup` requests of the
+//!   sequence run through the same workers but are neither timed nor
+//!   counted; the measured phase starts at a barrier after warmup
+//!   drains, so caches and pools reach steady state first.
+//!
+//! The driver knows nothing about HTTP or engines: the target is a
+//! closure factory, called once per worker (a worker's place to open a
+//! keep-alive connection), returning the closure that fires one request
+//! by popularity index.
+
+use gmark_stats::{DegreeSampler, HistogramSnapshot, LatencyHistogram, Prng, Zipf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Everything that parameterizes one drive.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Measured requests (after warmup).
+    pub requests: usize,
+    /// Untimed warmup requests preceding the measured phase.
+    pub warmup: usize,
+    /// Closed-loop worker threads (minimum 1).
+    pub max_concurrency: usize,
+    /// Popularity domain: requests address indices in `0..distinct`
+    /// (minimum 1).
+    pub distinct: usize,
+    /// Zipf skew of the popularity distribution; `0` means uniform.
+    pub zipf_exponent: f64,
+    /// Seed of the request sequence.
+    pub seed: u64,
+    /// Open-loop target rate in requests/second; `0` means closed loop.
+    pub rate: f64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            requests: 200,
+            warmup: 20,
+            max_concurrency: 4,
+            distinct: 8,
+            zipf_exponent: 1.0,
+            seed: 0xD21_7E57,
+            rate: 0.0,
+        }
+    }
+}
+
+/// What one drive measured.
+#[derive(Debug, Clone)]
+pub struct DriveReport {
+    /// Successfully answered measured requests.
+    pub completed: u64,
+    /// Measured requests that returned an error.
+    pub errors: u64,
+    /// The first error message seen, for diagnostics.
+    pub first_error: Option<String>,
+    /// Wall-clock seconds of the measured phase.
+    pub seconds: f64,
+    /// Sustained throughput: `completed / seconds`.
+    pub qps: f64,
+    /// Latency distribution of the completed requests.
+    pub latency: HistogramSnapshot,
+}
+
+/// The full (warmup + measured) request sequence: one popularity index
+/// in `0..distinct` per request, Zipf-skewed toward low indices when
+/// `zipf_exponent > 0`, uniform otherwise.
+///
+/// This is the determinism anchor of the driver: the sequence is a pure
+/// function of `(seed, zipf_exponent, distinct, warmup + requests)` and
+/// is drawn entirely before any worker starts.
+pub fn request_sequence(cfg: &DriverConfig) -> Vec<usize> {
+    let distinct = cfg.distinct.max(1) as u64;
+    let total = cfg.warmup + cfg.requests;
+    let mut prng = Prng::seed_from_u64(cfg.seed);
+    if cfg.zipf_exponent > 0.0 {
+        let zipf = Zipf::new(distinct, cfg.zipf_exponent);
+        (0..total)
+            .map(|_| (zipf.sample(&mut prng) - 1) as usize)
+            .collect()
+    } else {
+        (0..total).map(|_| prng.below(distinct) as usize).collect()
+    }
+}
+
+/// Runs one drive: `setup(worker_index)` is called once inside each
+/// worker thread (open a connection, clone a handle, …) and must return
+/// the closure that fires a single request for a popularity index.
+///
+/// Workers claim requests off a shared counter, so the division of the
+/// sequence among workers is scheduling-dependent — but the sequence
+/// itself, and therefore the multiset of requests fired, is not.
+pub fn drive<Setup, Fire>(cfg: &DriverConfig, setup: Setup) -> DriveReport
+where
+    Setup: Fn(usize) -> Fire + Sync,
+    Fire: FnMut(usize) -> Result<(), String>,
+{
+    let sequence = request_sequence(cfg);
+    let workers = cfg.max_concurrency.max(1);
+    let warmup = cfg.warmup;
+    let total = sequence.len();
+
+    let latency = LatencyHistogram::new();
+    let completed = AtomicU64::new(0);
+    let errors = AtomicU64::new(0);
+    let first_error: Mutex<Option<String>> = Mutex::new(None);
+    let next_warmup = AtomicUsize::new(0);
+    let next_measured = AtomicUsize::new(warmup);
+    // Two barriers bracket the start stamp: workers park at the first
+    // once warmup drains, the coordinator stamps `start`, and the
+    // second releases the measured phase — so every worker reads the
+    // same epoch for open-loop scheduling.
+    let warmup_done = Barrier::new(workers + 1);
+    let measured_go = Barrier::new(workers + 1);
+    let start: OnceLock<Instant> = OnceLock::new();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let sequence = &sequence;
+            let setup = &setup;
+            let latency = &latency;
+            let completed = &completed;
+            let errors = &errors;
+            let first_error = &first_error;
+            let next_warmup = &next_warmup;
+            let next_measured = &next_measured;
+            let warmup_done = &warmup_done;
+            let measured_go = &measured_go;
+            let start = &start;
+            scope.spawn(move || {
+                let mut fire = setup(w);
+                loop {
+                    let i = next_warmup.fetch_add(1, Ordering::Relaxed);
+                    if i >= warmup {
+                        break;
+                    }
+                    let _ = fire(sequence[i]);
+                }
+                warmup_done.wait();
+                measured_go.wait();
+                let epoch = *start.get().expect("coordinator stamped the epoch");
+                loop {
+                    let i = next_measured.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let begun = if cfg.rate > 0.0 {
+                        // Open loop: fire on schedule; latency counted
+                        // from the scheduled start, so target-side
+                        // backlog is charged to the target.
+                        let scheduled =
+                            epoch + Duration::from_secs_f64((i - warmup) as f64 / cfg.rate);
+                        let now = Instant::now();
+                        if scheduled > now {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        scheduled
+                    } else {
+                        Instant::now()
+                    };
+                    match fire(sequence[i]) {
+                        Ok(()) => {
+                            latency.record(begun.elapsed());
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                            first_error.lock().unwrap().get_or_insert(e);
+                        }
+                    }
+                }
+            });
+        }
+        warmup_done.wait();
+        start.set(Instant::now()).expect("epoch stamped once");
+        measured_go.wait();
+    });
+
+    let seconds = start
+        .get()
+        .expect("epoch stamped before workers ran")
+        .elapsed()
+        .as_secs_f64();
+    let completed = completed.into_inner();
+    DriveReport {
+        completed,
+        errors: errors.into_inner(),
+        first_error: first_error.into_inner().unwrap(),
+        seconds,
+        qps: if seconds > 0.0 {
+            completed as f64 / seconds
+        } else {
+            0.0
+        },
+        latency: latency.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_sequence_is_a_pure_function_of_the_config() {
+        let cfg = DriverConfig {
+            requests: 500,
+            warmup: 50,
+            distinct: 16,
+            zipf_exponent: 1.0,
+            seed: 42,
+            ..DriverConfig::default()
+        };
+        let a = request_sequence(&cfg);
+        let b = request_sequence(&cfg);
+        assert_eq!(a, b, "same config, same sequence");
+        assert_eq!(a.len(), 550);
+        assert!(a.iter().all(|&i| i < 16));
+
+        let skewed = request_sequence(&DriverConfig {
+            seed: 43,
+            ..cfg.clone()
+        });
+        assert_ne!(a, skewed, "a different seed reshuffles the sequence");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_low_indices_and_zero_means_uniform() {
+        let cfg = DriverConfig {
+            requests: 4_000,
+            warmup: 0,
+            distinct: 10,
+            zipf_exponent: 1.2,
+            seed: 7,
+            ..DriverConfig::default()
+        };
+        let seq = request_sequence(&cfg);
+        let hot = seq.iter().filter(|&&i| i == 0).count();
+        assert!(
+            hot > seq.len() / 5,
+            "index 0 should dominate a Zipf(1.2) draw, got {hot}/{}",
+            seq.len()
+        );
+
+        let uniform = request_sequence(&DriverConfig {
+            zipf_exponent: 0.0,
+            ..cfg
+        });
+        let hot = uniform.iter().filter(|&&i| i == 0).count();
+        assert!(
+            hot < uniform.len() / 5,
+            "uniform draw should not concentrate, got {hot}/{}",
+            uniform.len()
+        );
+    }
+
+    #[test]
+    fn closed_loop_drive_completes_every_request_and_times_them() {
+        let cfg = DriverConfig {
+            requests: 64,
+            warmup: 8,
+            max_concurrency: 4,
+            distinct: 4,
+            zipf_exponent: 1.0,
+            seed: 1,
+            rate: 0.0,
+        };
+        let fired = AtomicU64::new(0);
+        let report = drive(&cfg, |_worker| {
+            let fired = &fired;
+            move |_idx| {
+                fired.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_micros(300));
+                Ok(())
+            }
+        });
+        assert_eq!(report.completed, 64);
+        assert_eq!(report.errors, 0);
+        assert_eq!(
+            fired.load(Ordering::Relaxed),
+            64 + 8,
+            "warmup requests fire too"
+        );
+        assert!(report.qps > 0.0);
+        assert!(
+            report.latency.quantile_micros(0.50) > 0,
+            "a 300µs request cannot have a zero p50"
+        );
+        assert!(
+            report.latency.quantile_micros(0.99) >= report.latency.quantile_micros(0.50),
+            "quantiles are monotone"
+        );
+    }
+
+    #[test]
+    fn open_loop_drive_paces_and_charges_backlog_to_the_target() {
+        let cfg = DriverConfig {
+            requests: 40,
+            warmup: 0,
+            max_concurrency: 2,
+            distinct: 2,
+            zipf_exponent: 0.0,
+            seed: 2,
+            rate: 400.0,
+        };
+        let report = drive(&cfg, |_worker| |_idx| Ok(()));
+        assert_eq!(report.completed, 40);
+        // 40 requests at 400/s occupy ~0.1s of schedule.
+        assert!(
+            report.seconds >= 0.08,
+            "pacing must stretch the phase, got {}s",
+            report.seconds
+        );
+    }
+
+    #[test]
+    fn errors_are_counted_and_the_first_message_kept() {
+        let cfg = DriverConfig {
+            requests: 10,
+            warmup: 0,
+            max_concurrency: 1,
+            distinct: 4,
+            zipf_exponent: 0.0,
+            seed: 3,
+            rate: 0.0,
+        };
+        let report = drive(&cfg, |_worker| {
+            |idx: usize| {
+                if idx == 0 {
+                    Err("index zero refused".to_owned())
+                } else {
+                    Ok(())
+                }
+            }
+        });
+        assert_eq!(report.completed + report.errors, 10);
+        assert!(report.errors > 0, "seed 3 must hit index 0 at least once");
+        assert_eq!(report.first_error.as_deref(), Some("index zero refused"));
+    }
+}

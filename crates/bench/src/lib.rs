@@ -18,7 +18,11 @@
 //! This library holds what the binaries share: the Section 6.2 workload
 //! definitions (Len / Dis / Con / Rec), the Section 7.1 measurement
 //! protocol (cold run discarded, warm runs averaged after dropping the
-//! fastest and slowest), and small table-printing helpers.
+//! fastest and slowest), small table-printing helpers, and the
+//! open/closed-loop traffic driver ([`driver`]) behind `gmark bench
+//! drive`.
+
+pub mod driver;
 
 use gmark::run::{run_in_memory, RunOptions, RunPlan};
 use gmark_core::schema::Schema;

@@ -1,0 +1,120 @@
+//! End-to-end pins for the `gmark bench drive` traffic driver: the
+//! deterministic request sequence, and a real keep-alive drive against
+//! an in-process `gmark serve` with nonzero percentiles and no errors.
+
+use gmark::serve::http::Client;
+use gmark::serve::{ServeConfig, Server};
+use gmark_bench::driver::{drive, request_sequence, DriverConfig};
+
+const BIB_XML: &str = include_str!("../../../examples/configs/bib.xml");
+
+/// Same seed and Zipf exponent ⇒ the identical request sequence, request
+/// by request — the driver's determinism contract. Worker count is *not*
+/// in the sequence's inputs, so this holds at any concurrency.
+#[test]
+fn same_seed_and_exponent_pin_the_request_sequence() {
+    let cfg = DriverConfig {
+        requests: 300,
+        warmup: 30,
+        max_concurrency: 1,
+        distinct: 12,
+        zipf_exponent: 0.8,
+        seed: 0xBEEF,
+        rate: 0.0,
+    };
+    let reference = request_sequence(&cfg);
+    assert_eq!(reference.len(), 330);
+
+    let again = request_sequence(&DriverConfig {
+        max_concurrency: 8,
+        ..cfg.clone()
+    });
+    assert_eq!(
+        reference, again,
+        "concurrency must not perturb the sequence"
+    );
+
+    let other_exponent = request_sequence(&DriverConfig {
+        zipf_exponent: 2.0,
+        ..cfg
+    });
+    assert_ne!(
+        reference, other_exponent,
+        "the exponent is a sequence input"
+    );
+}
+
+/// A closed-loop keep-alive drive against a live server: every request
+/// answered, no errors, and real (nonzero) latency percentiles.
+#[test]
+fn keep_alive_drive_against_a_live_server_reports_nonzero_percentiles() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        cache_mb: 64,
+        ..ServeConfig::default()
+    })
+    .expect("binds");
+    let addr = server.local_addr();
+
+    let cfg = DriverConfig {
+        requests: 60,
+        warmup: 10,
+        max_concurrency: 2,
+        distinct: 3,
+        zipf_exponent: 1.0,
+        seed: 11,
+        rate: 0.0,
+    };
+    let report = drive(&cfg, |_worker| {
+        let mut client: Option<Client> = None;
+        move |idx: usize| -> Result<(), String> {
+            let path = format!("/v1/run?nodes=60&seed={}&artifact=summary.json", 100 + idx);
+            for attempt in 0..2 {
+                if client.is_none() {
+                    client = Some(Client::connect(addr).map_err(|e| e.to_string())?);
+                }
+                match client
+                    .as_mut()
+                    .unwrap()
+                    .request("POST", &path, BIB_XML.as_bytes())
+                {
+                    Ok(resp) => {
+                        if resp.close_after() {
+                            client = None;
+                        }
+                        return if resp.status == 200 {
+                            Ok(())
+                        } else {
+                            Err(format!("status {}", resp.status))
+                        };
+                    }
+                    Err(e) => {
+                        client = None;
+                        if attempt == 1 {
+                            return Err(e.to_string());
+                        }
+                    }
+                }
+            }
+            unreachable!()
+        }
+    });
+    server.shutdown();
+
+    assert_eq!(
+        (report.completed, report.errors),
+        (60, 0),
+        "first error: {:?}",
+        report.first_error
+    );
+    assert!(report.qps > 0.0);
+    for q in [0.50, 0.95, 0.99] {
+        assert!(
+            report.latency.quantile_micros(q) > 0,
+            "p{} must be nonzero over real TCP",
+            (q * 100.0) as u32
+        );
+    }
+    assert!(report.latency.max_micros >= report.latency.quantile_micros(0.99));
+}

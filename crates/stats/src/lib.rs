@@ -10,7 +10,9 @@
 //! * least-squares [`regression`] used by the evaluation (Section 6.2) to
 //!   recover the selectivity exponent `α` from `|Q(G)| = β·|G|^α`,
 //! * summary statistics ([`summary`]) used to report the `mean ± sd` rows of
-//!   Table 2.
+//!   Table 2,
+//! * a lock-free log-bucketed latency [`histogram`] shared by the serving
+//!   path's `/v1/stats` and the `gmark bench drive` traffic driver.
 //!
 //! The `rand_distr` crate is not available offline, so the Gaussian
 //! (Box–Muller) and Zipf (Hörmann–Derflinger rejection-inversion) samplers
@@ -18,11 +20,13 @@
 
 #![warn(missing_docs)]
 
+pub mod histogram;
 pub mod regression;
 pub mod rng;
 pub mod sampler;
 pub mod summary;
 
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use regression::{linear_regression, log_log_alpha, Regression};
 pub use rng::Prng;
 pub use sampler::{DegreeSampler, Gaussian, Uniform, Zipf};

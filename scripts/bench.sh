@@ -33,15 +33,24 @@
 #   * the `serve_sweep` binary (`gmark serve` daemon): drives the HTTP
 #     serving path end to end — real TCP, chunked responses, the keyed
 #     snapshot cache in the middle — and records a cold row (fresh seed
-#     per request, every request a full build) and a warm row (one plan,
-#     snapshot hits) into BENCH_serve.json: requests/s, p50/p95 latency,
-#     and peak RSS. The warm/cold requests_per_s ratio pins the pay-once
-#     snapshot guarantee across PRs.
+#     per request, every request a full build), a warm row (one plan,
+#     snapshot hits, fresh connection per request), and a warm_keepalive
+#     row (the same hits over one persistent connection) into
+#     BENCH_serve.json: requests/s, p50/p95 latency, and peak RSS. The
+#     warm/cold requests_per_s ratio pins the pay-once snapshot
+#     guarantee, warm_keepalive/warm the keep-alive fast path.
+#   * the `drive` binary (closed-loop traffic driver): fires the same
+#     deterministic Zipf-skewed request sequence at three targets — the
+#     in-process engine call path (no sockets), the served path over
+#     keep-alive connections, and the served path with Connection: close
+#     — one process per regime into BENCH_drive.json: sustained QPS and
+#     p50/p95/p99/max latency of the measured phase after warmup. The
+#     keepalive/close QPS ratio pins the keep-alive win end to end.
 #
 # Usage: scripts/bench.sh [gen.json] [workload.json] [eval.json]
-#        [store.json] [serve.json]
+#        [store.json] [serve.json] [drive.json]
 #        (defaults: BENCH_gen.json BENCH_workload.json BENCH_eval.json
-#         BENCH_store.json BENCH_serve.json)
+#         BENCH_store.json BENCH_serve.json BENCH_drive.json)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,6 +60,7 @@ wl_out="${2:-BENCH_workload.json}"
 eval_out="${3:-BENCH_eval.json}"
 store_out="${4:-BENCH_store.json}"
 serve_out="${5:-BENCH_serve.json}"
+drive_out="${6:-BENCH_drive.json}"
 case "$out" in
     /*) ;;
     *) out="$PWD/$out" ;; # cargo runs bench binaries from the package dir
@@ -71,7 +81,11 @@ case "$serve_out" in
     /*) ;;
     *) serve_out="$PWD/$serve_out" ;;
 esac
-rm -f "$out" "$wl_out" "$eval_out" "$store_out" "$serve_out"
+case "$drive_out" in
+    /*) ;;
+    *) drive_out="$PWD/$drive_out" ;;
+esac
+rm -f "$out" "$wl_out" "$eval_out" "$store_out" "$serve_out" "$drive_out"
 
 echo "== criterion generation benches (exporting to $out) =="
 GMARK_BENCH_JSON="$out" cargo bench --offline -p gmark-bench --bench generation
@@ -125,17 +139,34 @@ for mode in build paged inram; do
 done
 
 echo "== serve sweep (gmark serve daemon, cold vs warm, exporting to $serve_out) =="
-# One process, two rows: cold (fresh seed per request, every request a
-# full pipeline build) and warm (one plan, snapshot hits after the first
-# build). The warm/cold requests_per_s ratio is the snapshot cache's
-# pay-once guarantee as a number.
+# One process, three rows: cold (fresh seed per request, every request a
+# full pipeline build), warm (one plan, snapshot hits after the first
+# build, fresh connection per request), and warm_keepalive (the same
+# hits over one persistent connection). warm/cold pins the snapshot
+# cache; warm_keepalive/warm pins the keep-alive fast path.
 GMARK_BENCH_JSON="$serve_out" cargo run --offline --release -p gmark-bench \
     --bin serve_sweep -- --nodes 500 --requests 20 --workers 2
 
+echo "== drive (closed-loop traffic driver, exporting to $drive_out) =="
+# One process per regime, identical driver parameters, so the three QPS
+# numbers are directly comparable: the in-process engine-call ceiling,
+# the served path over kept-alive connections, and the served path
+# reconnecting per request. keepalive beating close is the keep-alive
+# acceptance pin.
+GMARK_BENCH_JSON="$drive_out" cargo run --offline --release -p gmark-bench \
+    --bin drive -- --target inprocess --nodes 300 \
+    --requests 400 --warmup 40 --max-concurrency 2 --distinct 8
+for transport in keepalive close; do
+    GMARK_BENCH_JSON="$drive_out" cargo run --offline --release -p gmark-bench \
+        --bin drive -- --target served --transport "$transport" --nodes 300 \
+        --requests 400 --warmup 40 --max-concurrency 2 --workers 2 --distinct 8
+done
+
 echo "== baselines written =="
-wc -l "$out" "$wl_out" "$eval_out" "$store_out" "$serve_out"
+wc -l "$out" "$wl_out" "$eval_out" "$store_out" "$serve_out" "$drive_out"
 cat "$out"
 cat "$wl_out"
 cat "$eval_out"
 cat "$store_out"
 cat "$serve_out"
+cat "$drive_out"

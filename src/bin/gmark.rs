@@ -104,7 +104,8 @@ const USAGE: &str = "gmark --config <file.xml> --output <dir> [--seed N] [--node
 [--no-eval-cache] [--eval-cache-mb N] [--from-store FILE]\n\
 gmark --verify-store <file.gstore>\n\
 gmark serve [--addr HOST:PORT] [--workers N] [--cache-mb MiB] \
-[--queue-depth N] [--deadline-ms N]\n\n\
+[--queue-depth N] [--deadline-ms N] [--keep-alive-ms N] \
+[--max-requests-per-conn N]\n\n\
   --threads T     worker threads for EVERY pipeline stage (graph\n\
                   constraints, workload queries, and the --eval matrix);\n\
                   0 auto-detects the available parallelism. Every output\n\
@@ -178,6 +179,13 @@ the artifact back; GET /v1/run/<id>/summary, /v1/stats, /healthz):\n\
                   it are answered 429 with Retry-After.\n\
   --deadline-ms N default per-request deadline; requests still queued\n\
                   past it are answered 503 (default 0 = none).\n\
+  --keep-alive-ms N  idle window for HTTP/1.1 keep-alive: how long a\n\
+                  worker waits for the next request on a persistent\n\
+                  connection before closing it (default 5000;\n\
+                  0 disables keep-alive, every response closes).\n\
+  --max-requests-per-conn N  requests served per connection before the\n\
+                  server closes it and returns the worker to the queue\n\
+                  (default 1000, minimum 1).\n\
 SIGTERM/SIGINT drain admitted requests, then exit 0.";
 
 fn parse_args(argv: &[String]) -> Result<Parsed, String> {
@@ -421,6 +429,28 @@ fn parse_serve_args(argv: &[String]) -> Result<Parsed, String> {
                 config.deadline_ms = v.parse().map_err(|_| {
                     format!("--deadline-ms: expected a millisecond count (0 = none), got {v:?}")
                 })?;
+            }
+            "--keep-alive-ms" => {
+                let v = take_value(&mut i, &flag)?;
+                config.keep_alive_ms = v.parse().map_err(|_| {
+                    format!(
+                        "--keep-alive-ms: expected a millisecond idle window \
+                         (0 = no keep-alive), got {v:?}"
+                    )
+                })?;
+            }
+            "--max-requests-per-conn" => {
+                let v = take_value(&mut i, &flag)?;
+                let n: usize = v.parse().map_err(|_| {
+                    format!("--max-requests-per-conn: expected a positive count, got {v:?}")
+                })?;
+                if n == 0 {
+                    return Err(
+                        "--max-requests-per-conn: a connection must carry at least one request"
+                            .to_owned(),
+                    );
+                }
+                config.max_requests_per_conn = n;
             }
             "--help" | "-h" => return Ok(Parsed::EarlyExit(USAGE.to_owned())),
             other => return Err(format!("serve: unknown argument: {other}")),
@@ -879,6 +909,10 @@ mod tests {
             "5",
             "--deadline-ms",
             "250",
+            "--keep-alive-ms",
+            "750",
+            "--max-requests-per-conn",
+            "16",
         ]))
         .expect("full flag set parses")
         {
@@ -888,7 +922,14 @@ mod tests {
                 assert_eq!(config.cache_mb, 32);
                 assert_eq!(config.queue_depth, 5);
                 assert_eq!(config.deadline_ms, 250);
+                assert_eq!(config.keep_alive_ms, 750);
+                assert_eq!(config.max_requests_per_conn, 16);
             }
+            other => panic!("expected Serve, got {other:?}"),
+        }
+        // 0 is a legal idle window: it turns keep-alive off.
+        match parse_args(&argv(&["serve", "--keep-alive-ms", "0"])).expect("parses") {
+            Parsed::Serve(config) => assert_eq!(config.keep_alive_ms, 0),
             other => panic!("expected Serve, got {other:?}"),
         }
     }
@@ -897,6 +938,7 @@ mod tests {
     fn serve_rejects_degenerate_and_unknown_flags() {
         assert!(parse_args(&argv(&["serve", "--workers", "0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--queue-depth", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--max-requests-per-conn", "0"])).is_err());
         assert!(
             parse_args(&argv(&["serve", "--addr"])).is_err(),
             "missing value"

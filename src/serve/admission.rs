@@ -118,6 +118,23 @@ impl Admission {
         self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one follow-up request arriving on a kept-alive
+    /// connection. The connection was admitted once through the queue;
+    /// every further request it carries is admitted here, so the
+    /// `admitted` counter stays a true per-request count and admission
+    /// stats remain comparable between keep-alive and close regimes.
+    pub fn note_keep_alive_request(&self) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Jobs currently waiting in the queue. The keep-alive loop checks
+    /// this between requests: when other connections are queued, the
+    /// worker closes its current connection and returns to the pool
+    /// instead of letting one client starve the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap().jobs.len()
+    }
+
     /// A point-in-time snapshot of the counters.
     pub fn stats(&self) -> AdmissionStats {
         AdmissionStats {

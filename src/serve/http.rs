@@ -1,14 +1,22 @@
 //! Hand-rolled HTTP/1.1 framing for `gmark serve` — no dependencies,
 //! matching the workspace's offline rule.
 //!
-//! The dialect is deliberately small: one request per connection
-//! (`Connection: close` on every response), `Content-Length` request
-//! bodies only (no chunked *uploads*), capped head and body sizes, and
-//! two response shapes — fixed `Content-Length` or `Transfer-Encoding:
+//! The dialect is deliberately small: `Content-Length` request bodies
+//! only (no chunked *uploads*), capped head and body sizes, and two
+//! response shapes — fixed `Content-Length` or `Transfer-Encoding:
 //! chunked` (how artifact bytes stream back without knowing their size
-//! up front, and without buffering the socket write). The tiny client at
-//! the bottom ([`fetch`]) de-chunks responses for the integration tests
-//! and the `serve_sweep` bench driver; curl does the same in CI.
+//! up front, and without buffering the socket write). Connections are
+//! persistent by default (HTTP/1.1 keep-alive semantics: reuse unless
+//! the client sends `Connection: close`, honor `keep-alive` from
+//! HTTP/1.0 clients); the per-connection request loop lives in the
+//! routes layer, which decides per response whether the connection
+//! stays open and tells [`write_response`]/[`write_chunked`] what
+//! `Connection:` header to emit. Two clients live at the bottom:
+//! one-shot [`fetch`] (`Connection: close`, reads to EOF — tolerant of
+//! early error responses) and the reusable [`Client`], which frames
+//! responses exactly so the same TCP connection can carry many requests;
+//! the integration tests and bench drivers use both, curl fills the
+//! same role in CI.
 
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -35,6 +43,12 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Whether the client wants the connection kept open afterwards:
+    /// HTTP/1.1 defaults to yes unless `Connection: close`, HTTP/1.0 to
+    /// no unless `Connection: keep-alive`. The server may still close
+    /// (cap reached, shutdown, idle) — this is the client's side of the
+    /// negotiation only.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -62,6 +76,10 @@ impl Request {
 pub enum HttpError {
     /// The socket failed (client went away, timeout): nothing to answer.
     Io(io::Error),
+    /// The client closed the connection cleanly before sending any
+    /// byte of a next request — the normal end of a kept-alive
+    /// connection, not a fault.
+    Closed,
     /// The bytes were not an HTTP/1.x request we understand.
     Malformed(String),
     /// The head exceeded [`MAX_HEAD_BYTES`].
@@ -78,6 +96,7 @@ impl HttpError {
     pub fn status(&self) -> u16 {
         match self {
             HttpError::Io(_) => 0,
+            HttpError::Closed => 0,
             HttpError::Malformed(_) => 400,
             HttpError::HeadTooLarge => 431,
             HttpError::BodyTooLarge(_) => 413,
@@ -90,6 +109,7 @@ impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Closed => write!(f, "connection closed before a request"),
             HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
             HttpError::HeadTooLarge => {
                 write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes")
@@ -119,7 +139,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         }
         let n = stream.read(&mut byte)?;
         if n == 0 {
-            return Err(HttpError::Malformed("connection closed mid-head".into()));
+            // EOF before the first byte is a clean keep-alive close;
+            // EOF inside a head is a fault.
+            return Err(if head.is_empty() {
+                HttpError::Closed
+            } else {
+                HttpError::Malformed("connection closed mid-head".into())
+            });
         }
         head.push(byte[0]);
         if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
@@ -141,10 +167,10 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let target = parts
         .next()
         .ok_or_else(|| HttpError::Malformed("no request target".into()))?;
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/1.") => {}
+    let http10 = match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => v == "HTTP/1.0",
         _ => return Err(HttpError::Malformed("not an HTTP/1.x request".into())),
-    }
+    };
 
     let (raw_path, raw_query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
@@ -171,12 +197,18 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
     }
 
-    let request = Request {
+    let mut request = Request {
         method,
         path,
         query,
         headers,
         body: Vec::new(),
+        keep_alive: false,
+    };
+    request.keep_alive = match request.header("connection") {
+        Some(v) if v.eq_ignore_ascii_case("close") => false,
+        Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+        _ => !http10,
     };
 
     let content_length = match request.header("content-length") {
@@ -213,13 +245,16 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one fixed-length response and flushes. Always closes the
-/// connection afterwards (`Connection: close` is part of the dialect).
+/// Writes one fixed-length response and flushes. `keep_alive` picks the
+/// `Connection:` header — the caller (the per-connection request loop)
+/// owns the decision and must actually close the stream when it says
+/// `close`.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     headers: &[(&str, &str)],
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
     let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
     for (name, value) in headers {
@@ -229,10 +264,18 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str(&format!("Content-Length: {}\r\n", body.len()));
-    head.push_str("Connection: close\r\n\r\n");
+    head.push_str(connection_header(keep_alive));
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
+}
+
+fn connection_header(keep_alive: bool) -> &'static str {
+    if keep_alive {
+        "Connection: keep-alive\r\n\r\n"
+    } else {
+        "Connection: close\r\n\r\n"
+    }
 }
 
 /// Writes one `Transfer-Encoding: chunked` response and flushes: the
@@ -244,6 +287,7 @@ pub fn write_chunked(
     status: u16,
     headers: &[(&str, &str)],
     body: &[u8],
+    keep_alive: bool,
 ) -> io::Result<()> {
     let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
     for (name, value) in headers {
@@ -252,7 +296,8 @@ pub fn write_chunked(
         head.push_str(value);
         head.push_str("\r\n");
     }
-    head.push_str("Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n");
+    head.push_str("Transfer-Encoding: chunked\r\n");
+    head.push_str(connection_header(keep_alive));
     stream.write_all(head.as_bytes())?;
     for chunk in body.chunks(CHUNK_BYTES) {
         write!(stream, "{:x}\r\n", chunk.len())?;
@@ -265,13 +310,19 @@ pub fn write_chunked(
 
 /// A plain-text error response body (`gmark: <message>`), mirroring the
 /// CLI's stderr shape.
-pub fn write_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+pub fn write_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let body = format!("gmark: {message}\n");
     write_response(
         stream,
         status,
         &[("Content-Type", "text/plain; charset=utf-8")],
         body.as_bytes(),
+        keep_alive,
     )
 }
 
@@ -327,6 +378,14 @@ impl ClientResponse {
             .find(|(k, _)| *k == name)
             .map(|(_, v)| v.as_str())
     }
+
+    /// Whether the server announced it will close the connection after
+    /// this response — a [`Client`] holder must reconnect before the
+    /// next request.
+    pub fn close_after(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// A minimal blocking HTTP/1.1 client for one request: what the
@@ -342,6 +401,7 @@ pub fn fetch(
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(120)))?;
     stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+    let _ = stream.set_nodelay(true);
     let head = format!(
         "{method} {path_and_query} HTTP/1.1\r\nHost: gmark\r\nContent-Length: {}\r\n\
          Connection: close\r\n\r\n",
@@ -373,13 +433,11 @@ pub fn fetch(
     parse_client_response(&raw)
 }
 
-fn parse_client_response(raw: &[u8]) -> io::Result<ClientResponse> {
+/// Parses a response head (status line + headers, without the blank
+/// line) into `(status, lowercased headers)`.
+fn parse_response_head(head: &[u8]) -> io::Result<(u16, Vec<(String, String)>)> {
     let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("response: {what}"));
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| bad("no head terminator"))?;
-    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("head not UTF-8"))?;
+    let head = std::str::from_utf8(head).map_err(|_| bad("head not UTF-8"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
     let status: u16 = status_line
@@ -393,6 +451,16 @@ fn parse_client_response(raw: &[u8]) -> io::Result<ClientResponse> {
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
         }
     }
+    Ok((status, headers))
+}
+
+fn parse_client_response(raw: &[u8]) -> io::Result<ClientResponse> {
+    let bad = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("response: {what}"));
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no head terminator"))?;
+    let (status, headers) = parse_response_head(&raw[..head_end])?;
     let payload = &raw[head_end + 4..];
     let chunked = headers
         .iter()
@@ -407,6 +475,140 @@ fn parse_client_response(raw: &[u8]) -> io::Result<ClientResponse> {
         headers,
         body,
     })
+}
+
+/// A reusable HTTP/1.1 client: one TCP connection, many requests.
+///
+/// Where [`fetch`] sends `Connection: close` and reads to EOF, this
+/// client leaves the connection open and frames each response exactly
+/// (by `Content-Length`, or chunk by chunk) so the next request can ride
+/// the same socket — the client half of the server's keep-alive fast
+/// path. The integration tests' keep-alive pins and the `drive` /
+/// `serve_sweep` bench drivers use it. After a response announcing
+/// `Connection: close` ([`ClientResponse::close_after`]) the holder must
+/// reconnect.
+pub struct Client {
+    stream: TcpStream,
+    /// Socket bytes read but not yet consumed by response framing.
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects, with the same generous timeouts as [`fetch`].
+    /// `TCP_NODELAY` is set: a request/response protocol writing small
+    /// frames on a reused connection would otherwise trip over Nagle +
+    /// delayed-ACK stalls (~40 ms per request).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(120)))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request and reads exactly one framed response, leaving
+    /// the connection ready for the next call (unless the response says
+    /// otherwise).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path_and_query: &str,
+        body: &[u8],
+    ) -> io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path_and_query} HTTP/1.1\r\nHost: gmark\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()?;
+
+        // Head: buffer until the blank line.
+        let head_end = loop {
+            if let Some(p) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break p;
+            }
+            self.fill()?;
+        };
+        let head: Vec<u8> = self.buf.drain(..head_end + 4).collect();
+        let (status, headers) = parse_response_head(&head[..head_end])?;
+
+        let chunked = headers
+            .iter()
+            .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+        let body = if chunked {
+            let mut out = Vec::new();
+            loop {
+                let size_line = self.take_line()?;
+                let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("response: bad chunk size {size_line:?}"),
+                    )
+                })?;
+                // Chunk payload plus its trailing CRLF (the zero chunk
+                // has an empty payload, so this consumes the final one).
+                let mut chunk = self.take(size + 2)?;
+                if size == 0 {
+                    break;
+                }
+                chunk.truncate(size);
+                out.append(&mut chunk);
+            }
+            out
+        } else {
+            let length = headers
+                .iter()
+                .find(|(k, _)| k == "content-length")
+                .and_then(|(_, v)| v.parse::<usize>().ok())
+                .unwrap_or(0);
+            self.take(length)?
+        };
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Reads more socket bytes into the buffer; EOF is an error here
+    /// because framing said more bytes must come.
+    fn fill(&mut self) -> io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    /// Consumes exactly `n` bytes off the front of the stream.
+    fn take(&mut self, n: usize) -> io::Result<Vec<u8>> {
+        while self.buf.len() < n {
+            self.fill()?;
+        }
+        Ok(self.buf.drain(..n).collect())
+    }
+
+    /// Consumes one CRLF-terminated line (without the terminator).
+    fn take_line(&mut self) -> io::Result<String> {
+        let end = loop {
+            if let Some(p) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                break p;
+            }
+            self.fill()?;
+        };
+        let line: Vec<u8> = self.buf.drain(..end + 2).collect();
+        String::from_utf8(line[..end].to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "response line not UTF-8"))
+    }
 }
 
 fn dechunk(mut payload: &[u8]) -> Option<Vec<u8>> {

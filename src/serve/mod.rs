@@ -17,9 +17,18 @@
 //!   `429` with `Retry-After` instead of queueing without limit, and
 //!   per-request deadlines turn stale queue entries into `503`s.
 //!
+//! Connections are persistent (HTTP/1.1 keep-alive): a worker serves
+//! requests off one connection in a loop — each one individually
+//! admission-accounted — until the client closes, the idle window
+//! (`--keep-alive-ms`) or per-connection request cap
+//! (`--max-requests-per-conn`) runs out, another connection is waiting
+//! in the queue, or shutdown begins. Per-request queue-wait / build /
+//! stream latency histograms are surfaced through `GET /v1/stats`.
+//!
 //! Shutdown is graceful: [`Server::shutdown`] (the CLI wires it to
-//! SIGTERM) stops accepting, drains every admitted request, joins the
-//! pool, and only then returns.
+//! SIGTERM) stops accepting, drains every admitted request — a
+//! kept-alive connection finishes its in-flight request and then closes
+//! — joins the pool, and only then returns.
 
 pub mod admission;
 pub mod cache;
@@ -29,6 +38,7 @@ mod routes;
 
 use admission::Admission;
 use cache::{Snapshot, SnapshotCache};
+use gmark_stats::LatencyHistogram;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -59,6 +69,16 @@ pub struct ServeConfig {
     /// still queued past it is answered `503`. `0` disables; clients
     /// override per request with `?deadline_ms=`.
     pub deadline_ms: u64,
+    /// Keep-alive idle window in ms (`--keep-alive-ms`): how long a
+    /// worker waits for the *next* request on a kept-alive connection
+    /// before closing it. `0` disables keep-alive entirely (every
+    /// response closes, the pre-PR-10 behavior).
+    pub keep_alive_ms: u64,
+    /// Cap on requests served per connection (`--max-requests-per-conn`):
+    /// after this many the response says `Connection: close` and the
+    /// worker returns to the queue, bounding how long one client can
+    /// monopolize a worker. Treated as at least 1.
+    pub max_requests_per_conn: usize,
 }
 
 impl Default for ServeConfig {
@@ -69,8 +89,23 @@ impl Default for ServeConfig {
             cache_mb: 256,
             queue_depth: 64,
             deadline_ms: 0,
+            keep_alive_ms: 5_000,
+            max_requests_per_conn: 1_000,
         }
     }
+}
+
+/// Per-request latency histograms fed by the run route and surfaced in
+/// `GET /v1/stats` — the serve side of the drive scoreboard, in the same
+/// log-bucketed [`LatencyHistogram`] the traffic driver uses.
+#[derive(Default)]
+pub(crate) struct ServeLatency {
+    /// Admission (or keep-alive arrival) to handler start.
+    pub(crate) queue_wait: LatencyHistogram,
+    /// Snapshot build time, recorded on cache misses only.
+    pub(crate) build: LatencyHistogram,
+    /// Artifact response write (framing + socket).
+    pub(crate) stream: LatencyHistogram,
 }
 
 /// Everything the acceptor, the workers, and the routes share.
@@ -81,7 +116,16 @@ pub(crate) struct ServerShared {
     /// run-id → snapshot, newest last, bounded to [`SUMMARY_LOG_CAP`].
     pub(crate) summaries: Mutex<std::collections::VecDeque<(String, Arc<Snapshot>)>>,
     pub(crate) run_seq: AtomicU64,
+    pub(crate) latency: ServeLatency,
     stop: AtomicBool,
+}
+
+impl ServerShared {
+    /// Whether shutdown has been requested — kept-alive connections
+    /// check this to finish their in-flight request and then close.
+    pub(crate) fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
 }
 
 /// A running daemon: the listener, its acceptor thread, and the worker
@@ -108,6 +152,7 @@ impl Server {
             admission: Admission::new(config.queue_depth),
             summaries: Mutex::new(std::collections::VecDeque::new()),
             run_seq: AtomicU64::new(0),
+            latency: ServeLatency::default(),
             stop: AtomicBool::new(false),
             config,
         });
@@ -182,9 +227,14 @@ fn accept_loop(shared: &ServerShared, listener: TcpListener) {
                     return;
                 }
                 // Socket timeouts: a stalled client costs one worker at
-                // most the timeout, not forever.
+                // most the timeout, not forever. TCP_NODELAY because the
+                // response writer emits small frames (chunk headers,
+                // response heads) back to back — without it, follow-up
+                // requests on kept-alive connections stall ~40 ms in
+                // Nagle + delayed-ACK handshakes.
                 let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
                 let _ = stream.set_write_timeout(Some(Duration::from_secs(120)));
+                let _ = stream.set_nodelay(true);
                 if let Err(rejected) = shared.admission.try_enqueue(stream) {
                     reject_connection(rejected);
                 }

@@ -1,4 +1,12 @@
-//! Request dispatch: turning one admitted connection into one response.
+//! Request dispatch: the per-connection request loop and the routes it
+//! feeds.
+//!
+//! One admitted connection is served in a loop (HTTP/1.1 keep-alive):
+//! read a request, answer it, and — unless the client asked to close,
+//! the idle window or per-connection cap ran out, shutdown began, or
+//! other connections are waiting in the queue — wait for the next one on
+//! the same socket. Every follow-up request is admission-accounted
+//! individually, so `/v1/stats` counts requests, not connections.
 //!
 //! `POST /v1/run` is the CLI's `gmark --config … --output …` re-expressed
 //! over HTTP: the body carries the plan (raw schema XML, or the JSON
@@ -7,9 +15,10 @@
 //! CLI's flag-coupling rules exactly, so a plan the CLI rejects gets the
 //! same complaint as a 400 here. Two deliberate differences: the server
 //! never takes a filesystem path from a client (`--from-store` has no
-//! HTTP spelling), and `threads`/`deadline_ms` are execution knobs that
-//! stay **out** of the snapshot key — they never change artifact bytes,
-//! so requests differing only there share one snapshot.
+//! HTTP spelling; `config=` is recorded as a label, never opened), and
+//! `threads`/`deadline_ms` are execution knobs that stay **out** of the
+//! snapshot key — they never change artifact bytes, so requests
+//! differing only there share one snapshot.
 
 use super::admission::Job;
 use super::cache::{fnv1a, Snapshot, FNV_OFFSET};
@@ -29,55 +38,157 @@ fn bad(msg: impl Into<String>) -> Reject {
     (400, msg.into())
 }
 
-/// Reads one request off the admitted connection and answers it.
+/// Serves requests off one admitted connection until it should close:
+/// the keep-alive request loop.
 pub(crate) fn handle(shared: &ServerShared, job: Job) {
     let Job {
         mut stream,
         enqueued,
     } = job;
-    let request = match http::read_request(&mut stream) {
-        Ok(request) => request,
-        Err(e) => {
-            let status = e.status();
-            if status != 0 {
-                let _ = http::write_error(&mut stream, status, &e.to_string());
+    let idle = Duration::from_millis(shared.config.keep_alive_ms);
+    let cap = shared.config.max_requests_per_conn.max(1);
+    // The first request rode through the admission queue; follow-ups are
+    // stamped on arrival (their queue wait is the worker's read, ~0).
+    let mut enqueued = Some(enqueued);
+    let mut served = 0usize;
+
+    loop {
+        let enqueued_at = match enqueued.take() {
+            Some(t) => t,
+            None => match await_next_request(shared, &mut stream, idle) {
+                Some(arrived) => {
+                    shared.admission.note_keep_alive_request();
+                    arrived
+                }
+                None => return,
+            },
+        };
+        let request = match http::read_request(&mut stream) {
+            Ok(request) => request,
+            Err(e) => {
+                let status = e.status();
+                if status != 0 {
+                    let _ = http::write_error(&mut stream, status, &e.to_string(), false);
+                }
+                return;
             }
+        };
+        served += 1;
+        // Keep the connection unless: the client said close, keep-alive
+        // is disabled, the cap is reached, shutdown began (finish this
+        // request, then close — the drain contract), or other
+        // connections are waiting in the queue (yield the worker rather
+        // than let one client starve the line).
+        let keep_alive = request.keep_alive
+            && shared.config.keep_alive_ms > 0
+            && served < cap
+            && !shared.stopping()
+            && shared.admission.queue_depth() == 0;
+
+        let result = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/v1/run") => {
+                run_route(shared, enqueued_at, &request, &mut stream, keep_alive)
+            }
+            ("GET", "/healthz") => {
+                respond(
+                    &mut stream,
+                    200,
+                    "text/plain; charset=utf-8",
+                    b"ok\n",
+                    keep_alive,
+                );
+                Ok(())
+            }
+            ("GET", "/v1/stats") => {
+                let body = stats_json(shared);
+                respond(
+                    &mut stream,
+                    200,
+                    "application/json",
+                    body.as_bytes(),
+                    keep_alive,
+                );
+                Ok(())
+            }
+            ("GET", path) => {
+                if let Some(id) = path
+                    .strip_prefix("/v1/run/")
+                    .and_then(|rest| rest.strip_suffix("/summary"))
+                {
+                    summary_route(shared, id, &mut stream, keep_alive)
+                } else {
+                    Err((404, format!("no such resource: {path}")))
+                }
+            }
+            ("POST" | "PUT" | "DELETE", path) => {
+                Err((405, format!("method not allowed on {path}")))
+            }
+            (method, _) => Err((405, format!("method {method} not supported"))),
+        };
+
+        if let Err((status, message)) = result {
+            let _ = http::write_error(&mut stream, status, &message, keep_alive);
+        }
+        if !keep_alive {
             return;
         }
-    };
-
-    let result = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/v1/run") => run_route(shared, enqueued, &request, &mut stream),
-        ("GET", "/healthz") => {
-            respond(&mut stream, 200, "text/plain; charset=utf-8", b"ok\n");
-            Ok(())
-        }
-        ("GET", "/v1/stats") => {
-            let body = stats_json(shared);
-            respond(&mut stream, 200, "application/json", body.as_bytes());
-            Ok(())
-        }
-        ("GET", path) => {
-            if let Some(id) = path
-                .strip_prefix("/v1/run/")
-                .and_then(|rest| rest.strip_suffix("/summary"))
-            {
-                summary_route(shared, id, &mut stream)
-            } else {
-                Err((404, format!("no such resource: {path}")))
-            }
-        }
-        ("POST" | "PUT" | "DELETE", path) => Err((405, format!("method not allowed on {path}"))),
-        (method, _) => Err((405, format!("method {method} not supported"))),
-    };
-
-    if let Err((status, message)) = result {
-        let _ = http::write_error(&mut stream, status, &message);
     }
 }
 
-fn respond(stream: &mut std::net::TcpStream, status: u16, content_type: &str, body: &[u8]) {
-    let _ = http::write_response(stream, status, &[("Content-Type", content_type)], body);
+/// Waits for the first byte of the next request on a kept-alive
+/// connection: short timeout slices so shutdown is noticed within
+/// ~100 ms, bounded by the idle window. Returns the arrival instant, or
+/// `None` when the client closed, the window expired, the socket
+/// failed, or the server is stopping.
+fn await_next_request(
+    shared: &ServerShared,
+    stream: &mut std::net::TcpStream,
+    idle: Duration,
+) -> Option<std::time::Instant> {
+    const SLICE: Duration = Duration::from_millis(100);
+    let started = std::time::Instant::now();
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.stopping() || started.elapsed() >= idle {
+            return None;
+        }
+        let _ = stream.set_read_timeout(Some(SLICE.min(idle)));
+        match stream.peek(&mut probe) {
+            Ok(0) => return None, // clean client close
+            Ok(_) => {
+                // Restore the acceptor's working timeout for the head
+                // read — a client that sends one byte and stalls costs
+                // at most that, as before.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+                return Some(std::time::Instant::now());
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn respond(
+    stream: &mut std::net::TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) {
+    let _ = http::write_response(
+        stream,
+        status,
+        &[("Content-Type", content_type)],
+        body,
+        keep_alive,
+    );
 }
 
 /// `GET /v1/run/<id>/summary` — the stored summary of a finished run.
@@ -85,6 +196,7 @@ fn summary_route(
     shared: &ServerShared,
     id: &str,
     stream: &mut std::net::TcpStream,
+    keep_alive: bool,
 ) -> Result<(), Reject> {
     let snapshot = {
         let log = shared.summaries.lock().unwrap();
@@ -103,7 +215,7 @@ fn summary_route(
     let body = snapshot
         .artifact(Artifact::Summary)
         .expect("every snapshot carries summary.json");
-    respond(stream, 200, "application/json", body);
+    respond(stream, 200, "application/json", body, keep_alive);
     Ok(())
 }
 
@@ -114,7 +226,9 @@ fn run_route(
     enqueued: std::time::Instant,
     request: &Request,
     stream: &mut std::net::TcpStream,
+    keep_alive: bool,
 ) -> Result<(), Reject> {
+    shared.latency.queue_wait.record(enqueued.elapsed());
     // Deadline first: a request that waited out its budget in the queue
     // is answered 503 without burning a build on it. The deadline is
     // admission bookkeeping only — it never reaches the plan, so it can
@@ -136,6 +250,7 @@ fn run_route(
 
     let plan = parsed.plan;
     let opts = parsed.opts;
+    let build_started = std::time::Instant::now();
     let (result, hit) = shared.cache.get_or_build(key, move || {
         let mut sink = MemorySink::new();
         match run(&plan, &opts, &mut sink) {
@@ -143,6 +258,9 @@ fn run_route(
             Err(e) => Err(e.to_string()),
         }
     });
+    if !hit {
+        shared.latency.build.record(build_started.elapsed());
+    }
     let snapshot = result.map_err(|e| (500, format!("run failed: {e}")))?;
 
     // Register the run id before streaming, so a client can fetch the
@@ -169,7 +287,9 @@ fn run_route(
         ("X-Gmark-Snapshot-Key", key_hex.as_str()),
         ("X-Gmark-Artifact", artifact.file_name()),
     ];
-    let _ = http::write_chunked(stream, 200, &headers, body);
+    let stream_started = std::time::Instant::now();
+    let _ = http::write_chunked(stream, 200, &headers, body, keep_alive);
+    shared.latency.stream.record(stream_started.elapsed());
     Ok(())
 }
 
@@ -209,6 +329,7 @@ fn parse_run_request(request: &Request) -> Result<ParsedRun, Reject> {
         "eval_cache_mb",
         "artifact",
         "deadline_ms",
+        "config",
     ];
     for (k, _) in &request.query {
         if !KNOWN.contains(&k.as_str()) {
@@ -223,6 +344,19 @@ fn parse_run_request(request: &Request) -> Result<ParsedRun, Reject> {
     }
 
     let mut plan = plan_from_body(&request.body)?;
+
+    // `config=` labels the summary's `config` field with the path the
+    // client read its schema from, closing the served-vs-CLI summary
+    // divergence. It is a *label*: the server never opens it (the schema
+    // always comes from the body), but it changes summary.json and
+    // report.txt bytes, so it joins the snapshot key below.
+    let config = request.query_param("config");
+    if let Some(label) = config {
+        if label.is_empty() {
+            return Err(bad("config: expected a non-empty path label"));
+        }
+        plan.source = Some(std::path::PathBuf::from(label));
+    }
 
     let nodes = opt_num::<u64>(request, "nodes")?;
     let seed = opt_num::<u64>(request, "seed")?;
@@ -338,7 +472,7 @@ fn parse_run_request(request: &Request) -> Result<ParsedRun, Reject> {
         .unwrap_or_else(|| "off".to_owned());
     let key_material = format!(
         "seed={seed:?};nodes={nodes:?};stream={stream};store={store};\
-         queries_only={queries_only};eval={eval_key}",
+         queries_only={queries_only};eval={eval_key};config={config:?}",
     );
 
     Ok(ParsedRun {
@@ -371,6 +505,14 @@ fn plan_from_body(body: &[u8]) -> Result<RunPlan, Reject> {
             .as_u64()
             .ok_or_else(|| bad("body JSON \"nodes\" must be a non-negative integer"))?;
         plan = plan.with_nodes(n);
+    }
+    // The JSON spelling of the `config=` label (the query parameter wins
+    // when both are present). Part of the body, so already in the key.
+    if let Some(value) = doc.get("config") {
+        let label = value
+            .as_str()
+            .ok_or_else(|| bad("body JSON \"config\" must be a string"))?;
+        plan.source = Some(std::path::PathBuf::from(label));
     }
     Ok(plan)
 }
@@ -413,7 +555,7 @@ fn content_type(artifact: Artifact) -> &'static str {
     }
 }
 
-/// `GET /v1/stats` — cache, admission, and pool counters.
+/// `GET /v1/stats` — cache, admission, latency, and pool counters.
 fn stats_json(shared: &ServerShared) -> String {
     let cache = shared.cache.stats();
     let admission = shared.admission.stats();
@@ -421,6 +563,7 @@ fn stats_json(shared: &ServerShared) -> String {
         "{{\"cache\":{{\"hits\":{},\"builds\":{},\"evictions\":{},\"entries\":{},\
          \"bytes\":{},\"budget_bytes\":{}}},\"admission\":{{\"admitted\":{},\
          \"rejected\":{},\"expired\":{},\"queue_depth\":{},\"queue_capacity\":{}}},\
+         \"latency\":{{\"queue_wait\":{},\"build\":{},\"stream\":{}}},\
          \"workers\":{}}}\n",
         cache.hits,
         cache.builds,
@@ -433,6 +576,9 @@ fn stats_json(shared: &ServerShared) -> String {
         admission.expired,
         admission.queue_depth,
         admission.queue_capacity,
+        shared.latency.queue_wait.snapshot().to_json(),
+        shared.latency.build.snapshot().to_json(),
+        shared.latency.stream.snapshot().to_json(),
         shared.config.workers,
     )
 }

@@ -9,7 +9,7 @@
 //! service wrapper around that invariant.
 
 use gmark::run::{run, Artifact, MemorySink, RunOptions, RunPlan};
-use gmark::serve::http::{fetch, ClientResponse};
+use gmark::serve::http::{fetch, Client, ClientResponse};
 use gmark::serve::{ServeConfig, Server};
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -23,6 +23,7 @@ fn start(workers: usize, queue_depth: usize, cache_mb: usize) -> Server {
         queue_depth,
         cache_mb,
         deadline_ms: 0,
+        ..ServeConfig::default()
     })
     .expect("server binds a free port")
 }
@@ -200,6 +201,131 @@ fn saturation_answers_429_with_retry_after_and_still_serves_some() {
     let text = String::from_utf8(stats.body).unwrap();
     assert!(text.contains("\"rejected\":"), "{text}");
     assert!(!text.contains("\"rejected\":0"), "counter moved: {text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_requests_are_byte_identical_to_one_per_connection() {
+    let server = start(2, 64, 64);
+    let addr = server.local_addr();
+
+    // The same three plans, once over three separate connections…
+    let cases: [(u64, u64); 3] = [(60, 1), (60, 2), (90, 1)];
+    let one_per_conn: Vec<ClientResponse> = cases
+        .iter()
+        .map(|(nodes, seed)| {
+            post_run(
+                addr,
+                &format!("?nodes={nodes}&seed={seed}&artifact=graph.nt"),
+            )
+        })
+        .collect();
+
+    // …and once back to back on a single kept-alive connection.
+    let mut client = Client::connect(addr).expect("connects");
+    for ((nodes, seed), reference) in cases.iter().zip(&one_per_conn) {
+        let resp = client
+            .request(
+                "POST",
+                &format!("/v1/run?nodes={nodes}&seed={seed}&artifact=graph.nt"),
+                BIB_XML.as_bytes(),
+            )
+            .expect("kept-alive request round-trips");
+        assert_eq!(resp.status, 200);
+        assert!(
+            !resp.close_after(),
+            "server must offer to keep the connection"
+        );
+        assert_eq!(
+            resp.body, reference.body,
+            "kept-alive bytes must equal one-per-connection bytes \
+             (nodes={nodes}, seed={seed})"
+        );
+        assert_eq!(
+            resp.header("x-gmark-snapshot-key"),
+            reference.header("x-gmark-snapshot-key"),
+            "transport must not leak into the snapshot key"
+        );
+        // And both equal the CLI's bytes — the central pin, regardless
+        // of transport.
+        assert_eq!(
+            resp.body,
+            reference_artifact(*nodes, *seed, Artifact::Graph)
+        );
+    }
+
+    // Each kept-alive request was admitted individually: 3 connections
+    // + 3 follow-up-capable requests on one = 7 admitted requests total
+    // (6 runs + the stats request still in flight is not yet counted).
+    let stats = fetch(addr, "GET", "/v1/stats", b"").unwrap();
+    let text = String::from_utf8(stats.body).unwrap();
+    assert!(
+        text.contains("\"admitted\":7"),
+        "per-request admission accounting: {text}"
+    );
+    // The run route fed the latency histograms.
+    assert!(text.contains("\"latency\":"), "{text}");
+    assert!(!text.contains("\"queue_wait\":{\"count\":0"), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn idle_keep_alive_connections_are_closed_after_the_window() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        keep_alive_ms: 200,
+        ..ServeConfig::default()
+    })
+    .expect("server binds a free port");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connects");
+    let resp = client
+        .request("GET", "/healthz", b"")
+        .expect("first request works");
+    assert_eq!(resp.status, 200);
+    assert!(!resp.close_after(), "connection offered for reuse");
+
+    // Sit out the idle window; the server must close the connection.
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    assert!(
+        client.request("GET", "/healthz", b"").is_err(),
+        "a request after the idle window must fail: the server closed"
+    );
+
+    // The worker is back in the pool: fresh connections are served.
+    let after = fetch(addr, "GET", "/healthz", b"").expect("fresh connection served");
+    assert_eq!(after.status, 200);
+
+    server.shutdown();
+}
+
+#[test]
+fn per_connection_request_cap_closes_after_the_limit() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        max_requests_per_conn: 2,
+        ..ServeConfig::default()
+    })
+    .expect("server binds a free port");
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connects");
+    let first = client.request("GET", "/healthz", b"").expect("first");
+    assert!(!first.close_after(), "below the cap: keep-alive");
+    let second = client.request("GET", "/healthz", b"").expect("second");
+    assert!(
+        second.close_after(),
+        "the cap-reaching response must announce the close"
+    );
+    assert!(
+        client.request("GET", "/healthz", b"").is_err(),
+        "the server hung up after the cap"
+    );
 
     server.shutdown();
 }
